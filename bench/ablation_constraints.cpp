@@ -1,0 +1,98 @@
+//===- bench/ablation_constraints.cpp - Constraint ablation ----------------===//
+//
+// Ablation A: what each partition constraint of Sec. 4.2 buys.
+//
+//  * The multiple-array (cycle) constraint (Eqn. 4): on the transpose-
+//    coupled program of Sec. 4.2, dropping it would leave the partition
+//    fixpoint claiming two communication-free degrees of parallelism that
+//    do not exist; with it, the solver correctly finds the single diagonal
+//    degree. We demonstrate by comparing against a cycle-free variant.
+//
+//  * The data-computation relation (Eqns. 5/6): the Figure 1 program shows
+//    the serialization cascade from one sequential loop to a neighboring
+//    nest with no dependences at all.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/PartitionSolver.h"
+#include "transform/Unimodular.h"
+
+#include <cstdio>
+
+using namespace alp;
+using namespace alp::bench;
+
+int main() {
+  printHeader("Ablation A: partition constraints (Sec. 4.2)");
+
+  // Cycle constraint demonstration.
+  Program Cycle = compileOrDie(R"(
+program cycle;
+param N = 64;
+array X[N + 1, N + 1], Y[N + 1, N + 1];
+forall i1 = 0 to N {
+  forall i2 = 0 to N {
+    X[i1, i2] += Y[i1, i2];
+  }
+}
+forall i1 = 0 to N {
+  forall i2 = 0 to N {
+    Y[i2, i1] = X[i1, i2];
+  }
+}
+)");
+  Program NoCycle = compileOrDie(R"(
+program nocycle;
+param N = 64;
+array X[N + 1, N + 1], Y[N + 1, N + 1];
+forall i1 = 0 to N {
+  forall i2 = 0 to N {
+    X[i1, i2] += Y[i1, i2];
+  }
+}
+forall i1 = 0 to N {
+  forall i2 = 0 to N {
+    Y[i1, i2] = X[i1, i2];
+  }
+}
+)");
+
+  InterferenceGraph IGc(Cycle, {0, 1});
+  PartitionResult Rc = solvePartitions(IGc);
+  InterferenceGraph IGn(NoCycle, {0, 1});
+  PartitionResult Rn = solvePartitions(IGn);
+
+  unsigned Xc = Cycle.arrayId("X");
+  std::printf("transpose cycle:    ker D_X = %-18s parallelism/nest = %u\n",
+              Rc.DataKernel[Xc].str().c_str(), Rc.parallelism(0));
+  std::printf("no cycle (aligned): ker D_X = %-18s parallelism/nest = %u\n",
+              Rn.DataKernel[NoCycle.arrayId("X")].str().c_str(),
+              Rn.parallelism(0));
+  std::printf("(the cycle costs exactly one degree of parallelism: the\n"
+              " diagonal direction (1,-1) must stay on one processor)\n\n");
+
+  // Serialization cascade demonstration.
+  Program Fig1 = compileOrDie(fig1Source());
+  runLocalPhase(Fig1);
+  InterferenceGraph IG1(Fig1, {0, 1});
+  // Full fixpoint.
+  PartitionResult Full = solvePartitions(IG1);
+  // Nest 0 alone (no relation constraint from nest 1's data).
+  InterferenceGraph IGAlone(Fig1, {0});
+  PartitionResult Alone = solvePartitions(IGAlone);
+  std::printf("Eqns. 5/6 cascade on Figure 1:\n");
+  std::printf("  nest 1 alone:        ker C_1 = %-16s (%u degrees)\n",
+              Alone.CompKernel[0].str().c_str(), Alone.parallelism(0));
+  std::printf("  nest 1 with nest 2:  ker C_1 = %-16s (%u degrees)\n",
+              Full.CompKernel[0].str().c_str(), Full.parallelism(0));
+  std::printf("(nest 2's sequential i2 loop reaches across the shared "
+              "array Y\n and serializes nest 1's i1 loop, which has no "
+              "dependences of its own)\n\n");
+
+  bool Ok = Rc.parallelism(0) == 1 && Rn.parallelism(0) == 2 &&
+            Rc.DataKernel[Xc].contains(Vector({1, -1})) &&
+            Alone.parallelism(0) == 2 && Full.parallelism(0) == 1;
+  std::printf("[%s] constraint ablation\n", Ok ? "ok" : "MISMATCH");
+  return Ok ? 0 : 1;
+}

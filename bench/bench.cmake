@@ -1,0 +1,22 @@
+# Benchmark binaries land in ${CMAKE_BINARY_DIR}/bench so that
+# `for b in build/bench/*; do $b; done` runs exactly the benchmarks.
+function(alp_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  target_link_libraries(${name} PRIVATE ${ARGN})
+endfunction()
+
+alp_add_bench(fig7_conduct_speedup alp_machine alp_frontend)
+alp_add_bench(fig1_static_example alp_codegen alp_frontend)
+alp_add_bench(fig3_wavefront alp_codegen alp_frontend)
+alp_add_bench(fig5_dynamic_example alp_machine alp_frontend)
+alp_add_bench(ablation_constraints alp_core alp_frontend)
+alp_add_bench(ablation_join_order alp_machine alp_frontend)
+alp_add_bench(ablation_optimizations alp_machine alp_frontend)
+alp_add_bench(perf_partition alp_machine alp_frontend benchmark::benchmark)
+alp_add_bench(perf_dependence alp_transform alp_frontend benchmark::benchmark)
+alp_add_bench(ablation_blocksize alp_machine alp_frontend)
+alp_add_bench(perf_simulator alp_machine alp_frontend benchmark::benchmark)
+alp_add_bench(ablation_fusion alp_machine alp_frontend)
+alp_add_bench(ext_multicomputer alp_machine alp_frontend)

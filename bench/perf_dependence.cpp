@@ -1,0 +1,102 @@
+//===- bench/perf_dependence.cpp - Dependence analysis throughput ----------===//
+//
+// Performance benchmark P2 (google-benchmark): throughput of the exact
+// (Fourier-Motzkin based) dependence test, the GCD fast path, and the
+// Wolf-Lam local phase, over stencils of increasing depth and randomly
+// generated affine accesses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "analysis/Dependence.h"
+#include "linalg/FourierMotzkin.h"
+#include "linalg/VectorSpace.h"
+#include "support/Rng.h"
+#include "transform/Unimodular.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace alp;
+using namespace alp::bench;
+
+namespace {
+
+std::string stencilOfDepth(unsigned Depth) {
+  // A Depth-deep nest with a unit-distance recurrence on each loop.
+  std::string Src = "program deep;\nparam N = 64;\narray A[";
+  for (unsigned D = 0; D != Depth; ++D)
+    Src += std::string(D ? ", " : "") + "N + 2";
+  Src += "];\n";
+  std::string Idx, IdxM1;
+  for (unsigned D = 0; D != Depth; ++D) {
+    std::string I = "i" + std::to_string(D);
+    Src += std::string(D, ' ') + "for " + I + " = 1 to N {\n";
+    Idx += (D ? ", " : "") + I;
+    IdxM1 += (D ? ", " : "") + I + " - 1";
+  }
+  Src += std::string(Depth, ' ') + "A[" + Idx + "] = f(A[" + IdxM1 +
+         "]) @cost(4);\n";
+  for (unsigned D = Depth; D != 0; --D)
+    Src += std::string(D - 1, ' ') + "}\n";
+  return Src;
+}
+
+void BM_DependenceAnalysis(benchmark::State &State) {
+  Program P = compileOrDie(stencilOfDepth(State.range(0)));
+  DependenceAnalysis DA(P);
+  for (auto _ : State) {
+    auto Deps = DA.analyze(P.nest(0));
+    benchmark::DoNotOptimize(Deps.size());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_LocalPhase(benchmark::State &State) {
+  std::string Src = stencilOfDepth(State.range(0));
+  for (auto _ : State) {
+    Program P = compileOrDie(Src);
+    runLocalPhase(P);
+    benchmark::DoNotOptimize(P.nest(0).PermutableBands.size());
+  }
+}
+
+void BM_FourierMotzkinFeasibility(benchmark::State &State) {
+  unsigned Vars = State.range(0);
+  Rng R(7);
+  ConstraintSystem CS(Vars);
+  for (unsigned I = 0; I != 2 * Vars; ++I) {
+    Vector C(Vars);
+    for (unsigned J = 0; J != Vars; ++J)
+      C[J] = Rational(R.nextInRange(-3, 3));
+    CS.addInequality(C, Rational(R.nextInRange(0, 20)));
+  }
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(CS.isRationallyFeasible());
+  }
+}
+
+void BM_VectorSpaceFixpointOps(benchmark::State &State) {
+  // The inner operations of the partition fixpoint: image, preimage, sum.
+  Rng R(11);
+  Matrix F(3, 3);
+  for (unsigned I = 0; I != 3; ++I)
+    for (unsigned J = 0; J != 3; ++J)
+      F.at(I, J) = Rational(R.nextInRange(-2, 2));
+  VectorSpace W = VectorSpace::span(
+      3, {Vector({1, 0, -1}), Vector({0, 1, 1})});
+  for (auto _ : State) {
+    VectorSpace A = W.imageUnder(F);
+    VectorSpace B = W.preimageUnder(F);
+    benchmark::DoNotOptimize((A + B).dim());
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_DependenceAnalysis)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+BENCHMARK(BM_LocalPhase)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FourierMotzkinFeasibility)->Arg(2)->Arg(4)->Arg(6);
+BENCHMARK(BM_VectorSpaceFixpointOps);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+//===- bench/perf_partition.cpp - Partition fixpoint throughput ------------===//
+//
+// Performance benchmark P1 (google-benchmark): scaling of the iterative
+// partition algorithm (Figure 2) and of the full decomposition driver with
+// the number of loop nests / arrays in the interference graph. The paper
+// claims the systematic calculation "avoids expensive searches"; this
+// quantifies the compile-time cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Driver.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace alp;
+using namespace alp::bench;
+
+namespace {
+
+/// Chain of K nests alternating row/column/transpose access over a pool of
+/// arrays: a worst-ish case for the fixpoint (constraints keep flowing).
+std::string chainProgram(unsigned K, unsigned NumArrays) {
+  std::string Src = "program chain;\nparam N = 255;\n";
+  for (unsigned A = 0; A != NumArrays; ++A) {
+    Src += "array A" + std::to_string(A) + "[N + 1, N + 1];\n";
+  }
+  Rng R(42);
+  for (unsigned I = 0; I != K; ++I) {
+    std::string W = "A" + std::to_string(R.nextBelow(NumArrays));
+    std::string Rd = "A" + std::to_string(R.nextBelow(NumArrays));
+    switch (R.nextBelow(3)) {
+    case 0: // Row recurrence.
+      Src += "forall i = 0 to N {\n  for j = 1 to N {\n    " + W +
+             "[i, j] = f(" + W + "[i, j - 1], " + Rd +
+             "[i, j]) @cost(8);\n  }\n}\n";
+      break;
+    case 1: // Column recurrence.
+      Src += "forall i = 0 to N {\n  for j = 1 to N {\n    " + W +
+             "[j, i] = f(" + W + "[j - 1, i], " + Rd +
+             "[j, i]) @cost(8);\n  }\n}\n";
+      break;
+    default: // Transposed copy.
+      Src += "forall i = 0 to N {\n  forall j = 0 to N {\n    " + W +
+             "[i, j] = f(" + Rd + "[j, i]) @cost(8);\n  }\n}\n";
+      break;
+    }
+  }
+  return Src;
+}
+
+void BM_PartitionFixpoint(benchmark::State &State) {
+  unsigned K = State.range(0);
+  Program P = compileOrDie(chainProgram(K, 4));
+  InterferenceGraph IG(P, P.nestsInOrder());
+  for (auto _ : State) {
+    PartitionResult R = solvePartitions(IG);
+    benchmark::DoNotOptimize(R.totalParallelism());
+  }
+  State.SetComplexityN(K);
+}
+
+void BM_PartitionWithBlocks(benchmark::State &State) {
+  unsigned K = State.range(0);
+  Program P = compileOrDie(chainProgram(K, 4));
+  InterferenceGraph IG(P, P.nestsInOrder());
+  for (auto _ : State) {
+    PartitionResult R = solvePartitionsWithBlocks(IG);
+    benchmark::DoNotOptimize(R.totalParallelism());
+  }
+  State.SetComplexityN(K);
+}
+
+void BM_FullDriver(benchmark::State &State) {
+  unsigned K = State.range(0);
+  std::string Src = chainProgram(K, 4);
+  MachineParams M;
+  for (auto _ : State) {
+    Program P = compileOrDie(Src);
+    ProgramDecomposition PD = decompose(P, M);
+    benchmark::DoNotOptimize(PD.VirtualDims);
+  }
+  State.SetComplexityN(K);
+}
+
+void BM_InterferenceGraphBuild(benchmark::State &State) {
+  unsigned K = State.range(0);
+  Program P = compileOrDie(chainProgram(K, 4));
+  std::vector<unsigned> Nests = P.nestsInOrder();
+  for (auto _ : State) {
+    InterferenceGraph IG(P, Nests);
+    benchmark::DoNotOptimize(IG.edges().size());
+  }
+  State.SetComplexityN(K);
+}
+
+} // namespace
+
+BENCHMARK(BM_PartitionFixpoint)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Complexity();
+BENCHMARK(BM_PartitionWithBlocks)->Arg(2)->Arg(8)->Arg(32);
+BENCHMARK(BM_FullDriver)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InterferenceGraphBuild)->Arg(8)->Arg(32);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+//===- examples/adi_integration.cpp - ADI: pipelining beats reorganizing ---===//
+//
+// The Alternating Direction Implicit kernel of Sec. 5: a row sweep
+// followed by a column sweep, iterated over time. Forall parallelism alone
+// forces either sequential execution or a transpose per half-step; the
+// compiler instead keeps a single row-blocked layout and software-
+// pipelines the column sweep. This example shows the decomposition and
+// measures both choices on the simulated NUMA machine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/SpmdEmitter.h"
+#include "core/Driver.h"
+#include "frontend/Lowering.h"
+#include "machine/NumaSimulator.h"
+#include "machine/ScheduleDerivation.h"
+
+#include <cstdio>
+
+using namespace alp;
+
+static const char *AdiSource = R"(
+program adi;
+param N = 511, T = 8;
+array X[N + 1, N + 1];
+for t = 1 to T {
+  forall i1 = 0 to N {
+    for i2 = 1 to N {
+      X[i1, i2] = f1(X[i1, i2], X[i1, i2 - 1]) @cost(16);
+    }
+  }
+  forall i2 = 0 to N {
+    for i1 = 1 to N {
+      X[i1, i2] = f2(X[i1, i2], X[i1 - 1, i2]) @cost(16);
+    }
+  }
+}
+)";
+
+int main() {
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileDsl(AdiSource, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  MachineParams M;
+
+  auto Simulate = [&](bool EnableBlocking, const char *Label) {
+    Program P = *Prog; // Each pipeline variant canonicalizes its own copy.
+    DriverOptions Opts;
+    Opts.EnableBlocking = EnableBlocking;
+    ProgramDecomposition PD = decompose(P, M, Opts);
+    std::printf("--- %s ---\n%s", Label,
+                printDecomposition(P, PD).c_str());
+    NumaSimulator Sim(P, M);
+    applyDecomposition(Sim, P, PD, M.BlockSize);
+    double Seq = Sim.sequentialCycles();
+    std::printf("    speedups: ");
+    for (unsigned Procs : {8u, 16u, 32u})
+      std::printf("%u procs: %.2f   ", Procs, Seq / Sim.run(Procs).Cycles);
+    std::printf("\n\n");
+    return PD;
+  };
+
+  std::printf("ADI integration, 512x512 double, 8 time steps\n\n");
+  Simulate(false, "forall only (reorganize between sweeps)");
+  ProgramDecomposition Piped =
+      Simulate(true, "with blocking (pipelined column sweep)");
+
+  Program P = *Prog;
+  DriverOptions Opts;
+  ProgramDecomposition PD = decompose(P, M, Opts);
+  std::printf("=== SPMD code for the pipelined version ===\n%s",
+              emitSpmd(P, PD).c_str());
+  (void)Piped;
+  return 0;
+}

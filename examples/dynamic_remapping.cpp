@@ -1,0 +1,88 @@
+//===- examples/dynamic_remapping.cpp - Dynamic decompositions (Sec. 6) ----===//
+//
+// A program whose best layout genuinely changes at run time: a branch
+// touches array X row-wise on one arm and array Y column-wise on the
+// other (the Figure 5 example). The example shows the communication graph
+// with its profile-weighted edges, the greedy component formation, and
+// where the compiler placed the (unavoidable) reorganization.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+#include "frontend/Lowering.h"
+
+#include <cstdio>
+
+using namespace alp;
+
+int main() {
+  const char *Source = R"(
+program remap;
+param N = 511;
+array X[N + 1, N + 1], Y[N + 1, N + 1];
+forall i1 = 0 to N {
+  forall i2 = 0 to N {
+    X[i1, i2] = f1(X[i1, i2], Y[i1, i2]) @cost(40);
+    Y[i1, i2] = f2(X[i1, i2], Y[i1, i2]) @cost(40);
+  }
+}
+if prob(0.75) {
+  forall i1 = 0 to N {
+    for i2 = 1 to N {
+      X[i1, i2] = f3(X[i1, i2 - 1]) @cost(40);
+    }
+  }
+} else {
+  forall i1 = 0 to N {
+    for i2 = 1 to N {
+      Y[i2, i1] = f4(Y[i2 - 1, i1]) @cost(40);
+    }
+  }
+}
+forall i1 = 0 to N {
+  forall i2 = 0 to N {
+    X[i1, i2] = f5(X[i1, i2], Y[i1, i2]) @cost(40);
+    Y[i1, i2] = f6(X[i1, i2], Y[i1, i2]) @cost(40);
+  }
+}
+)";
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileDsl(Source, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  Program P = *Prog;
+  MachineParams M;
+  CostModel CM(P, M);
+
+  // The communication graph: reaching decompositions weighted by branch
+  // probabilities and worst-case reorganization volume.
+  std::printf("communication graph edges (nest pairs, weight):\n");
+  for (const CommEdge &E : buildCommGraph(P, CM)) {
+    std::printf("  (%u, %u)  weight %.0f  [", E.U, E.V, E.Weight);
+    bool First = true;
+    for (const auto &[ArrayId, Cost] : E.PerArray) {
+      std::printf("%s%s: %.0f", First ? "" : ", ",
+                  P.array(ArrayId).Name.c_str(), Cost);
+      First = false;
+    }
+    std::printf("]\n");
+  }
+
+  // The greedy dynamic decomposition (tiling impractical here: blocking
+  // disabled, as in the paper's discussion of this example).
+  DriverOptions Opts;
+  Opts.EnableBlocking = false;
+  ProgramDecomposition PD = decompose(P, M, Opts);
+  std::printf("\ncomponents: ");
+  for (unsigned NestId : P.nestsInOrder())
+    std::printf("nest %u -> %u  ", NestId, PD.ComponentOf.at(NestId));
+  std::printf("\n\n%s", printDecomposition(P, PD).c_str());
+
+  std::printf("\nY's layout really is dynamic: rows in the main phase, "
+              "columns inside the 25%% branch arm.\nThe reorganization "
+              "sits on the rarely executed edges, exactly as Sec. 6 "
+              "prescribes.\n");
+  return 0;
+}

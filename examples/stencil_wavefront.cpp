@@ -1,0 +1,78 @@
+//===- examples/stencil_wavefront.cpp - Doacross parallelism via tiling ----===//
+//
+// The four-point difference operator (Figure 3): no loop is forall-
+// parallel, but the nest is fully permutable, so the compiler extracts
+// wavefront (doacross) parallelism by blocking. The example shows the
+// dependence analysis, the local phase's band structure, the blocked
+// partition, a materialized strip-mined nest, and the simulated speedup.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dependence.h"
+#include "core/Driver.h"
+#include "frontend/Lowering.h"
+#include "ir/Printer.h"
+#include "machine/NumaSimulator.h"
+#include "machine/ScheduleDerivation.h"
+#include "transform/Tiling.h"
+#include "transform/Unimodular.h"
+
+#include <cstdio>
+
+using namespace alp;
+
+int main() {
+  const char *Source = R"(
+program stencil;
+param N = 511;
+array X[N + 1, N + 1];
+for i1 = 1 to N - 1 {
+  for i2 = 1 to N - 1 {
+    X[i1, i2] = f(X[i1, i2], X[i1 - 1, i2] + X[i1 + 1, i2]
+                 + X[i1, i2 - 1] + X[i1, i2 + 1]) @cost(10);
+  }
+}
+)";
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileDsl(Source, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  Program P = *Prog;
+
+  // Dependence analysis: the distance vectors that rule out forall loops.
+  DependenceAnalysis DA(P);
+  std::printf("dependences of the stencil nest:\n");
+  for (const Dependence &D : DA.analyze(P.nest(0)))
+    std::printf("  %s\n", D.str().c_str());
+
+  // Local phase: one fully permutable band of size 2, no forall loops.
+  runLocalPhase(P);
+  std::printf("\nfully permutable bands:");
+  for (unsigned B : P.nest(0).PermutableBands)
+    std::printf(" %u", B);
+  std::printf("  (parallel loops: %s, %s)\n",
+              P.nest(0).Loops[0].isParallel() ? "yes" : "no",
+              P.nest(0).Loops[1].isParallel() ? "yes" : "no");
+
+  // The decomposition: blocked, with doacross parallelism.
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  std::printf("\n%s", printDecomposition(P, PD).c_str());
+
+  // Materialize the Figure 3(d) strip-mining for inspection.
+  LoopNest Strips = tileLoops(P.nest(0), 0, {0, M.BlockSize});
+  std::printf("\nstrip-mined loop nest (block size %lld):\n%s",
+              (long long)M.BlockSize, printNest(P, Strips).c_str());
+
+  // Simulated wavefront execution.
+  NumaSimulator Sim(P, M);
+  applyDecomposition(Sim, P, PD, M.BlockSize);
+  double Seq = Sim.sequentialCycles();
+  std::printf("\nsimulated doacross speedup over sequential:\n");
+  for (unsigned Procs : {4u, 8u, 16u, 32u})
+    std::printf("  %2u processors: %.2f\n", Procs,
+                Seq / Sim.run(Procs).Cycles);
+  return 0;
+}

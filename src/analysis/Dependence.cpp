@@ -1,0 +1,453 @@
+//===- analysis/Dependence.cpp - Affine dependence analysis -----------------===//
+
+#include "analysis/Dependence.h"
+
+#include "linalg/FourierMotzkin.h"
+#include "linalg/IntegerOps.h"
+
+#include <set>
+#include <sstream>
+
+using namespace alp;
+
+//===----------------------------------------------------------------------===//
+// DepComponent / Dependence
+//===----------------------------------------------------------------------===//
+
+DepComponent DepComponent::exact(int64_t D) {
+  DepComponent C;
+  C.Distance = D;
+  C.Direction = D > 0 ? Dir::Lt : (D < 0 ? Dir::Gt : Dir::Eq);
+  return C;
+}
+
+bool DepComponent::mayBeNegative() const {
+  if (Distance)
+    return *Distance < 0;
+  return Direction == Dir::Gt || Direction == Dir::Ge ||
+         Direction == Dir::Star;
+}
+
+bool DepComponent::mayBePositive() const {
+  if (Distance)
+    return *Distance > 0;
+  return Direction == Dir::Lt || Direction == Dir::Le ||
+         Direction == Dir::Star;
+}
+
+bool DepComponent::mayBeZero() const {
+  if (Distance)
+    return *Distance == 0;
+  return Direction != Dir::Lt && Direction != Dir::Gt;
+}
+
+std::string DepComponent::str() const {
+  if (Distance)
+    return std::to_string(*Distance);
+  switch (Direction) {
+  case Dir::Lt:
+    return "+";
+  case Dir::Eq:
+    return "0";
+  case Dir::Gt:
+    return "-";
+  case Dir::Le:
+    return "0+";
+  case Dir::Ge:
+    return "0-";
+  case Dir::Star:
+    return "*";
+  }
+  return "?";
+}
+
+bool Dependence::isDistanceVector() const {
+  for (const DepComponent &C : Components)
+    if (!C.isExact())
+      return false;
+  return true;
+}
+
+std::string Dependence::str() const {
+  std::ostringstream OS;
+  switch (Kind) {
+  case DepKind::Flow:
+    OS << "flow";
+    break;
+  case DepKind::Anti:
+    OS << "anti";
+    break;
+  case DepKind::Output:
+    OS << "output";
+    break;
+  }
+  OS << " S" << SrcStmt << "->S" << DstStmt << " (";
+  for (unsigned I = 0; I != Components.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << Components[I].str();
+  }
+  OS << ") @level " << Level;
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Polyhedron construction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Variable layout for a dependence system over a nest of depth L with NS
+/// symbols: [ i_src(0..L-1) | i_dst(L..2L-1) | syms(2L..2L+NS-1) |
+/// d(2L+NS..2L+NS+L-1) ] where d_k = i_dst[k] - i_src[k].
+struct DepSystem {
+  unsigned Depth;
+  std::vector<std::string> Symbols;
+  ConstraintSystem CS;
+  /// The pure equality rows (subscript equations and distance
+  /// definitions) as an integer system, for the exact lattice test:
+  /// rational feasibility alone admits parity-style phantoms that the
+  /// per-row GCD test cannot see.
+  std::vector<std::vector<int64_t>> EqRows;
+  std::vector<int64_t> EqRhs;
+
+  DepSystem(unsigned Depth, std::vector<std::string> Symbols)
+      : Depth(Depth), Symbols(std::move(Symbols)),
+        CS(2 * Depth + this->Symbols.size() + Depth) {}
+
+  /// Records an equality row Coeffs . x + Const == 0 into the integer
+  /// system as well (scaled to integers).
+  void addIntegerEquality(const Vector &Coeffs, const Rational &Const) {
+    int64_t Lcm = Const.den();
+    for (const Rational &C : Coeffs)
+      Lcm = lcm64(Lcm, C.den());
+    std::vector<int64_t> Row(Coeffs.size());
+    for (unsigned I = 0; I != Coeffs.size(); ++I)
+      Row[I] = (Coeffs[I] * Rational(Lcm)).asInteger();
+    EqRows.push_back(std::move(Row));
+    EqRhs.push_back((-Const * Rational(Lcm)).asInteger());
+  }
+
+  /// True if the equalities plus "d_j == 0 for j < Level" admit an
+  /// integer solution (pass Level == Depth to pin every distance, the
+  /// loop-independent case). Bounds and the d_Level >= 1 inequality are
+  /// ignored: a pure lattice test, so "true" can still be refuted by
+  /// Fourier-Motzkin, but "false" is definitive.
+  bool integerFeasible(unsigned Level) const {
+    unsigned NVars = CS.numVars();
+    std::vector<std::vector<int64_t>> Rows = EqRows;
+    std::vector<int64_t> Rhs = EqRhs;
+    for (unsigned J = 0; J != Level && J != Depth; ++J) {
+      std::vector<int64_t> Row(NVars, 0);
+      Row[distVar(J)] = 1;
+      Rows.push_back(std::move(Row));
+      Rhs.push_back(0);
+    }
+    IntMatrix A(Rows.size(), NVars);
+    for (unsigned R = 0; R != Rows.size(); ++R)
+      for (unsigned C = 0; C != NVars; ++C)
+        A.at(R, C) = Rows[R][C];
+    return solveIntegerSystem(A, Rhs).has_value();
+  }
+
+  unsigned numVars() const { return CS.numVars(); }
+  unsigned srcVar(unsigned K) const { return K; }
+  unsigned dstVar(unsigned K) const { return Depth + K; }
+  unsigned symVar(unsigned S) const { return 2 * Depth + S; }
+  unsigned distVar(unsigned K) const {
+    return 2 * Depth + Symbols.size() + K;
+  }
+
+  unsigned symIndex(const std::string &Name) const {
+    for (unsigned I = 0; I != Symbols.size(); ++I)
+      if (Symbols[I] == Name)
+        return I;
+    assert(false && "symbol not collected");
+    return 0;
+  }
+
+  /// Adds coefficients of a SymAffine into a coefficient row / constant.
+  void addSym(const SymAffine &A, Vector &Coeffs, Rational &Const,
+              Rational Scale) const {
+    Const += A.constant() * Scale;
+    for (const auto &[Name, C] : A.symbolCoeffs())
+      Coeffs[symVar(symIndex(Name))] += C * Scale;
+  }
+};
+
+int64_t floorRat(const Rational &R) {
+  int64_t Q = R.num() / R.den();
+  if (R.num() % R.den() != 0 && R.num() < 0)
+    --Q;
+  return Q;
+}
+
+int64_t ceilRat(const Rational &R) {
+  int64_t Q = R.num() / R.den();
+  if (R.num() % R.den() != 0 && R.num() > 0)
+    ++Q;
+  return Q;
+}
+
+/// Refinement of rational feasibility: projects the system onto every
+/// single variable and rejects when some projection interval contains no
+/// integer (e.g. j in [3/5, 2/3]). Catches the axis-thin phantoms that
+/// survive both the GCD and the lattice tests; returns false also when
+/// the system is rationally infeasible outright.
+bool hasIntegerPointPerAxis(const ConstraintSystem &CS) {
+  for (unsigned V = 0; V != CS.numVars(); ++V) {
+    auto B = CS.boundsOf(V);
+    if (!B)
+      return false;
+    if (B->Lower && B->Upper &&
+        ceilRat(*B->Lower) > floorRat(*B->Upper))
+      return false;
+  }
+  return true;
+}
+
+/// Collects every symbol mentioned by the nest bounds or the two accesses.
+std::vector<std::string> collectSymbols(const LoopNest &Nest,
+                                        const AffineAccessMap &A,
+                                        const AffineAccessMap &B) {
+  std::set<std::string> Names;
+  auto FromSym = [&](const SymAffine &S) {
+    for (const auto &[Name, C] : S.symbolCoeffs()) {
+      (void)C;
+      Names.insert(Name);
+    }
+  };
+  for (const Loop &L : Nest.Loops) {
+    for (const BoundTerm &T : L.Lower)
+      FromSym(T.Const);
+    for (const BoundTerm &T : L.Upper)
+      FromSym(T.Const);
+  }
+  for (unsigned I = 0; I != A.arrayDim(); ++I)
+    FromSym(A.constant()[I]);
+  for (unsigned I = 0; I != B.arrayDim(); ++I)
+    FromSym(B.constant()[I]);
+  return std::vector<std::string>(Names.begin(), Names.end());
+}
+
+/// Adds loop bound constraints for the iteration-variable block starting at
+/// \p Base (either src or dst block).
+void addBoundConstraints(DepSystem &DS, const LoopNest &Nest, bool IsDst) {
+  unsigned L = Nest.depth();
+  for (unsigned K = 0; K != L; ++K) {
+    const Loop &Loop = Nest.Loops[K];
+    for (const BoundTerm &T : Loop.Lower) {
+      // i_k - (coeffs . i_outer + const) >= 0.
+      Vector C(DS.numVars());
+      Rational Const(0);
+      C[IsDst ? DS.dstVar(K) : DS.srcVar(K)] = 1;
+      for (unsigned J = 0; J != L; ++J)
+        C[IsDst ? DS.dstVar(J) : DS.srcVar(J)] -= T.OuterCoeffs[J];
+      DS.addSym(T.Const, C, Const, Rational(-1));
+      DS.CS.addInequality(C, Const);
+    }
+    for (const BoundTerm &T : Loop.Upper) {
+      // (coeffs . i_outer + const) - i_k >= 0.
+      Vector C(DS.numVars());
+      Rational Const(0);
+      C[IsDst ? DS.dstVar(K) : DS.srcVar(K)] = -1;
+      for (unsigned J = 0; J != L; ++J)
+        C[IsDst ? DS.dstVar(J) : DS.srcVar(J)] += T.OuterCoeffs[J];
+      DS.addSym(T.Const, C, Const, Rational(1));
+      DS.CS.addInequality(C, Const);
+    }
+  }
+}
+
+/// Per-equation GCD feasibility: an all-integer equality sum(c_i x_i) = c0
+/// with no symbolic terms has integer solutions only if gcd(c_i) | c0.
+bool gcdTestPasses(const AffineAccessMap &A, const AffineAccessMap &B) {
+  for (unsigned R = 0; R != A.arrayDim(); ++R) {
+    SymAffine Diff = B.constant()[R] - A.constant()[R];
+    if (!Diff.isConstant())
+      continue; // Symbols present: no conclusion.
+    if (!Diff.constant().isInteger())
+      return false;
+    int64_t G = 0;
+    bool AllInt = true;
+    for (unsigned J = 0; J != A.nestDepth(); ++J) {
+      const Rational &Ca = A.linear().at(R, J);
+      const Rational &Cb = B.linear().at(R, J);
+      if (!Ca.isInteger() || !Cb.isInteger()) {
+        AllInt = false;
+        break;
+      }
+      G = gcd64(G, Ca.asInteger());
+      G = gcd64(G, Cb.asInteger());
+    }
+    if (!AllInt)
+      continue;
+    int64_t C0 = Diff.constant().asInteger();
+    if (G == 0) {
+      if (C0 != 0)
+        return false;
+      continue;
+    }
+    if (C0 % G != 0)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// DependenceAnalysis
+//===----------------------------------------------------------------------===//
+
+void DependenceAnalysis::analyzePair(const LoopNest &Nest, unsigned SStmt,
+                                     unsigned SAcc, unsigned TStmt,
+                                     unsigned TAcc,
+                                     std::vector<Dependence> &Out) const {
+  const ArrayAccess &A = Nest.Body[SStmt].Accesses[SAcc];
+  const ArrayAccess &B = Nest.Body[TStmt].Accesses[TAcc];
+  unsigned L = Nest.depth();
+
+  if (!gcdTestPasses(A.Map, B.Map))
+    return;
+
+  DepSystem DS(L, collectSymbols(Nest, A.Map, B.Map));
+
+  // Subscript equalities: F_a i_src + k_a == F_b i_dst + k_b.
+  for (unsigned R = 0; R != A.Map.arrayDim(); ++R) {
+    Vector C(DS.numVars());
+    Rational Const(0);
+    for (unsigned J = 0; J != L; ++J) {
+      C[DS.srcVar(J)] += A.Map.linear().at(R, J);
+      C[DS.dstVar(J)] -= B.Map.linear().at(R, J);
+    }
+    DS.addSym(A.Map.constant()[R], C, Const, Rational(1));
+    DS.addSym(B.Map.constant()[R], C, Const, Rational(-1));
+    DS.CS.addEquality(C, Const);
+    DS.addIntegerEquality(C, Const);
+  }
+  addBoundConstraints(DS, Nest, /*IsDst=*/false);
+  addBoundConstraints(DS, Nest, /*IsDst=*/true);
+  // Distance definitions d_k = i_dst[k] - i_src[k].
+  for (unsigned K = 0; K != L; ++K) {
+    Vector C(DS.numVars());
+    C[DS.distVar(K)] = 1;
+    C[DS.dstVar(K)] = -1;
+    C[DS.srcVar(K)] = 1;
+    DS.CS.addEquality(C, Rational(0));
+    DS.addIntegerEquality(C, Rational(0));
+  }
+
+  DepKind Kind = A.IsWrite ? (B.IsWrite ? DepKind::Output : DepKind::Flow)
+                           : DepKind::Anti;
+
+  auto MakeDependence = [&](unsigned Level,
+                            const ConstraintSystem &CS) -> Dependence {
+    Dependence D;
+    D.SrcStmt = SStmt;
+    D.DstStmt = TStmt;
+    D.SrcAccess = SAcc;
+    D.DstAccess = TAcc;
+    D.ArrayId = A.ArrayId;
+    D.Kind = Kind;
+    D.Level = Level;
+    for (unsigned J = 0; J != L; ++J) {
+      auto Bounds = CS.boundsOf(DS.distVar(J));
+      DepComponent Comp = DepComponent::dir(DepComponent::Dir::Star);
+      if (Bounds) {
+        // Distances are integers: tighten the rational projection.
+        std::optional<int64_t> Lo, Hi;
+        if (Bounds->Lower)
+          Lo = ceilRat(*Bounds->Lower);
+        if (Bounds->Upper)
+          Hi = floorRat(*Bounds->Upper);
+        if (Lo && Hi && *Lo == *Hi) {
+          Comp = DepComponent::exact(*Lo);
+        } else if (Lo && *Lo >= 1) {
+          Comp = DepComponent::dir(DepComponent::Dir::Lt);
+        } else if (Hi && *Hi <= -1) {
+          Comp = DepComponent::dir(DepComponent::Dir::Gt);
+        } else if (Lo && *Lo >= 0) {
+          Comp = DepComponent::dir(DepComponent::Dir::Le);
+        } else if (Hi && *Hi <= 0) {
+          Comp = DepComponent::dir(DepComponent::Dir::Ge);
+        }
+      }
+      D.Components.push_back(Comp);
+    }
+    return D;
+  };
+
+  // Carried dependences: for each level K require d_0..d_{K-1} == 0 and
+  // d_K >= 1.
+  for (unsigned K = 0; K != L; ++K) {
+    if (!DS.integerFeasible(K))
+      continue; // No integer point on the equality lattice.
+    ConstraintSystem CS = DS.CS;
+    for (unsigned J = 0; J != K; ++J) {
+      Vector C(DS.numVars());
+      C[DS.distVar(J)] = 1;
+      CS.addEquality(C, Rational(0));
+    }
+    Vector C(DS.numVars());
+    C[DS.distVar(K)] = 1;
+    CS.addInequality(C, Rational(-1)); // d_K - 1 >= 0.
+    if (!hasIntegerPointPerAxis(CS))
+      continue;
+    Out.push_back(MakeDependence(K, CS));
+  }
+
+  // Loop-independent dependence: all distances zero, source statement
+  // strictly before the destination statement in the body.
+  if (SStmt < TStmt && DS.integerFeasible(L)) {
+    ConstraintSystem CS = DS.CS;
+    for (unsigned J = 0; J != L; ++J) {
+      Vector C(DS.numVars());
+      C[DS.distVar(J)] = 1;
+      CS.addEquality(C, Rational(0));
+    }
+    if (hasIntegerPointPerAxis(CS))
+      Out.push_back(MakeDependence(L, CS));
+  }
+}
+
+std::vector<Dependence>
+DependenceAnalysis::analyze(const LoopNest &Nest) const {
+  std::vector<Dependence> Out;
+  for (unsigned S = 0; S != Nest.Body.size(); ++S)
+    for (unsigned T = 0; T != Nest.Body.size(); ++T)
+      for (unsigned SA = 0; SA != Nest.Body[S].Accesses.size(); ++SA)
+        for (unsigned TA = 0; TA != Nest.Body[T].Accesses.size(); ++TA) {
+          const ArrayAccess &A = Nest.Body[S].Accesses[SA];
+          const ArrayAccess &B = Nest.Body[T].Accesses[TA];
+          if (A.ArrayId != B.ArrayId || (!A.IsWrite && !B.IsWrite))
+            continue;
+          if (S == T && SA == TA && !A.IsWrite)
+            continue;
+          analyzePair(Nest, S, SA, T, TA, Out);
+        }
+  return Out;
+}
+
+std::vector<bool>
+DependenceAnalysis::parallelizableLevels(const LoopNest &Nest) const {
+  std::vector<bool> Parallel(Nest.depth(), true);
+  for (const Dependence &D : analyze(Nest))
+    if (D.Level < Nest.depth())
+      Parallel[D.Level] = false;
+  return Parallel;
+}
+
+std::vector<std::vector<int64_t>> DependenceAnalysis::exactDistanceVectors(
+    const std::vector<Dependence> &Deps) {
+  std::vector<std::vector<int64_t>> Out;
+  for (const Dependence &D : Deps) {
+    if (!D.isDistanceVector())
+      continue;
+    std::vector<int64_t> V;
+    for (const DepComponent &C : D.Components)
+      V.push_back(*C.Distance);
+    Out.push_back(std::move(V));
+  }
+  return Out;
+}

@@ -1,0 +1,101 @@
+//===- analysis/Dependence.h - Affine dependence analysis -------*- C++ -*-===//
+///
+/// \file
+/// Data dependence analysis for affine loop nests. For every pair of
+/// accesses to the same array (with at least one write) the analyzer builds
+/// the dependence polyhedron over (source iteration, destination iteration,
+/// symbolic constants), tests it hierarchically per carrying level with
+/// Fourier-Motzkin elimination plus a per-equation GCD (integer) test, and
+/// extracts a dependence vector whose components are exact distances where
+/// the polyhedron pins them and directions otherwise.
+///
+/// These vectors drive the Wolf-Lam local phase (fully permutable bands,
+/// forall classification) and the tiling legality checks of Sec. 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_ANALYSIS_DEPENDENCE_H
+#define ALP_ANALYSIS_DEPENDENCE_H
+
+#include "ir/Program.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace alp {
+
+/// One component of a dependence vector.
+struct DepComponent {
+  enum class Dir { Lt, Eq, Gt, Le, Ge, Star };
+
+  Dir Direction = Dir::Star;
+  /// Set when the polyhedron pins the component to a single integer.
+  std::optional<int64_t> Distance;
+
+  static DepComponent exact(int64_t D);
+  static DepComponent dir(Dir D) { return {D, std::nullopt}; }
+
+  bool isExact() const { return Distance.has_value(); }
+  /// Can this component be negative / positive / zero?
+  bool mayBeNegative() const;
+  bool mayBePositive() const;
+  bool mayBeZero() const;
+
+  std::string str() const;
+};
+
+/// Dependence classification by access kinds.
+enum class DepKind { Flow, Anti, Output };
+
+/// A dependence between two accesses of one loop nest.
+struct Dependence {
+  unsigned SrcStmt = 0, DstStmt = 0;
+  unsigned SrcAccess = 0, DstAccess = 0; // Indexes into Statement::Accesses.
+  unsigned ArrayId = 0;
+  DepKind Kind = DepKind::Flow;
+  /// Loop level carrying the dependence (0-based), or depth() for a
+  /// loop-independent dependence.
+  unsigned Level = 0;
+  /// Per-level components, outermost first; Components[Level] is positive
+  /// for a carried dependence.
+  std::vector<DepComponent> Components;
+
+  bool isLoopIndependent(unsigned Depth) const { return Level == Depth; }
+  /// True if every component is an exact distance.
+  bool isDistanceVector() const;
+  std::string str() const;
+};
+
+/// Dependence analysis over one loop nest.
+class DependenceAnalysis {
+public:
+  explicit DependenceAnalysis(const Program &P) : P(P) {}
+
+  /// All dependences of \p Nest (flow, anti, and output), per carrying
+  /// level.
+  std::vector<Dependence> analyze(const LoopNest &Nest) const;
+
+  /// Loop levels of \p Nest that carry no dependence when all enclosing
+  /// levels are executed sequentially — i.e. levels that are forall-
+  /// parallelizable in the nest's current loop order. Bit k set means loop
+  /// k is parallel.
+  std::vector<bool> parallelizableLevels(const LoopNest &Nest) const;
+
+  /// The distance vectors of \p Deps restricted to exact ones; directions
+  /// are widened to nullopt entries.
+  static std::vector<std::vector<int64_t>>
+  exactDistanceVectors(const std::vector<Dependence> &Deps);
+
+private:
+  const Program &P;
+
+  /// Tests one access pair; appends any dependences found.
+  void analyzePair(const LoopNest &Nest, unsigned SStmt, unsigned SAcc,
+                   unsigned TStmt, unsigned TAcc,
+                   std::vector<Dependence> &Out) const;
+};
+
+} // namespace alp
+
+#endif // ALP_ANALYSIS_DEPENDENCE_H

@@ -1,0 +1,107 @@
+//===- analysis/Reaching.cpp - Reaching decompositions ----------------------===//
+
+#include "analysis/Reaching.h"
+
+#include <map>
+
+using namespace alp;
+
+namespace {
+
+/// Per-array set of "last touching" nests with relative probabilities.
+using LastTouch = std::map<unsigned, std::vector<std::pair<unsigned, double>>>;
+
+class FlowWalker {
+public:
+  explicit FlowWalker(const Program &P) : P(P) {}
+
+  std::vector<ArrayFlowEdge> run() {
+    LastTouch State;
+    walk(P.TopLevel, State, 1.0);
+    std::vector<ArrayFlowEdge> Out;
+    for (const auto &[Key, Freq] : Edges) {
+      auto [ArrayId, From, To] = Key;
+      Out.push_back({ArrayId, From, To, Freq});
+    }
+    return Out;
+  }
+
+private:
+  const Program &P;
+  std::map<std::tuple<unsigned, unsigned, unsigned>, double> Edges;
+
+  void addEntries(LastTouch &State, unsigned ArrayId,
+                  const std::vector<std::pair<unsigned, double>> &Entries,
+                  double Scale) {
+    auto &Slot = State[ArrayId];
+    for (const auto &[Nest, Prob] : Entries) {
+      bool Found = false;
+      for (auto &[ExistingNest, ExistingProb] : Slot)
+        if (ExistingNest == Nest) {
+          ExistingProb += Prob * Scale;
+          Found = true;
+          break;
+        }
+      if (!Found)
+        Slot.push_back({Nest, Prob * Scale});
+    }
+  }
+
+  void visitNest(unsigned NestId, LastTouch &State, double Freq) {
+    const LoopNest &Nest = P.nest(NestId);
+    for (unsigned ArrayId : Nest.referencedArrays()) {
+      auto It = State.find(ArrayId);
+      if (It != State.end())
+        for (const auto &[From, Prob] : It->second)
+          Edges[{ArrayId, From, NestId}] += Prob * Freq;
+      State[ArrayId] = {{NestId, 1.0}};
+    }
+  }
+
+  void walk(const std::vector<ProgramNode> &Nodes, LastTouch &State,
+            double Freq) {
+    for (const ProgramNode &N : Nodes) {
+      switch (N.NodeKind) {
+      case ProgramNode::Kind::Nest:
+        visitNest(N.NestId, State, Freq);
+        break;
+      case ProgramNode::Kind::SequentialLoop: {
+        double Trip = 1.0;
+        // Evaluate the trip count with whatever bindings exist; unbound
+        // structure symbols default to their recorded lower bound.
+        Rational T = N.TripCount.evaluate(P.SymbolBindings);
+        Trip = static_cast<double>(T.num()) / static_cast<double>(T.den());
+        if (Trip < 1.0)
+          Trip = 1.0;
+        // First iteration: entry edges happen once.
+        walk(N.Children, State, Freq);
+        // Remaining iterations: steady-state edges (including the loop's
+        // back edges) happen Trip - 1 more times.
+        if (Trip > 1.0)
+          walk(N.Children, State, Freq * (Trip - 1.0));
+        break;
+      }
+      case ProgramNode::Kind::Branch: {
+        LastTouch ThenState = State;
+        LastTouch ElseState = State;
+        walk(N.Children, ThenState, Freq * N.TakenProbability);
+        walk(N.ElseChildren, ElseState, Freq * (1.0 - N.TakenProbability));
+        // Merge: weight each arm's conclusions by the arm probability.
+        LastTouch Merged;
+        for (const auto &[ArrayId, Entries] : ThenState)
+          addEntries(Merged, ArrayId, Entries, N.TakenProbability);
+        for (const auto &[ArrayId, Entries] : ElseState)
+          addEntries(Merged, ArrayId, Entries, 1.0 - N.TakenProbability);
+        State = std::move(Merged);
+        break;
+      }
+      }
+    }
+  }
+};
+
+} // namespace
+
+std::vector<ArrayFlowEdge> alp::computeArrayFlowEdges(const Program &P) {
+  return FlowWalker(P).run();
+}

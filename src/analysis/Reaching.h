@@ -1,0 +1,42 @@
+//===- analysis/Reaching.h - Reaching decompositions ------------*- C++ -*-===//
+///
+/// \file
+/// Computes, per array, which loop nest's decomposition can reach which
+/// other loop nest (Sec. 6.1): "the decomposition for an array in one loop
+/// nest reaches another loop nest if it is possible for the values of the
+/// array in the two loop nests to be the same". The result is the edge set
+/// of the communication graph, weighted by the expected number of times
+/// the transition executes (profile: structure-loop trip counts and branch
+/// probabilities), exactly the 25%/75% style weights of Figure 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_ANALYSIS_REACHING_H
+#define ALP_ANALYSIS_REACHING_H
+
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace alp {
+
+/// A potential data-reorganization point: array \p ArrayId last touched by
+/// nest \p FromNest is next touched by nest \p ToNest, expected
+/// \p Frequency times per program run.
+struct ArrayFlowEdge {
+  unsigned ArrayId = 0;
+  unsigned FromNest = 0;
+  unsigned ToNest = 0;
+  double Frequency = 0.0;
+};
+
+/// Runs the reaching-decompositions dataflow over the structure tree.
+/// Edges are aggregated by (array, from, to); self-edges (from == to, e.g.
+/// a nest in a loop feeding itself next iteration) are included since a
+/// nest always agrees with its own decomposition they carry no
+/// reorganization and are filtered by the caller if desired.
+std::vector<ArrayFlowEdge> computeArrayFlowEdges(const Program &P);
+
+} // namespace alp
+
+#endif // ALP_ANALYSIS_REACHING_H

@@ -1,0 +1,202 @@
+//===- codegen/CommAnalysis.cpp - Communication classification ---------------===//
+
+#include "codegen/CommAnalysis.h"
+
+#include <cmath>
+#include <sstream>
+
+using namespace alp;
+
+const char *alp::commKindName(CommKind K) {
+  switch (K) {
+  case CommKind::Local:
+    return "local";
+  case CommKind::NearestNeighbor:
+    return "nearest-neighbor";
+  case CommKind::Pipelined:
+    return "pipelined";
+  case CommKind::Broadcast:
+    return "broadcast";
+  case CommKind::Reorganization:
+    return "reorganization";
+  }
+  return "?";
+}
+
+std::string CommOp::str(const Program &P) const {
+  std::ostringstream OS;
+  OS << "nest " << NestId << " " << (IsWrite ? "write" : "read ") << " "
+     << P.array(ArrayId).Name << ": " << commKindName(Kind);
+  if (Kind == CommKind::NearestNeighbor || Kind == CommKind::Pipelined)
+    OS << " offset " << Offset.str();
+  if (Kind != CommKind::Local)
+    OS << ", ~" << ElementsPerExecution << " elems/exec";
+  return OS.str();
+}
+
+double CommSummary::totalElements(CommKind K) const {
+  double Total = 0.0;
+  for (const CommOp &Op : Ops)
+    if (Op.Kind == K)
+      Total += Op.ElementsPerExecution;
+  return Total;
+}
+
+unsigned CommSummary::count(CommKind K) const {
+  unsigned N = 0;
+  for (const CommOp &Op : Ops)
+    N += Op.Kind == K;
+  return N;
+}
+
+bool CommSummary::isCommunicationFree() const {
+  for (const CommOp &Op : Ops)
+    if (Op.Kind == CommKind::Reorganization)
+      return false;
+  return true;
+}
+
+std::string CommSummary::report(const Program &P) const {
+  std::ostringstream OS;
+  OS << "communication analysis:\n";
+  for (const CommOp &Op : Ops)
+    if (Op.Kind != CommKind::Local)
+      OS << "  " << Op.str(P) << '\n';
+  OS << "  totals: " << count(CommKind::Local) << " local, "
+     << count(CommKind::NearestNeighbor) << " nearest-neighbor ("
+     << totalElements(CommKind::NearestNeighbor) << " elems), "
+     << count(CommKind::Pipelined) << " pipelined ("
+     << totalElements(CommKind::Pipelined) << " elems), "
+     << count(CommKind::Broadcast) << " broadcast ("
+     << totalElements(CommKind::Broadcast) << " elems), "
+     << count(CommKind::Reorganization) << " reorganization ("
+     << totalElements(CommKind::Reorganization) << " elems)\n";
+  return OS.str();
+}
+
+namespace {
+
+/// Extent estimate (elements) of one array.
+double arrayElements(const Program &P, unsigned ArrayId) {
+  double Elems = 1.0;
+  for (const SymAffine &Dim : P.array(ArrayId).DimSizes) {
+    Rational V = Dim.evaluate(P.SymbolBindings);
+    Elems *= std::max<double>(
+        static_cast<double>(V.num()) / static_cast<double>(V.den()), 1.0);
+  }
+  return Elems;
+}
+
+/// The distributed loop of a nest under C (same convention as the
+/// schedule derivation: first nonzero entry, row-major).
+unsigned distributedLoop(const LoopNest &Nest, const Matrix &C) {
+  for (unsigned R = 0; R != C.rows(); ++R)
+    for (unsigned K = 0; K != C.cols(); ++K)
+      if (!C.at(R, K).isZero())
+        return K;
+  return Nest.depth();
+}
+
+} // namespace
+
+CommSummary alp::analyzeCommunication(const Program &P,
+                                      const ProgramDecomposition &PD,
+                                      int64_t BlockSize) {
+  (void)BlockSize;
+  CommSummary Summary;
+  for (unsigned NestId : P.nestsInOrder()) {
+    const LoopNest &Nest = P.nest(NestId);
+    auto CIt = PD.Comp.find(NestId);
+    if (CIt == PD.Comp.end())
+      continue;
+    const CompDecomposition &CD = CIt->second;
+    double Iters =
+        std::max(Nest.estimatedIterations(P.SymbolBindings), 1.0);
+    unsigned Dist = distributedLoop(Nest, CD.C);
+    double DistExtent =
+        Dist < Nest.depth()
+            ? std::max(Nest.estimatedTrip(Dist, P.SymbolBindings), 1.0)
+            : 1.0;
+
+    for (unsigned SI = 0; SI != Nest.Body.size(); ++SI) {
+      const Statement &S = Nest.Body[SI];
+      for (unsigned AI = 0; AI != S.Accesses.size(); ++AI) {
+        const ArrayAccess &A = S.Accesses[AI];
+        CommOp Op;
+        Op.NestId = NestId;
+        Op.StmtIdx = SI;
+        Op.AccessIdx = AI;
+        Op.ArrayId = A.ArrayId;
+        Op.IsWrite = A.IsWrite;
+
+        // Replicated read-only data: a broadcast keeps reads local.
+        bool Replicated = PD.ReplicatedDims.count(A.ArrayId) &&
+                          PD.ReplicatedDims.at(A.ArrayId) > 0;
+        if (Replicated) {
+          Op.Kind = CommKind::Broadcast;
+          Op.ElementsPerExecution = arrayElements(P, A.ArrayId);
+          Summary.Ops.push_back(std::move(Op));
+          continue;
+        }
+
+        auto DIt = PD.Data.find({A.ArrayId, NestId});
+        if (DIt == PD.Data.end())
+          continue;
+        const DataDecomposition &DD = DIt->second;
+
+        // Orientation mismatch: the whole accessed section must move.
+        if (DD.D.rows() != CD.C.rows() ||
+            DD.D * A.Map.linear() != CD.C) {
+          Op.Kind = CommKind::Reorganization;
+          Op.ElementsPerExecution = arrayElements(P, A.ArrayId);
+          Summary.Ops.push_back(std::move(Op));
+          continue;
+        }
+
+        // Orientation matches: the miss, if any, is the constant
+        // processor-space offset mu = (D k + delta) - gamma (Eqn. 2).
+        SymVector Mu = (DD.D * A.Map.constant() + DD.Delta) - CD.Gamma;
+        if (Mu.isZero()) {
+          Op.Kind = CommKind::Local;
+          Summary.Ops.push_back(std::move(Op));
+          continue;
+        }
+        // A symbolic offset is not nearest-neighbor: general movement.
+        bool Symbolic = false;
+        double AbsSum = 0.0;
+        for (unsigned I = 0; I != Mu.size(); ++I) {
+          Symbolic |= !Mu[I].isConstant();
+          if (Mu[I].isConstant()) {
+            Rational C = Mu[I].constant().abs();
+            AbsSum += static_cast<double>(C.num()) /
+                      static_cast<double>(C.den());
+          }
+        }
+        if (Symbolic) {
+          Op.Kind = CommKind::Reorganization;
+          Op.ElementsPerExecution = arrayElements(P, A.ArrayId);
+          Summary.Ops.push_back(std::move(Op));
+          continue;
+        }
+        Op.Kind =
+            CD.isBlocked() ? CommKind::Pipelined : CommKind::NearestNeighbor;
+        Op.Offset = Mu;
+        // One boundary layer of thickness |mu| per distributed slice.
+        Op.ElementsPerExecution = AbsSum * Iters / DistExtent;
+        Summary.Ops.push_back(std::move(Op));
+      }
+    }
+  }
+  // Cross-nest reorganizations (dynamic decompositions): these live on
+  // the communication-graph edges the greedy algorithm chose to cut, not
+  // on any single access.
+  for (const ReorganizationPoint &RP : PD.Reorganizations) {
+    CommOp Op;
+    Op.NestId = RP.ToNest;
+    Op.ArrayId = RP.ArrayId;
+    Op.Kind = CommKind::Reorganization;
+    Op.ElementsPerExecution = arrayElements(P, RP.ArrayId);
+    Summary.Ops.push_back(std::move(Op));
+  }
+  return Summary;
+}

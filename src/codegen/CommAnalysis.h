@@ -1,0 +1,92 @@
+//===- codegen/CommAnalysis.h - Communication classification ----*- C++ -*-===//
+///
+/// \file
+/// For distributed-address-space machines the decomposition phase "must be
+/// followed with a pass that maps the decomposition to explicit
+/// communication code" (Sec. 1, citing Amarasinghe-Lam [2]). This pass
+/// classifies, per nest and per access, exactly which communication the
+/// decomposition implies:
+///
+///   Local               D_x F == C and the displacement matches: the
+///                       element always lives on the executing processor.
+///   NearestNeighbor     D_x F == C but the displacement misses by a
+///                       constant vector mu: a shift of the block
+///                       boundary (cheap; volume shrinks with blocking).
+///   Pipelined           the access crosses blocked dimensions inside a
+///                       doacross nest: block-boundary traffic plus the
+///                       wait/signal protocol.
+///   Broadcast           the array is replicated along >= 1 processor
+///                       dimension: reads are local after a one-time
+///                       broadcast of the owner's copy.
+///   Reorganization      D_x F != C: the layout disagrees with the
+///                       computation; the whole accessed section moves
+///                       (e.g. a transpose). The dynamic decomposer
+///                       only leaves these on component-crossing edges.
+///
+/// Each classified access carries an estimated per-execution volume in
+/// array elements, which the message-passing report aggregates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_CODEGEN_COMMANALYSIS_H
+#define ALP_CODEGEN_COMMANALYSIS_H
+
+#include "core/Decomposition.h"
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace alp {
+
+/// The kind of communication one access implies under a decomposition.
+enum class CommKind {
+  Local,
+  NearestNeighbor,
+  Pipelined,
+  Broadcast,
+  Reorganization
+};
+
+const char *commKindName(CommKind K);
+
+/// Classification of one access in one nest.
+struct CommOp {
+  unsigned NestId = 0;
+  unsigned StmtIdx = 0;
+  unsigned AccessIdx = 0;
+  unsigned ArrayId = 0;
+  bool IsWrite = false;
+  CommKind Kind = CommKind::Local;
+  /// NearestNeighbor: the constant processor-space offset mu of the miss.
+  SymVector Offset;
+  /// Estimated elements moved per execution of the nest (0 for Local).
+  double ElementsPerExecution = 0.0;
+
+  std::string str(const Program &P) const;
+};
+
+/// Aggregated per-nest summary.
+struct CommSummary {
+  std::vector<CommOp> Ops;
+
+  /// Total elements moved per program run for a given kind.
+  double totalElements(CommKind K) const;
+  /// Number of ops of a kind.
+  unsigned count(CommKind K) const;
+  /// True when no access needs anything beyond nearest-neighbor shifts:
+  /// the paper's notion of a (minor-communication) static decomposition.
+  bool isCommunicationFree() const;
+
+  std::string report(const Program &P) const;
+};
+
+/// Classifies every access of every nest under \p PD. \p BlockSize scales
+/// pipelined/nearest-neighbor volume estimates.
+CommSummary analyzeCommunication(const Program &P,
+                                 const ProgramDecomposition &PD,
+                                 int64_t BlockSize = 4);
+
+} // namespace alp
+
+#endif // ALP_CODEGEN_COMMANALYSIS_H

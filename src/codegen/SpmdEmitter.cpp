@@ -1,0 +1,240 @@
+//===- codegen/SpmdEmitter.cpp - SPMD pseudo-code emission -------------------===//
+
+#include "codegen/SpmdEmitter.h"
+
+#include "ir/Printer.h"
+#include "machine/ScheduleDerivation.h"
+
+#include <set>
+#include <sstream>
+
+using namespace alp;
+
+namespace {
+
+class Emitter {
+public:
+  Emitter(const Program &P, const ProgramDecomposition &PD,
+          int64_t BlockSize)
+      : P(P), PD(PD), BlockSize(BlockSize) {}
+
+  std::string run() {
+    OS << "// SPMD code for '" << P.Name << "' on a " << PD.VirtualDims
+       << "-d virtual processor grid (me = my processor id)\n";
+    emitPlacements();
+    OS << "spmd " << P.Name << "(me) {\n";
+    Indent = 1;
+    emitNodes(P.TopLevel);
+    OS << "}\n";
+    return OS.str();
+  }
+
+private:
+  const Program &P;
+  const ProgramDecomposition &PD;
+  int64_t BlockSize;
+  std::ostringstream OS;
+  unsigned Indent = 0;
+  /// Current layout per array while walking, to place reorganizations.
+  std::map<unsigned, std::string> CurrentLayout;
+
+  void indent() {
+    for (unsigned I = 0; I != Indent; ++I)
+      OS << "  ";
+  }
+
+  std::string layoutOf(unsigned ArrayId, unsigned NestId) const {
+    auto It = PD.Data.find({ArrayId, NestId});
+    if (It == PD.Data.end())
+      return "unplaced";
+    std::ostringstream L;
+    if (PD.ReplicatedDims.count(ArrayId) &&
+        PD.ReplicatedDims.at(ArrayId) > 0) {
+      L << "replicated";
+      return L.str();
+    }
+    ArrayPlacement Pl = derivePlacement(It->second, false);
+    L << "block(dim " << Pl.Dim << "), D = " << It->second.D.str()
+      << ", delta = " << It->second.Delta.str();
+    return L.str();
+  }
+
+  void emitPlacements() {
+    // Initial layout: the first nest that touches each array.
+    std::set<unsigned> Done;
+    for (unsigned NestId : P.nestsInOrder())
+      for (unsigned A : P.nest(NestId).referencedArrays()) {
+        if (!Done.insert(A).second)
+          continue;
+        std::string L = layoutOf(A, NestId);
+        OS << "// place " << P.array(A).Name << ": " << L << "\n";
+        CurrentLayout[A] = L;
+      }
+  }
+
+  void emitNodes(const std::vector<ProgramNode> &Nodes) {
+    for (const ProgramNode &N : Nodes) {
+      switch (N.NodeKind) {
+      case ProgramNode::Kind::Nest:
+        emitNest(N.NestId);
+        break;
+      case ProgramNode::Kind::SequentialLoop:
+        indent();
+        OS << "for " << N.IndexName << " = 1 to " << N.TripCount.str()
+           << " {\n";
+        ++Indent;
+        emitNodes(N.Children);
+        --Indent;
+        indent();
+        OS << "}\n";
+        break;
+      case ProgramNode::Kind::Branch:
+        indent();
+        OS << "if (expr) {  // taken with p = " << N.TakenProbability
+           << "\n";
+        ++Indent;
+        emitNodes(N.Children);
+        --Indent;
+        if (!N.ElseChildren.empty()) {
+          indent();
+          OS << "} else {\n";
+          ++Indent;
+          emitNodes(N.ElseChildren);
+          --Indent;
+        }
+        indent();
+        OS << "}\n";
+        break;
+      }
+    }
+  }
+
+  void emitReorganizations(unsigned NestId) {
+    for (unsigned A : P.nest(NestId).referencedArrays()) {
+      std::string L = layoutOf(A, NestId);
+      auto It = CurrentLayout.find(A);
+      if (It != CurrentLayout.end() && It->second == L)
+        continue;
+      if (It != CurrentLayout.end()) {
+        indent();
+        OS << "reorganize(" << P.array(A).Name << ": " << It->second
+           << " -> " << L << ");\n";
+      }
+      CurrentLayout[A] = L;
+    }
+  }
+
+  void emitNest(unsigned NestId) {
+    const LoopNest &Nest = P.nest(NestId);
+    emitReorganizations(NestId);
+    const CompDecomposition &CD = PD.compOf(NestId);
+    NestSchedule S = deriveSchedule(Nest, CD, BlockSize);
+    std::vector<std::string> Names = Nest.indexNames();
+
+    indent();
+    OS << "// nest " << NestId << ": C = " << CD.C.str()
+       << ", gamma = " << CD.Gamma.str();
+    switch (S.ExecMode) {
+    case NestSchedule::Mode::Sequential:
+      OS << "  [sequential]\n";
+      break;
+    case NestSchedule::Mode::Forall:
+      OS << "  [forall over " << Names[S.DistLoop] << "]\n";
+      break;
+    case NestSchedule::Mode::Pipelined:
+      OS << "  [pipelined: strips of " << Names[S.DistLoop]
+         << ", blocks of " << Names[S.PipeLoop] << " x " << BlockSize
+         << "]\n";
+      break;
+    case NestSchedule::Mode::Wavefront2D:
+      OS << "  [2-d block wavefront over " << Names[S.DistLoop] << " x "
+         << Names[S.PipeLoop] << "]\n";
+      break;
+    }
+
+    if (S.ExecMode == NestSchedule::Mode::Sequential) {
+      indent();
+      OS << "if (me == 0) {\n";
+      ++Indent;
+      emitLoops(Nest, Names, ~0u, ~0u);
+      --Indent;
+      indent();
+      OS << "}\n";
+      indent();
+      OS << "barrier();\n";
+      return;
+    }
+    if (S.ExecMode == NestSchedule::Mode::Forall) {
+      emitLoops(Nest, Names, S.DistLoop, ~0u);
+      indent();
+      OS << "barrier();\n";
+      return;
+    }
+    // Pipelined: block loop outermost, receive/compute/send per block.
+    indent();
+    OS << "for " << Names[S.PipeLoop] << "_b = blocks("
+       << printBound(Nest.Loops[S.PipeLoop].Lower, true, Names) << ", "
+       << printBound(Nest.Loops[S.PipeLoop].Upper, false, Names) << ", "
+       << BlockSize << ") {\n";
+    ++Indent;
+    indent();
+    OS << "wait_for(me - 1, " << Names[S.PipeLoop] << "_b);\n";
+    emitLoops(Nest, Names, S.DistLoop, S.PipeLoop);
+    indent();
+    OS << "signal(me + 1, " << Names[S.PipeLoop] << "_b);\n";
+    --Indent;
+    indent();
+    OS << "}\n";
+    indent();
+    OS << "barrier();\n";
+  }
+
+  /// Emits the loops of \p Nest; the distributed loop iterates over
+  /// "mine(...)" and the blocked loop over the current block.
+  void emitLoops(const LoopNest &Nest, const std::vector<std::string> &Names,
+                 unsigned DistLoop, unsigned PipeLoop) {
+    for (unsigned L = 0; L != Nest.depth(); ++L) {
+      indent();
+      const Loop &Loop = Nest.Loops[L];
+      std::string Lo = printBound(Loop.Lower, true, Names);
+      std::string Hi = printBound(Loop.Upper, false, Names);
+      if (L == DistLoop)
+        OS << "for " << Names[L] << " = mine(me, " << Lo << ", " << Hi
+           << ") {\n";
+      else if (L == PipeLoop)
+        OS << "for " << Names[L] << " = block(" << Names[L] << "_b) {\n";
+      else
+        OS << "for " << Names[L] << " = " << Lo << " to " << Hi << " {\n";
+      ++Indent;
+    }
+    for (const Statement &St : Nest.Body) {
+      indent();
+      const ArrayAccess *W = St.firstWrite();
+      if (W) {
+        OS << P.array(W->ArrayId).Name << W->Map.str(Names) << " = f(";
+        bool First = true;
+        for (const ArrayAccess &A : St.Accesses) {
+          if (&A == W)
+            continue;
+          if (!First)
+            OS << ", ";
+          OS << P.array(A.ArrayId).Name << A.Map.str(Names);
+          First = false;
+        }
+        OS << ");\n";
+      }
+    }
+    for (unsigned L = Nest.depth(); L != 0; --L) {
+      --Indent;
+      indent();
+      OS << "}\n";
+    }
+  }
+};
+
+} // namespace
+
+std::string alp::emitSpmd(const Program &P, const ProgramDecomposition &PD,
+                          int64_t BlockSize) {
+  return Emitter(P, PD, BlockSize).run();
+}

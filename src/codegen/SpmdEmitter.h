@@ -1,0 +1,33 @@
+//===- codegen/SpmdEmitter.h - SPMD pseudo-code emission --------*- C++ -*-===//
+///
+/// \file
+/// Renders a decomposed program as annotated SPMD pseudo-code, the form a
+/// distributed-address-space backend (Amarasinghe-Lam [2]) would consume:
+/// per-processor loop bounds over the distributed dimension, explicit
+/// barrier / pipeline-synchronization operations, data placement
+/// directives, and reorganization (redistribution) calls where the
+/// dynamic decomposition changes an array's layout.
+///
+/// The emitter is a presentation layer: all decisions come from the
+/// ProgramDecomposition and the derived schedules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_CODEGEN_SPMDEMITTER_H
+#define ALP_CODEGEN_SPMDEMITTER_H
+
+#include "core/Decomposition.h"
+#include "ir/Program.h"
+
+#include <string>
+
+namespace alp {
+
+/// Emits the whole program as SPMD pseudo-code under \p PD using
+/// \p BlockSize for pipelined nests.
+std::string emitSpmd(const Program &P, const ProgramDecomposition &PD,
+                     int64_t BlockSize = 4);
+
+} // namespace alp
+
+#endif // ALP_CODEGEN_SPMDEMITTER_H

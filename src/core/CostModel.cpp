@@ -1,0 +1,109 @@
+//===- core/CostModel.cpp - Parallelism benefit & communication cost ---------===//
+
+#include "core/CostModel.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace alp;
+
+double CostModel::nestWork(unsigned NestId) const {
+  const LoopNest &Nest = P.nest(NestId);
+  double PerIter = 0.0;
+  for (const Statement &S : Nest.Body)
+    PerIter += S.WorkCycles;
+  return Nest.ExecCount * Nest.estimatedIterations(P.SymbolBindings) *
+         std::max(PerIter, 1.0);
+}
+
+double
+CostModel::distributedIterations(const LoopNest &Nest,
+                                 const VectorSpace &CompKernel) const {
+  double Dist = 1.0;
+  unsigned ElementaryLocal = 0;
+  for (unsigned K = 0; K != Nest.depth(); ++K) {
+    if (CompKernel.contains(Vector::unit(Nest.depth(), K)))
+      ++ElementaryLocal;
+    else
+      Dist *= std::max(Nest.estimatedTrip(K, P.SymbolBindings), 1.0);
+  }
+  // Kernels are usually spanned by elementary vectors; if not (skewed
+  // partitions), fall back to a uniform split of the volume.
+  if (ElementaryLocal < CompKernel.dim()) {
+    double Total = std::max(Nest.estimatedIterations(P.SymbolBindings), 1.0);
+    double Frac = static_cast<double>(Nest.depth() - CompKernel.dim()) /
+                  static_cast<double>(Nest.depth());
+    return std::pow(Total, Frac);
+  }
+  return Dist;
+}
+
+double CostModel::parallelismBenefit(unsigned NestId,
+                                     const PartitionResult &R) const {
+  auto KIt = R.CompKernel.find(NestId);
+  if (KIt == R.CompKernel.end())
+    return 0.0;
+  const VectorSpace &Kernel = KIt->second;
+  const LoopNest &Nest = P.nest(NestId);
+  unsigned Degree = Nest.depth() - Kernel.dim();
+  if (Degree == 0)
+    return 0.0;
+
+  double Work = nestWork(NestId);
+  double ItersPerExec =
+      std::max(Nest.estimatedIterations(P.SymbolBindings), 1.0);
+  double ExecCount = std::max(Nest.ExecCount, 1e-9);
+  double PerIterCycles = Work / (ExecCount * ItersPerExec);
+  double DistIters = distributedIterations(Nest, Kernel);
+  double Procs = std::min<double>(M.NumProcs, DistIters);
+  if (Procs <= 1.0)
+    return 0.0;
+  double ParTime = Work / Procs;
+
+  // Blocked dimensions pay pipelining costs: the pipeline fills over
+  // (Procs - 1) block-steps and every block boundary synchronizes.
+  unsigned BlockedDims = 0;
+  auto LIt = R.CompLocalized.find(NestId);
+  if (LIt != R.CompLocalized.end() && LIt->second.dim() > Kernel.dim())
+    BlockedDims = LIt->second.dim() - Kernel.dim();
+  if (BlockedDims) {
+    double ElemsPerBlock =
+        std::pow(static_cast<double>(M.BlockSize), BlockedDims);
+    double BlockWork = PerIterCycles * ElemsPerBlock;
+    double TotalBlocks = std::max(ItersPerExec / ElemsPerBlock, 1.0);
+    ParTime += ExecCount * (Procs - 1.0) * BlockWork; // Pipeline fill.
+    ParTime += ExecCount * (TotalBlocks / Procs) * M.SyncCycles;
+  }
+  ParTime += ExecCount * M.BarrierCycles; // Nest entry/exit barrier.
+  return std::max(Work - ParTime, 0.0);
+}
+
+double CostModel::totalBenefit(const PartitionResult &R) const {
+  double Total = 0.0;
+  for (const auto &[Nest, Kernel] : R.CompKernel)
+    Total += parallelismBenefit(Nest, R);
+  return Total;
+}
+
+double CostModel::arrayElements(unsigned ArrayId) const {
+  const ArraySymbol &A = P.array(ArrayId);
+  double Elems = 1.0;
+  for (const SymAffine &Dim : A.DimSizes) {
+    Rational V = Dim.evaluate(P.SymbolBindings);
+    double D = static_cast<double>(V.num()) / static_cast<double>(V.den());
+    Elems *= std::max(D, 1.0);
+  }
+  return Elems;
+}
+
+double CostModel::reorganizationCost(unsigned ArrayId) const {
+  // Every element is read remotely and written remotely once; data moves
+  // in cache lines.
+  double Elems = arrayElements(ArrayId);
+  double BytesPerElem = P.array(ArrayId).ElemBytes;
+  double Lines = Elems * BytesPerElem / M.CacheLineBytes;
+  // One remote line transfer each way; the reorganization itself is spread
+  // across the processors (bulk messages on a multicomputer).
+  return Lines * 2.0 * M.bulkRemoteLineCost() /
+         std::max<double>(M.NumProcs, 1.0);
+}

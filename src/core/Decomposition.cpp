@@ -1,0 +1,44 @@
+//===- core/Decomposition.cpp - Decomposition value types --------------------===//
+
+#include "core/Decomposition.h"
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace alp;
+
+std::string DataDecomposition::str() const {
+  std::ostringstream OS;
+  OS << "d(a) = " << D.str() << " a + " << Delta.str();
+  if (isBlocked())
+    OS << " [blocked]";
+  return OS.str();
+}
+
+std::string CompDecomposition::str() const {
+  std::ostringstream OS;
+  OS << "c(i) = " << C.str() << " i + " << Gamma.str();
+  if (isBlocked())
+    OS << " [blocked]";
+  return OS.str();
+}
+
+const DataDecomposition &
+ProgramDecomposition::dataAt(unsigned ArrayId, unsigned NestId) const {
+  auto It = Data.find({ArrayId, NestId});
+  if (It == Data.end())
+    reportFatalError("no data decomposition for array " +
+                     std::to_string(ArrayId) + " at nest " +
+                     std::to_string(NestId));
+  return It->second;
+}
+
+const CompDecomposition &
+ProgramDecomposition::compOf(unsigned NestId) const {
+  auto It = Comp.find(NestId);
+  if (It == Comp.end())
+    reportFatalError("no computation decomposition for nest " +
+                     std::to_string(NestId));
+  return It->second;
+}

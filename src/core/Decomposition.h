@@ -1,0 +1,102 @@
+//===- core/Decomposition.h - Decomposition value types ---------*- C++ -*-===//
+///
+/// \file
+/// The affine decomposition model of Sec. 2.3 / Sec. 3:
+///
+///   data decomposition         d(a) = D a + delta   (Def. 2.1)
+///   computation decomposition  c(i) = C i + gamma   (Def. 2.2)
+///
+/// split into the paper's three components: the *partition* (the nullspace
+/// of D / C: what shares a processor), the *orientation* (the matrix
+/// itself: which processor axis each distributed dimension maps to), and
+/// the *displacement* (the constant offset, affine in symbolic constants).
+/// Blocked (tiled) decompositions additionally carry the localized spaces
+/// Lc / Ld of Sec. 5.1: dimensions that live on one processor *per block*,
+/// with the blocks distributed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_CORE_DECOMPOSITION_H
+#define ALP_CORE_DECOMPOSITION_H
+
+#include "linalg/SymAffine.h"
+#include "linalg/VectorSpace.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace alp {
+
+/// A data decomposition d(a) = D a + delta for one array (at one nest, in
+/// the dynamic setting).
+struct DataDecomposition {
+  Matrix D;        ///< n x m onto the virtual processor space.
+  SymVector Delta; ///< n displacement entries, affine in symbols.
+  VectorSpace Kernel;    ///< ker D: the data partition.
+  VectorSpace Localized; ///< Ld >= ker D: per-processor-per-block dims.
+
+  /// Dimensions that are blocked rather than fully local: Ld - ker D.
+  bool isBlocked() const { return Localized.dim() > Kernel.dim(); }
+  std::string str() const;
+};
+
+/// A computation decomposition c(i) = C i + gamma for one loop nest.
+struct CompDecomposition {
+  Matrix C;        ///< n x l onto the virtual processor space.
+  SymVector Gamma; ///< n displacement entries.
+  VectorSpace Kernel;    ///< ker C: the computation partition.
+  VectorSpace Localized; ///< Lc >= ker C.
+
+  /// Degrees of exploited parallelism: distributed iteration dimensions.
+  unsigned parallelismDegree() const {
+    return Localized.ambientDim() - Kernel.dim();
+  }
+  bool isBlocked() const { return Localized.dim() > Kernel.dim(); }
+  std::string str() const;
+};
+
+/// A point of unavoidable data reorganization between two nests.
+struct ReorganizationPoint {
+  unsigned ArrayId = 0;
+  unsigned FromNest = 0;
+  unsigned ToNest = 0;
+  double Frequency = 0.0;
+  double CostCycles = 0.0; ///< Estimated cost per occurrence.
+};
+
+/// The complete result of the decomposition algorithm for a program.
+struct ProgramDecomposition {
+  /// Virtual processor space dimensionality n (after idle-processor
+  /// projection if it ran).
+  unsigned VirtualDims = 0;
+
+  /// Computation decomposition per nest id.
+  std::map<unsigned, CompDecomposition> Comp;
+
+  /// Data decomposition per (array id, nest id): in the dynamic setting an
+  /// array may be laid out differently in different nests.
+  std::map<std::pair<unsigned, unsigned>, DataDecomposition> Data;
+
+  /// Component id per nest (nests in one component share static
+  /// decompositions).
+  std::map<unsigned, unsigned> ComponentOf;
+
+  /// Where reorganization communication remains.
+  std::vector<ReorganizationPoint> Reorganizations;
+
+  /// Arrays replicated along processor dimensions (Sec. 7.2): array id ->
+  /// number of replicated processor dimensions.
+  std::map<unsigned, unsigned> ReplicatedDims;
+
+  /// True if the whole program got a single static decomposition.
+  bool isStatic() const { return Reorganizations.empty(); }
+
+  /// The data decomposition of \p ArrayId at \p NestId; fatal if absent.
+  const DataDecomposition &dataAt(unsigned ArrayId, unsigned NestId) const;
+  const CompDecomposition &compOf(unsigned NestId) const;
+};
+
+} // namespace alp
+
+#endif // ALP_CORE_DECOMPOSITION_H

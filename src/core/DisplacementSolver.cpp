@@ -1,0 +1,78 @@
+//===- core/DisplacementSolver.cpp - Displacement calculation ----------------===//
+
+#include "core/DisplacementSolver.h"
+
+#include <algorithm>
+
+using namespace alp;
+
+DisplacementResult
+alp::solveDisplacements(const InterferenceGraph &IG,
+                        const OrientationResult &Orient) {
+  const Program &P = IG.program();
+  DisplacementResult R;
+  unsigned N = Orient.VirtualDims;
+
+  // Process edges in decreasing execution count so the most frequent
+  // accesses get exact (zero-offset) placement.
+  std::vector<const InterferenceEdge *> Order;
+  for (const InterferenceEdge &E : IG.edges())
+    Order.push_back(&E);
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&](const InterferenceEdge *A, const InterferenceEdge *B) {
+                     return P.nest(A->NestId).ExecCount >
+                            P.nest(B->NestId).ExecCount;
+                   });
+
+  // Greedy propagation to a fixpoint: an edge can fire once one endpoint
+  // is assigned. Seed each component's most frequent edge by zeroing the
+  // displacement of its array.
+  bool Progress = true;
+  auto CheckOrAssign = [&](const InterferenceEdge *E) {
+    bool HasDelta = R.Delta.count(E->ArrayId);
+    bool HasGamma = R.Gamma.count(E->NestId);
+    if (!HasDelta && !HasGamma)
+      return false;
+    const Matrix &D = Orient.D.at(E->ArrayId);
+    if (!HasGamma) {
+      // gamma_j = D_x k_xj + delta_x using the first access.
+      R.Gamma[E->NestId] =
+          D * E->Accesses.front().constant() + R.Delta[E->ArrayId];
+      HasGamma = true;
+    } else if (!HasDelta) {
+      // delta_x = gamma_j - D_x k_xj.
+      R.Delta[E->ArrayId] =
+          R.Gamma[E->NestId] - D * E->Accesses.front().constant();
+      HasDelta = true;
+    }
+    // Verify every access; mismatches are displacement-level
+    // (nearest-neighbor) communication.
+    for (const AffineAccessMap &M : E->Accesses) {
+      SymVector Offset =
+          (D * M.constant() + R.Delta[E->ArrayId]) - R.Gamma[E->NestId];
+      if (!Offset.isZero())
+        R.Conflicts.push_back({E->ArrayId, E->NestId, Offset});
+    }
+    return true;
+  };
+
+  std::vector<bool> Done(Order.size(), false);
+  while (Progress) {
+    Progress = false;
+    for (unsigned I = 0; I != Order.size(); ++I) {
+      if (Done[I])
+        continue;
+      const InterferenceEdge *E = Order[I];
+      if (!R.Delta.count(E->ArrayId) && !R.Gamma.count(E->NestId)) {
+        // Seed: zero displacement for this edge's array (it is the most
+        // frequent unassigned edge of a fresh component).
+        R.Delta[E->ArrayId] = SymVector(N);
+      }
+      if (CheckOrAssign(E)) {
+        Done[I] = true;
+        Progress = true;
+      }
+    }
+  }
+  return R;
+}

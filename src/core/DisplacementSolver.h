@@ -1,0 +1,43 @@
+//===- core/DisplacementSolver.h - Displacement calculation -----*- C++ -*-===//
+///
+/// \file
+/// Sec. 4.5: with partitions and orientations fixed, the displacements
+/// delta / gamma follow from Eqn. 2: gamma_j = D_x k_xj + delta_x and
+/// delta_y = gamma_j - D_y k_yj. Conflicting requirements cannot always be
+/// met; the solver is greedy, assigning along interference edges in
+/// decreasing execution-frequency order so that any residual
+/// (cheap, nearest-neighbor) displacement communication lands on the least
+/// frequently executed accesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_CORE_DISPLACEMENTSOLVER_H
+#define ALP_CORE_DISPLACEMENTSOLVER_H
+
+#include "core/OrientationSolver.h"
+#include "linalg/SymAffine.h"
+
+namespace alp {
+
+/// A residual displacement mismatch (nearest-neighbor communication).
+struct DisplacementConflict {
+  unsigned ArrayId = 0;
+  unsigned NestId = 0;
+  /// The offset by which the access misses the local data.
+  SymVector Offset;
+};
+
+struct DisplacementResult {
+  std::map<unsigned, SymVector> Delta; // Array -> displacement.
+  std::map<unsigned, SymVector> Gamma; // Nest  -> displacement.
+  std::vector<DisplacementConflict> Conflicts;
+};
+
+/// Solves displacements over \p IG given orientations \p Orient. Edges are
+/// processed in decreasing order of the owning nest's execution count.
+DisplacementResult solveDisplacements(const InterferenceGraph &IG,
+                                      const OrientationResult &Orient);
+
+} // namespace alp
+
+#endif // ALP_CORE_DISPLACEMENTSOLVER_H

@@ -1,0 +1,205 @@
+//===- core/Driver.cpp - End-to-end decomposition pipeline -------------------===//
+
+#include "core/Driver.h"
+
+#include "core/DisplacementSolver.h"
+#include "transform/Unimodular.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace alp;
+
+ProgramDecomposition alp::decompose(Program &P, const MachineParams &Machine,
+                                    const DriverOptions &Opts) {
+  if (Opts.RunLocalPhase)
+    runLocalPhase(P);
+
+  CostModel CM(P, Machine);
+  DynamicResult DR =
+      Opts.MultiLevel
+          ? runMultiLevelDynamicDecomposition(
+                P, CM, Opts.EnableBlocking, Opts.Policy,
+                /*ExcludeReadOnly=*/Opts.EnableReplication)
+          : runDynamicDecomposition(
+                P, CM, Opts.EnableBlocking, Opts.Policy,
+                /*ExcludeReadOnly=*/Opts.EnableReplication);
+
+  ProgramDecomposition PD;
+  PD.ComponentOf = DR.ComponentOf;
+
+  // Cross-component orientation matching: components processed in
+  // decreasing total-work order seed preferences for later ones.
+  std::set<unsigned> Roots;
+  for (const auto &[Nest, Root] : DR.ComponentOf)
+    Roots.insert(Root);
+  std::vector<unsigned> RootOrder(Roots.begin(), Roots.end());
+  std::stable_sort(RootOrder.begin(), RootOrder.end(),
+                   [&](unsigned A, unsigned B) {
+                     auto Work = [&](unsigned Root) {
+                       double W = 0;
+                       for (unsigned N : DR.nestsOfComponent(Root))
+                         W += CM.nestWork(N);
+                       return W;
+                     };
+                     return Work(A) > Work(B);
+                   });
+
+  // Arrays written anywhere: never replicable, and never excluded from a
+  // component's partition solve (a locally-read-only array written in
+  // another component still constrains the layout).
+  std::set<unsigned> GlobalWritten;
+  for (const LoopNest &Nest : P.Nests)
+    for (unsigned A : Nest.referencedArrays())
+      if (Nest.writesArray(A))
+        GlobalWritten.insert(A);
+
+  OrientationOptions OOpts;
+  for (unsigned Root : RootOrder) {
+    std::vector<unsigned> Nests = DR.nestsOfComponent(Root);
+    PartitionResult Parts = DR.Partitions[Root];
+
+    // Replication: re-solve the partitions without read-only arrays so
+    // they cannot constrain parallelism, then derive their kernels from
+    // the computation partitions (Sec. 7.2).
+    InterferenceGraph FullIG(P, Nests, /*IncludeReadOnly=*/true);
+    if (Opts.EnableReplication) {
+      InterferenceGraph WriteIG(P, Nests, /*IncludeReadOnly=*/false,
+                                &GlobalWritten);
+      PartitionResult WriteParts = Opts.EnableBlocking
+                                       ? solvePartitionsWithBlocks(WriteIG)
+                                       : solvePartitions(WriteIG);
+      // Keep the write-only solve only if it exposes at least as much
+      // parallelism (it should; the constraints are a subset).
+      if (WriteParts.totalParallelism() >= Parts.totalParallelism()) {
+        Parts = WriteParts;
+        // Fill in read-only arrays via Eqn. 5 (and Lc for blocked dims).
+        for (unsigned A : FullIG.arrays()) {
+          if (Parts.DataKernel.count(A))
+            continue;
+          VectorSpace Kernel(P.array(A).rank());
+          VectorSpace Localized(P.array(A).rank());
+          for (const InterferenceEdge *E : FullIG.edgesOfArray(A))
+            for (const AffineAccessMap &M : E->Accesses) {
+              Kernel.unionWith(
+                  Parts.CompKernel[E->NestId].imageUnder(M.linear()));
+              Localized.unionWith(
+                  Parts.CompLocalized[E->NestId].imageUnder(M.linear()));
+            }
+          Parts.DataKernel[A] = Kernel;
+          Parts.DataLocalized[A] = Localized;
+        }
+      }
+    }
+
+    OrientationResult Orient = solveOrientations(FullIG, Parts, OOpts);
+    if (Opts.EnableIdleProjection) {
+      unsigned NPrime = reducedVirtualDims(FullIG, Parts);
+      if (NPrime < Orient.VirtualDims && NPrime > 0)
+        projectProcessorSpace(Orient, NPrime);
+    }
+    DisplacementResult Disp = solveDisplacements(FullIG, Orient);
+
+    // Replication degrees (after projection so n is final).
+    if (Opts.EnableReplication)
+      for (const ReplicationInfo &RI :
+           analyzeReplication(FullIG, Parts, Orient)) {
+        if (RI.Degree > 0 && !GlobalWritten.count(RI.ArrayId))
+          PD.ReplicatedDims[RI.ArrayId] =
+              std::max(PD.ReplicatedDims[RI.ArrayId], RI.Degree);
+      }
+
+    PD.VirtualDims = std::max(PD.VirtualDims, Orient.VirtualDims);
+
+    // Record per-nest computation decompositions.
+    for (unsigned N : Nests) {
+      CompDecomposition CD;
+      CD.C = Orient.C.count(N) ? Orient.C[N]
+                               : Matrix::zero(Orient.VirtualDims,
+                                              P.nest(N).depth());
+      CD.Gamma = Disp.Gamma.count(N) ? Disp.Gamma[N]
+                                     : SymVector(CD.C.rows());
+      CD.Kernel = Parts.CompKernel.count(N)
+                      ? Parts.CompKernel[N]
+                      : VectorSpace::full(P.nest(N).depth());
+      CD.Localized =
+          Parts.CompLocalized.count(N) ? Parts.CompLocalized[N] : CD.Kernel;
+      PD.Comp[N] = std::move(CD);
+    }
+    // Record per-(array, nest) data decompositions.
+    for (unsigned N : Nests)
+      for (unsigned A : P.nest(N).referencedArrays()) {
+        DataDecomposition DD;
+        DD.D = Orient.D.count(A)
+                   ? Orient.D[A]
+                   : Matrix::zero(Orient.VirtualDims, P.array(A).rank());
+        DD.Delta =
+            Disp.Delta.count(A) ? Disp.Delta[A] : SymVector(DD.D.rows());
+        DD.Kernel = Parts.DataKernel.count(A)
+                        ? Parts.DataKernel[A]
+                        : VectorSpace::full(P.array(A).rank());
+        DD.Localized =
+            Parts.DataLocalized.count(A) ? Parts.DataLocalized[A] : DD.Kernel;
+        PD.Data[{A, N}] = std::move(DD);
+      }
+
+    // Seed orientation preferences for later components.
+    for (const auto &[A, D] : Orient.D)
+      OOpts.PreferredD.emplace(A, D);
+  }
+
+  // Remaining reorganization communication: the cut edges, per array.
+  for (const CommEdge &E : DR.CutEdges)
+    for (const auto &[ArrayId, Cost] : E.PerArray) {
+      ReorganizationPoint RP;
+      RP.ArrayId = ArrayId;
+      RP.FromNest = E.U;
+      RP.ToNest = E.V;
+      RP.CostCycles = Cost;
+      RP.Frequency = 1.0; // Cost already includes the frequency weight.
+      PD.Reorganizations.push_back(RP);
+    }
+  return PD;
+}
+
+std::string alp::printDecomposition(const Program &P,
+                                    const ProgramDecomposition &PD) {
+  std::ostringstream OS;
+  OS << "decomposition of '" << P.Name << "' onto a " << PD.VirtualDims
+     << "-d virtual processor space\n";
+  for (const auto &[NestId, CD] : PD.Comp) {
+    OS << "  nest " << NestId << " (component "
+       << (PD.ComponentOf.count(NestId) ? PD.ComponentOf.at(NestId) : NestId)
+       << "): C = " << CD.C.str() << ", gamma = " << CD.Gamma.str()
+       << ", ker C = " << CD.Kernel.str();
+    if (CD.isBlocked())
+      OS << ", Lc = " << CD.Localized.str() << " [blocked]";
+    OS << '\n';
+  }
+  std::set<std::pair<unsigned, std::string>> Printed;
+  for (const auto &[Key, DD] : PD.Data) {
+    auto [ArrayId, NestId] = Key;
+    std::string Desc = DD.str();
+    if (!Printed.insert({ArrayId, Desc}).second)
+      continue;
+    OS << "  array " << P.array(ArrayId).Name << " @nest " << NestId
+       << ": D = " << DD.D.str() << ", delta = " << DD.Delta.str()
+       << ", ker D = " << DD.Kernel.str();
+    if (DD.isBlocked())
+      OS << ", Ld = " << DD.Localized.str() << " [blocked]";
+    if (PD.ReplicatedDims.count(ArrayId))
+      OS << ", replicated along " << PD.ReplicatedDims.at(ArrayId)
+         << " dim(s)";
+    OS << '\n';
+  }
+  if (PD.Reorganizations.empty()) {
+    OS << "  static: no reorganization communication\n";
+  } else {
+    for (const ReorganizationPoint &RP : PD.Reorganizations)
+      OS << "  reorganize " << P.array(RP.ArrayId).Name << " between nest "
+         << RP.FromNest << " and nest " << RP.ToNest << " (cost "
+         << RP.CostCycles << " cycles)\n";
+  }
+  return OS.str();
+}

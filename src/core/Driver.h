@@ -1,0 +1,58 @@
+//===- core/Driver.h - End-to-end decomposition pipeline --------*- C++ -*-===//
+///
+/// \file
+/// The top-level entry point a user of the library calls: given an affine
+/// Program (from the DSL front end or the builder), run the full pipeline
+/// of the paper —
+///
+///   local phase (Wolf-Lam canonicalization)
+///     -> dynamic decomposition (greedy component joining, Sec. 6)
+///        with blocked partitions (Sec. 5) as the per-component solver
+///     -> per-component orientations (Sec. 4.4, with cross-component
+///        orientation matching) and displacements (Sec. 4.5)
+///     -> idle-processor projection and read-only replication (Sec. 7)
+///
+/// — and return the complete ProgramDecomposition. Option knobs disable
+/// individual stages; the Figure 7 benchmark uses them to reproduce the
+/// paper's four strategies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_CORE_DRIVER_H
+#define ALP_CORE_DRIVER_H
+
+#include "core/CostModel.h"
+#include "core/Decomposition.h"
+#include "core/DynamicDecomposer.h"
+#include "core/Optimizations.h"
+
+namespace alp {
+
+/// Pipeline configuration.
+struct DriverOptions {
+  /// Run the Wolf-Lam local phase first (canonicalize loop order/kinds).
+  bool RunLocalPhase = true;
+  /// Allow blocked (tiled / doacross) partitions (Sec. 5).
+  bool EnableBlocking = true;
+  /// Component joining policy (Sec. 6.3).
+  JoinPolicy Policy = JoinPolicy::Greedy;
+  /// Use the Sec. 6.4 bottom-up multi-level driver instead of the single
+  /// flattened pass (they coincide on flat structure trees).
+  bool MultiLevel = false;
+  /// Read-only replication (Sec. 7.2).
+  bool EnableReplication = true;
+  /// Idle-processor projection (Sec. 7.1).
+  bool EnableIdleProjection = true;
+};
+
+/// Runs the whole pipeline. \p P may be rewritten by the local phase.
+ProgramDecomposition decompose(Program &P, const MachineParams &Machine,
+                               const DriverOptions &Opts = {});
+
+/// Renders a human-readable report of \p PD for \p P.
+std::string printDecomposition(const Program &P,
+                               const ProgramDecomposition &PD);
+
+} // namespace alp
+
+#endif // ALP_CORE_DRIVER_H

@@ -1,0 +1,283 @@
+//===- core/DynamicDecomposer.cpp - Dynamic decompositions (Sec. 6) ----------===//
+
+#include "core/DynamicDecomposer.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+using namespace alp;
+
+std::vector<unsigned> DynamicResult::nestsOfComponent(unsigned Comp) const {
+  std::vector<unsigned> Out;
+  for (const auto &[Nest, C] : ComponentOf)
+    if (C == Comp)
+      Out.push_back(Nest);
+  return Out;
+}
+
+std::vector<CommEdge> alp::buildCommGraph(const Program &P,
+                                          const CostModel &CM) {
+  std::map<std::pair<unsigned, unsigned>, CommEdge> Edges;
+  for (const ArrayFlowEdge &E : computeArrayFlowEdges(P)) {
+    if (E.FromNest == E.ToNest)
+      continue; // A nest always matches its own decomposition.
+    unsigned U = std::min(E.FromNest, E.ToNest);
+    unsigned V = std::max(E.FromNest, E.ToNest);
+    CommEdge &CE = Edges[{U, V}];
+    CE.U = U;
+    CE.V = V;
+    double Cost = CM.reorganizationCost(E.ArrayId) * E.Frequency;
+    CE.Weight += Cost;
+    CE.PerArray[E.ArrayId] += Cost;
+  }
+  std::vector<CommEdge> Out;
+  for (auto &[Key, CE] : Edges)
+    Out.push_back(std::move(CE));
+  return Out;
+}
+
+namespace {
+
+/// Arrays written anywhere in the program (kept in every solve even when
+/// read-only data is excluded for replication).
+std::set<unsigned> globallyWritten(const Program &P) {
+  std::set<unsigned> Written;
+  for (const LoopNest &Nest : P.Nests)
+    for (unsigned A : Nest.referencedArrays())
+      if (Nest.writesArray(A))
+        Written.insert(A);
+  return Written;
+}
+
+/// The Single_Level greedy of Figure 6: joins components of \p Nests along
+/// \p Edges (already restricted to the level) in decreasing weight order
+/// whenever the re-solved partition of the union improves the graph value.
+DynamicResult greedyJoin(const Program &P, const CostModel &CM,
+                         const std::vector<unsigned> &Nests,
+                         std::vector<CommEdge> Edges, bool UseBlocking,
+                         JoinPolicy Policy, bool ExcludeReadOnly,
+                         const std::set<unsigned> &GlobalWritten,
+                         const PartitionOptions &Seeds) {
+  DynamicResult R;
+
+  auto Solve = [&](const std::vector<unsigned> &Ids) {
+    InterferenceGraph IG(P, Ids, /*IncludeReadOnly=*/!ExcludeReadOnly,
+                         &GlobalWritten);
+    PartitionOptions Opts = Seeds;
+    return UseBlocking ? solvePartitionsWithBlocks(IG, Opts)
+                       : solvePartitions(IG, Opts);
+  };
+
+  // Union-find over nests.
+  std::map<unsigned, unsigned> Parent;
+  for (unsigned N : Nests)
+    Parent[N] = N;
+  std::function<unsigned(unsigned)> Find = [&](unsigned X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  };
+  auto Members = [&](unsigned Root) {
+    std::vector<unsigned> Out;
+    for (unsigned N : Nests)
+      if (Find(N) == Root)
+        Out.push_back(N);
+    return Out;
+  };
+
+  // Initial per-nest partitions and benefits.
+  std::map<unsigned, PartitionResult> Parts;
+  std::map<unsigned, double> Benefit;
+  std::set<unsigned> Sequential; // Nests with zero parallelism even alone.
+  for (unsigned N : Nests) {
+    Parts[N] = Solve({N});
+    Benefit[N] = CM.totalBenefit(Parts[N]);
+    if (Parts[N].totalParallelism() == 0)
+      Sequential.insert(N);
+  }
+
+  std::stable_sort(Edges.begin(), Edges.end(),
+                   [](const CommEdge &A, const CommEdge &B) {
+                     return A.Weight > B.Weight;
+                   });
+
+  if (Policy != JoinPolicy::NeverJoin) {
+    for (const CommEdge &E : Edges) {
+      unsigned RU = Find(E.U), RV = Find(E.V);
+      if (RU == RV)
+        continue;
+      // Purely sequential loops are components by themselves.
+      if (Sequential.count(E.U) || Sequential.count(E.V))
+        continue;
+      std::vector<unsigned> Joined = Members(RU);
+      std::vector<unsigned> MV = Members(RV);
+      Joined.insert(Joined.end(), MV.begin(), MV.end());
+      PartitionResult JP = Solve(Joined);
+      double JoinedBenefit = CM.totalBenefit(JP);
+      // Cross-component reorganization cost eliminated by the join.
+      double Saved = 0.0;
+      for (const CommEdge &Other : Edges)
+        if ((Find(Other.U) == RU && Find(Other.V) == RV) ||
+            (Find(Other.U) == RV && Find(Other.V) == RU))
+          Saved += Other.Weight;
+      double Delta = JoinedBenefit - Benefit[RU] - Benefit[RV] + Saved;
+      bool Accept = Policy == JoinPolicy::ForceSingle || Delta > 0.0;
+      if (!Accept)
+        continue;
+      Parent[RU] = RV;
+      Parts[RV] = std::move(JP);
+      Benefit[RV] = JoinedBenefit;
+    }
+  }
+
+  // Gather components.
+  for (unsigned N : Nests)
+    R.ComponentOf[N] = Find(N);
+  std::set<unsigned> Roots;
+  for (unsigned N : Nests)
+    Roots.insert(Find(N));
+  double Value = 0.0;
+  for (unsigned Root : Roots) {
+    R.Partitions[Root] = Parts[Root];
+    Value += Benefit[Root];
+  }
+  for (const CommEdge &E : Edges)
+    if (Find(E.U) != Find(E.V)) {
+      R.CutEdges.push_back(E);
+      Value -= E.Weight;
+    }
+  R.Value = Value;
+  return R;
+}
+
+} // namespace
+
+DynamicResult alp::runDynamicDecomposition(const Program &P,
+                                           const CostModel &CM,
+                                           bool UseBlocking,
+                                           JoinPolicy Policy,
+                                           bool ExcludeReadOnly) {
+  return greedyJoin(P, CM, P.nestsInOrder(), buildCommGraph(P, CM),
+                    UseBlocking, Policy, ExcludeReadOnly,
+                    globallyWritten(P), PartitionOptions());
+}
+
+DynamicResult alp::runMultiLevelDynamicDecomposition(const Program &P,
+                                                     const CostModel &CM,
+                                                     bool UseBlocking,
+                                                     JoinPolicy Policy,
+                                                     bool ExcludeReadOnly) {
+  std::set<unsigned> GlobalWritten = globallyWritten(P);
+  std::vector<CommEdge> AllEdges = buildCommGraph(P, CM);
+
+  // Collect structure contexts (node lists) with their nesting depth:
+  // each sequential-loop body and branch arm is one context; the top
+  // level is the depth-0 context processed last (Sec. 6.4: "each nesting
+  // level is examined in a bottom-up order").
+  struct Context {
+    const std::vector<ProgramNode> *Nodes;
+    unsigned Depth;
+  };
+  std::vector<Context> Contexts;
+  std::function<void(const std::vector<ProgramNode> &, unsigned)> Collect =
+      [&](const std::vector<ProgramNode> &Nodes, unsigned Depth) {
+        for (const ProgramNode &N : Nodes) {
+          switch (N.NodeKind) {
+          case ProgramNode::Kind::Nest:
+            break;
+          case ProgramNode::Kind::SequentialLoop:
+            Contexts.push_back({&N.Children, Depth + 1});
+            Collect(N.Children, Depth + 1);
+            break;
+          case ProgramNode::Kind::Branch:
+            Contexts.push_back({&N.Children, Depth + 1});
+            Contexts.push_back({&N.ElseChildren, Depth + 1});
+            Collect(N.Children, Depth + 1);
+            Collect(N.ElseChildren, Depth + 1);
+            break;
+          }
+        }
+      };
+  Collect(P.TopLevel, 0);
+  std::stable_sort(Contexts.begin(), Contexts.end(),
+                   [](const Context &A, const Context &B) {
+                     return A.Depth > B.Depth;
+                   });
+
+  // Leaves of a subtree.
+  std::function<void(const std::vector<ProgramNode> &,
+                     std::vector<unsigned> &)>
+      Leaves = [&](const std::vector<ProgramNode> &Nodes,
+                   std::vector<unsigned> &Out) {
+        for (const ProgramNode &N : Nodes) {
+          switch (N.NodeKind) {
+          case ProgramNode::Kind::Nest:
+            Out.push_back(N.NestId);
+            break;
+          case ProgramNode::Kind::SequentialLoop:
+            Leaves(N.Children, Out);
+            break;
+          case ProgramNode::Kind::Branch:
+            Leaves(N.Children, Out);
+            Leaves(N.ElseChildren, Out);
+            break;
+          }
+        }
+      };
+
+  // Bottom-up: partitions found at each level seed the next; an array
+  // whose decomposition differs across a level's components is "split"
+  // and stops seeding (the paper's array-node splitting).
+  PartitionOptions Seeds;
+  std::set<unsigned> SplitArrays;
+  for (const Context &Ctx : Contexts) {
+    std::vector<unsigned> Nests;
+    Leaves(*Ctx.Nodes, Nests);
+    if (Nests.size() < 2)
+      continue;
+    std::set<unsigned> InCtx(Nests.begin(), Nests.end());
+    std::vector<CommEdge> Local;
+    for (const CommEdge &E : AllEdges)
+      if (InCtx.count(E.U) && InCtx.count(E.V))
+        Local.push_back(E);
+    DynamicResult LR =
+        greedyJoin(P, CM, Nests, std::move(Local), UseBlocking, Policy,
+                   ExcludeReadOnly, GlobalWritten, Seeds);
+    // Seed computation partitions.
+    for (const auto &[Root, Parts] : LR.Partitions)
+      for (const auto &[NestId, Kernel] : Parts.CompKernel) {
+        (void)Root;
+        auto [It, New] = Seeds.SeedComp.emplace(NestId, Kernel);
+        if (!New)
+          It->second.unionWith(Kernel);
+      }
+    // Seed data partitions for unsplit arrays only.
+    std::map<unsigned, std::vector<VectorSpace>> PerArray;
+    for (const auto &[Root, Parts] : LR.Partitions) {
+      (void)Root;
+      for (const auto &[ArrayId, Kernel] : Parts.DataKernel)
+        PerArray[ArrayId].push_back(Kernel);
+    }
+    for (const auto &[ArrayId, Kernels] : PerArray) {
+      bool AllEqual = true;
+      for (const VectorSpace &K : Kernels)
+        AllEqual &= K == Kernels.front();
+      if (!AllEqual || SplitArrays.count(ArrayId)) {
+        SplitArrays.insert(ArrayId);
+        Seeds.SeedData.erase(ArrayId);
+        continue;
+      }
+      auto [It, New] = Seeds.SeedData.emplace(ArrayId, Kernels.front());
+      if (!New)
+        It->second.unionWith(Kernels.front());
+    }
+  }
+
+  // Final level: the whole program, seeded from below.
+  return greedyJoin(P, CM, P.nestsInOrder(), std::move(AllEdges),
+                    UseBlocking, Policy, ExcludeReadOnly, GlobalWritten,
+                    Seeds);
+}

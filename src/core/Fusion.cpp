@@ -1,0 +1,116 @@
+//===- core/Fusion.cpp - Loop fusion post-pass --------------------------===//
+
+#include "core/Fusion.h"
+
+#include "analysis/Dependence.h"
+
+#include <functional>
+
+using namespace alp;
+
+namespace {
+
+bool boundsEqual(const std::vector<BoundTerm> &A,
+                 const std::vector<BoundTerm> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (unsigned I = 0; I != A.size(); ++I)
+    if (A[I].OuterCoeffs != B[I].OuterCoeffs || A[I].Const != B[I].Const)
+      return false;
+  return true;
+}
+
+bool headersMatch(const LoopNest &N1, const LoopNest &N2) {
+  if (N1.depth() != N2.depth())
+    return false;
+  for (unsigned L = 0; L != N1.depth(); ++L) {
+    if (N1.Loops[L].Kind != N2.Loops[L].Kind)
+      return false;
+    if (!boundsEqual(N1.Loops[L].Lower, N2.Loops[L].Lower) ||
+        !boundsEqual(N1.Loops[L].Upper, N2.Loops[L].Upper))
+      return false;
+  }
+  return true;
+}
+
+/// Builds the fused candidate (bodies concatenated under N1's loops).
+LoopNest fusedCandidate(const LoopNest &N1, const LoopNest &N2) {
+  LoopNest F = N1;
+  F.Body.insert(F.Body.end(), N2.Body.begin(), N2.Body.end());
+  return F;
+}
+
+} // namespace
+
+bool alp::canFuseNests(const Program &P, unsigned First, unsigned Second) {
+  const LoopNest &N1 = P.nest(First);
+  const LoopNest &N2 = P.nest(Second);
+  if (N1.Body.empty() || N2.Body.empty())
+    return false;
+  if (!headersMatch(N1, N2))
+    return false;
+  // Legality: in the fused nest, a carried dependence whose source
+  // statement came from N2 and whose destination came from N1 means an
+  // access pair whose execution order fusion would reverse.
+  LoopNest F = fusedCandidate(N1, N2);
+  unsigned Split = N1.Body.size();
+  DependenceAnalysis DA(P);
+  for (const Dependence &D : DA.analyze(F)) {
+    if (D.isLoopIndependent(F.depth()))
+      continue;
+    if (D.SrcStmt >= Split && D.DstStmt < Split)
+      return false;
+  }
+  return true;
+}
+
+unsigned alp::fuseCompatibleNests(Program &P,
+                                  const ProgramDecomposition *PD) {
+  unsigned Fused = 0;
+
+  auto DecompsMatch = [&](unsigned A, unsigned B) {
+    if (!PD)
+      return true;
+    auto IA = PD->Comp.find(A), IB = PD->Comp.find(B);
+    if (IA == PD->Comp.end() || IB == PD->Comp.end())
+      return false;
+    return IA->second.Kernel == IB->second.Kernel &&
+           IA->second.C == IB->second.C &&
+           IA->second.Gamma == IB->second.Gamma;
+  };
+
+  std::function<void(std::vector<ProgramNode> &)> Walk =
+      [&](std::vector<ProgramNode> &Nodes) {
+        for (ProgramNode &N : Nodes) {
+          Walk(N.Children);
+          Walk(N.ElseChildren);
+        }
+        // Repeatedly fuse adjacent nest pairs in this sequence.
+        bool Changed = true;
+        while (Changed) {
+          Changed = false;
+          for (unsigned I = 0; I + 1 < Nodes.size(); ++I) {
+            ProgramNode &A = Nodes[I];
+            ProgramNode &B = Nodes[I + 1];
+            if (A.NodeKind != ProgramNode::Kind::Nest ||
+                B.NodeKind != ProgramNode::Kind::Nest)
+              continue;
+            if (!DecompsMatch(A.NestId, B.NestId) ||
+                !canFuseNests(P, A.NestId, B.NestId))
+              continue;
+            LoopNest &N1 = P.nest(A.NestId);
+            LoopNest &N2 = P.nest(B.NestId);
+            N1.Body.insert(N1.Body.end(), N2.Body.begin(), N2.Body.end());
+            N2.Body.clear();
+            Nodes.erase(Nodes.begin() + I + 1);
+            ++Fused;
+            Changed = true;
+            break;
+          }
+        }
+      };
+  Walk(P.TopLevel);
+  if (Fused)
+    P.recomputeProfiles();
+  return Fused;
+}

@@ -1,0 +1,39 @@
+//===- core/Fusion.h - Loop fusion post-pass ---------------*- C++ -*-===//
+///
+/// \file
+/// The fusion pass the paper runs after decomposition (Sec. 2.1: "Our
+/// compiler runs a loop fusion pass after decomposition to regroup
+/// compatible loop nests"). Two adjacent leaf nests fuse when
+///
+///   * they sit next to each other in the same structure context,
+///   * their loop headers match (same depth, same bounds, same kinds),
+///   * their computation decompositions agree (same C kernel), when a
+///     decomposition is provided, and
+///   * fusion is legal: no dependence of the fused body flows from a
+///     statement of the second nest to a statement of the first with a
+///     positive carried distance (that would reverse the original
+///     inter-nest execution order).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_CORE_FUSION_H
+#define ALP_CORE_FUSION_H
+
+#include "core/Decomposition.h"
+#include "ir/Program.h"
+
+namespace alp {
+
+/// Fuses compatible adjacent nests of \p P in place. When \p PD is given,
+/// only nests with matching computation partitions fuse. Returns the
+/// number of fusions performed. Fused-away nests stay in Program::Nests
+/// (with empty bodies) but disappear from the structure tree.
+unsigned fuseCompatibleNests(Program &P,
+                             const ProgramDecomposition *PD = nullptr);
+
+/// Whether two specific nests may fuse (header match + legality).
+bool canFuseNests(const Program &P, unsigned First, unsigned Second);
+
+} // namespace alp
+
+#endif // ALP_CORE_FUSION_H

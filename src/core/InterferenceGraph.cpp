@@ -1,0 +1,113 @@
+//===- core/InterferenceGraph.cpp - Bipartite nest/array graph ---------------===//
+
+#include "core/InterferenceGraph.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace alp;
+
+InterferenceGraph::InterferenceGraph(const Program &P,
+                                     const std::vector<unsigned> &NestIds,
+                                     bool IncludeReadOnly,
+                                     const std::set<unsigned> *ForceInclude)
+    : Prog(&P), NestIds(NestIds) {
+  // Which arrays are written anywhere in the selected nests?
+  std::set<unsigned> Written;
+  for (unsigned N : NestIds)
+    for (unsigned A : P.nest(N).referencedArrays())
+      if (P.nest(N).writesArray(A))
+        Written.insert(A);
+
+  std::set<unsigned> Arrays;
+  for (unsigned N : NestIds) {
+    const LoopNest &Nest = P.nest(N);
+    for (unsigned A : Nest.referencedArrays()) {
+      if (!IncludeReadOnly && !Written.count(A) &&
+          !(ForceInclude && ForceInclude->count(A)))
+        continue;
+      Arrays.insert(A);
+      InterferenceEdge E;
+      E.ArrayId = A;
+      E.NestId = N;
+      for (const ArrayAccess *Acc : Nest.accessesTo(A)) {
+        // Deduplicate identical access maps on the edge.
+        bool Seen = false;
+        for (const AffineAccessMap &M : E.Accesses)
+          if (M == Acc->Map) {
+            Seen = true;
+            break;
+          }
+        if (!Seen)
+          E.Accesses.push_back(Acc->Map);
+        E.HasWrite |= Acc->IsWrite;
+      }
+      Edges.push_back(std::move(E));
+    }
+  }
+  ArrayIds.assign(Arrays.begin(), Arrays.end());
+}
+
+std::vector<const InterferenceEdge *>
+InterferenceGraph::edgesOfNest(unsigned NestId) const {
+  std::vector<const InterferenceEdge *> Out;
+  for (const InterferenceEdge &E : Edges)
+    if (E.NestId == NestId)
+      Out.push_back(&E);
+  return Out;
+}
+
+std::vector<const InterferenceEdge *>
+InterferenceGraph::edgesOfArray(unsigned ArrayId) const {
+  std::vector<const InterferenceEdge *> Out;
+  for (const InterferenceEdge &E : Edges)
+    if (E.ArrayId == ArrayId)
+      Out.push_back(&E);
+  return Out;
+}
+
+std::vector<InterferenceGraph::Component>
+InterferenceGraph::connectedComponents() const {
+  // Union-find over a combined id space: nests then arrays.
+  std::map<unsigned, unsigned> NestSlot, ArraySlot;
+  unsigned Count = 0;
+  for (unsigned N : NestIds)
+    NestSlot[N] = Count++;
+  for (unsigned A : ArrayIds)
+    ArraySlot[A] = Count++;
+  std::vector<unsigned> Parent(Count);
+  for (unsigned I = 0; I != Count; ++I)
+    Parent[I] = I;
+  std::function<unsigned(unsigned)> Find = [&](unsigned X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  };
+  for (const InterferenceEdge &E : Edges)
+    Parent[Find(NestSlot[E.NestId])] = Find(ArraySlot[E.ArrayId]);
+
+  std::map<unsigned, Component> ByRoot;
+  for (unsigned N : NestIds)
+    ByRoot[Find(NestSlot[N])].Nests.push_back(N);
+  for (unsigned A : ArrayIds)
+    ByRoot[Find(ArraySlot[A])].Arrays.push_back(A);
+  std::vector<Component> Out;
+  for (auto &[Root, C] : ByRoot)
+    Out.push_back(std::move(C));
+  return Out;
+}
+
+VectorSpace InterferenceGraph::accessedSpace(unsigned ArrayId) const {
+  VectorSpace S(Prog->array(ArrayId).rank());
+  for (const InterferenceEdge &E : Edges) {
+    if (E.ArrayId != ArrayId)
+      continue;
+    for (const AffineAccessMap &M : E.Accesses)
+      S.unionWith(VectorSpace::rangeOf(M.linear()));
+  }
+  return S;
+}

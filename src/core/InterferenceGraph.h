@@ -1,0 +1,75 @@
+//===- core/InterferenceGraph.h - Bipartite nest/array graph ----*- C++ -*-===//
+///
+/// \file
+/// The bipartite interference graph G = (Vc, Vd, E) of Sec. 4.2: loop
+/// nests form one vertex set, arrays the other, with an edge whenever a
+/// nest references an array. Each edge carries every access function of
+/// that array in that nest. The partition and orientation algorithms
+/// operate on one connected component at a time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_CORE_INTERFERENCEGRAPH_H
+#define ALP_CORE_INTERFERENCEGRAPH_H
+
+#include "ir/Program.h"
+#include "linalg/VectorSpace.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace alp {
+
+/// One (array, nest) edge with all of the access maps.
+struct InterferenceEdge {
+  unsigned ArrayId = 0;
+  unsigned NestId = 0;
+  std::vector<AffineAccessMap> Accesses;
+  /// True if any of the accesses writes (read-only edges can be excluded
+  /// when computing replication, Sec. 7.2).
+  bool HasWrite = false;
+};
+
+/// The interference graph over a chosen subset of a program's nests.
+class InterferenceGraph {
+public:
+  /// Builds the graph over \p NestIds of \p P. When \p IncludeReadOnly is
+  /// false, arrays that are never written in those nests are left out
+  /// (used by the replication pre-pass); arrays in \p ForceInclude are
+  /// kept regardless (e.g. arrays written elsewhere in the program, which
+  /// must not be treated as replicable read-only data).
+  InterferenceGraph(const Program &P, const std::vector<unsigned> &NestIds,
+                    bool IncludeReadOnly = true,
+                    const std::set<unsigned> *ForceInclude = nullptr);
+
+  const Program &program() const { return *Prog; }
+  const std::vector<unsigned> &nests() const { return NestIds; }
+  const std::vector<unsigned> &arrays() const { return ArrayIds; }
+  const std::vector<InterferenceEdge> &edges() const { return Edges; }
+
+  /// Edges incident to a nest / an array.
+  std::vector<const InterferenceEdge *> edgesOfNest(unsigned NestId) const;
+  std::vector<const InterferenceEdge *> edgesOfArray(unsigned ArrayId) const;
+
+  /// Groups the nests and arrays into connected components; returns one
+  /// (nests, arrays) pair per component.
+  struct Component {
+    std::vector<unsigned> Nests;
+    std::vector<unsigned> Arrays;
+  };
+  std::vector<Component> connectedComponents() const;
+
+  /// The accessed data space S_x = sum_j range(F_xj) of Sec. 4.3.
+  VectorSpace accessedSpace(unsigned ArrayId) const;
+
+private:
+  const Program *Prog;
+  std::vector<unsigned> NestIds;
+  std::vector<unsigned> ArrayIds;
+  std::vector<InterferenceEdge> Edges;
+};
+
+} // namespace alp
+
+#endif // ALP_CORE_INTERFERENCEGRAPH_H

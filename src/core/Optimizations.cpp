@@ -1,0 +1,126 @@
+//===- core/Optimizations.cpp - Sec. 7 optimizations -------------------------===//
+
+#include "core/Optimizations.h"
+
+#include <algorithm>
+
+using namespace alp;
+
+unsigned alp::reducedVirtualDims(const InterferenceGraph &IG,
+                                 const PartitionResult &Parts) {
+  unsigned MaxData = 0;
+  for (unsigned A : IG.arrays()) {
+    auto It = Parts.DataKernel.find(A);
+    if (It == Parts.DataKernel.end())
+      continue;
+    VectorSpace S = IG.accessedSpace(A);
+    MaxData = std::max(MaxData, S.dim() - It->second.intersect(S).dim());
+  }
+  unsigned MinComp = MaxData;
+  for (unsigned J : IG.nests()) {
+    auto It = Parts.CompKernel.find(J);
+    if (It == Parts.CompKernel.end())
+      continue;
+    MinComp =
+        std::min(MinComp, It->second.ambientDim() - It->second.dim());
+  }
+  return std::min(MaxData, MinComp);
+}
+
+std::vector<unsigned> alp::projectProcessorSpace(OrientationResult &Orient,
+                                                 unsigned NewDims) {
+  unsigned N = Orient.VirtualDims;
+  if (NewDims >= N) {
+    std::vector<unsigned> All(N);
+    for (unsigned I = 0; I != N; ++I)
+      All[I] = I;
+    return All;
+  }
+  // Score each processor dimension by the number of nests whose C has a
+  // nonzero row there: "no projections onto a processor dimension that is
+  // idle during the execution of any loop nest" (Sec. 7.1).
+  std::vector<std::pair<unsigned, unsigned>> Score(N); // (count, dim).
+  for (unsigned R = 0; R != N; ++R)
+    Score[R] = {0, R};
+  for (const auto &[Nest, C] : Orient.C) {
+    (void)Nest;
+    for (unsigned R = 0; R != std::min(N, C.rows()); ++R)
+      if (!C.row(R).isZero())
+        ++Score[R].first;
+  }
+  std::stable_sort(Score.begin(), Score.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.first > B.first;
+                   });
+  std::vector<unsigned> Keep;
+  for (unsigned I = 0; I != NewDims; ++I)
+    Keep.push_back(Score[I].second);
+  std::sort(Keep.begin(), Keep.end());
+
+  auto Project = [&](const Matrix &M) {
+    Matrix Out(NewDims, M.cols());
+    for (unsigned I = 0; I != NewDims; ++I)
+      if (Keep[I] < M.rows())
+        Out.setRow(I, M.row(Keep[I]));
+    return Out;
+  };
+  for (auto &[Id, D] : Orient.D)
+    D = Project(D);
+  for (auto &[Id, C] : Orient.C)
+    C = Project(C);
+  Orient.VirtualDims = NewDims;
+  return Keep;
+}
+
+std::vector<ReplicationInfo>
+alp::analyzeReplication(const InterferenceGraph &IG,
+                        const PartitionResult &Parts,
+                        const OrientationResult &Orient) {
+  const Program &P = IG.program();
+  std::vector<ReplicationInfo> Out;
+  for (unsigned A : IG.arrays()) {
+    // Read-only within this graph?
+    bool Written = false;
+    for (const InterferenceEdge *E : IG.edgesOfArray(A))
+      Written |= E->HasWrite;
+    if (Written)
+      continue;
+
+    ReplicationInfo Info;
+    Info.ArrayId = A;
+    // Data partition from Eqn. 5, driven purely by the computation
+    // partitions (read-only data must not constrain them).
+    VectorSpace Kernel(P.array(A).rank());
+    for (const InterferenceEdge *E : IG.edgesOfArray(A)) {
+      auto It = Parts.CompKernel.find(E->NestId);
+      if (It == Parts.CompKernel.end())
+        continue;
+      for (const AffineAccessMap &M : E->Accesses)
+        Kernel.unionWith(It->second.imageUnder(M.linear()));
+    }
+    VectorSpace S = IG.accessedSpace(A);
+    unsigned NR = S.dim() - Kernel.intersect(S).dim();
+    Info.ReducedD = Kernel.matrixWithThisKernel();
+    // Trim to n_r rows (matrixWithThisKernel may give more when the
+    // kernel misses unaccessed dimensions).
+    if (Info.ReducedD.rows() > NR) {
+      Matrix Trim(NR, Info.ReducedD.cols());
+      for (unsigned R = 0; R != NR; ++R)
+        Trim.setRow(R, Info.ReducedD.row(R));
+      Info.ReducedD = Trim;
+    }
+    Info.Degree =
+        Orient.VirtualDims > NR ? Orient.VirtualDims - NR : 0;
+    // Replication matrices: R_xj = D_x F_xj C_j^+ (Eqn. 7).
+    for (const InterferenceEdge *E : IG.edgesOfArray(A)) {
+      auto CIt = Orient.C.find(E->NestId);
+      if (CIt == Orient.C.end())
+        continue;
+      Info.R[E->NestId] = Info.ReducedD *
+                          E->Accesses.front().linear() *
+                          CIt->second.rightPseudoInverse();
+    }
+    Out.push_back(std::move(Info));
+  }
+  return Out;
+}

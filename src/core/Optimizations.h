@@ -1,0 +1,61 @@
+//===- core/Optimizations.h - Sec. 7 optimizations --------------*- C++ -*-===//
+///
+/// \file
+/// The two post-passes of Sec. 7:
+///
+///  * Idle-processor reduction (7.1): when some nest uses fewer processor
+///    dimensions than the virtual space has, project the n-dimensional
+///    virtual processor space onto n' = min(max_x(dim S_x - dim ker D_x),
+///    min_j(l_j - dim ker C_j)) dimensions, choosing directions that are
+///    busy in every loop nest.
+///
+///  * Read-only replication (7.2): arrays never written in a component do
+///    not constrain the partition; their data partitions follow from
+///    Eqn. 5 afterwards, they receive a reduced-space decomposition
+///    matrix, and the replication matrices R_xj of Eqn. 7 relate it to
+///    each nest's computation decomposition. The replication degree is
+///    n - n_r.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_CORE_OPTIMIZATIONS_H
+#define ALP_CORE_OPTIMIZATIONS_H
+
+#include "core/Decomposition.h"
+#include "core/InterferenceGraph.h"
+#include "core/OrientationSolver.h"
+
+namespace alp {
+
+/// Computes n' of Sec. 7.1 for the nests/arrays of \p IG under \p Parts.
+unsigned reducedVirtualDims(const InterferenceGraph &IG,
+                            const PartitionResult &Parts);
+
+/// Projects \p Orient (in place) onto \p NewDims processor dimensions,
+/// preferring rows that are nonzero in every nest's C. Returns the list of
+/// kept row indices (size NewDims).
+std::vector<unsigned> projectProcessorSpace(OrientationResult &Orient,
+                                            unsigned NewDims);
+
+/// Replication info for one read-only array in one component.
+struct ReplicationInfo {
+  unsigned ArrayId = 0;
+  /// Reduced-space decomposition matrix (n_r x m).
+  Matrix ReducedD;
+  /// Replication degree n - n_r: processor dimensions carrying copies.
+  unsigned Degree = 0;
+  /// Replication matrices R_xj per nest (Eqn. 7): D_x F_xj = R_xj C_j.
+  std::map<unsigned, Matrix> R;
+};
+
+/// Analyzes replication for every read-only array of \p IG: data kernels
+/// are derived from the computation partitions via Eqn. 5 (so the
+/// read-only data never constrains parallelism), and the reduced
+/// decomposition plus R matrices are built per Eqn. 7.
+std::vector<ReplicationInfo>
+analyzeReplication(const InterferenceGraph &IG, const PartitionResult &Parts,
+                   const OrientationResult &Orient);
+
+} // namespace alp
+
+#endif // ALP_CORE_OPTIMIZATIONS_H

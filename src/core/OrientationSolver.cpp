@@ -1,0 +1,131 @@
+//===- core/OrientationSolver.cpp - Orientation propagation ------------------===//
+
+#include "core/OrientationSolver.h"
+
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace alp;
+
+namespace {
+
+/// Pads (or trims) \p M to exactly \p Rows rows, appending zero rows.
+Matrix padRows(const Matrix &M, unsigned Rows) {
+  if (M.rows() == Rows)
+    return M;
+  assert(M.rows() < Rows && "cannot trim orientation rows");
+  return M.vstack(Matrix::zero(Rows - M.rows(), M.cols()));
+}
+
+/// Scales all matrices of one component by a common factor so that every
+/// entry is an integer; relative orientation is preserved.
+void integerScaleComponent(OrientationResult &R,
+                           const std::vector<unsigned> &Nests,
+                           const std::vector<unsigned> &Arrays) {
+  int64_t Lcm = 1;
+  auto Visit = [&](const Matrix &M) {
+    for (unsigned I = 0; I != M.rows(); ++I)
+      for (unsigned J = 0; J != M.cols(); ++J)
+        Lcm = lcm64(Lcm, M.at(I, J).den());
+  };
+  for (unsigned A : Arrays)
+    Visit(R.D[A]);
+  for (unsigned N : Nests)
+    Visit(R.C[N]);
+  if (Lcm == 1)
+    return;
+  Rational S(Lcm);
+  for (unsigned A : Arrays)
+    R.D[A] = R.D[A].scaled(S);
+  for (unsigned N : Nests)
+    R.C[N] = R.C[N].scaled(S);
+}
+
+} // namespace
+
+OrientationResult alp::solveOrientations(const InterferenceGraph &IG,
+                                         const PartitionResult &Parts,
+                                         const OrientationOptions &Opts,
+                                         std::optional<unsigned> ForceDims) {
+  OrientationResult R;
+  R.VirtualDims = ForceDims ? *ForceDims : Parts.virtualDims(IG);
+  unsigned N = R.VirtualDims;
+
+  for (const InterferenceGraph::Component &Comp : IG.connectedComponents()) {
+    if (Comp.Arrays.empty()) {
+      // Nests touching no arrays: give them a kernel-respecting C anyway.
+      for (unsigned J : Comp.Nests) {
+        Matrix C = Parts.CompKernel.at(J).matrixWithThisKernel();
+        R.C[J] = padRows(C, std::max<unsigned>(N, C.rows()));
+      }
+      continue;
+    }
+    // Root: prefer an array with an honored preference, else the array
+    // exposing the most distributed dimensions (so D_root has full rank).
+    unsigned Root = Comp.Arrays.front();
+    int BestScore = -1;
+    for (unsigned A : Comp.Arrays) {
+      VectorSpace S = IG.accessedSpace(A);
+      int Score = static_cast<int>(
+          S.dim() - Parts.DataKernel.at(A).intersect(S).dim());
+      auto Pref = Opts.PreferredD.find(A);
+      if (Pref != Opts.PreferredD.end() &&
+          VectorSpace::kernelOf(Pref->second) == Parts.DataKernel.at(A))
+        Score += 1000; // Preferences dominate when legal.
+      if (Score > BestScore) {
+        BestScore = Score;
+        Root = A;
+      }
+    }
+
+    // Root matrix: any D with the prescribed nullspace. Dimensions the
+    // component never accesses get auxiliary (zero) treatment by folding
+    // the complement of the accessed space into the construction kernel
+    // (Sec. 4.4's auxiliary variables); this also keeps the row count at
+    // dim(S) - dim(ker within S) <= n.
+    Matrix DRoot;
+    auto Pref = Opts.PreferredD.find(Root);
+    if (Pref != Opts.PreferredD.end() &&
+        VectorSpace::kernelOf(Pref->second) == Parts.DataKernel.at(Root) &&
+        Pref->second.rows() <= N) {
+      DRoot = Pref->second;
+    } else {
+      VectorSpace ConstructionKernel =
+          Parts.DataKernel.at(Root) +
+          IG.accessedSpace(Root).orthogonalComplement();
+      DRoot = ConstructionKernel.matrixWithThisKernel();
+    }
+    R.D[Root] = padRows(DRoot, N);
+
+    // Propagate: C_j = D_x F_xj; D_y = C_j F_yj^+.
+    std::deque<std::pair<bool, unsigned>> Work; // (isArray, id).
+    Work.push_back({true, Root});
+    while (!Work.empty()) {
+      auto [IsArray, Id] = Work.front();
+      Work.pop_front();
+      if (IsArray) {
+        const Matrix &DX = R.D[Id];
+        for (const InterferenceEdge *E : IG.edgesOfArray(Id)) {
+          if (R.C.count(E->NestId))
+            continue;
+          R.C[E->NestId] = DX * E->Accesses.front().linear();
+          Work.push_back({false, E->NestId});
+        }
+        continue;
+      }
+      const Matrix &CJ = R.C[Id];
+      for (const InterferenceEdge *E : IG.edgesOfNest(Id)) {
+        if (R.D.count(E->ArrayId))
+          continue;
+        R.D[E->ArrayId] =
+            CJ * E->Accesses.front().linear().rightPseudoInverse();
+        Work.push_back({true, E->ArrayId});
+      }
+    }
+    integerScaleComponent(R, Comp.Nests, Comp.Arrays);
+  }
+  R.VirtualDims = N;
+  return R;
+}

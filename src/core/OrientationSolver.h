@@ -1,0 +1,52 @@
+//===- core/OrientationSolver.h - Orientation propagation -------*- C++ -*-===//
+///
+/// \file
+/// Sec. 4.4: once partitions fix every nullspace, the orientations (the
+/// decomposition matrices themselves) are relative within a connected
+/// component. The solver picks a root array, realizes any matrix with the
+/// prescribed kernel, and propagates along interference edges with
+/// C_j = D_x F_xj and D_y = C_j F_yj^+ (pseudo-inverse for array
+/// sections). Fractions are cleared by a component-wide integer scaling,
+/// which is legal exactly because orientations are relative.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_CORE_ORIENTATIONSOLVER_H
+#define ALP_CORE_ORIENTATIONSOLVER_H
+
+#include "core/InterferenceGraph.h"
+#include "core/PartitionSolver.h"
+
+#include <map>
+#include <optional>
+
+namespace alp {
+
+/// Orientation matrices for one interference graph.
+struct OrientationResult {
+  /// Virtual processor dimensionality n used for every matrix.
+  unsigned VirtualDims = 0;
+  std::map<unsigned, Matrix> D; // Array -> n x m.
+  std::map<unsigned, Matrix> C; // Nest  -> n x l.
+};
+
+/// Options for orientation solving.
+struct OrientationOptions {
+  /// Preferred root matrices (array id -> D), used to align a component's
+  /// orientation with decompositions chosen earlier for other components
+  /// (Sec. 6.4's cross-component orientation matching). A preference is
+  /// honored only if its kernel matches the partition.
+  std::map<unsigned, Matrix> PreferredD;
+};
+
+/// Computes orientations for every array and nest of \p IG under the
+/// partitions in \p Parts. The number of virtual processor dimensions is
+/// Parts.virtualDims(IG) unless \p ForceDims is given.
+OrientationResult solveOrientations(const InterferenceGraph &IG,
+                                    const PartitionResult &Parts,
+                                    const OrientationOptions &Opts = {},
+                                    std::optional<unsigned> ForceDims = {});
+
+} // namespace alp
+
+#endif // ALP_CORE_ORIENTATIONSOLVER_H

@@ -1,0 +1,233 @@
+//===- core/PartitionSolver.cpp - Partition algorithms (Sec. 4/5) ------------===//
+
+#include "core/PartitionSolver.h"
+
+#include "support/Diagnostics.h"
+
+#include <deque>
+#include <set>
+
+using namespace alp;
+
+//===----------------------------------------------------------------------===//
+// PartitionResult
+//===----------------------------------------------------------------------===//
+
+unsigned PartitionResult::parallelism(unsigned NestId) const {
+  auto It = CompKernel.find(NestId);
+  assert(It != CompKernel.end() && "nest not in partition result");
+  return It->second.ambientDim() - It->second.dim();
+}
+
+unsigned PartitionResult::totalParallelism() const {
+  unsigned Total = 0;
+  for (const auto &[Nest, Kernel] : CompKernel)
+    Total += Kernel.ambientDim() - Kernel.dim();
+  return Total;
+}
+
+unsigned PartitionResult::virtualDims(const InterferenceGraph &IG) const {
+  unsigned N = 0;
+  for (unsigned A : IG.arrays()) {
+    auto It = DataKernel.find(A);
+    if (It == DataKernel.end())
+      continue;
+    VectorSpace S = IG.accessedSpace(A);
+    unsigned Dims = S.dim() - It->second.intersect(S).dim();
+    N = std::max(N, Dims);
+  }
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Initial constraints
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// True if loop \p Level of \p Nest sits in a fully permutable band of
+/// size >= 2 and can therefore be tiled for doacross parallelism (Sec. 5).
+bool isTileable(const LoopNest &Nest, unsigned Level) {
+  unsigned Start = 0;
+  for (unsigned Size : Nest.PermutableBands) {
+    if (Level < Start + Size)
+      return Size >= 2;
+    Start += Size;
+  }
+  return false;
+}
+
+/// Single-loop constraint (constraint 1): sequential loops pin their
+/// elementary basis vector into the initial computation partition. In the
+/// blocked variant, tileable sequential loops are released.
+VectorSpace singleLoopConstraint(const LoopNest &Nest, bool Blocked) {
+  VectorSpace VS(Nest.depth());
+  for (unsigned K = 0; K != Nest.depth(); ++K) {
+    if (Nest.Loops[K].isParallel())
+      continue;
+    if (Blocked && isTileable(Nest, K))
+      continue;
+    VS.insert(Vector::unit(Nest.depth(), K));
+  }
+  return VS;
+}
+
+/// Multiple-array constraint (constraint 2 / Eqn. 4): walks a spanning
+/// tree of the interference multigraph maintaining transfer matrices that
+/// express every node's decomposition in terms of the component root's;
+/// every additional path between two nodes forces the difference of the
+/// transfers into ker D_root.
+void multipleArrayConstraint(const InterferenceGraph &IG,
+                             std::map<unsigned, VectorSpace> &DataKernel) {
+  const Program &P = IG.program();
+  for (const InterferenceGraph::Component &C : IG.connectedComponents()) {
+    if (C.Arrays.empty())
+      continue;
+    unsigned Root = C.Arrays.front();
+    unsigned RootRank = P.array(Root).rank();
+
+    // Transfer matrices to the root's array space.
+    std::map<unsigned, Matrix> ArrayT; // ArrayId -> m_root x m_a.
+    std::map<unsigned, Matrix> NestT;  // NestId -> m_root x l_j.
+    ArrayT[Root] = Matrix::identity(RootRank);
+
+    VectorSpace Constraint(RootRank);
+    std::deque<std::pair<bool, unsigned>> Work; // (isArray, id).
+    Work.push_back({true, Root});
+    while (!Work.empty()) {
+      auto [IsArray, Id] = Work.front();
+      Work.pop_front();
+      if (IsArray) {
+        const Matrix &TX = ArrayT[Id];
+        for (const InterferenceEdge *E : IG.edgesOfArray(Id)) {
+          for (const AffineAccessMap &M : E->Accesses) {
+            Matrix TJ = TX * M.linear(); // C_j = D_root * TJ.
+            auto It = NestT.find(E->NestId);
+            if (It == NestT.end()) {
+              NestT[E->NestId] = TJ;
+              Work.push_back({false, E->NestId});
+              continue;
+            }
+            Matrix Diff = It->second - TJ;
+            for (const Vector &Col : Diff.columnSpaceBasis())
+              Constraint.insert(Col);
+          }
+        }
+        continue;
+      }
+      const Matrix &TJ = NestT[Id];
+      for (const InterferenceEdge *E : IG.edgesOfNest(Id)) {
+        for (const AffineAccessMap &M : E->Accesses) {
+          Matrix TY = TJ * M.linear().rightPseudoInverse();
+          auto It = ArrayT.find(E->ArrayId);
+          if (It == ArrayT.end()) {
+            ArrayT[E->ArrayId] = TY;
+            Work.push_back({true, E->ArrayId});
+            continue;
+          }
+          Matrix Diff = It->second - TY;
+          for (const Vector &Col : Diff.columnSpaceBasis())
+            Constraint.insert(Col);
+        }
+      }
+    }
+    // Restrict to the section of the root that is actually accessed
+    // (Sec. 4.2's subsection rule) and record the constraint.
+    Constraint = Constraint.intersect(IG.accessedSpace(Root));
+    DataKernel[Root].unionWith(Constraint);
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The fixpoint (Figure 2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+PartitionResult solveImpl(const InterferenceGraph &IG,
+                          const PartitionOptions &Opts, bool BlockedInit) {
+  const Program &P = IG.program();
+  PartitionResult R;
+
+  // Initialize computation partitions (constraint 1).
+  for (unsigned N : IG.nests()) {
+    R.CompKernel[N] = singleLoopConstraint(P.nest(N), BlockedInit);
+    auto Seed = Opts.SeedComp.find(N);
+    if (Seed != Opts.SeedComp.end())
+      R.CompKernel[N].unionWith(Seed->second);
+  }
+  // Initialize data partitions (constraint 2).
+  for (unsigned A : IG.arrays()) {
+    R.DataKernel[A] = VectorSpace(P.array(A).rank());
+    auto Seed = Opts.SeedData.find(A);
+    if (Seed != Opts.SeedData.end())
+      R.DataKernel[A].unionWith(Seed->second);
+  }
+  multipleArrayConstraint(IG, R.DataKernel);
+
+  // Worklist fixpoint on constraint 3 (Eqns. 5 and 6). Partitions only
+  // grow, so this terminates (Lemma 4.2).
+  std::set<unsigned> DirtyNests(IG.nests().begin(), IG.nests().end());
+  std::set<unsigned> DirtyArrays(IG.arrays().begin(), IG.arrays().end());
+  while (!DirtyNests.empty() || !DirtyArrays.empty()) {
+    if (!DirtyNests.empty()) {
+      unsigned J = *DirtyNests.begin();
+      DirtyNests.erase(DirtyNests.begin());
+      // Update_Arrays: ker D_x += span{ F t : t in ker C_j }  (Eqn. 5).
+      for (const InterferenceEdge *E : IG.edgesOfNest(J))
+        for (const AffineAccessMap &M : E->Accesses)
+          if (R.DataKernel[E->ArrayId].unionWith(
+                  R.CompKernel[J].imageUnder(M.linear())))
+            DirtyArrays.insert(E->ArrayId);
+      continue;
+    }
+    unsigned X = *DirtyArrays.begin();
+    DirtyArrays.erase(DirtyArrays.begin());
+    // Update_Loops: ker C_j += { t : F t in ker D_x }  (Eqn. 6; this
+    // automatically includes ker F).
+    for (const InterferenceEdge *E : IG.edgesOfArray(X))
+      for (const AffineAccessMap &M : E->Accesses)
+        if (R.CompKernel[E->NestId].unionWith(
+                R.DataKernel[X].preimageUnder(M.linear())))
+          DirtyNests.insert(E->NestId);
+  }
+
+  // Unblocked solve: localized spaces coincide with the kernels.
+  for (const auto &[N, K] : R.CompKernel)
+    R.CompLocalized[N] = K;
+  for (const auto &[A, K] : R.DataKernel)
+    R.DataLocalized[A] = K;
+  return R;
+}
+
+} // namespace
+
+PartitionResult alp::solvePartitions(const InterferenceGraph &IG,
+                                     const PartitionOptions &Opts) {
+  return solveImpl(IG, Opts, /*BlockedInit=*/false);
+}
+
+PartitionResult
+alp::solvePartitionsWithBlocks(const InterferenceGraph &IG,
+                               const PartitionOptions &Opts) {
+  // First try for a communication-free solution with forall parallelism.
+  PartitionResult R = solveImpl(IG, Opts, /*BlockedInit=*/false);
+  if (R.totalParallelism() > 0)
+    return R;
+
+  // No parallelism: the kernels just found are exactly the localized
+  // spaces (Figure 4); re-solve with tileable loops released.
+  PartitionResult Localized = R;
+  PartitionResult B = solveImpl(IG, Opts, /*BlockedInit=*/true);
+  B.CompLocalized = Localized.CompKernel;
+  B.DataLocalized = Localized.DataKernel;
+  for (const auto &[N, K] : B.CompKernel) {
+    assert(B.CompLocalized[N].containsSpace(K) &&
+           "blocked kernel escaped the localized space");
+    if (B.CompLocalized[N] != K)
+      B.Blocked = true;
+  }
+  return B;
+}

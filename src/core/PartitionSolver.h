@@ -1,0 +1,79 @@
+//===- core/PartitionSolver.h - Partition algorithms (Sec. 4/5) -*- C++ -*-===//
+///
+/// \file
+/// The heart of the paper: the iterative partition algorithm of Sec. 4.3
+/// (Figure 2) and its blocked extension of Sec. 5.2 (Figure 4).
+///
+/// Partitions are subspaces: ker C per nest (iterations on one processor)
+/// and ker D per array (elements on one processor). The solver
+///
+///  1. initializes computation partitions from the single-loop constraint
+///     (sequential loops contribute their elementary basis vector; in the
+///     blocked variant, tileable sequential loops are exempt),
+///  2. initializes data partitions from the multiple-array constraint
+///     (Eqn. 4): around every cycle of the interference graph the
+///     composition of access functions must agree, which forces directions
+///     into ker D,
+///  3. runs the Update_Loops / Update_Arrays fixpoint (Eqns. 5 and 6)
+///     until stable. Partitions only ever grow, so termination follows
+///     from dimension monotonicity (Lemma 4.2).
+///
+/// Partition_with_Blocks first looks for a communication-free solution
+/// with parallelism; failing that it records the found kernels as the
+/// localized spaces Lc / Ld and re-solves with tileable loops released,
+/// yielding doacross (pipelined) parallelism (Sec. 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_CORE_PARTITIONSOLVER_H
+#define ALP_CORE_PARTITIONSOLVER_H
+
+#include "core/InterferenceGraph.h"
+#include "linalg/VectorSpace.h"
+
+#include <map>
+
+namespace alp {
+
+/// Partitions (and localized spaces) for one interference graph.
+struct PartitionResult {
+  std::map<unsigned, VectorSpace> CompKernel; // Nest -> ker C.
+  std::map<unsigned, VectorSpace> DataKernel; // Array -> ker D.
+  std::map<unsigned, VectorSpace> CompLocalized; // Nest -> Lc.
+  std::map<unsigned, VectorSpace> DataLocalized; // Array -> Ld.
+  /// True when the blocked pass ran and kernels differ from localized
+  /// spaces (doacross parallelism via tiling).
+  bool Blocked = false;
+
+  /// Degrees of parallelism of nest \p NestId under this partition.
+  unsigned parallelism(unsigned NestId) const;
+  /// Sum of parallelism over all nests (the "has any parallelism" test).
+  unsigned totalParallelism() const;
+
+  /// Number of virtual processor dimensions n (Sec. 4.3):
+  /// max_x (dim S_x - dim ker D_x).
+  unsigned virtualDims(const InterferenceGraph &IG) const;
+};
+
+/// Options controlling the solve.
+struct PartitionOptions {
+  /// Pre-seeded partitions (from an enclosing level or a previous join);
+  /// unioned into the initial constraint sets.
+  std::map<unsigned, VectorSpace> SeedComp;
+  std::map<unsigned, VectorSpace> SeedData;
+};
+
+/// Runs the Sec. 4 algorithm: static partitions, forall parallelism only.
+PartitionResult solvePartitions(const InterferenceGraph &IG,
+                                const PartitionOptions &Opts = {});
+
+/// Runs the Sec. 5 algorithm: like solvePartitions, but if the result has
+/// no parallelism at all, retries with tileable loops released and records
+/// localized spaces. Nests must carry PermutableBands annotations (local
+/// phase).
+PartitionResult solvePartitionsWithBlocks(const InterferenceGraph &IG,
+                                          const PartitionOptions &Opts = {});
+
+} // namespace alp
+
+#endif // ALP_CORE_PARTITIONSOLVER_H

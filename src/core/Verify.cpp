@@ -1,0 +1,87 @@
+//===- core/Verify.cpp - Decomposition invariant checking --------------------===//
+
+#include "core/Verify.h"
+
+#include <sstream>
+
+using namespace alp;
+
+std::vector<std::string>
+alp::verifyDecomposition(const Program &P, const ProgramDecomposition &PD) {
+  std::vector<std::string> Issues;
+  auto Report = [&](const std::string &S) { Issues.push_back(S); };
+
+  for (const auto &[NestId, CD] : PD.Comp) {
+    const LoopNest &Nest = P.nest(NestId);
+    // ker(C) must be exactly the recorded computation partition.
+    if (VectorSpace::kernelOf(CD.C) != CD.Kernel) {
+      std::ostringstream OS;
+      OS << "nest " << NestId << ": ker(C) = "
+         << VectorSpace::kernelOf(CD.C).str() << " != recorded partition "
+         << CD.Kernel.str();
+      Report(OS.str());
+    }
+    if (!CD.Localized.containsSpace(CD.Kernel)) {
+      std::ostringstream OS;
+      OS << "nest " << NestId << ": Lc does not contain ker C";
+      Report(OS.str());
+    }
+
+    for (const Statement &S : Nest.Body)
+      for (const ArrayAccess &A : S.Accesses) {
+        auto DIt = PD.Data.find({A.ArrayId, NestId});
+        if (DIt == PD.Data.end()) {
+          std::ostringstream OS;
+          OS << "nest " << NestId << ": no data decomposition for array "
+             << P.array(A.ArrayId).Name;
+          Report(OS.str());
+          continue;
+        }
+        const DataDecomposition &DD = DIt->second;
+        if (!VectorSpace::kernelOf(DD.D).containsSpace(DD.Kernel)) {
+          std::ostringstream OS;
+          OS << "array " << P.array(A.ArrayId).Name << " @nest " << NestId
+             << ": ker(D) misses the recorded partition";
+          Report(OS.str());
+        }
+        if (!DD.Localized.containsSpace(DD.Kernel)) {
+          std::ostringstream OS;
+          OS << "array " << P.array(A.ArrayId).Name << " @nest " << NestId
+             << ": Ld does not contain ker D";
+          Report(OS.str());
+        }
+        // Replicated arrays satisfy Eqn. 7 instead of Eqn. 3.
+        if (PD.ReplicatedDims.count(A.ArrayId) &&
+            PD.ReplicatedDims.at(A.ArrayId) > 0)
+          continue;
+        if (DD.D.rows() != CD.C.rows())
+          continue; // Different-era matrices (defensive; not expected).
+        if (DD.D * A.Map.linear() != CD.C) {
+          std::ostringstream OS;
+          OS << "array " << P.array(A.ArrayId).Name << " @nest " << NestId
+             << ": D*F = " << (DD.D * A.Map.linear()).str()
+             << " != C = " << CD.C.str() << " (Theorem 4.1 violated)";
+          Report(OS.str());
+        }
+      }
+  }
+
+  // Within one component, an array has a single decomposition.
+  std::map<std::pair<unsigned, unsigned>, const DataDecomposition *> Seen;
+  for (const auto &[Key, DD] : PD.Data) {
+    auto [ArrayId, NestId] = Key;
+    auto CIt = PD.ComponentOf.find(NestId);
+    if (CIt == PD.ComponentOf.end())
+      continue;
+    auto [It, Inserted] = Seen.insert({{ArrayId, CIt->second}, &DD});
+    if (Inserted)
+      continue;
+    if (It->second->D != DD.D || It->second->Delta != DD.Delta) {
+      std::ostringstream OS;
+      OS << "array " << P.array(ArrayId).Name
+         << " has two decompositions inside component " << CIt->second;
+      Report(OS.str());
+    }
+  }
+  return Issues;
+}

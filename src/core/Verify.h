@@ -1,0 +1,38 @@
+//===- core/Verify.h - Decomposition invariant checking ---------*- C++ -*-===//
+///
+/// \file
+/// Machine-checkable invariants of a ProgramDecomposition:
+///
+///  * Theorem 4.1 at the matrix level: within a component, for every
+///    access F of array x in nest j, D_x F == C_j (replicated arrays are
+///    exempt; their relation is Eqn. 7).
+///  * Kernel consistency: ker(D) contains the recorded data partition and
+///    ker(C) equals the recorded computation partition.
+///  * Localized spaces contain their kernels (Lc >= ker C, Ld >= ker D).
+///  * Dynamic data decompositions only differ across components, never
+///    within one.
+///
+/// Used by tests and available to library users as a sanity check on any
+/// hand-constructed decomposition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_CORE_VERIFY_H
+#define ALP_CORE_VERIFY_H
+
+#include "core/Decomposition.h"
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace alp {
+
+/// Returns a list of violated invariants (empty when the decomposition is
+/// consistent).
+std::vector<std::string>
+verifyDecomposition(const Program &P, const ProgramDecomposition &PD);
+
+} // namespace alp
+
+#endif // ALP_CORE_VERIFY_H

@@ -1,0 +1,110 @@
+//===- frontend/Ast.h - DSL abstract syntax ---------------------*- C++ -*-===//
+///
+/// \file
+/// The parsed form of a DSL program, prior to lowering into the affine IR.
+/// Affine positions (array subscripts, loop bounds) are parsed directly
+/// into AffineForm: rational coefficients on enclosing loop indices plus a
+/// symbolic-affine remainder over the declared parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_FRONTEND_AST_H
+#define ALP_FRONTEND_AST_H
+
+#include "linalg/SymAffine.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alp {
+namespace ast {
+
+/// An affine expression over named loop indices and symbolic parameters.
+struct AffineForm {
+  std::map<std::string, Rational> IndexCoeffs; // Nonzero only.
+  SymAffine Rest;
+
+  AffineForm() = default;
+  AffineForm(SymAffine Rest) : Rest(std::move(Rest)) {} // NOLINT: implicit.
+
+  static AffineForm index(const std::string &Name,
+                          Rational Coeff = Rational(1));
+
+  AffineForm operator+(const AffineForm &RHS) const;
+  AffineForm operator-(const AffineForm &RHS) const;
+  AffineForm operator-() const;
+  AffineForm scaled(const Rational &S) const;
+
+  /// Substitutes index \p Name by \p Replacement (used when normalizing
+  /// strided loops: i = step * i' + lower).
+  AffineForm substituted(const std::string &Name,
+                         const AffineForm &Replacement) const;
+
+  bool dependsOnIndices() const { return !IndexCoeffs.empty(); }
+};
+
+/// A reference "Name[sub1, sub2, ...]".
+struct ArrayRefAST {
+  std::string Name;
+  std::vector<AffineForm> Subscripts;
+  SourceLoc Loc;
+};
+
+struct LoopAST;
+struct BranchAST;
+
+/// One assignment statement.
+struct StmtAST {
+  ArrayRefAST Lhs;
+  bool IsPlusAssign = false; // += also reads the LHS location.
+  std::vector<ArrayRefAST> Reads;
+  std::string Text;       // Source spelling, for display.
+  unsigned Cost = 0;      // From @cost(n); 0 means "derive from refs".
+  SourceLoc Loc;
+};
+
+/// One item of a block: exactly one of the pointers is set.
+struct BlockItemAST {
+  std::unique_ptr<LoopAST> Loop;
+  std::unique_ptr<BranchAST> Branch;
+  std::unique_ptr<StmtAST> Stmt;
+};
+
+struct LoopAST {
+  bool IsForall = false;
+  std::string Index;
+  /// Effective lower bound: max of the terms; upper: min of the terms
+  /// (DSL syntax: `max(e1, e2, ...)` / `min(e1, e2, ...)`).
+  std::vector<AffineForm> Lower;
+  std::vector<AffineForm> Upper;
+  int64_t Step = 1;
+  std::vector<BlockItemAST> Body;
+  SourceLoc Loc;
+};
+
+struct BranchAST {
+  double TakenProbability = 0.5;
+  std::vector<BlockItemAST> Then;
+  std::vector<BlockItemAST> Else;
+  SourceLoc Loc;
+};
+
+struct ProgramAST {
+  std::string Name;
+  std::vector<std::pair<std::string, int64_t>> Params;
+  struct ArrayDecl {
+    std::string Name;
+    std::vector<SymAffine> DimSizes;
+    SourceLoc Loc;
+  };
+  std::vector<ArrayDecl> Arrays;
+  std::vector<BlockItemAST> Body;
+};
+
+} // namespace ast
+} // namespace alp
+
+#endif // ALP_FRONTEND_AST_H

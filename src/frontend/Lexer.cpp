@@ -1,0 +1,160 @@
+//===- frontend/Lexer.cpp - DSL tokenizer -----------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace alp;
+
+int64_t Token::integerValue() const {
+  assert(Kind == TokenKind::Integer && "not an integer token");
+  return std::strtoll(Spelling.c_str(), nullptr, 10);
+}
+
+double Token::floatValue() const {
+  assert((Kind == TokenKind::Float || Kind == TokenKind::Integer) &&
+         "not a numeric token");
+  return std::strtod(Spelling.c_str(), nullptr);
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::lexToken() {
+  skipWhitespaceAndComments();
+  Token T;
+  T.Loc = here();
+  if (atEnd()) {
+    T.Kind = TokenKind::Eof;
+    return T;
+  }
+  char C = advance();
+  switch (C) {
+  case '{':
+    T.Kind = TokenKind::LBrace;
+    return T;
+  case '}':
+    T.Kind = TokenKind::RBrace;
+    return T;
+  case '[':
+    T.Kind = TokenKind::LBracket;
+    return T;
+  case ']':
+    T.Kind = TokenKind::RBracket;
+    return T;
+  case '(':
+    T.Kind = TokenKind::LParen;
+    return T;
+  case ')':
+    T.Kind = TokenKind::RParen;
+    return T;
+  case ',':
+    T.Kind = TokenKind::Comma;
+    return T;
+  case ';':
+    T.Kind = TokenKind::Semicolon;
+    return T;
+  case '@':
+    T.Kind = TokenKind::At;
+    return T;
+  case '=':
+    T.Kind = TokenKind::Assign;
+    return T;
+  case '+':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokenKind::PlusAssign;
+    } else {
+      T.Kind = TokenKind::Plus;
+    }
+    return T;
+  case '-':
+    T.Kind = TokenKind::Minus;
+    return T;
+  case '*':
+    T.Kind = TokenKind::Star;
+    return T;
+  case '/':
+    T.Kind = TokenKind::Slash;
+    return T;
+  default:
+    break;
+  }
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::string Num(1, C);
+    bool SawDot = false;
+    while (!atEnd() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                        (peek() == '.' && !SawDot))) {
+      if (peek() == '.')
+        SawDot = true;
+      Num.push_back(advance());
+    }
+    T.Kind = SawDot ? TokenKind::Float : TokenKind::Integer;
+    T.Spelling = Num;
+    return T;
+  }
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Id(1, C);
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_'))
+      Id.push_back(advance());
+    static const std::map<std::string, TokenKind> Keywords = {
+        {"program", TokenKind::KwProgram}, {"param", TokenKind::KwParam},
+        {"array", TokenKind::KwArray},     {"for", TokenKind::KwFor},
+        {"forall", TokenKind::KwForall},   {"to", TokenKind::KwTo},
+        {"by", TokenKind::KwBy},           {"if", TokenKind::KwIf},
+        {"else", TokenKind::KwElse},       {"prob", TokenKind::KwProb},
+        {"cost", TokenKind::KwCost}};
+    auto It = Keywords.find(Id);
+    T.Kind = It == Keywords.end() ? TokenKind::Identifier : It->second;
+    T.Spelling = Id;
+    return T;
+  }
+  Diags.error(T.Loc, std::string("unexpected character '") + C + "'");
+  return lexToken();
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = lexToken();
+    bool Done = T.is(TokenKind::Eof);
+    Tokens.push_back(std::move(T));
+    if (Done)
+      return Tokens;
+  }
+}

@@ -1,0 +1,102 @@
+//===- frontend/Lexer.h - DSL tokenizer -------------------------*- C++ -*-===//
+///
+/// \file
+/// Tokenizer for the affine-loop DSL in which example programs are written:
+///
+/// \code
+///   program fig1;
+///   param N = 1024;
+///   array X[N + 1, N + 1];
+///   for i1 = 0 to N {
+///     forall i2 = 0 to N {
+///       Y[i1, N - i2] += X[i1, i2];
+///     }
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_FRONTEND_LEXER_H
+#define ALP_FRONTEND_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace alp {
+
+enum class TokenKind {
+  // Literals and identifiers.
+  Identifier,
+  Integer,
+  Float,
+  // Keywords.
+  KwProgram,
+  KwParam,
+  KwArray,
+  KwFor,
+  KwForall,
+  KwTo,
+  KwBy,
+  KwIf,
+  KwElse,
+  KwProb,
+  KwCost,
+  // Punctuation.
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  LParen,
+  RParen,
+  Comma,
+  Semicolon,
+  Assign,     // =
+  PlusAssign, // +=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  At,
+  Eof
+};
+
+/// One token with its source range and spelling.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Spelling;
+  SourceLoc Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  int64_t integerValue() const;
+  double floatValue() const;
+};
+
+/// Converts DSL text into a token stream. Lexical errors are reported to
+/// the DiagnosticEngine and yield an Eof-terminated best-effort stream.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes the whole input; the last token is always Eof.
+  std::vector<Token> lexAll();
+
+private:
+  std::string Source;
+  DiagnosticEngine &Diags;
+  unsigned Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  SourceLoc here() const { return {Line, Column}; }
+  void skipWhitespaceAndComments();
+  Token lexToken();
+};
+
+} // namespace alp
+
+#endif // ALP_FRONTEND_LEXER_H

@@ -1,0 +1,463 @@
+//===- frontend/Lowering.cpp - AST to affine IR ------------------------------===//
+
+#include "frontend/Lowering.h"
+
+#include "frontend/Parser.h"
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace alp;
+using namespace alp::ast;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// AST deep copy (needed by loop distribution)
+//===----------------------------------------------------------------------===//
+
+BlockItemAST cloneItem(const BlockItemAST &Item);
+
+std::vector<BlockItemAST> cloneItems(const std::vector<BlockItemAST> &Items) {
+  std::vector<BlockItemAST> Out;
+  Out.reserve(Items.size());
+  for (const BlockItemAST &I : Items)
+    Out.push_back(cloneItem(I));
+  return Out;
+}
+
+BlockItemAST cloneItem(const BlockItemAST &Item) {
+  BlockItemAST Out;
+  if (Item.Stmt)
+    Out.Stmt = std::make_unique<StmtAST>(*Item.Stmt);
+  if (Item.Loop) {
+    Out.Loop = std::make_unique<LoopAST>();
+    Out.Loop->IsForall = Item.Loop->IsForall;
+    Out.Loop->Index = Item.Loop->Index;
+    Out.Loop->Lower = Item.Loop->Lower;
+    Out.Loop->Upper = Item.Loop->Upper;
+    Out.Loop->Step = Item.Loop->Step;
+    Out.Loop->Loc = Item.Loop->Loc;
+    Out.Loop->Body = cloneItems(Item.Loop->Body);
+  }
+  if (Item.Branch) {
+    Out.Branch = std::make_unique<BranchAST>();
+    Out.Branch->TakenProbability = Item.Branch->TakenProbability;
+    Out.Branch->Loc = Item.Branch->Loc;
+    Out.Branch->Then = cloneItems(Item.Branch->Then);
+    Out.Branch->Else = cloneItems(Item.Branch->Else);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Loop distribution pre-pass
+//===----------------------------------------------------------------------===//
+
+/// Rewrites \p Items so that no loop body mixes statements with loops or
+/// branches: each maximal statement run in a mixed body is moved into its
+/// own copy of the enclosing loop. Recurses bottom-up.
+std::vector<BlockItemAST> distribute(std::vector<BlockItemAST> Items) {
+  // Recurse first.
+  for (BlockItemAST &I : Items) {
+    if (I.Loop)
+      I.Loop->Body = distribute(std::move(I.Loop->Body));
+    if (I.Branch) {
+      I.Branch->Then = distribute(std::move(I.Branch->Then));
+      I.Branch->Else = distribute(std::move(I.Branch->Else));
+    }
+  }
+  std::vector<BlockItemAST> Out;
+  for (BlockItemAST &I : Items) {
+    if (!I.Loop) {
+      Out.push_back(std::move(I));
+      continue;
+    }
+    LoopAST &L = *I.Loop;
+    bool HasStmt = false, HasCompound = false;
+    unsigned CompoundCount = 0;
+    for (const BlockItemAST &C : L.Body) {
+      HasStmt |= C.Stmt != nullptr;
+      HasCompound |= C.Stmt == nullptr;
+      CompoundCount += C.Stmt == nullptr;
+    }
+    // A forall over several nests distributes freely (a parallel loop has
+    // no carried dependences by assertion, so splitting it is legal);
+    // this keeps the user's parallelism visible instead of demoting the
+    // loop to a sequential structure level.
+    bool SplitAll = L.IsForall && (CompoundCount > 1 || HasStmt);
+    if (!SplitAll && (!HasStmt || !HasCompound)) {
+      Out.push_back(std::move(I));
+      continue;
+    }
+    // Mixed body: emit one loop copy per maximal group.
+    std::vector<BlockItemAST> Group;
+    bool GroupIsStmts = false;
+    auto Flush = [&]() {
+      if (Group.empty())
+        return;
+      BlockItemAST Copy;
+      Copy.Loop = std::make_unique<LoopAST>();
+      Copy.Loop->IsForall = L.IsForall;
+      Copy.Loop->Index = L.Index;
+      Copy.Loop->Lower = L.Lower;
+      Copy.Loop->Upper = L.Upper;
+      Copy.Loop->Step = L.Step;
+      Copy.Loop->Loc = L.Loc;
+      Copy.Loop->Body = std::move(Group);
+      Group.clear();
+      Out.push_back(std::move(Copy));
+    };
+    for (BlockItemAST &C : L.Body) {
+      bool IsStmt = C.Stmt != nullptr;
+      if (!Group.empty() && (IsStmt != GroupIsStmts ||
+                             (SplitAll && !IsStmt)))
+        Flush();
+      GroupIsStmts = IsStmt;
+      Group.push_back(std::move(C));
+    }
+    Flush();
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Structure classification
+//===----------------------------------------------------------------------===//
+
+/// True if \p L roots a perfect nest: its body is either all statements or
+/// exactly one loop that itself roots a perfect nest.
+bool isNestLoop(const LoopAST &L) {
+  bool AllStmts = true;
+  for (const BlockItemAST &C : L.Body)
+    AllStmts &= C.Stmt != nullptr;
+  if (AllStmts && !L.Body.empty())
+    return true;
+  if (L.Body.size() == 1 && L.Body.front().Loop)
+    return isNestLoop(*L.Body.front().Loop);
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering proper
+//===----------------------------------------------------------------------===//
+
+class Lowering {
+public:
+  Lowering(const ProgramAST &Ast, DiagnosticEngine &Diags)
+      : Ast(Ast), Diags(Diags) {}
+
+  std::optional<Program> run();
+
+private:
+  const ProgramAST &Ast;
+  DiagnosticEngine &Diags;
+  Program P;
+
+  /// Indices of enclosing structure loops, usable as symbols.
+  std::set<std::string> StructSymbols;
+
+  std::vector<ProgramNode> lowerItems(const std::vector<BlockItemAST> &Items);
+  unsigned lowerNest(const LoopAST &Root);
+
+  /// Converts an AffineForm into (coefficients over \p ChainNames, symbolic
+  /// rest). Unknown index names that are structure symbols fold into the
+  /// rest. Returns false on reference to an index not in scope.
+  bool splitForm(const AffineForm &Form,
+                 const std::vector<std::string> &ChainNames, Vector &Coeffs,
+                 SymAffine &Rest, SourceLoc Loc);
+};
+
+bool Lowering::splitForm(const AffineForm &Form,
+                         const std::vector<std::string> &ChainNames,
+                         Vector &Coeffs, SymAffine &Rest, SourceLoc Loc) {
+  Coeffs = Vector::zero(ChainNames.size());
+  Rest = Form.Rest;
+  for (const auto &[Name, C] : Form.IndexCoeffs) {
+    auto It = std::find(ChainNames.begin(), ChainNames.end(), Name);
+    if (It != ChainNames.end()) {
+      Coeffs[It - ChainNames.begin()] = C;
+      continue;
+    }
+    if (StructSymbols.count(Name)) {
+      Rest += SymAffine::symbol(Name, C);
+      continue;
+    }
+    Diags.error(Loc, "index '" + Name + "' is not in scope here");
+    return false;
+  }
+  return true;
+}
+
+unsigned Lowering::lowerNest(const LoopAST &Root) {
+  unsigned Id = P.Nests.size();
+  P.Nests.emplace_back();
+  LoopNest &Nest = P.Nests.back();
+  Nest.Id = Id;
+
+  // Collect the loop chain and apply strided-loop normalization through a
+  // substitution environment mapping source index names to affine forms
+  // over the normalized indices.
+  std::vector<const LoopAST *> Chain;
+  for (const LoopAST *L = &Root;;) {
+    Chain.push_back(L);
+    if (L->Body.size() == 1 && L->Body.front().Loop) {
+      L = L->Body.front().Loop.get();
+      continue;
+    }
+    break;
+  }
+  unsigned Depth = Chain.size();
+  std::vector<std::string> Names;
+  for (const LoopAST *L : Chain)
+    Names.push_back(L->Index);
+
+  // Substitutions for strided loops: i -> step * i + lo (the normalized
+  // index keeps the source name).
+  std::map<std::string, AffineForm> Subst;
+  auto Substitute = [&](AffineForm F) {
+    for (const auto &[Name, Repl] : Subst)
+      F = F.substituted(Name, Repl);
+    return F;
+  };
+
+  for (unsigned D = 0; D != Depth; ++D) {
+    const LoopAST &L = *Chain[D];
+    Loop Out;
+    Out.IndexName = L.Index;
+    Out.Kind = L.IsForall ? LoopKind::Parallel : LoopKind::Sequential;
+    std::vector<AffineForm> Lows, Highs;
+    for (const AffineForm &T : L.Lower)
+      Lows.push_back(Substitute(T));
+    for (const AffineForm &T : L.Upper)
+      Highs.push_back(Substitute(T));
+    if (L.Step != 1) {
+      if (Lows.size() != 1 || Highs.size() != 1) {
+        Diags.error(L.Loc,
+                    "strided loops must have single-term bounds");
+        return Id;
+      }
+      AffineForm Lo = Lows.front(), Hi = Highs.front();
+      if (L.Step < 0) {
+        // for i = hi down to lo by -s  ==  reversed; normalize by swapping.
+        std::swap(Lo, Hi);
+      }
+      int64_t S = L.Step < 0 ? -L.Step : L.Step;
+      // i = S * i' + lo with i' in [0, (hi - lo) / S].
+      AffineForm Repl =
+          AffineForm::index(L.Index, Rational(S)) + Lo;
+      Highs.front() = (Hi - Lo).scaled(Rational(1, S));
+      Lows.front() = AffineForm(SymAffine(0));
+      Subst[L.Index] = Repl; // Applies to deeper bounds and subscripts.
+    }
+    auto EmitTerms = [&](const std::vector<AffineForm> &Terms,
+                         std::vector<BoundTerm> &Dst) {
+      for (const AffineForm &T : Terms) {
+        Vector C;
+        SymAffine Rest;
+        if (!splitForm(T, Names, C, Rest, L.Loc))
+          return false;
+        // A loop bound may only mention strictly-outer chain indices.
+        for (unsigned J = D; J != Depth; ++J)
+          if (!C[J].isZero()) {
+            Diags.error(L.Loc, "bound of loop '" + L.Index +
+                                   "' depends on itself or an inner index");
+            return false;
+          }
+        Dst.push_back(BoundTerm(C, Rest));
+      }
+      return true;
+    };
+    if (!EmitTerms(Lows, Out.Lower) || !EmitTerms(Highs, Out.Upper))
+      return Id;
+    Nest.Loops.push_back(std::move(Out));
+  }
+
+  // Lower the statement run at the innermost level.
+  for (const BlockItemAST &C : Chain.back()->Body) {
+    assert(C.Stmt && "nest chain must end in statements");
+    const StmtAST &S = *C.Stmt;
+    Statement Out;
+    auto LowerRef = [&](const ArrayRefAST &R, bool IsWrite,
+                        bool &Ok) -> ArrayAccess {
+      ArrayAccess A;
+      A.IsWrite = IsWrite;
+      Ok = true;
+      // Array name resolution.
+      bool Found = false;
+      for (unsigned I = 0; I != P.Arrays.size(); ++I)
+        if (P.Arrays[I].Name == R.Name) {
+          A.ArrayId = I;
+          Found = true;
+          break;
+        }
+      if (!Found) {
+        Diags.error(R.Loc, "unknown array '" + R.Name + "'");
+        Ok = false;
+        return A;
+      }
+      if (R.Subscripts.size() != P.Arrays[A.ArrayId].rank()) {
+        Diags.error(R.Loc, "array '" + R.Name + "' has rank " +
+                               std::to_string(P.Arrays[A.ArrayId].rank()) +
+                               " but is subscripted with " +
+                               std::to_string(R.Subscripts.size()) +
+                               " expressions");
+        Ok = false;
+        return A;
+      }
+      Matrix F(R.Subscripts.size(), Depth);
+      SymVector K(R.Subscripts.size());
+      for (unsigned Dim = 0; Dim != R.Subscripts.size(); ++Dim) {
+        Vector Coeffs;
+        SymAffine Rest;
+        if (!splitForm(Substitute(R.Subscripts[Dim]), Names, Coeffs, Rest,
+                       R.Loc)) {
+          Ok = false;
+          return A;
+        }
+        for (unsigned J = 0; J != Depth; ++J) {
+          if (!Coeffs[J].isInteger()) {
+            Diags.error(R.Loc, "non-integer subscript coefficient");
+            Ok = false;
+            return A;
+          }
+          F.at(Dim, J) = Coeffs[J];
+        }
+        K[Dim] = Rest;
+      }
+      A.Map = AffineAccessMap(std::move(F), std::move(K));
+      return A;
+    };
+    bool Ok = true;
+    ArrayAccess W = LowerRef(S.Lhs, /*IsWrite=*/true, Ok);
+    if (!Ok)
+      continue;
+    Out.Accesses.push_back(W);
+    if (S.IsPlusAssign) {
+      ArrayAccess RAcc = W;
+      RAcc.IsWrite = false;
+      Out.Accesses.push_back(std::move(RAcc));
+    }
+    for (const ArrayRefAST &R : S.Reads) {
+      ArrayAccess A = LowerRef(R, /*IsWrite=*/false, Ok);
+      if (!Ok)
+        break;
+      Out.Accesses.push_back(std::move(A));
+    }
+    if (!Ok)
+      continue;
+    Out.WorkCycles =
+        S.Cost ? S.Cost : 1 + static_cast<unsigned>(Out.Accesses.size());
+    // Reconstruct display text from the refs ("W[..] = f(R[..], ...)").
+    Nest.Body.push_back(std::move(Out));
+  }
+  return Id;
+}
+
+std::vector<ProgramNode>
+Lowering::lowerItems(const std::vector<BlockItemAST> &Items) {
+  std::vector<ProgramNode> Out;
+  for (const BlockItemAST &I : Items) {
+    if (I.Stmt) {
+      Diags.error(I.Stmt->Loc,
+                  "statement is not enclosed in any loop; wrap it in a "
+                  "(possibly trivial) loop nest");
+      continue;
+    }
+    if (I.Branch) {
+      std::vector<ProgramNode> Then = lowerItems(I.Branch->Then);
+      std::vector<ProgramNode> Else = lowerItems(I.Branch->Else);
+      Out.push_back(ProgramNode::branch(I.Branch->TakenProbability,
+                                        std::move(Then), std::move(Else)));
+      continue;
+    }
+    const LoopAST &L = *I.Loop;
+    if (isNestLoop(L)) {
+      Out.push_back(ProgramNode::nest(lowerNest(L)));
+      continue;
+    }
+    if (L.Body.empty()) {
+      Diags.error(L.Loc, "empty loop body");
+      continue;
+    }
+    // Structure level: the loop's index becomes a symbolic constant for
+    // everything inside (Sec. 6.4: "references to loop indices outside the
+    // current nesting level are treated as symbolic constants").
+    if (L.IsForall)
+      Diags.warning(L.Loc,
+                    "forall over multiple nests is treated as a sequential "
+                    "structure level");
+    // Trip count (upper - lower)/|step| + 1 must be index-free apart from
+    // enclosing structure symbols; min/max bounds use their first term as
+    // the estimate.
+    AffineForm TripForm =
+        (L.Upper.front() - L.Lower.front())
+            .scaled(Rational(1, std::abs(L.Step))) +
+        AffineForm(SymAffine(1));
+    SymAffine Trip = TripForm.Rest;
+    for (const auto &[Name, C] : TripForm.IndexCoeffs) {
+      if (!StructSymbols.count(Name)) {
+        Diags.error(L.Loc, "structure loop bound depends on index '" + Name +
+                               "' of an enclosing nest loop");
+        continue;
+      }
+      Trip += SymAffine::symbol(Name, C);
+    }
+    bool Inserted = StructSymbols.insert(L.Index).second;
+    // Give estimators a binding: pin the structure symbol at its lower
+    // bound (the simulator rebinds it every iteration).
+    AffineForm Lo = L.Lower.front();
+    Rational LoVal(0);
+    if (Lo.IndexCoeffs.empty()) {
+      // Evaluate with existing bindings if possible; default 0 otherwise.
+      bool AllBound = true;
+      for (const auto &[Sym, C] : Lo.Rest.symbolCoeffs())
+        AllBound &= P.SymbolBindings.count(Sym) != 0;
+      if (AllBound)
+        LoVal = Lo.Rest.evaluate(P.SymbolBindings);
+    }
+    P.SymbolBindings.emplace(L.Index, LoVal);
+    std::vector<ProgramNode> Body = lowerItems(L.Body);
+    if (Inserted)
+      StructSymbols.erase(L.Index);
+    Out.push_back(
+        ProgramNode::sequentialLoop(L.Index, Trip, std::move(Body)));
+  }
+  return Out;
+}
+
+std::optional<Program> Lowering::run() {
+  P.Name = Ast.Name;
+  for (const auto &[Name, Value] : Ast.Params)
+    P.SymbolBindings[Name] = Rational(Value);
+  for (const ProgramAST::ArrayDecl &D : Ast.Arrays) {
+    ArraySymbol A;
+    A.Name = D.Name;
+    A.DimSizes = D.DimSizes;
+    P.Arrays.push_back(std::move(A));
+  }
+  // Pre-passes on a mutable AST copy: distribution.
+  std::vector<BlockItemAST> Body = distribute(cloneItems(Ast.Body));
+  P.TopLevel = lowerItems(Body);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  P.verify();
+  P.recomputeProfiles();
+  return std::move(P);
+}
+
+} // namespace
+
+std::optional<Program> alp::lowerToProgram(const ProgramAST &Ast,
+                                           DiagnosticEngine &Diags) {
+  return Lowering(Ast, Diags).run();
+}
+
+std::optional<Program> alp::compileDsl(const std::string &Source,
+                                       DiagnosticEngine &Diags) {
+  auto Ast = parseDsl(Source, Diags);
+  if (!Ast)
+    return std::nullopt;
+  return lowerToProgram(*Ast, Diags);
+}

@@ -1,0 +1,40 @@
+//===- frontend/Lowering.h - AST to affine IR ------------------*- C++ -*-===//
+///
+/// \file
+/// Lowers a parsed ProgramAST into the decomposition-ready Program IR,
+/// performing the paper's front-end pre-passes (Sec. 2.1):
+///
+///  * loop normalization — strided loops `for i = lo to hi by s` are
+///    rewritten to unit stride with `i = s*i' + lo` substituted into every
+///    subscript and bound;
+///  * loop distribution — a statement run that shares a loop body with
+///    inner loops is split into its own copy of the enclosing loop so that
+///    every statement ends up in a perfect nest (legality is assumed, as in
+///    the paper's prepass);
+///  * structure classification — a sequential loop whose body holds several
+///    nests or a branch becomes a structure level (Sec. 6.4); its index is
+///    treated as a symbolic constant inside the enclosed nests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_FRONTEND_LOWERING_H
+#define ALP_FRONTEND_LOWERING_H
+
+#include "frontend/Ast.h"
+#include "ir/Program.h"
+
+#include <optional>
+
+namespace alp {
+
+/// Lowers \p Ast; returns nullopt and fills \p Diags on semantic errors.
+std::optional<Program> lowerToProgram(const ast::ProgramAST &Ast,
+                                      DiagnosticEngine &Diags);
+
+/// Convenience: parse + lower DSL text in one step.
+std::optional<Program> compileDsl(const std::string &Source,
+                                  DiagnosticEngine &Diags);
+
+} // namespace alp
+
+#endif // ALP_FRONTEND_LOWERING_H

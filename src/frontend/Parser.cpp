@@ -1,0 +1,538 @@
+//===- frontend/Parser.cpp - DSL recursive-descent parser -------------------===//
+
+#include "frontend/Parser.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace alp;
+using namespace alp::ast;
+
+//===----------------------------------------------------------------------===//
+// AffineForm
+//===----------------------------------------------------------------------===//
+
+AffineForm AffineForm::index(const std::string &Name, Rational Coeff) {
+  AffineForm F;
+  if (!Coeff.isZero())
+    F.IndexCoeffs[Name] = Coeff;
+  return F;
+}
+
+AffineForm AffineForm::operator+(const AffineForm &RHS) const {
+  AffineForm F = *this;
+  F.Rest += RHS.Rest;
+  for (const auto &[Name, C] : RHS.IndexCoeffs) {
+    Rational &Slot = F.IndexCoeffs[Name];
+    Slot += C;
+    if (Slot.isZero())
+      F.IndexCoeffs.erase(Name);
+  }
+  return F;
+}
+
+AffineForm AffineForm::operator-(const AffineForm &RHS) const {
+  return *this + (-RHS);
+}
+
+AffineForm AffineForm::operator-() const {
+  AffineForm F;
+  F.Rest = -Rest;
+  for (const auto &[Name, C] : IndexCoeffs)
+    F.IndexCoeffs[Name] = -C;
+  return F;
+}
+
+AffineForm AffineForm::scaled(const Rational &S) const {
+  AffineForm F;
+  F.Rest = Rest.scaled(S);
+  if (S.isZero())
+    return F;
+  for (const auto &[Name, C] : IndexCoeffs)
+    F.IndexCoeffs[Name] = C * S;
+  return F;
+}
+
+AffineForm AffineForm::substituted(const std::string &Name,
+                                   const AffineForm &Replacement) const {
+  auto It = IndexCoeffs.find(Name);
+  if (It == IndexCoeffs.end())
+    return *this;
+  Rational C = It->second;
+  AffineForm F = *this;
+  F.IndexCoeffs.erase(Name);
+  return F + Replacement.scaled(C);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser plumbing
+//===----------------------------------------------------------------------===//
+
+Parser::Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+    : Tokens(std::move(Tokens)), Diags(Diags) {
+  assert(!this->Tokens.empty() && this->Tokens.back().is(TokenKind::Eof) &&
+         "token stream must be Eof-terminated");
+}
+
+const Token &Parser::peek(unsigned Ahead) const {
+  unsigned I = std::min<unsigned>(Pos + Ahead, Tokens.size() - 1);
+  return Tokens[I];
+}
+
+const Token &Parser::advance() {
+  const Token &T = Tokens[Pos];
+  if (!T.is(TokenKind::Eof))
+    ++Pos;
+  return T;
+}
+
+bool Parser::match(TokenKind K) {
+  if (!check(K))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind K, const std::string &What) {
+  if (match(K))
+    return true;
+  error("expected " + What);
+  return false;
+}
+
+void Parser::error(const std::string &Message) {
+  Diags.error(peek().Loc, Message);
+}
+
+void Parser::synchronizeToSemicolon() {
+  while (!check(TokenKind::Eof) && !match(TokenKind::Semicolon))
+    advance();
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+std::optional<ProgramAST> Parser::parseProgram() {
+  ProgramAST P;
+  if (expect(TokenKind::KwProgram, "'program'")) {
+    if (check(TokenKind::Identifier))
+      P.Name = advance().Spelling;
+    else
+      error("expected program name");
+    expect(TokenKind::Semicolon, "';' after program name");
+  }
+  while (check(TokenKind::KwParam) || check(TokenKind::KwArray)) {
+    if (check(TokenKind::KwParam))
+      parseParam(P);
+    else
+      parseArray(P);
+  }
+  P.Body = parseBlockItems(/*TopLevel=*/true);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return P;
+}
+
+void Parser::parseParam(ProgramAST &P) {
+  advance(); // 'param'.
+  do {
+    if (!check(TokenKind::Identifier)) {
+      error("expected parameter name");
+      synchronizeToSemicolon();
+      return;
+    }
+    std::string Name = advance().Spelling;
+    if (!ParamNames.insert(Name).second)
+      error("redefinition of parameter '" + Name + "'");
+    int64_t Value = 0;
+    if (expect(TokenKind::Assign, "'=' in param declaration")) {
+      bool Neg = match(TokenKind::Minus);
+      if (check(TokenKind::Integer))
+        Value = advance().integerValue() * (Neg ? -1 : 1);
+      else
+        error("expected integer default value");
+    }
+    P.Params.push_back({Name, Value});
+  } while (match(TokenKind::Comma));
+  expect(TokenKind::Semicolon, "';' after param declaration");
+}
+
+void Parser::parseArray(ProgramAST &P) {
+  advance(); // 'array'.
+  // One or more comma-separated declarators: Name[d1, d2, ...].
+  do {
+    if (!check(TokenKind::Identifier)) {
+      error("expected array name");
+      synchronizeToSemicolon();
+      return;
+    }
+    ProgramAST::ArrayDecl D;
+    D.Loc = peek().Loc;
+    D.Name = advance().Spelling;
+    if (!ArrayNames.insert(D.Name).second)
+      error("redefinition of array '" + D.Name + "'");
+    if (expect(TokenKind::LBracket, "'[' in array declaration")) {
+      do {
+        auto Dim = parseAffineExpr();
+        if (!Dim)
+          break;
+        if (Dim->dependsOnIndices()) {
+          error("array extent must not mention loop indices");
+          break;
+        }
+        D.DimSizes.push_back(Dim->Rest);
+      } while (match(TokenKind::Comma));
+      expect(TokenKind::RBracket, "']' after array extents");
+    }
+    P.Arrays.push_back(std::move(D));
+  } while (match(TokenKind::Comma));
+  expect(TokenKind::Semicolon, "';' after array declaration");
+}
+
+//===----------------------------------------------------------------------===//
+// Statements and blocks
+//===----------------------------------------------------------------------===//
+
+std::vector<BlockItemAST> Parser::parseBlock() {
+  std::vector<BlockItemAST> Items;
+  if (!expect(TokenKind::LBrace, "'{'"))
+    return Items;
+  Items = parseBlockItems(/*TopLevel=*/false);
+  expect(TokenKind::RBrace, "'}'");
+  return Items;
+}
+
+std::vector<BlockItemAST> Parser::parseBlockItems(bool TopLevel) {
+  std::vector<BlockItemAST> Items;
+  while (!check(TokenKind::Eof) && !check(TokenKind::RBrace)) {
+    auto Item = parseBlockItem();
+    if (Item) {
+      Items.push_back(std::move(*Item));
+      continue;
+    }
+    if (!TopLevel)
+      break;
+    advance(); // Skip the offending token and try again at top level.
+  }
+  return Items;
+}
+
+std::optional<BlockItemAST> Parser::parseBlockItem() {
+  BlockItemAST Item;
+  if (check(TokenKind::KwFor) || check(TokenKind::KwForall)) {
+    Item.Loop = parseLoop();
+    if (!Item.Loop)
+      return std::nullopt;
+    return Item;
+  }
+  if (check(TokenKind::KwIf)) {
+    Item.Branch = parseBranch();
+    if (!Item.Branch)
+      return std::nullopt;
+    return Item;
+  }
+  if (check(TokenKind::Identifier)) {
+    Item.Stmt = parseStmt();
+    if (!Item.Stmt)
+      return std::nullopt;
+    return Item;
+  }
+  error("expected a loop, branch, or assignment");
+  return std::nullopt;
+}
+
+std::unique_ptr<LoopAST> Parser::parseLoop() {
+  auto L = std::make_unique<LoopAST>();
+  L->Loc = peek().Loc;
+  L->IsForall = advance().is(TokenKind::KwForall);
+  if (!check(TokenKind::Identifier)) {
+    error("expected loop index name");
+    return nullptr;
+  }
+  L->Index = advance().Spelling;
+  if (ParamNames.count(L->Index) || ArrayNames.count(L->Index) ||
+      std::find(LoopStack.begin(), LoopStack.end(), L->Index) !=
+          LoopStack.end())
+    error("loop index '" + L->Index + "' shadows an existing name");
+  if (!expect(TokenKind::Assign, "'=' in loop header"))
+    return nullptr;
+  auto Lo = parseBoundExpr(/*IsLower=*/true);
+  if (!Lo || !expect(TokenKind::KwTo, "'to' in loop header"))
+    return nullptr;
+  auto Hi = parseBoundExpr(/*IsLower=*/false);
+  if (!Hi)
+    return nullptr;
+  L->Lower = std::move(*Lo);
+  L->Upper = std::move(*Hi);
+  if (match(TokenKind::KwBy)) {
+    bool Neg = match(TokenKind::Minus);
+    if (!check(TokenKind::Integer)) {
+      error("expected integer step after 'by'");
+      return nullptr;
+    }
+    L->Step = advance().integerValue() * (Neg ? -1 : 1);
+    if (L->Step == 0) {
+      error("loop step must be nonzero");
+      return nullptr;
+    }
+  }
+  LoopStack.push_back(L->Index);
+  L->Body = parseBlock();
+  LoopStack.pop_back();
+  return L;
+}
+
+std::unique_ptr<BranchAST> Parser::parseBranch() {
+  auto B = std::make_unique<BranchAST>();
+  B->Loc = peek().Loc;
+  advance(); // 'if'.
+  if (!expect(TokenKind::KwProb, "'prob' (branch conditions carry only a "
+                                 "profile probability)") ||
+      !expect(TokenKind::LParen, "'(' after 'prob'"))
+    return nullptr;
+  if (check(TokenKind::Float) || check(TokenKind::Integer)) {
+    B->TakenProbability = advance().floatValue();
+    if (B->TakenProbability < 0.0 || B->TakenProbability > 1.0)
+      error("branch probability must lie in [0, 1]");
+  } else {
+    error("expected probability literal");
+  }
+  expect(TokenKind::RParen, "')' after probability");
+  B->Then = parseBlock();
+  if (match(TokenKind::KwElse))
+    B->Else = parseBlock();
+  return B;
+}
+
+std::optional<std::vector<AffineForm>> Parser::parseBoundExpr(bool IsLower) {
+  // A bound is either one affine expression or max(...) (lower) /
+  // min(...) (upper) of several.
+  if (check(TokenKind::Identifier) &&
+      (peek().Spelling == "min" || peek().Spelling == "max") &&
+      peek(1).is(TokenKind::LParen)) {
+    bool IsMax = peek().Spelling == "max";
+    if (IsMax != IsLower) {
+      error(IsMax ? "max() is only meaningful as a lower bound"
+                  : "min() is only meaningful as an upper bound");
+      return std::nullopt;
+    }
+    advance(); // min/max.
+    advance(); // '('.
+    std::vector<AffineForm> Terms;
+    do {
+      auto T = parseAffineExpr();
+      if (!T)
+        return std::nullopt;
+      Terms.push_back(std::move(*T));
+    } while (match(TokenKind::Comma));
+    if (!expect(TokenKind::RParen, "')' after bound list"))
+      return std::nullopt;
+    return Terms;
+  }
+  auto T = parseAffineExpr();
+  if (!T)
+    return std::nullopt;
+  return std::vector<AffineForm>{std::move(*T)};
+}
+
+std::optional<ArrayRefAST> Parser::parseArrayRef() {
+  ArrayRefAST R;
+  R.Loc = peek().Loc;
+  R.Name = advance().Spelling;
+  if (!expect(TokenKind::LBracket, "'[' in array reference"))
+    return std::nullopt;
+  do {
+    auto Sub = parseAffineExpr();
+    if (!Sub)
+      return std::nullopt;
+    R.Subscripts.push_back(std::move(*Sub));
+  } while (match(TokenKind::Comma));
+  if (!expect(TokenKind::RBracket, "']' after subscripts"))
+    return std::nullopt;
+  return R;
+}
+
+std::unique_ptr<StmtAST> Parser::parseStmt() {
+  auto S = std::make_unique<StmtAST>();
+  S->Loc = peek().Loc;
+  if (!ArrayNames.count(peek().Spelling)) {
+    error("unknown array '" + peek().Spelling + "'");
+    synchronizeToSemicolon();
+    return nullptr;
+  }
+  auto Lhs = parseArrayRef();
+  if (!Lhs) {
+    synchronizeToSemicolon();
+    return nullptr;
+  }
+  S->Lhs = std::move(*Lhs);
+  if (match(TokenKind::PlusAssign))
+    S->IsPlusAssign = true;
+  else if (!expect(TokenKind::Assign, "'=' or '+=' in assignment")) {
+    synchronizeToSemicolon();
+    return nullptr;
+  }
+  parseRhs(*S);
+  if (match(TokenKind::At)) {
+    if (expect(TokenKind::KwCost, "'cost' after '@'") &&
+        expect(TokenKind::LParen, "'(' after 'cost'")) {
+      if (check(TokenKind::Integer))
+        S->Cost = static_cast<unsigned>(advance().integerValue());
+      else
+        error("expected integer cost");
+      expect(TokenKind::RParen, "')' after cost");
+    }
+  }
+  expect(TokenKind::Semicolon, "';' after assignment");
+  return S;
+}
+
+void Parser::parseRhs(StmtAST &S) {
+  // Free-form expression scan: array references are parsed precisely; any
+  // other identifier (function name, scalar) and operators are kept as
+  // display text only. Parentheses must balance.
+  std::ostringstream Text;
+  int Depth = 0;
+  while (!check(TokenKind::Eof)) {
+    if (check(TokenKind::Semicolon) || check(TokenKind::At)) {
+      if (Depth == 0)
+        break;
+      error("unbalanced parentheses in expression");
+      break;
+    }
+    const Token &T = peek();
+    if (T.is(TokenKind::Identifier) && ArrayNames.count(T.Spelling) &&
+        peek(1).is(TokenKind::LBracket)) {
+      auto R = parseArrayRef();
+      if (!R)
+        return;
+      Text << R->Name << "[...]";
+      S.Reads.push_back(std::move(*R));
+      continue;
+    }
+    switch (T.Kind) {
+    case TokenKind::LParen:
+      ++Depth;
+      Text << '(';
+      break;
+    case TokenKind::RParen:
+      --Depth;
+      Text << ')';
+      break;
+    case TokenKind::Plus:
+      Text << " + ";
+      break;
+    case TokenKind::Minus:
+      Text << " - ";
+      break;
+    case TokenKind::Star:
+      Text << " * ";
+      break;
+    case TokenKind::Slash:
+      Text << " / ";
+      break;
+    case TokenKind::Comma:
+      Text << ", ";
+      break;
+    default:
+      Text << T.Spelling;
+      break;
+    }
+    advance();
+  }
+  S.Text = Text.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Affine expressions
+//===----------------------------------------------------------------------===//
+
+std::optional<AffineForm> Parser::parseAffineExpr() {
+  auto Lhs = parseAffineTerm();
+  if (!Lhs)
+    return std::nullopt;
+  while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+    bool IsPlus = advance().is(TokenKind::Plus);
+    auto Rhs = parseAffineTerm();
+    if (!Rhs)
+      return std::nullopt;
+    *Lhs = IsPlus ? *Lhs + *Rhs : *Lhs - *Rhs;
+  }
+  return Lhs;
+}
+
+std::optional<AffineForm> Parser::parseAffineTerm() {
+  auto Lhs = parseAffineAtom();
+  if (!Lhs)
+    return std::nullopt;
+  while (check(TokenKind::Star) || check(TokenKind::Slash)) {
+    bool IsMul = advance().is(TokenKind::Star);
+    auto Rhs = parseAffineAtom();
+    if (!Rhs)
+      return std::nullopt;
+    if (IsMul) {
+      // One side must be a numeric constant for the product to stay affine.
+      if (!Lhs->dependsOnIndices() && Lhs->Rest.isConstant())
+        *Lhs = Rhs->scaled(Lhs->Rest.constant());
+      else if (!Rhs->dependsOnIndices() && Rhs->Rest.isConstant())
+        *Lhs = Lhs->scaled(Rhs->Rest.constant());
+      else {
+        error("non-affine product in subscript or bound");
+        return std::nullopt;
+      }
+    } else {
+      if (Rhs->dependsOnIndices() || !Rhs->Rest.isConstant() ||
+          Rhs->Rest.constant().isZero()) {
+        error("division must be by a nonzero numeric constant");
+        return std::nullopt;
+      }
+      *Lhs = Lhs->scaled(Rhs->Rest.constant().reciprocal());
+    }
+  }
+  return Lhs;
+}
+
+std::optional<AffineForm> Parser::parseAffineAtom() {
+  if (match(TokenKind::Minus)) {
+    auto A = parseAffineAtom();
+    if (!A)
+      return std::nullopt;
+    return -*A;
+  }
+  if (match(TokenKind::LParen)) {
+    auto A = parseAffineExpr();
+    if (!A || !expect(TokenKind::RParen, "')'"))
+      return std::nullopt;
+    return A;
+  }
+  if (check(TokenKind::Integer))
+    return AffineForm(SymAffine(advance().integerValue()));
+  if (check(TokenKind::Identifier)) {
+    std::string Name = peek().Spelling;
+    if (std::find(LoopStack.begin(), LoopStack.end(), Name) !=
+        LoopStack.end()) {
+      advance();
+      return AffineForm::index(Name);
+    }
+    if (ParamNames.count(Name)) {
+      advance();
+      return AffineForm(SymAffine::symbol(Name));
+    }
+    error("unknown name '" + Name + "' in affine expression");
+    return std::nullopt;
+  }
+  error("expected affine expression");
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Entry point
+//===----------------------------------------------------------------------===//
+
+std::optional<ProgramAST> alp::parseDsl(const std::string &Source,
+                                        DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Diags);
+  return P.parseProgram();
+}

@@ -1,0 +1,77 @@
+//===- frontend/Parser.h - DSL recursive-descent parser ---------*- C++ -*-===//
+///
+/// \file
+/// Recursive-descent parser for the affine-loop DSL. Produces a ProgramAST;
+/// all user errors go to the DiagnosticEngine (the parser never aborts on
+/// malformed input). Affine positions are checked for affinity on the spot:
+/// products of two loop indices, or division by non-constants, are
+/// diagnosed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_FRONTEND_PARSER_H
+#define ALP_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Lexer.h"
+
+#include <optional>
+#include <set>
+
+namespace alp {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags);
+
+  /// Parses a whole program. Returns nullopt if any error was diagnosed.
+  std::optional<ast::ProgramAST> parseProgram();
+
+private:
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  unsigned Pos = 0;
+
+  // Name environments for affine-expression resolution.
+  std::set<std::string> ParamNames;
+  std::set<std::string> ArrayNames;
+  std::vector<std::string> LoopStack;
+
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &advance();
+  bool check(TokenKind K) const { return peek().is(K); }
+  bool match(TokenKind K);
+  bool expect(TokenKind K, const std::string &What);
+  void error(const std::string &Message);
+  void synchronizeToSemicolon();
+
+  void parseParam(ast::ProgramAST &P);
+  void parseArray(ast::ProgramAST &P);
+  std::vector<ast::BlockItemAST> parseBlock();
+  std::vector<ast::BlockItemAST> parseBlockItems(bool TopLevel);
+  std::optional<ast::BlockItemAST> parseBlockItem();
+  std::unique_ptr<ast::LoopAST> parseLoop();
+  std::unique_ptr<ast::BranchAST> parseBranch();
+  std::unique_ptr<ast::StmtAST> parseStmt();
+  std::optional<ast::ArrayRefAST> parseArrayRef();
+  /// Loop bound: affine expr, or max(...) for lower / min(...) for upper.
+  std::optional<std::vector<ast::AffineForm>> parseBoundExpr(bool IsLower);
+
+  /// expr := term (('+'|'-') term)*, affine over indices and params.
+  std::optional<ast::AffineForm> parseAffineExpr();
+  std::optional<ast::AffineForm> parseAffineTerm();
+  std::optional<ast::AffineForm> parseAffineAtom();
+
+  /// Parses the right-hand side of an assignment, collecting array refs and
+  /// recording the raw text; stops before ';' or '@'.
+  void parseRhs(ast::StmtAST &S);
+};
+
+/// Convenience: lex + parse + lower in one call. Returns nullopt and fills
+/// \p Diags on any error.
+std::optional<ast::ProgramAST> parseDsl(const std::string &Source,
+                                        DiagnosticEngine &Diags);
+
+} // namespace alp
+
+#endif // ALP_FRONTEND_PARSER_H

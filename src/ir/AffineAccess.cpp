@@ -1,0 +1,86 @@
+//===- ir/AffineAccess.cpp - Affine array index functions ------------------===//
+
+#include "ir/AffineAccess.h"
+
+#include <sstream>
+
+using namespace alp;
+
+AffineAccessMap AffineAccessMap::identity(unsigned Depth) {
+  return AffineAccessMap(Matrix::identity(Depth), SymVector(Depth));
+}
+
+Vector AffineAccessMap::evaluate(
+    const Vector &Iter,
+    const std::map<std::string, Rational> &Bindings) const {
+  Vector Lin = F * Iter;
+  Vector R(arrayDim());
+  for (unsigned I = 0; I != arrayDim(); ++I)
+    R[I] = Lin[I] + K[I].evaluate(Bindings);
+  return R;
+}
+
+SymVector AffineAccessMap::apply(const Vector &Iter) const {
+  SymVector R = K;
+  Vector Lin = F * Iter;
+  for (unsigned I = 0; I != arrayDim(); ++I)
+    R[I] += SymAffine(Lin[I]);
+  return R;
+}
+
+AffineAccessMap AffineAccessMap::composeWith(const Matrix &M) const {
+  return AffineAccessMap(F * M, K);
+}
+
+std::string
+AffineAccessMap::str(const std::vector<std::string> &IndexNames) const {
+  assert(IndexNames.size() == nestDepth() && "index name count mismatch");
+  std::ostringstream OS;
+  OS << '[';
+  for (unsigned D = 0; D != arrayDim(); ++D) {
+    if (D)
+      OS << ", ";
+    // Render K[D] + sum_j F[D][j] * index_j, symbols first if the constant
+    // is pure, otherwise constant last for readability.
+    std::ostringstream Term;
+    bool First = true;
+    for (unsigned J = 0; J != nestDepth(); ++J) {
+      const Rational &C = F.at(D, J);
+      if (C.isZero())
+        continue;
+      if (First) {
+        if (C == Rational(1))
+          Term << IndexNames[J];
+        else if (C == Rational(-1))
+          Term << '-' << IndexNames[J];
+        else
+          Term << C << '*' << IndexNames[J];
+        First = false;
+        continue;
+      }
+      if (C.isNegative())
+        Term << " - "
+             << (C == Rational(-1) ? std::string() : (-C).str() + "*")
+             << IndexNames[J];
+      else
+        Term << " + " << (C == Rational(1) ? std::string() : C.str() + "*")
+             << IndexNames[J];
+    }
+    std::string KS = K[D].str();
+    if (First) {
+      OS << KS;
+    } else if (K[D].isZero()) {
+      OS << Term.str();
+    } else if (KS.find(' ') == std::string::npos) {
+      // Single-term constant: fold the sign into the operator.
+      if (KS[0] == '-')
+        OS << Term.str() << " - " << KS.substr(1);
+      else
+        OS << Term.str() << " + " << KS;
+    } else {
+      OS << Term.str() << " + (" << KS << ")";
+    }
+  }
+  OS << ']';
+  return OS.str();
+}

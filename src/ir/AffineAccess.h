@@ -1,0 +1,76 @@
+//===- ir/AffineAccess.h - Affine array index functions ---------*- C++ -*-===//
+///
+/// \file
+/// The affine array index function f(i) = F i + k of the paper (Sec. 2.3):
+/// F is an m x l integer matrix mapping an l-deep iteration vector into an
+/// m-dimensional array space, and k is a constant vector that may involve
+/// symbolic constants (e.g. Y[i1, N - i2] has k = (0, N)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_IR_AFFINEACCESS_H
+#define ALP_IR_AFFINEACCESS_H
+
+#include "linalg/Matrix.h"
+#include "linalg/SymAffine.h"
+
+#include <string>
+
+namespace alp {
+
+/// An affine map f(i) = F i + k from iteration space to array space.
+class AffineAccessMap {
+public:
+  AffineAccessMap() = default;
+  AffineAccessMap(Matrix F, SymVector K) : F(std::move(F)), K(std::move(K)) {
+    assert(this->F.rows() == this->K.size() && "F/k shape mismatch");
+  }
+
+  /// The identity access A[i1, ..., il].
+  static AffineAccessMap identity(unsigned Depth);
+
+  const Matrix &linear() const { return F; }
+  const SymVector &constant() const { return K; }
+
+  /// Array dimensionality m.
+  unsigned arrayDim() const { return F.rows(); }
+  /// Loop nest depth l.
+  unsigned nestDepth() const { return F.cols(); }
+
+  /// Applies the map to a concrete iteration point with all symbols bound.
+  Vector evaluate(const Vector &Iter,
+                  const std::map<std::string, Rational> &Bindings) const;
+
+  /// The symbolic image F * Iter + k.
+  SymVector apply(const Vector &Iter) const;
+
+  /// Composes with a change of iteration variables i = M i' (for a
+  /// unimodular loop transform T, pass M = T^{-1}): the access in the new
+  /// variables is (F M) i' + k.
+  AffineAccessMap composeWith(const Matrix &M) const;
+
+  bool operator==(const AffineAccessMap &RHS) const {
+    return F == RHS.F && K == RHS.K;
+  }
+  bool operator!=(const AffineAccessMap &RHS) const {
+    return !(*this == RHS);
+  }
+
+  /// Renders with the given loop index names, e.g. "[i1, N - i2]".
+  std::string str(const std::vector<std::string> &IndexNames) const;
+
+private:
+  Matrix F;    // m x l, integral entries.
+  SymVector K; // m entries, affine in symbolic constants.
+};
+
+/// One reference to an array inside a statement.
+struct ArrayAccess {
+  unsigned ArrayId = 0;
+  AffineAccessMap Map;
+  bool IsWrite = false;
+};
+
+} // namespace alp
+
+#endif // ALP_IR_AFFINEACCESS_H

@@ -1,0 +1,126 @@
+//===- ir/Builder.cpp - Programmatic IR construction -----------------------===//
+
+#include "ir/Builder.h"
+
+#include "support/Diagnostics.h"
+
+using namespace alp;
+
+NestBuilder &NestBuilder::loop(const std::string &Index, SymAffine Lo,
+                               SymAffine Hi, LoopKind Kind) {
+  if (!nest().Body.empty())
+    reportFatalError("cannot add loops after statements in a nest");
+  Loop L;
+  L.IndexName = Index;
+  L.Kind = Kind;
+  nest().Loops.push_back(L);
+  // Now that the depth grew, (re)size every bound's coefficient vector.
+  unsigned Depth = nest().depth();
+  for (Loop &Each : nest().Loops) {
+    for (BoundTerm &T : Each.Lower)
+      if (T.OuterCoeffs.size() != Depth) {
+        Vector NewC(Depth);
+        for (unsigned I = 0; I != T.OuterCoeffs.size(); ++I)
+          NewC[I] = T.OuterCoeffs[I];
+        T.OuterCoeffs = NewC;
+      }
+    for (BoundTerm &T : Each.Upper)
+      if (T.OuterCoeffs.size() != Depth) {
+        Vector NewC(Depth);
+        for (unsigned I = 0; I != T.OuterCoeffs.size(); ++I)
+          NewC[I] = T.OuterCoeffs[I];
+        T.OuterCoeffs = NewC;
+      }
+  }
+  Loop &Mine = nest().Loops.back();
+  Mine.Lower.push_back(BoundTerm::constant(Depth, std::move(Lo)));
+  Mine.Upper.push_back(BoundTerm::constant(Depth, std::move(Hi)));
+  return *this;
+}
+
+NestBuilder &NestBuilder::stmt(unsigned WorkCycles, const std::string &Text) {
+  Statement S;
+  S.WorkCycles = WorkCycles;
+  S.Text = Text;
+  nest().Body.push_back(std::move(S));
+  return *this;
+}
+
+NestBuilder &NestBuilder::access(const std::string &ArrayName, Matrix F,
+                                 SymVector K, bool IsWrite) {
+  if (nest().Body.empty())
+    reportFatalError("access added before any statement");
+  ArrayAccess A;
+  A.ArrayId = P.arrayId(ArrayName);
+  A.Map = AffineAccessMap(std::move(F), std::move(K));
+  A.IsWrite = IsWrite;
+  nest().Body.back().Accesses.push_back(std::move(A));
+  return *this;
+}
+
+NestBuilder &NestBuilder::write(const std::string &ArrayName, Matrix F,
+                                SymVector K) {
+  return access(ArrayName, std::move(F), std::move(K), /*IsWrite=*/true);
+}
+
+NestBuilder &NestBuilder::read(const std::string &ArrayName, Matrix F,
+                               SymVector K) {
+  return access(ArrayName, std::move(F), std::move(K), /*IsWrite=*/false);
+}
+
+NestBuilder &NestBuilder::writeIdentity(const std::string &ArrayName) {
+  unsigned D = nest().depth();
+  return write(ArrayName, Matrix::identity(D), SymVector(D));
+}
+
+NestBuilder &NestBuilder::readIdentity(const std::string &ArrayName) {
+  unsigned D = nest().depth();
+  return read(ArrayName, Matrix::identity(D), SymVector(D));
+}
+
+ProgramBuilder::ProgramBuilder(std::string Name) {
+  P.Name = std::move(Name);
+}
+
+SymAffine ProgramBuilder::param(const std::string &Name,
+                                int64_t DefaultValue) {
+  P.SymbolBindings[Name] = Rational(DefaultValue);
+  return SymAffine::symbol(Name);
+}
+
+ProgramBuilder &ProgramBuilder::array(const std::string &Name,
+                                      std::vector<SymAffine> DimSizes,
+                                      unsigned ElemBytes) {
+  ArraySymbol A;
+  A.Name = Name;
+  A.DimSizes = std::move(DimSizes);
+  A.ElemBytes = ElemBytes;
+  P.Arrays.push_back(std::move(A));
+  return *this;
+}
+
+NestBuilder ProgramBuilder::nest() {
+  unsigned Id = P.Nests.size();
+  P.Nests.emplace_back();
+  P.Nests.back().Id = Id;
+  P.TopLevel.push_back(ProgramNode::nest(Id));
+  return NestBuilder(P, Id);
+}
+
+NestBuilder ProgramBuilder::detachedNest() {
+  unsigned Id = P.Nests.size();
+  P.Nests.emplace_back();
+  P.Nests.back().Id = Id;
+  return NestBuilder(P, Id);
+}
+
+ProgramBuilder &ProgramBuilder::topLevel(std::vector<ProgramNode> Nodes) {
+  P.TopLevel = std::move(Nodes);
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  P.verify();
+  P.recomputeProfiles();
+  return std::move(P);
+}

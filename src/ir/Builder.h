@@ -1,0 +1,88 @@
+//===- ir/Builder.h - Programmatic IR construction --------------*- C++ -*-===//
+///
+/// \file
+/// A small fluent API for building Programs directly from C++ (tests and
+/// benchmarks that do not want to go through the DSL front end). The
+/// builder performs the same shape checks as the front end via
+/// Program::verify().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_IR_BUILDER_H
+#define ALP_IR_BUILDER_H
+
+#include "ir/Program.h"
+
+namespace alp {
+
+/// Builds one perfectly nested loop nest.
+class NestBuilder {
+public:
+  NestBuilder(Program &P, unsigned NestId) : P(P), NestId(NestId) {}
+
+  /// Appends a loop with constant (possibly symbolic) bounds.
+  NestBuilder &loop(const std::string &Index, SymAffine Lo, SymAffine Hi,
+                    LoopKind Kind = LoopKind::Sequential);
+  NestBuilder &forall(const std::string &Index, SymAffine Lo, SymAffine Hi) {
+    return loop(Index, std::move(Lo), std::move(Hi), LoopKind::Parallel);
+  }
+
+  /// Starts a new statement; subsequent read()/write() calls attach to it.
+  NestBuilder &stmt(unsigned WorkCycles = 1, const std::string &Text = "");
+
+  /// Adds a write access ArrayName[F i + k] to the current statement.
+  NestBuilder &write(const std::string &ArrayName, Matrix F, SymVector K);
+  /// Adds a read access to the current statement.
+  NestBuilder &read(const std::string &ArrayName, Matrix F, SymVector K);
+
+  /// Shorthand for the identity access at the nest's final depth. Only
+  /// valid once all loops have been added.
+  NestBuilder &writeIdentity(const std::string &ArrayName);
+  NestBuilder &readIdentity(const std::string &ArrayName);
+
+  unsigned id() const { return NestId; }
+
+private:
+  Program &P;
+  unsigned NestId;
+
+  LoopNest &nest() { return P.nest(NestId); }
+  NestBuilder &access(const std::string &ArrayName, Matrix F, SymVector K,
+                      bool IsWrite);
+};
+
+/// Builds a whole Program.
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(std::string Name);
+
+  /// Declares a symbolic constant with its default numeric value and
+  /// returns it as an expression.
+  SymAffine param(const std::string &Name, int64_t DefaultValue);
+
+  /// Declares an array; extents are per-dimension sizes (index range is
+  /// [0, size-1] after normalization).
+  ProgramBuilder &array(const std::string &Name,
+                        std::vector<SymAffine> DimSizes,
+                        unsigned ElemBytes = 8);
+
+  /// Creates a new leaf nest appended at top level.
+  NestBuilder nest();
+
+  /// Creates a new leaf nest without attaching it to the structure tree
+  /// (for explicit tree construction via topLevel()).
+  NestBuilder detachedNest();
+
+  /// Replaces the structure tree (detached nests are attached this way).
+  ProgramBuilder &topLevel(std::vector<ProgramNode> Nodes);
+
+  /// Finishes: verifies, recomputes profiles, and returns the program.
+  Program build();
+
+private:
+  Program P;
+};
+
+} // namespace alp
+
+#endif // ALP_IR_BUILDER_H

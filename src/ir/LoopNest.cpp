@@ -1,0 +1,91 @@
+//===- ir/LoopNest.cpp - Perfectly nested affine loops ---------------------===//
+
+#include "ir/LoopNest.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace alp;
+
+std::vector<std::string> LoopNest::indexNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Loops.size());
+  for (const Loop &L : Loops)
+    Names.push_back(L.IndexName);
+  return Names;
+}
+
+std::vector<const ArrayAccess *> LoopNest::accesses() const {
+  std::vector<const ArrayAccess *> Out;
+  for (const Statement &S : Body)
+    for (const ArrayAccess &A : S.Accesses)
+      Out.push_back(&A);
+  return Out;
+}
+
+std::vector<const ArrayAccess *>
+LoopNest::accessesTo(unsigned ArrayId) const {
+  std::vector<const ArrayAccess *> Out;
+  for (const Statement &S : Body)
+    for (const ArrayAccess &A : S.Accesses)
+      if (A.ArrayId == ArrayId)
+        Out.push_back(&A);
+  return Out;
+}
+
+std::vector<unsigned> LoopNest::referencedArrays() const {
+  std::set<unsigned> Ids;
+  for (const Statement &S : Body)
+    for (const ArrayAccess &A : S.Accesses)
+      Ids.insert(A.ArrayId);
+  return std::vector<unsigned>(Ids.begin(), Ids.end());
+}
+
+bool LoopNest::writesArray(unsigned ArrayId) const {
+  for (const Statement &S : Body)
+    for (const ArrayAccess &A : S.Accesses)
+      if (A.ArrayId == ArrayId && A.IsWrite)
+        return true;
+  return false;
+}
+
+unsigned LoopNest::firstParallelLoop() const {
+  for (unsigned L = 0; L != Loops.size(); ++L)
+    if (Loops[L].isParallel())
+      return L;
+  return depth();
+}
+
+double LoopNest::estimatedTrip(
+    unsigned Level, const std::map<std::string, Rational> &Bindings) const {
+  assert(Level < Loops.size() && "loop level out of range");
+  const Loop &L = Loops[Level];
+  // Evaluate bounds with outer indices pinned to zero; for the rectangular
+  // nests in the benchmark suite this is exact, for triangular nests it is
+  // the usual rectangular over-estimate.
+  Vector Zero = Vector::zero(depth());
+  auto EvalMax = [&](const std::vector<BoundTerm> &Terms, bool WantMax) {
+    assert(!Terms.empty() && "loop without bounds");
+    Rational Best = Terms.front().evaluate(Zero, Bindings);
+    for (const BoundTerm &T : Terms) {
+      Rational V = T.evaluate(Zero, Bindings);
+      if (WantMax ? V > Best : V < Best)
+        Best = V;
+    }
+    return Best;
+  };
+  Rational Lo = EvalMax(L.Lower, /*WantMax=*/true);
+  Rational Hi = EvalMax(L.Upper, /*WantMax=*/false);
+  Rational Trip = Hi - Lo + Rational(1);
+  if (Trip.isNegative())
+    return 0.0;
+  return static_cast<double>(Trip.num()) / static_cast<double>(Trip.den());
+}
+
+double LoopNest::estimatedIterations(
+    const std::map<std::string, Rational> &Bindings) const {
+  double Product = 1.0;
+  for (unsigned L = 0; L != depth(); ++L)
+    Product *= estimatedTrip(L, Bindings);
+  return Product;
+}

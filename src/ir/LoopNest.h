@@ -1,0 +1,144 @@
+//===- ir/LoopNest.h - Perfectly nested affine loops ------------*- C++ -*-===//
+///
+/// \file
+/// The unit the decomposition algorithms operate on: a perfectly nested
+/// affine loop nest of depth l with a straight-line body of statements over
+/// affine array accesses. Loop kinds (sequential vs forall) are attributes
+/// set by the local phase (Wolf-Lam canonicalization), which also records
+/// the sizes of the outermost fully permutable loop bands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_IR_LOOPNEST_H
+#define ALP_IR_LOOPNEST_H
+
+#include "ir/AffineAccess.h"
+
+#include <string>
+#include <vector>
+
+namespace alp {
+
+/// A declared array: name, per-dimension symbolic extents, element size.
+struct ArraySymbol {
+  std::string Name;
+  std::vector<SymAffine> DimSizes;
+  unsigned ElemBytes = 8;
+
+  unsigned rank() const { return DimSizes.size(); }
+};
+
+/// One affine bound term c . i_outer + s, where i_outer may mention any
+/// strictly-enclosing loop index of the same nest (coefficients for the
+/// loop's own position and deeper ones must be zero).
+struct BoundTerm {
+  Vector OuterCoeffs; // Size == nest depth.
+  SymAffine Const;
+
+  BoundTerm() = default;
+  BoundTerm(Vector OuterCoeffs, SymAffine Const)
+      : OuterCoeffs(std::move(OuterCoeffs)), Const(std::move(Const)) {}
+
+  /// A bound that is a pure symbolic constant in a nest of depth \p Depth.
+  static BoundTerm constant(unsigned Depth, SymAffine Value) {
+    return BoundTerm(Vector::zero(Depth), std::move(Value));
+  }
+
+  Rational evaluate(const Vector &Iter,
+                    const std::map<std::string, Rational> &Bindings) const {
+    return OuterCoeffs.dot(Iter) + Const.evaluate(Bindings);
+  }
+};
+
+/// Parallel (forall) or sequential, as classified by the local phase.
+enum class LoopKind { Sequential, Parallel };
+
+/// One loop of a nest. The trip range is [max(Lower), min(Upper)]
+/// inclusive with unit stride (loops are normalized before decomposition).
+struct Loop {
+  std::string IndexName;
+  std::vector<BoundTerm> Lower; // Effective bound: max of the terms.
+  std::vector<BoundTerm> Upper; // Effective bound: min of the terms.
+  LoopKind Kind = LoopKind::Sequential;
+
+  bool isParallel() const { return Kind == LoopKind::Parallel; }
+};
+
+/// One assignment statement: exactly the array accesses it performs plus an
+/// estimated compute cost. (Scalar expression structure is irrelevant to
+/// decomposition, so it is kept only as display text.)
+struct Statement {
+  std::vector<ArrayAccess> Accesses;
+  unsigned WorkCycles = 1;
+  std::string Text;
+
+  const ArrayAccess *firstWrite() const {
+    for (const ArrayAccess &A : Accesses)
+      if (A.IsWrite)
+        return &A;
+    return nullptr;
+  }
+};
+
+/// Records that loop BlockLoop iterates over blocks of loop ElementLoop
+/// (produced by tiling, Sec. 5).
+struct TilePair {
+  unsigned BlockLoop = 0;
+  unsigned ElementLoop = 0;
+  int64_t TileSize = 1;
+};
+
+/// A perfectly nested affine loop nest.
+class LoopNest {
+public:
+  unsigned Id = 0;
+
+  std::vector<Loop> Loops; // Outermost first.
+  std::vector<Statement> Body;
+
+  /// Block/element loop pairs if this nest has been tiled.
+  std::vector<TilePair> Tiles;
+
+  /// Expected number of times the whole nest runs (profile; >= 0).
+  double ExecCount = 1.0;
+  /// Probability that control reaches the nest at all (branch profile).
+  double Probability = 1.0;
+
+  /// Sizes of the outermost fully permutable loop bands, outermost first,
+  /// covering all loops; filled in by the local phase. A band of size > 1,
+  /// or a band of size 1 whose loop is parallel, carries exploitable
+  /// parallelism. Empty means the local phase has not run.
+  std::vector<unsigned> PermutableBands;
+
+  unsigned depth() const { return Loops.size(); }
+
+  std::vector<std::string> indexNames() const;
+
+  /// All accesses in the body, flattened.
+  std::vector<const ArrayAccess *> accesses() const;
+
+  /// All accesses to \p ArrayId in the body.
+  std::vector<const ArrayAccess *> accessesTo(unsigned ArrayId) const;
+
+  /// Distinct ids of arrays referenced in the body, ascending.
+  std::vector<unsigned> referencedArrays() const;
+
+  /// True if any access to \p ArrayId writes.
+  bool writesArray(unsigned ArrayId) const;
+
+  /// Position of the outermost parallel loop, or depth() if none.
+  unsigned firstParallelLoop() const;
+
+  /// Numeric trip count of loop \p Level with symbols bound and outer
+  /// indices at their lower bounds (rectangular estimate).
+  double estimatedTrip(unsigned Level,
+                       const std::map<std::string, Rational> &Bindings) const;
+
+  /// Product of all estimatedTrip values: iterations per execution.
+  double
+  estimatedIterations(const std::map<std::string, Rational> &Bindings) const;
+};
+
+} // namespace alp
+
+#endif // ALP_IR_LOOPNEST_H

@@ -1,0 +1,162 @@
+//===- ir/Printer.cpp - Human-readable program dumps ------------------------===//
+
+#include "ir/Printer.h"
+
+#include <sstream>
+
+using namespace alp;
+
+namespace {
+
+std::string termStr(const BoundTerm &T,
+                    const std::vector<std::string> &IndexNames) {
+  std::ostringstream OS;
+  bool First = true;
+  for (unsigned I = 0; I != T.OuterCoeffs.size(); ++I) {
+    const Rational &C = T.OuterCoeffs[I];
+    if (C.isZero())
+      continue;
+    if (!First)
+      OS << (C.isNegative() ? " - " : " + ");
+    else if (C.isNegative())
+      OS << '-';
+    Rational A = C.abs();
+    if (!A.isOne())
+      OS << A << '*';
+    OS << IndexNames[I];
+    First = false;
+  }
+  std::string K = T.Const.str();
+  if (First)
+    return K;
+  if (K == "0")
+    return OS.str();
+  if (K[0] == '-' && K.find(' ') == std::string::npos)
+    OS << " - " << K.substr(1);
+  else if (K.find(' ') == std::string::npos)
+    OS << " + " << K;
+  else
+    OS << " + (" << K << ")";
+  return OS.str();
+}
+
+void printNodes(const Program &P, const std::vector<ProgramNode> &Nodes,
+                unsigned Indent, std::ostringstream &OS);
+
+void indentBy(std::ostringstream &OS, unsigned Indent) {
+  for (unsigned I = 0; I != Indent; ++I)
+    OS << "  ";
+}
+
+} // namespace
+
+std::string alp::printBound(const std::vector<BoundTerm> &Terms,
+                            bool IsLower,
+                            const std::vector<std::string> &IndexNames) {
+  if (Terms.size() == 1)
+    return termStr(Terms.front(), IndexNames);
+  std::ostringstream OS;
+  OS << (IsLower ? "max(" : "min(");
+  for (unsigned I = 0; I != Terms.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << termStr(Terms[I], IndexNames);
+  }
+  OS << ')';
+  return OS.str();
+}
+
+std::string alp::printNest(const Program &P, const LoopNest &Nest,
+                           unsigned Indent) {
+  std::ostringstream OS;
+  std::vector<std::string> Names = Nest.indexNames();
+  for (unsigned L = 0; L != Nest.depth(); ++L) {
+    const Loop &Loop = Nest.Loops[L];
+    indentBy(OS, Indent + L);
+    OS << (Loop.isParallel() ? "forall " : "for ") << Loop.IndexName << " = "
+       << printBound(Loop.Lower, /*IsLower=*/true, Names) << " to "
+       << printBound(Loop.Upper, /*IsLower=*/false, Names) << " {\n";
+  }
+  for (const Statement &S : Nest.Body) {
+    indentBy(OS, Indent + Nest.depth());
+    if (!S.Text.empty()) {
+      OS << S.Text << ";\n";
+      continue;
+    }
+    // Reconstruct "W[..] = f(R1[..], R2[..], ...)".
+    const ArrayAccess *W = S.firstWrite();
+    bool FirstRead = true;
+    if (W)
+      OS << P.array(W->ArrayId).Name << W->Map.str(Names) << " = f(";
+    for (const ArrayAccess &A : S.Accesses) {
+      if (&A == W)
+        continue;
+      if (!FirstRead)
+        OS << ", ";
+      OS << P.array(A.ArrayId).Name << A.Map.str(Names);
+      FirstRead = false;
+    }
+    if (W)
+      OS << ")";
+    OS << ";\n";
+  }
+  for (unsigned L = Nest.depth(); L != 0; --L) {
+    indentBy(OS, Indent + L - 1);
+    OS << "}\n";
+  }
+  return OS.str();
+}
+
+namespace {
+
+void printNodes(const Program &P, const std::vector<ProgramNode> &Nodes,
+                unsigned Indent, std::ostringstream &OS) {
+  for (const ProgramNode &N : Nodes) {
+    switch (N.NodeKind) {
+    case ProgramNode::Kind::Nest:
+      OS << printNest(P, P.nest(N.NestId), Indent);
+      break;
+    case ProgramNode::Kind::SequentialLoop:
+      indentBy(OS, Indent);
+      OS << "for " << N.IndexName << " = 1 to " << N.TripCount.str()
+         << " {\n";
+      printNodes(P, N.Children, Indent + 1, OS);
+      indentBy(OS, Indent);
+      OS << "}\n";
+      break;
+    case ProgramNode::Kind::Branch:
+      indentBy(OS, Indent);
+      OS << "if prob(" << N.TakenProbability << ") {\n";
+      printNodes(P, N.Children, Indent + 1, OS);
+      if (!N.ElseChildren.empty()) {
+        indentBy(OS, Indent);
+        OS << "} else {\n";
+        printNodes(P, N.ElseChildren, Indent + 1, OS);
+      }
+      indentBy(OS, Indent);
+      OS << "}\n";
+      break;
+    }
+  }
+}
+
+} // namespace
+
+std::string alp::printProgram(const Program &P) {
+  std::ostringstream OS;
+  OS << "program " << P.Name << ";\n";
+  for (const auto &[Sym, Val] : P.SymbolBindings)
+    OS << "param " << Sym << " = " << Val << ";\n";
+  for (const ArraySymbol &A : P.Arrays) {
+    OS << "array " << A.Name << '[';
+    for (unsigned D = 0; D != A.rank(); ++D) {
+      if (D)
+        OS << ", ";
+      OS << A.DimSizes[D].str();
+    }
+    OS << "];\n";
+  }
+  OS << '\n';
+  printNodes(P, P.TopLevel, 0, OS);
+  return OS.str();
+}

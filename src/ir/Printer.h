@@ -1,0 +1,33 @@
+//===- ir/Printer.h - Human-readable program dumps --------------*- C++ -*-===//
+///
+/// \file
+/// Renders a Program back into DSL-like text: loop headers with
+/// forall/for keywords, bound expressions, and the array accesses of every
+/// statement. Used for golden tests and for tools that show the effect of
+/// transformations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_IR_PRINTER_H
+#define ALP_IR_PRINTER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace alp {
+
+/// Renders the whole program.
+std::string printProgram(const Program &P);
+
+/// Renders a single loop nest of \p P.
+std::string printNest(const Program &P, const LoopNest &Nest,
+                      unsigned Indent = 0);
+
+/// Renders a bound (max/min of affine terms) with the nest's index names.
+std::string printBound(const std::vector<BoundTerm> &Terms, bool IsLower,
+                       const std::vector<std::string> &IndexNames);
+
+} // namespace alp
+
+#endif // ALP_IR_PRINTER_H

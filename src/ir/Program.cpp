@@ -1,0 +1,140 @@
+//===- ir/Program.cpp - Whole-program representation -----------------------===//
+
+#include "ir/Program.h"
+
+#include "support/Diagnostics.h"
+
+using namespace alp;
+
+ProgramNode ProgramNode::nest(unsigned NestId) {
+  ProgramNode N;
+  N.NodeKind = Kind::Nest;
+  N.NestId = NestId;
+  return N;
+}
+
+ProgramNode ProgramNode::sequentialLoop(std::string IndexName, SymAffine Trip,
+                                        std::vector<ProgramNode> Body) {
+  ProgramNode N;
+  N.NodeKind = Kind::SequentialLoop;
+  N.IndexName = std::move(IndexName);
+  N.TripCount = std::move(Trip);
+  N.Children = std::move(Body);
+  return N;
+}
+
+ProgramNode ProgramNode::branch(double TakenProbability,
+                                std::vector<ProgramNode> Then,
+                                std::vector<ProgramNode> Else) {
+  ProgramNode N;
+  N.NodeKind = Kind::Branch;
+  N.TakenProbability = TakenProbability;
+  N.Children = std::move(Then);
+  N.ElseChildren = std::move(Else);
+  return N;
+}
+
+unsigned Program::arrayId(const std::string &Name) const {
+  for (unsigned I = 0; I != Arrays.size(); ++I)
+    if (Arrays[I].Name == Name)
+      return I;
+  reportFatalError("unknown array '" + Name + "'");
+}
+
+void Program::collectNests(const std::vector<ProgramNode> &Nodes,
+                           std::vector<unsigned> &Out) const {
+  for (const ProgramNode &N : Nodes) {
+    switch (N.NodeKind) {
+    case ProgramNode::Kind::Nest:
+      Out.push_back(N.NestId);
+      break;
+    case ProgramNode::Kind::SequentialLoop:
+      collectNests(N.Children, Out);
+      break;
+    case ProgramNode::Kind::Branch:
+      collectNests(N.Children, Out);
+      collectNests(N.ElseChildren, Out);
+      break;
+    }
+  }
+}
+
+std::vector<unsigned> Program::nestsInOrder() const {
+  std::vector<unsigned> Out;
+  collectNests(TopLevel, Out);
+  return Out;
+}
+
+void Program::propagateProfiles(const std::vector<ProgramNode> &Nodes,
+                                double Count, double Probability) {
+  for (const ProgramNode &N : Nodes) {
+    switch (N.NodeKind) {
+    case ProgramNode::Kind::Nest:
+      Nests[N.NestId].ExecCount = Count;
+      Nests[N.NestId].Probability = Probability;
+      break;
+    case ProgramNode::Kind::SequentialLoop: {
+      Rational Trip = N.TripCount.evaluate(SymbolBindings);
+      double T = static_cast<double>(Trip.num()) /
+                 static_cast<double>(Trip.den());
+      if (T < 0)
+        T = 0;
+      propagateProfiles(N.Children, Count * T, Probability);
+      break;
+    }
+    case ProgramNode::Kind::Branch:
+      propagateProfiles(N.Children, Count * N.TakenProbability,
+                        Probability * N.TakenProbability);
+      propagateProfiles(N.ElseChildren, Count * (1.0 - N.TakenProbability),
+                        Probability * (1.0 - N.TakenProbability));
+      break;
+    }
+  }
+}
+
+void Program::recomputeProfiles() {
+  propagateProfiles(TopLevel, 1.0, 1.0);
+}
+
+void Program::verify() const {
+  std::vector<unsigned> Order = nestsInOrder();
+  std::vector<bool> Seen(Nests.size(), false);
+  for (unsigned Id : Order) {
+    if (Id >= Nests.size())
+      reportFatalError("structure tree references nonexistent nest");
+    if (Seen[Id])
+      reportFatalError("nest appears twice in the structure tree");
+    Seen[Id] = true;
+  }
+  for (const LoopNest &Nest : Nests) {
+    unsigned Depth = Nest.depth();
+    if (Depth == 0)
+      reportFatalError("loop nest of depth zero");
+    for (const Loop &L : Nest.Loops) {
+      if (L.Lower.empty() || L.Upper.empty())
+        reportFatalError("loop '" + L.IndexName + "' is missing bounds");
+      for (const BoundTerm &T : L.Lower)
+        if (T.OuterCoeffs.size() != Depth)
+          reportFatalError("bound arity mismatch in loop '" + L.IndexName +
+                           "'");
+      for (const BoundTerm &T : L.Upper)
+        if (T.OuterCoeffs.size() != Depth)
+          reportFatalError("bound arity mismatch in loop '" + L.IndexName +
+                           "'");
+    }
+    for (const Statement &S : Nest.Body)
+      for (const ArrayAccess &A : S.Accesses) {
+        if (A.ArrayId >= Arrays.size())
+          reportFatalError("access to nonexistent array");
+        if (A.Map.nestDepth() != Depth)
+          reportFatalError("access depth mismatch in array '" +
+                           Arrays[A.ArrayId].Name + "'");
+        if (A.Map.arrayDim() != Arrays[A.ArrayId].rank())
+          reportFatalError("access rank mismatch in array '" +
+                           Arrays[A.ArrayId].Name + "'");
+        if (!A.Map.linear().isIntegral())
+          reportFatalError("non-integral access matrix for array '" +
+                           Arrays[A.ArrayId].Name + "'");
+      }
+  }
+}

@@ -1,0 +1,104 @@
+//===- ir/Program.h - Whole-program representation --------------*- C++ -*-===//
+///
+/// \file
+/// A Program is the global-analysis unit: the array declarations, the leaf
+/// loop nests, and a structure tree that records how the nests sit inside
+/// outer sequential loops and branches. The structure tree is what the
+/// dynamic decomposition algorithm (Sec. 6.4) walks bottom-up, and what the
+/// reaching-decompositions dataflow uses to weight communication edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_IR_PROGRAM_H
+#define ALP_IR_PROGRAM_H
+
+#include "ir/LoopNest.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace alp {
+
+/// A node of the program structure tree.
+struct ProgramNode {
+  enum class Kind {
+    Nest,           ///< Leaf: a perfectly nested loop nest (by id).
+    SequentialLoop, ///< An outer sequential loop around children.
+    Branch          ///< if (expr) Children else ElseChildren.
+  };
+
+  Kind NodeKind = Kind::Nest;
+
+  /// Kind::Nest: index into Program::Nests.
+  unsigned NestId = 0;
+
+  /// Kind::SequentialLoop: loop variable name and symbolic trip count.
+  std::string IndexName;
+  SymAffine TripCount;
+
+  /// Kind::Branch: probability the then-arm executes.
+  double TakenProbability = 0.5;
+
+  std::vector<ProgramNode> Children;     // Loop body or then-arm.
+  std::vector<ProgramNode> ElseChildren; // Branch only.
+
+  static ProgramNode nest(unsigned NestId);
+  static ProgramNode sequentialLoop(std::string IndexName, SymAffine Trip,
+                                    std::vector<ProgramNode> Body);
+  static ProgramNode branch(double TakenProbability,
+                            std::vector<ProgramNode> Then,
+                            std::vector<ProgramNode> Else);
+};
+
+/// A whole program in decomposition-ready form.
+class Program {
+public:
+  std::string Name = "program";
+  std::vector<ArraySymbol> Arrays;
+  std::vector<LoopNest> Nests;
+  std::vector<ProgramNode> TopLevel;
+
+  /// Default numeric bindings for the symbolic constants (problem sizes),
+  /// used for cost estimation and simulation.
+  std::map<std::string, Rational> SymbolBindings;
+
+  /// Index of the named array; fatal if absent.
+  unsigned arrayId(const std::string &Name) const;
+  const ArraySymbol &array(unsigned Id) const {
+    assert(Id < Arrays.size() && "array id out of range");
+    return Arrays[Id];
+  }
+
+  const LoopNest &nest(unsigned Id) const {
+    assert(Id < Nests.size() && "nest id out of range");
+    return Nests[Id];
+  }
+  LoopNest &nest(unsigned Id) {
+    assert(Id < Nests.size() && "nest id out of range");
+    return Nests[Id];
+  }
+
+  /// Nest ids of every leaf, in program (execution) order.
+  std::vector<unsigned> nestsInOrder() const;
+
+  /// Propagates structure-tree profile data (enclosing loop trip counts
+  /// and branch probabilities) into each nest's ExecCount / Probability.
+  /// Call after building the tree or changing SymbolBindings.
+  void recomputeProfiles();
+
+  /// Sanity-checks shapes: access dimensions match array ranks and nest
+  /// depths, bounds have the right arity, nest ids are consistent. Fatal
+  /// on violation; cheap, called by the builder and the front end.
+  void verify() const;
+
+private:
+  void collectNests(const std::vector<ProgramNode> &Nodes,
+                    std::vector<unsigned> &Out) const;
+  void propagateProfiles(const std::vector<ProgramNode> &Nodes, double Count,
+                         double Probability);
+};
+
+} // namespace alp
+
+#endif // ALP_IR_PROGRAM_H

@@ -1,0 +1,228 @@
+//===- linalg/FourierMotzkin.cpp - Linear inequality systems ---------------===//
+
+#include "linalg/FourierMotzkin.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace alp;
+
+Rational LinearConstraint::evaluate(const Vector &X) const {
+  return Coeffs.dot(X) + Const;
+}
+
+bool LinearConstraint::isSatisfiedBy(const Vector &X) const {
+  Rational V = evaluate(X);
+  return CKind == Kind::Equality ? V.isZero() : V >= Rational(0);
+}
+
+std::string LinearConstraint::str() const {
+  std::ostringstream OS;
+  bool First = true;
+  for (unsigned I = 0; I != Coeffs.size(); ++I) {
+    if (Coeffs[I].isZero())
+      continue;
+    if (!First)
+      OS << " + ";
+    OS << Coeffs[I] << "*x" << I;
+    First = false;
+  }
+  if (First)
+    OS << '0';
+  if (!Const.isZero())
+    OS << " + " << Const;
+  OS << (CKind == Kind::Equality ? " == 0" : " >= 0");
+  return OS.str();
+}
+
+void ConstraintSystem::addInequality(const Vector &Coeffs,
+                                     const Rational &Const) {
+  assert(Coeffs.size() == NumVars && "constraint arity mismatch");
+  Constraints.push_back(
+      {Coeffs, Const, LinearConstraint::Kind::Inequality});
+}
+
+void ConstraintSystem::addEquality(const Vector &Coeffs,
+                                   const Rational &Const) {
+  assert(Coeffs.size() == NumVars && "constraint arity mismatch");
+  Constraints.push_back({Coeffs, Const, LinearConstraint::Kind::Equality});
+}
+
+void ConstraintSystem::addLowerBound(unsigned Var, const Rational &Lo) {
+  Vector C(NumVars);
+  C[Var] = 1;
+  addInequality(C, -Lo);
+}
+
+void ConstraintSystem::addUpperBound(unsigned Var, const Rational &Hi) {
+  Vector C(NumVars);
+  C[Var] = -1;
+  addInequality(C, Hi);
+}
+
+void ConstraintSystem::simplify() {
+  // Normalize each constraint so its first nonzero coefficient has absolute
+  // value scaled canonically, then deduplicate.
+  std::vector<LinearConstraint> Out;
+  std::set<std::string> Seen;
+  for (LinearConstraint &C : Constraints) {
+    // Drop trivially true rows (0 >= nonneg / 0 == 0); keep trivially false
+    // rows so feasibility checks can see them.
+    if (C.Coeffs.isZero()) {
+      bool Trivial = C.CKind == LinearConstraint::Kind::Equality
+                         ? C.Const.isZero()
+                         : C.Const >= Rational(0);
+      if (Trivial)
+        continue;
+      Out.push_back(C);
+      continue;
+    }
+    // Scale to a canonical integer form (preserving inequality direction).
+    Vector Full(NumVars + 1);
+    for (unsigned I = 0; I != NumVars; ++I)
+      Full[I] = C.Coeffs[I];
+    Full[NumVars] = C.Const;
+    Vector Dir = Full.normalizedDirection();
+    // normalizedDirection may flip the sign; that is only legal for
+    // equalities. For inequalities recompute a positive scale.
+    if (C.CKind == LinearConstraint::Kind::Inequality) {
+      auto Lead = Full.firstNonZero();
+      if (Lead && Full[*Lead].isNegative())
+        Dir = -Dir;
+    }
+    LinearConstraint N;
+    N.CKind = C.CKind;
+    N.Coeffs = Vector(NumVars);
+    for (unsigned I = 0; I != NumVars; ++I)
+      N.Coeffs[I] = Dir[I];
+    N.Const = Dir[NumVars];
+    std::string Key = N.str();
+    if (Seen.insert(Key).second)
+      Out.push_back(N);
+  }
+  Constraints = std::move(Out);
+}
+
+void ConstraintSystem::eliminate(unsigned Var) {
+  assert(Var < NumVars && "variable out of range");
+  // If an equality mentions Var, substitute it into everything else.
+  for (unsigned I = 0; I != Constraints.size(); ++I) {
+    LinearConstraint &Eq = Constraints[I];
+    if (Eq.CKind != LinearConstraint::Kind::Equality ||
+        Eq.Coeffs[Var].isZero())
+      continue;
+    Rational A = Eq.Coeffs[Var];
+    std::vector<LinearConstraint> Out;
+    for (unsigned J = 0; J != Constraints.size(); ++J) {
+      if (J == I)
+        continue;
+      LinearConstraint C = Constraints[J];
+      Rational B = C.Coeffs[Var];
+      if (!B.isZero()) {
+        // C <- C - (B/A) * Eq zeroes the Var coefficient; legal for both
+        // kinds since Eq is an equality.
+        Rational F = B / A;
+        C.Coeffs = C.Coeffs - Eq.Coeffs.scaled(F);
+        C.Const -= Eq.Const * F;
+      }
+      Out.push_back(C);
+    }
+    Constraints = std::move(Out);
+    simplify();
+    return;
+  }
+
+  // Classic Fourier-Motzkin: pair every lower bound with every upper bound.
+  std::vector<LinearConstraint> Lowers, Uppers, Others;
+  for (const LinearConstraint &C : Constraints) {
+    const Rational &A = C.Coeffs[Var];
+    if (A.isZero())
+      Others.push_back(C);
+    else if (A > Rational(0))
+      Lowers.push_back(C); // a*x + rest >= 0 with a>0: lower bound on x.
+    else
+      Uppers.push_back(C);
+  }
+  for (const LinearConstraint &L : Lowers)
+    for (const LinearConstraint &U : Uppers) {
+      // Combine with positive multipliers to cancel Var.
+      Rational AL = L.Coeffs[Var];         // > 0
+      Rational AU = (-U.Coeffs[Var]);      // > 0
+      LinearConstraint C;
+      C.CKind = LinearConstraint::Kind::Inequality;
+      C.Coeffs = L.Coeffs.scaled(AU) + U.Coeffs.scaled(AL);
+      C.Const = L.Const * AU + U.Const * AL;
+      Others.push_back(C);
+    }
+  Constraints = std::move(Others);
+  simplify();
+}
+
+bool ConstraintSystem::isRationallyFeasible() const {
+  ConstraintSystem Copy = *this;
+  for (unsigned V = 0; V != NumVars; ++V)
+    Copy.eliminate(V);
+  // Only variable-free constraints remain; all must hold.
+  for (const LinearConstraint &C : Copy.Constraints) {
+    bool Holds = C.CKind == LinearConstraint::Kind::Equality
+                     ? C.Const.isZero()
+                     : C.Const >= Rational(0);
+    if (!Holds)
+      return false;
+  }
+  return true;
+}
+
+std::optional<VariableBounds>
+ConstraintSystem::boundsOf(unsigned Var) const {
+  ConstraintSystem Copy = *this;
+  for (unsigned V = 0; V != NumVars; ++V)
+    if (V != Var)
+      Copy.eliminate(V);
+  VariableBounds B;
+  for (const LinearConstraint &C : Copy.Constraints) {
+    const Rational &A = C.Coeffs[Var];
+    if (A.isZero()) {
+      bool Holds = C.CKind == LinearConstraint::Kind::Equality
+                       ? C.Const.isZero()
+                       : C.Const >= Rational(0);
+      if (!Holds)
+        return std::nullopt;
+      continue;
+    }
+    if (C.CKind == LinearConstraint::Kind::Equality) {
+      Rational V0 = -C.Const / A;
+      if ((B.Lower && *B.Lower > V0) || (B.Upper && *B.Upper < V0))
+        return std::nullopt;
+      B.Lower = B.Upper = V0;
+      continue;
+    }
+    // a*x + c >= 0: x >= -c/a when a > 0, x <= -c/a when a < 0.
+    Rational Bound = -C.Const / A;
+    if (A > Rational(0)) {
+      if (!B.Lower || *B.Lower < Bound)
+        B.Lower = Bound;
+    } else {
+      if (!B.Upper || *B.Upper > Bound)
+        B.Upper = Bound;
+    }
+  }
+  if (B.Lower && B.Upper && *B.Lower > *B.Upper)
+    return std::nullopt;
+  return B;
+}
+
+bool ConstraintSystem::contains(const Vector &X) const {
+  for (const LinearConstraint &C : Constraints)
+    if (!C.isSatisfiedBy(X))
+      return false;
+  return true;
+}
+
+std::string ConstraintSystem::str() const {
+  std::ostringstream OS;
+  for (const LinearConstraint &C : Constraints)
+    OS << C.str() << '\n';
+  return OS.str();
+}

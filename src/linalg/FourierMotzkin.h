@@ -1,0 +1,94 @@
+//===- linalg/FourierMotzkin.h - Linear inequality systems ------*- C++ -*-===//
+///
+/// \file
+/// A system of linear constraints over Q^n (inequalities a.x + c >= 0 and
+/// equalities a.x + c == 0) with Fourier-Motzkin variable elimination.
+/// Dependence analysis builds the dependence polyhedron here and asks for
+/// rational feasibility and per-variable bounds; loop transforms use bounds
+/// projection when reasoning about tiled iteration spaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_LINALG_FOURIERMOTZKIN_H
+#define ALP_LINALG_FOURIERMOTZKIN_H
+
+#include "linalg/Matrix.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace alp {
+
+/// One linear constraint: Coeffs . x + Const (>= 0 | == 0).
+struct LinearConstraint {
+  enum class Kind { Inequality, Equality };
+
+  Vector Coeffs;
+  Rational Const;
+  Kind CKind = Kind::Inequality;
+
+  /// Evaluates Coeffs . x + Const.
+  Rational evaluate(const Vector &X) const;
+  bool isSatisfiedBy(const Vector &X) const;
+
+  std::string str() const;
+};
+
+/// Inclusive rational bounds on one variable; either side may be absent.
+struct VariableBounds {
+  std::optional<Rational> Lower;
+  std::optional<Rational> Upper;
+};
+
+/// A conjunction of linear constraints over Q^NumVars.
+class ConstraintSystem {
+public:
+  explicit ConstraintSystem(unsigned NumVars) : NumVars(NumVars) {}
+
+  unsigned numVars() const { return NumVars; }
+  unsigned size() const { return Constraints.size(); }
+  const std::vector<LinearConstraint> &constraints() const {
+    return Constraints;
+  }
+
+  /// Adds Coeffs . x + Const >= 0.
+  void addInequality(const Vector &Coeffs, const Rational &Const);
+  /// Adds Coeffs . x + Const == 0.
+  void addEquality(const Vector &Coeffs, const Rational &Const);
+  /// Adds Lo <= x_Var, i.e. x_Var - Lo >= 0.
+  void addLowerBound(unsigned Var, const Rational &Lo);
+  /// Adds x_Var <= Hi.
+  void addUpperBound(unsigned Var, const Rational &Hi);
+
+  /// Eliminates variable \p Var by Fourier-Motzkin, producing an equivalent
+  /// projection onto the remaining variables (the variable keeps its index;
+  /// its coefficient becomes zero in every constraint).
+  void eliminate(unsigned Var);
+
+  /// True if the system has a rational solution. Runs FM elimination on a
+  /// copy; exact, exponential in the worst case but tiny here.
+  bool isRationallyFeasible() const;
+
+  /// Tightest derivable bounds on \p Var: eliminates every other variable
+  /// and reads the surviving single-variable constraints. Returns nullopt
+  /// if the system is infeasible.
+  std::optional<VariableBounds> boundsOf(unsigned Var) const;
+
+  /// True if \p X satisfies every constraint.
+  bool contains(const Vector &X) const;
+
+  std::string str() const;
+
+private:
+  unsigned NumVars;
+  std::vector<LinearConstraint> Constraints;
+
+  /// Substitutes equalities with a nonzero coefficient on Var and removes
+  /// duplicates / trivially true rows; detects trivially false rows.
+  void simplify();
+};
+
+} // namespace alp
+
+#endif // ALP_LINALG_FOURIERMOTZKIN_H

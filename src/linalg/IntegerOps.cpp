@@ -1,0 +1,293 @@
+//===- linalg/IntegerOps.cpp - Integer lattice operations ------------------===//
+
+#include "linalg/IntegerOps.h"
+
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace alp;
+
+ExtGcd alp::extendedGcd(int64_t A, int64_t B) {
+  // Iterative extended Euclid maintaining Bezout coefficients.
+  int64_t OldR = A, R = B;
+  int64_t OldS = 1, S = 0;
+  int64_t OldT = 0, T = 1;
+  while (R != 0) {
+    int64_t Q = OldR / R;
+    int64_t Tmp = OldR - Q * R;
+    OldR = R;
+    R = Tmp;
+    Tmp = OldS - Q * S;
+    OldS = S;
+    S = Tmp;
+    Tmp = OldT - Q * T;
+    OldT = T;
+    T = Tmp;
+  }
+  if (OldR < 0) {
+    OldR = -OldR;
+    OldS = -OldS;
+    OldT = -OldT;
+  }
+  return {OldR, OldS, OldT};
+}
+
+IntMatrix::IntMatrix(
+    std::initializer_list<std::initializer_list<int64_t>> Init) {
+  NumRows = Init.size();
+  NumCols = NumRows ? Init.begin()->size() : 0;
+  Elems.reserve(NumRows * NumCols);
+  for (const auto &Row : Init) {
+    assert(Row.size() == NumCols && "ragged matrix initializer");
+    for (int64_t E : Row)
+      Elems.push_back(E);
+  }
+}
+
+IntMatrix IntMatrix::identity(unsigned N) {
+  IntMatrix M(N, N);
+  for (unsigned I = 0; I != N; ++I)
+    M.at(I, I) = 1;
+  return M;
+}
+
+IntMatrix IntMatrix::fromRational(const Matrix &M) {
+  assert(M.isIntegral() && "matrix has non-integer entries");
+  IntMatrix R(M.rows(), M.cols());
+  for (unsigned I = 0; I != M.rows(); ++I)
+    for (unsigned J = 0; J != M.cols(); ++J)
+      R.at(I, J) = M.at(I, J).asInteger();
+  return R;
+}
+
+IntMatrix IntMatrix::operator*(const IntMatrix &RHS) const {
+  assert(NumCols == RHS.NumRows && "matrix product shape mismatch");
+  IntMatrix M(NumRows, RHS.NumCols);
+  for (unsigned R = 0; R != NumRows; ++R)
+    for (unsigned K = 0; K != NumCols; ++K) {
+      int64_t A = at(R, K);
+      if (A == 0)
+        continue;
+      for (unsigned C = 0; C != RHS.NumCols; ++C) {
+        __int128 V = static_cast<__int128>(M.at(R, C)) +
+                     static_cast<__int128>(A) * RHS.at(K, C);
+        if (V > INT64_MAX || V < INT64_MIN)
+          reportFatalError("integer matrix product overflow");
+        M.at(R, C) = static_cast<int64_t>(V);
+      }
+    }
+  return M;
+}
+
+std::vector<int64_t>
+IntMatrix::operator*(const std::vector<int64_t> &V) const {
+  assert(V.size() == NumCols && "matrix-vector shape mismatch");
+  std::vector<int64_t> R(NumRows, 0);
+  for (unsigned Row = 0; Row != NumRows; ++Row)
+    for (unsigned C = 0; C != NumCols; ++C)
+      R[Row] += at(Row, C) * V[C];
+  return R;
+}
+
+Matrix IntMatrix::toRational() const {
+  Matrix M(NumRows, NumCols);
+  for (unsigned R = 0; R != NumRows; ++R)
+    for (unsigned C = 0; C != NumCols; ++C)
+      M.at(R, C) = Rational(at(R, C));
+  return M;
+}
+
+int64_t IntMatrix::absDeterminant() const {
+  Rational Det = toRational().determinant();
+  return Det.abs().isInteger() ? Det.abs().asInteger() : 0;
+}
+
+bool IntMatrix::isUnimodular() const {
+  if (NumRows != NumCols)
+    return false;
+  Rational Det = toRational().determinant();
+  return Det == Rational(1) || Det == Rational(-1);
+}
+
+std::string IntMatrix::str() const {
+  std::ostringstream OS;
+  OS << '[';
+  for (unsigned R = 0; R != NumRows; ++R) {
+    if (R)
+      OS << "; ";
+    for (unsigned C = 0; C != NumCols; ++C) {
+      if (C)
+        OS << ' ';
+      OS << at(R, C);
+    }
+  }
+  OS << ']';
+  return OS.str();
+}
+
+HermiteResult alp::hermiteNormalForm(const IntMatrix &A) {
+  HermiteResult Res;
+  Res.H = A;
+  Res.U = IntMatrix::identity(A.cols());
+  IntMatrix &H = Res.H;
+  IntMatrix &U = Res.U;
+  unsigned M = A.rows(), N = A.cols();
+
+  auto combineCols = [&](IntMatrix &X, unsigned C1, unsigned C2, int64_t A11,
+                         int64_t A12, int64_t A21, int64_t A22) {
+    // (col C1, col C2) <- (A11*C1 + A12*C2, A21*C1 + A22*C2).
+    for (unsigned R = 0; R != X.rows(); ++R) {
+      int64_t V1 = X.at(R, C1), V2 = X.at(R, C2);
+      X.at(R, C1) = A11 * V1 + A12 * V2;
+      X.at(R, C2) = A21 * V1 + A22 * V2;
+    }
+  };
+
+  unsigned PivotCol = 0;
+  for (unsigned Row = 0; Row != M && PivotCol != N; ++Row) {
+    // Zero out entries right of PivotCol in this row using gcd combinations.
+    bool RowHasPivot = false;
+    for (unsigned C = PivotCol; C != N; ++C) {
+      if (H.at(Row, C) == 0)
+        continue;
+      if (!RowHasPivot) {
+        // Move this column into the pivot position.
+        if (C != PivotCol) {
+          combineCols(H, PivotCol, C, 0, 1, 1, 0);
+          combineCols(U, PivotCol, C, 0, 1, 1, 0);
+        }
+        RowHasPivot = true;
+        continue;
+      }
+      // Combine columns PivotCol and C so that H(Row, C) becomes 0 and
+      // H(Row, PivotCol) becomes gcd.
+      int64_t P = H.at(Row, PivotCol), Q = H.at(Row, C);
+      ExtGcd E = extendedGcd(P, Q);
+      int64_t PP = P / E.G, QQ = Q / E.G;
+      // New pivot column = X*old_pivot + Y*C ; new C = -QQ*old_pivot + PP*C.
+      // The 2x2 transform [[X, Y],[-QQ, PP]] has determinant X*PP + Y*QQ = 1,
+      // the row entries become (gcd, 0).
+      combineCols(H, PivotCol, C, E.X, E.Y, -QQ, PP);
+      combineCols(U, PivotCol, C, E.X, E.Y, -QQ, PP);
+    }
+    if (!RowHasPivot)
+      continue;
+    // Make the pivot positive.
+    if (H.at(Row, PivotCol) < 0) {
+      for (unsigned R = 0; R != M; ++R)
+        H.at(R, PivotCol) = -H.at(R, PivotCol);
+      for (unsigned R = 0; R != N; ++R)
+        U.at(R, PivotCol) = -U.at(R, PivotCol);
+    }
+    // Reduce earlier columns modulo the pivot (canonical HNF condition).
+    int64_t P = H.at(Row, PivotCol);
+    for (unsigned C = 0; C != PivotCol; ++C) {
+      int64_t Q = H.at(Row, C);
+      // Floor division so remainders land in [0, P).
+      int64_t K = Q >= 0 ? Q / P : -((-Q + P - 1) / P);
+      if (K == 0)
+        continue;
+      for (unsigned R = 0; R != M; ++R)
+        H.at(R, C) -= K * H.at(R, PivotCol);
+      for (unsigned R = 0; R != N; ++R)
+        U.at(R, C) -= K * U.at(R, PivotCol);
+    }
+    Res.Pivots.push_back({Row, PivotCol});
+    ++PivotCol;
+  }
+  return Res;
+}
+
+std::optional<std::vector<int64_t>>
+alp::solveIntegerSystem(const IntMatrix &A, const std::vector<int64_t> &B) {
+  assert(B.size() == A.rows() && "rhs size mismatch");
+  HermiteResult HR = hermiteNormalForm(A);
+  unsigned N = A.cols();
+  std::vector<int64_t> Y(N, 0);
+  unsigned PivotIdx = 0;
+  for (unsigned Row = 0; Row != A.rows(); ++Row) {
+    // Residual of this row given already-fixed Y entries.
+    int64_t Resid = B[Row];
+    for (unsigned C = 0; C != N; ++C)
+      Resid -= HR.H.at(Row, C) * Y[C];
+    bool IsPivotRow = PivotIdx < HR.Pivots.size() &&
+                      HR.Pivots[PivotIdx].first == Row;
+    if (!IsPivotRow) {
+      if (Resid != 0)
+        return std::nullopt; // Rationally inconsistent row.
+      continue;
+    }
+    unsigned PC = HR.Pivots[PivotIdx].second;
+    int64_t P = HR.H.at(Row, PC);
+    if (Resid % P != 0)
+      return std::nullopt; // No integer solution (GCD obstruction).
+    Y[PC] = Resid / P;
+    ++PivotIdx;
+  }
+  return HR.U * Y;
+}
+
+IntMatrix alp::integerNullspaceBasis(const IntMatrix &A) {
+  HermiteResult HR = hermiteNormalForm(A);
+  // Columns of U corresponding to zero columns of H span the nullspace
+  // lattice.
+  std::vector<unsigned> ZeroCols;
+  for (unsigned C = 0; C != A.cols(); ++C) {
+    bool AllZero = true;
+    for (unsigned R = 0; R != A.rows(); ++R)
+      if (HR.H.at(R, C) != 0) {
+        AllZero = false;
+        break;
+      }
+    if (AllZero)
+      ZeroCols.push_back(C);
+  }
+  IntMatrix Basis(ZeroCols.size(), A.cols());
+  for (unsigned I = 0; I != ZeroCols.size(); ++I)
+    for (unsigned R = 0; R != A.cols(); ++R)
+      Basis.at(I, R) = HR.U.at(R, ZeroCols[I]);
+  return Basis;
+}
+
+std::optional<IntMatrix> alp::unimodularExtension(const IntMatrix &Rows) {
+  unsigned K = Rows.rows(), N = Rows.cols();
+  assert(K <= N && "more rows than ambient dimension");
+  if (Rows.toRational().rank() != K)
+    return std::nullopt;
+  // Column HNF of Rows gives Rows * U = H with U unimodular. The desired
+  // extension's last N-K rows can be taken as the rows of inverse(U)
+  // corresponding to H's non-pivot columns; the resulting square matrix
+  // [Rows ; those rows] has |det| equal to the pivot product of H, which we
+  // normalize away by instead returning a matrix spanning the same top
+  // subspace: [H-pivot-normalized rows]. For the library's uses (completing
+  // distributed dimensions) spanning the same subspace suffices, so we
+  // return [Rows' ; Comp] where Rows' spans the same Q-subspace with
+  // unit pivots.
+  HermiteResult HR = hermiteNormalForm(Rows);
+  Matrix UInv = *HR.U.toRational().inverse();
+  std::vector<bool> IsPivotCol(N, false);
+  for (auto &P : HR.Pivots)
+    IsPivotCol[P.second] = true;
+  // Rows of UInv indexed by pivot columns span the row space of Rows over Q
+  // with the complementary rows completing a unimodular matrix, because
+  // UInv itself is unimodular.
+  IntMatrix Result(N, N);
+  unsigned Out = 0;
+  IntMatrix UInvInt = IntMatrix::fromRational(UInv);
+  for (unsigned R = 0; R != N; ++R)
+    if (IsPivotCol[R]) {
+      for (unsigned C = 0; C != N; ++C)
+        Result.at(Out, C) = UInvInt.at(R, C);
+      ++Out;
+    }
+  for (unsigned R = 0; R != N; ++R)
+    if (!IsPivotCol[R]) {
+      for (unsigned C = 0; C != N; ++C)
+        Result.at(Out, C) = UInvInt.at(R, C);
+      ++Out;
+    }
+  assert(Result.isUnimodular() && "extension is not unimodular");
+  return Result;
+}

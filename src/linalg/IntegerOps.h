@@ -1,0 +1,112 @@
+//===- linalg/IntegerOps.h - Integer lattice operations ---------*- C++ -*-===//
+///
+/// \file
+/// Exact integer-linear-algebra utilities: extended gcd, column-style
+/// Hermite normal form, integer solutions of A x = b, and unimodular basis
+/// extension. Dependence analysis uses these to decide whether two affine
+/// references can touch the same array element at integer iteration points,
+/// and to extract exact dependence distance vectors for uniform accesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_LINALG_INTEGEROPS_H
+#define ALP_LINALG_INTEGEROPS_H
+
+#include "linalg/Matrix.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace alp {
+
+/// Result of the extended Euclidean algorithm: G = gcd(A, B) = X*A + Y*B
+/// with G >= 0.
+struct ExtGcd {
+  int64_t G;
+  int64_t X;
+  int64_t Y;
+};
+
+ExtGcd extendedGcd(int64_t A, int64_t B);
+
+/// An integer matrix (dense, row-major).
+class IntMatrix {
+public:
+  IntMatrix() = default;
+  IntMatrix(unsigned Rows, unsigned Cols)
+      : NumRows(Rows), NumCols(Cols), Elems(Rows * Cols, 0) {}
+  IntMatrix(std::initializer_list<std::initializer_list<int64_t>> Init);
+
+  static IntMatrix identity(unsigned N);
+
+  /// Conversion from a rational matrix; asserts every entry is integral.
+  static IntMatrix fromRational(const Matrix &M);
+
+  unsigned rows() const { return NumRows; }
+  unsigned cols() const { return NumCols; }
+
+  int64_t &at(unsigned R, unsigned C) {
+    assert(R < NumRows && C < NumCols && "index out of range");
+    return Elems[R * NumCols + C];
+  }
+  int64_t at(unsigned R, unsigned C) const {
+    assert(R < NumRows && C < NumCols && "index out of range");
+    return Elems[R * NumCols + C];
+  }
+
+  IntMatrix operator*(const IntMatrix &RHS) const;
+  std::vector<int64_t> operator*(const std::vector<int64_t> &V) const;
+
+  bool operator==(const IntMatrix &RHS) const {
+    return NumRows == RHS.NumRows && NumCols == RHS.NumCols &&
+           Elems == RHS.Elems;
+  }
+
+  /// Lossless conversion to a rational matrix.
+  Matrix toRational() const;
+
+  /// |det|; asserts square.
+  int64_t absDeterminant() const;
+
+  /// True if square with determinant +-1.
+  bool isUnimodular() const;
+
+  std::string str() const;
+
+private:
+  unsigned NumRows = 0;
+  unsigned NumCols = 0;
+  std::vector<int64_t> Elems;
+};
+
+/// Column-style Hermite normal form: returns H and unimodular U such that
+/// A * U == H, where H is in column echelon form (each row's leading
+/// nonzero, if any, is strictly to the right of the previous row's).
+struct HermiteResult {
+  IntMatrix H;
+  IntMatrix U;
+  /// For each pivot row, the pivot column in H (ascending).
+  std::vector<std::pair<unsigned, unsigned>> Pivots;
+};
+
+HermiteResult hermiteNormalForm(const IntMatrix &A);
+
+/// Solves A x = b over the integers. Returns a particular solution, or
+/// nullopt if none exists (either rationally inconsistent or no integer
+/// point on the solution flat).
+std::optional<std::vector<int64_t>>
+solveIntegerSystem(const IntMatrix &A, const std::vector<int64_t> &B);
+
+/// A basis (as rows of the result) of the integer nullspace lattice
+/// { x in Z^n : A x = 0 }.
+IntMatrix integerNullspaceBasis(const IntMatrix &A);
+
+/// Extends the rows of \p Rows (a k x n integer matrix of rank k) to an
+/// n x n unimodular matrix whose first k rows span the same subspace as
+/// \p Rows over Q. Returns nullopt if the rows are rank deficient.
+std::optional<IntMatrix> unimodularExtension(const IntMatrix &Rows);
+
+} // namespace alp
+
+#endif // ALP_LINALG_INTEGEROPS_H

@@ -1,0 +1,461 @@
+//===- linalg/Matrix.cpp - Dense rational vectors and matrices ------------===//
+
+#include "linalg/Matrix.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+using namespace alp;
+
+//===----------------------------------------------------------------------===//
+// Vector
+//===----------------------------------------------------------------------===//
+
+Vector Vector::unit(unsigned Size, unsigned K) {
+  assert(K < Size && "unit vector index out of range");
+  Vector V(Size);
+  V[K] = 1;
+  return V;
+}
+
+bool Vector::isZero() const {
+  for (const Rational &E : Elems)
+    if (!E.isZero())
+      return false;
+  return true;
+}
+
+Vector Vector::operator+(const Vector &RHS) const {
+  assert(size() == RHS.size() && "vector size mismatch");
+  Vector R(size());
+  for (unsigned I = 0, E = size(); I != E; ++I)
+    R[I] = Elems[I] + RHS[I];
+  return R;
+}
+
+Vector Vector::operator-(const Vector &RHS) const {
+  assert(size() == RHS.size() && "vector size mismatch");
+  Vector R(size());
+  for (unsigned I = 0, E = size(); I != E; ++I)
+    R[I] = Elems[I] - RHS[I];
+  return R;
+}
+
+Vector Vector::operator-() const {
+  Vector R(size());
+  for (unsigned I = 0, E = size(); I != E; ++I)
+    R[I] = -Elems[I];
+  return R;
+}
+
+Vector Vector::scaled(const Rational &S) const {
+  Vector R(size());
+  for (unsigned I = 0, E = size(); I != E; ++I)
+    R[I] = Elems[I] * S;
+  return R;
+}
+
+Rational Vector::dot(const Vector &RHS) const {
+  assert(size() == RHS.size() && "vector size mismatch");
+  Rational Sum;
+  for (unsigned I = 0, E = size(); I != E; ++I)
+    Sum += Elems[I] * RHS[I];
+  return Sum;
+}
+
+std::optional<unsigned> Vector::firstNonZero() const {
+  for (unsigned I = 0, E = size(); I != E; ++I)
+    if (!Elems[I].isZero())
+      return I;
+  return std::nullopt;
+}
+
+Vector Vector::normalizedDirection() const {
+  auto Lead = firstNonZero();
+  if (!Lead)
+    return *this;
+  int64_t Lcm = 1;
+  for (const Rational &E : Elems)
+    Lcm = lcm64(Lcm, E.den());
+  int64_t Gcd = 0;
+  for (const Rational &E : Elems)
+    Gcd = gcd64(Gcd, (E * Rational(Lcm)).asInteger());
+  Rational Scale = Rational(Lcm) / Rational(Gcd);
+  if (Elems[*Lead].isNegative())
+    Scale = -Scale;
+  return scaled(Scale);
+}
+
+std::string Vector::str() const {
+  std::ostringstream OS;
+  OS << '(';
+  for (unsigned I = 0, E = size(); I != E; ++I) {
+    if (I)
+      OS << ", ";
+    OS << Elems[I];
+  }
+  OS << ')';
+  return OS.str();
+}
+
+std::ostream &alp::operator<<(std::ostream &OS, const Vector &V) {
+  return OS << V.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Matrix
+//===----------------------------------------------------------------------===//
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<Rational>> Init) {
+  NumRows = Init.size();
+  NumCols = NumRows ? Init.begin()->size() : 0;
+  Elems.reserve(NumRows * NumCols);
+  for (const auto &Row : Init) {
+    assert(Row.size() == NumCols && "ragged matrix initializer");
+    for (const Rational &E : Row)
+      Elems.push_back(E);
+  }
+}
+
+Matrix Matrix::identity(unsigned N) {
+  Matrix M(N, N);
+  for (unsigned I = 0; I != N; ++I)
+    M.at(I, I) = 1;
+  return M;
+}
+
+Matrix Matrix::fromRows(const std::vector<Vector> &Rows) {
+  if (Rows.empty())
+    return Matrix();
+  Matrix M(Rows.size(), Rows.front().size());
+  for (unsigned R = 0; R != Rows.size(); ++R)
+    M.setRow(R, Rows[R]);
+  return M;
+}
+
+Vector Matrix::row(unsigned R) const {
+  Vector V(NumCols);
+  for (unsigned C = 0; C != NumCols; ++C)
+    V[C] = at(R, C);
+  return V;
+}
+
+Vector Matrix::col(unsigned C) const {
+  Vector V(NumRows);
+  for (unsigned R = 0; R != NumRows; ++R)
+    V[R] = at(R, C);
+  return V;
+}
+
+void Matrix::setRow(unsigned R, const Vector &V) {
+  assert(V.size() == NumCols && "row size mismatch");
+  for (unsigned C = 0; C != NumCols; ++C)
+    at(R, C) = V[C];
+}
+
+bool Matrix::isZero() const {
+  for (const Rational &E : Elems)
+    if (!E.isZero())
+      return false;
+  return true;
+}
+
+bool Matrix::isIdentity() const {
+  if (!isSquare())
+    return false;
+  for (unsigned R = 0; R != NumRows; ++R)
+    for (unsigned C = 0; C != NumCols; ++C)
+      if (at(R, C) != (R == C ? Rational(1) : Rational(0)))
+        return false;
+  return true;
+}
+
+Matrix Matrix::operator+(const Matrix &RHS) const {
+  assert(NumRows == RHS.NumRows && NumCols == RHS.NumCols &&
+         "matrix shape mismatch");
+  Matrix M(NumRows, NumCols);
+  for (unsigned I = 0, E = Elems.size(); I != E; ++I)
+    M.Elems[I] = Elems[I] + RHS.Elems[I];
+  return M;
+}
+
+Matrix Matrix::operator-(const Matrix &RHS) const {
+  assert(NumRows == RHS.NumRows && NumCols == RHS.NumCols &&
+         "matrix shape mismatch");
+  Matrix M(NumRows, NumCols);
+  for (unsigned I = 0, E = Elems.size(); I != E; ++I)
+    M.Elems[I] = Elems[I] - RHS.Elems[I];
+  return M;
+}
+
+Matrix Matrix::operator*(const Matrix &RHS) const {
+  assert(NumCols == RHS.NumRows && "matrix product shape mismatch");
+  Matrix M(NumRows, RHS.NumCols);
+  for (unsigned R = 0; R != NumRows; ++R)
+    for (unsigned K = 0; K != NumCols; ++K) {
+      const Rational &A = at(R, K);
+      if (A.isZero())
+        continue;
+      for (unsigned C = 0; C != RHS.NumCols; ++C)
+        M.at(R, C) += A * RHS.at(K, C);
+    }
+  return M;
+}
+
+Vector Matrix::operator*(const Vector &V) const {
+  assert(NumCols == V.size() && "matrix-vector shape mismatch");
+  Vector R(NumRows);
+  for (unsigned Row = 0; Row != NumRows; ++Row) {
+    Rational Sum;
+    for (unsigned C = 0; C != NumCols; ++C)
+      Sum += at(Row, C) * V[C];
+    R[Row] = Sum;
+  }
+  return R;
+}
+
+Matrix Matrix::scaled(const Rational &S) const {
+  Matrix M(NumRows, NumCols);
+  for (unsigned I = 0, E = Elems.size(); I != E; ++I)
+    M.Elems[I] = Elems[I] * S;
+  return M;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix M(NumCols, NumRows);
+  for (unsigned R = 0; R != NumRows; ++R)
+    for (unsigned C = 0; C != NumCols; ++C)
+      M.at(C, R) = at(R, C);
+  return M;
+}
+
+Matrix Matrix::vstack(const Matrix &RHS) const {
+  if (NumRows == 0)
+    return RHS;
+  if (RHS.NumRows == 0)
+    return *this;
+  assert(NumCols == RHS.NumCols && "vstack column mismatch");
+  Matrix M(NumRows + RHS.NumRows, NumCols);
+  std::copy(Elems.begin(), Elems.end(), M.Elems.begin());
+  std::copy(RHS.Elems.begin(), RHS.Elems.end(),
+            M.Elems.begin() + Elems.size());
+  return M;
+}
+
+Matrix Matrix::hstack(const Matrix &RHS) const {
+  if (NumCols == 0)
+    return RHS;
+  if (RHS.NumCols == 0)
+    return *this;
+  assert(NumRows == RHS.NumRows && "hstack row mismatch");
+  Matrix M(NumRows, NumCols + RHS.NumCols);
+  for (unsigned R = 0; R != NumRows; ++R) {
+    for (unsigned C = 0; C != NumCols; ++C)
+      M.at(R, C) = at(R, C);
+    for (unsigned C = 0; C != RHS.NumCols; ++C)
+      M.at(R, NumCols + C) = RHS.at(R, C);
+  }
+  return M;
+}
+
+Matrix Matrix::rref(std::vector<unsigned> *PivotCols) const {
+  Matrix M = *this;
+  if (PivotCols)
+    PivotCols->clear();
+  unsigned PivotRow = 0;
+  for (unsigned C = 0; C != NumCols && PivotRow != NumRows; ++C) {
+    // Find a pivot in column C at or below PivotRow.
+    unsigned Found = NumRows;
+    for (unsigned R = PivotRow; R != NumRows; ++R)
+      if (!M.at(R, C).isZero()) {
+        Found = R;
+        break;
+      }
+    if (Found == NumRows)
+      continue;
+    // Swap into place and scale the pivot to 1.
+    if (Found != PivotRow)
+      for (unsigned K = 0; K != NumCols; ++K)
+        std::swap(M.at(Found, K), M.at(PivotRow, K));
+    Rational Inv = M.at(PivotRow, C).reciprocal();
+    for (unsigned K = 0; K != NumCols; ++K)
+      M.at(PivotRow, K) *= Inv;
+    // Eliminate the column everywhere else.
+    for (unsigned R = 0; R != NumRows; ++R) {
+      if (R == PivotRow)
+        continue;
+      Rational Factor = M.at(R, C);
+      if (Factor.isZero())
+        continue;
+      for (unsigned K = 0; K != NumCols; ++K)
+        M.at(R, K) -= Factor * M.at(PivotRow, K);
+    }
+    if (PivotCols)
+      PivotCols->push_back(C);
+    ++PivotRow;
+  }
+  return M;
+}
+
+unsigned Matrix::rank() const {
+  std::vector<unsigned> Pivots;
+  rref(&Pivots);
+  return Pivots.size();
+}
+
+Rational Matrix::determinant() const {
+  assert(isSquare() && "determinant of non-square matrix");
+  Matrix M = *this;
+  Rational Det(1);
+  for (unsigned C = 0; C != NumCols; ++C) {
+    unsigned Found = NumRows;
+    for (unsigned R = C; R != NumRows; ++R)
+      if (!M.at(R, C).isZero()) {
+        Found = R;
+        break;
+      }
+    if (Found == NumRows)
+      return Rational(0);
+    if (Found != C) {
+      for (unsigned K = 0; K != NumCols; ++K)
+        std::swap(M.at(Found, K), M.at(C, K));
+      Det = -Det;
+    }
+    Det *= M.at(C, C);
+    Rational Inv = M.at(C, C).reciprocal();
+    for (unsigned R = C + 1; R != NumRows; ++R) {
+      Rational Factor = M.at(R, C) * Inv;
+      if (Factor.isZero())
+        continue;
+      for (unsigned K = C; K != NumCols; ++K)
+        M.at(R, K) -= Factor * M.at(C, K);
+    }
+  }
+  return Det;
+}
+
+std::optional<Matrix> Matrix::inverse() const {
+  if (!isSquare())
+    return std::nullopt;
+  std::vector<unsigned> Pivots;
+  Matrix Aug = hstack(identity(NumRows)).rref(&Pivots);
+  if (Pivots.size() != NumRows || (NumRows && Pivots.back() >= NumCols))
+    return std::nullopt;
+  Matrix Inv(NumRows, NumCols);
+  for (unsigned R = 0; R != NumRows; ++R)
+    for (unsigned C = 0; C != NumCols; ++C)
+      Inv.at(R, C) = Aug.at(R, NumCols + C);
+  return Inv;
+}
+
+std::vector<Vector> Matrix::nullspaceBasis() const {
+  std::vector<unsigned> Pivots;
+  Matrix R = rref(&Pivots);
+  std::vector<bool> IsPivot(NumCols, false);
+  for (unsigned P : Pivots)
+    IsPivot[P] = true;
+  std::vector<Vector> Basis;
+  for (unsigned Free = 0; Free != NumCols; ++Free) {
+    if (IsPivot[Free])
+      continue;
+    Vector V(NumCols);
+    V[Free] = 1;
+    for (unsigned I = 0; I != Pivots.size(); ++I)
+      V[Pivots[I]] = -R.at(I, Free);
+    Basis.push_back(V.normalizedDirection());
+  }
+  return Basis;
+}
+
+std::vector<Vector> Matrix::rowSpaceBasis() const {
+  std::vector<unsigned> Pivots;
+  Matrix R = rref(&Pivots);
+  std::vector<Vector> Basis;
+  for (unsigned I = 0; I != Pivots.size(); ++I)
+    Basis.push_back(R.row(I));
+  return Basis;
+}
+
+std::vector<Vector> Matrix::columnSpaceBasis() const {
+  return transposed().rowSpaceBasis();
+}
+
+std::optional<Vector> Matrix::solve(const Vector &B) const {
+  assert(B.size() == NumRows && "rhs size mismatch");
+  Matrix Rhs(NumRows, 1);
+  for (unsigned R = 0; R != NumRows; ++R)
+    Rhs.at(R, 0) = B[R];
+  std::vector<unsigned> Pivots;
+  Matrix Aug = hstack(Rhs).rref(&Pivots);
+  // Inconsistent iff some pivot lands in the RHS column.
+  if (!Pivots.empty() && Pivots.back() == NumCols)
+    return std::nullopt;
+  Vector X(NumCols);
+  for (unsigned I = 0; I != Pivots.size(); ++I)
+    X[Pivots[I]] = Aug.at(I, NumCols);
+  return X;
+}
+
+Matrix Matrix::rightPseudoInverse() const {
+  // Let B hold a maximal independent set of A's columns (the pivot columns
+  // of the RREF) and X the matching selection of domain unit vectors, so
+  // A * X == B. Then G = X (B^T B)^{-1} B^T satisfies A G A == A, because
+  // A G = B (B^T B)^{-1} B^T is the orthogonal projector onto range(A)
+  // and that projector fixes every column of A. When A has full row rank
+  // the projector is the identity and G is a true right inverse.
+  std::vector<unsigned> Pivots;
+  rref(&Pivots);
+  unsigned K = Pivots.size();
+  if (K == 0)
+    return Matrix(NumCols, NumRows); // Zero map: G = 0 works.
+  Matrix B(NumRows, K), X(NumCols, K);
+  for (unsigned J = 0; J != K; ++J) {
+    for (unsigned R = 0; R != NumRows; ++R)
+      B.at(R, J) = at(R, Pivots[J]);
+    X.at(Pivots[J], J) = 1;
+  }
+  Matrix Bt = B.transposed();
+  auto Gram = (Bt * B).inverse();
+  assert(Gram && "Gram matrix of independent columns must be invertible");
+  return X * *Gram * Bt;
+}
+
+Matrix Matrix::integerScaled() const {
+  if (isZero())
+    return *this;
+  int64_t Lcm = 1;
+  for (const Rational &E : Elems)
+    Lcm = lcm64(Lcm, E.den());
+  int64_t Gcd = 0;
+  for (const Rational &E : Elems)
+    Gcd = gcd64(Gcd, (E * Rational(Lcm)).asInteger());
+  return scaled(Rational(Lcm) / Rational(Gcd));
+}
+
+bool Matrix::isIntegral() const {
+  for (const Rational &E : Elems)
+    if (!E.isInteger())
+      return false;
+  return true;
+}
+
+std::string Matrix::str() const {
+  std::ostringstream OS;
+  OS << '[';
+  for (unsigned R = 0; R != NumRows; ++R) {
+    if (R)
+      OS << "; ";
+    for (unsigned C = 0; C != NumCols; ++C) {
+      if (C)
+        OS << ' ';
+      OS << at(R, C);
+    }
+  }
+  OS << ']';
+  return OS.str();
+}
+
+std::ostream &alp::operator<<(std::ostream &OS, const Matrix &M) {
+  return OS << M.str();
+}

@@ -1,0 +1,193 @@
+//===- linalg/Matrix.h - Dense rational vectors and matrices ----*- C++ -*-===//
+///
+/// \file
+/// Dense vectors and matrices over Rational, sized for the decomposition
+/// framework: array and iteration spaces have dimension <= ~8, so the
+/// implementation favours clarity and exactness over asymptotic speed.
+///
+/// Conventions match the paper: a data decomposition matrix D is n x m
+/// (processor dims x array dims), a computation decomposition matrix C is
+/// n x l (processor dims x loop depth), an array index function matrix F is
+/// m x l, and the fundamental relation is D * F == C (Eqn. 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_LINALG_MATRIX_H
+#define ALP_LINALG_MATRIX_H
+
+#include "linalg/Rational.h"
+
+#include <cassert>
+#include <initializer_list>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace alp {
+
+/// A dense column vector over Q.
+class Vector {
+public:
+  Vector() = default;
+  explicit Vector(unsigned Size) : Elems(Size) {}
+  Vector(std::initializer_list<Rational> Init) : Elems(Init) {}
+
+  static Vector zero(unsigned Size) { return Vector(Size); }
+  /// The elementary basis vector e_k (0-based) in \p Size dimensions.
+  static Vector unit(unsigned Size, unsigned K);
+
+  unsigned size() const { return Elems.size(); }
+  bool empty() const { return Elems.empty(); }
+
+  Rational &operator[](unsigned I) {
+    assert(I < Elems.size() && "vector index out of range");
+    return Elems[I];
+  }
+  const Rational &operator[](unsigned I) const {
+    assert(I < Elems.size() && "vector index out of range");
+    return Elems[I];
+  }
+
+  bool isZero() const;
+
+  Vector operator+(const Vector &RHS) const;
+  Vector operator-(const Vector &RHS) const;
+  Vector operator-() const;
+  Vector scaled(const Rational &S) const;
+
+  Rational dot(const Vector &RHS) const;
+
+  /// The first nonzero position, or nullopt for the zero vector.
+  std::optional<unsigned> firstNonZero() const;
+
+  /// Scales by the LCM of denominators and divides by the GCD of numerators,
+  /// making the leading nonzero entry positive: a canonical integer direction
+  /// for the same line. Zero vectors are returned unchanged.
+  Vector normalizedDirection() const;
+
+  bool operator==(const Vector &RHS) const { return Elems == RHS.Elems; }
+  bool operator!=(const Vector &RHS) const { return !(*this == RHS); }
+
+  std::string str() const;
+
+  std::vector<Rational>::const_iterator begin() const {
+    return Elems.begin();
+  }
+  std::vector<Rational>::const_iterator end() const { return Elems.end(); }
+
+private:
+  std::vector<Rational> Elems;
+};
+
+std::ostream &operator<<(std::ostream &OS, const Vector &V);
+
+/// A dense Rows x Cols matrix over Q.
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(unsigned Rows, unsigned Cols)
+      : NumRows(Rows), NumCols(Cols), Elems(Rows * Cols) {}
+  /// Row-major initializer: Matrix({{1,0},{0,1}}).
+  Matrix(std::initializer_list<std::initializer_list<Rational>> Init);
+
+  static Matrix identity(unsigned N);
+  static Matrix zero(unsigned Rows, unsigned Cols) {
+    return Matrix(Rows, Cols);
+  }
+  /// Builds a matrix whose rows are the given vectors (all the same size).
+  static Matrix fromRows(const std::vector<Vector> &Rows);
+
+  unsigned rows() const { return NumRows; }
+  unsigned cols() const { return NumCols; }
+
+  Rational &at(unsigned R, unsigned C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Elems[R * NumCols + C];
+  }
+  const Rational &at(unsigned R, unsigned C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Elems[R * NumCols + C];
+  }
+
+  Vector row(unsigned R) const;
+  Vector col(unsigned C) const;
+  void setRow(unsigned R, const Vector &V);
+
+  bool isZero() const;
+  bool isSquare() const { return NumRows == NumCols; }
+  bool isIdentity() const;
+
+  Matrix operator+(const Matrix &RHS) const;
+  Matrix operator-(const Matrix &RHS) const;
+  Matrix operator*(const Matrix &RHS) const;
+  Vector operator*(const Vector &V) const;
+  Matrix scaled(const Rational &S) const;
+  Matrix transposed() const;
+
+  bool operator==(const Matrix &RHS) const {
+    return NumRows == RHS.NumRows && NumCols == RHS.NumCols &&
+           Elems == RHS.Elems;
+  }
+  bool operator!=(const Matrix &RHS) const { return !(*this == RHS); }
+
+  /// Appends the rows of \p RHS below this matrix (column counts must match).
+  Matrix vstack(const Matrix &RHS) const;
+  /// Appends the columns of \p RHS to the right (row counts must match).
+  Matrix hstack(const Matrix &RHS) const;
+
+  /// Reduced row echelon form. On return \p PivotCols (if nonnull) holds the
+  /// pivot column of each nonzero row in order.
+  Matrix rref(std::vector<unsigned> *PivotCols = nullptr) const;
+
+  unsigned rank() const;
+
+  /// Determinant; asserts the matrix is square.
+  Rational determinant() const;
+
+  /// Exact inverse, or nullopt if singular (or non-square).
+  std::optional<Matrix> inverse() const;
+
+  /// A basis (as rows) of the right nullspace { x : A x = 0 }.
+  std::vector<Vector> nullspaceBasis() const;
+
+  /// A basis (as rows) of the row space.
+  std::vector<Vector> rowSpaceBasis() const;
+
+  /// A basis of the column space (the range of the linear map).
+  std::vector<Vector> columnSpaceBasis() const;
+
+  /// Solves A x = b exactly; returns nullopt if inconsistent. When the
+  /// system is underdetermined an arbitrary particular solution is returned
+  /// (free variables set to zero).
+  std::optional<Vector> solve(const Vector &B) const;
+
+  /// A right pseudo-inverse G with A * G * A == A, defined whenever A has
+  /// full row rank on its range; more generally returns a G such that
+  /// A * G acts as the identity on range(A). Used for the paper's
+  /// "pseudo-inverse function" when access matrices are not invertible.
+  Matrix rightPseudoInverse() const;
+
+  /// Multiplies every entry by the LCM of all denominators and divides by
+  /// the GCD of all numerators, yielding the canonical integer matrix with
+  /// the same row space ("the matrices can be multiplied by the least common
+  /// multiple to eliminate the fractions", Sec. 4.4). The zero matrix is
+  /// returned unchanged.
+  Matrix integerScaled() const;
+
+  /// True if every entry is an integer.
+  bool isIntegral() const;
+
+  std::string str() const;
+
+private:
+  unsigned NumRows = 0;
+  unsigned NumCols = 0;
+  std::vector<Rational> Elems;
+};
+
+std::ostream &operator<<(std::ostream &OS, const Matrix &M);
+
+} // namespace alp
+
+#endif // ALP_LINALG_MATRIX_H

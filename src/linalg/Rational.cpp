@@ -1,0 +1,133 @@
+//===- linalg/Rational.cpp - Exact rational numbers -----------------------===//
+
+#include "linalg/Rational.h"
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+using namespace alp;
+
+int64_t alp::gcd64(int64_t A, int64_t B) {
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+namespace {
+
+/// Narrows a 128-bit value to 64 bits, failing loudly on overflow.
+int64_t narrow(__int128 V) {
+  if (V > INT64_MAX || V < INT64_MIN)
+    reportFatalError("rational arithmetic overflow");
+  return static_cast<int64_t>(V);
+}
+
+} // namespace
+
+int64_t alp::lcm64(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  int64_t G = gcd64(A, B);
+  __int128 L = static_cast<__int128>(A / G) * B;
+  if (L < 0)
+    L = -L;
+  return narrow(L);
+}
+
+Rational::Rational(int64_t N, int64_t D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  int64_t G = gcd64(N, D);
+  if (G > 1) {
+    N /= G;
+    D /= G;
+  }
+  Num = N;
+  Den = D;
+}
+
+int64_t Rational::asInteger() const {
+  assert(isInteger() && "rational is not an integer");
+  return Num;
+}
+
+Rational Rational::operator-() const {
+  Rational R;
+  R.Num = -Num;
+  R.Den = Den;
+  return R;
+}
+
+Rational Rational::operator+(const Rational &RHS) const {
+  // a/b + c/d = (a*d + c*b) / (b*d), reduced.
+  __int128 N = static_cast<__int128>(Num) * RHS.Den +
+               static_cast<__int128>(RHS.Num) * Den;
+  __int128 D = static_cast<__int128>(Den) * RHS.Den;
+  // Reduce in 128 bits before narrowing to avoid spurious overflow.
+  __int128 A = N < 0 ? -N : N, B = D;
+  while (B != 0) {
+    __int128 T = A % B;
+    A = B;
+    B = T;
+  }
+  if (A > 1) {
+    N /= A;
+    D /= A;
+  }
+  return Rational(narrow(N), narrow(D));
+}
+
+Rational Rational::operator-(const Rational &RHS) const {
+  return *this + (-RHS);
+}
+
+Rational Rational::operator*(const Rational &RHS) const {
+  // Cross-reduce first to keep intermediates small.
+  int64_t G1 = gcd64(Num, RHS.Den);
+  int64_t G2 = gcd64(RHS.Num, Den);
+  __int128 N = static_cast<__int128>(Num / G1) * (RHS.Num / G2);
+  __int128 D = static_cast<__int128>(Den / G2) * (RHS.Den / G1);
+  return Rational(narrow(N), narrow(D));
+}
+
+Rational Rational::operator/(const Rational &RHS) const {
+  return *this * RHS.reciprocal();
+}
+
+Rational Rational::reciprocal() const {
+  assert(!isZero() && "reciprocal of zero");
+  return Rational(Den, Num);
+}
+
+bool Rational::operator<(const Rational &RHS) const {
+  // Compare a/b < c/d as a*d < c*b (denominators are positive).
+  __int128 L = static_cast<__int128>(Num) * RHS.Den;
+  __int128 R = static_cast<__int128>(RHS.Num) * Den;
+  return L < R;
+}
+
+std::string Rational::str() const {
+  std::ostringstream OS;
+  OS << Num;
+  if (Den != 1)
+    OS << '/' << Den;
+  return OS.str();
+}
+
+std::ostream &alp::operator<<(std::ostream &OS, const Rational &R) {
+  return OS << R.str();
+}

@@ -1,0 +1,92 @@
+//===- linalg/Rational.h - Exact rational numbers ---------------*- C++ -*-===//
+///
+/// \file
+/// Exact rational arithmetic over checked 64-bit integers. All decomposition
+/// mathematics in the library (kernels, spans, orientations) is performed
+/// over Q so that results such as ker D = span{(1,-1)} are exact.
+///
+/// Intermediate products are computed in 128-bit arithmetic; a result whose
+/// reduced numerator or denominator does not fit in 64 bits triggers
+/// reportFatalError. The matrices arising from affine loop nests are tiny
+/// (dimension <= ~8) with small entries, so overflow indicates a bug.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_LINALG_RATIONAL_H
+#define ALP_LINALG_RATIONAL_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace alp {
+
+/// An exact rational number num/den with den > 0 and gcd(num, den) == 1.
+class Rational {
+public:
+  /// Zero.
+  Rational() : Num(0), Den(1) {}
+
+  /// The integer \p N.
+  Rational(int64_t N) : Num(N), Den(1) {} // NOLINT: implicit by design.
+
+  /// The fraction \p N / \p D. \p D must be nonzero.
+  Rational(int64_t N, int64_t D);
+
+  int64_t num() const { return Num; }
+  int64_t den() const { return Den; }
+
+  bool isZero() const { return Num == 0; }
+  bool isOne() const { return Num == 1 && Den == 1; }
+  bool isInteger() const { return Den == 1; }
+  bool isNegative() const { return Num < 0; }
+
+  /// Integer value; asserts isInteger().
+  int64_t asInteger() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational &RHS) const;
+  Rational operator-(const Rational &RHS) const;
+  Rational operator*(const Rational &RHS) const;
+  /// Division; \p RHS must be nonzero.
+  Rational operator/(const Rational &RHS) const;
+
+  Rational &operator+=(const Rational &RHS) { return *this = *this + RHS; }
+  Rational &operator-=(const Rational &RHS) { return *this = *this - RHS; }
+  Rational &operator*=(const Rational &RHS) { return *this = *this * RHS; }
+  Rational &operator/=(const Rational &RHS) { return *this = *this / RHS; }
+
+  /// Multiplicative inverse; *this must be nonzero.
+  Rational reciprocal() const;
+
+  /// Absolute value.
+  Rational abs() const { return Num < 0 ? -*this : *this; }
+
+  bool operator==(const Rational &RHS) const {
+    return Num == RHS.Num && Den == RHS.Den;
+  }
+  bool operator!=(const Rational &RHS) const { return !(*this == RHS); }
+  bool operator<(const Rational &RHS) const;
+  bool operator>(const Rational &RHS) const { return RHS < *this; }
+  bool operator<=(const Rational &RHS) const { return !(RHS < *this); }
+  bool operator>=(const Rational &RHS) const { return !(*this < RHS); }
+
+  /// Renders as "n" for integers, "n/d" otherwise.
+  std::string str() const;
+
+private:
+  int64_t Num;
+  int64_t Den;
+};
+
+std::ostream &operator<<(std::ostream &OS, const Rational &R);
+
+/// Greatest common divisor of |A| and |B|; gcd(0,0) == 0.
+int64_t gcd64(int64_t A, int64_t B);
+
+/// Least common multiple of |A| and |B|; checked for overflow.
+int64_t lcm64(int64_t A, int64_t B);
+
+} // namespace alp
+
+#endif // ALP_LINALG_RATIONAL_H

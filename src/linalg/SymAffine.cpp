@@ -1,0 +1,176 @@
+//===- linalg/SymAffine.cpp - Affine expressions in symbolic constants ----===//
+
+#include "linalg/SymAffine.h"
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+using namespace alp;
+
+SymAffine SymAffine::symbol(const std::string &Symbol, Rational Coeff) {
+  SymAffine A;
+  if (!Coeff.isZero())
+    A.Coeffs[Symbol] = Coeff;
+  return A;
+}
+
+Rational SymAffine::coeff(const std::string &Symbol) const {
+  auto It = Coeffs.find(Symbol);
+  return It == Coeffs.end() ? Rational(0) : It->second;
+}
+
+void SymAffine::prune() {
+  for (auto It = Coeffs.begin(); It != Coeffs.end();) {
+    if (It->second.isZero())
+      It = Coeffs.erase(It);
+    else
+      ++It;
+  }
+}
+
+SymAffine SymAffine::operator+(const SymAffine &RHS) const {
+  SymAffine R = *this;
+  R.Constant += RHS.Constant;
+  for (const auto &[Sym, C] : RHS.Coeffs)
+    R.Coeffs[Sym] += C;
+  R.prune();
+  return R;
+}
+
+SymAffine SymAffine::operator-(const SymAffine &RHS) const {
+  return *this + (-RHS);
+}
+
+SymAffine SymAffine::operator-() const {
+  SymAffine R;
+  R.Constant = -Constant;
+  for (const auto &[Sym, C] : Coeffs)
+    R.Coeffs[Sym] = -C;
+  return R;
+}
+
+SymAffine SymAffine::scaled(const Rational &S) const {
+  SymAffine R;
+  R.Constant = Constant * S;
+  if (S.isZero())
+    return R;
+  for (const auto &[Sym, C] : Coeffs)
+    R.Coeffs[Sym] = C * S;
+  return R;
+}
+
+Rational
+SymAffine::evaluate(const std::map<std::string, Rational> &Bindings) const {
+  Rational V = Constant;
+  for (const auto &[Sym, C] : Coeffs) {
+    auto It = Bindings.find(Sym);
+    if (It == Bindings.end())
+      reportFatalError("unbound symbolic constant '" + Sym + "'");
+    V += C * It->second;
+  }
+  return V;
+}
+
+std::string SymAffine::str() const {
+  std::ostringstream OS;
+  bool First = true;
+  for (const auto &[Sym, C] : Coeffs) {
+    if (First) {
+      if (C == Rational(1))
+        OS << Sym;
+      else if (C == Rational(-1))
+        OS << '-' << Sym;
+      else
+        OS << C << '*' << Sym;
+      First = false;
+      continue;
+    }
+    if (C.isNegative())
+      OS << " - "
+         << (C == Rational(-1) ? std::string() : (-C).str() + "*") << Sym;
+    else
+      OS << " + "
+         << (C == Rational(1) ? std::string() : C.str() + "*") << Sym;
+  }
+  if (First) {
+    OS << Constant;
+  } else if (!Constant.isZero()) {
+    if (Constant.isNegative())
+      OS << " - " << (-Constant);
+    else
+      OS << " + " << Constant;
+  }
+  return OS.str();
+}
+
+std::ostream &alp::operator<<(std::ostream &OS, const SymAffine &A) {
+  return OS << A.str();
+}
+
+SymVector SymVector::fromVector(const Vector &V) {
+  SymVector R(V.size());
+  for (unsigned I = 0; I != V.size(); ++I)
+    R[I] = SymAffine(V[I]);
+  return R;
+}
+
+bool SymVector::isZero() const {
+  for (const SymAffine &E : Elems)
+    if (!E.isZero())
+      return false;
+  return true;
+}
+
+SymVector SymVector::operator+(const SymVector &RHS) const {
+  assert(size() == RHS.size() && "symbolic vector size mismatch");
+  SymVector R(size());
+  for (unsigned I = 0; I != size(); ++I)
+    R[I] = Elems[I] + RHS[I];
+  return R;
+}
+
+SymVector SymVector::operator-(const SymVector &RHS) const {
+  assert(size() == RHS.size() && "symbolic vector size mismatch");
+  SymVector R(size());
+  for (unsigned I = 0; I != size(); ++I)
+    R[I] = Elems[I] - RHS[I];
+  return R;
+}
+
+SymVector SymVector::operator-() const {
+  SymVector R(size());
+  for (unsigned I = 0; I != size(); ++I)
+    R[I] = -Elems[I];
+  return R;
+}
+
+std::string SymVector::str() const {
+  std::ostringstream OS;
+  OS << '(';
+  for (unsigned I = 0; I != size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << Elems[I];
+  }
+  OS << ')';
+  return OS.str();
+}
+
+std::ostream &alp::operator<<(std::ostream &OS, const SymVector &V) {
+  return OS << V.str();
+}
+
+SymVector alp::operator*(const Matrix &M, const SymVector &V) {
+  assert(M.cols() == V.size() && "matrix-symvector shape mismatch");
+  SymVector R(M.rows());
+  for (unsigned Row = 0; Row != M.rows(); ++Row) {
+    SymAffine Sum;
+    for (unsigned C = 0; C != M.cols(); ++C)
+      Sum += V[C].scaled(M.at(Row, C));
+    R[Row] = Sum;
+  }
+  return R;
+}

@@ -1,0 +1,111 @@
+//===- linalg/SymAffine.h - Affine expressions in symbolic constants -*- C++ -*-===//
+///
+/// \file
+/// Affine expressions over named symbolic constants (problem sizes such as
+/// N). The paper's displacements are affine in these symbols: in Figure 1
+/// the data displacement of Z is N + 1 and the computation displacement of
+/// loop nest 2 is N + 1. SymAffine is that value type; SymVector is a
+/// vector of them (a displacement vector delta or gamma).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_LINALG_SYMAFFINE_H
+#define ALP_LINALG_SYMAFFINE_H
+
+#include "linalg/Matrix.h"
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace alp {
+
+/// constant + sum(Coeff_s * symbol_s) with rational coefficients.
+class SymAffine {
+public:
+  SymAffine() = default;
+  SymAffine(Rational Constant) : Constant(Constant) {} // NOLINT: implicit.
+  SymAffine(int64_t Constant) : Constant(Constant) {}  // NOLINT: implicit.
+
+  /// The expression "Coeff * Symbol".
+  static SymAffine symbol(const std::string &Symbol,
+                          Rational Coeff = Rational(1));
+
+  const Rational &constant() const { return Constant; }
+  /// Coefficient of \p Symbol (zero if absent).
+  Rational coeff(const std::string &Symbol) const;
+  const std::map<std::string, Rational> &symbolCoeffs() const {
+    return Coeffs;
+  }
+
+  bool isZero() const { return Constant.isZero() && Coeffs.empty(); }
+  bool isConstant() const { return Coeffs.empty(); }
+
+  SymAffine operator+(const SymAffine &RHS) const;
+  SymAffine operator-(const SymAffine &RHS) const;
+  SymAffine operator-() const;
+  SymAffine scaled(const Rational &S) const;
+
+  SymAffine &operator+=(const SymAffine &RHS) { return *this = *this + RHS; }
+  SymAffine &operator-=(const SymAffine &RHS) { return *this = *this - RHS; }
+
+  bool operator==(const SymAffine &RHS) const {
+    return Constant == RHS.Constant && Coeffs == RHS.Coeffs;
+  }
+  bool operator!=(const SymAffine &RHS) const { return !(*this == RHS); }
+
+  /// Numeric value with every symbol bound; symbols missing from
+  /// \p Bindings are an error.
+  Rational evaluate(const std::map<std::string, Rational> &Bindings) const;
+
+  /// Renders as e.g. "N + 1", "2N - 3", "0".
+  std::string str() const;
+
+private:
+  Rational Constant;
+  std::map<std::string, Rational> Coeffs; // Nonzero coefficients only.
+
+  void prune();
+};
+
+std::ostream &operator<<(std::ostream &OS, const SymAffine &A);
+
+/// A vector of symbolic affine expressions — the displacement vectors
+/// delta (data) and gamma (computation) of Definitions 2.1 and 2.2.
+class SymVector {
+public:
+  SymVector() = default;
+  explicit SymVector(unsigned Size) : Elems(Size) {}
+  SymVector(std::initializer_list<SymAffine> Init) : Elems(Init) {}
+
+  /// Lifts a numeric vector.
+  static SymVector fromVector(const Vector &V);
+
+  unsigned size() const { return Elems.size(); }
+  SymAffine &operator[](unsigned I) { return Elems[I]; }
+  const SymAffine &operator[](unsigned I) const { return Elems[I]; }
+
+  bool isZero() const;
+
+  SymVector operator+(const SymVector &RHS) const;
+  SymVector operator-(const SymVector &RHS) const;
+  SymVector operator-() const;
+
+  bool operator==(const SymVector &RHS) const { return Elems == RHS.Elems; }
+  bool operator!=(const SymVector &RHS) const { return !(*this == RHS); }
+
+  std::string str() const;
+
+private:
+  std::vector<SymAffine> Elems;
+};
+
+std::ostream &operator<<(std::ostream &OS, const SymVector &V);
+
+/// Matrix times symbolic vector: (M * V)_r = sum_c M[r][c] * V[c].
+SymVector operator*(const Matrix &M, const SymVector &V);
+
+} // namespace alp
+
+#endif // ALP_LINALG_SYMAFFINE_H

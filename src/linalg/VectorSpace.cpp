@@ -1,0 +1,158 @@
+//===- linalg/VectorSpace.cpp - Subspaces of Q^n ---------------------------===//
+
+#include "linalg/VectorSpace.h"
+
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+using namespace alp;
+
+void VectorSpace::canonicalize(std::vector<Vector> Vectors) {
+  Basis.clear();
+  if (Vectors.empty())
+    return;
+  Matrix M = Matrix::fromRows(Vectors);
+  assert(M.cols() == AmbientDim && "vector ambient dimension mismatch");
+  Basis = M.rowSpaceBasis();
+}
+
+VectorSpace VectorSpace::span(unsigned Ambient,
+                              const std::vector<Vector> &Vectors) {
+  VectorSpace VS(Ambient);
+  std::vector<Vector> NonZero;
+  for (const Vector &V : Vectors) {
+    assert(V.size() == Ambient && "vector ambient dimension mismatch");
+    if (!V.isZero())
+      NonZero.push_back(V);
+  }
+  VS.canonicalize(std::move(NonZero));
+  return VS;
+}
+
+VectorSpace VectorSpace::full(unsigned Ambient) {
+  VectorSpace VS(Ambient);
+  for (unsigned I = 0; I != Ambient; ++I)
+    VS.Basis.push_back(Vector::unit(Ambient, I));
+  return VS;
+}
+
+VectorSpace VectorSpace::kernelOf(const Matrix &M) {
+  VectorSpace VS(M.cols());
+  VS.canonicalize(M.nullspaceBasis());
+  return VS;
+}
+
+VectorSpace VectorSpace::rangeOf(const Matrix &M) {
+  VectorSpace VS(M.rows());
+  VS.canonicalize(M.columnSpaceBasis());
+  return VS;
+}
+
+bool VectorSpace::contains(const Vector &V) const {
+  assert(V.size() == AmbientDim && "ambient dimension mismatch");
+  if (V.isZero())
+    return true;
+  if (Basis.empty())
+    return false;
+  // V is in the span iff appending it does not raise the rank.
+  std::vector<Vector> Rows = Basis;
+  Rows.push_back(V);
+  return Matrix::fromRows(Rows).rank() == Basis.size();
+}
+
+bool VectorSpace::containsSpace(const VectorSpace &Other) const {
+  assert(AmbientDim == Other.AmbientDim && "ambient dimension mismatch");
+  for (const Vector &V : Other.Basis)
+    if (!contains(V))
+      return false;
+  return true;
+}
+
+VectorSpace VectorSpace::operator+(const VectorSpace &RHS) const {
+  assert(AmbientDim == RHS.AmbientDim && "ambient dimension mismatch");
+  std::vector<Vector> All = Basis;
+  All.insert(All.end(), RHS.Basis.begin(), RHS.Basis.end());
+  VectorSpace VS(AmbientDim);
+  VS.canonicalize(std::move(All));
+  return VS;
+}
+
+bool VectorSpace::insert(const Vector &V) {
+  if (contains(V))
+    return false;
+  std::vector<Vector> All = Basis;
+  All.push_back(V);
+  canonicalize(std::move(All));
+  return true;
+}
+
+bool VectorSpace::unionWith(const VectorSpace &Other) {
+  if (containsSpace(Other))
+    return false;
+  *this = *this + Other;
+  return true;
+}
+
+VectorSpace VectorSpace::intersect(const VectorSpace &RHS) const {
+  assert(AmbientDim == RHS.AmbientDim && "ambient dimension mismatch");
+  // x in (U cap W) iff x is orthogonal to both complements:
+  // U cap W = (U^perp + W^perp)^perp.
+  return (orthogonalComplement() + RHS.orthogonalComplement())
+      .orthogonalComplement();
+}
+
+VectorSpace VectorSpace::imageUnder(const Matrix &F) const {
+  assert(F.cols() == AmbientDim && "map domain mismatch");
+  std::vector<Vector> Images;
+  Images.reserve(Basis.size());
+  for (const Vector &V : Basis)
+    Images.push_back(F * V);
+  return span(F.rows(), Images);
+}
+
+VectorSpace VectorSpace::preimageUnder(const Matrix &F) const {
+  assert(F.rows() == AmbientDim && "map codomain mismatch");
+  // t in preimage iff F t is in *this iff P (F t) = 0 where the rows of P
+  // span the orthogonal complement of *this.
+  Matrix P = orthogonalComplement().basisMatrix();
+  if (P.rows() == 0)
+    return full(F.cols()); // *this is everything; any t qualifies.
+  return kernelOf(P * F);
+}
+
+VectorSpace VectorSpace::orthogonalComplement() const {
+  if (Basis.empty())
+    return full(AmbientDim);
+  return kernelOf(basisMatrix());
+}
+
+Matrix VectorSpace::basisMatrix() const {
+  if (Basis.empty())
+    return Matrix(0, AmbientDim);
+  return Matrix::fromRows(Basis);
+}
+
+Matrix VectorSpace::matrixWithThisKernel() const {
+  // The rows of a basis of the orthogonal complement vanish exactly on
+  // *this, and there are ambient - dim of them.
+  return orthogonalComplement().basisMatrix();
+}
+
+std::string VectorSpace::str() const {
+  if (Basis.empty())
+    return "{0}";
+  std::ostringstream OS;
+  OS << "span{";
+  for (unsigned I = 0; I != Basis.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << Basis[I].normalizedDirection();
+  }
+  OS << '}';
+  return OS.str();
+}
+
+std::ostream &alp::operator<<(std::ostream &OS, const VectorSpace &VS) {
+  return OS << VS.str();
+}

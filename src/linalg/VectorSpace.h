@@ -1,0 +1,115 @@
+//===- linalg/VectorSpace.h - Subspaces of Q^n ------------------*- C++ -*-===//
+///
+/// \file
+/// Subspaces of Q^n with the lattice operations the decomposition framework
+/// needs. Partitions in the paper are exactly such subspaces: a data
+/// partition is ker D (a subspace of the array space) and a computation
+/// partition is ker C (a subspace of the iteration space). The iterative
+/// partition algorithm of Sec. 4.3 manipulates them with sums, images and
+/// preimages under array index maps F.
+///
+/// A VectorSpace stores a canonical basis (the RREF of any spanning set), so
+/// equality is structural and `dim` grows strictly whenever a sum adds a new
+/// direction — the monotonicity used in the termination proof of Lemma 4.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_LINALG_VECTORSPACE_H
+#define ALP_LINALG_VECTORSPACE_H
+
+#include "linalg/Matrix.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace alp {
+
+/// A linear subspace of Q^AmbientDim, stored as a canonical (RREF) basis.
+class VectorSpace {
+public:
+  /// The trivial subspace {0} of Q^0. Mostly useful as a placeholder.
+  VectorSpace() = default;
+
+  /// The trivial subspace {0} of Q^Ambient.
+  explicit VectorSpace(unsigned Ambient) : AmbientDim(Ambient) {}
+
+  /// The span of \p Vectors inside Q^Ambient. Every vector must have size
+  /// \p Ambient; zero vectors are ignored.
+  static VectorSpace span(unsigned Ambient, const std::vector<Vector> &Vectors);
+
+  /// All of Q^Ambient.
+  static VectorSpace full(unsigned Ambient);
+
+  /// The right nullspace ker M = { x : M x = 0 }, a subspace of Q^cols(M).
+  static VectorSpace kernelOf(const Matrix &M);
+
+  /// The range (column space) of M, a subspace of Q^rows(M).
+  static VectorSpace rangeOf(const Matrix &M);
+
+  unsigned ambientDim() const { return AmbientDim; }
+  unsigned dim() const { return Basis.size(); }
+  bool isTrivial() const { return Basis.empty(); }
+  bool isFull() const { return dim() == AmbientDim; }
+
+  /// Canonical basis vectors (rows of the RREF of any spanning set).
+  const std::vector<Vector> &basis() const { return Basis; }
+
+  /// Membership test.
+  bool contains(const Vector &V) const;
+
+  /// Subspace containment: every basis vector of \p Other lies in *this.
+  bool containsSpace(const VectorSpace &Other) const;
+
+  bool operator==(const VectorSpace &RHS) const {
+    return AmbientDim == RHS.AmbientDim && Basis == RHS.Basis;
+  }
+  bool operator!=(const VectorSpace &RHS) const { return !(*this == RHS); }
+
+  /// Sum of subspaces (the join; span of the union of bases).
+  VectorSpace operator+(const VectorSpace &RHS) const;
+
+  /// Adds \p V to the span; returns true if the dimension grew.
+  bool insert(const Vector &V);
+
+  /// Merges \p Other into *this; returns true if the dimension grew.
+  bool unionWith(const VectorSpace &Other);
+
+  /// Intersection of subspaces (the meet).
+  VectorSpace intersect(const VectorSpace &RHS) const;
+
+  /// The image { F t : t in *this }, a subspace of Q^rows(F).
+  /// Requires cols(F) == ambientDim().
+  VectorSpace imageUnder(const Matrix &F) const;
+
+  /// The preimage { t : F t in *this }, a subspace of Q^cols(F); always
+  /// contains ker F. Requires rows(F) == ambientDim().
+  VectorSpace preimageUnder(const Matrix &F) const;
+
+  /// The orthogonal complement within Q^AmbientDim.
+  VectorSpace orthogonalComplement() const;
+
+  /// A matrix whose rows form the canonical basis (dim x ambientDim). For
+  /// the trivial space this is a 0 x ambientDim matrix.
+  Matrix basisMatrix() const;
+
+  /// A matrix M with ker M == *this and full row rank (rows = ambient - dim).
+  /// This realizes the paper's step "choose a decomposition matrix D whose
+  /// nullspace is the partition ker D".
+  Matrix matrixWithThisKernel() const;
+
+  /// Renders as "span{(1, 0), (0, 1)}" or "{0}".
+  std::string str() const;
+
+private:
+  unsigned AmbientDim = 0;
+  std::vector<Vector> Basis; // Rows of an RREF; canonical.
+
+  void canonicalize(std::vector<Vector> Vectors);
+};
+
+std::ostream &operator<<(std::ostream &OS, const VectorSpace &VS);
+
+} // namespace alp
+
+#endif // ALP_LINALG_VECTORSPACE_H

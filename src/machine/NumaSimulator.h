@@ -1,0 +1,172 @@
+//===- machine/NumaSimulator.h - DASH-like NUMA simulator -------*- C++ -*-===//
+///
+/// \file
+/// A performance simulator for a DASH-style cache-coherent NUMA machine
+/// (Lenoski et al. [26]): clusters of processors share a local memory;
+/// an access costs 1 cycle in cache, ~29 cycles in local cluster memory,
+/// and 100-130 cycles in a remote cluster. Array pages live on the cluster
+/// chosen by the placement policy (decomposition-driven blocks or
+/// first-touch-style linear fill).
+///
+/// This is the substitution for the paper's Stanford DASH hardware: the
+/// experiments of Figure 7 depend only on these published latency ratios,
+/// the page placement policy, and the synchronization structure, all of
+/// which are modeled. Execution is simulated at inner-loop *segment*
+/// granularity: contiguous innermost runs are costed analytically (lines
+/// touched x home latency + cache hits), nests run either sequentially,
+/// as forall (max over processors plus a barrier), or software-pipelined
+/// over blocks with point-to-point synchronization (Sec. 5's doacross).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_MACHINE_NUMASIMULATOR_H
+#define ALP_MACHINE_NUMASIMULATOR_H
+
+#include "core/CostModel.h"
+#include "core/Decomposition.h"
+#include "ir/Program.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace alp {
+
+/// Where an array's pages live.
+struct ArrayPlacement {
+  enum class Kind {
+    BlockedDim,   ///< Blocks along one array dimension across clusters.
+    LinearFill,   ///< First-touch-like: pages fill clusters in address
+                  ///< order, spilling to the next cluster when one fills.
+    Replicated    ///< Every cluster holds a copy (read-only data).
+  };
+  Kind PKind = Kind::BlockedDim;
+  unsigned Dim = 0; ///< For BlockedDim.
+
+  static ArrayPlacement blockedDim(unsigned Dim) {
+    return {Kind::BlockedDim, Dim};
+  }
+  static ArrayPlacement linearFill() { return {Kind::LinearFill, 0}; }
+  static ArrayPlacement replicated() { return {Kind::Replicated, 0}; }
+
+  bool operator==(const ArrayPlacement &RHS) const {
+    return PKind == RHS.PKind && Dim == RHS.Dim;
+  }
+  bool operator!=(const ArrayPlacement &RHS) const { return !(*this == RHS); }
+};
+
+/// How one nest executes.
+struct NestSchedule {
+  enum class Mode { Sequential, Forall, Pipelined, Wavefront2D };
+
+  Mode ExecMode = Mode::Sequential;
+  /// Loop whose iterations are block-distributed across processors.
+  unsigned DistLoop = 0;
+  /// Pipelined: loop split into blocks with cross-processor
+  /// synchronization at block boundaries. Wavefront2D: the second
+  /// distributed loop (processors form a 2-d grid over DistLoop x
+  /// PipeLoop and execute the blocks along anti-diagonal wavefronts,
+  /// Figure 3(b) -- the layout with pipeline-fill idle processors).
+  unsigned PipeLoop = 0;
+  int64_t BlockSize = 4;
+};
+
+/// Aggregate counters from one simulation.
+struct SimResult {
+  double Cycles = 0.0;
+  double ComputeCycles = 0.0;
+  double MemoryCycles = 0.0;
+  double ReorgCycles = 0.0;
+  double SyncCycles = 0.0;
+  double CacheAccesses = 0.0;
+  double LocalLineFetches = 0.0;
+  double RemoteLineFetches = 0.0;
+
+  std::string str() const;
+};
+
+/// The simulator. Configure placements and schedules, then run.
+class NumaSimulator {
+public:
+  NumaSimulator(const Program &P, const MachineParams &M);
+
+  /// Sets the placement an array should have while executing nest
+  /// \p NestId; the simulator reorganizes (with cost) when consecutive
+  /// nests disagree. A missing entry means "whatever it currently is".
+  void setPlacement(unsigned ArrayId, unsigned NestId,
+                    ArrayPlacement Placement);
+  /// Sets the placement for an array in every nest (static layout).
+  void setStaticPlacement(unsigned ArrayId, ArrayPlacement Placement);
+  /// Sets the initial layout (before the first nest runs) without
+  /// scheduling a reorganization.
+  void setInitialPlacement(unsigned ArrayId, ArrayPlacement Placement);
+
+  void setSchedule(unsigned NestId, NestSchedule Schedule);
+
+  /// Runs the whole program once with \p NumProcs active processors
+  /// (capped at the machine's processor count).
+  SimResult run(unsigned NumProcs);
+
+  /// Sequential baseline: every nest on one processor with all data local
+  /// (the "best sequential version" the paper's speedups are relative to).
+  double sequentialCycles();
+
+private:
+  const Program &P;
+  MachineParams M;
+  std::map<std::pair<unsigned, unsigned>, ArrayPlacement> PlacementAt;
+  std::map<unsigned, ArrayPlacement> InitialPlacement;
+  std::map<unsigned, NestSchedule> Schedules;
+
+  struct RunState {
+    unsigned Procs = 1;
+    bool AllLocal = false; ///< Sequential-baseline mode.
+    /// True while costing pipelined/wavefront blocks: boundary traffic is
+    /// aggregated into one message per block, so remote lines pay the
+    /// bulk rate rather than the fine-grained per-message overhead.
+    bool BulkRemote = false;
+    std::map<unsigned, ArrayPlacement> Current;
+    std::map<std::string, Rational> Bindings;
+    SimResult Res;
+  };
+
+  unsigned clusters() const;
+  unsigned clusterOfProc(unsigned Proc) const;
+
+  /// Cluster holding element \p Index of \p ArrayId under \p Placement.
+  unsigned homeCluster(unsigned ArrayId, const ArrayPlacement &Placement,
+                       const std::vector<int64_t> &Index,
+                       const RunState &S) const;
+
+  /// Cost of a contiguous innermost segment of \p Length accesses with
+  /// the given array-space stride vector, starting at \p Start, issued by
+  /// \p Proc. Updates line/cache counters.
+  double segmentCost(unsigned Proc, unsigned ArrayId,
+                     const std::vector<int64_t> &Start,
+                     const std::vector<int64_t> &StridePerIter,
+                     int64_t Length, RunState &S) const;
+
+  /// Cost of executing the iteration sub-range of \p Nest assigned to
+  /// \p Proc where loop \p Level ranges only over [RangeLo, RangeHi].
+  /// Ranges for unmentioned loops come from the bounds.
+  struct LoopRange {
+    unsigned Level;
+    int64_t Lo, Hi;
+  };
+  double chunkCost(unsigned Proc, const LoopNest &Nest,
+                   const std::vector<LoopRange> &Ranges, RunState &S) const;
+
+  void runNodes(const std::vector<ProgramNode> &Nodes, RunState &S);
+  void runNest(unsigned NestId, RunState &S);
+  void reorganizeIfNeeded(unsigned NestId, RunState &S);
+
+  /// Integer bounds of loop \p Level of \p Nest given outer values.
+  std::pair<int64_t, int64_t> loopBounds(const LoopNest &Nest,
+                                         unsigned Level,
+                                         const std::vector<int64_t> &Outer,
+                                         const RunState &S) const;
+};
+
+} // namespace alp
+
+#endif // ALP_MACHINE_NUMASIMULATOR_H

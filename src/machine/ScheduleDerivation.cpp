@@ -1,0 +1,81 @@
+//===- machine/ScheduleDerivation.cpp - Decomposition -> schedule ------------===//
+
+#include "machine/ScheduleDerivation.h"
+
+using namespace alp;
+
+NestSchedule alp::deriveSchedule(const LoopNest &Nest,
+                                 const CompDecomposition &CD,
+                                 int64_t BlockSize) {
+  NestSchedule S;
+  S.BlockSize = BlockSize;
+  unsigned Depth = Nest.depth();
+  if (CD.Kernel.isFull() || CD.C.isZero()) {
+    S.ExecMode = NestSchedule::Mode::Sequential;
+    return S;
+  }
+  // Distributed loop: the loop mapped to the first used processor
+  // dimension (row-major scan of C). Placement uses the same convention
+  // (first nonzero row of D), so computation follows its data.
+  unsigned Dist = Depth;
+  for (unsigned R = 0; R != CD.C.rows() && Dist == Depth; ++R)
+    for (unsigned K = 0; K != Depth; ++K)
+      if (!CD.C.at(R, K).isZero()) {
+        Dist = K;
+        break;
+      }
+  if (Dist == Depth) {
+    S.ExecMode = NestSchedule::Mode::Sequential;
+    return S;
+  }
+  S.DistLoop = Dist;
+  // Pipelining is only needed when the distributed loop actually carries a
+  // dependence (it is sequential); a parallel distributed loop runs as a
+  // forall even if the decomposition is blocked for locality.
+  if (!CD.isBlocked() || Nest.Loops[Dist].isParallel()) {
+    S.ExecMode = NestSchedule::Mode::Forall;
+    return S;
+  }
+  // Pipelined: block a localized-but-distributed loop other than the
+  // distributed one (prefer the outermost such loop).
+  S.ExecMode = NestSchedule::Mode::Pipelined;
+  S.PipeLoop = Dist;
+  for (unsigned K = 0; K != Depth; ++K) {
+    if (K == Dist)
+      continue;
+    Vector E = Vector::unit(Depth, K);
+    if (CD.Localized.contains(E) && !CD.Kernel.contains(E)) {
+      S.PipeLoop = K;
+      break;
+    }
+  }
+  if (S.PipeLoop == Dist) {
+    // No second blocked dimension: fall back to forall over the blocks.
+    S.ExecMode = NestSchedule::Mode::Forall;
+  }
+  return S;
+}
+
+ArrayPlacement alp::derivePlacement(const DataDecomposition &DD,
+                                    bool Replicated) {
+  if (Replicated)
+    return ArrayPlacement::replicated();
+  for (unsigned R = 0; R != DD.D.rows(); ++R)
+    for (unsigned C = 0; C != DD.D.cols(); ++C)
+      if (!DD.D.at(R, C).isZero())
+        return ArrayPlacement::blockedDim(C);
+  return ArrayPlacement::blockedDim(0);
+}
+
+void alp::applyDecomposition(NumaSimulator &Sim, const Program &P,
+                             const ProgramDecomposition &PD,
+                             int64_t BlockSize) {
+  for (const auto &[NestId, CD] : PD.Comp)
+    Sim.setSchedule(NestId, deriveSchedule(P.nest(NestId), CD, BlockSize));
+  for (const auto &[Key, DD] : PD.Data) {
+    auto [ArrayId, NestId] = Key;
+    bool Repl = PD.ReplicatedDims.count(ArrayId) &&
+                PD.ReplicatedDims.at(ArrayId) > 0;
+    Sim.setPlacement(ArrayId, NestId, derivePlacement(DD, Repl));
+  }
+}

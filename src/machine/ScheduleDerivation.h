@@ -1,0 +1,38 @@
+//===- machine/ScheduleDerivation.h - Decomposition -> schedule -*- C++ -*-===//
+///
+/// \file
+/// Bridges the compiler's output to the simulator's input: a
+/// ProgramDecomposition determines, per nest, whether it runs
+/// sequentially, as a forall, or pipelined (blocked), which loop is
+/// distributed across the processors, and where each array's pages live.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_MACHINE_SCHEDULEDERIVATION_H
+#define ALP_MACHINE_SCHEDULEDERIVATION_H
+
+#include "core/Decomposition.h"
+#include "machine/NumaSimulator.h"
+
+namespace alp {
+
+/// Derives the execution schedule of one nest from its computation
+/// decomposition: the distributed loop is the first loop with a nonzero
+/// coefficient in C; a blocked decomposition additionally picks a
+/// localized-but-distributed loop to pipeline over.
+NestSchedule deriveSchedule(const LoopNest &Nest, const CompDecomposition &CD,
+                            int64_t BlockSize);
+
+/// Derives where an array's pages should live under a data decomposition:
+/// blocked along the first dimension D distributes (or replicated if the
+/// driver marked the array replicated).
+ArrayPlacement derivePlacement(const DataDecomposition &DD, bool Replicated);
+
+/// Configures \p Sim with schedules and per-nest placements for the whole
+/// decomposition.
+void applyDecomposition(NumaSimulator &Sim, const Program &P,
+                        const ProgramDecomposition &PD, int64_t BlockSize);
+
+} // namespace alp
+
+#endif // ALP_MACHINE_SCHEDULEDERIVATION_H

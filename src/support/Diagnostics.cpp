@@ -1,0 +1,46 @@
+//===- support/Diagnostics.cpp - Error reporting helpers ------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace alp;
+
+void alp::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "alp fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+std::string SourceLoc::str() const {
+  std::ostringstream OS;
+  OS << Line << ':' << Column;
+  return OS.str();
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream OS;
+  if (Loc.isValid())
+    OS << Loc.str() << ": ";
+  switch (DiagKind) {
+  case Kind::Error:
+    OS << "error: ";
+    break;
+  case Kind::Warning:
+    OS << "warning: ";
+    break;
+  case Kind::Note:
+    OS << "note: ";
+    break;
+  }
+  OS << Message;
+  return OS.str();
+}
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags)
+    OS << D.str() << '\n';
+  return OS.str();
+}

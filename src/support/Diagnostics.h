@@ -1,0 +1,76 @@
+//===- support/Diagnostics.h - Error reporting helpers ----------*- C++ -*-===//
+//
+// Part of the alp project: a reproduction of Anderson & Lam, "Global
+// Optimizations for Parallelism and Locality on Scalable Parallel Machines"
+// (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight diagnostics: fatal errors for broken invariants and a
+/// diagnostic sink used by the front end to accumulate user-visible errors
+/// with source locations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_SUPPORT_DIAGNOSTICS_H
+#define ALP_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace alp {
+
+/// Prints \p Message to stderr and aborts. Used for violated invariants that
+/// indicate a bug in the library itself, never for malformed user input.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// A source position within DSL text, 1-based.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const;
+};
+
+/// One user-visible diagnostic message.
+struct Diagnostic {
+  enum class Kind { Error, Warning, Note };
+
+  Kind DiagKind = Kind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Accumulates diagnostics produced while processing one input program.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, const std::string &Message) {
+    Diags.push_back({Diagnostic::Kind::Error, Loc, Message});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, const std::string &Message) {
+    Diags.push_back({Diagnostic::Kind::Warning, Loc, Message});
+  }
+  void note(SourceLoc Loc, const std::string &Message) {
+    Diags.push_back({Diagnostic::Kind::Note, Loc, Message});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every accumulated diagnostic, one per line.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace alp
+
+#endif // ALP_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,51 @@
+//===- support/Rng.h - Deterministic random numbers -------------*- C++ -*-===//
+///
+/// \file
+/// A small splitmix64-based pseudo-random generator. Tests and benchmark
+/// workload generators use this instead of std::mt19937 so results are
+/// identical across standard-library implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_SUPPORT_RNG_H
+#define ALP_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace alp {
+
+/// Deterministic splitmix64 generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(nextBelow(
+                    static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace alp
+
+#endif // ALP_SUPPORT_RNG_H

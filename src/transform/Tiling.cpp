@@ -1,0 +1,112 @@
+//===- transform/Tiling.cpp - Loop tiling (blocking) -------------------------===//
+
+#include "transform/Tiling.h"
+
+#include "support/Diagnostics.h"
+
+using namespace alp;
+
+LoopNest alp::tileLoops(const LoopNest &Nest, unsigned First,
+                        const std::vector<int64_t> &Sizes) {
+  unsigned L = Nest.depth();
+  assert(First + Sizes.size() <= L && "tile range exceeds nest depth");
+
+  // Tiled dimensions, in band order.
+  std::vector<unsigned> Tiled;
+  for (unsigned K = 0; K != Sizes.size(); ++K)
+    if (Sizes[K] > 0)
+      Tiled.push_back(First + K);
+  unsigned NT = Tiled.size();
+  if (NT == 0)
+    return Nest;
+
+  unsigned NewDepth = L + NT;
+  // Old position -> new position for element loops.
+  auto Remap = [&](unsigned P) { return P < First ? P : P + NT; };
+
+  auto RemapVector = [&](const Vector &V) {
+    Vector Out(NewDepth);
+    for (unsigned P = 0; P != L; ++P)
+      Out[Remap(P)] = V[P];
+    return Out;
+  };
+
+  LoopNest Out;
+  Out.Id = Nest.Id;
+  Out.ExecCount = Nest.ExecCount;
+  Out.Probability = Nest.Probability;
+  Out.Loops.resize(NewDepth);
+
+  // Copy untouched and element loops with remapped coefficient vectors.
+  for (unsigned P = 0; P != L; ++P) {
+    const Loop &Src = Nest.Loops[P];
+    Loop &Dst = Out.Loops[Remap(P)];
+    Dst.IndexName = Src.IndexName;
+    Dst.Kind = Src.Kind;
+    for (const BoundTerm &T : Src.Lower)
+      Dst.Lower.push_back(BoundTerm(RemapVector(T.OuterCoeffs), T.Const));
+    for (const BoundTerm &T : Src.Upper)
+      Dst.Upper.push_back(BoundTerm(RemapVector(T.OuterCoeffs), T.Const));
+  }
+
+  // Create block loops and adjust their element loops.
+  for (unsigned I = 0; I != NT; ++I) {
+    unsigned P = Tiled[I];
+    int64_t B = Sizes[P - First];
+    const Loop &Src = Nest.Loops[P];
+    if (Src.Lower.size() != 1)
+      reportFatalError("tiling requires a single lower bound per loop");
+    // The tiled loop's bounds may only mention loops outside the band
+    // prefix (they become outer loops of the block indices).
+    for (const BoundTerm &T : Src.Lower)
+      for (unsigned Q = First; Q != L; ++Q)
+        if (!T.OuterCoeffs[Q].isZero())
+          reportFatalError("tiled loop bound depends on a band member");
+    for (const BoundTerm &T : Src.Upper)
+      for (unsigned Q = First; Q != L; ++Q)
+        if (!T.OuterCoeffs[Q].isZero())
+          reportFatalError("tiled loop bound depends on a band member");
+
+    const BoundTerm &Lb = Src.Lower.front();
+    Loop &Blk = Out.Loops[First + I];
+    Blk.IndexName = Src.IndexName + "_b";
+    Blk.Kind = Src.Kind;
+    // Block index t in [0, (ub - lb) / B] for every upper term.
+    Blk.Lower.push_back(
+        BoundTerm(Vector::zero(NewDepth), SymAffine(0)));
+    for (const BoundTerm &Ub : Src.Upper) {
+      Vector C = RemapVector(Ub.OuterCoeffs - Lb.OuterCoeffs)
+                     .scaled(Rational(1, B));
+      Blk.Upper.push_back(
+          BoundTerm(C, (Ub.Const - Lb.Const).scaled(Rational(1, B))));
+    }
+    // Element loop: i in [B*t + lb, min(ub..., B*t + lb + B - 1)].
+    Loop &Elem = Out.Loops[Remap(P)];
+    Vector LbC = RemapVector(Lb.OuterCoeffs);
+    LbC[First + I] = Rational(B);
+    Elem.Lower.clear();
+    Elem.Lower.push_back(BoundTerm(LbC, Lb.Const));
+    Elem.Upper.push_back(BoundTerm(LbC, Lb.Const + SymAffine(B - 1)));
+    Out.Tiles.push_back({First + I, Remap(P), B});
+  }
+
+  // Accesses: zero columns for the new block indices.
+  for (const Statement &S : Nest.Body) {
+    Statement NewS;
+    NewS.WorkCycles = S.WorkCycles;
+    NewS.Text = S.Text;
+    for (const ArrayAccess &A : S.Accesses) {
+      Matrix F(A.Map.arrayDim(), NewDepth);
+      for (unsigned R = 0; R != A.Map.arrayDim(); ++R)
+        for (unsigned P = 0; P != L; ++P)
+          F.at(R, Remap(P)) = A.Map.linear().at(R, P);
+      ArrayAccess NewA;
+      NewA.ArrayId = A.ArrayId;
+      NewA.IsWrite = A.IsWrite;
+      NewA.Map = AffineAccessMap(std::move(F), A.Map.constant());
+      NewS.Accesses.push_back(std::move(NewA));
+    }
+    Out.Body.push_back(std::move(NewS));
+  }
+  return Out;
+}

@@ -1,0 +1,34 @@
+//===- transform/Tiling.h - Loop tiling (blocking) --------------*- C++ -*-===//
+///
+/// \file
+/// Materializes tiling of a fully permutable loop band (Sec. 5): selected
+/// loops of the band are split into a block-index loop (hoisted to the top
+/// of the band) and an element loop that walks one block. A fully
+/// permutable nest can always be legally tiled; callers are expected to
+/// check permutability via the local phase's band annotation.
+///
+/// The element loops keep the original index values, so array accesses
+/// only gain zero columns for the new block indices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_TRANSFORM_TILING_H
+#define ALP_TRANSFORM_TILING_H
+
+#include "ir/Program.h"
+
+namespace alp {
+
+/// Tiles loops [First, First + Sizes.size()) of \p Nest; Sizes[k] == 0
+/// leaves loop First+k untiled. Block-index loops are inserted at position
+/// First in tiled-dimension order. Requires (and asserts) that every tiled
+/// loop's bounds reference only loops at positions < First.
+///
+/// Returns the tiled nest; \p Nest is left untouched. The returned nest's
+/// Tiles vector maps each block-index loop to its element loop.
+LoopNest tileLoops(const LoopNest &Nest, unsigned First,
+                   const std::vector<int64_t> &Sizes);
+
+} // namespace alp
+
+#endif // ALP_TRANSFORM_TILING_H

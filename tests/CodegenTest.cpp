@@ -1,0 +1,151 @@
+//===- tests/CodegenTest.cpp - SPMD emitter tests --------------------------===//
+
+#include "codegen/SpmdEmitter.h"
+
+#include "core/Driver.h"
+#include "frontend/Lowering.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+namespace {
+
+Program compile(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(Src, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  if (!P)
+    reportFatalError("test program failed to compile:\n" + Diags.str());
+  return std::move(*P);
+}
+
+} // namespace
+
+TEST(SpmdEmitterTest, ForallNestUsesMineAndBarrier) {
+  Program P = compile(R"(
+program rows;
+param N = 255;
+array X[N + 1, N + 1];
+forall i = 0 to N {
+  for j = 1 to N {
+    X[i, j] = f(X[i, j], X[i, j - 1]) @cost(8);
+  }
+}
+)");
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  std::string S = emitSpmd(P, PD);
+  EXPECT_NE(S.find("spmd rows(me)"), std::string::npos) << S;
+  EXPECT_NE(S.find("for i = mine(me, 0, N)"), std::string::npos) << S;
+  EXPECT_NE(S.find("barrier();"), std::string::npos) << S;
+  EXPECT_NE(S.find("[forall over i]"), std::string::npos) << S;
+  EXPECT_NE(S.find("// place X: block(dim 0)"), std::string::npos) << S;
+}
+
+TEST(SpmdEmitterTest, PipelinedNestHasWaitAndSignal) {
+  Program P = compile(R"(
+program adi;
+param N = 255, T = 4;
+array X[N + 1, N + 1];
+for t = 1 to T {
+  forall i1 = 0 to N {
+    for i2 = 1 to N {
+      X[i1, i2] = f1(X[i1, i2], X[i1, i2 - 1]) @cost(16);
+    }
+  }
+  forall i2 = 0 to N {
+    for i1 = 1 to N {
+      X[i1, i2] = f2(X[i1, i2], X[i1 - 1, i2]) @cost(16);
+    }
+  }
+}
+)");
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  std::string S = emitSpmd(P, PD);
+  EXPECT_NE(S.find("wait_for(me - 1"), std::string::npos) << S;
+  EXPECT_NE(S.find("signal(me + 1"), std::string::npos) << S;
+  EXPECT_NE(S.find("[pipelined:"), std::string::npos) << S;
+  EXPECT_NE(S.find("for t = 1 to T {"), std::string::npos) << S;
+  // Static decomposition: no reorganize() calls.
+  EXPECT_EQ(S.find("reorganize("), std::string::npos) << S;
+}
+
+TEST(SpmdEmitterTest, DynamicProgramEmitsReorganize) {
+  Program P = compile(R"(
+program dyn;
+param N = 511;
+array X[N + 1, N + 1];
+forall i = 0 to N {
+  for j = 1 to N {
+    X[i, j] = f1(X[i, j], X[i, j - 1]) @cost(40);
+  }
+}
+forall j = 0 to N {
+  for i = 1 to N {
+    X[i, j] = f2(X[i, j], X[i - 1, j]) @cost(40);
+  }
+}
+)");
+  MachineParams M;
+  DriverOptions Opts;
+  Opts.EnableBlocking = false; // Force reorganization instead of pipeline.
+  ProgramDecomposition PD = decompose(P, M, Opts);
+  if (!PD.isStatic()) {
+    std::string S = emitSpmd(P, PD);
+    EXPECT_NE(S.find("reorganize(X:"), std::string::npos) << S;
+  }
+}
+
+TEST(SpmdEmitterTest, SequentialNestGuardedByProcZero) {
+  Program P = compile(R"(
+program seq;
+param N = 63;
+array A[N + 2];
+for i = 1 to N {
+  A[i] = A[i - 1];
+}
+)");
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  std::string S = emitSpmd(P, PD);
+  EXPECT_NE(S.find("if (me == 0)"), std::string::npos) << S;
+  EXPECT_NE(S.find("[sequential]"), std::string::npos) << S;
+}
+
+TEST(SpmdEmitterTest, ReplicatedArrayAnnotated) {
+  Program P = compile(R"(
+program repl;
+param N = 255;
+array A[N + 1], B[N + 1, N + 1];
+forall i = 0 to N {
+  forall j = 0 to N {
+    B[i, j] = B[i, j] + A[j] @cost(8);
+  }
+}
+)");
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  std::string S = emitSpmd(P, PD);
+  EXPECT_NE(S.find("// place A: replicated"), std::string::npos) << S;
+}
+
+TEST(SpmdEmitterTest, BranchStructureEmitted) {
+  Program P = compile(R"(
+program br;
+param N = 63;
+array A[N + 1];
+if prob(0.9) {
+  forall i = 0 to N { A[i] = A[i] @cost(4); }
+} else {
+  forall i = 0 to N { A[i] = A[i] @cost(4); }
+}
+)");
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  std::string S = emitSpmd(P, PD);
+  EXPECT_NE(S.find("if (expr) {  // taken with p = 0.9"), std::string::npos)
+      << S;
+  EXPECT_NE(S.find("} else {"), std::string::npos) << S;
+}

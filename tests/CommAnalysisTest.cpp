@@ -1,0 +1,144 @@
+//===- tests/CommAnalysisTest.cpp - Communication classification tests -----===//
+
+#include "codegen/CommAnalysis.h"
+
+#include "core/Driver.h"
+#include "frontend/Lowering.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+namespace {
+
+Program compile(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(Src, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  if (!P)
+    reportFatalError("test program failed to compile:\n" + Diags.str());
+  return std::move(*P);
+}
+
+} // namespace
+
+TEST(CommAnalysisTest, Figure1IsCommunicationFree) {
+  Program P = compile(R"(
+program fig1;
+param N = 63;
+array X[N + 1, N + 1], Y[N + 1, N + 1], Z[N + 2, N + 2];
+for i1 = 0 to N { for i2 = 0 to N { Y[i1, N - i2] += X[i1, i2]; } }
+for i1 = 1 to N { for i2 = 1 to N {
+  Z[i1, i2] = Z[i1, i2 - 1] + Y[i2, i1 - 1]; } }
+)");
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  CommSummary CS = analyzeCommunication(P, PD);
+  EXPECT_TRUE(CS.isCommunicationFree());
+  // Every access local or at worst a shift: Z[i1, i2-1] shifts within
+  // the processor (ker direction) so it is local; Y[i2, i1-1] has a
+  // displacement match by construction (Figure 1c).
+  EXPECT_EQ(CS.count(CommKind::Reorganization), 0u);
+  EXPECT_EQ(CS.count(CommKind::Broadcast), 0u);
+}
+
+TEST(CommAnalysisTest, ShiftReadIsNearestNeighbor) {
+  // B[i] = A[i] + A[i-1]: one of the two A reads misses by one processor.
+  Program P = compile(R"(
+program shift;
+param N = 127;
+array A[N + 2], B[N + 2];
+forall i = 1 to N {
+  B[i] = A[i] + A[i - 1];
+}
+)");
+  MachineParams M;
+  DriverOptions Opts;
+  Opts.EnableReplication = false; // Keep A distributed, not replicated.
+  ProgramDecomposition PD = decompose(P, M, Opts);
+  CommSummary CS = analyzeCommunication(P, PD);
+  EXPECT_EQ(CS.count(CommKind::NearestNeighbor), 1u);
+  EXPECT_EQ(CS.count(CommKind::Reorganization), 0u);
+  // Boundary volume: |mu| = 1 element per distributed slice.
+  EXPECT_NEAR(CS.totalElements(CommKind::NearestNeighbor), 1.0, 1e-9);
+}
+
+TEST(CommAnalysisTest, AdiPipelinedShifts) {
+  Program P = compile(R"(
+program adi;
+param N = 255, T = 4;
+array X[N + 1, N + 1];
+for t = 1 to T {
+  forall i = 0 to N { for j = 1 to N {
+    X[i, j] = f1(X[i, j], X[i, j - 1]) @cost(8); } }
+  forall j = 0 to N { for i = 1 to N {
+    X[i, j] = f2(X[i, j], X[i - 1, j]) @cost(8); } }
+}
+)");
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  CommSummary CS = analyzeCommunication(P, PD);
+  EXPECT_TRUE(CS.isCommunicationFree());
+  EXPECT_EQ(CS.count(CommKind::Pipelined), 2u);
+  // Shift volume is one row/column per execution, not the whole array.
+  EXPECT_LT(CS.totalElements(CommKind::Pipelined), 2 * 257.0);
+}
+
+TEST(CommAnalysisTest, ReplicatedReadsAreBroadcast) {
+  Program P = compile(R"(
+program matmul;
+param N = 63;
+array A[N + 1, N + 1], B[N + 1, N + 1], C[N + 1, N + 1];
+forall i = 0 to N {
+  forall j = 0 to N {
+    for k = 0 to N {
+      C[i, j] += A[i, k] * B[k, j] @cost(2);
+    }
+  }
+}
+)");
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  CommSummary CS = analyzeCommunication(P, PD);
+  EXPECT_EQ(CS.count(CommKind::Broadcast), 2u); // A and B.
+  EXPECT_EQ(CS.count(CommKind::Reorganization), 0u);
+}
+
+TEST(CommAnalysisTest, DynamicProgramReportsReorganization) {
+  Program P = compile(R"(
+program dyn;
+param N = 511;
+array X[N + 1, N + 1];
+forall i = 0 to N { for j = 1 to N {
+  X[i, j] = f1(X[i, j], X[i, j - 1]) @cost(40); } }
+forall j = 0 to N { for i = 1 to N {
+  X[i, j] = f2(X[i, j], X[i - 1, j]) @cost(40); } }
+)");
+  MachineParams M;
+  DriverOptions Opts;
+  Opts.EnableBlocking = false; // Force the reorganize path.
+  ProgramDecomposition PD = decompose(P, M, Opts);
+  if (!PD.isStatic()) {
+    CommSummary CS = analyzeCommunication(P, PD);
+    EXPECT_FALSE(CS.isCommunicationFree());
+    EXPECT_GT(CS.count(CommKind::Reorganization), 0u);
+  }
+}
+
+TEST(CommAnalysisTest, ReportMentionsKinds) {
+  Program P = compile(R"(
+program shift;
+param N = 127;
+array A[N + 2], B[N + 2];
+forall i = 1 to N {
+  B[i] = A[i] + A[i - 1];
+}
+)");
+  MachineParams M;
+  DriverOptions Opts;
+  Opts.EnableReplication = false;
+  ProgramDecomposition PD = decompose(P, M, Opts);
+  std::string R = analyzeCommunication(P, PD).report(P);
+  EXPECT_NE(R.find("nearest-neighbor"), std::string::npos) << R;
+  EXPECT_NE(R.find("totals:"), std::string::npos) << R;
+}

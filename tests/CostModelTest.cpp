@@ -1,0 +1,143 @@
+//===- tests/CostModelTest.cpp - Cost model tests --------------------------===//
+
+#include "core/CostModel.h"
+
+#include "frontend/Lowering.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+namespace {
+
+Program compile(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(Src, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  if (!P)
+    reportFatalError("test program failed to compile:\n" + Diags.str());
+  return std::move(*P);
+}
+
+const char *SimpleSrc = R"(
+program costs;
+param N = 99;
+array A[N + 1, N + 1];
+forall i = 0 to N {
+  forall j = 0 to N {
+    A[i, j] = A[i, j] @cost(7);
+  }
+}
+)";
+
+} // namespace
+
+TEST(CostModelTest, NestWorkCountsIterationsAndCycles) {
+  Program P = compile(SimpleSrc);
+  MachineParams M;
+  CostModel CM(P, M);
+  EXPECT_DOUBLE_EQ(CM.nestWork(0), 100.0 * 100.0 * 7.0);
+}
+
+TEST(CostModelTest, NestWorkScalesWithExecCount) {
+  Program P = compile(R"(
+program loopcost;
+param N = 9, T = 6;
+array A[N + 1], B[N + 1];
+for t = 1 to T {
+  forall i = 0 to N { A[i] = A[i] @cost(3); }
+  forall i = 0 to N { B[i] = B[i] @cost(3); }
+}
+)");
+  MachineParams M;
+  CostModel CM(P, M);
+  EXPECT_DOUBLE_EQ(CM.nestWork(0), 6.0 * 10.0 * 3.0);
+}
+
+TEST(CostModelTest, DistributedIterations) {
+  Program P = compile(SimpleSrc);
+  MachineParams M;
+  CostModel CM(P, M);
+  const LoopNest &Nest = P.nest(0);
+  // Trivial kernel: everything distributed.
+  EXPECT_DOUBLE_EQ(CM.distributedIterations(Nest, VectorSpace(2)),
+                   100.0 * 100.0);
+  // One elementary direction local.
+  EXPECT_DOUBLE_EQ(CM.distributedIterations(
+                       Nest, VectorSpace::span(2, {Vector({0, 1})})),
+                   100.0);
+  // Fully local.
+  EXPECT_DOUBLE_EQ(CM.distributedIterations(Nest, VectorSpace::full(2)),
+                   1.0);
+}
+
+TEST(CostModelTest, NoBenefitWithoutParallelism) {
+  Program P = compile(SimpleSrc);
+  MachineParams M;
+  CostModel CM(P, M);
+  PartitionResult R;
+  R.CompKernel[0] = VectorSpace::full(2);
+  R.CompLocalized[0] = VectorSpace::full(2);
+  EXPECT_DOUBLE_EQ(CM.parallelismBenefit(0, R), 0.0);
+}
+
+TEST(CostModelTest, BenefitGrowsWithParallelismDegree) {
+  Program P = compile(SimpleSrc);
+  MachineParams M;
+  CostModel CM(P, M);
+  PartitionResult One, Two;
+  One.CompKernel[0] = VectorSpace::span(2, {Vector({0, 1})});
+  One.CompLocalized[0] = One.CompKernel[0];
+  Two.CompKernel[0] = VectorSpace(2);
+  Two.CompLocalized[0] = Two.CompKernel[0];
+  double B1 = CM.parallelismBenefit(0, One);
+  double B2 = CM.parallelismBenefit(0, Two);
+  EXPECT_GT(B1, 0.0);
+  // With plenty of iterations both saturate the machine; 2-d cannot be
+  // worse.
+  EXPECT_GE(B2, B1);
+}
+
+TEST(CostModelTest, PipeliningPenaltyReducesBenefit) {
+  Program P = compile(SimpleSrc);
+  MachineParams M;
+  CostModel CM(P, M);
+  PartitionResult Forall, Blocked;
+  Forall.CompKernel[0] = VectorSpace(2);
+  Forall.CompLocalized[0] = VectorSpace(2); // Lc == ker: no blocking.
+  Blocked.CompKernel[0] = VectorSpace(2);
+  Blocked.CompLocalized[0] = VectorSpace::full(2); // Fully blocked.
+  EXPECT_GT(CM.parallelismBenefit(0, Forall),
+            CM.parallelismBenefit(0, Blocked));
+  // But pipelined parallelism still beats no parallelism.
+  EXPECT_GT(CM.parallelismBenefit(0, Blocked), 0.0);
+}
+
+TEST(CostModelTest, ReorganizationCostScalesWithArray) {
+  Program P = compile(R"(
+program two;
+param N = 63;
+array Small[N + 1], Big[N + 1, N + 1];
+forall i = 0 to N { Small[i] = Small[i]; }
+forall i = 0 to N { forall j = 0 to N { Big[i, j] = Big[i, j]; } }
+)");
+  MachineParams M;
+  CostModel CM(P, M);
+  EXPECT_DOUBLE_EQ(CM.arrayElements(P.arrayId("Small")), 64.0);
+  EXPECT_DOUBLE_EQ(CM.arrayElements(P.arrayId("Big")), 64.0 * 64.0);
+  EXPECT_GT(CM.reorganizationCost(P.arrayId("Big")),
+            CM.reorganizationCost(P.arrayId("Small")) * 32);
+}
+
+TEST(CostModelTest, BenefitRespectsProcessorCount) {
+  Program P = compile(SimpleSrc);
+  MachineParams M4 = MachineParams();
+  M4.NumProcs = 4;
+  MachineParams M32 = MachineParams();
+  M32.NumProcs = 32;
+  CostModel C4(P, M4), C32(P, M32);
+  PartitionResult R;
+  R.CompKernel[0] = VectorSpace(2);
+  R.CompLocalized[0] = VectorSpace(2);
+  EXPECT_GT(C32.parallelismBenefit(0, R), C4.parallelismBenefit(0, R));
+}

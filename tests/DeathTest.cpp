@@ -1,0 +1,76 @@
+//===- tests/DeathTest.cpp - Fatal invariant-violation paths ---------------===//
+//
+// The library aborts (reportFatalError) on violated internal invariants
+// rather than limping on with wrong answers. These death tests pin the
+// most important trip wires.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "linalg/Rational.h"
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+TEST(DeathTest, FatalErrorAborts) {
+  EXPECT_DEATH(reportFatalError("boom"), "alp fatal error: boom");
+}
+
+TEST(DeathTest, RationalOverflowIsLoud) {
+  Rational Huge(INT64_MAX / 2, 1);
+  EXPECT_DEATH(
+      {
+        Rational R = Huge * Huge * Huge;
+        (void)R;
+      },
+      "overflow");
+}
+
+TEST(DeathTest, UnboundSymbolInEvaluate) {
+  SymAffine N = SymAffine::symbol("N");
+  EXPECT_DEATH((void)N.evaluate({}), "unbound symbolic constant");
+}
+
+TEST(DeathTest, UnknownArrayInBuilder) {
+  ProgramBuilder B("bad");
+  SymAffine N = B.param("N", 4);
+  B.array("A", {N});
+  NestBuilder NB = B.nest();
+  NB.loop("i", 0, N - 1).stmt();
+  EXPECT_DEATH(NB.writeIdentity("Nope"), "unknown array");
+}
+
+TEST(DeathTest, AccessBeforeStatement) {
+  ProgramBuilder B("bad");
+  SymAffine N = B.param("N", 4);
+  B.array("A", {N});
+  NestBuilder NB = B.nest();
+  NB.loop("i", 0, N - 1);
+  EXPECT_DEATH(NB.writeIdentity("A"), "before any statement");
+}
+
+TEST(DeathTest, VerifyCatchesRankMismatch) {
+  ProgramBuilder B("bad");
+  SymAffine N = B.param("N", 4);
+  B.array("A", {N, N});
+  NestBuilder NB = B.nest();
+  NB.loop("i", 0, N - 1).stmt();
+  // Access with the wrong rank (1-d map into a 2-d array).
+  EXPECT_DEATH(
+      {
+        NB.write("A", Matrix({{1}}), SymVector(1));
+        B.build();
+      },
+      "rank mismatch");
+}
+
+TEST(DeathTest, LoopsAfterStatements) {
+  ProgramBuilder B("bad");
+  SymAffine N = B.param("N", 4);
+  B.array("A", {N});
+  NestBuilder NB = B.nest();
+  NB.loop("i", 0, N - 1).stmt().writeIdentity("A");
+  EXPECT_DEATH(NB.loop("j", 0, N - 1), "after statements");
+}

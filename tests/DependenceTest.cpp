@@ -1,0 +1,300 @@
+//===- tests/DependenceTest.cpp - Dependence analysis tests ----------------===//
+
+#include "analysis/Dependence.h"
+
+#include "frontend/Lowering.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+namespace {
+
+Program compile(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(Src, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  if (!P)
+    reportFatalError("test program failed to compile:\n" + Diags.str());
+  return std::move(*P);
+}
+
+bool hasDep(const std::vector<Dependence> &Deps, DepKind Kind,
+            unsigned Level) {
+  for (const Dependence &D : Deps)
+    if (D.Kind == Kind && D.Level == Level)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(DependenceTest, EmbarrassinglyParallelHasNoDeps) {
+  Program P = compile(R"(
+program par;
+param N = 100;
+array A[N + 1], B[N + 1];
+for i = 0 to N {
+  A[i] = B[i];
+}
+)");
+  DependenceAnalysis DA(P);
+  EXPECT_TRUE(DA.analyze(P.nest(0)).empty());
+  EXPECT_EQ(DA.parallelizableLevels(P.nest(0)), std::vector<bool>{true});
+}
+
+TEST(DependenceTest, UnitFlowDependence) {
+  Program P = compile(R"(
+program chain;
+param N = 100;
+array A[N + 2];
+for i = 1 to N {
+  A[i] = A[i - 1];
+}
+)");
+  DependenceAnalysis DA(P);
+  std::vector<Dependence> Deps = DA.analyze(P.nest(0));
+  ASSERT_FALSE(Deps.empty());
+  // Flow dependence carried at level 0 with exact distance 1.
+  bool FoundFlow = false;
+  for (const Dependence &D : Deps)
+    if (D.Kind == DepKind::Flow && D.Level == 0) {
+      FoundFlow = true;
+      ASSERT_EQ(D.Components.size(), 1u);
+      EXPECT_TRUE(D.Components[0].isExact());
+      EXPECT_EQ(*D.Components[0].Distance, 1);
+    }
+  EXPECT_TRUE(FoundFlow);
+  EXPECT_EQ(DA.parallelizableLevels(P.nest(0)), std::vector<bool>{false});
+}
+
+TEST(DependenceTest, AntiDependence) {
+  Program P = compile(R"(
+program anti;
+param N = 100;
+array A[N + 2];
+for i = 1 to N {
+  A[i] = A[i + 1];
+}
+)");
+  DependenceAnalysis DA(P);
+  std::vector<Dependence> Deps = DA.analyze(P.nest(0));
+  EXPECT_TRUE(hasDep(Deps, DepKind::Anti, 0));
+  // No flow dependence: the read location is written only *later*.
+  EXPECT_FALSE(hasDep(Deps, DepKind::Flow, 0));
+}
+
+TEST(DependenceTest, Figure1Nest2SerializesInner) {
+  // Z[i1, i2] = Z[i1, i2-1]: dependence (0, 1) serializes i2 only.
+  Program P = compile(R"(
+program fig1n2;
+param N = 8;
+array Z[N + 2, N + 2], Y[N + 2, N + 2];
+for i1 = 1 to N {
+  for i2 = 1 to N {
+    Z[i1, i2] = Z[i1, i2 - 1] + Y[i2, i1 - 1];
+  }
+}
+)");
+  DependenceAnalysis DA(P);
+  std::vector<bool> Par = DA.parallelizableLevels(P.nest(0));
+  EXPECT_EQ(Par, (std::vector<bool>{true, false}));
+  // The carried dependence has distance vector (0, 1).
+  std::vector<Dependence> Deps = DA.analyze(P.nest(0));
+  bool Found = false;
+  for (const Dependence &D : Deps)
+    if (D.Kind == DepKind::Flow && D.isDistanceVector()) {
+      EXPECT_EQ(*D.Components[0].Distance, 0);
+      EXPECT_EQ(*D.Components[1].Distance, 1);
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(DependenceTest, FourPointStencilWavefront) {
+  // X[i1,i2] from neighbors: distances (1,0), (0,1) flow; (-1,0), (0,-1)
+  // become anti in the opposite direction. Both loops serialize.
+  Program P = compile(R"(
+program stencil;
+param N = 16;
+array X[N + 1, N + 1];
+for i1 = 1 to N - 1 {
+  for i2 = 1 to N - 1 {
+    X[i1, i2] = f(X[i1, i2], X[i1 - 1, i2] + X[i1 + 1, i2]
+                 + X[i1, i2 - 1] + X[i1, i2 + 1]);
+  }
+}
+)");
+  DependenceAnalysis DA(P);
+  std::vector<bool> Par = DA.parallelizableLevels(P.nest(0));
+  EXPECT_EQ(Par, (std::vector<bool>{false, false}));
+  std::vector<std::vector<int64_t>> Dists =
+      DependenceAnalysis::exactDistanceVectors(DA.analyze(P.nest(0)));
+  auto Contains = [&](std::vector<int64_t> V) {
+    return std::find(Dists.begin(), Dists.end(), V) != Dists.end();
+  };
+  EXPECT_TRUE(Contains({1, 0}));
+  EXPECT_TRUE(Contains({0, 1}));
+}
+
+TEST(DependenceTest, OutputSelfDependence) {
+  // A[i1] written for every i2: output dependence carried at level 1.
+  Program P = compile(R"(
+program outdep;
+param N = 8;
+array A[N + 1], B[N + 1, N + 1];
+for i1 = 0 to N {
+  for i2 = 0 to N {
+    A[i1] = B[i1, i2];
+  }
+}
+)");
+  DependenceAnalysis DA(P);
+  std::vector<Dependence> Deps = DA.analyze(P.nest(0));
+  EXPECT_TRUE(hasDep(Deps, DepKind::Output, 1));
+  std::vector<bool> Par = DA.parallelizableLevels(P.nest(0));
+  EXPECT_EQ(Par, (std::vector<bool>{true, false}));
+}
+
+TEST(DependenceTest, GcdTestKillsStrideMismatch) {
+  // Writes even elements, reads odd elements: no dependence.
+  Program P = compile(R"(
+program gcd;
+param N = 100;
+array A[2 * N + 3];
+for i = 0 to N {
+  A[2 * i] = A[2 * i + 1];
+}
+)");
+  DependenceAnalysis DA(P);
+  EXPECT_TRUE(DA.analyze(P.nest(0)).empty());
+}
+
+TEST(DependenceTest, LoopIndependentAcrossStatements) {
+  Program P = compile(R"(
+program li;
+param N = 100;
+array A[N + 1], B[N + 1];
+for i = 0 to N {
+  A[i] = B[i];
+  B[i] = A[i];
+}
+)");
+  DependenceAnalysis DA(P);
+  std::vector<Dependence> Deps = DA.analyze(P.nest(0));
+  // Flow from S0's write of A to S1's read of A at level == depth (1).
+  bool Found = false;
+  for (const Dependence &D : Deps)
+    if (D.Kind == DepKind::Flow && D.SrcStmt == 0 && D.DstStmt == 1 &&
+        D.isLoopIndependent(1))
+      Found = true;
+  EXPECT_TRUE(Found);
+  // Loop-independent deps do not serialize the loop.
+  EXPECT_EQ(DA.parallelizableLevels(P.nest(0)), std::vector<bool>{true});
+}
+
+TEST(DependenceTest, TransposeReadDoesNotAliasDisjointRegions) {
+  // A[i, j] = A[j, i] with i < j would not dep... but over the full square
+  // it does: check that the analyzer finds a dependence with a direction
+  // (not distance) vector.
+  Program P = compile(R"(
+program transpose;
+param N = 8;
+array A[N + 1, N + 1];
+for i = 0 to N {
+  for j = 0 to N {
+    A[i, j] = A[j, i];
+  }
+}
+)");
+  DependenceAnalysis DA(P);
+  std::vector<Dependence> Deps = DA.analyze(P.nest(0));
+  ASSERT_FALSE(Deps.empty());
+  bool AnyDirection = false;
+  for (const Dependence &D : Deps)
+    AnyDirection |= !D.isDistanceVector();
+  EXPECT_TRUE(AnyDirection);
+  EXPECT_EQ(DA.parallelizableLevels(P.nest(0)),
+            (std::vector<bool>{false, true}));
+}
+
+TEST(DependenceTest, SymbolicOffsetsCancel) {
+  // A[i + N] vs A[i + N - 1]: N cancels; distance 1.
+  Program P = compile(R"(
+program symoff;
+param N = 50;
+array A[3 * N];
+for i = 1 to N {
+  A[i + N] = A[i + N - 1];
+}
+)");
+  DependenceAnalysis DA(P);
+  std::vector<std::vector<int64_t>> Dists =
+      DependenceAnalysis::exactDistanceVectors(DA.analyze(P.nest(0)));
+  ASSERT_FALSE(Dists.empty());
+  EXPECT_EQ(Dists.front(), std::vector<int64_t>{1});
+}
+
+TEST(DependenceTest, UnrelatedSymbolsAreConservative) {
+  // A[i] vs A[i + M]: M unknown (could be 0); must report a dependence.
+  Program P = compile(R"(
+program symgap;
+param N = 50, M = 3;
+array A[N + M + 1];
+for i = 0 to N {
+  A[i] = A[i + M];
+}
+)");
+  DependenceAnalysis DA(P);
+  // M is treated as a free symbol, so some dependence must be assumed.
+  EXPECT_FALSE(DA.analyze(P.nest(0)).empty());
+}
+
+TEST(DependenceTest, TriangularLoopDependence) {
+  Program P = compile(R"(
+program tri;
+param N = 10;
+array A[N + 1, N + 1];
+for i = 0 to N {
+  for j = i to N {
+    A[i, j] = A[i, j];
+  }
+}
+)");
+  DependenceAnalysis DA(P);
+  // Self read-write on identical subscripts: no loop-carried dependence.
+  for (const Dependence &D : DA.analyze(P.nest(0)))
+    EXPECT_TRUE(D.isLoopIndependent(2)) << D.str();
+}
+
+TEST(DependenceTest, DistanceTwoIsExact) {
+  Program P = compile(R"(
+program dist2;
+param N = 100;
+array A[N + 3];
+for i = 2 to N {
+  A[i] = A[i - 2];
+}
+)");
+  DependenceAnalysis DA(P);
+  std::vector<std::vector<int64_t>> Dists =
+      DependenceAnalysis::exactDistanceVectors(DA.analyze(P.nest(0)));
+  ASSERT_FALSE(Dists.empty());
+  EXPECT_EQ(Dists.front(), std::vector<int64_t>{2});
+}
+
+TEST(DependenceTest, ComponentPrinting) {
+  EXPECT_EQ(DepComponent::exact(3).str(), "3");
+  EXPECT_EQ(DepComponent::exact(0).str(), "0");
+  EXPECT_EQ(DepComponent::dir(DepComponent::Dir::Lt).str(), "+");
+  EXPECT_EQ(DepComponent::dir(DepComponent::Dir::Star).str(), "*");
+}
+
+TEST(DependenceTest, MayBePredicates) {
+  EXPECT_TRUE(DepComponent::exact(-1).mayBeNegative());
+  EXPECT_FALSE(DepComponent::exact(-1).mayBePositive());
+  EXPECT_TRUE(DepComponent::dir(DepComponent::Dir::Le).mayBeZero());
+  EXPECT_TRUE(DepComponent::dir(DepComponent::Dir::Le).mayBePositive());
+  EXPECT_FALSE(DepComponent::dir(DepComponent::Dir::Le).mayBeNegative());
+  EXPECT_TRUE(DepComponent::dir(DepComponent::Dir::Star).mayBeNegative());
+}

@@ -1,0 +1,301 @@
+//===- tests/DynamicTest.cpp - Dynamic decomposition tests (Sec. 6) --------===//
+
+#include "core/Driver.h"
+
+#include "frontend/Lowering.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+namespace {
+
+Program compile(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(Src, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  if (!P)
+    reportFatalError("test program failed to compile:\n" + Diags.str());
+  return std::move(*P);
+}
+
+/// The Figure 5 program (loop node weights made large via N and @cost).
+const char *Fig5Src = R"(
+program fig5;
+param N = 511;
+array X[N + 1, N + 1], Y[N + 1, N + 1];
+forall i1 = 0 to N {
+  forall i2 = 0 to N {
+    X[i1, i2] = f1(X[i1, i2], Y[i1, i2]) @cost(40);
+    Y[i1, i2] = f2(X[i1, i2], Y[i1, i2]) @cost(40);
+  }
+}
+if prob(0.75) {
+  forall i1 = 0 to N {
+    for i2 = 1 to N {
+      X[i1, i2] = f3(X[i1, i2 - 1]) @cost(40);
+    }
+  }
+} else {
+  forall i1 = 0 to N {
+    for i2 = 1 to N {
+      Y[i2, i1] = f4(Y[i2 - 1, i1]) @cost(40);
+    }
+  }
+}
+forall i1 = 0 to N {
+  forall i2 = 0 to N {
+    X[i1, i2] = f5(X[i1, i2], Y[i1, i2]) @cost(40);
+    Y[i1, i2] = f6(X[i1, i2], Y[i1, i2]) @cost(40);
+  }
+}
+)";
+
+} // namespace
+
+TEST(CommGraphTest, Figure5EdgeWeights) {
+  Program P = compile(Fig5Src);
+  MachineParams M;
+  CostModel CM(P, M);
+  std::vector<CommEdge> Edges = buildCommGraph(P, CM);
+  // Edges: (0,1) via X @0.75, (0,2) via Y @0.25, (0,3) via X 0.25 + Y
+  // 0.75, (1,3) via X 0.75, (2,3) via Y 0.25.
+  auto FindEdge = [&](unsigned U, unsigned V) -> const CommEdge * {
+    for (const CommEdge &E : Edges)
+      if (E.U == U && E.V == V)
+        return &E;
+    return nullptr;
+  };
+  ASSERT_NE(FindEdge(0, 1), nullptr);
+  ASSERT_NE(FindEdge(0, 2), nullptr);
+  ASSERT_NE(FindEdge(0, 3), nullptr);
+  ASSERT_NE(FindEdge(1, 3), nullptr);
+  ASSERT_NE(FindEdge(2, 3), nullptr);
+  double Reorg = CM.reorganizationCost(P.arrayId("X"));
+  EXPECT_NEAR(FindEdge(0, 1)->Weight, 0.75 * Reorg, 1e-6);
+  EXPECT_NEAR(FindEdge(0, 2)->Weight, 0.25 * Reorg, 1e-6);
+  // (0,3) carries both arrays: 0.25 * X + 0.75 * Y.
+  EXPECT_NEAR(FindEdge(0, 3)->Weight, 1.0 * Reorg, 1e-6);
+  // Relative ratios match Figure 5(a): 100 : 75 : 25.
+  EXPECT_NEAR(FindEdge(0, 3)->Weight / FindEdge(0, 1)->Weight, 100.0 / 75.0,
+              1e-6);
+  EXPECT_NEAR(FindEdge(0, 1)->Weight / FindEdge(0, 2)->Weight, 3.0, 1e-6);
+}
+
+TEST(DynamicTest, Figure5Components) {
+  Program P = compile(Fig5Src);
+  MachineParams M;
+  CostModel CM(P, M);
+  // The paper assumes tiling is not practical for this example (the
+  // dependences come from unknown g1/g2 subscripts): blocking off.
+  DynamicResult R = runDynamicDecomposition(P, CM, /*UseBlocking=*/false);
+  // Figure 5(b): nests {0, 1, 3} form one component; nest 2 is alone.
+  EXPECT_EQ(R.ComponentOf.at(0), R.ComponentOf.at(1));
+  EXPECT_EQ(R.ComponentOf.at(0), R.ComponentOf.at(3));
+  EXPECT_NE(R.ComponentOf.at(0), R.ComponentOf.at(2));
+  // The big component keeps one degree of parallelism per nest.
+  const PartitionResult &Big = R.Partitions.at(R.ComponentOf.at(0));
+  EXPECT_EQ(Big.parallelism(0), 1u);
+  EXPECT_EQ(Big.parallelism(1), 1u);
+  EXPECT_EQ(Big.parallelism(3), 1u);
+  // Cut edges: exactly those touching nest 2.
+  for (const CommEdge &E : R.CutEdges)
+    EXPECT_TRUE(E.U == 2 || E.V == 2);
+  EXPECT_EQ(R.CutEdges.size(), 2u);
+}
+
+TEST(DynamicTest, Figure5FinalDecompositions) {
+  Program P = compile(Fig5Src);
+  MachineParams M;
+  DriverOptions Opts;
+  Opts.EnableBlocking = false;
+  ProgramDecomposition PD = decompose(P, M, Opts);
+
+  unsigned X = P.arrayId("X"), Y = P.arrayId("Y");
+  // Figure 5(c): in the big component d_X = d_Y = [1 0] a (rows to
+  // processors), c_{1,2,4} = [1 0] i; in the small component d_Y = [0 1] a
+  // and c_3 = [1 0] i. Signs are relative per component.
+  auto Canon = [](Matrix M) {
+    // Normalize a 1x2 orientation to nonnegative leading sign.
+    for (unsigned C = 0; C != M.cols(); ++C) {
+      if (M.at(0, C).isZero())
+        continue;
+      return M.at(0, C).isNegative() ? M.scaled(Rational(-1)) : M;
+    }
+    return M;
+  };
+  EXPECT_EQ(Canon(PD.dataAt(X, 0).D), Matrix({{1, 0}}));
+  EXPECT_EQ(Canon(PD.dataAt(Y, 0).D), Matrix({{1, 0}}));
+  EXPECT_EQ(Canon(PD.dataAt(X, 1).D), Matrix({{1, 0}}));
+  EXPECT_EQ(Canon(PD.dataAt(Y, 3).D), Matrix({{1, 0}}));
+  EXPECT_EQ(Canon(PD.compOf(0).C), Matrix({{1, 0}}));
+  EXPECT_EQ(Canon(PD.compOf(1).C), Matrix({{1, 0}}));
+  EXPECT_EQ(Canon(PD.compOf(3).C), Matrix({{1, 0}}));
+  // Nest 2 (the else arm): Y distributed by columns, c = [1 0].
+  EXPECT_EQ(Canon(PD.dataAt(Y, 2).D), Matrix({{0, 1}}));
+  EXPECT_EQ(Canon(PD.compOf(2).C), Matrix({{1, 0}}));
+  // Y's decomposition really is dynamic: it differs between nests 0 and 2.
+  EXPECT_FALSE(PD.isStatic());
+}
+
+TEST(DynamicTest, ForceSingleJoinsEverything) {
+  Program P = compile(Fig5Src);
+  MachineParams M;
+  CostModel CM(P, M);
+  DynamicResult R = runDynamicDecomposition(P, CM, /*UseBlocking=*/false,
+                                            JoinPolicy::ForceSingle);
+  EXPECT_EQ(R.ComponentOf.at(0), R.ComponentOf.at(2));
+  EXPECT_TRUE(R.CutEdges.empty());
+  // The price: everything is sequential in the single component.
+  EXPECT_EQ(R.Partitions.at(R.ComponentOf.at(0)).totalParallelism(), 0u);
+}
+
+TEST(DynamicTest, NeverJoinLeavesSingletons) {
+  Program P = compile(Fig5Src);
+  MachineParams M;
+  CostModel CM(P, M);
+  DynamicResult R = runDynamicDecomposition(P, CM, /*UseBlocking=*/false,
+                                            JoinPolicy::NeverJoin);
+  std::set<unsigned> Comps;
+  for (const auto &[Nest, C] : R.ComponentOf)
+    Comps.insert(C);
+  EXPECT_EQ(Comps.size(), 4u);
+  EXPECT_EQ(R.CutEdges.size(), 5u);
+}
+
+TEST(DynamicTest, GreedyBeatsExtremePoliciesOnFigure5) {
+  Program P = compile(Fig5Src);
+  MachineParams M;
+  CostModel CM(P, M);
+  double Greedy =
+      runDynamicDecomposition(P, CM, false, JoinPolicy::Greedy).Value;
+  double Single =
+      runDynamicDecomposition(P, CM, false, JoinPolicy::ForceSingle).Value;
+  double Never =
+      runDynamicDecomposition(P, CM, false, JoinPolicy::NeverJoin).Value;
+  EXPECT_GE(Greedy, Single);
+  EXPECT_GE(Greedy, Never);
+}
+
+TEST(DynamicTest, StaticProgramBecomesSingleComponent) {
+  // Figure 1 admits a static decomposition: the dynamic algorithm must
+  // join both nests and report no reorganization.
+  Program P = compile(R"(
+program fig1;
+param N = 255;
+array X[N + 1, N + 1], Y[N + 1, N + 1];
+array Z[N + 2, N + 2];
+for i1 = 0 to N {
+  for i2 = 0 to N {
+    Y[i1, N - i2] += X[i1, i2] @cost(20);
+  }
+}
+for i1 = 1 to N {
+  for i2 = 1 to N {
+    Z[i1, i2] = Z[i1, i2 - 1] + Y[i2, i1 - 1] @cost(20);
+  }
+}
+)");
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  EXPECT_TRUE(PD.isStatic());
+  EXPECT_EQ(PD.ComponentOf.at(0), PD.ComponentOf.at(1));
+  EXPECT_EQ(PD.VirtualDims, 1u);
+}
+
+TEST(DriverTest, AdiGetsBlockedDecomposition) {
+  Program P = compile(R"(
+program adi;
+param N = 511, T = 10;
+array X[N + 1, N + 1];
+for t = 1 to T {
+  forall i1 = 0 to N {
+    for i2 = 1 to N {
+      X[i1, i2] = f1(X[i1, i2], X[i1, i2 - 1]) @cost(30);
+    }
+  }
+  forall i2 = 0 to N {
+    for i1 = 1 to N {
+      X[i1, i2] = f2(X[i1, i2], X[i1 - 1, i2]) @cost(30);
+    }
+  }
+}
+)");
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  // The paper's headline result: pipelining beats reorganizing. Both
+  // nests join one component with blocked decompositions.
+  EXPECT_TRUE(PD.isStatic());
+  EXPECT_EQ(PD.ComponentOf.at(0), PD.ComponentOf.at(1));
+  EXPECT_TRUE(PD.compOf(0).isBlocked());
+  EXPECT_TRUE(PD.compOf(1).isBlocked());
+  EXPECT_TRUE(PD.compOf(0).Kernel.isTrivial());
+}
+
+TEST(DriverTest, ReplicationOfReadOnlyData) {
+  // B[i, j] += A[j]: with replication enabled, A is copied along the
+  // processor dimension that distributes i, and both loops stay parallel.
+  Program P = compile(R"(
+program repl;
+param N = 255;
+array A[N + 1], B[N + 1, N + 1];
+forall i = 0 to N {
+  forall j = 0 to N {
+    B[i, j] = B[i, j] + A[j] @cost(8);
+  }
+}
+)");
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  unsigned A = P.arrayId("A");
+  EXPECT_EQ(PD.compOf(0).parallelismDegree(), 2u);
+  ASSERT_TRUE(PD.ReplicatedDims.count(A));
+  EXPECT_EQ(PD.ReplicatedDims.at(A), 1u);
+}
+
+TEST(DriverTest, IdleProjectionShrinksVirtualDims) {
+  // Nest 1 distributes two dims of A, nest 2 only one (row sums): n' is
+  // capped by the 1-parallel-dim nest when the nests join.
+  Program P = compile(R"(
+program idle;
+param N = 255;
+array A[N + 1, N + 1], S[N + 1];
+forall i = 0 to N {
+  forall j = 0 to N {
+    A[i, j] = A[i, j] @cost(10);
+  }
+}
+forall i = 0 to N {
+  for j = 0 to N {
+    S[i] = S[i] + A[i, j] @cost(10);
+  }
+}
+)");
+  MachineParams M;
+  DriverOptions Opts;
+  ProgramDecomposition PD = decompose(P, M, Opts);
+  if (PD.ComponentOf.at(0) == PD.ComponentOf.at(1)) {
+    // Joined: projection limits the processor space to 1 dimension.
+    EXPECT_EQ(PD.compOf(1).C.rows(), PD.compOf(0).C.rows());
+    EXPECT_LE(PD.VirtualDims, 2u);
+  }
+  // Regardless of joining, every nest's C has no all-zero row after
+  // projection ran for its component.
+  for (const auto &[NestId, CD] : PD.Comp) {
+    (void)NestId;
+    for (unsigned R = 0; R != CD.C.rows(); ++R)
+      EXPECT_FALSE(CD.C.row(R).isZero());
+  }
+}
+
+TEST(DriverTest, PrintDecompositionMentionsEverything) {
+  Program P = compile(Fig5Src);
+  MachineParams M;
+  DriverOptions Opts;
+  Opts.EnableBlocking = false;
+  ProgramDecomposition PD = decompose(P, M, Opts);
+  std::string S = printDecomposition(P, PD);
+  EXPECT_NE(S.find("nest 0"), std::string::npos);
+  EXPECT_NE(S.find("array X"), std::string::npos);
+  EXPECT_NE(S.find("reorganize"), std::string::npos);
+}

@@ -1,0 +1,511 @@
+//===- tests/FrontendTest.cpp - Lexer/parser/lowering tests ----------------===//
+
+#include "frontend/Lexer.h"
+#include "frontend/Lowering.h"
+#include "frontend/Parser.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+namespace {
+
+Program compileOrDie(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(Src, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  if (!P)
+    reportFatalError("test program failed to compile:\n" + Diags.str());
+  return std::move(*P);
+}
+
+const char *Fig1Src = R"(
+program fig1;
+param N = 8;
+array X[N + 1, N + 1], Y[N + 1, N + 1];
+array Z[N + 2, N + 2];
+
+for i1 = 0 to N {
+  forall i2 = 0 to N {
+    Y[i1, N - i2] += X[i1, i2];
+  }
+}
+for i1 = 1 to N {
+  for i2 = 1 to N {
+    Z[i1, i2] = Z[i1, i2 - 1] + Y[i2, i1 - 1];
+  }
+}
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(LexerTest, TokenKinds) {
+  DiagnosticEngine Diags;
+  Lexer L("program p; for i = 0 to N by 2 { A[i] += 1.5; } // comment",
+          Diags);
+  std::vector<Token> Ts = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors());
+  ASSERT_GE(Ts.size(), 5u);
+  EXPECT_TRUE(Ts[0].is(TokenKind::KwProgram));
+  EXPECT_TRUE(Ts[1].is(TokenKind::Identifier));
+  EXPECT_EQ(Ts[1].Spelling, "p");
+  EXPECT_TRUE(Ts[2].is(TokenKind::Semicolon));
+  EXPECT_TRUE(Ts[3].is(TokenKind::KwFor));
+  EXPECT_TRUE(Ts.back().is(TokenKind::Eof));
+}
+
+TEST(LexerTest, PlusAssignVsPlus) {
+  DiagnosticEngine Diags;
+  std::vector<Token> Ts = Lexer("a += b + c", Diags).lexAll();
+  EXPECT_TRUE(Ts[1].is(TokenKind::PlusAssign));
+  EXPECT_TRUE(Ts[3].is(TokenKind::Plus));
+}
+
+TEST(LexerTest, SourceLocations) {
+  DiagnosticEngine Diags;
+  std::vector<Token> Ts = Lexer("a\n  b", Diags).lexAll();
+  EXPECT_EQ(Ts[0].Loc.Line, 1u);
+  EXPECT_EQ(Ts[0].Loc.Column, 1u);
+  EXPECT_EQ(Ts[1].Loc.Line, 2u);
+  EXPECT_EQ(Ts[1].Loc.Column, 3u);
+}
+
+TEST(LexerTest, UnknownCharacterDiagnosed) {
+  DiagnosticEngine Diags;
+  Lexer("a $ b", Diags).lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, FloatLiterals) {
+  DiagnosticEngine Diags;
+  std::vector<Token> Ts = Lexer("0.75 12", Diags).lexAll();
+  EXPECT_TRUE(Ts[0].is(TokenKind::Float));
+  EXPECT_DOUBLE_EQ(Ts[0].floatValue(), 0.75);
+  EXPECT_TRUE(Ts[1].is(TokenKind::Integer));
+  EXPECT_EQ(Ts[1].integerValue(), 12);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser + lowering happy paths
+//===----------------------------------------------------------------------===//
+
+TEST(FrontendTest, Figure1Compiles) {
+  Program P = compileOrDie(Fig1Src);
+  EXPECT_EQ(P.Name, "fig1");
+  ASSERT_EQ(P.Arrays.size(), 3u);
+  ASSERT_EQ(P.Nests.size(), 2u);
+  EXPECT_EQ(P.nest(0).depth(), 2u);
+  EXPECT_EQ(P.nest(1).depth(), 2u);
+  // Nest 1: i2 is forall.
+  EXPECT_FALSE(P.nest(0).Loops[0].isParallel());
+  EXPECT_TRUE(P.nest(0).Loops[1].isParallel());
+}
+
+TEST(FrontendTest, Figure1AccessMatrices) {
+  Program P = compileOrDie(Fig1Src);
+  // Nest 0 statement: write Y[i1, N-i2], read Y (from +=), read X[i1,i2].
+  const Statement &S0 = P.nest(0).Body.at(0);
+  ASSERT_EQ(S0.Accesses.size(), 3u);
+  const ArrayAccess &WY = S0.Accesses[0];
+  EXPECT_TRUE(WY.IsWrite);
+  EXPECT_EQ(WY.Map.linear(), Matrix({{1, 0}, {0, -1}}));
+  EXPECT_EQ(WY.Map.constant()[1], SymAffine::symbol("N"));
+  // Nest 1: read Y[i2, i1-1] has the transpose access matrix.
+  const Statement &S1 = P.nest(1).Body.at(0);
+  const ArrayAccess &RY = S1.Accesses.back();
+  EXPECT_EQ(RY.ArrayId, P.arrayId("Y"));
+  EXPECT_EQ(RY.Map.linear(), Matrix({{0, 1}, {1, 0}}));
+  EXPECT_EQ(RY.Map.constant()[1], SymAffine(-1));
+}
+
+TEST(FrontendTest, PlusAssignAddsReadOfLhs) {
+  Program P = compileOrDie(Fig1Src);
+  const Statement &S0 = P.nest(0).Body.at(0);
+  EXPECT_TRUE(S0.Accesses[0].IsWrite);
+  EXPECT_FALSE(S0.Accesses[1].IsWrite);
+  EXPECT_EQ(S0.Accesses[0].Map, S0.Accesses[1].Map);
+  EXPECT_EQ(S0.Accesses[0].ArrayId, S0.Accesses[1].ArrayId);
+}
+
+TEST(FrontendTest, StridedLoopNormalization) {
+  Program P = compileOrDie(R"(
+program strided;
+param N = 16;
+array A[N + 1];
+for i = 0 to N by 2 {
+  A[i] = A[i] + 1;
+}
+)");
+  ASSERT_EQ(P.Nests.size(), 1u);
+  const LoopNest &Nest = P.nest(0);
+  // Normalized: i' in [0, N/2], subscript 2*i'.
+  EXPECT_EQ(Nest.Loops[0].Lower[0].Const, SymAffine(0));
+  EXPECT_EQ(Nest.Loops[0].Upper[0].Const,
+            SymAffine::symbol("N", Rational(1, 2)));
+  EXPECT_EQ(Nest.Body[0].Accesses[0].Map.linear(), Matrix({{2}}));
+}
+
+TEST(FrontendTest, StridedLoopWithOffsetLowerBound) {
+  Program P = compileOrDie(R"(
+program strided2;
+param N = 16;
+array A[2 * N];
+for i = 1 to N by 3 {
+  A[2 * i + 1] = A[2 * i + 1] + 1;
+}
+)");
+  const LoopNest &Nest = P.nest(0);
+  // i = 3 i' + 1, i' in [0, (N-1)/3]; subscript 2(3i'+1)+1 = 6 i' + 3.
+  EXPECT_EQ(Nest.Body[0].Accesses[0].Map.linear(), Matrix({{6}}));
+  EXPECT_EQ(Nest.Body[0].Accesses[0].Map.constant()[0], SymAffine(3));
+}
+
+TEST(FrontendTest, TriangularBounds) {
+  Program P = compileOrDie(R"(
+program tri;
+param N = 8;
+array A[N + 1, N + 1];
+for i = 0 to N {
+  for j = i to N {
+    A[i, j] = A[i, j] + 1;
+  }
+}
+)");
+  const LoopNest &Nest = P.nest(0);
+  // Inner lower bound is the outer index.
+  EXPECT_EQ(Nest.Loops[1].Lower[0].OuterCoeffs, Vector({1, 0}));
+  EXPECT_EQ(Nest.Loops[1].Lower[0].Const, SymAffine(0));
+}
+
+TEST(FrontendTest, StructureLoopMakesOuterIndexSymbolic) {
+  Program P = compileOrDie(R"(
+program adi_like;
+param N = 8, T = 4;
+array A[N + 1, N + 1];
+for t = 1 to T {
+  forall i = 0 to N {
+    A[t, i] = A[t - 1, i];
+  }
+  forall j = 0 to N {
+    A[j, t] = A[j, t - 1];
+  }
+}
+)");
+  // Two leaf nests inside a structure loop.
+  ASSERT_EQ(P.Nests.size(), 2u);
+  ASSERT_EQ(P.TopLevel.size(), 1u);
+  EXPECT_EQ(P.TopLevel[0].NodeKind, ProgramNode::Kind::SequentialLoop);
+  EXPECT_EQ(P.TopLevel[0].Children.size(), 2u);
+  // Nest 0 is depth 1; the access A[t, i] has t folded into the constant.
+  const LoopNest &N0 = P.nest(0);
+  EXPECT_EQ(N0.depth(), 1u);
+  const ArrayAccess &W = N0.Body[0].Accesses[0];
+  EXPECT_EQ(W.Map.linear(), Matrix({{0}, {1}}));
+  EXPECT_EQ(W.Map.constant()[0], SymAffine::symbol("t"));
+  // ExecCount reflects the enclosing trip count T = 4.
+  EXPECT_DOUBLE_EQ(N0.ExecCount, 4.0);
+}
+
+TEST(FrontendTest, BranchLowersToBranchNode) {
+  Program P = compileOrDie(R"(
+program branchy;
+param N = 8;
+array X[N + 1, N + 1], Y[N + 1, N + 1];
+if prob(0.75) {
+  forall i = 0 to N {
+    for j = 0 to N {
+      X[i, j] = X[i, j] + 1;
+    }
+  }
+} else {
+  forall i = 0 to N {
+    for j = 0 to N {
+      Y[j, i] = Y[j, i] + 1;
+    }
+  }
+}
+)");
+  ASSERT_EQ(P.TopLevel.size(), 1u);
+  EXPECT_EQ(P.TopLevel[0].NodeKind, ProgramNode::Kind::Branch);
+  EXPECT_DOUBLE_EQ(P.nest(0).Probability, 0.75);
+  EXPECT_DOUBLE_EQ(P.nest(1).Probability, 0.25);
+}
+
+TEST(FrontendTest, LoopDistributionPerfectsNests) {
+  Program P = compileOrDie(R"(
+program imperfect;
+param N = 8;
+array A[N + 1], B[N + 1, N + 1];
+for i = 0 to N {
+  A[i] = A[i] + 1;
+  for j = 0 to N {
+    B[i, j] = B[i, j] + A[i];
+  }
+}
+)");
+  // Distributed into a depth-1 nest and a depth-2 nest.
+  ASSERT_EQ(P.Nests.size(), 2u);
+  EXPECT_EQ(P.nest(0).depth(), 1u);
+  EXPECT_EQ(P.nest(1).depth(), 2u);
+  EXPECT_EQ(P.TopLevel.size(), 2u);
+}
+
+TEST(FrontendTest, CostAnnotation) {
+  Program P = compileOrDie(R"(
+program costed;
+param N = 8;
+array A[N + 1];
+forall i = 0 to N {
+  A[i] = A[i] @cost(17);
+}
+)");
+  EXPECT_EQ(P.nest(0).Body[0].WorkCycles, 17u);
+}
+
+TEST(FrontendTest, FunctionCallsInRhsAreOpaque) {
+  Program P = compileOrDie(R"(
+program callee;
+param N = 8;
+array X[N + 1, N + 1];
+forall i1 = 0 to N {
+  for i2 = 1 to N {
+    X[i1, i2] = f1(X[i1, i2], X[i1, i2 - 1]);
+  }
+}
+)");
+  const Statement &S = P.nest(0).Body[0];
+  // Write + two reads inside the call.
+  ASSERT_EQ(S.Accesses.size(), 3u);
+  EXPECT_TRUE(S.Accesses[0].IsWrite);
+  EXPECT_EQ(S.Accesses[2].Map.constant()[1], SymAffine(-1));
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(FrontendTest, NonAffineSubscriptDiagnosed) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(R"(
+program bad;
+param N = 8;
+array A[N, N];
+for i = 0 to N - 1 {
+  for j = 0 to N - 1 {
+    A[i * j, i] = A[i, j];
+  }
+}
+)",
+                      Diags);
+  EXPECT_FALSE(P.has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(FrontendTest, UnknownNameDiagnosed) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(R"(
+program bad;
+param N = 8;
+array A[N];
+for i = 0 to M {
+  A[i] = A[i];
+}
+)",
+                      Diags);
+  EXPECT_FALSE(P.has_value());
+}
+
+TEST(FrontendTest, RankMismatchDiagnosed) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(R"(
+program bad;
+param N = 8;
+array A[N, N];
+for i = 0 to N - 1 {
+  A[i] = A[i, i];
+}
+)",
+                      Diags);
+  EXPECT_FALSE(P.has_value());
+}
+
+TEST(FrontendTest, BareStatementDiagnosed) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(R"(
+program bad;
+param N = 8;
+array A[N];
+A[0] = A[1];
+)",
+                      Diags);
+  EXPECT_FALSE(P.has_value());
+}
+
+TEST(FrontendTest, ShadowedIndexDiagnosed) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(R"(
+program bad;
+param N = 8;
+array A[N, N];
+for i = 0 to N - 1 {
+  for i = 0 to N - 1 {
+    A[i, i] = A[i, i];
+  }
+}
+)",
+                      Diags);
+  EXPECT_FALSE(P.has_value());
+}
+
+TEST(FrontendTest, BadProbabilityDiagnosed) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(R"(
+program bad;
+param N = 8;
+array A[N];
+if prob(1.5) {
+  for i = 0 to N - 1 { A[i] = A[i]; }
+}
+)",
+                      Diags);
+  EXPECT_FALSE(P.has_value());
+}
+
+TEST(FrontendTest, PrinterRoundTripParses) {
+  // What the printer emits for a compiled program should compile again and
+  // produce the same shapes.
+  Program P = compileOrDie(Fig1Src);
+  std::string Printed = printProgram(P);
+  DiagnosticEngine Diags;
+  auto P2 = compileDsl(Printed, Diags);
+  ASSERT_TRUE(P2.has_value()) << Diags.str() << "\n" << Printed;
+  EXPECT_EQ(P2->Nests.size(), P.Nests.size());
+  EXPECT_EQ(P2->Arrays.size(), P.Arrays.size());
+  for (unsigned I = 0; I != P.Nests.size(); ++I)
+    EXPECT_EQ(P2->nest(I).depth(), P.nest(I).depth());
+}
+
+TEST(FrontendTest, MinMaxBounds) {
+  Program P = compileOrDie(R"(
+program tiled;
+param N = 16;
+array A[N + 1, N + 1];
+for ib = 0 to N / 4 {
+  for i = 4 * ib to min(N, 4 * ib + 3) {
+    for j = max(1, i - 2) to N {
+      A[i, j] = A[i, j];
+    }
+  }
+}
+)");
+  const LoopNest &Nest = P.nest(0);
+  ASSERT_EQ(Nest.depth(), 3u);
+  // Inner i loop: lower 4*ib, upper min(N, 4*ib + 3) -> two terms.
+  EXPECT_EQ(Nest.Loops[1].Upper.size(), 2u);
+  EXPECT_EQ(Nest.Loops[1].Lower.size(), 1u);
+  // j loop: lower max(1, i - 2) -> two terms.
+  ASSERT_EQ(Nest.Loops[2].Lower.size(), 2u);
+  // With ib = 1, i = 5: trip of i loop = min(16, 7) - 4 + 1.
+  EXPECT_DOUBLE_EQ(
+      Nest.Loops[1].Upper[1].evaluate(Vector({1, 0, 0}), P.SymbolBindings)
+          .asInteger(),
+      7);
+}
+
+TEST(FrontendTest, MinAsLowerBoundRejected) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(R"(
+program bad;
+param N = 8;
+array A[N + 1];
+for i = min(0, 1) to N {
+  A[i] = A[i];
+}
+)",
+                      Diags);
+  EXPECT_FALSE(P.has_value());
+}
+
+TEST(FrontendTest, TiledPrinterOutputReparses) {
+  // The printed form of a materialized tiled nest (with min/max bounds)
+  // must be accepted by the front end again.
+  Program P = compileOrDie(R"(
+program pre;
+param N = 12;
+array X[N + 1, N + 1];
+for ib = 0 to N / 4 {
+  for i = 4 * ib to min(N, 4 * ib + 3) {
+    X[i, 0] = X[i, 0];
+  }
+}
+)");
+  std::string Printed = printProgram(P);
+  DiagnosticEngine Diags;
+  auto P2 = compileDsl(Printed, Diags);
+  ASSERT_TRUE(P2.has_value()) << Diags.str() << "\n" << Printed;
+  EXPECT_EQ(P2->nest(0).Loops[1].Upper.size(), 2u);
+}
+
+TEST(FrontendTest, NegativeStepLoop) {
+  Program P = compileOrDie(R"(
+program down;
+param N = 10;
+array A[N + 1];
+for i = N to 0 by -2 {
+  A[i] = A[i];
+}
+)");
+  const LoopNest &Nest = P.nest(0);
+  // Normalized: i' in [0, N/2], original i = 2*i' + 0... the reversal
+  // swaps bounds first, so i = 2*i' + lo where lo = 0.
+  EXPECT_EQ(Nest.Loops[0].Lower[0].Const, SymAffine(0));
+  EXPECT_EQ(Nest.Loops[0].Upper[0].Const,
+            SymAffine::symbol("N", Rational(1, 2)));
+  EXPECT_EQ(Nest.Body[0].Accesses[0].Map.linear(), Matrix({{2}}));
+}
+
+TEST(FrontendTest, ForallOverMultipleNestsDistributes) {
+  // A parallel loop carries no dependences, so distributing it over its
+  // member nests is always legal and keeps the parallelism visible.
+  Program P = compileOrDie(R"(
+program split;
+param N = 15;
+array A[N + 1, N + 1], B[N + 1, N + 1];
+forall r = 0 to N {
+  for i = 0 to N {
+    A[r, i] = A[r, i];
+  }
+  for i = 0 to N {
+    B[r, i] = A[r, i];
+  }
+}
+)");
+  // Two perfect (r, i) nests, no structure loop.
+  ASSERT_EQ(P.Nests.size(), 2u);
+  EXPECT_EQ(P.nest(0).depth(), 2u);
+  EXPECT_EQ(P.nest(1).depth(), 2u);
+  EXPECT_EQ(P.TopLevel.size(), 2u);
+  EXPECT_EQ(P.TopLevel[0].NodeKind, ProgramNode::Kind::Nest);
+  EXPECT_TRUE(P.nest(0).Loops[0].isParallel());
+}
+
+TEST(FrontendTest, SequentialLoopOverMultipleNestsStaysStructural) {
+  // A sequential loop may carry dependences across its nests: it must
+  // remain a structure level, not be distributed.
+  Program P = compileOrDie(R"(
+program keep;
+param N = 15, T = 3;
+array A[N + 1];
+for t = 1 to T {
+  forall i = 0 to N { A[i] = A[i]; }
+  forall i = 0 to N { A[i] = A[i]; }
+}
+)");
+  ASSERT_EQ(P.TopLevel.size(), 1u);
+  EXPECT_EQ(P.TopLevel[0].NodeKind, ProgramNode::Kind::SequentialLoop);
+}

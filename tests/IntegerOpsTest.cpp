@@ -1,0 +1,181 @@
+//===- tests/IntegerOpsTest.cpp - Integer lattice operation tests ----------===//
+
+#include "linalg/IntegerOps.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+TEST(ExtGcdTest, Basics) {
+  ExtGcd E = extendedGcd(12, 18);
+  EXPECT_EQ(E.G, 6);
+  EXPECT_EQ(E.X * 12 + E.Y * 18, 6);
+
+  E = extendedGcd(7, 0);
+  EXPECT_EQ(E.G, 7);
+  EXPECT_EQ(E.X * 7, 7);
+
+  E = extendedGcd(-4, 6);
+  EXPECT_EQ(E.G, 2);
+  EXPECT_EQ(E.X * -4 + E.Y * 6, 2);
+}
+
+TEST(IntMatrixTest, MultiplyAndIdentity) {
+  IntMatrix A = {{1, 2}, {3, 4}};
+  IntMatrix I = IntMatrix::identity(2);
+  EXPECT_EQ(A * I, A);
+  EXPECT_EQ(A * IntMatrix({{0, 1}, {1, 0}}), IntMatrix({{2, 1}, {4, 3}}));
+}
+
+TEST(IntMatrixTest, RationalRoundTrip) {
+  IntMatrix A = {{1, -2}, {0, 5}};
+  EXPECT_EQ(IntMatrix::fromRational(A.toRational()), A);
+}
+
+TEST(IntMatrixTest, Unimodular) {
+  EXPECT_TRUE(IntMatrix({{1, 1}, {0, 1}}).isUnimodular());
+  EXPECT_TRUE(IntMatrix({{0, 1}, {1, 0}}).isUnimodular());
+  EXPECT_FALSE(IntMatrix({{2, 0}, {0, 1}}).isUnimodular());
+  EXPECT_FALSE(IntMatrix({{1, 2, 3}}).isUnimodular());
+}
+
+TEST(HermiteTest, ProducesEchelonWithUnimodularTransform) {
+  IntMatrix A = {{4, 6}, {2, 8}};
+  HermiteResult HR = hermiteNormalForm(A);
+  EXPECT_TRUE(HR.U.isUnimodular());
+  EXPECT_EQ(A * HR.U, HR.H);
+  ASSERT_EQ(HR.Pivots.size(), 2u);
+  // Column echelon: row 0's pivot strictly left of row 1's.
+  EXPECT_LT(HR.Pivots[0].second, HR.Pivots[1].second);
+  // Entries right of a pivot in its row are zero.
+  EXPECT_EQ(HR.H.at(0, 1), 0);
+}
+
+TEST(HermiteTest, RankDeficient) {
+  IntMatrix A = {{2, 4}, {1, 2}};
+  HermiteResult HR = hermiteNormalForm(A);
+  EXPECT_TRUE(HR.U.isUnimodular());
+  EXPECT_EQ(A * HR.U, HR.H);
+  EXPECT_EQ(HR.Pivots.size(), 1u);
+}
+
+TEST(SolveIntegerTest, SimpleDiophantine) {
+  // 2x + 4y = 6 has integer solutions.
+  auto X = solveIntegerSystem(IntMatrix({{2, 4}}), {6});
+  ASSERT_TRUE(X.has_value());
+  EXPECT_EQ(2 * (*X)[0] + 4 * (*X)[1], 6);
+}
+
+TEST(SolveIntegerTest, GcdObstruction) {
+  // 2x + 4y = 5 has no integer solution (gcd 2 does not divide 5).
+  EXPECT_FALSE(solveIntegerSystem(IntMatrix({{2, 4}}), {5}).has_value());
+}
+
+TEST(SolveIntegerTest, RationalInconsistency) {
+  // x + y = 1 and x + y = 2 simultaneously.
+  EXPECT_FALSE(
+      solveIntegerSystem(IntMatrix({{1, 1}, {1, 1}}), {1, 2}).has_value());
+}
+
+TEST(SolveIntegerTest, SquareSystem) {
+  auto X = solveIntegerSystem(IntMatrix({{1, 2}, {3, 5}}), {8, 19});
+  ASSERT_TRUE(X.has_value());
+  EXPECT_EQ((*X)[0] + 2 * (*X)[1], 8);
+  EXPECT_EQ(3 * (*X)[0] + 5 * (*X)[1], 19);
+}
+
+TEST(SolveIntegerTest, ZeroRhsAlwaysSolvable) {
+  auto X = solveIntegerSystem(IntMatrix({{3, 7}, {1, 9}}), {0, 0});
+  ASSERT_TRUE(X.has_value());
+  EXPECT_EQ((*X)[0], 0);
+  EXPECT_EQ((*X)[1], 0);
+}
+
+TEST(IntegerNullspaceTest, UniformDependenceLattice) {
+  // ker_Z [1 -1] = multiples of (1, 1).
+  IntMatrix B = integerNullspaceBasis(IntMatrix({{1, -1}}));
+  ASSERT_EQ(B.rows(), 1u);
+  EXPECT_EQ(B.at(0, 0), B.at(0, 1));
+  EXPECT_NE(B.at(0, 0), 0);
+}
+
+TEST(IntegerNullspaceTest, FullRankHasTrivialLattice) {
+  IntMatrix B = integerNullspaceBasis(IntMatrix({{1, 0}, {0, 1}}));
+  EXPECT_EQ(B.rows(), 0u);
+}
+
+TEST(UnimodularExtensionTest, ExtendsSingleRow) {
+  auto M = unimodularExtension(IntMatrix({{0, 1}}));
+  ASSERT_TRUE(M.has_value());
+  EXPECT_TRUE(M->isUnimodular());
+  // First row spans the same line as (0,1).
+  EXPECT_EQ(M->at(0, 0), 0);
+  EXPECT_NE(M->at(0, 1), 0);
+}
+
+TEST(UnimodularExtensionTest, RejectsRankDeficient) {
+  EXPECT_FALSE(unimodularExtension(IntMatrix({{1, 2}, {2, 4}})).has_value());
+}
+
+class IntegerOpsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntegerOpsPropertyTest, HermiteInvariants) {
+  Rng R(GetParam());
+  for (int Iter = 0; Iter != 60; ++Iter) {
+    unsigned M = 1 + R.nextBelow(3), N = 1 + R.nextBelow(3);
+    IntMatrix A(M, N);
+    for (unsigned I = 0; I != M; ++I)
+      for (unsigned J = 0; J != N; ++J)
+        A.at(I, J) = R.nextInRange(-5, 5);
+    HermiteResult HR = hermiteNormalForm(A);
+    EXPECT_TRUE(HR.U.isUnimodular());
+    EXPECT_EQ(A * HR.U, HR.H);
+    // Pivot columns strictly increase.
+    for (unsigned I = 1; I < HR.Pivots.size(); ++I)
+      EXPECT_LT(HR.Pivots[I - 1].second, HR.Pivots[I].second);
+  }
+}
+
+TEST_P(IntegerOpsPropertyTest, SolveRoundTrip) {
+  Rng R(GetParam() * 7 + 1);
+  for (int Iter = 0; Iter != 60; ++Iter) {
+    unsigned M = 1 + R.nextBelow(3), N = 1 + R.nextBelow(3);
+    IntMatrix A(M, N);
+    for (unsigned I = 0; I != M; ++I)
+      for (unsigned J = 0; J != N; ++J)
+        A.at(I, J) = R.nextInRange(-4, 4);
+    std::vector<int64_t> X0(N);
+    for (unsigned J = 0; J != N; ++J)
+      X0[J] = R.nextInRange(-5, 5);
+    std::vector<int64_t> B = A * X0;
+    auto X = solveIntegerSystem(A, B);
+    ASSERT_TRUE(X.has_value());
+    EXPECT_EQ(A * *X, B);
+  }
+}
+
+TEST_P(IntegerOpsPropertyTest, NullspaceVectorsAnnihilate) {
+  Rng R(GetParam() * 13 + 5);
+  for (int Iter = 0; Iter != 60; ++Iter) {
+    unsigned M = 1 + R.nextBelow(2), N = 2 + R.nextBelow(2);
+    IntMatrix A(M, N);
+    for (unsigned I = 0; I != M; ++I)
+      for (unsigned J = 0; J != N; ++J)
+        A.at(I, J) = R.nextInRange(-3, 3);
+    IntMatrix B = integerNullspaceBasis(A);
+    for (unsigned Row = 0; Row != B.rows(); ++Row) {
+      std::vector<int64_t> V(N);
+      for (unsigned J = 0; J != N; ++J)
+        V[J] = B.at(Row, J);
+      for (int64_t E : A * V)
+        EXPECT_EQ(E, 0);
+    }
+    // Lattice rank matches rational nullity.
+    EXPECT_EQ(B.rows(), N - A.toRational().rank());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegerOpsPropertyTest,
+                         ::testing::Values(21u, 22u, 23u, 1000u));

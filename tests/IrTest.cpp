@@ -1,0 +1,191 @@
+//===- tests/IrTest.cpp - IR construction and printing tests ---------------===//
+
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+namespace {
+
+/// Builds the running example of Figure 1:
+///   (1) for i1 = 0..N, i2 = 0..N:  Y[i1, N-i2] += X[i1, i2]
+///   (2) for i2 = 1..N, i1 = 1..N:  Z[i1, i2] = Z[i1, i2-1] + Y[i2, i1-1]
+Program buildFigure1() {
+  ProgramBuilder B("fig1");
+  SymAffine N = B.param("N", 8);
+  B.array("X", {N + 1, N + 1});
+  B.array("Y", {N + 1, N + 1});
+  B.array("Z", {N + 2, N + 2});
+
+  NestBuilder N1 = B.nest();
+  N1.loop("i1", 0, N).loop("i2", 0, N);
+  N1.stmt()
+      .write("Y", Matrix({{1, 0}, {0, -1}}), SymVector({SymAffine(0), N}))
+      .read("Y", Matrix({{1, 0}, {0, -1}}), SymVector({SymAffine(0), N}))
+      .readIdentity("X");
+
+  NestBuilder N2 = B.nest();
+  N2.loop("i1", 1, N).loop("i2", 1, N);
+  N2.stmt()
+      .writeIdentity("Z")
+      .read("Z", Matrix({{1, 0}, {0, 1}}),
+            SymVector({SymAffine(0), SymAffine(-1)}))
+      .read("Y", Matrix({{0, 1}, {1, 0}}),
+            SymVector({SymAffine(0), SymAffine(-1)}));
+  return B.build();
+}
+
+} // namespace
+
+TEST(AffineAccessTest, IdentityMap) {
+  AffineAccessMap M = AffineAccessMap::identity(3);
+  EXPECT_EQ(M.arrayDim(), 3u);
+  EXPECT_EQ(M.nestDepth(), 3u);
+  EXPECT_EQ(M.evaluate(Vector({1, 2, 3}), {}), Vector({1, 2, 3}));
+}
+
+TEST(AffineAccessTest, EvaluateWithSymbols) {
+  // Y[i1, N - i2].
+  AffineAccessMap M(Matrix({{1, 0}, {0, -1}}),
+                    SymVector({SymAffine(0), SymAffine::symbol("N")}));
+  Vector R = M.evaluate(Vector({2, 3}), {{"N", Rational(10)}});
+  EXPECT_EQ(R, Vector({2, 7}));
+}
+
+TEST(AffineAccessTest, ComposeWithTransform) {
+  AffineAccessMap M = AffineAccessMap::identity(2);
+  Matrix Swap = {{0, 1}, {1, 0}};
+  AffineAccessMap C = M.composeWith(Swap);
+  EXPECT_EQ(C.linear(), Swap);
+}
+
+TEST(AffineAccessTest, Printing) {
+  AffineAccessMap M(Matrix({{1, 0}, {0, -1}}),
+                    SymVector({SymAffine(0), SymAffine::symbol("N")}));
+  EXPECT_EQ(M.str({"i1", "i2"}), "[i1, -i2 + N]");
+
+  AffineAccessMap M2(Matrix({{0, 1}, {1, 0}}),
+                     SymVector({SymAffine(0), SymAffine(-1)}));
+  EXPECT_EQ(M2.str({"i1", "i2"}), "[i2, i1 - 1]");
+}
+
+TEST(IrTest, Figure1Shapes) {
+  Program P = buildFigure1();
+  EXPECT_EQ(P.Arrays.size(), 3u);
+  EXPECT_EQ(P.Nests.size(), 2u);
+  EXPECT_EQ(P.nest(0).depth(), 2u);
+  EXPECT_EQ(P.nest(0).Body.size(), 1u);
+  EXPECT_EQ(P.nest(0).Body[0].Accesses.size(), 3u);
+  EXPECT_EQ(P.nestsInOrder(), (std::vector<unsigned>{0, 1}));
+}
+
+TEST(IrTest, ReferencedArraysAndWrites) {
+  Program P = buildFigure1();
+  unsigned X = P.arrayId("X"), Y = P.arrayId("Y"), Z = P.arrayId("Z");
+  EXPECT_EQ(P.nest(0).referencedArrays(), (std::vector<unsigned>{X, Y}));
+  EXPECT_EQ(P.nest(1).referencedArrays(), (std::vector<unsigned>{Y, Z}));
+  EXPECT_TRUE(P.nest(0).writesArray(Y));
+  EXPECT_FALSE(P.nest(0).writesArray(X));
+  EXPECT_TRUE(P.nest(1).writesArray(Z));
+  EXPECT_FALSE(P.nest(1).writesArray(Y));
+}
+
+TEST(IrTest, AccessesTo) {
+  Program P = buildFigure1();
+  unsigned Y = P.arrayId("Y");
+  EXPECT_EQ(P.nest(0).accessesTo(Y).size(), 2u);
+  EXPECT_EQ(P.nest(1).accessesTo(Y).size(), 1u);
+}
+
+TEST(IrTest, TripEstimates) {
+  Program P = buildFigure1();
+  // N = 8: nest 1 runs (8+1)^2 = 81 iterations; nest 2 runs 64.
+  EXPECT_DOUBLE_EQ(P.nest(0).estimatedIterations(P.SymbolBindings), 81.0);
+  EXPECT_DOUBLE_EQ(P.nest(1).estimatedIterations(P.SymbolBindings), 64.0);
+}
+
+TEST(IrTest, ProfilesDefaultToOne) {
+  Program P = buildFigure1();
+  EXPECT_DOUBLE_EQ(P.nest(0).ExecCount, 1.0);
+  EXPECT_DOUBLE_EQ(P.nest(0).Probability, 1.0);
+}
+
+TEST(IrTest, StructureTreeProfiles) {
+  ProgramBuilder B("tree");
+  SymAffine N = B.param("N", 4);
+  B.array("A", {N});
+  NestBuilder N1 = B.detachedNest();
+  N1.loop("i", 0, N - 1).stmt().writeIdentity("A");
+  NestBuilder N2 = B.detachedNest();
+  N2.loop("i", 0, N - 1).stmt().writeIdentity("A");
+  NestBuilder N3 = B.detachedNest();
+  N3.loop("i", 0, N - 1).stmt().writeIdentity("A");
+
+  // for t = 1..10 { nest1; if prob(0.75) { nest2 } else { nest3 } }
+  B.topLevel({ProgramNode::sequentialLoop(
+      "t", SymAffine(10),
+      {ProgramNode::nest(N1.id()),
+       ProgramNode::branch(0.75, {ProgramNode::nest(N2.id())},
+                           {ProgramNode::nest(N3.id())})})});
+  Program P = B.build();
+  EXPECT_DOUBLE_EQ(P.nest(0).ExecCount, 10.0);
+  EXPECT_DOUBLE_EQ(P.nest(1).ExecCount, 7.5);
+  EXPECT_DOUBLE_EQ(P.nest(2).ExecCount, 2.5);
+  EXPECT_DOUBLE_EQ(P.nest(1).Probability, 0.75);
+  EXPECT_DOUBLE_EQ(P.nest(2).Probability, 0.25);
+  EXPECT_EQ(P.nestsInOrder(), (std::vector<unsigned>{0, 1, 2}));
+}
+
+TEST(IrTest, FirstParallelLoop) {
+  ProgramBuilder B("par");
+  SymAffine N = B.param("N", 4);
+  B.array("A", {N, N});
+  NestBuilder NB = B.nest();
+  NB.loop("i", 0, N - 1).forall("j", 0, N - 1);
+  NB.stmt().writeIdentity("A");
+  Program P = B.build();
+  EXPECT_EQ(P.nest(0).firstParallelLoop(), 1u);
+}
+
+TEST(PrinterTest, Figure1RoundTripText) {
+  Program P = buildFigure1();
+  std::string S = printProgram(P);
+  EXPECT_NE(S.find("program fig1;"), std::string::npos);
+  EXPECT_NE(S.find("param N = 8;"), std::string::npos);
+  EXPECT_NE(S.find("array X[N + 1, N + 1];"), std::string::npos);
+  EXPECT_NE(S.find("for i1 = 0 to N {"), std::string::npos);
+  EXPECT_NE(S.find("Y[i1, -i2 + N]"), std::string::npos);
+  EXPECT_NE(S.find("Z[i1, i2] = f(Z[i1, i2 - 1], Y[i2, i1 - 1]);"),
+            std::string::npos);
+}
+
+TEST(PrinterTest, ParallelKeyword) {
+  ProgramBuilder B("par");
+  SymAffine N = B.param("N", 4);
+  B.array("A", {N});
+  NestBuilder NB = B.nest();
+  NB.forall("i", 0, N - 1).stmt().writeIdentity("A");
+  std::string S = printProgram(B.build());
+  EXPECT_NE(S.find("forall i = 0 to N - 1 {"), std::string::npos);
+}
+
+TEST(PrinterTest, BoundWithMinMax) {
+  // A tiled loop bound: i2 = ii2 to min(N, ii2 + B - 1).
+  ProgramBuilder B("tiled");
+  SymAffine N = B.param("N", 16);
+  B.array("A", {N, N});
+  NestBuilder NB = B.detachedNest();
+  NB.loop("ii2", 0, N).loop("i2", 0, N);
+  // Patch the inner loop's bounds to the tiled form by hand.
+  Program P = B.topLevel({ProgramNode::nest(NB.id())}).build();
+  LoopNest &Nest = P.nest(0);
+  Nest.Loops[1].Lower = {BoundTerm(Vector({1, 0}), SymAffine(0))};
+  Nest.Loops[1].Upper = {BoundTerm::constant(2, N),
+                         BoundTerm(Vector({1, 0}), SymAffine(3))};
+  Nest.Body.emplace_back();
+  Nest.Body.back().Text = "A[ii2, i2] = 0";
+  std::string S = printNest(P, Nest);
+  EXPECT_NE(S.find("for i2 = ii2 to min(N, ii2 + 3) {"), std::string::npos);
+}

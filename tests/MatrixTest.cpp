@@ -1,0 +1,236 @@
+//===- tests/MatrixTest.cpp - Matrix algebra tests -------------------------===//
+
+#include "linalg/Matrix.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+namespace {
+
+Matrix randomMatrix(Rng &R, unsigned Rows, unsigned Cols, int64_t Lo = -4,
+                    int64_t Hi = 4) {
+  Matrix M(Rows, Cols);
+  for (unsigned I = 0; I != Rows; ++I)
+    for (unsigned J = 0; J != Cols; ++J)
+      M.at(I, J) = Rational(R.nextInRange(Lo, Hi));
+  return M;
+}
+
+} // namespace
+
+TEST(VectorTest, BasicOps) {
+  Vector A = {1, 2, 3};
+  Vector B = {4, 5, 6};
+  EXPECT_EQ(A + B, Vector({5, 7, 9}));
+  EXPECT_EQ(B - A, Vector({3, 3, 3}));
+  EXPECT_EQ(-A, Vector({-1, -2, -3}));
+  EXPECT_EQ(A.scaled(Rational(2)), Vector({2, 4, 6}));
+  EXPECT_EQ(A.dot(B), Rational(32));
+}
+
+TEST(VectorTest, UnitAndZero) {
+  EXPECT_EQ(Vector::unit(3, 1), Vector({0, 1, 0}));
+  EXPECT_TRUE(Vector::zero(4).isZero());
+  EXPECT_FALSE(Vector({0, 0, 1}).isZero());
+}
+
+TEST(VectorTest, FirstNonZero) {
+  EXPECT_EQ(Vector({0, 0, 5}).firstNonZero(), 2u);
+  EXPECT_FALSE(Vector::zero(3).firstNonZero().has_value());
+}
+
+TEST(VectorTest, NormalizedDirection) {
+  EXPECT_EQ(Vector({Rational(1, 2), Rational(1, 3)}).normalizedDirection(),
+            Vector({3, 2}));
+  EXPECT_EQ(Vector({-2, 4}).normalizedDirection(), Vector({1, -2}));
+  EXPECT_EQ(Vector({0, 0}).normalizedDirection(), Vector({0, 0}));
+  EXPECT_EQ(Vector({6, -9}).normalizedDirection(), Vector({2, -3}));
+}
+
+TEST(MatrixTest, IdentityAndZero) {
+  Matrix I = Matrix::identity(3);
+  EXPECT_TRUE(I.isIdentity());
+  EXPECT_TRUE(Matrix::zero(2, 3).isZero());
+  EXPECT_FALSE(I.isZero());
+}
+
+TEST(MatrixTest, Multiply) {
+  Matrix A = {{1, 2}, {3, 4}};
+  Matrix B = {{0, 1}, {1, 0}};
+  EXPECT_EQ(A * B, Matrix({{2, 1}, {4, 3}}));
+  EXPECT_EQ(B * A, Matrix({{3, 4}, {1, 2}}));
+  EXPECT_EQ(A * Matrix::identity(2), A);
+}
+
+TEST(MatrixTest, MatrixVector) {
+  Matrix A = {{1, 0, -1}, {2, 1, 0}};
+  Vector X = {3, 4, 5};
+  EXPECT_EQ(A * X, Vector({-2, 10}));
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix A = {{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(A.transposed(), Matrix({{1, 4}, {2, 5}, {3, 6}}));
+  EXPECT_EQ(A.transposed().transposed(), A);
+}
+
+TEST(MatrixTest, Stacking) {
+  Matrix A = {{1, 2}};
+  Matrix B = {{3, 4}};
+  EXPECT_EQ(A.vstack(B), Matrix({{1, 2}, {3, 4}}));
+  EXPECT_EQ(A.hstack(B), Matrix({{1, 2, 3, 4}}));
+}
+
+TEST(MatrixTest, RrefSimple) {
+  Matrix A = {{1, 2, 3}, {2, 4, 6}, {1, 1, 1}};
+  std::vector<unsigned> Pivots;
+  Matrix R = A.rref(&Pivots);
+  ASSERT_EQ(Pivots.size(), 2u);
+  EXPECT_EQ(Pivots[0], 0u);
+  EXPECT_EQ(Pivots[1], 1u);
+  EXPECT_EQ(R.row(2), Vector::zero(3));
+}
+
+TEST(MatrixTest, Rank) {
+  EXPECT_EQ(Matrix({{1, 2}, {2, 4}}).rank(), 1u);
+  EXPECT_EQ(Matrix::identity(4).rank(), 4u);
+  EXPECT_EQ(Matrix::zero(3, 3).rank(), 0u);
+  EXPECT_EQ(Matrix({{1, 0}, {0, 1}, {1, 1}}).rank(), 2u);
+}
+
+TEST(MatrixTest, Determinant) {
+  EXPECT_EQ(Matrix({{1, 2}, {3, 4}}).determinant(), Rational(-2));
+  EXPECT_EQ(Matrix::identity(5).determinant(), Rational(1));
+  EXPECT_EQ(Matrix({{2, 0}, {0, 3}}).determinant(), Rational(6));
+  EXPECT_EQ(Matrix({{1, 2}, {2, 4}}).determinant(), Rational(0));
+}
+
+TEST(MatrixTest, Inverse) {
+  Matrix A = {{2, 1}, {1, 1}};
+  auto Inv = A.inverse();
+  ASSERT_TRUE(Inv.has_value());
+  EXPECT_TRUE((A * *Inv).isIdentity());
+  EXPECT_TRUE((*Inv * A).isIdentity());
+
+  EXPECT_FALSE(Matrix({{1, 2}, {2, 4}}).inverse().has_value());
+  EXPECT_FALSE(Matrix({{1, 2, 3}}).inverse().has_value());
+}
+
+TEST(MatrixTest, NullspaceBasis) {
+  // x + y + z = 0 has a 2-dimensional nullspace.
+  Matrix A = {{1, 1, 1}};
+  auto Basis = A.nullspaceBasis();
+  ASSERT_EQ(Basis.size(), 2u);
+  for (const Vector &V : Basis)
+    EXPECT_TRUE((A * V).isZero());
+}
+
+TEST(MatrixTest, NullspaceOfFullRankSquareIsEmpty) {
+  EXPECT_TRUE(Matrix::identity(3).nullspaceBasis().empty());
+}
+
+TEST(MatrixTest, SolveConsistent) {
+  Matrix A = {{1, 2}, {3, 4}};
+  auto X = A.solve(Vector({5, 11}));
+  ASSERT_TRUE(X.has_value());
+  EXPECT_EQ(A * *X, Vector({5, 11}));
+}
+
+TEST(MatrixTest, SolveInconsistent) {
+  Matrix A = {{1, 1}, {1, 1}};
+  EXPECT_FALSE(A.solve(Vector({1, 2})).has_value());
+}
+
+TEST(MatrixTest, SolveUnderdetermined) {
+  Matrix A = {{1, 1, 1}};
+  auto X = A.solve(Vector({6}));
+  ASSERT_TRUE(X.has_value());
+  EXPECT_EQ(A * *X, Vector({6}));
+}
+
+TEST(MatrixTest, RightPseudoInverseOnInvertible) {
+  Matrix A = {{0, 1}, {1, 0}};
+  Matrix G = A.rightPseudoInverse();
+  EXPECT_TRUE((A * G).isIdentity());
+  EXPECT_EQ(A * G * A, A);
+}
+
+TEST(MatrixTest, RightPseudoInverseOnWideMatrix) {
+  // F maps a 3-d iteration space onto a 2-d array space (array section).
+  Matrix F = {{1, 0, 0}, {0, 0, 1}};
+  Matrix G = F.rightPseudoInverse();
+  EXPECT_EQ(F * G * F, F);
+  EXPECT_TRUE((F * G).isIdentity());
+}
+
+TEST(MatrixTest, RightPseudoInverseOnRankDeficient) {
+  Matrix F = {{1, 0}, {1, 0}};
+  Matrix G = F.rightPseudoInverse();
+  EXPECT_EQ(F * G * F, F);
+}
+
+TEST(MatrixTest, IntegerScaled) {
+  Matrix A = {{Rational(1, 2), Rational(1, 3)}};
+  EXPECT_EQ(A.integerScaled(), Matrix({{3, 2}}));
+  Matrix B = {{2, 4}, {6, 8}};
+  EXPECT_EQ(B.integerScaled(), Matrix({{1, 2}, {3, 4}}));
+  EXPECT_TRUE(Matrix::zero(2, 2).integerScaled().isZero());
+}
+
+TEST(MatrixTest, IsIntegral) {
+  EXPECT_TRUE(Matrix({{1, -2}, {0, 7}}).isIntegral());
+  EXPECT_FALSE(Matrix({{Rational(1, 2)}}).isIntegral());
+}
+
+TEST(MatrixTest, Printing) {
+  EXPECT_EQ(Matrix({{1, 2}, {3, 4}}).str(), "[1 2; 3 4]");
+  EXPECT_EQ(Vector({1, Rational(1, 2)}).str(), "(1, 1/2)");
+}
+
+class MatrixPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatrixPropertyTest, RankNullityAndInverseRoundTrip) {
+  Rng R(GetParam());
+  for (int Iter = 0; Iter != 40; ++Iter) {
+    unsigned N = 1 + R.nextBelow(4), M = 1 + R.nextBelow(4);
+    Matrix A = randomMatrix(R, N, M);
+    // Rank-nullity: rank + dim(null) == cols.
+    EXPECT_EQ(A.rank() + A.nullspaceBasis().size(), M);
+    // Row rank equals column rank.
+    EXPECT_EQ(A.rank(), A.transposed().rank());
+    // Every nullspace vector really is in the nullspace.
+    for (const Vector &V : A.nullspaceBasis())
+      EXPECT_TRUE((A * V).isZero());
+    // Pseudo-inverse law A G A == A.
+    Matrix G = A.rightPseudoInverse();
+    EXPECT_EQ(A * G * A, A);
+    // Square invertible round trip.
+    if (N == M && !A.determinant().isZero()) {
+      auto Inv = A.inverse();
+      ASSERT_TRUE(Inv.has_value());
+      EXPECT_TRUE((A * *Inv).isIdentity());
+    }
+  }
+}
+
+TEST_P(MatrixPropertyTest, SolveAgreesWithMultiply) {
+  Rng R(GetParam() * 31 + 7);
+  for (int Iter = 0; Iter != 40; ++Iter) {
+    unsigned N = 1 + R.nextBelow(4), M = 1 + R.nextBelow(4);
+    Matrix A = randomMatrix(R, N, M);
+    // Construct a guaranteed-consistent RHS.
+    Vector X0(M);
+    for (unsigned I = 0; I != M; ++I)
+      X0[I] = Rational(R.nextInRange(-3, 3));
+    Vector B = A * X0;
+    auto X = A.solve(B);
+    ASSERT_TRUE(X.has_value());
+    EXPECT_EQ(A * *X, B);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatrixPropertyTest,
+                         ::testing::Values(11u, 12u, 13u, 99u));

@@ -1,0 +1,131 @@
+//===- tests/OrientationPropertyTest.cpp - Lemma 4.3 property tests --------===//
+//
+// Lemma 4.3 over randomized interference graphs with invertible access
+// maps: the orientation solver's matrices satisfy D_x F_xj == C_j for
+// every access, have exactly the partition nullspaces, and the subsequent
+// displacement solve leaves Eqn. 2 consistent up to recorded conflicts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DisplacementSolver.h"
+#include "core/OrientationSolver.h"
+
+#include "ir/Builder.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+namespace {
+
+/// Random program over invertible (unimodular-ish) accesses only, where
+/// the theory of Sec. 4.4 is exact.
+Program makeRandomProgram(Rng &R, unsigned K, unsigned NumArrays) {
+  ProgramBuilder B("rand");
+  SymAffine N = B.param("N", 16);
+  for (unsigned A = 0; A != NumArrays; ++A)
+    B.array("A" + std::to_string(A), {N + 2, N + 2});
+  for (unsigned I = 0; I != K; ++I) {
+    NestBuilder NB = B.nest();
+    NB.loop("i", 0, N,
+            R.nextBelow(2) ? LoopKind::Parallel : LoopKind::Sequential);
+    NB.loop("j", 0, N,
+            R.nextBelow(2) ? LoopKind::Parallel : LoopKind::Sequential);
+    NB.stmt();
+    unsigned NumAcc = 1 + R.nextBelow(3);
+    for (unsigned A = 0; A != NumAcc; ++A) {
+      static const Matrix Shapes[] = {
+          Matrix({{1, 0}, {0, 1}}),
+          Matrix({{0, 1}, {1, 0}}),
+          Matrix({{1, 0}, {0, -1}}),
+          Matrix({{1, 1}, {0, 1}}),
+          Matrix({{-1, 0}, {0, 1}}),
+      };
+      Matrix F = Shapes[R.nextBelow(5)];
+      SymVector KV(2);
+      KV[0] = SymAffine(R.nextInRange(0, 2));
+      KV[1] = SymAffine(R.nextInRange(0, 2));
+      std::string Name = "A" + std::to_string(R.nextBelow(NumArrays));
+      if (A == 0)
+        NB.write(Name, F, KV);
+      else
+        NB.read(Name, F, KV);
+    }
+  }
+  return B.build();
+}
+
+} // namespace
+
+class OrientationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OrientationPropertyTest, TheoremFourOneHoldsEverywhere) {
+  Rng R(GetParam());
+  for (unsigned Trial = 0; Trial != 30; ++Trial) {
+    Program P = makeRandomProgram(R, 2 + R.nextBelow(3), 2);
+    InterferenceGraph IG(P, P.nestsInOrder());
+    PartitionResult Parts = solvePartitions(IG);
+    OrientationResult O = solveOrientations(IG, Parts);
+    for (const InterferenceEdge &E : IG.edges())
+      for (const AffineAccessMap &M : E.Accesses)
+        EXPECT_EQ(O.D.at(E.ArrayId) * M.linear(), O.C.at(E.NestId))
+            << "trial " << Trial << " array " << E.ArrayId << " nest "
+            << E.NestId;
+  }
+}
+
+TEST_P(OrientationPropertyTest, KernelsAreExactlyThePartitions) {
+  Rng R(GetParam() * 17 + 5);
+  for (unsigned Trial = 0; Trial != 30; ++Trial) {
+    Program P = makeRandomProgram(R, 2 + R.nextBelow(3), 2);
+    InterferenceGraph IG(P, P.nestsInOrder());
+    PartitionResult Parts = solvePartitions(IG);
+    OrientationResult O = solveOrientations(IG, Parts);
+    for (unsigned A : IG.arrays())
+      EXPECT_EQ(VectorSpace::kernelOf(O.D.at(A)), Parts.DataKernel.at(A))
+          << "array " << A;
+    for (unsigned N : IG.nests())
+      EXPECT_EQ(VectorSpace::kernelOf(O.C.at(N)), Parts.CompKernel.at(N))
+          << "nest " << N;
+  }
+}
+
+TEST_P(OrientationPropertyTest, MatricesAreIntegral) {
+  Rng R(GetParam() * 31 + 11);
+  for (unsigned Trial = 0; Trial != 30; ++Trial) {
+    Program P = makeRandomProgram(R, 2 + R.nextBelow(3), 2);
+    InterferenceGraph IG(P, P.nestsInOrder());
+    PartitionResult Parts = solvePartitions(IG);
+    OrientationResult O = solveOrientations(IG, Parts);
+    for (const auto &[Id, D] : O.D)
+      EXPECT_TRUE(D.isIntegral()) << D.str();
+    for (const auto &[Id, C] : O.C)
+      EXPECT_TRUE(C.isIntegral()) << C.str();
+  }
+}
+
+TEST_P(OrientationPropertyTest, DisplacementResidualsAreConsistent) {
+  // Eqn. 2 holds exactly except at recorded conflicts, and a conflict's
+  // offset is exactly the Eqn. 2 residual.
+  Rng R(GetParam() * 41 + 3);
+  for (unsigned Trial = 0; Trial != 30; ++Trial) {
+    Program P = makeRandomProgram(R, 2 + R.nextBelow(3), 2);
+    InterferenceGraph IG(P, P.nestsInOrder());
+    PartitionResult Parts = solvePartitions(IG);
+    OrientationResult O = solveOrientations(IG, Parts);
+    DisplacementResult Disp = solveDisplacements(IG, O);
+    unsigned ResidualCount = 0;
+    for (const InterferenceEdge &E : IG.edges())
+      for (const AffineAccessMap &M : E.Accesses) {
+        SymVector Lhs =
+            O.D.at(E.ArrayId) * M.constant() + Disp.Delta.at(E.ArrayId);
+        if (Lhs != Disp.Gamma.at(E.NestId))
+          ++ResidualCount;
+      }
+    EXPECT_EQ(ResidualCount, Disp.Conflicts.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrientationPropertyTest,
+                         ::testing::Values(301u, 302u, 303u));

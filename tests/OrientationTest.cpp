@@ -1,0 +1,226 @@
+//===- tests/OrientationTest.cpp - Orientation/displacement tests ----------===//
+
+#include "core/DisplacementSolver.h"
+#include "core/OrientationSolver.h"
+
+#include "frontend/Lowering.h"
+#include "transform/Unimodular.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+namespace {
+
+Program compile(const std::string &Src, bool LocalPhase = true) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(Src, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  if (!P)
+    reportFatalError("test program failed to compile:\n" + Diags.str());
+  if (LocalPhase)
+    runLocalPhase(*P);
+  return std::move(*P);
+}
+
+const char *Fig1Src = R"(
+program fig1;
+param N = 8;
+array X[N + 1, N + 1], Y[N + 1, N + 1];
+array Z[N + 2, N + 2];
+for i1 = 0 to N {
+  for i2 = 0 to N {
+    Y[i1, N - i2] += X[i1, i2];
+  }
+}
+for i1 = 1 to N {
+  for i2 = 1 to N {
+    Z[i1, i2] = Z[i1, i2 - 1] + Y[i2, i1 - 1];
+  }
+}
+)";
+
+/// The fundamental consistency law of Theorem 4.1 at the matrix level:
+/// D_x F_xj == C_j for every access of every edge.
+void expectOrientationConsistent(const InterferenceGraph &IG,
+                                 const OrientationResult &O) {
+  for (const InterferenceEdge &E : IG.edges())
+    for (const AffineAccessMap &M : E.Accesses)
+      EXPECT_EQ(O.D.at(E.ArrayId) * M.linear(), O.C.at(E.NestId))
+          << "array " << E.ArrayId << " nest " << E.NestId;
+}
+
+} // namespace
+
+TEST(OrientationTest, Figure1Matrices) {
+  Program P = compile(Fig1Src);
+  InterferenceGraph IG(P, {0, 1});
+  PartitionResult Parts = solvePartitions(IG);
+  OrientationResult O = solveOrientations(IG, Parts);
+
+  unsigned X = P.arrayId("X"), Y = P.arrayId("Y"), Z = P.arrayId("Z");
+  ASSERT_EQ(O.VirtualDims, 1u);
+  // Figure 1(b): DX = [0 1], DY = [0 -1], DZ = [-1 0], C1 = [0 1],
+  // C2 = [-1 0] (up to a global sign; the paper itself notes the
+  // alternative orientation with all signs flipped is equivalent).
+  Matrix DX = O.D.at(X);
+  Rational Sign = DX.at(0, 1);
+  ASSERT_TRUE(Sign == Rational(1) || Sign == Rational(-1)) << DX.str();
+  auto Flip = [&](Matrix M) { return Sign == Rational(1) ? M : M.scaled(Rational(-1)); };
+  EXPECT_EQ(Flip(O.D.at(X)), Matrix({{0, 1}}));
+  EXPECT_EQ(Flip(O.D.at(Y)), Matrix({{0, -1}}));
+  EXPECT_EQ(Flip(O.D.at(Z)), Matrix({{-1, 0}}));
+  EXPECT_EQ(Flip(O.C.at(0)), Matrix({{0, 1}}));
+  EXPECT_EQ(Flip(O.C.at(1)), Matrix({{-1, 0}}));
+  expectOrientationConsistent(IG, O);
+}
+
+TEST(OrientationTest, KernelsMatchPartitions) {
+  // Lemma 4.3: the produced matrices have exactly the partition kernels.
+  Program P = compile(Fig1Src);
+  InterferenceGraph IG(P, {0, 1});
+  PartitionResult Parts = solvePartitions(IG);
+  OrientationResult O = solveOrientations(IG, Parts);
+  for (unsigned A : IG.arrays())
+    EXPECT_EQ(VectorSpace::kernelOf(O.D.at(A)), Parts.DataKernel.at(A));
+  for (unsigned N : IG.nests())
+    EXPECT_EQ(VectorSpace::kernelOf(O.C.at(N)), Parts.CompKernel.at(N));
+}
+
+TEST(OrientationTest, IntegerMatrices) {
+  Program P = compile(Fig1Src);
+  InterferenceGraph IG(P, {0, 1});
+  PartitionResult Parts = solvePartitions(IG);
+  OrientationResult O = solveOrientations(IG, Parts);
+  for (const auto &[Id, D] : O.D)
+    EXPECT_TRUE(D.isIntegral()) << D.str();
+  for (const auto &[Id, C] : O.C)
+    EXPECT_TRUE(C.isIntegral()) << C.str();
+}
+
+TEST(OrientationTest, DiagonalCycleOrientation) {
+  Program P = compile(R"(
+program cycle;
+param N = 8;
+array X[N + 1, N + 1], Y[N + 1, N + 1];
+forall i1 = 0 to N {
+  forall i2 = 0 to N {
+    X[i1, i2] += Y[i1, i2];
+  }
+}
+forall i1 = 0 to N {
+  forall i2 = 0 to N {
+    Y[i2, i1] = X[i1, i2];
+  }
+}
+)",
+                      /*LocalPhase=*/false);
+  InterferenceGraph IG(P, {0, 1});
+  PartitionResult Parts = solvePartitions(IG);
+  OrientationResult O = solveOrientations(IG, Parts);
+  expectOrientationConsistent(IG, O);
+  // D_X annihilates the diagonal direction (1,-1): rows sum to... D(1,-1)=0.
+  unsigned X = P.arrayId("X");
+  EXPECT_TRUE((O.D.at(X) * Vector({1, -1})).isZero());
+}
+
+TEST(OrientationTest, PreferredRootHonored) {
+  Program P = compile(Fig1Src);
+  InterferenceGraph IG(P, {0, 1});
+  PartitionResult Parts = solvePartitions(IG);
+  OrientationOptions Opts;
+  unsigned Y = P.arrayId("Y");
+  Opts.PreferredD[Y] = Matrix({{0, -1}}); // Kernel span{(1,0)}: legal.
+  OrientationResult O = solveOrientations(IG, Parts, Opts);
+  EXPECT_EQ(O.D.at(Y), Matrix({{0, -1}}));
+  expectOrientationConsistent(IG, O);
+}
+
+TEST(OrientationTest, IllegalPreferenceIgnored) {
+  Program P = compile(Fig1Src);
+  InterferenceGraph IG(P, {0, 1});
+  PartitionResult Parts = solvePartitions(IG);
+  OrientationOptions Opts;
+  // Wrong kernel: ker [1 0] = span{(0,1)} != span{(1,0)}.
+  Opts.PreferredD[P.arrayId("Y")] = Matrix({{1, 0}});
+  OrientationResult O = solveOrientations(IG, Parts, Opts);
+  EXPECT_NE(O.D.at(P.arrayId("Y")), Matrix({{1, 0}}));
+  expectOrientationConsistent(IG, O);
+}
+
+//===----------------------------------------------------------------------===//
+// Displacements (Sec. 4.5)
+//===----------------------------------------------------------------------===//
+
+TEST(DisplacementTest, Figure1Displacements) {
+  Program P = compile(Fig1Src);
+  InterferenceGraph IG(P, {0, 1});
+  PartitionResult Parts = solvePartitions(IG);
+  OrientationResult O = solveOrientations(IG, Parts);
+  DisplacementResult Disp = solveDisplacements(IG, O);
+
+  // Figure 1(c) has a communication-free displacement assignment, so the
+  // greedy solver must find one with no residual conflicts.
+  EXPECT_TRUE(Disp.Conflicts.empty());
+
+  // Displacements are relative; check the differences of Figure 1(c)
+  // under the solved orientation's sign: delta_Y - delta_X = s*N,
+  // delta_Z - delta_Y = s*1, gamma_2 - delta_Z = s*0, gamma_1 = delta_X.
+  unsigned X = P.arrayId("X"), Y = P.arrayId("Y"), Z = P.arrayId("Z");
+  Rational S = O.D.at(X).at(0, 1); // +-1.
+  SymAffine N = SymAffine::symbol("N");
+  EXPECT_EQ(Disp.Delta.at(Y)[0] - Disp.Delta.at(X)[0], N.scaled(S));
+  EXPECT_EQ(Disp.Delta.at(Z)[0] - Disp.Delta.at(Y)[0], SymAffine(1).scaled(S));
+  EXPECT_EQ(Disp.Gamma.at(0)[0], Disp.Delta.at(X)[0]);
+  EXPECT_EQ(Disp.Gamma.at(1)[0], Disp.Delta.at(Z)[0]);
+}
+
+TEST(DisplacementTest, Eqn2HoldsForAllAccesses) {
+  Program P = compile(Fig1Src);
+  InterferenceGraph IG(P, {0, 1});
+  PartitionResult Parts = solvePartitions(IG);
+  OrientationResult O = solveOrientations(IG, Parts);
+  DisplacementResult Disp = solveDisplacements(IG, O);
+  // D_x k_xj + delta_x == gamma_j for every access (Eqn. 2 with the
+  // linear parts already matched by the orientation).
+  for (const InterferenceEdge &E : IG.edges())
+    for (const AffineAccessMap &M : E.Accesses) {
+      SymVector Lhs =
+          O.D.at(E.ArrayId) * M.constant() + Disp.Delta.at(E.ArrayId);
+      EXPECT_EQ(Lhs, Disp.Gamma.at(E.NestId));
+    }
+}
+
+TEST(DisplacementTest, ConflictDetected) {
+  // X[i] and X[i-1] both read where only one offset can be satisfied:
+  // forces a displacement conflict (cheap nearest-neighbor shift).
+  Program P = compile(R"(
+program shift;
+param N = 16;
+array A[N + 2], B[N + 2];
+forall i = 1 to N {
+  B[i] = A[i] + A[i - 1];
+}
+)",
+                      /*LocalPhase=*/false);
+  InterferenceGraph IG(P, {0});
+  PartitionResult Parts = solvePartitions(IG);
+  OrientationResult O = solveOrientations(IG, Parts);
+  DisplacementResult Disp = solveDisplacements(IG, O);
+  ASSERT_EQ(Disp.Conflicts.size(), 1u);
+  // The residual offset has magnitude 1 (nearest neighbor).
+  const SymAffine &Off = Disp.Conflicts[0].Offset[0];
+  EXPECT_TRUE(Off == SymAffine(1) || Off == SymAffine(-1)) << Off.str();
+}
+
+TEST(DisplacementTest, SymbolicDisplacementsEvaluate) {
+  Program P = compile(Fig1Src);
+  InterferenceGraph IG(P, {0, 1});
+  PartitionResult Parts = solvePartitions(IG);
+  OrientationResult O = solveOrientations(IG, Parts);
+  DisplacementResult Disp = solveDisplacements(IG, O);
+  // With N bound, all displacements evaluate to integers.
+  for (const auto &[Id, Delta] : Disp.Delta)
+    for (unsigned I = 0; I != Delta.size(); ++I)
+      EXPECT_TRUE(Delta[I].evaluate(P.SymbolBindings).isInteger());
+}

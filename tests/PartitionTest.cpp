@@ -1,0 +1,335 @@
+//===- tests/PartitionTest.cpp - Partition algorithm tests (Sec. 4/5) ------===//
+
+#include "core/PartitionSolver.h"
+
+#include "frontend/Lowering.h"
+#include "transform/Unimodular.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+namespace {
+
+Program compile(const std::string &Src, bool LocalPhase = true) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(Src, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  if (!P)
+    reportFatalError("test program failed to compile:\n" + Diags.str());
+  if (LocalPhase)
+    runLocalPhase(*P);
+  return std::move(*P);
+}
+
+const char *Fig1Src = R"(
+program fig1;
+param N = 8;
+array X[N + 1, N + 1], Y[N + 1, N + 1];
+array Z[N + 2, N + 2];
+for i1 = 0 to N {
+  for i2 = 0 to N {
+    Y[i1, N - i2] += X[i1, i2];
+  }
+}
+for i1 = 1 to N {
+  for i2 = 1 to N {
+    Z[i1, i2] = Z[i1, i2 - 1] + Y[i2, i1 - 1];
+  }
+}
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The running example (Figure 1)
+//===----------------------------------------------------------------------===//
+
+TEST(PartitionTest, Figure1Partitions) {
+  Program P = compile(Fig1Src);
+  InterferenceGraph IG(P, {0, 1});
+  PartitionResult R = solvePartitions(IG);
+
+  unsigned X = P.arrayId("X"), Y = P.arrayId("Y"), Z = P.arrayId("Z");
+  // Figure 1(a): ker D_X = ker D_Y = span{(1,0)}; ker D_Z = span{(0,1)};
+  // ker C_1 = span{(1,0)}; ker C_2 = span{(0,1)}.
+  EXPECT_EQ(R.DataKernel[X], VectorSpace::span(2, {Vector({1, 0})}));
+  EXPECT_EQ(R.DataKernel[Y], VectorSpace::span(2, {Vector({1, 0})}));
+  EXPECT_EQ(R.DataKernel[Z], VectorSpace::span(2, {Vector({0, 1})}));
+  EXPECT_EQ(R.CompKernel[0], VectorSpace::span(2, {Vector({1, 0})}));
+  EXPECT_EQ(R.CompKernel[1], VectorSpace::span(2, {Vector({0, 1})}));
+  // One degree of parallelism everywhere; one virtual processor dim.
+  EXPECT_EQ(R.parallelism(0), 1u);
+  EXPECT_EQ(R.parallelism(1), 1u);
+  EXPECT_EQ(R.virtualDims(IG), 1u);
+}
+
+TEST(PartitionTest, Figure1IsSingleComponent) {
+  Program P = compile(Fig1Src);
+  InterferenceGraph IG(P, {0, 1});
+  auto Comps = IG.connectedComponents();
+  ASSERT_EQ(Comps.size(), 1u);
+  EXPECT_EQ(Comps[0].Nests.size(), 2u);
+  EXPECT_EQ(Comps[0].Arrays.size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// The multiple-array (cycle) constraint of Sec. 4.2
+//===----------------------------------------------------------------------===//
+
+TEST(PartitionTest, TransposeCycleForcesDiagonalPartition) {
+  Program P = compile(R"(
+program cycle;
+param N = 8;
+array X[N + 1, N + 1], Y[N + 1, N + 1];
+forall i1 = 0 to N {
+  forall i2 = 0 to N {
+    X[i1, i2] += Y[i1, i2];
+  }
+}
+forall i1 = 0 to N {
+  forall i2 = 0 to N {
+    Y[i2, i1] = X[i1, i2];
+  }
+}
+)",
+                      /*LocalPhase=*/false);
+  InterferenceGraph IG(P, {0, 1});
+  PartitionResult R = solvePartitions(IG);
+  unsigned X = P.arrayId("X"), Y = P.arrayId("Y");
+  // Sec. 4.2: ker D_X and ker D_Y must contain the direction (1, -1):
+  // elements along the diagonal share a processor.
+  EXPECT_TRUE(R.DataKernel[X].contains(Vector({1, -1})));
+  EXPECT_TRUE(R.DataKernel[Y].contains(Vector({1, -1})));
+  EXPECT_EQ(R.DataKernel[X].dim(), 1u);
+  // One degree of parallelism survives (along the diagonal).
+  EXPECT_EQ(R.parallelism(0), 1u);
+  EXPECT_EQ(R.parallelism(1), 1u);
+}
+
+TEST(PartitionTest, IdenticalAccessesAddNoCycleConstraint) {
+  Program P = compile(R"(
+program nocycle;
+param N = 8;
+array X[N + 1, N + 1], Y[N + 1, N + 1];
+forall i1 = 0 to N {
+  forall i2 = 0 to N {
+    X[i1, i2] += Y[i1, i2];
+  }
+}
+forall i1 = 0 to N {
+  forall i2 = 0 to N {
+    Y[i1, i2] = X[i1, i2];
+  }
+}
+)",
+                      /*LocalPhase=*/false);
+  InterferenceGraph IG(P, {0, 1});
+  PartitionResult R = solvePartitions(IG);
+  // All access functions equal: fully parallel, trivial kernels.
+  EXPECT_TRUE(R.DataKernel[P.arrayId("X")].isTrivial());
+  EXPECT_EQ(R.parallelism(0), 2u);
+  EXPECT_EQ(R.parallelism(1), 2u);
+  EXPECT_EQ(R.virtualDims(IG), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Trading parallelism for locality
+//===----------------------------------------------------------------------===//
+
+TEST(PartitionTest, SequentialLoopSerializesOtherNest) {
+  // The paper's core trade-off: nest 2's sequential i2 loop forces nest
+  // 1's (dependence-free) i1 loop to run sequentially too.
+  Program P = compile(Fig1Src);
+  InterferenceGraph IG(P, {0, 1});
+  PartitionResult R = solvePartitions(IG);
+  // Nest 0 has no dependences at all, yet its partition is nontrivial.
+  EXPECT_EQ(R.CompKernel[0].dim(), 1u);
+}
+
+TEST(PartitionTest, SeedsAreRespected) {
+  Program P = compile(Fig1Src);
+  InterferenceGraph IG(P, {0, 1});
+  PartitionOptions Opts;
+  Opts.SeedComp[0] = VectorSpace::full(2); // Force nest 0 sequential.
+  PartitionResult R = solvePartitions(IG, Opts);
+  EXPECT_EQ(R.parallelism(0), 0u);
+  // Everything the nest touches collapses too.
+  EXPECT_TRUE(
+      R.DataKernel[P.arrayId("X")].isFull());
+}
+
+TEST(PartitionTest, TrivialSolutionWhenEverythingConflicts) {
+  // Row access in one nest, column access in the other, both sequential
+  // inner loops: only the fully sequential solution remains.
+  Program P = compile(R"(
+program conflict;
+param N = 8;
+array X[N + 1, N + 1];
+forall i1 = 0 to N {
+  for i2 = 1 to N {
+    X[i1, i2] = f1(X[i1, i2], X[i1, i2 - 1]);
+  }
+}
+forall i1 = 0 to N {
+  for i2 = 1 to N {
+    X[i2, i1] = f2(X[i2, i1], X[i2 - 1, i1]);
+  }
+}
+)",
+                      /*LocalPhase=*/false);
+  InterferenceGraph IG(P, {0, 1});
+  PartitionResult R = solvePartitions(IG);
+  EXPECT_EQ(R.totalParallelism(), 0u);
+  EXPECT_TRUE(R.CompKernel[0].isFull());
+  EXPECT_TRUE(R.DataKernel[P.arrayId("X")].isFull());
+}
+
+//===----------------------------------------------------------------------===//
+// Blocked partitions (Sec. 5): the ADI example
+//===----------------------------------------------------------------------===//
+
+TEST(PartitionTest, AdiBlockedPartitions) {
+  Program P = compile(R"(
+program adi;
+param N = 8;
+array X[N + 1, N + 1];
+forall i1 = 0 to N {
+  for i2 = 1 to N {
+    X[i1, i2] = f1(X[i1, i2], X[i1, i2 - 1]);
+  }
+}
+forall i2 = 0 to N {
+  for i1 = 1 to N {
+    X[i1, i2] = f2(X[i1, i2], X[i1 - 1, i2]);
+  }
+}
+)");
+  // Local phase: each nest is one fully permutable band of size 2.
+  ASSERT_EQ(P.nest(0).PermutableBands, std::vector<unsigned>{2});
+  ASSERT_EQ(P.nest(1).PermutableBands, std::vector<unsigned>{2});
+
+  InterferenceGraph IG(P, {0, 1});
+  // Forall-only: no parallelism without reorganization (Sec. 5 opening).
+  PartitionResult Plain = solvePartitions(IG);
+  EXPECT_EQ(Plain.totalParallelism(), 0u);
+
+  // Blocked: everything tiles; kernels empty, localized spaces full.
+  PartitionResult B = solvePartitionsWithBlocks(IG);
+  EXPECT_TRUE(B.Blocked);
+  EXPECT_TRUE(B.CompKernel[0].isTrivial());
+  EXPECT_TRUE(B.CompKernel[1].isTrivial());
+  EXPECT_TRUE(B.CompLocalized[0].isFull());
+  EXPECT_TRUE(B.CompLocalized[1].isFull());
+  unsigned X = P.arrayId("X");
+  EXPECT_TRUE(B.DataKernel[X].isTrivial());
+  EXPECT_TRUE(B.DataLocalized[X].isFull());
+}
+
+TEST(PartitionTest, BlockedPassSkippedWhenForallSuffices) {
+  Program P = compile(Fig1Src);
+  InterferenceGraph IG(P, {0, 1});
+  PartitionResult R = solvePartitionsWithBlocks(IG);
+  // Figure 1 has a communication-free forall solution: no blocking.
+  EXPECT_FALSE(R.Blocked);
+  EXPECT_EQ(R.CompLocalized[0], R.CompKernel[0]);
+}
+
+TEST(PartitionTest, StencilWavefrontBlocks) {
+  Program P = compile(R"(
+program stencil;
+param N = 16;
+array X[N + 1, N + 1];
+for i1 = 1 to N - 1 {
+  for i2 = 1 to N - 1 {
+    X[i1, i2] = f(X[i1, i2], X[i1 - 1, i2] + X[i1 + 1, i2]
+                 + X[i1, i2 - 1] + X[i1, i2 + 1]);
+  }
+}
+)");
+  InterferenceGraph IG(P, {0});
+  PartitionResult R = solvePartitionsWithBlocks(IG);
+  // Both loops serialize under forall-only, but the nest is fully
+  // permutable: doacross parallelism via blocking.
+  EXPECT_TRUE(R.Blocked);
+  EXPECT_TRUE(R.CompKernel[0].isTrivial());
+  EXPECT_TRUE(R.CompLocalized[0].isFull());
+}
+
+TEST(PartitionTest, NonTileableStaysSequential) {
+  // A genuinely sequential recurrence over one loop with a transpose-
+  // coupled second nest: no legal parallelism at all even with blocking
+  // when bands are degenerate.
+  Program P = compile(R"(
+program seq;
+param N = 64;
+array A[N + 2];
+for i = 1 to N {
+  A[i] = A[i - 1];
+}
+)");
+  // Band of size 1: not tileable.
+  ASSERT_EQ(P.nest(0).PermutableBands, std::vector<unsigned>{1});
+  InterferenceGraph IG(P, {0});
+  PartitionResult R = solvePartitionsWithBlocks(IG);
+  EXPECT_FALSE(R.Blocked);
+  EXPECT_EQ(R.totalParallelism(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Array sections and rank-deficient accesses
+//===----------------------------------------------------------------------===//
+
+TEST(PartitionTest, BroadcastReadSection) {
+  // B[i, j] = A[i]: A's accessed space is 1-d; the j loop must not be
+  // constrained by A.
+  Program P = compile(R"(
+program bcast;
+param N = 8;
+array A[N + 1], B[N + 1, N + 1];
+forall i = 0 to N {
+  forall j = 0 to N {
+    B[i, j] = A[i];
+  }
+}
+)",
+                      /*LocalPhase=*/false);
+  InterferenceGraph IG(P, {0});
+  PartitionResult R = solvePartitions(IG);
+  // Faithful Eqn. 6: iterations that touch the same element of A (the
+  // whole j loop) land on one processor, costing a degree of parallelism.
+  EXPECT_EQ(R.parallelism(0), 1u);
+  EXPECT_TRUE(R.CompKernel[0].contains(Vector({0, 1})));
+  // The Sec. 7.2 remedy: solving without the read-only array A restores
+  // both degrees of parallelism (A is then replicated).
+  InterferenceGraph WriteIG(P, {0}, /*IncludeReadOnly=*/false);
+  PartitionResult W = solvePartitions(WriteIG);
+  EXPECT_EQ(W.parallelism(0), 2u);
+  EXPECT_EQ(W.virtualDims(WriteIG), 2u);
+}
+
+TEST(PartitionTest, FixpointTerminatesOnLargerProgram) {
+  // A chain of 6 nests with mixed transposes; just verify convergence and
+  // sane invariants (kernels within ambient bounds).
+  Program P = compile(R"(
+program chain6;
+param N = 16;
+array A[N + 1, N + 1], B[N + 1, N + 1], C[N + 1, N + 1];
+forall i = 0 to N { forall j = 0 to N { A[i, j] = B[i, j]; } }
+forall i = 0 to N { forall j = 0 to N { B[j, i] = C[i, j]; } }
+forall i = 0 to N { forall j = 0 to N { C[i, j] = A[j, i]; } }
+forall i = 0 to N { for j = 1 to N { A[i, j] = A[i, j - 1]; } }
+forall i = 0 to N { forall j = 0 to N { B[i, j] = A[i, j]; } }
+forall i = 0 to N { forall j = 0 to N { C[j, i] = B[i, j]; } }
+)",
+                      /*LocalPhase=*/false);
+  InterferenceGraph IG(P, P.nestsInOrder());
+  PartitionResult R = solvePartitions(IG);
+  for (const auto &[Nest, K] : R.CompKernel) {
+    EXPECT_LE(K.dim(), K.ambientDim());
+    // Monotone property: the sequential loop constraint is respected.
+    if (Nest == 3) {
+      EXPECT_TRUE(K.contains(Vector({0, 1})));
+    }
+  }
+}

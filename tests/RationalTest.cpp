@@ -1,0 +1,124 @@
+//===- tests/RationalTest.cpp - Rational arithmetic tests ------------------===//
+
+#include "linalg/Rational.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational R;
+  EXPECT_TRUE(R.isZero());
+  EXPECT_EQ(R.num(), 0);
+  EXPECT_EQ(R.den(), 1);
+}
+
+TEST(RationalTest, NormalizationReducesAndFixesSign) {
+  Rational R(6, -4);
+  EXPECT_EQ(R.num(), -3);
+  EXPECT_EQ(R.den(), 2);
+  EXPECT_TRUE(R.isNegative());
+
+  Rational Z(0, -7);
+  EXPECT_TRUE(Z.isZero());
+  EXPECT_EQ(Z.den(), 1);
+}
+
+TEST(RationalTest, Addition) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) + Rational(-1, 2), Rational(0));
+  EXPECT_EQ(Rational(2, 4) + Rational(2, 4), Rational(1));
+}
+
+TEST(RationalTest, Subtraction) {
+  EXPECT_EQ(Rational(3, 4) - Rational(1, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1) - Rational(2), Rational(-1));
+}
+
+TEST(RationalTest, Multiplication) {
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, 3) * Rational(3, 2), Rational(-1));
+  EXPECT_EQ(Rational(0) * Rational(5, 7), Rational(0));
+}
+
+TEST(RationalTest, Division) {
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(Rational(-3) / Rational(6), Rational(-1, 2));
+}
+
+TEST(RationalTest, Reciprocal) {
+  EXPECT_EQ(Rational(3, 5).reciprocal(), Rational(5, 3));
+  EXPECT_EQ(Rational(-2).reciprocal(), Rational(-1, 2));
+}
+
+TEST(RationalTest, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GE(Rational(7), Rational(13, 2));
+  EXPECT_GT(Rational(0), Rational(-1, 1000000));
+}
+
+TEST(RationalTest, IntegerPredicates) {
+  EXPECT_TRUE(Rational(4, 2).isInteger());
+  EXPECT_EQ(Rational(4, 2).asInteger(), 2);
+  EXPECT_FALSE(Rational(1, 2).isInteger());
+  EXPECT_TRUE(Rational(1).isOne());
+}
+
+TEST(RationalTest, AbsoluteValue) {
+  EXPECT_EQ(Rational(-3, 7).abs(), Rational(3, 7));
+  EXPECT_EQ(Rational(3, 7).abs(), Rational(3, 7));
+}
+
+TEST(RationalTest, Printing) {
+  EXPECT_EQ(Rational(5).str(), "5");
+  EXPECT_EQ(Rational(-1, 3).str(), "-1/3");
+  EXPECT_EQ(Rational(0).str(), "0");
+}
+
+TEST(RationalTest, GcdLcm) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(0, 3), 0);
+  EXPECT_EQ(lcm64(-4, 6), 12);
+}
+
+TEST(RationalTest, LargeIntermediatesReduceCleanly) {
+  // (a/b) * (b/a) must be 1 even when a*b would overflow without
+  // cross-reduction.
+  int64_t Big = 3037000499; // ~sqrt(INT64_MAX)
+  Rational A(Big, 7);
+  EXPECT_EQ(A * A.reciprocal(), Rational(1));
+}
+
+// Field axioms on pseudo-random small rationals.
+class RationalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RationalPropertyTest, FieldAxioms) {
+  Rng R(GetParam());
+  auto Rand = [&]() {
+    return Rational(R.nextInRange(-50, 50), R.nextInRange(1, 20));
+  };
+  for (int Iter = 0; Iter != 100; ++Iter) {
+    Rational A = Rand(), B = Rand(), C = Rand();
+    EXPECT_EQ(A + B, B + A);
+    EXPECT_EQ((A + B) + C, A + (B + C));
+    EXPECT_EQ(A * B, B * A);
+    EXPECT_EQ((A * B) * C, A * (B * C));
+    EXPECT_EQ(A * (B + C), A * B + A * C);
+    EXPECT_EQ(A + (-A), Rational(0));
+    if (!A.isZero()) {
+      EXPECT_EQ(A * A.reciprocal(), Rational(1));
+    }
+    EXPECT_EQ(A - B, A + (-B));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 42u));

@@ -1,0 +1,174 @@
+//===- tests/ReachingTest.cpp - Reaching decompositions tests --------------===//
+
+#include "analysis/Reaching.h"
+
+#include "frontend/Lowering.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+namespace {
+
+Program compile(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(Src, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  if (!P)
+    reportFatalError("test program failed to compile:\n" + Diags.str());
+  return std::move(*P);
+}
+
+double edgeFreq(const std::vector<ArrayFlowEdge> &Edges,
+                const Program &P, const std::string &Array, unsigned From,
+                unsigned To) {
+  unsigned Id = P.arrayId(Array);
+  for (const ArrayFlowEdge &E : Edges)
+    if (E.ArrayId == Id && E.FromNest == From && E.ToNest == To)
+      return E.Frequency;
+  return 0.0;
+}
+
+} // namespace
+
+TEST(ReachingTest, StraightLineChain) {
+  Program P = compile(R"(
+program chain;
+param N = 8;
+array A[N + 1];
+forall i = 0 to N { A[i] = A[i]; }
+forall j = 0 to N { A[j] = A[j]; }
+forall k = 0 to N { A[k] = A[k]; }
+)");
+  std::vector<ArrayFlowEdge> Edges = computeArrayFlowEdges(P);
+  EXPECT_DOUBLE_EQ(edgeFreq(Edges, P, "A", 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(edgeFreq(Edges, P, "A", 1, 2), 1.0);
+  // The middle nest kills nest 0's decomposition.
+  EXPECT_DOUBLE_EQ(edgeFreq(Edges, P, "A", 0, 2), 0.0);
+}
+
+TEST(ReachingTest, DisjointArraysNoEdges) {
+  Program P = compile(R"(
+program disjoint;
+param N = 8;
+array A[N + 1], B[N + 1];
+forall i = 0 to N { A[i] = A[i]; }
+forall j = 0 to N { B[j] = B[j]; }
+)");
+  std::vector<ArrayFlowEdge> Edges = computeArrayFlowEdges(P);
+  EXPECT_TRUE(Edges.empty());
+}
+
+TEST(ReachingTest, BranchSplitsProbability) {
+  // The Figure 5 shape: nest 0 defines X and Y; a 75% branch touches X in
+  // the then-arm and Y in the else-arm; nest 3 reads both.
+  Program P = compile(R"(
+program fig5;
+param N = 9;
+array X[N + 1, N + 1], Y[N + 1, N + 1];
+forall i1 = 0 to N {
+  forall i2 = 0 to N {
+    X[i1, i2] = f1(X[i1, i2], Y[i1, i2]);
+    Y[i1, i2] = f2(X[i1, i2], Y[i1, i2]);
+  }
+}
+if prob(0.75) {
+  forall i1 = 0 to N {
+    for i2 = 1 to N {
+      X[i1, i2] = f3(X[i1, i2 - 1]);
+    }
+  }
+} else {
+  forall i1 = 0 to N {
+    for i2 = 1 to N {
+      Y[i2, i1] = f4(Y[i2 - 1, i1]);
+    }
+  }
+}
+forall i1 = 0 to N {
+  forall i2 = 0 to N {
+    X[i1, i2] = f5(X[i1, i2], Y[i1, i2]);
+    Y[i1, i2] = f6(X[i1, i2], Y[i1, i2]);
+  }
+}
+)");
+  ASSERT_EQ(P.Nests.size(), 4u);
+  std::vector<ArrayFlowEdge> Edges = computeArrayFlowEdges(P);
+  // X: nest0 -> nest1 with prob 0.75; nest0 -> nest3 with prob 0.25
+  // (the else path does not touch X).
+  EXPECT_DOUBLE_EQ(edgeFreq(Edges, P, "X", 0, 1), 0.75);
+  EXPECT_DOUBLE_EQ(edgeFreq(Edges, P, "X", 0, 3), 0.25);
+  EXPECT_DOUBLE_EQ(edgeFreq(Edges, P, "X", 1, 3), 0.75);
+  // Y: nest0 -> nest2 with 0.25, nest0 -> nest3 with 0.75, nest2 -> nest3
+  // with 0.25.
+  EXPECT_DOUBLE_EQ(edgeFreq(Edges, P, "Y", 0, 2), 0.25);
+  EXPECT_DOUBLE_EQ(edgeFreq(Edges, P, "Y", 0, 3), 0.75);
+  EXPECT_DOUBLE_EQ(edgeFreq(Edges, P, "Y", 2, 3), 0.25);
+  // No cross-array confusion.
+  EXPECT_DOUBLE_EQ(edgeFreq(Edges, P, "X", 0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(edgeFreq(Edges, P, "Y", 0, 1), 0.0);
+}
+
+TEST(ReachingTest, LoopBackEdge) {
+  // ADI pattern: inside "for t", the column sweep feeds the row sweep of
+  // the next iteration T-1 times.
+  Program P = compile(R"(
+program adi;
+param N = 8, T = 10;
+array X[N + 1, N + 1];
+for t = 1 to T {
+  forall i = 0 to N {
+    for j = 1 to N {
+      X[i, j] = f1(X[i, j], X[i, j - 1]);
+    }
+  }
+  forall j = 0 to N {
+    for i = 1 to N {
+      X[i, j] = f2(X[i, j], X[i - 1, j]);
+    }
+  }
+}
+)");
+  ASSERT_EQ(P.Nests.size(), 2u);
+  std::vector<ArrayFlowEdge> Edges = computeArrayFlowEdges(P);
+  // Forward edge row->col happens T times (once per iteration).
+  EXPECT_DOUBLE_EQ(edgeFreq(Edges, P, "X", 0, 1), 10.0);
+  // Back edge col->row happens T-1 times.
+  EXPECT_DOUBLE_EQ(edgeFreq(Edges, P, "X", 1, 0), 9.0);
+}
+
+TEST(ReachingTest, SelfEdgeInsideLoop) {
+  Program P = compile(R"(
+program selfloop;
+param N = 8, T = 5;
+array A[N + 1], B[N + 1];
+for t = 1 to T {
+  forall i = 0 to N { A[i] = A[i]; }
+  forall j = 0 to N { B[j] = B[j]; }
+}
+)");
+  ASSERT_EQ(P.Nests.size(), 2u);
+  std::vector<ArrayFlowEdge> Edges = computeArrayFlowEdges(P);
+  // Each nest feeds itself across iterations: self edges with freq T-1.
+  EXPECT_DOUBLE_EQ(edgeFreq(Edges, P, "A", 0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(edgeFreq(Edges, P, "B", 1, 1), 4.0);
+  // No cross edges: the arrays are disjoint.
+  EXPECT_DOUBLE_EQ(edgeFreq(Edges, P, "A", 0, 1), 0.0);
+}
+
+TEST(ReachingTest, UntouchedArrayFlowsThroughBranch) {
+  Program P = compile(R"(
+program through;
+param N = 8;
+array A[N + 1], B[N + 1];
+forall i = 0 to N { A[i] = A[i]; }
+if prob(0.5) {
+  forall j = 0 to N { B[j] = B[j]; }
+}
+forall k = 0 to N { A[k] = A[k]; }
+)");
+  std::vector<ArrayFlowEdge> Edges = computeArrayFlowEdges(P);
+  // A is untouched by the branch: full-strength edge 0 -> 2.
+  EXPECT_DOUBLE_EQ(edgeFreq(Edges, P, "A", 0, 2), 1.0);
+}
+

@@ -1,0 +1,205 @@
+//===- tests/SimulatorPropertyTest.cpp - Simulator law tests ---------------===//
+//
+// Properties the machine model must satisfy regardless of workload:
+// determinism, (near-)monotonic scaling for aligned forall work,
+// placement irrelevance on a single cluster, the interconnect bandwidth
+// cap, and conservation (compute cycles independent of the schedule).
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/NumaSimulator.h"
+
+#include "frontend/Lowering.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+namespace {
+
+Program compile(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(Src, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  if (!P)
+    reportFatalError("test program failed to compile:\n" + Diags.str());
+  return std::move(*P);
+}
+
+std::string randomElementwiseProgram(Rng &R, unsigned K) {
+  std::string Src = "program rand;\nparam N = 127;\n"
+                    "array A[N + 1, N + 1], B[N + 1, N + 1];\n";
+  for (unsigned I = 0; I != K; ++I) {
+    const char *W = I % 2 ? "B" : "A";
+    const char *Rd = I % 2 ? "A" : "B";
+    Src += std::string("forall i = 0 to N {\n  forall j = 0 to N {\n    ") +
+           W + "[i, j] = f(" + Rd + "[i, j]) @cost(" +
+           std::to_string(2 + R.nextBelow(10)) + ");\n  }\n}\n";
+  }
+  return Src;
+}
+
+NestSchedule forallRows() {
+  NestSchedule S;
+  S.ExecMode = NestSchedule::Mode::Forall;
+  S.DistLoop = 0;
+  return S;
+}
+
+} // namespace
+
+TEST(SimulatorPropertyTest, Determinism) {
+  Rng R(99);
+  Program P = compile(randomElementwiseProgram(R, 4));
+  MachineParams M;
+  NumaSimulator Sim(P, M);
+  for (unsigned A = 0; A != P.Arrays.size(); ++A)
+    Sim.setStaticPlacement(A, ArrayPlacement::blockedDim(0));
+  for (const LoopNest &Nest : P.Nests)
+    Sim.setSchedule(Nest.Id, forallRows());
+  SimResult A = Sim.run(16), B = Sim.run(16);
+  EXPECT_DOUBLE_EQ(A.Cycles, B.Cycles);
+  EXPECT_DOUBLE_EQ(A.RemoteLineFetches, B.RemoteLineFetches);
+}
+
+TEST(SimulatorPropertyTest, AlignedForallMonotoneInProcs) {
+  Rng R(7);
+  for (unsigned Trial = 0; Trial != 5; ++Trial) {
+    Program P = compile(randomElementwiseProgram(R, 2 + R.nextBelow(3)));
+    MachineParams M;
+    NumaSimulator Sim(P, M);
+    for (unsigned A = 0; A != P.Arrays.size(); ++A)
+      Sim.setStaticPlacement(A, ArrayPlacement::blockedDim(0));
+    for (const LoopNest &Nest : P.Nests)
+      Sim.setSchedule(Nest.Id, forallRows());
+    double Prev = Sim.run(1).Cycles;
+    for (unsigned Procs : {2u, 4u, 8u, 16u, 32u}) {
+      double Cur = Sim.run(Procs).Cycles;
+      EXPECT_LE(Cur, Prev * 1.01) << "procs " << Procs;
+      Prev = Cur;
+    }
+  }
+}
+
+TEST(SimulatorPropertyTest, PlacementIrrelevantOnOneCluster) {
+  // With <= ProcsPerCluster processors there is a single cluster: every
+  // placement is physically identical.
+  Rng R(13);
+  Program P = compile(randomElementwiseProgram(R, 3));
+  MachineParams M;
+  auto CyclesWith = [&](ArrayPlacement Pl) {
+    NumaSimulator Sim(P, M);
+    for (unsigned A = 0; A != P.Arrays.size(); ++A)
+      Sim.setStaticPlacement(A, Pl);
+    for (const LoopNest &Nest : P.Nests)
+      Sim.setSchedule(Nest.Id, forallRows());
+    return Sim.run(4).Cycles;
+  };
+  EXPECT_DOUBLE_EQ(CyclesWith(ArrayPlacement::blockedDim(0)),
+                   CyclesWith(ArrayPlacement::blockedDim(1)));
+}
+
+TEST(SimulatorPropertyTest, BandwidthCapBindsRemoteHeavyRuns) {
+  Program P = compile(R"(
+program remoteheavy;
+param N = 255;
+array X[N + 1, N + 1];
+forall i = 0 to N {
+  forall j = 0 to N {
+    X[i, j] = f(X[i, j]) @cost(2);
+  }
+}
+)");
+  MachineParams Fast;
+  Fast.RemoteLinesPerCycle = 1e9; // Effectively uncapped.
+  MachineParams Slow;
+  Slow.RemoteLinesPerCycle = 0.01;
+  auto CyclesUnder = [&](const MachineParams &M) {
+    NumaSimulator Sim(P, M);
+    Sim.setStaticPlacement(0, ArrayPlacement::blockedDim(1)); // Misaligned.
+    Sim.setSchedule(0, forallRows());
+    return Sim.run(32).Cycles;
+  };
+  EXPECT_GT(CyclesUnder(Slow), 2.0 * CyclesUnder(Fast));
+}
+
+TEST(SimulatorPropertyTest, ComputeCyclesScheduleInvariant) {
+  // Total compute work is conserved across schedules; only memory, sync
+  // and idle time differ.
+  Program P = compile(R"(
+program sweep;
+param N = 127;
+array X[N + 1, N + 1];
+forall i = 0 to N {
+  for j = 1 to N {
+    X[i, j] = f(X[i, j], X[i, j - 1]) @cost(12);
+  }
+}
+)");
+  MachineParams M;
+  auto ComputeOf = [&](NestSchedule S) {
+    NumaSimulator Sim(P, M);
+    Sim.setStaticPlacement(0, ArrayPlacement::blockedDim(0));
+    Sim.setSchedule(0, S);
+    return Sim.run(16).ComputeCycles;
+  };
+  NestSchedule Seq; // Sequential.
+  NestSchedule Par = forallRows();
+  NestSchedule Pipe;
+  Pipe.ExecMode = NestSchedule::Mode::Pipelined;
+  Pipe.DistLoop = 0;
+  Pipe.PipeLoop = 1;
+  double A = ComputeOf(Seq), B = ComputeOf(Par), C = ComputeOf(Pipe);
+  EXPECT_DOUBLE_EQ(A, B);
+  EXPECT_DOUBLE_EQ(A, C);
+}
+
+TEST(SimulatorPropertyTest, SequentialBaselineAtMostParallelAtOneProc) {
+  // run(1) forces sequential execution; with all-local data it must cost
+  // exactly the sequential baseline.
+  Rng R(31);
+  Program P = compile(randomElementwiseProgram(R, 3));
+  MachineParams M;
+  NumaSimulator Sim(P, M);
+  for (unsigned A = 0; A != P.Arrays.size(); ++A)
+    Sim.setStaticPlacement(A, ArrayPlacement::blockedDim(0));
+  for (const LoopNest &Nest : P.Nests)
+    Sim.setSchedule(Nest.Id, forallRows());
+  // One active processor => one cluster => all accesses local.
+  EXPECT_DOUBLE_EQ(Sim.run(1).Cycles, Sim.sequentialCycles());
+}
+
+TEST(SimulatorPropertyTest, MessagePassingPenalizesFineGrainRemote) {
+  // On a multicomputer, fine-grained remote reads pay the per-message
+  // overhead; bulk (pipelined) boundary traffic amortizes it.
+  Program P = compile(R"(
+program mp;
+param N = 127;
+array X[N + 1, N + 1];
+forall i = 0 to N {
+  forall j = 0 to N {
+    X[i, j] = f(X[i, j]) @cost(4);
+  }
+}
+)");
+  MachineParams Shared;
+  MachineParams Msg = Shared;
+  Msg.MessagePassing = true;
+  auto Cycles = [&](const MachineParams &M) {
+    NumaSimulator Sim(P, M);
+    Sim.setStaticPlacement(0, ArrayPlacement::blockedDim(1)); // Misaligned.
+    Sim.setSchedule(0, forallRows());
+    return Sim.run(32).Cycles;
+  };
+  // Same workload, same misalignment: the multicomputer pays much more.
+  EXPECT_GT(Cycles(Msg), 5.0 * Cycles(Shared));
+  // Aligned data: identical on both machines (no remote traffic at all).
+  auto AlignedCycles = [&](const MachineParams &M) {
+    NumaSimulator Sim(P, M);
+    Sim.setStaticPlacement(0, ArrayPlacement::blockedDim(0));
+    Sim.setSchedule(0, forallRows());
+    return Sim.run(32).Cycles;
+  };
+  EXPECT_DOUBLE_EQ(AlignedCycles(Msg), AlignedCycles(Shared));
+}

@@ -1,0 +1,107 @@
+//===- tests/SymAffineTest.cpp - Symbolic affine expression tests ----------===//
+
+#include "linalg/SymAffine.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+TEST(SymAffineTest, Constants) {
+  SymAffine A(5);
+  EXPECT_TRUE(A.isConstant());
+  EXPECT_EQ(A.constant(), Rational(5));
+  EXPECT_FALSE(A.isZero());
+  EXPECT_TRUE(SymAffine().isZero());
+}
+
+TEST(SymAffineTest, SymbolConstruction) {
+  SymAffine N = SymAffine::symbol("N");
+  EXPECT_FALSE(N.isConstant());
+  EXPECT_EQ(N.coeff("N"), Rational(1));
+  EXPECT_EQ(N.coeff("M"), Rational(0));
+}
+
+TEST(SymAffineTest, Arithmetic) {
+  SymAffine N = SymAffine::symbol("N");
+  SymAffine E = N + SymAffine(1); // N + 1.
+  EXPECT_EQ(E.constant(), Rational(1));
+  EXPECT_EQ(E.coeff("N"), Rational(1));
+
+  SymAffine Z = E - E;
+  EXPECT_TRUE(Z.isZero());
+
+  SymAffine TwoN = N + N;
+  EXPECT_EQ(TwoN.coeff("N"), Rational(2));
+
+  SymAffine Neg = -E;
+  EXPECT_EQ(Neg.constant(), Rational(-1));
+  EXPECT_EQ(Neg.coeff("N"), Rational(-1));
+}
+
+TEST(SymAffineTest, ScalingByZeroClearsSymbols) {
+  SymAffine N = SymAffine::symbol("N") + SymAffine(3);
+  SymAffine Z = N.scaled(Rational(0));
+  EXPECT_TRUE(Z.isZero());
+}
+
+TEST(SymAffineTest, CancellationPrunes) {
+  SymAffine A = SymAffine::symbol("N") + SymAffine::symbol("M");
+  SymAffine B = A - SymAffine::symbol("M");
+  EXPECT_EQ(B.coeff("M"), Rational(0));
+  EXPECT_EQ(B, SymAffine::symbol("N"));
+}
+
+TEST(SymAffineTest, Evaluate) {
+  SymAffine E = SymAffine::symbol("N", Rational(2)) + SymAffine(1);
+  EXPECT_EQ(E.evaluate({{"N", Rational(10)}}), Rational(21));
+}
+
+TEST(SymAffineTest, Printing) {
+  EXPECT_EQ(SymAffine(0).str(), "0");
+  EXPECT_EQ(SymAffine(7).str(), "7");
+  EXPECT_EQ(SymAffine::symbol("N").str(), "N");
+  EXPECT_EQ((SymAffine::symbol("N") + SymAffine(1)).str(), "N + 1");
+  EXPECT_EQ((SymAffine::symbol("N") - SymAffine(2)).str(), "N - 2");
+  EXPECT_EQ((-SymAffine::symbol("N")).str(), "-N");
+  EXPECT_EQ(SymAffine::symbol("N", Rational(2)).str(), "2*N");
+  EXPECT_EQ(SymAffine::symbol("N", Rational(1, 4)).str(), "1/4*N");
+  EXPECT_EQ(
+      (SymAffine::symbol("M") - SymAffine::symbol("N") + SymAffine(3)).str(),
+      "M - N + 3");
+}
+
+TEST(SymVectorTest, BasicOps) {
+  SymVector V = {SymAffine::symbol("N"), SymAffine(1)};
+  SymVector W = {SymAffine(2), SymAffine::symbol("N")};
+  SymVector S = V + W;
+  EXPECT_EQ(S[0], SymAffine::symbol("N") + SymAffine(2));
+  EXPECT_EQ(S[1], SymAffine::symbol("N") + SymAffine(1));
+  EXPECT_TRUE((V - V).isZero());
+}
+
+TEST(SymVectorTest, FromVector) {
+  SymVector V = SymVector::fromVector(Vector({3, -1}));
+  EXPECT_EQ(V[0], SymAffine(3));
+  EXPECT_EQ(V[1], SymAffine(-1));
+}
+
+TEST(SymVectorTest, MatrixProduct) {
+  // Figure 1 displacement algebra: gamma_2 = D_Z * k + delta_Z where the
+  // offsets are symbolic in N.
+  Matrix DZ = {{-1, 0}};
+  SymVector K = {SymAffine(0), SymAffine(-1)};
+  SymVector R = DZ * K;
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0], SymAffine(0));
+
+  Matrix Swap = {{0, 1}, {1, 0}};
+  SymVector V = {SymAffine::symbol("N"), SymAffine(1)};
+  SymVector S = Swap * V;
+  EXPECT_EQ(S[0], SymAffine(1));
+  EXPECT_EQ(S[1], SymAffine::symbol("N"));
+}
+
+TEST(SymVectorTest, Printing) {
+  SymVector V = {SymAffine::symbol("N") + SymAffine(1), SymAffine(0)};
+  EXPECT_EQ(V.str(), "(N + 1, 0)");
+}

@@ -1,0 +1,72 @@
+//===- tests/TestDataTest.cpp - Sample program compilation sweep -----------===//
+//
+// Compiles every .alp file shipped under testdata/ and runs the full
+// decomposition pipeline plus the invariant verifier over it. Guards the
+// sample programs users first reach for.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+#include "core/Verify.h"
+#include "frontend/Lowering.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace alp;
+
+#ifndef ALP_TESTDATA_DIR
+#error "ALP_TESTDATA_DIR must be defined by the build"
+#endif
+
+namespace {
+
+std::vector<std::string> testDataFiles() {
+  std::vector<std::string> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(ALP_TESTDATA_DIR))
+    if (Entry.path().extension() == ".alp")
+      Files.push_back(Entry.path().string());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+} // namespace
+
+class TestDataTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TestDataTest, CompilesDecomposesAndVerifies) {
+  std::ifstream In(GetParam());
+  ASSERT_TRUE(In.good()) << GetParam();
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  DiagnosticEngine Diags;
+  auto P = compileDsl(Buf.str(), Diags);
+  ASSERT_TRUE(P.has_value()) << GetParam() << "\n" << Diags.str();
+
+  MachineParams M;
+  ProgramDecomposition PD = decompose(*P, M);
+  for (const std::string &Issue : verifyDecomposition(*P, PD))
+    ADD_FAILURE() << GetParam() << ": " << Issue;
+  // Every shipped sample exposes at least one degree of parallelism.
+  unsigned Total = 0;
+  for (const auto &[NestId, CD] : PD.Comp) {
+    (void)NestId;
+    Total += CD.parallelismDegree();
+  }
+  EXPECT_GT(Total, 0u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Files, TestDataTest,
+                         ::testing::ValuesIn(testDataFiles()),
+                         [](const auto &Info) {
+                           std::string Name =
+                               std::filesystem::path(Info.param)
+                                   .stem()
+                                   .string();
+                           return Name;
+                         });

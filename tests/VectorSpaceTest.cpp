@@ -1,0 +1,219 @@
+//===- tests/VectorSpaceTest.cpp - Subspace lattice tests ------------------===//
+
+#include "linalg/VectorSpace.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+TEST(VectorSpaceTest, TrivialAndFull) {
+  VectorSpace T(3);
+  EXPECT_TRUE(T.isTrivial());
+  EXPECT_EQ(T.dim(), 0u);
+  EXPECT_EQ(T.ambientDim(), 3u);
+
+  VectorSpace F = VectorSpace::full(3);
+  EXPECT_TRUE(F.isFull());
+  EXPECT_EQ(F.dim(), 3u);
+  EXPECT_TRUE(F.contains(Vector({1, -2, 3})));
+}
+
+TEST(VectorSpaceTest, SpanDeduplicates) {
+  VectorSpace S = VectorSpace::span(2, {Vector({1, 0}), Vector({2, 0})});
+  EXPECT_EQ(S.dim(), 1u);
+  EXPECT_TRUE(S.contains(Vector({-5, 0})));
+  EXPECT_FALSE(S.contains(Vector({0, 1})));
+}
+
+TEST(VectorSpaceTest, SpanIgnoresZeroVectors) {
+  VectorSpace S = VectorSpace::span(2, {Vector::zero(2)});
+  EXPECT_TRUE(S.isTrivial());
+}
+
+TEST(VectorSpaceTest, CanonicalEquality) {
+  // Different spanning sets of the same plane compare equal.
+  VectorSpace A = VectorSpace::span(3, {Vector({1, 0, 1}), Vector({0, 1, 1})});
+  VectorSpace B =
+      VectorSpace::span(3, {Vector({1, 1, 2}), Vector({1, -1, 0})});
+  EXPECT_EQ(A, B);
+}
+
+TEST(VectorSpaceTest, KernelOf) {
+  // ker [1 1] = span{(1,-1)}.
+  VectorSpace K = VectorSpace::kernelOf(Matrix({{1, 1}}));
+  EXPECT_EQ(K.dim(), 1u);
+  EXPECT_TRUE(K.contains(Vector({1, -1})));
+  EXPECT_TRUE(K.contains(Vector({-2, 2})));
+  EXPECT_FALSE(K.contains(Vector({1, 1})));
+}
+
+TEST(VectorSpaceTest, RangeOf) {
+  VectorSpace R = VectorSpace::rangeOf(Matrix({{1, 0}, {0, 0}}));
+  EXPECT_EQ(R.dim(), 1u);
+  EXPECT_TRUE(R.contains(Vector({3, 0})));
+  EXPECT_FALSE(R.contains(Vector({0, 1})));
+}
+
+TEST(VectorSpaceTest, SumOfSubspaces) {
+  VectorSpace X = VectorSpace::span(3, {Vector({1, 0, 0})});
+  VectorSpace Y = VectorSpace::span(3, {Vector({0, 1, 0})});
+  VectorSpace S = X + Y;
+  EXPECT_EQ(S.dim(), 2u);
+  EXPECT_TRUE(S.contains(Vector({2, -3, 0})));
+  EXPECT_FALSE(S.contains(Vector({0, 0, 1})));
+}
+
+TEST(VectorSpaceTest, InsertGrowsDimension) {
+  VectorSpace S(2);
+  EXPECT_TRUE(S.insert(Vector({1, 1})));
+  EXPECT_FALSE(S.insert(Vector({2, 2}))); // Already present.
+  EXPECT_TRUE(S.insert(Vector({1, 0})));
+  EXPECT_TRUE(S.isFull());
+}
+
+TEST(VectorSpaceTest, UnionWithReportsGrowth) {
+  VectorSpace S = VectorSpace::span(2, {Vector({1, 0})});
+  EXPECT_FALSE(S.unionWith(VectorSpace::span(2, {Vector({3, 0})})));
+  EXPECT_TRUE(S.unionWith(VectorSpace::span(2, {Vector({0, 1})})));
+  EXPECT_TRUE(S.isFull());
+}
+
+TEST(VectorSpaceTest, Intersection) {
+  // Two planes in Q^3 meet in a line.
+  VectorSpace A = VectorSpace::span(3, {Vector({1, 0, 0}), Vector({0, 1, 0})});
+  VectorSpace B = VectorSpace::span(3, {Vector({0, 1, 0}), Vector({0, 0, 1})});
+  VectorSpace I = A.intersect(B);
+  EXPECT_EQ(I.dim(), 1u);
+  EXPECT_TRUE(I.contains(Vector({0, 1, 0})));
+}
+
+TEST(VectorSpaceTest, IntersectionDisjointLines) {
+  VectorSpace A = VectorSpace::span(2, {Vector({1, 0})});
+  VectorSpace B = VectorSpace::span(2, {Vector({0, 1})});
+  EXPECT_TRUE(A.intersect(B).isTrivial());
+}
+
+TEST(VectorSpaceTest, ImageUnder) {
+  // The paper's Eqn 5: ker D += span{ F t : t in ker C }.
+  Matrix F = {{0, 1}, {1, 0}}; // Transpose access Y[i2,i1].
+  VectorSpace KerC = VectorSpace::span(2, {Vector({0, 1})});
+  VectorSpace Img = KerC.imageUnder(F);
+  EXPECT_EQ(Img, VectorSpace::span(2, {Vector({1, 0})}));
+}
+
+TEST(VectorSpaceTest, PreimageUnder) {
+  // The paper's Eqn 6 ingredient: { t : F t in W }.
+  Matrix F = {{0, 1}, {1, 0}};
+  VectorSpace W = VectorSpace::span(2, {Vector({1, 0})});
+  VectorSpace Pre = W.preimageUnder(F);
+  EXPECT_EQ(Pre, VectorSpace::span(2, {Vector({0, 1})}));
+}
+
+TEST(VectorSpaceTest, PreimageContainsKernel) {
+  Matrix F = {{1, 0, 0}}; // Rank-1 map from Q^3 to Q^1.
+  VectorSpace W(1);       // Trivial target space.
+  VectorSpace Pre = W.preimageUnder(F);
+  // Preimage of {0} is exactly ker F, which is 2-dimensional.
+  EXPECT_EQ(Pre.dim(), 2u);
+  EXPECT_TRUE(Pre.contains(Vector({0, 1, 0})));
+  EXPECT_TRUE(Pre.contains(Vector({0, 0, 1})));
+}
+
+TEST(VectorSpaceTest, PreimageOfFullSpaceIsFull) {
+  Matrix F = {{1, 2}, {3, 4}};
+  EXPECT_TRUE(VectorSpace::full(2).preimageUnder(F).isFull());
+}
+
+TEST(VectorSpaceTest, OrthogonalComplement) {
+  VectorSpace S = VectorSpace::span(3, {Vector({1, 0, 0})});
+  VectorSpace C = S.orthogonalComplement();
+  EXPECT_EQ(C.dim(), 2u);
+  for (const Vector &V : C.basis())
+    EXPECT_EQ(V.dot(Vector({1, 0, 0})), Rational(0));
+}
+
+TEST(VectorSpaceTest, MatrixWithThisKernel) {
+  // Realizes the orientation step: pick D with the prescribed nullspace.
+  VectorSpace Part = VectorSpace::span(2, {Vector({1, 0})});
+  Matrix D = Part.matrixWithThisKernel();
+  EXPECT_EQ(D.rows(), 1u);
+  EXPECT_EQ(VectorSpace::kernelOf(D), Part);
+}
+
+TEST(VectorSpaceTest, MatrixWithTrivialKernelIsFullRank) {
+  VectorSpace Part(3);
+  Matrix D = Part.matrixWithThisKernel();
+  EXPECT_EQ(D.rows(), 3u);
+  EXPECT_EQ(D.rank(), 3u);
+}
+
+TEST(VectorSpaceTest, Printing) {
+  EXPECT_EQ(VectorSpace(2).str(), "{0}");
+  EXPECT_EQ(VectorSpace::span(2, {Vector({2, 0})}).str(), "span{(1, 0)}");
+}
+
+class VectorSpacePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VectorSpacePropertyTest, LatticeLaws) {
+  Rng R(GetParam());
+  auto RandSpace = [&](unsigned Ambient) {
+    std::vector<Vector> Vs;
+    unsigned K = R.nextBelow(Ambient + 1);
+    for (unsigned I = 0; I != K; ++I) {
+      Vector V(Ambient);
+      for (unsigned J = 0; J != Ambient; ++J)
+        V[J] = Rational(R.nextInRange(-3, 3));
+      Vs.push_back(V);
+    }
+    return VectorSpace::span(Ambient, Vs);
+  };
+  for (int Iter = 0; Iter != 60; ++Iter) {
+    unsigned N = 2 + R.nextBelow(3);
+    VectorSpace A = RandSpace(N), B = RandSpace(N);
+    // Commutativity and absorption.
+    EXPECT_EQ(A + B, B + A);
+    EXPECT_EQ(A.intersect(B), B.intersect(A));
+    EXPECT_EQ(A + A.intersect(B), A);
+    EXPECT_EQ(A.intersect(A + B), A);
+    // Containment relations.
+    EXPECT_TRUE((A + B).containsSpace(A));
+    EXPECT_TRUE(A.containsSpace(A.intersect(B)));
+    // Dimension formula dim(A+B) = dim A + dim B - dim(A cap B).
+    EXPECT_EQ((A + B).dim() + A.intersect(B).dim(), A.dim() + B.dim());
+    // Double complement is the identity.
+    EXPECT_EQ(A.orthogonalComplement().orthogonalComplement(), A);
+    // Complement dimensions add to the ambient dimension.
+    EXPECT_EQ(A.dim() + A.orthogonalComplement().dim(), N);
+  }
+}
+
+TEST_P(VectorSpacePropertyTest, ImagePreimageGalois) {
+  Rng R(GetParam() * 101 + 3);
+  for (int Iter = 0; Iter != 60; ++Iter) {
+    unsigned N = 2 + R.nextBelow(2), M = 2 + R.nextBelow(2);
+    Matrix F(M, N);
+    for (unsigned I = 0; I != M; ++I)
+      for (unsigned J = 0; J != N; ++J)
+        F.at(I, J) = Rational(R.nextInRange(-2, 2));
+    std::vector<Vector> Vs;
+    for (unsigned I = 0, K = R.nextBelow(N + 1); I != K; ++I) {
+      Vector V(N);
+      for (unsigned J = 0; J != N; ++J)
+        V[J] = Rational(R.nextInRange(-2, 2));
+      Vs.push_back(V);
+    }
+    VectorSpace S = VectorSpace::span(N, Vs);
+    // image(S) under F then preimage recovers at least S + ker F.
+    VectorSpace Img = S.imageUnder(F);
+    VectorSpace Back = Img.preimageUnder(F);
+    EXPECT_TRUE(Back.containsSpace(S));
+    EXPECT_TRUE(Back.containsSpace(VectorSpace::kernelOf(F)));
+    // And forward again gives exactly the image.
+    EXPECT_EQ(Back.imageUnder(F), Img);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorSpacePropertyTest,
+                         ::testing::Values(5u, 6u, 7u, 123u));

@@ -1,0 +1,160 @@
+//===- tests/VerifyTest.cpp - Decomposition verifier tests -----------------===//
+//
+// Runs the full driver over a suite of programs and checks the
+// verifyDecomposition invariants hold on every result, then checks the
+// verifier actually detects corrupted decompositions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verify.h"
+
+#include "core/Driver.h"
+#include "frontend/Lowering.h"
+
+#include <gtest/gtest.h>
+
+using namespace alp;
+
+namespace {
+
+Program compile(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(Src, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  if (!P)
+    reportFatalError("test program failed to compile:\n" + Diags.str());
+  return std::move(*P);
+}
+
+const char *Suite[] = {
+    // Figure 1.
+    R"(
+program fig1;
+param N = 63;
+array X[N + 1, N + 1], Y[N + 1, N + 1], Z[N + 2, N + 2];
+for i1 = 0 to N { for i2 = 0 to N { Y[i1, N - i2] += X[i1, i2]; } }
+for i1 = 1 to N { for i2 = 1 to N {
+  Z[i1, i2] = Z[i1, i2 - 1] + Y[i2, i1 - 1]; } }
+)",
+    // ADI in a time loop.
+    R"(
+program adi;
+param N = 63, T = 3;
+array X[N + 1, N + 1];
+for t = 1 to T {
+  forall i = 0 to N { for j = 1 to N {
+    X[i, j] = f1(X[i, j], X[i, j - 1]) @cost(8); } }
+  forall j = 0 to N { for i = 1 to N {
+    X[i, j] = f2(X[i, j], X[i - 1, j]) @cost(8); } }
+}
+)",
+    // Transpose cycle.
+    R"(
+program cycle;
+param N = 63;
+array X[N + 1, N + 1], Y[N + 1, N + 1];
+forall i = 0 to N { forall j = 0 to N { X[i, j] += Y[i, j]; } }
+forall i = 0 to N { forall j = 0 to N { Y[j, i] = X[i, j]; } }
+)",
+    // Branchy dynamic program.
+    R"(
+program dyn;
+param N = 255;
+array X[N + 1, N + 1], Y[N + 1, N + 1];
+forall i = 0 to N { forall j = 0 to N {
+  X[i, j] = f(X[i, j], Y[i, j]) @cost(20); } }
+if prob(0.8) {
+  forall i = 0 to N { for j = 1 to N {
+    X[i, j] = f(X[i, j - 1]) @cost(20); } }
+} else {
+  forall i = 0 to N { for j = 1 to N {
+    Y[j, i] = f(Y[j - 1, i]) @cost(20); } }
+}
+)",
+    // Replication candidate.
+    R"(
+program repl;
+param N = 127;
+array C[N + 1], U[N + 1, N + 1];
+forall i = 0 to N { forall j = 0 to N {
+  U[i, j] = f(U[i, j], C[j]) @cost(8); } }
+)",
+    // Broadcast + reduction mix.
+    R"(
+program mix;
+param N = 63;
+array A[N + 1, N + 1], S[N + 1];
+forall i = 0 to N { forall j = 0 to N { A[i, j] = f(A[i, j]); } }
+forall i = 0 to N { for j = 0 to N { S[i] = g(S[i], A[i, j]); } }
+)",
+};
+
+} // namespace
+
+class VerifySuiteTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(VerifySuiteTest, DriverOutputIsConsistent) {
+  Program P = compile(Suite[GetParam()]);
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  std::vector<std::string> Issues = verifyDecomposition(P, PD);
+  for (const std::string &S : Issues)
+    ADD_FAILURE() << S;
+}
+
+TEST_P(VerifySuiteTest, DriverOutputConsistentWithoutBlocking) {
+  Program P = compile(Suite[GetParam()]);
+  MachineParams M;
+  DriverOptions Opts;
+  Opts.EnableBlocking = false;
+  ProgramDecomposition PD = decompose(P, M, Opts);
+  for (const std::string &S : verifyDecomposition(P, PD))
+    ADD_FAILURE() << S;
+}
+
+TEST_P(VerifySuiteTest, DriverOutputConsistentWithoutOptimizations) {
+  Program P = compile(Suite[GetParam()]);
+  MachineParams M;
+  DriverOptions Opts;
+  Opts.EnableReplication = false;
+  Opts.EnableIdleProjection = false;
+  ProgramDecomposition PD = decompose(P, M, Opts);
+  for (const std::string &S : verifyDecomposition(P, PD))
+    ADD_FAILURE() << S;
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, VerifySuiteTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u));
+
+TEST(VerifyTest, DetectsCorruptedOrientation) {
+  Program P = compile(Suite[0]);
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  ASSERT_TRUE(verifyDecomposition(P, PD).empty());
+  // Corrupt one C matrix: Theorem 4.1 must trip.
+  PD.Comp.begin()->second.C =
+      PD.Comp.begin()->second.C.scaled(Rational(3));
+  EXPECT_FALSE(verifyDecomposition(P, PD).empty());
+}
+
+TEST(VerifyTest, DetectsKernelMismatch) {
+  Program P = compile(Suite[0]);
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  PD.Comp.begin()->second.Kernel = VectorSpace::full(2);
+  EXPECT_FALSE(verifyDecomposition(P, PD).empty());
+}
+
+TEST(VerifyTest, DetectsSplitDecompositionInComponent) {
+  Program P = compile(Suite[0]);
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  // Give the same array two different D's inside one component.
+  unsigned Y = P.arrayId("Y");
+  auto It = PD.Data.find({Y, 0});
+  ASSERT_NE(It, PD.Data.end());
+  DataDecomposition DD = It->second;
+  DD.D = DD.D.scaled(Rational(2));
+  PD.Data[{Y, 1}] = DD;
+  EXPECT_FALSE(verifyDecomposition(P, PD).empty());
+}

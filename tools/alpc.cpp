@@ -1,0 +1,194 @@
+//===- tools/alpc.cpp - The alp compiler driver -----------------*- C++ -*-===//
+//
+// alpc: compile an affine DSL program and report the decomposition.
+//
+//   alpc <file.alp> [options]
+//
+//   --no-local-phase     skip Wolf-Lam canonicalization
+//   --no-blocking        disable blocked (pipelined) decompositions
+//   --no-replication     disable read-only replication
+//   --no-projection      disable idle-processor projection
+//   --force-single       join every nest into one component
+//   --never-join         keep every nest in its own component
+//   --fuse               run the loop-fusion post-pass
+//   --spmd               print the generated SPMD pseudo-code
+//   --print-ir           print the canonicalized IR
+//   --deps               print the dependences of every nest
+//   --simulate           simulate on the NUMA machine (1..32 procs)
+//   --procs <n>          machine size for --simulate (default 32)
+//   --block <n>          pipeline block size (default 4)
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dependence.h"
+#include "codegen/CommAnalysis.h"
+#include "codegen/SpmdEmitter.h"
+#include "core/Driver.h"
+#include "core/Fusion.h"
+#include "core/Verify.h"
+#include "frontend/Lowering.h"
+#include "ir/Printer.h"
+#include "machine/NumaSimulator.h"
+#include "machine/ScheduleDerivation.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace alp;
+
+namespace {
+
+void usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s <file.alp> [--no-local-phase] [--no-blocking] "
+               "[--no-replication]\n"
+               "            [--no-projection] [--force-single] "
+               "[--never-join] [--multi-level] [--fuse]\n"
+               "            [--spmd] [--comm] [--verify] [--print-ir] [--deps] [--simulate] "
+               "[--procs N] [--block B]\n",
+               Prog);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    usage(argv[0]);
+    return 2;
+  }
+  const char *FileName = nullptr;
+  DriverOptions Opts;
+  bool DoSpmd = false, DoIr = false, DoDeps = false, DoSim = false;
+  bool DoComm = false;
+  bool DoFuse = false;
+  bool DoVerify = false;
+  unsigned Procs = 32;
+  int64_t Block = 4;
+  for (int I = 1; I != argc; ++I) {
+    const char *A = argv[I];
+    if (!std::strcmp(A, "--no-local-phase"))
+      Opts.RunLocalPhase = false;
+    else if (!std::strcmp(A, "--no-blocking"))
+      Opts.EnableBlocking = false;
+    else if (!std::strcmp(A, "--no-replication"))
+      Opts.EnableReplication = false;
+    else if (!std::strcmp(A, "--no-projection"))
+      Opts.EnableIdleProjection = false;
+    else if (!std::strcmp(A, "--force-single"))
+      Opts.Policy = JoinPolicy::ForceSingle;
+    else if (!std::strcmp(A, "--never-join"))
+      Opts.Policy = JoinPolicy::NeverJoin;
+    else if (!std::strcmp(A, "--multi-level"))
+      Opts.MultiLevel = true;
+    else if (!std::strcmp(A, "--fuse"))
+      DoFuse = true;
+    else if (!std::strcmp(A, "--spmd"))
+      DoSpmd = true;
+    else if (!std::strcmp(A, "--comm"))
+      DoComm = true;
+    else if (!std::strcmp(A, "--verify"))
+      DoVerify = true;
+    else if (!std::strcmp(A, "--print-ir"))
+      DoIr = true;
+    else if (!std::strcmp(A, "--deps"))
+      DoDeps = true;
+    else if (!std::strcmp(A, "--simulate"))
+      DoSim = true;
+    else if (!std::strcmp(A, "--procs") && I + 1 < argc)
+      Procs = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (!std::strcmp(A, "--block") && I + 1 < argc)
+      Block = std::atoll(argv[++I]);
+    else if (A[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", A);
+      usage(argv[0]);
+      return 2;
+    } else {
+      FileName = A;
+    }
+  }
+  if (!FileName) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::ifstream In(FileName);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", FileName);
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileDsl(Buf.str(), Diags);
+  for (const Diagnostic &D : Diags.diagnostics())
+    std::fprintf(stderr, "%s:%s\n", FileName, D.str().c_str());
+  if (!Prog)
+    return 1;
+  Program P = std::move(*Prog);
+
+  MachineParams M;
+  M.NumProcs = Procs;
+  M.BlockSize = Block;
+
+  ProgramDecomposition PD = decompose(P, M, Opts);
+  if (DoFuse) {
+    unsigned N = fuseCompatibleNests(P, &PD);
+    std::printf("fused %u nest pair(s)\n", N);
+    // Decompose again on the fused program (decompositions per nest id
+    // may have been merged).
+    PD = decompose(P, M, Opts);
+  }
+
+  if (DoIr)
+    std::printf("=== IR ===\n%s\n", printProgram(P).c_str());
+  if (DoDeps) {
+    DependenceAnalysis DA(P);
+    std::printf("=== dependences ===\n");
+    for (unsigned Id : P.nestsInOrder()) {
+      std::printf("nest %u:\n", Id);
+      for (const Dependence &D : DA.analyze(P.nest(Id)))
+        std::printf("  %s\n", D.str().c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%s", printDecomposition(P, PD).c_str());
+
+  if (DoSpmd)
+    std::printf("\n=== SPMD ===\n%s", emitSpmd(P, PD, Block).c_str());
+
+  if (DoComm) {
+    CommSummary CS = analyzeCommunication(P, PD, Block);
+    std::printf("\n%s", CS.report(P).c_str());
+  }
+
+  if (DoVerify) {
+    std::vector<std::string> Issues = verifyDecomposition(P, PD);
+    if (Issues.empty()) {
+      std::printf("\nverify: all decomposition invariants hold\n");
+    } else {
+      for (const std::string &I : Issues)
+        std::fprintf(stderr, "verify: %s\n", I.c_str());
+      return 1;
+    }
+  }
+
+  if (DoSim) {
+    NumaSimulator Sim(P, M);
+    applyDecomposition(Sim, P, PD, Block);
+    double Seq = Sim.sequentialCycles();
+    std::printf("\n=== simulation (machine: %u procs) ===\n", Procs);
+    std::printf("sequential: %.3g cycles\n", Seq);
+    for (unsigned Pr = 1; Pr <= Procs; Pr *= 2) {
+      SimResult R = Sim.run(Pr);
+      std::printf("%3u procs: %12.3g cycles  speedup %6.2f  "
+                  "(reorg %.2g, sync %.2g, remote lines %.3g)\n",
+                  Pr, R.Cycles, Seq / R.Cycles, R.ReorgCycles,
+                  R.SyncCycles, R.RemoteLineFetches);
+    }
+  }
+  return 0;
+}
