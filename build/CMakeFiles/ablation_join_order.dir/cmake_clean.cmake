@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_join_order.dir/bench/ablation_join_order.cpp.o"
+  "CMakeFiles/ablation_join_order.dir/bench/ablation_join_order.cpp.o.d"
+  "bench/ablation_join_order"
+  "bench/ablation_join_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_join_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multicomputer.dir/bench/ext_multicomputer.cpp.o"
+  "CMakeFiles/ext_multicomputer.dir/bench/ext_multicomputer.cpp.o.d"
+  "bench/ext_multicomputer"
+  "bench/ext_multicomputer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multicomputer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_static_example.dir/bench/fig1_static_example.cpp.o"
+  "CMakeFiles/fig1_static_example.dir/bench/fig1_static_example.cpp.o.d"
+  "bench/fig1_static_example"
+  "bench/fig1_static_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_static_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

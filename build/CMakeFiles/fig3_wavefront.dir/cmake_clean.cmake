@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_wavefront.dir/bench/fig3_wavefront.cpp.o"
+  "CMakeFiles/fig3_wavefront.dir/bench/fig3_wavefront.cpp.o.d"
+  "bench/fig3_wavefront"
+  "bench/fig3_wavefront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_wavefront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_dynamic_example.dir/bench/fig5_dynamic_example.cpp.o"
+  "CMakeFiles/fig5_dynamic_example.dir/bench/fig5_dynamic_example.cpp.o.d"
+  "bench/fig5_dynamic_example"
+  "bench/fig5_dynamic_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dynamic_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

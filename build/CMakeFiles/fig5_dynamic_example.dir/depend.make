@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_dynamic_example.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_conduct_speedup.dir/bench/fig7_conduct_speedup.cpp.o"
+  "CMakeFiles/fig7_conduct_speedup.dir/bench/fig7_conduct_speedup.cpp.o.d"
+  "bench/fig7_conduct_speedup"
+  "bench/fig7_conduct_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_conduct_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_dependence.dir/bench/perf_dependence.cpp.o"
+  "CMakeFiles/perf_dependence.dir/bench/perf_dependence.cpp.o.d"
+  "bench/perf_dependence"
+  "bench/perf_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adi_integration.dir/adi_integration.cpp.o"
+  "CMakeFiles/adi_integration.dir/adi_integration.cpp.o.d"
+  "adi_integration"
+  "adi_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adi_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conduct_simple.dir/conduct_simple.cpp.o"
+  "CMakeFiles/conduct_simple.dir/conduct_simple.cpp.o.d"
+  "conduct_simple"
+  "conduct_simple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conduct_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

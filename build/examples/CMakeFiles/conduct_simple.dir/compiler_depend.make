@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for conduct_simple.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for conduct_simple.
+# This may be replaced when dependencies are built.

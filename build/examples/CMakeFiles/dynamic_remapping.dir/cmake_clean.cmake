@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_remapping.dir/dynamic_remapping.cpp.o"
+  "CMakeFiles/dynamic_remapping.dir/dynamic_remapping.cpp.o.d"
+  "dynamic_remapping"
+  "dynamic_remapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_remapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

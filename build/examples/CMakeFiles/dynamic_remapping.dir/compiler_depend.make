@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dynamic_remapping.
+# This may be replaced when dependencies are built.

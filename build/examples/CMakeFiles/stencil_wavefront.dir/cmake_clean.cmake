@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_wavefront.dir/stencil_wavefront.cpp.o"
+  "CMakeFiles/stencil_wavefront.dir/stencil_wavefront.cpp.o.d"
+  "stencil_wavefront"
+  "stencil_wavefront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_wavefront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

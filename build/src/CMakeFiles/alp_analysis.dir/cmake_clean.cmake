@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alp_analysis.dir/analysis/Dependence.cpp.o"
+  "CMakeFiles/alp_analysis.dir/analysis/Dependence.cpp.o.d"
+  "CMakeFiles/alp_analysis.dir/analysis/Reaching.cpp.o"
+  "CMakeFiles/alp_analysis.dir/analysis/Reaching.cpp.o.d"
+  "libalp_analysis.a"
+  "libalp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alp_codegen.dir/codegen/CommAnalysis.cpp.o"
+  "CMakeFiles/alp_codegen.dir/codegen/CommAnalysis.cpp.o.d"
+  "CMakeFiles/alp_codegen.dir/codegen/SpmdEmitter.cpp.o"
+  "CMakeFiles/alp_codegen.dir/codegen/SpmdEmitter.cpp.o.d"
+  "libalp_codegen.a"
+  "libalp_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alp_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/CostModel.cpp" "src/CMakeFiles/alp_core.dir/core/CostModel.cpp.o" "gcc" "src/CMakeFiles/alp_core.dir/core/CostModel.cpp.o.d"
+  "/root/repo/src/core/Decomposition.cpp" "src/CMakeFiles/alp_core.dir/core/Decomposition.cpp.o" "gcc" "src/CMakeFiles/alp_core.dir/core/Decomposition.cpp.o.d"
+  "/root/repo/src/core/DisplacementSolver.cpp" "src/CMakeFiles/alp_core.dir/core/DisplacementSolver.cpp.o" "gcc" "src/CMakeFiles/alp_core.dir/core/DisplacementSolver.cpp.o.d"
+  "/root/repo/src/core/Driver.cpp" "src/CMakeFiles/alp_core.dir/core/Driver.cpp.o" "gcc" "src/CMakeFiles/alp_core.dir/core/Driver.cpp.o.d"
+  "/root/repo/src/core/DynamicDecomposer.cpp" "src/CMakeFiles/alp_core.dir/core/DynamicDecomposer.cpp.o" "gcc" "src/CMakeFiles/alp_core.dir/core/DynamicDecomposer.cpp.o.d"
+  "/root/repo/src/core/Fusion.cpp" "src/CMakeFiles/alp_core.dir/core/Fusion.cpp.o" "gcc" "src/CMakeFiles/alp_core.dir/core/Fusion.cpp.o.d"
+  "/root/repo/src/core/InterferenceGraph.cpp" "src/CMakeFiles/alp_core.dir/core/InterferenceGraph.cpp.o" "gcc" "src/CMakeFiles/alp_core.dir/core/InterferenceGraph.cpp.o.d"
+  "/root/repo/src/core/Optimizations.cpp" "src/CMakeFiles/alp_core.dir/core/Optimizations.cpp.o" "gcc" "src/CMakeFiles/alp_core.dir/core/Optimizations.cpp.o.d"
+  "/root/repo/src/core/OrientationSolver.cpp" "src/CMakeFiles/alp_core.dir/core/OrientationSolver.cpp.o" "gcc" "src/CMakeFiles/alp_core.dir/core/OrientationSolver.cpp.o.d"
+  "/root/repo/src/core/PartitionSolver.cpp" "src/CMakeFiles/alp_core.dir/core/PartitionSolver.cpp.o" "gcc" "src/CMakeFiles/alp_core.dir/core/PartitionSolver.cpp.o.d"
+  "/root/repo/src/core/Verify.cpp" "src/CMakeFiles/alp_core.dir/core/Verify.cpp.o" "gcc" "src/CMakeFiles/alp_core.dir/core/Verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alp_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alp_core.dir/core/CostModel.cpp.o"
+  "CMakeFiles/alp_core.dir/core/CostModel.cpp.o.d"
+  "CMakeFiles/alp_core.dir/core/Decomposition.cpp.o"
+  "CMakeFiles/alp_core.dir/core/Decomposition.cpp.o.d"
+  "CMakeFiles/alp_core.dir/core/DisplacementSolver.cpp.o"
+  "CMakeFiles/alp_core.dir/core/DisplacementSolver.cpp.o.d"
+  "CMakeFiles/alp_core.dir/core/Driver.cpp.o"
+  "CMakeFiles/alp_core.dir/core/Driver.cpp.o.d"
+  "CMakeFiles/alp_core.dir/core/DynamicDecomposer.cpp.o"
+  "CMakeFiles/alp_core.dir/core/DynamicDecomposer.cpp.o.d"
+  "CMakeFiles/alp_core.dir/core/Fusion.cpp.o"
+  "CMakeFiles/alp_core.dir/core/Fusion.cpp.o.d"
+  "CMakeFiles/alp_core.dir/core/InterferenceGraph.cpp.o"
+  "CMakeFiles/alp_core.dir/core/InterferenceGraph.cpp.o.d"
+  "CMakeFiles/alp_core.dir/core/Optimizations.cpp.o"
+  "CMakeFiles/alp_core.dir/core/Optimizations.cpp.o.d"
+  "CMakeFiles/alp_core.dir/core/OrientationSolver.cpp.o"
+  "CMakeFiles/alp_core.dir/core/OrientationSolver.cpp.o.d"
+  "CMakeFiles/alp_core.dir/core/PartitionSolver.cpp.o"
+  "CMakeFiles/alp_core.dir/core/PartitionSolver.cpp.o.d"
+  "CMakeFiles/alp_core.dir/core/Verify.cpp.o"
+  "CMakeFiles/alp_core.dir/core/Verify.cpp.o.d"
+  "libalp_core.a"
+  "libalp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alp_frontend.dir/frontend/Lexer.cpp.o"
+  "CMakeFiles/alp_frontend.dir/frontend/Lexer.cpp.o.d"
+  "CMakeFiles/alp_frontend.dir/frontend/Lowering.cpp.o"
+  "CMakeFiles/alp_frontend.dir/frontend/Lowering.cpp.o.d"
+  "CMakeFiles/alp_frontend.dir/frontend/Parser.cpp.o"
+  "CMakeFiles/alp_frontend.dir/frontend/Parser.cpp.o.d"
+  "libalp_frontend.a"
+  "libalp_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alp_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/AffineAccess.cpp" "src/CMakeFiles/alp_ir.dir/ir/AffineAccess.cpp.o" "gcc" "src/CMakeFiles/alp_ir.dir/ir/AffineAccess.cpp.o.d"
+  "/root/repo/src/ir/Builder.cpp" "src/CMakeFiles/alp_ir.dir/ir/Builder.cpp.o" "gcc" "src/CMakeFiles/alp_ir.dir/ir/Builder.cpp.o.d"
+  "/root/repo/src/ir/LoopNest.cpp" "src/CMakeFiles/alp_ir.dir/ir/LoopNest.cpp.o" "gcc" "src/CMakeFiles/alp_ir.dir/ir/LoopNest.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/alp_ir.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/alp_ir.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Program.cpp" "src/CMakeFiles/alp_ir.dir/ir/Program.cpp.o" "gcc" "src/CMakeFiles/alp_ir.dir/ir/Program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alp_ir.dir/ir/AffineAccess.cpp.o"
+  "CMakeFiles/alp_ir.dir/ir/AffineAccess.cpp.o.d"
+  "CMakeFiles/alp_ir.dir/ir/Builder.cpp.o"
+  "CMakeFiles/alp_ir.dir/ir/Builder.cpp.o.d"
+  "CMakeFiles/alp_ir.dir/ir/LoopNest.cpp.o"
+  "CMakeFiles/alp_ir.dir/ir/LoopNest.cpp.o.d"
+  "CMakeFiles/alp_ir.dir/ir/Printer.cpp.o"
+  "CMakeFiles/alp_ir.dir/ir/Printer.cpp.o.d"
+  "CMakeFiles/alp_ir.dir/ir/Program.cpp.o"
+  "CMakeFiles/alp_ir.dir/ir/Program.cpp.o.d"
+  "libalp_ir.a"
+  "libalp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/FourierMotzkin.cpp" "src/CMakeFiles/alp_linalg.dir/linalg/FourierMotzkin.cpp.o" "gcc" "src/CMakeFiles/alp_linalg.dir/linalg/FourierMotzkin.cpp.o.d"
+  "/root/repo/src/linalg/IntegerOps.cpp" "src/CMakeFiles/alp_linalg.dir/linalg/IntegerOps.cpp.o" "gcc" "src/CMakeFiles/alp_linalg.dir/linalg/IntegerOps.cpp.o.d"
+  "/root/repo/src/linalg/Matrix.cpp" "src/CMakeFiles/alp_linalg.dir/linalg/Matrix.cpp.o" "gcc" "src/CMakeFiles/alp_linalg.dir/linalg/Matrix.cpp.o.d"
+  "/root/repo/src/linalg/Rational.cpp" "src/CMakeFiles/alp_linalg.dir/linalg/Rational.cpp.o" "gcc" "src/CMakeFiles/alp_linalg.dir/linalg/Rational.cpp.o.d"
+  "/root/repo/src/linalg/SymAffine.cpp" "src/CMakeFiles/alp_linalg.dir/linalg/SymAffine.cpp.o" "gcc" "src/CMakeFiles/alp_linalg.dir/linalg/SymAffine.cpp.o.d"
+  "/root/repo/src/linalg/VectorSpace.cpp" "src/CMakeFiles/alp_linalg.dir/linalg/VectorSpace.cpp.o" "gcc" "src/CMakeFiles/alp_linalg.dir/linalg/VectorSpace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alp_linalg.dir/linalg/FourierMotzkin.cpp.o"
+  "CMakeFiles/alp_linalg.dir/linalg/FourierMotzkin.cpp.o.d"
+  "CMakeFiles/alp_linalg.dir/linalg/IntegerOps.cpp.o"
+  "CMakeFiles/alp_linalg.dir/linalg/IntegerOps.cpp.o.d"
+  "CMakeFiles/alp_linalg.dir/linalg/Matrix.cpp.o"
+  "CMakeFiles/alp_linalg.dir/linalg/Matrix.cpp.o.d"
+  "CMakeFiles/alp_linalg.dir/linalg/Rational.cpp.o"
+  "CMakeFiles/alp_linalg.dir/linalg/Rational.cpp.o.d"
+  "CMakeFiles/alp_linalg.dir/linalg/SymAffine.cpp.o"
+  "CMakeFiles/alp_linalg.dir/linalg/SymAffine.cpp.o.d"
+  "CMakeFiles/alp_linalg.dir/linalg/VectorSpace.cpp.o"
+  "CMakeFiles/alp_linalg.dir/linalg/VectorSpace.cpp.o.d"
+  "libalp_linalg.a"
+  "libalp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alp_machine.dir/machine/NumaSimulator.cpp.o"
+  "CMakeFiles/alp_machine.dir/machine/NumaSimulator.cpp.o.d"
+  "CMakeFiles/alp_machine.dir/machine/ScheduleDerivation.cpp.o"
+  "CMakeFiles/alp_machine.dir/machine/ScheduleDerivation.cpp.o.d"
+  "libalp_machine.a"
+  "libalp_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alp_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alp_support.dir/support/Diagnostics.cpp.o"
+  "CMakeFiles/alp_support.dir/support/Diagnostics.cpp.o.d"
+  "libalp_support.a"
+  "libalp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

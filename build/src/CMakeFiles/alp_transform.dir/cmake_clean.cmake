@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alp_transform.dir/transform/Tiling.cpp.o"
+  "CMakeFiles/alp_transform.dir/transform/Tiling.cpp.o.d"
+  "CMakeFiles/alp_transform.dir/transform/Unimodular.cpp.o"
+  "CMakeFiles/alp_transform.dir/transform/Unimodular.cpp.o.d"
+  "libalp_transform.a"
+  "libalp_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alp_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commanalysis_test.dir/CommAnalysisTest.cpp.o"
+  "CMakeFiles/commanalysis_test.dir/CommAnalysisTest.cpp.o.d"
+  "commanalysis_test"
+  "commanalysis_test.pdb"
+  "commanalysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commanalysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

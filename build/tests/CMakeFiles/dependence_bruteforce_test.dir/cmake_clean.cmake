@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependence_bruteforce_test.dir/DependenceBruteForceTest.cpp.o"
+  "CMakeFiles/dependence_bruteforce_test.dir/DependenceBruteForceTest.cpp.o.d"
+  "dependence_bruteforce_test"
+  "dependence_bruteforce_test.pdb"
+  "dependence_bruteforce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependence_bruteforce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fouriermotzkin_test.dir/FourierMotzkinTest.cpp.o"
+  "CMakeFiles/fouriermotzkin_test.dir/FourierMotzkinTest.cpp.o.d"
+  "fouriermotzkin_test"
+  "fouriermotzkin_test.pdb"
+  "fouriermotzkin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fouriermotzkin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integerops_test.dir/IntegerOpsTest.cpp.o"
+  "CMakeFiles/integerops_test.dir/IntegerOpsTest.cpp.o.d"
+  "integerops_test"
+  "integerops_test.pdb"
+  "integerops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integerops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_gallery_test.dir/KernelGalleryTest.cpp.o"
+  "CMakeFiles/kernel_gallery_test.dir/KernelGalleryTest.cpp.o.d"
+  "kernel_gallery_test"
+  "kernel_gallery_test.pdb"
+  "kernel_gallery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_gallery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orientation_property_test.dir/OrientationPropertyTest.cpp.o"
+  "CMakeFiles/orientation_property_test.dir/OrientationPropertyTest.cpp.o.d"
+  "orientation_property_test"
+  "orientation_property_test.pdb"
+  "orientation_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orientation_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orientation_test.dir/OrientationTest.cpp.o"
+  "CMakeFiles/orientation_test.dir/OrientationTest.cpp.o.d"
+  "orientation_test"
+  "orientation_test.pdb"
+  "orientation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orientation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reaching_test.dir/ReachingTest.cpp.o"
+  "CMakeFiles/reaching_test.dir/ReachingTest.cpp.o.d"
+  "reaching_test"
+  "reaching_test.pdb"
+  "reaching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reaching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

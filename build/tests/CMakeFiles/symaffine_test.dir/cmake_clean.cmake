@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symaffine_test.dir/SymAffineTest.cpp.o"
+  "CMakeFiles/symaffine_test.dir/SymAffineTest.cpp.o.d"
+  "symaffine_test"
+  "symaffine_test.pdb"
+  "symaffine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symaffine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

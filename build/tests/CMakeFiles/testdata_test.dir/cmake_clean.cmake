@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testdata_test.dir/TestDataTest.cpp.o"
+  "CMakeFiles/testdata_test.dir/TestDataTest.cpp.o.d"
+  "testdata_test"
+  "testdata_test.pdb"
+  "testdata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testdata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectorspace_test.dir/VectorSpaceTest.cpp.o"
+  "CMakeFiles/vectorspace_test.dir/VectorSpaceTest.cpp.o.d"
+  "vectorspace_test"
+  "vectorspace_test.pdb"
+  "vectorspace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectorspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

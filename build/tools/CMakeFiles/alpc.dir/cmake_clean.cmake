@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpc.dir/alpc.cpp.o"
+  "CMakeFiles/alpc.dir/alpc.cpp.o.d"
+  "alpc"
+  "alpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

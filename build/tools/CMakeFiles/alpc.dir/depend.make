@@ -1,0 +1,2 @@
+# Empty dependencies file for alpc.
+# This may be replaced when dependencies are built.
