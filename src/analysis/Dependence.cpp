@@ -88,6 +88,8 @@ std::string Dependence::str() const {
     OS << Components[I].str();
   }
   OS << ") @level " << Level;
+  if (Conservative)
+    OS << " [assumed]";
   return OS.str();
 }
 
@@ -189,14 +191,29 @@ int64_t ceilRat(const Rational &R) {
   return Q;
 }
 
+/// Bounds projection that unwinds on failure: a budget trip or overflow
+/// Status is re-raised as AlpException so the per-pair conservative
+/// fallback in analyzePair takes over in one place.
+std::optional<VariableBounds> boundsOrUnwind(const ConstraintSystem &CS,
+                                             unsigned Var,
+                                             ResourceBudget *Budget) {
+  if (!Budget)
+    return CS.boundsOf(Var);
+  Expected<std::optional<VariableBounds>> E = CS.boundsOf(Var, Budget);
+  if (!E.hasValue())
+    throw AlpException(E.status());
+  return E.takeValue();
+}
+
 /// Refinement of rational feasibility: projects the system onto every
 /// single variable and rejects when some projection interval contains no
 /// integer (e.g. j in [3/5, 2/3]). Catches the axis-thin phantoms that
 /// survive both the GCD and the lattice tests; returns false also when
 /// the system is rationally infeasible outright.
-bool hasIntegerPointPerAxis(const ConstraintSystem &CS) {
+bool hasIntegerPointPerAxis(const ConstraintSystem &CS,
+                            ResourceBudget *Budget) {
   for (unsigned V = 0; V != CS.numVars(); ++V) {
-    auto B = CS.boundsOf(V);
+    auto B = boundsOrUnwind(CS, V, Budget);
     if (!B)
       return false;
     if (B->Lower && B->Upper &&
@@ -304,9 +321,16 @@ void DependenceAnalysis::analyzePair(const LoopNest &Nest, unsigned SStmt,
                                      unsigned SAcc, unsigned TStmt,
                                      unsigned TAcc,
                                      std::vector<Dependence> &Out) const {
+  const size_t Entry = Out.size();
+  try {
+
   const ArrayAccess &A = Nest.Body[SStmt].Accesses[SAcc];
   const ArrayAccess &B = Nest.Body[TStmt].Accesses[TAcc];
   unsigned L = Nest.depth();
+
+  if (Budget)
+    if (Status S = Budget->checkDeadline(); !S)
+      throw AlpException(S);
 
   if (!gcdTestPasses(A.Map, B.Map))
     return;
@@ -352,7 +376,7 @@ void DependenceAnalysis::analyzePair(const LoopNest &Nest, unsigned SStmt,
     D.Kind = Kind;
     D.Level = Level;
     for (unsigned J = 0; J != L; ++J) {
-      auto Bounds = CS.boundsOf(DS.distVar(J));
+      auto Bounds = boundsOrUnwind(CS, DS.distVar(J), Budget);
       DepComponent Comp = DepComponent::dir(DepComponent::Dir::Star);
       if (Bounds) {
         // Distances are integers: tighten the rational projection.
@@ -392,7 +416,7 @@ void DependenceAnalysis::analyzePair(const LoopNest &Nest, unsigned SStmt,
     Vector C(DS.numVars());
     C[DS.distVar(K)] = 1;
     CS.addInequality(C, Rational(-1)); // d_K - 1 >= 0.
-    if (!hasIntegerPointPerAxis(CS))
+    if (!hasIntegerPointPerAxis(CS, Budget))
       continue;
     Out.push_back(MakeDependence(K, CS));
   }
@@ -406,9 +430,50 @@ void DependenceAnalysis::analyzePair(const LoopNest &Nest, unsigned SStmt,
       C[DS.distVar(J)] = 1;
       CS.addEquality(C, Rational(0));
     }
-    if (hasIntegerPointPerAxis(CS))
+    if (hasIntegerPointPerAxis(CS, Budget))
       Out.push_back(MakeDependence(L, CS));
   }
+
+  } catch (const AlpException &E) {
+    // Exact test blew the budget or 64-bit arithmetic: discard whatever
+    // partial answer was produced for this pair and assume dependence.
+    Out.resize(Entry);
+    appendConservativePair(Nest, SStmt, SAcc, TStmt, TAcc, E.status(), Out);
+  }
+}
+
+void DependenceAnalysis::appendConservativePair(
+    const LoopNest &Nest, unsigned SStmt, unsigned SAcc, unsigned TStmt,
+    unsigned TAcc, const Status &Why, std::vector<Dependence> &Out) const {
+  const ArrayAccess &A = Nest.Body[SStmt].Accesses[SAcc];
+  const ArrayAccess &B = Nest.Body[TStmt].Accesses[TAcc];
+  unsigned L = Nest.depth();
+  DepKind Kind = A.IsWrite ? (B.IsWrite ? DepKind::Output : DepKind::Flow)
+                           : DepKind::Anti;
+  auto MakeStar = [&](unsigned Level) {
+    Dependence D;
+    D.SrcStmt = SStmt;
+    D.DstStmt = TStmt;
+    D.SrcAccess = SAcc;
+    D.DstAccess = TAcc;
+    D.ArrayId = A.ArrayId;
+    D.Kind = Kind;
+    D.Level = Level;
+    D.Components.assign(L, DepComponent::dir(DepComponent::Dir::Star));
+    D.Conservative = true;
+    return D;
+  };
+  // A dependence carried at every level, plus the loop-independent slot
+  // when statement order admits one — the maximally pessimistic answer.
+  for (unsigned K = 0; K != L; ++K)
+    Out.push_back(MakeStar(K));
+  if (SStmt < TStmt)
+    Out.push_back(MakeStar(L));
+  Degraded = true;
+  std::ostringstream OS;
+  OS << "dependence test S" << SStmt << "/a" << SAcc << " -> S" << TStmt
+     << "/a" << TAcc << " assumed dependent (" << Why.str() << ")";
+  Warnings.push_back(OS.str());
 }
 
 std::vector<Dependence>

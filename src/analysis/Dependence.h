@@ -18,6 +18,7 @@
 #define ALP_ANALYSIS_DEPENDENCE_H
 
 #include "ir/Program.h"
+#include "support/Budget.h"
 
 #include <optional>
 #include <string>
@@ -60,6 +61,11 @@ struct Dependence {
   /// Per-level components, outermost first; Components[Level] is positive
   /// for a carried dependence.
   std::vector<DepComponent> Components;
+  /// True when this dependence was assumed rather than proven: the exact
+  /// test ran out of budget or overflowed 64-bit arithmetic, so the
+  /// analyzer answered conservatively. Sound (never misses a real
+  /// dependence) but maximally imprecise.
+  bool Conservative = false;
 
   bool isLoopIndependent(unsigned Depth) const { return Level == Depth; }
   /// True if every component is an exact distance.
@@ -67,10 +73,20 @@ struct Dependence {
   std::string str() const;
 };
 
-/// Dependence analysis over one loop nest.
+/// Dependence analysis over one loop nest. With a ResourceBudget attached,
+/// an access pair whose exact test exhausts the budget (or overflows) is
+/// assumed dependent at every level — the analyzer never aborts and never
+/// hangs, it only loses precision.
 class DependenceAnalysis {
 public:
-  explicit DependenceAnalysis(const Program &P) : P(P) {}
+  explicit DependenceAnalysis(const Program &P,
+                              ResourceBudget *Budget = nullptr)
+      : P(P), Budget(Budget) {}
+
+  /// True once some pair was answered conservatively.
+  bool degraded() const { return Degraded; }
+  /// One human-readable note per conservatively answered pair.
+  const std::vector<std::string> &warnings() const { return Warnings; }
 
   /// All dependences of \p Nest (flow, anti, and output), per carrying
   /// level.
@@ -89,11 +105,21 @@ public:
 
 private:
   const Program &P;
+  ResourceBudget *Budget = nullptr;
+  mutable bool Degraded = false;
+  mutable std::vector<std::string> Warnings;
 
   /// Tests one access pair; appends any dependences found.
   void analyzePair(const LoopNest &Nest, unsigned SStmt, unsigned SAcc,
                    unsigned TStmt, unsigned TAcc,
                    std::vector<Dependence> &Out) const;
+
+  /// Appends the "dependence assumed" answer for one pair: a conservative
+  /// all-star dependence at every level plus the loop-independent slot.
+  void appendConservativePair(const LoopNest &Nest, unsigned SStmt,
+                              unsigned SAcc, unsigned TStmt, unsigned TAcc,
+                              const Status &Why,
+                              std::vector<Dependence> &Out) const;
 };
 
 } // namespace alp

@@ -8,6 +8,34 @@
 
 using namespace alp;
 
+const char *Degradation::stageName(Stage S) {
+  switch (S) {
+  case Stage::LocalPhase:
+    return "local-phase";
+  case Stage::Dependence:
+    return "dependence";
+  case Stage::Partition:
+    return "partition";
+  case Stage::Orientation:
+    return "orientation";
+  case Stage::Displacement:
+    return "displacement";
+  case Stage::Replication:
+    return "replication";
+  case Stage::Projection:
+    return "projection";
+  }
+  return "unknown";
+}
+
+std::string ProgramDecomposition::degradationReport() const {
+  std::ostringstream OS;
+  for (const Degradation &D : Degradations)
+    OS << "warning: [" << Degradation::stageName(D.At) << "] " << D.Detail
+       << '\n';
+  return OS.str();
+}
+
 std::string DataDecomposition::str() const {
   std::ostringstream OS;
   OS << "d(a) = " << D.str() << " a + " << Delta.str();

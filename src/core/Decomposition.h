@@ -21,6 +21,7 @@
 
 #include "linalg/SymAffine.h"
 #include "linalg/VectorSpace.h"
+#include "support/Status.h"
 
 #include <map>
 #include <string>
@@ -56,6 +57,27 @@ struct CompDecomposition {
   std::string str() const;
 };
 
+/// One recorded pipeline fallback: a stage that ran out of budget or
+/// overflowed and substituted a conservative answer instead of failing
+/// (docs/ROBUSTNESS.md). The decomposition is still sound, just less
+/// parallel / less precise than the exact algorithm would produce.
+struct Degradation {
+  enum class Stage {
+    LocalPhase,   ///< Nest left in source order, all loops sequential.
+    Dependence,   ///< Access pair assumed dependent at every level.
+    Partition,    ///< Trivial partition: everything on one processor.
+    Orientation,  ///< Zero matrices: component mapped to processor 0.
+    Displacement, ///< Zero displacements (extra nearest-neighbor comm).
+    Replication,  ///< Read-only replication skipped.
+    Projection,   ///< Idle-processor projection skipped.
+  };
+
+  Stage At = Stage::Partition;
+  std::string Detail;
+
+  static const char *stageName(Stage S);
+};
+
 /// A point of unavoidable data reorganization between two nests.
 struct ReorganizationPoint {
   unsigned ArrayId = 0;
@@ -89,8 +111,18 @@ struct ProgramDecomposition {
   /// number of replicated processor dimensions.
   std::map<unsigned, unsigned> ReplicatedDims;
 
+  /// Every fallback the pipeline took while producing this result, in
+  /// stage order. Empty for an exact run.
+  std::vector<Degradation> Degradations;
+
   /// True if the whole program got a single static decomposition.
   bool isStatic() const { return Reorganizations.empty(); }
+
+  /// True if any stage fell back to a conservative answer.
+  bool degraded() const { return !Degradations.empty(); }
+
+  /// One "warning: [stage] detail" line per degradation.
+  std::string degradationReport() const;
 
   /// The data decomposition of \p ArrayId at \p NestId; fatal if absent.
   const DataDecomposition &dataAt(unsigned ArrayId, unsigned NestId) const;

@@ -3,30 +3,47 @@
 #include "core/Driver.h"
 
 #include "core/DisplacementSolver.h"
+#include "support/Diagnostics.h"
 #include "transform/Unimodular.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <sstream>
 
 using namespace alp;
 
-ProgramDecomposition alp::decompose(Program &P, const MachineParams &Machine,
-                                    const DriverOptions &Opts) {
-  if (Opts.RunLocalPhase)
-    runLocalPhase(P);
+Expected<ProgramDecomposition>
+alp::decomposeOrError(Program &P, const MachineParams &Machine,
+                      const DriverOptions &Opts) {
+  ProgramDecomposition PD;
+  // Per-run budget copy: fresh counters, caller's limits.
+  ResourceBudget Budget = Opts.Budget;
+  if (Opts.DeadlineMs)
+    Budget.setDeadlineIn(std::chrono::milliseconds(Opts.DeadlineMs));
+
+  try {
+
+  if (Opts.RunLocalPhase) {
+    std::vector<std::string> LPWarnings;
+    runLocalPhase(P, &Budget, &LPWarnings);
+    for (const std::string &W : LPWarnings)
+      PD.Degradations.push_back({W.rfind("local phase", 0) == 0
+                                     ? Degradation::Stage::LocalPhase
+                                     : Degradation::Stage::Dependence,
+                                 W});
+  }
 
   CostModel CM(P, Machine);
   DynamicResult DR =
       Opts.MultiLevel
           ? runMultiLevelDynamicDecomposition(
                 P, CM, Opts.EnableBlocking, Opts.Policy,
-                /*ExcludeReadOnly=*/Opts.EnableReplication)
+                /*ExcludeReadOnly=*/Opts.EnableReplication, &Budget)
           : runDynamicDecomposition(
                 P, CM, Opts.EnableBlocking, Opts.Policy,
-                /*ExcludeReadOnly=*/Opts.EnableReplication);
+                /*ExcludeReadOnly=*/Opts.EnableReplication, &Budget);
 
-  ProgramDecomposition PD;
   PD.ComponentOf = DR.ComponentOf;
 
   // Cross-component orientation matching: components processed in
@@ -56,9 +73,14 @@ ProgramDecomposition alp::decompose(Program &P, const MachineParams &Machine,
         GlobalWritten.insert(A);
 
   OrientationOptions OOpts;
+  OOpts.Budget = &Budget;
   for (unsigned Root : RootOrder) {
     std::vector<unsigned> Nests = DR.nestsOfComponent(Root);
     PartitionResult Parts = DR.Partitions[Root];
+    if (Parts.Degraded)
+      PD.Degradations.push_back({Degradation::Stage::Partition,
+                                 "component " + std::to_string(Root) + ": " +
+                                     Parts.DegradeReason});
 
     // Replication: re-solve the partitions without read-only arrays so
     // they cannot constrain parallelism, then derive their kernels from
@@ -67,48 +89,103 @@ ProgramDecomposition alp::decompose(Program &P, const MachineParams &Machine,
     if (Opts.EnableReplication) {
       InterferenceGraph WriteIG(P, Nests, /*IncludeReadOnly=*/false,
                                 &GlobalWritten);
-      PartitionResult WriteParts = Opts.EnableBlocking
-                                       ? solvePartitionsWithBlocks(WriteIG)
-                                       : solvePartitions(WriteIG);
+      PartitionOptions POpts;
+      POpts.Budget = &Budget;
+      PartitionResult WriteParts =
+          Opts.EnableBlocking ? solvePartitionsWithBlocks(WriteIG, POpts)
+                              : solvePartitions(WriteIG, POpts);
+      if (WriteParts.Degraded)
+        PD.Degradations.push_back(
+            {Degradation::Stage::Replication,
+             "component " + std::to_string(Root) +
+                 ": write-only re-solve degraded, replication skipped (" +
+                 WriteParts.DegradeReason + ")"});
       // Keep the write-only solve only if it exposes at least as much
       // parallelism (it should; the constraints are a subset).
-      if (WriteParts.totalParallelism() >= Parts.totalParallelism()) {
+      if (!WriteParts.Degraded &&
+          WriteParts.totalParallelism() >= Parts.totalParallelism())
         Parts = WriteParts;
-        // Fill in read-only arrays via Eqn. 5 (and Lc for blocked dims).
-        for (unsigned A : FullIG.arrays()) {
-          if (Parts.DataKernel.count(A))
-            continue;
-          VectorSpace Kernel(P.array(A).rank());
-          VectorSpace Localized(P.array(A).rank());
-          for (const InterferenceEdge *E : FullIG.edgesOfArray(A))
-            for (const AffineAccessMap &M : E->Accesses) {
-              Kernel.unionWith(
-                  Parts.CompKernel[E->NestId].imageUnder(M.linear()));
-              Localized.unionWith(
-                  Parts.CompLocalized[E->NestId].imageUnder(M.linear()));
-            }
-          Parts.DataKernel[A] = Kernel;
-          Parts.DataLocalized[A] = Localized;
+    }
+    // Fill in arrays the kept partition never saw via Eqn. 5 (and Lc for
+    // blocked dims). With replication enabled both candidate solves ran on
+    // a write-only graph, so read-only arrays are absent even when the
+    // re-solve degraded and was discarded; orientation needs every array
+    // of the full graph to have a kernel.
+    for (unsigned A : FullIG.arrays()) {
+      if (Parts.DataKernel.count(A))
+        continue;
+      VectorSpace Kernel(P.array(A).rank());
+      VectorSpace Localized(P.array(A).rank());
+      for (const InterferenceEdge *E : FullIG.edgesOfArray(A))
+        for (const AffineAccessMap &M : E->Accesses) {
+          Kernel.unionWith(
+              Parts.CompKernel[E->NestId].imageUnder(M.linear()));
+          Localized.unionWith(
+              Parts.CompLocalized[E->NestId].imageUnder(M.linear()));
         }
-      }
+      Parts.DataKernel[A] = Kernel;
+      Parts.DataLocalized[A] = Localized;
     }
 
     OrientationResult Orient = solveOrientations(FullIG, Parts, OOpts);
-    if (Opts.EnableIdleProjection) {
-      unsigned NPrime = reducedVirtualDims(FullIG, Parts);
-      if (NPrime < Orient.VirtualDims && NPrime > 0)
-        projectProcessorSpace(Orient, NPrime);
+    if (Orient.Degraded) {
+      // Degraded components carry zero matrices; widen the matching
+      // kernels to the full space so ker C / ker D stay consistent.
+      for (auto &[N, C] : Orient.C)
+        if (C.isZero() && Parts.CompKernel.count(N)) {
+          Parts.CompKernel[N] = VectorSpace::full(C.cols());
+          Parts.CompLocalized[N] = Parts.CompKernel[N];
+        }
+      for (auto &[A, D] : Orient.D)
+        if (D.isZero() && Parts.DataKernel.count(A)) {
+          Parts.DataKernel[A] = VectorSpace::full(D.cols());
+          Parts.DataLocalized[A] = Parts.DataKernel[A];
+        }
+      for (const std::string &W : Orient.Warnings)
+        PD.Degradations.push_back({Degradation::Stage::Orientation,
+                                   "component " + std::to_string(Root) +
+                                       ": " + W});
     }
-    DisplacementResult Disp = solveDisplacements(FullIG, Orient);
+    if (Opts.EnableIdleProjection) {
+      try {
+        unsigned NPrime = reducedVirtualDims(FullIG, Parts);
+        if (NPrime < Orient.VirtualDims && NPrime > 0)
+          projectProcessorSpace(Orient, NPrime);
+      } catch (const AlpException &E) {
+        PD.Degradations.push_back({Degradation::Stage::Projection,
+                                   "component " + std::to_string(Root) +
+                                       ": projection skipped (" +
+                                       E.status().str() + ")"});
+      }
+    }
+    DisplacementResult Disp;
+    try {
+      Disp = solveDisplacements(FullIG, Orient);
+    } catch (const AlpException &E) {
+      Disp = DisplacementResult(); // Zero displacements: legal, just more
+                                   // nearest-neighbor communication.
+      PD.Degradations.push_back({Degradation::Stage::Displacement,
+                                 "component " + std::to_string(Root) +
+                                     ": zero displacements (" +
+                                     E.status().str() + ")"});
+    }
 
     // Replication degrees (after projection so n is final).
-    if (Opts.EnableReplication)
-      for (const ReplicationInfo &RI :
-           analyzeReplication(FullIG, Parts, Orient)) {
-        if (RI.Degree > 0 && !GlobalWritten.count(RI.ArrayId))
-          PD.ReplicatedDims[RI.ArrayId] =
-              std::max(PD.ReplicatedDims[RI.ArrayId], RI.Degree);
+    if (Opts.EnableReplication) {
+      try {
+        for (const ReplicationInfo &RI :
+             analyzeReplication(FullIG, Parts, Orient)) {
+          if (RI.Degree > 0 && !GlobalWritten.count(RI.ArrayId))
+            PD.ReplicatedDims[RI.ArrayId] =
+                std::max(PD.ReplicatedDims[RI.ArrayId], RI.Degree);
+        }
+      } catch (const AlpException &E) {
+        PD.Degradations.push_back({Degradation::Stage::Replication,
+                                   "component " + std::to_string(Root) +
+                                       ": replication analysis skipped (" +
+                                       E.status().str() + ")"});
       }
+    }
 
     PD.VirtualDims = std::max(PD.VirtualDims, Orient.VirtualDims);
 
@@ -160,7 +237,27 @@ ProgramDecomposition alp::decompose(Program &P, const MachineParams &Machine,
       RP.Frequency = 1.0; // Cost already includes the frequency weight.
       PD.Reorganizations.push_back(RP);
     }
+
+  } catch (const AlpException &E) {
+    // A failure outside any stage's fallback (e.g. overflow in the cost
+    // model or the communication graph): no sound partial answer exists.
+    return E.status();
+  } catch (const std::exception &E) {
+    // Anything else escaping the pipeline is a library defect, but the
+    // fail-soft contract still holds at this boundary: report an error
+    // instead of crashing the host.
+    return Status::error(StatusCode::Unsolvable,
+                         std::string("internal error: ") + E.what());
+  }
   return PD;
+}
+
+ProgramDecomposition alp::decompose(Program &P, const MachineParams &Machine,
+                                    const DriverOptions &Opts) {
+  Expected<ProgramDecomposition> R = decomposeOrError(P, Machine, Opts);
+  if (!R.hasValue())
+    reportFatalError("decomposition failed: " + R.status().str());
+  return R.takeValue();
 }
 
 std::string alp::printDecomposition(const Program &P,

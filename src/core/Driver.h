@@ -43,9 +43,27 @@ struct DriverOptions {
   bool EnableReplication = true;
   /// Idle-processor projection (Sec. 7.1).
   bool EnableIdleProjection = true;
+  /// Resource limits for the exact algorithms. Copied per run (counters
+  /// start fresh); stages that exhaust it fall back to conservative
+  /// answers recorded in ProgramDecomposition::Degradations.
+  ResourceBudget Budget = ResourceBudget::defaults();
+  /// Wall-clock deadline for the whole pipeline in milliseconds; 0 means
+  /// none. Armed on the run's budget copy at entry.
+  uint64_t DeadlineMs = 0;
 };
 
+/// Runs the whole pipeline fail-soft: never aborts on user-reachable
+/// input. Arithmetic overflow or budget exhaustion inside a stage degrades
+/// that stage to a conservative sound answer (recorded in the result's
+/// Degradations); only a failure no stage can absorb returns an error
+/// Status. \p P may be rewritten by the local phase.
+Expected<ProgramDecomposition>
+decomposeOrError(Program &P, const MachineParams &Machine,
+                 const DriverOptions &Opts = {});
+
 /// Runs the whole pipeline. \p P may be rewritten by the local phase.
+/// Thin wrapper over decomposeOrError that reports a fatal error on the
+/// (degradation-proof) hard failures.
 ProgramDecomposition decompose(Program &P, const MachineParams &Machine,
                                const DriverOptions &Opts = {});
 

@@ -58,13 +58,15 @@ DynamicResult greedyJoin(const Program &P, const CostModel &CM,
                          std::vector<CommEdge> Edges, bool UseBlocking,
                          JoinPolicy Policy, bool ExcludeReadOnly,
                          const std::set<unsigned> &GlobalWritten,
-                         const PartitionOptions &Seeds) {
+                         const PartitionOptions &Seeds,
+                         ResourceBudget *Budget) {
   DynamicResult R;
 
   auto Solve = [&](const std::vector<unsigned> &Ids) {
     InterferenceGraph IG(P, Ids, /*IncludeReadOnly=*/!ExcludeReadOnly,
                          &GlobalWritten);
     PartitionOptions Opts = Seeds;
+    Opts.Budget = Budget;
     return UseBlocking ? solvePartitionsWithBlocks(IG, Opts)
                        : solvePartitions(IG, Opts);
   };
@@ -159,17 +161,19 @@ DynamicResult alp::runDynamicDecomposition(const Program &P,
                                            const CostModel &CM,
                                            bool UseBlocking,
                                            JoinPolicy Policy,
-                                           bool ExcludeReadOnly) {
+                                           bool ExcludeReadOnly,
+                                           ResourceBudget *Budget) {
   return greedyJoin(P, CM, P.nestsInOrder(), buildCommGraph(P, CM),
                     UseBlocking, Policy, ExcludeReadOnly,
-                    globallyWritten(P), PartitionOptions());
+                    globallyWritten(P), PartitionOptions(), Budget);
 }
 
 DynamicResult alp::runMultiLevelDynamicDecomposition(const Program &P,
                                                      const CostModel &CM,
                                                      bool UseBlocking,
                                                      JoinPolicy Policy,
-                                                     bool ExcludeReadOnly) {
+                                                     bool ExcludeReadOnly,
+                                                     ResourceBudget *Budget) {
   std::set<unsigned> GlobalWritten = globallyWritten(P);
   std::vector<CommEdge> AllEdges = buildCommGraph(P, CM);
 
@@ -245,7 +249,7 @@ DynamicResult alp::runMultiLevelDynamicDecomposition(const Program &P,
         Local.push_back(E);
     DynamicResult LR =
         greedyJoin(P, CM, Nests, std::move(Local), UseBlocking, Policy,
-                   ExcludeReadOnly, GlobalWritten, Seeds);
+                   ExcludeReadOnly, GlobalWritten, Seeds, Budget);
     // Seed computation partitions.
     for (const auto &[Root, Parts] : LR.Partitions)
       for (const auto &[NestId, Kernel] : Parts.CompKernel) {
@@ -279,5 +283,5 @@ DynamicResult alp::runMultiLevelDynamicDecomposition(const Program &P,
   // Final level: the whole program, seeded from below.
   return greedyJoin(P, CM, P.nestsInOrder(), std::move(AllEdges),
                     UseBlocking, Policy, ExcludeReadOnly, GlobalWritten,
-                    Seeds);
+                    Seeds, Budget);
 }

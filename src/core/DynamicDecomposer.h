@@ -65,7 +65,8 @@ std::vector<CommEdge> buildCommGraph(const Program &P, const CostModel &CM);
 DynamicResult runDynamicDecomposition(const Program &P, const CostModel &CM,
                                       bool UseBlocking = true,
                                       JoinPolicy Policy = JoinPolicy::Greedy,
-                                      bool ExcludeReadOnly = false);
+                                      bool ExcludeReadOnly = false,
+                                      ResourceBudget *Budget = nullptr);
 
 /// The faithful Sec. 6.4 multi-level variant: every structure context
 /// (sequential-loop body, branch arm) runs the Single_Level greedy
@@ -76,7 +77,8 @@ DynamicResult runDynamicDecomposition(const Program &P, const CostModel &CM,
 /// coincide.
 DynamicResult runMultiLevelDynamicDecomposition(
     const Program &P, const CostModel &CM, bool UseBlocking = true,
-    JoinPolicy Policy = JoinPolicy::Greedy, bool ExcludeReadOnly = false);
+    JoinPolicy Policy = JoinPolicy::Greedy, bool ExcludeReadOnly = false,
+    ResourceBudget *Budget = nullptr);
 
 } // namespace alp
 

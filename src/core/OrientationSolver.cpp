@@ -54,6 +54,7 @@ OrientationResult alp::solveOrientations(const InterferenceGraph &IG,
   unsigned N = R.VirtualDims;
 
   for (const InterferenceGraph::Component &Comp : IG.connectedComponents()) {
+    try {
     if (Comp.Arrays.empty()) {
       // Nests touching no arrays: give them a kernel-respecting C anyway.
       for (unsigned J : Comp.Nests) {
@@ -103,6 +104,12 @@ OrientationResult alp::solveOrientations(const InterferenceGraph &IG,
     std::deque<std::pair<bool, unsigned>> Work; // (isArray, id).
     Work.push_back({true, Root});
     while (!Work.empty()) {
+      if (ResourceBudget *B = Opts.Budget) {
+        if (Status S = B->chargeSolverIteration(); !S)
+          throw AlpException(S);
+        if (Status S = B->checkDeadline(); !S)
+          throw AlpException(S);
+      }
       auto [IsArray, Id] = Work.front();
       Work.pop_front();
       if (IsArray) {
@@ -125,6 +132,24 @@ OrientationResult alp::solveOrientations(const InterferenceGraph &IG,
       }
     }
     integerScaleComponent(R, Comp.Nests, Comp.Arrays);
+    } catch (const AlpException &E) {
+      // Propagation overflowed or ran out of budget: map the whole
+      // component to virtual processor 0 with zero matrices. Legal (zero
+      // matrices have full kernels) but sequential; the caller widens the
+      // partition kernels to match.
+      const Program &P = IG.program();
+      for (unsigned J : Comp.Nests)
+        R.C[J] = Matrix::zero(N, P.nest(J).depth());
+      for (unsigned A : Comp.Arrays)
+        R.D[A] = Matrix::zero(N, P.array(A).rank());
+      R.Degraded = true;
+      R.Warnings.push_back("orientation of component rooted at array " +
+                           std::to_string(Comp.Arrays.empty()
+                                              ? 0u
+                                              : Comp.Arrays.front()) +
+                           " degraded to zero matrices (" +
+                           E.status().str() + ")");
+    }
   }
   R.VirtualDims = N;
   return R;

@@ -19,6 +19,8 @@
 
 #include <map>
 #include <optional>
+#include <string>
+#include <vector>
 
 namespace alp {
 
@@ -28,6 +30,14 @@ struct OrientationResult {
   unsigned VirtualDims = 0;
   std::map<unsigned, Matrix> D; // Array -> n x m.
   std::map<unsigned, Matrix> C; // Nest  -> n x l.
+  /// True when some component's propagation overflowed or ran out of
+  /// budget and fell back to all-zero matrices (everything maps to virtual
+  /// processor 0 — legal, fully sequential/replicated). Callers must widen
+  /// the corresponding partition kernels to the full space to stay
+  /// consistent with the zero matrices.
+  bool Degraded = false;
+  /// One note per degraded component.
+  std::vector<std::string> Warnings;
 };
 
 /// Options for orientation solving.
@@ -37,6 +47,9 @@ struct OrientationOptions {
   /// (Sec. 6.4's cross-component orientation matching). A preference is
   /// honored only if its kernel matches the partition.
   std::map<unsigned, Matrix> PreferredD;
+  /// Optional resource budget; propagation charges one solver iteration
+  /// per worklist step and degrades per component on exhaustion.
+  ResourceBudget *Budget = nullptr;
 };
 
 /// Computes orientations for every array and nest of \p IG under the

@@ -146,8 +146,27 @@ void multipleArrayConstraint(const InterferenceGraph &IG,
 
 namespace {
 
-PartitionResult solveImpl(const InterferenceGraph &IG,
-                          const PartitionOptions &Opts, bool BlockedInit) {
+/// The always-legal zero-parallelism answer: full kernels place every
+/// iteration and every array element on one processor, so no communication
+/// constraint can be violated. Used when the exact solve blows its budget.
+PartitionResult trivialPartition(const InterferenceGraph &IG,
+                                 const Status &Why) {
+  const Program &P = IG.program();
+  PartitionResult R;
+  for (unsigned N : IG.nests())
+    R.CompKernel[N] = VectorSpace::full(P.nest(N).depth());
+  for (unsigned A : IG.arrays())
+    R.DataKernel[A] = VectorSpace::full(P.array(A).rank());
+  R.CompLocalized = R.CompKernel;
+  R.DataLocalized = R.DataKernel;
+  R.Degraded = true;
+  R.DegradeReason = Why.str();
+  return R;
+}
+
+PartitionResult solveImplUnchecked(const InterferenceGraph &IG,
+                                   const PartitionOptions &Opts,
+                                   bool BlockedInit) {
   const Program &P = IG.program();
   PartitionResult R;
 
@@ -172,6 +191,12 @@ PartitionResult solveImpl(const InterferenceGraph &IG,
   std::set<unsigned> DirtyNests(IG.nests().begin(), IG.nests().end());
   std::set<unsigned> DirtyArrays(IG.arrays().begin(), IG.arrays().end());
   while (!DirtyNests.empty() || !DirtyArrays.empty()) {
+    if (ResourceBudget *B = Opts.Budget) {
+      if (Status S = B->chargeSolverIteration(); !S)
+        throw AlpException(S);
+      if (Status S = B->checkDeadline(); !S)
+        throw AlpException(S);
+    }
     if (!DirtyNests.empty()) {
       unsigned J = *DirtyNests.begin();
       DirtyNests.erase(DirtyNests.begin());
@@ -202,6 +227,18 @@ PartitionResult solveImpl(const InterferenceGraph &IG,
   return R;
 }
 
+/// Fail-soft wrapper: a budget trip or arithmetic overflow anywhere in the
+/// solve (including the multiple-array constraint's pseudo-inverses)
+/// degrades to the trivial partition instead of propagating.
+PartitionResult solveImpl(const InterferenceGraph &IG,
+                          const PartitionOptions &Opts, bool BlockedInit) {
+  try {
+    return solveImplUnchecked(IG, Opts, BlockedInit);
+  } catch (const AlpException &E) {
+    return trivialPartition(IG, E.status());
+  }
+}
+
 } // namespace
 
 PartitionResult alp::solvePartitions(const InterferenceGraph &IG,
@@ -214,13 +251,15 @@ alp::solvePartitionsWithBlocks(const InterferenceGraph &IG,
                                const PartitionOptions &Opts) {
   // First try for a communication-free solution with forall parallelism.
   PartitionResult R = solveImpl(IG, Opts, /*BlockedInit=*/false);
-  if (R.totalParallelism() > 0)
+  if (R.totalParallelism() > 0 || R.Degraded)
     return R;
 
   // No parallelism: the kernels just found are exactly the localized
   // spaces (Figure 4); re-solve with tileable loops released.
   PartitionResult Localized = R;
   PartitionResult B = solveImpl(IG, Opts, /*BlockedInit=*/true);
+  if (B.Degraded)
+    return B; // Trivial fallback already carries its own localized spaces.
   B.CompLocalized = Localized.CompKernel;
   B.DataLocalized = Localized.DataKernel;
   for (const auto &[N, K] : B.CompKernel) {

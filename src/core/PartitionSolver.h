@@ -30,8 +30,10 @@
 
 #include "core/InterferenceGraph.h"
 #include "linalg/VectorSpace.h"
+#include "support/Budget.h"
 
 #include <map>
+#include <string>
 
 namespace alp {
 
@@ -44,6 +46,13 @@ struct PartitionResult {
   /// True when the blocked pass ran and kernels differ from localized
   /// spaces (doacross parallelism via tiling).
   bool Blocked = false;
+  /// True when the solve ran out of budget (or overflowed) and fell back
+  /// to the trivial partition: every kernel is the full space, i.e. all
+  /// iterations and data on one processor. Communication-free and always
+  /// legal, just with zero parallelism.
+  bool Degraded = false;
+  /// Human-readable reason when Degraded.
+  std::string DegradeReason;
 
   /// Degrees of parallelism of nest \p NestId under this partition.
   unsigned parallelism(unsigned NestId) const;
@@ -61,6 +70,10 @@ struct PartitionOptions {
   /// unioned into the initial constraint sets.
   std::map<unsigned, VectorSpace> SeedComp;
   std::map<unsigned, VectorSpace> SeedData;
+  /// Optional resource budget; the solve charges one solver iteration per
+  /// worklist step. On exhaustion the result degrades to the trivial
+  /// partition (PartitionResult::Degraded) instead of aborting.
+  ResourceBudget *Budget = nullptr;
 };
 
 /// Runs the Sec. 4 algorithm: static partitions, forall parallelism only.

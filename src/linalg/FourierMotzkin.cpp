@@ -104,8 +104,12 @@ void ConstraintSystem::simplify() {
   Constraints = std::move(Out);
 }
 
-void ConstraintSystem::eliminate(unsigned Var) {
+Status ConstraintSystem::eliminateImpl(unsigned Var, ResourceBudget *Budget) {
   assert(Var < NumVars && "variable out of range");
+  if (Budget) {
+    if (Status S = Budget->chargeEliminationSteps(Constraints.size()); !S)
+      return S;
+  }
   // If an equality mentions Var, substitute it into everything else.
   for (unsigned I = 0; I != Constraints.size(); ++I) {
     LinearConstraint &Eq = Constraints[I];
@@ -130,7 +134,7 @@ void ConstraintSystem::eliminate(unsigned Var) {
     }
     Constraints = std::move(Out);
     simplify();
-    return;
+    return Status::ok();
   }
 
   // Classic Fourier-Motzkin: pair every lower bound with every upper bound.
@@ -143,6 +147,14 @@ void ConstraintSystem::eliminate(unsigned Var) {
       Lowers.push_back(C); // a*x + rest >= 0 with a>0: lower bound on x.
     else
       Uppers.push_back(C);
+  }
+  if (Budget) {
+    uint64_t Pairs =
+        static_cast<uint64_t>(Lowers.size()) * Uppers.size();
+    if (Status S = Budget->chargeEliminationSteps(Pairs); !S)
+      return S;
+    if (Status S = Budget->checkConstraintCount(Others.size() + Pairs); !S)
+      return S;
   }
   for (const LinearConstraint &L : Lowers)
     for (const LinearConstraint &U : Uppers) {
@@ -157,6 +169,21 @@ void ConstraintSystem::eliminate(unsigned Var) {
     }
   Constraints = std::move(Others);
   simplify();
+  return Status::ok();
+}
+
+void ConstraintSystem::eliminate(unsigned Var) {
+  Status S = eliminateImpl(Var, nullptr);
+  (void)S;
+  assert(S.isOk() && "unbudgeted elimination cannot run out of budget");
+}
+
+Status ConstraintSystem::eliminate(unsigned Var, ResourceBudget *Budget) {
+  try {
+    return eliminateImpl(Var, Budget);
+  } catch (const AlpException &E) {
+    return E.status();
+  }
 }
 
 bool ConstraintSystem::isRationallyFeasible() const {
@@ -174,14 +201,63 @@ bool ConstraintSystem::isRationallyFeasible() const {
   return true;
 }
 
-std::optional<VariableBounds>
-ConstraintSystem::boundsOf(unsigned Var) const {
+Expected<bool>
+ConstraintSystem::isRationallyFeasible(ResourceBudget *Budget) const {
+  try {
+    ConstraintSystem Copy = *this;
+    for (unsigned V = 0; V != NumVars; ++V)
+      if (Status S = Copy.eliminateImpl(V, Budget); !S)
+        return S;
+    for (const LinearConstraint &C : Copy.Constraints) {
+      bool Holds = C.CKind == LinearConstraint::Kind::Equality
+                       ? C.Const.isZero()
+                       : C.Const >= Rational(0);
+      if (!Holds)
+        return false;
+    }
+    return true;
+  } catch (const AlpException &E) {
+    return E.status();
+  }
+}
+
+Status
+ConstraintSystem::boundsOfImpl(unsigned Var, ResourceBudget *Budget,
+                               std::optional<VariableBounds> &Result) const {
   ConstraintSystem Copy = *this;
   for (unsigned V = 0; V != NumVars; ++V)
     if (V != Var)
-      Copy.eliminate(V);
+      if (Status S = Copy.eliminateImpl(V, Budget); !S)
+        return S;
+  Result = Copy.readBoundsOf(Var);
+  return Status::ok();
+}
+
+std::optional<VariableBounds>
+ConstraintSystem::boundsOf(unsigned Var) const {
+  std::optional<VariableBounds> Result;
+  Status S = boundsOfImpl(Var, nullptr, Result);
+  (void)S;
+  assert(S.isOk() && "unbudgeted projection cannot run out of budget");
+  return Result;
+}
+
+Expected<std::optional<VariableBounds>>
+ConstraintSystem::boundsOf(unsigned Var, ResourceBudget *Budget) const {
+  try {
+    std::optional<VariableBounds> Result;
+    if (Status S = boundsOfImpl(Var, Budget, Result); !S)
+      return S;
+    return Result;
+  } catch (const AlpException &E) {
+    return E.status();
+  }
+}
+
+std::optional<VariableBounds>
+ConstraintSystem::readBoundsOf(unsigned Var) const {
   VariableBounds B;
-  for (const LinearConstraint &C : Copy.Constraints) {
+  for (const LinearConstraint &C : Constraints) {
     const Rational &A = C.Coeffs[Var];
     if (A.isZero()) {
       bool Holds = C.CKind == LinearConstraint::Kind::Equality

@@ -13,6 +13,7 @@
 #define ALP_LINALG_FOURIERMOTZKIN_H
 
 #include "linalg/Matrix.h"
+#include "support/Budget.h"
 
 #include <optional>
 #include <string>
@@ -63,17 +64,32 @@ public:
 
   /// Eliminates variable \p Var by Fourier-Motzkin, producing an equivalent
   /// projection onto the remaining variables (the variable keeps its index;
-  /// its coefficient becomes zero in every constraint).
+  /// its coefficient becomes zero in every constraint). Unbudgeted: throws
+  /// AlpException on rational overflow.
   void eliminate(unsigned Var);
+
+  /// Budgeted elimination: charges lower x upper pair combinations against
+  /// \p Budget and fails with BudgetExceeded when a limit trips (the system
+  /// is left in an unspecified but valid intermediate state) or
+  /// RationalOverflow when 64-bit arithmetic blows up. Never throws.
+  Status eliminate(unsigned Var, ResourceBudget *Budget);
 
   /// True if the system has a rational solution. Runs FM elimination on a
   /// copy; exact, exponential in the worst case but tiny here.
   bool isRationallyFeasible() const;
 
+  /// Budgeted feasibility; a Status instead of an exception or a hang on
+  /// adversarial systems. Never throws.
+  Expected<bool> isRationallyFeasible(ResourceBudget *Budget) const;
+
   /// Tightest derivable bounds on \p Var: eliminates every other variable
   /// and reads the surviving single-variable constraints. Returns nullopt
   /// if the system is infeasible.
   std::optional<VariableBounds> boundsOf(unsigned Var) const;
+
+  /// Budgeted bounds projection. Never throws.
+  Expected<std::optional<VariableBounds>>
+  boundsOf(unsigned Var, ResourceBudget *Budget) const;
 
   /// True if \p X satisfies every constraint.
   bool contains(const Vector &X) const;
@@ -83,6 +99,18 @@ public:
 private:
   unsigned NumVars;
   std::vector<LinearConstraint> Constraints;
+
+  /// Shared elimination body: may throw AlpException on overflow; returns
+  /// BudgetExceeded when \p Budget (nullable) trips.
+  Status eliminateImpl(unsigned Var, ResourceBudget *Budget);
+
+  /// Shared bounds body (budget may be null; throws on overflow).
+  Status boundsOfImpl(unsigned Var, ResourceBudget *Budget,
+                      std::optional<VariableBounds> &Out) const;
+
+  /// Reads bounds on \p Var off an already-projected system (only
+  /// constraints whose sole surviving variable is Var contribute).
+  std::optional<VariableBounds> readBoundsOf(unsigned Var) const;
 
   /// Substitutes equalities with a nonzero coefficient on Var and removes
   /// duplicates / trivially true rows; detects trivially false rows.

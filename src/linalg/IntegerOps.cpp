@@ -2,7 +2,7 @@
 
 #include "linalg/IntegerOps.h"
 
-#include "support/Diagnostics.h"
+#include "support/CheckedInt.h"
 
 #include <algorithm>
 #include <sstream>
@@ -15,21 +15,26 @@ ExtGcd alp::extendedGcd(int64_t A, int64_t B) {
   int64_t OldS = 1, S = 0;
   int64_t OldT = 0, T = 1;
   while (R != 0) {
+    if (OldR == INT64_MIN && R == -1)
+      throwOverflow("extended gcd quotient");
     int64_t Q = OldR / R;
-    int64_t Tmp = OldR - Q * R;
+    int64_t Tmp = checkedSub64(OldR, checkedMul64(Q, R, "extended gcd"),
+                               "extended gcd");
     OldR = R;
     R = Tmp;
-    Tmp = OldS - Q * S;
+    Tmp = checkedSub64(OldS, checkedMul64(Q, S, "extended gcd"),
+                       "extended gcd");
     OldS = S;
     S = Tmp;
-    Tmp = OldT - Q * T;
+    Tmp = checkedSub64(OldT, checkedMul64(Q, T, "extended gcd"),
+                       "extended gcd");
     OldT = T;
     T = Tmp;
   }
   if (OldR < 0) {
-    OldR = -OldR;
-    OldS = -OldS;
-    OldT = -OldT;
+    OldR = checkedNeg64(OldR, "extended gcd");
+    OldS = checkedNeg64(OldS, "extended gcd");
+    OldT = checkedNeg64(OldT, "extended gcd");
   }
   return {OldR, OldS, OldT};
 }
@@ -74,7 +79,7 @@ IntMatrix IntMatrix::operator*(const IntMatrix &RHS) const {
         __int128 V = static_cast<__int128>(M.at(R, C)) +
                      static_cast<__int128>(A) * RHS.at(K, C);
         if (V > INT64_MAX || V < INT64_MIN)
-          reportFatalError("integer matrix product overflow");
+          throwOverflow("integer matrix product");
         M.at(R, C) = static_cast<int64_t>(V);
       }
     }
@@ -87,7 +92,9 @@ IntMatrix::operator*(const std::vector<int64_t> &V) const {
   std::vector<int64_t> R(NumRows, 0);
   for (unsigned Row = 0; Row != NumRows; ++Row)
     for (unsigned C = 0; C != NumCols; ++C)
-      R[Row] += at(Row, C) * V[C];
+      R[Row] = checkedAdd64(
+          R[Row], checkedMul64(at(Row, C), V[C], "matrix-vector product"),
+          "matrix-vector product");
   return R;
 }
 
@@ -140,8 +147,12 @@ HermiteResult alp::hermiteNormalForm(const IntMatrix &A) {
     // (col C1, col C2) <- (A11*C1 + A12*C2, A21*C1 + A22*C2).
     for (unsigned R = 0; R != X.rows(); ++R) {
       int64_t V1 = X.at(R, C1), V2 = X.at(R, C2);
-      X.at(R, C1) = A11 * V1 + A12 * V2;
-      X.at(R, C2) = A21 * V1 + A22 * V2;
+      X.at(R, C1) = checkedAdd64(checkedMul64(A11, V1, "HNF column op"),
+                                 checkedMul64(A12, V2, "HNF column op"),
+                                 "HNF column op");
+      X.at(R, C2) = checkedAdd64(checkedMul64(A21, V1, "HNF column op"),
+                                 checkedMul64(A22, V2, "HNF column op"),
+                                 "HNF column op");
     }
   };
 
@@ -177,9 +188,9 @@ HermiteResult alp::hermiteNormalForm(const IntMatrix &A) {
     // Make the pivot positive.
     if (H.at(Row, PivotCol) < 0) {
       for (unsigned R = 0; R != M; ++R)
-        H.at(R, PivotCol) = -H.at(R, PivotCol);
+        H.at(R, PivotCol) = checkedNeg64(H.at(R, PivotCol), "HNF pivot sign");
       for (unsigned R = 0; R != N; ++R)
-        U.at(R, PivotCol) = -U.at(R, PivotCol);
+        U.at(R, PivotCol) = checkedNeg64(U.at(R, PivotCol), "HNF pivot sign");
     }
     // Reduce earlier columns modulo the pivot (canonical HNF condition).
     int64_t P = H.at(Row, PivotCol);
@@ -190,9 +201,13 @@ HermiteResult alp::hermiteNormalForm(const IntMatrix &A) {
       if (K == 0)
         continue;
       for (unsigned R = 0; R != M; ++R)
-        H.at(R, C) -= K * H.at(R, PivotCol);
+        H.at(R, C) = checkedSub64(
+            H.at(R, C), checkedMul64(K, H.at(R, PivotCol), "HNF reduce"),
+            "HNF reduce");
       for (unsigned R = 0; R != N; ++R)
-        U.at(R, C) -= K * U.at(R, PivotCol);
+        U.at(R, C) = checkedSub64(
+            U.at(R, C), checkedMul64(K, U.at(R, PivotCol), "HNF reduce"),
+            "HNF reduce");
     }
     Res.Pivots.push_back({Row, PivotCol});
     ++PivotCol;
@@ -211,7 +226,9 @@ alp::solveIntegerSystem(const IntMatrix &A, const std::vector<int64_t> &B) {
     // Residual of this row given already-fixed Y entries.
     int64_t Resid = B[Row];
     for (unsigned C = 0; C != N; ++C)
-      Resid -= HR.H.at(Row, C) * Y[C];
+      Resid = checkedSub64(
+          Resid, checkedMul64(HR.H.at(Row, C), Y[C], "integer solve"),
+          "integer solve");
     bool IsPivotRow = PivotIdx < HR.Pivots.size() &&
                       HR.Pivots[PivotIdx].first == Row;
     if (!IsPivotRow) {

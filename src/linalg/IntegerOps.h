@@ -7,6 +7,11 @@
 /// references can touch the same array element at integer iteration points,
 /// and to extract exact dependence distance vectors for uniform accesses.
 ///
+/// All arithmetic is overflow-checked: a computation that leaves 64 bits
+/// throws AlpException(RationalOverflow) rather than aborting or wrapping,
+/// and pipeline boundaries convert that into a conservative degraded
+/// answer (docs/ROBUSTNESS.md).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALP_LINALG_INTEGEROPS_H

@@ -2,7 +2,7 @@
 
 #include "linalg/Rational.h"
 
-#include "support/Diagnostics.h"
+#include "support/CheckedInt.h"
 
 #include <cassert>
 #include <cstdlib>
@@ -12,24 +12,25 @@
 using namespace alp;
 
 int64_t alp::gcd64(int64_t A, int64_t B) {
-  if (A < 0)
-    A = -A;
-  if (B < 0)
-    B = -B;
-  while (B != 0) {
-    int64_t T = A % B;
-    A = B;
-    B = T;
+  // Work on unsigned magnitudes so |INT64_MIN| is representable.
+  uint64_t UA = A < 0 ? 0 - static_cast<uint64_t>(A) : A;
+  uint64_t UB = B < 0 ? 0 - static_cast<uint64_t>(B) : B;
+  while (UB != 0) {
+    uint64_t T = UA % UB;
+    UA = UB;
+    UB = T;
   }
-  return A;
+  if (UA > static_cast<uint64_t>(INT64_MAX))
+    throwOverflow("gcd64");
+  return static_cast<int64_t>(UA);
 }
 
 namespace {
 
-/// Narrows a 128-bit value to 64 bits, failing loudly on overflow.
+/// Narrows a 128-bit value to 64 bits; recoverable overflow otherwise.
 int64_t narrow(__int128 V) {
   if (V > INT64_MAX || V < INT64_MIN)
-    reportFatalError("rational arithmetic overflow");
+    throwOverflow("rational arithmetic");
   return static_cast<int64_t>(V);
 }
 
@@ -39,17 +40,23 @@ int64_t alp::lcm64(int64_t A, int64_t B) {
   if (A == 0 || B == 0)
     return 0;
   int64_t G = gcd64(A, B);
-  __int128 L = static_cast<__int128>(A / G) * B;
-  if (L < 0)
-    L = -L;
-  return narrow(L);
+  int64_t L = checkedMul64(A / G, B, "lcm64");
+  return L < 0 ? checkedNeg64(L, "lcm64") : L;
+}
+
+Expected<int64_t> alp::checkedLcm64(int64_t A, int64_t B) {
+  try {
+    return lcm64(A, B);
+  } catch (const AlpException &E) {
+    return E.status();
+  }
 }
 
 Rational::Rational(int64_t N, int64_t D) {
   assert(D != 0 && "rational with zero denominator");
   if (D < 0) {
-    N = -N;
-    D = -D;
+    N = checkedNeg64(N, "rational numerator");
+    D = checkedNeg64(D, "rational denominator");
   }
   int64_t G = gcd64(N, D);
   if (G > 1) {
@@ -67,7 +74,7 @@ int64_t Rational::asInteger() const {
 
 Rational Rational::operator-() const {
   Rational R;
-  R.Num = -Num;
+  R.Num = checkedNeg64(Num, "rational negation");
   R.Den = Den;
   return R;
 }
@@ -106,6 +113,35 @@ Rational Rational::operator*(const Rational &RHS) const {
 
 Rational Rational::operator/(const Rational &RHS) const {
   return *this * RHS.reciprocal();
+}
+
+namespace {
+
+template <typename Op>
+Expected<Rational> checkedOp(Op &&F) {
+  try {
+    return F();
+  } catch (const AlpException &E) {
+    return E.status();
+  }
+}
+
+} // namespace
+
+Expected<Rational> Rational::checkedAdd(const Rational &A, const Rational &B) {
+  return checkedOp([&] { return A + B; });
+}
+
+Expected<Rational> Rational::checkedSub(const Rational &A, const Rational &B) {
+  return checkedOp([&] { return A - B; });
+}
+
+Expected<Rational> Rational::checkedMul(const Rational &A, const Rational &B) {
+  return checkedOp([&] { return A * B; });
+}
+
+Expected<Rational> Rational::checkedDiv(const Rational &A, const Rational &B) {
+  return checkedOp([&] { return A / B; });
 }
 
 Rational Rational::reciprocal() const {

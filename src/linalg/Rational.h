@@ -6,14 +6,18 @@
 /// over Q so that results such as ker D = span{(1,-1)} are exact.
 ///
 /// Intermediate products are computed in 128-bit arithmetic; a result whose
-/// reduced numerator or denominator does not fit in 64 bits triggers
-/// reportFatalError. The matrices arising from affine loop nests are tiny
-/// (dimension <= ~8) with small entries, so overflow indicates a bug.
+/// reduced numerator or denominator does not fit in 64 bits throws
+/// AlpException(RationalOverflow), which pipeline boundaries catch and
+/// convert into a degraded-but-sound answer (docs/ROBUSTNESS.md). The
+/// checked* entry points return Expected instead of throwing for callers
+/// that want to branch on overflow locally.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALP_LINALG_RATIONAL_H
 #define ALP_LINALG_RATIONAL_H
+
+#include "support/Status.h"
 
 #include <cstdint>
 #include <iosfwd>
@@ -62,6 +66,14 @@ public:
   /// Absolute value.
   Rational abs() const { return Num < 0 ? -*this : *this; }
 
+  /// Overflow-checked arithmetic: the same exact results as the operators,
+  /// but a RationalOverflow Status instead of a thrown AlpException.
+  static Expected<Rational> checkedAdd(const Rational &A, const Rational &B);
+  static Expected<Rational> checkedSub(const Rational &A, const Rational &B);
+  static Expected<Rational> checkedMul(const Rational &A, const Rational &B);
+  /// \p B must be nonzero.
+  static Expected<Rational> checkedDiv(const Rational &A, const Rational &B);
+
   bool operator==(const Rational &RHS) const {
     return Num == RHS.Num && Den == RHS.Den;
   }
@@ -81,11 +93,18 @@ private:
 
 std::ostream &operator<<(std::ostream &OS, const Rational &R);
 
-/// Greatest common divisor of |A| and |B|; gcd(0,0) == 0.
+/// Greatest common divisor of |A| and |B|; gcd(0,0) == 0. Defined for the
+/// full int64_t range (including INT64_MIN) except gcd(INT64_MIN, 0) and
+/// gcd(0, INT64_MIN), whose magnitude does not fit; those throw
+/// AlpException(RationalOverflow).
 int64_t gcd64(int64_t A, int64_t B);
 
-/// Least common multiple of |A| and |B|; checked for overflow.
+/// Least common multiple of |A| and |B|; throws
+/// AlpException(RationalOverflow) when the result leaves 64 bits.
 int64_t lcm64(int64_t A, int64_t B);
+
+/// lcm64 returning a Status instead of throwing.
+Expected<int64_t> checkedLcm64(int64_t A, int64_t B);
 
 } // namespace alp
 

@@ -1,0 +1,110 @@
+//===- support/Budget.h - Resource budgets for exact solvers ----*- C++ -*-===//
+///
+/// \file
+/// The paper's algorithms are exact and worst-case exponential
+/// (Fourier-Motzkin doubles constraints per elimination in the worst case;
+/// the partition fixpoint is bounded only by dimension growth). A
+/// ResourceBudget bounds that work so the pipeline degrades to a
+/// conservative answer instead of hanging: dependence tests answer
+/// "dependence assumed", partition solves fall back to the trivial
+/// (sequential / replicated) decomposition.
+///
+/// A budget is plumbed by pointer; nullptr everywhere means unlimited.
+/// Limits of 0 also mean unlimited, so a default-constructed budget with
+/// only one knob set constrains exactly that resource. Counters live in
+/// the budget itself: one budget instance caps one pipeline run
+/// cumulatively across all its solver invocations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_SUPPORT_BUDGET_H
+#define ALP_SUPPORT_BUDGET_H
+
+#include "support/Status.h"
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+namespace alp {
+
+/// Work limits plus consumed-so-far counters. Copyable; copying resets
+/// nothing, so copy before a run if you want fresh counters.
+struct ResourceBudget {
+  /// Maximum live constraints in any one Fourier-Motzkin system (caps the
+  /// per-elimination quadratic blowup). 0 = unlimited.
+  uint64_t MaxFMConstraints = 0;
+  /// Cumulative FM elimination steps (lower x upper pair combinations).
+  /// 0 = unlimited.
+  uint64_t MaxEliminationSteps = 0;
+  /// Cumulative solver worklist iterations (partition fixpoint updates,
+  /// orientation propagation). 0 = unlimited.
+  uint64_t MaxSolverIterations = 0;
+  /// Absolute wall-clock deadline. Unset = none.
+  std::optional<std::chrono::steady_clock::time_point> Deadline;
+
+  /// Consumed counters.
+  uint64_t UsedEliminationSteps = 0;
+  uint64_t UsedSolverIterations = 0;
+
+  /// A budget sized for interactive use: generous enough that every
+  /// realistic affine nest fits, small enough that adversarial systems
+  /// give up in well under a second.
+  static ResourceBudget defaults() {
+    ResourceBudget B;
+    B.MaxFMConstraints = 4096;
+    B.MaxEliminationSteps = 1u << 22;
+    B.MaxSolverIterations = 1u << 20;
+    return B;
+  }
+
+  /// Arms the wall-clock deadline \p Limit from now.
+  void setDeadlineIn(std::chrono::milliseconds Limit) {
+    Deadline = std::chrono::steady_clock::now() + Limit;
+  }
+
+  /// Charges \p N elimination steps; BudgetExceeded once the total passes
+  /// the limit (or the deadline has passed).
+  Status chargeEliminationSteps(uint64_t N) {
+    UsedEliminationSteps += N;
+    if (MaxEliminationSteps && UsedEliminationSteps > MaxEliminationSteps)
+      return Status::error(StatusCode::BudgetExceeded,
+                           "Fourier-Motzkin elimination step limit (" +
+                               std::to_string(MaxEliminationSteps) +
+                               ") exhausted");
+    return checkDeadline();
+  }
+
+  /// Charges one solver worklist iteration.
+  Status chargeSolverIteration() {
+    ++UsedSolverIterations;
+    if (MaxSolverIterations && UsedSolverIterations > MaxSolverIterations)
+      return Status::error(StatusCode::BudgetExceeded,
+                           "solver iteration limit (" +
+                               std::to_string(MaxSolverIterations) +
+                               ") exhausted");
+    return checkDeadline();
+  }
+
+  /// Checks a constraint-system size against MaxFMConstraints.
+  Status checkConstraintCount(uint64_t Count) const {
+    if (MaxFMConstraints && Count > MaxFMConstraints)
+      return Status::error(StatusCode::BudgetExceeded,
+                           "constraint count " + std::to_string(Count) +
+                               " exceeds limit " +
+                               std::to_string(MaxFMConstraints));
+    return Status::ok();
+  }
+
+  /// BudgetExceeded once the wall-clock deadline has passed.
+  Status checkDeadline() const {
+    if (Deadline && std::chrono::steady_clock::now() > *Deadline)
+      return Status::error(StatusCode::BudgetExceeded,
+                           "wall-clock deadline exceeded");
+    return Status::ok();
+  }
+};
+
+} // namespace alp
+
+#endif // ALP_SUPPORT_BUDGET_H

@@ -1,0 +1,53 @@
+//===- support/CheckedInt.h - Overflow-checked 64-bit helpers ---*- C++ -*-===//
+///
+/// \file
+/// Overflow-checked int64_t arithmetic built on the __builtin_*_overflow
+/// intrinsics. On overflow these throw AlpException(RationalOverflow); the
+/// exact-arithmetic layers (Rational, IntMatrix, Hermite normal form) use
+/// them so that a 64-bit blowup surfaces as a recoverable Status at the
+/// pipeline boundary instead of silent UB or an abort.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_SUPPORT_CHECKEDINT_H
+#define ALP_SUPPORT_CHECKEDINT_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+
+namespace alp {
+
+[[noreturn]] inline void throwOverflow(const char *Op) {
+  throw AlpException(StatusCode::RationalOverflow,
+                     std::string("64-bit overflow in ") + Op);
+}
+
+inline int64_t checkedAdd64(int64_t A, int64_t B, const char *Op = "add") {
+  int64_t R;
+  if (__builtin_add_overflow(A, B, &R))
+    throwOverflow(Op);
+  return R;
+}
+
+inline int64_t checkedSub64(int64_t A, int64_t B, const char *Op = "sub") {
+  int64_t R;
+  if (__builtin_sub_overflow(A, B, &R))
+    throwOverflow(Op);
+  return R;
+}
+
+inline int64_t checkedMul64(int64_t A, int64_t B, const char *Op = "mul") {
+  int64_t R;
+  if (__builtin_mul_overflow(A, B, &R))
+    throwOverflow(Op);
+  return R;
+}
+
+inline int64_t checkedNeg64(int64_t A, const char *Op = "negate") {
+  return checkedSub64(0, A, Op);
+}
+
+} // namespace alp
+
+#endif // ALP_SUPPORT_CHECKEDINT_H

@@ -1,0 +1,32 @@
+//===- support/Status.cpp - Recoverable error propagation ------------------===//
+
+#include "support/Status.h"
+
+using namespace alp;
+
+const char *alp::statusCodeName(StatusCode Code) {
+  switch (Code) {
+  case StatusCode::Ok:
+    return "ok";
+  case StatusCode::RationalOverflow:
+    return "rational-overflow";
+  case StatusCode::BudgetExceeded:
+    return "budget-exceeded";
+  case StatusCode::Unsolvable:
+    return "unsolvable";
+  case StatusCode::InvalidInput:
+    return "invalid-input";
+  }
+  return "unknown";
+}
+
+std::string Status::str() const {
+  if (isOk())
+    return "ok";
+  std::string S = statusCodeName(Code);
+  if (!Context.empty()) {
+    S += ": ";
+    S += Context;
+  }
+  return S;
+}

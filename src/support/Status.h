@@ -1,0 +1,139 @@
+//===- support/Status.h - Recoverable error propagation ---------*- C++ -*-===//
+//
+// Part of the alp project: a reproduction of Anderson & Lam, "Global
+// Optimizations for Parallelism and Locality on Scalable Parallel Machines"
+// (PLDI 1993).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fail-soft error propagation for everything user-reachable. The library's
+/// policy (docs/ROBUSTNESS.md):
+///
+///  * reportFatalError / assert — violated internal invariants only, i.e.
+///    bugs in the library itself. These abort.
+///  * Status / Expected<T> — every outcome a well-formed but adversarial
+///    input can provoke: 64-bit rational overflow, solver budget
+///    exhaustion, unsolvable systems. These are ordinary return values.
+///
+/// Deep arithmetic kernels (Rational, IntMatrix) cannot practically thread
+/// Expected through every operator, so they throw AlpException carrying a
+/// Status; stage boundaries (decomposeOrError, the dependence analyzer)
+/// catch it and degrade gracefully.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_SUPPORT_STATUS_H
+#define ALP_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <exception>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace alp {
+
+/// Recoverable failure categories.
+enum class StatusCode {
+  Ok,
+  /// A reduced numerator/denominator or integer product left 64 bits.
+  RationalOverflow,
+  /// A ResourceBudget limit (constraints, steps, iterations, deadline) hit.
+  BudgetExceeded,
+  /// A system has no solution the solver can represent (e.g. an
+  /// orientation or tiling request that cannot be satisfied).
+  Unsolvable,
+  /// Malformed input reached an API that validates it.
+  InvalidInput,
+};
+
+/// Renders the code as a stable identifier ("rational-overflow", ...).
+const char *statusCodeName(StatusCode Code);
+
+/// An error code plus a human-readable context string. Default-constructed
+/// Status is Ok.
+class Status {
+public:
+  Status() = default;
+
+  static Status ok() { return Status(); }
+  static Status error(StatusCode Code, std::string Context) {
+    assert(Code != StatusCode::Ok && "error status requires a failure code");
+    Status S;
+    S.Code = Code;
+    S.Context = std::move(Context);
+    return S;
+  }
+
+  bool isOk() const { return Code == StatusCode::Ok; }
+  explicit operator bool() const { return isOk(); }
+
+  StatusCode code() const { return Code; }
+  const std::string &context() const { return Context; }
+
+  /// "rational-overflow: multiplying 2^40 by 2^40" (or "ok").
+  std::string str() const;
+
+private:
+  StatusCode Code = StatusCode::Ok;
+  std::string Context;
+};
+
+/// A value of type T or the Status explaining why there is none.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {} // NOLINT: implicit.
+  Expected(Status S) : Err(std::move(S)) {       // NOLINT: implicit.
+    assert(!Err.isOk() && "Expected error must carry a failure status");
+  }
+
+  bool hasValue() const { return Value.has_value(); }
+  explicit operator bool() const { return hasValue(); }
+
+  T &operator*() {
+    assert(hasValue() && "dereferencing errored Expected");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(hasValue() && "dereferencing errored Expected");
+    return *Value;
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// The failure; Ok when a value is present.
+  const Status &status() const { return Err; }
+
+  /// Moves the value out.
+  T takeValue() {
+    assert(hasValue() && "taking value of errored Expected");
+    return std::move(*Value);
+  }
+
+private:
+  std::optional<T> Value;
+  Status Err;
+};
+
+/// Exception carrying a Status, thrown by deep arithmetic where returning
+/// Expected through every operator is impractical. Caught at the pipeline
+/// stage boundaries; it must never escape a public entry point that
+/// promises fail-soft behavior.
+class AlpException : public std::exception {
+public:
+  explicit AlpException(Status S) : S(std::move(S)), Message(this->S.str()) {}
+  AlpException(StatusCode Code, std::string Context)
+      : AlpException(Status::error(Code, std::move(Context))) {}
+
+  const Status &status() const { return S; }
+  const char *what() const noexcept override { return Message.c_str(); }
+
+private:
+  Status S;
+  std::string Message;
+};
+
+} // namespace alp
+
+#endif // ALP_SUPPORT_STATUS_H

@@ -2,7 +2,7 @@
 
 #include "transform/Tiling.h"
 
-#include "support/Diagnostics.h"
+#include "support/Status.h"
 
 using namespace alp;
 
@@ -55,17 +55,22 @@ LoopNest alp::tileLoops(const LoopNest &Nest, unsigned First,
     int64_t B = Sizes[P - First];
     const Loop &Src = Nest.Loops[P];
     if (Src.Lower.size() != 1)
-      reportFatalError("tiling requires a single lower bound per loop");
+      // User-reachable via max-style lower bounds; callers degrade to the
+      // untiled nest.
+      throw AlpException(StatusCode::Unsolvable,
+                         "tiling requires a single lower bound per loop");
     // The tiled loop's bounds may only mention loops outside the band
     // prefix (they become outer loops of the block indices).
     for (const BoundTerm &T : Src.Lower)
       for (unsigned Q = First; Q != L; ++Q)
         if (!T.OuterCoeffs[Q].isZero())
-          reportFatalError("tiled loop bound depends on a band member");
+          throw AlpException(StatusCode::Unsolvable,
+                             "tiled loop bound depends on a band member");
     for (const BoundTerm &T : Src.Upper)
       for (unsigned Q = First; Q != L; ++Q)
         if (!T.OuterCoeffs[Q].isZero())
-          reportFatalError("tiled loop bound depends on a band member");
+          throw AlpException(StatusCode::Unsolvable,
+                             "tiled loop bound depends on a band member");
 
     const BoundTerm &Lb = Src.Lower.front();
     Loop &Blk = Out.Loops[First + I];

@@ -21,8 +21,10 @@ namespace alp {
 
 /// Tiles loops [First, First + Sizes.size()) of \p Nest; Sizes[k] == 0
 /// leaves loop First+k untiled. Block-index loops are inserted at position
-/// First in tiled-dimension order. Requires (and asserts) that every tiled
-/// loop's bounds reference only loops at positions < First.
+/// First in tiled-dimension order. Every tiled loop must have a single
+/// lower bound referencing only loops at positions < First; violations
+/// throw AlpException(Unsolvable) so callers can fall back to the untiled
+/// nest.
 ///
 /// Returns the tiled nest; \p Nest is left untouched. The returned nest's
 /// Tiles vector maps each block-index loop to its element loop.

@@ -178,7 +178,11 @@ alp::computeCanonicalForm(const LoopNest &Nest,
       unsigned P = Remaining.front();
       for (unsigned I : Active)
         if (CompAt(States[I], P).mayBeNegative())
-          reportFatalError("local phase: cannot legally order loop nest");
+          // Reachable with conservative (all-star) dependences: no loop
+          // order can be proven legal. Recoverable — runLocalPhase leaves
+          // the nest in source order.
+          throw AlpException(StatusCode::Unsolvable,
+                             "local phase: cannot legally order loop nest");
       Band.push_back({P, {}});
     }
 
@@ -388,16 +392,36 @@ void alp::applyUnimodular(LoopNest &Nest, const IntMatrix &T) {
   Nest.PermutableBands.clear();
 }
 
-void alp::runLocalPhase(Program &P) {
-  DependenceAnalysis DA(P);
-  for (LoopNest &Nest : P.Nests) {
-    std::vector<Dependence> Deps = DA.analyze(Nest);
-    CanonicalForm CF = computeCanonicalForm(Nest, Deps);
-    if (!CF.T.toRational().isIdentity())
-      applyUnimodular(Nest, CF.T);
-    for (unsigned R = 0; R != Nest.depth(); ++R)
-      Nest.Loops[R].Kind =
-          CF.ParallelLoops[R] ? LoopKind::Parallel : LoopKind::Sequential;
-    Nest.PermutableBands = CF.BandSizes;
+void alp::runLocalPhase(Program &P, ResourceBudget *Budget,
+                        std::vector<std::string> *Warnings) {
+  DependenceAnalysis DA(P, Budget);
+  for (unsigned NI = 0; NI != P.Nests.size(); ++NI) {
+    LoopNest &Nest = P.Nests[NI];
+    try {
+      std::vector<Dependence> Deps = DA.analyze(Nest);
+      CanonicalForm CF = computeCanonicalForm(Nest, Deps);
+      // Transform a copy so a mid-rewrite overflow cannot leave the nest
+      // half-transformed.
+      LoopNest Trial = Nest;
+      if (!CF.T.toRational().isIdentity())
+        applyUnimodular(Trial, CF.T);
+      for (unsigned R = 0; R != Trial.depth(); ++R)
+        Trial.Loops[R].Kind =
+            CF.ParallelLoops[R] ? LoopKind::Parallel : LoopKind::Sequential;
+      Trial.PermutableBands = CF.BandSizes;
+      Nest = std::move(Trial);
+    } catch (const AlpException &E) {
+      // Source order, all sequential, one loop per band: legal by
+      // construction and never tiled.
+      for (Loop &L : Nest.Loops)
+        L.Kind = LoopKind::Sequential;
+      Nest.PermutableBands.assign(Nest.depth(), 1);
+      if (Warnings)
+        Warnings->push_back("local phase left nest " + std::to_string(NI) +
+                            " untransformed (" + E.status().str() + ")");
+    }
   }
+  if (Warnings)
+    for (const std::string &W : DA.warnings())
+      Warnings->push_back(W);
 }

@@ -18,14 +18,17 @@ TEST(DeathTest, FatalErrorAborts) {
   EXPECT_DEATH(reportFatalError("boom"), "alp fatal error: boom");
 }
 
-TEST(DeathTest, RationalOverflowIsLoud) {
+TEST(DeathTest, RationalOverflowIsRecoverable) {
+  // Overflow is a user-reachable outcome, not an invariant violation: it
+  // must throw a catchable AlpException (tests/RobustnessTest.cpp pins the
+  // full contract), never abort.
   Rational Huge(INT64_MAX / 2, 1);
-  EXPECT_DEATH(
+  EXPECT_THROW(
       {
         Rational R = Huge * Huge * Huge;
         (void)R;
       },
-      "overflow");
+      AlpException);
 }
 
 TEST(DeathTest, UnboundSymbolInEvaluate) {

@@ -1,0 +1,354 @@
+//===- tools/alp_fuzz.cpp - Fail-soft fuzz / stress harness -----*- C++ -*-===//
+//
+// alp_fuzz: throw randomized programs at the fail-soft pipeline and check
+// the contract of docs/ROBUSTNESS.md — decomposeOrError never aborts on
+// user-reachable input, no matter how adversarial.
+//
+//   alp_fuzz [--seed S] [--iters N] [--corpus DIR] [--verbose]
+//
+// Two generators alternate, both deterministic in the seed:
+//
+//   * random DSL text (valid-shaped programs, sometimes byte-mutated into
+//     garbage) through the front end: the parser must diagnose, never
+//     crash; whatever parses goes through decomposeOrError;
+//   * random affine IR via ProgramBuilder with adversarial coefficients
+//     (up to ~2^40, so products overflow 64 bits) straight into
+//     decomposeOrError.
+//
+// With --corpus, every *.alp file in DIR is replayed first (the checked-in
+// crash-regression corpus lives in testdata/fuzz/). Exit 0 iff every case
+// completed without a crash; on abort the terminate handler prints the
+// case seed for `alp_fuzz --seed S --iters 1`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+#include "frontend/Lowering.h"
+#include "ir/Builder.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace alp;
+
+namespace {
+
+uint64_t CurrentSeed = 0;
+const char *CurrentPhase = "startup";
+
+/// Budget used for every decomposition: tight enough that adversarial
+/// systems degrade quickly instead of grinding, loose enough that normal
+/// programs solve exactly.
+DriverOptions fuzzOptions() {
+  DriverOptions Opts;
+  Opts.Budget.MaxFMConstraints = 2048;
+  Opts.Budget.MaxEliminationSteps = 1 << 18;
+  Opts.Budget.MaxSolverIterations = 1 << 14;
+  return Opts;
+}
+
+/// Starvation budget: every exact algorithm exhausts almost immediately,
+/// forcing each stage's conservative fallback. Programs that survive this
+/// prove the degradation paths themselves are crash-free.
+DriverOptions starvedOptions() {
+  DriverOptions Opts;
+  Opts.Budget.MaxFMConstraints = 16;
+  Opts.Budget.MaxEliminationSteps = 4;
+  Opts.Budget.MaxSolverIterations = 4;
+  return Opts;
+}
+
+/// Runs one parsed program through the pipeline. Any result (value, error
+/// status, degraded value) is a pass; only a crash/abort is a failure.
+void runPipeline(Program &P, const DriverOptions &Opts) {
+  CurrentPhase = "decompose";
+  MachineParams M;
+  Expected<ProgramDecomposition> R = decomposeOrError(P, M, Opts);
+  if (R.hasValue())
+    (void)printDecomposition(P, *R); // Exercise the printers too.
+}
+
+/// Compiles DSL text and, if it parses, decomposes it — once with the
+/// regular fuzz budget and once starved (the local phase rewrites the
+/// program, so each run gets a fresh parse).
+void runDslCase(const std::string &Text) {
+  CurrentPhase = "parse";
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileDsl(Text, Diags);
+  if (!Prog)
+    return; // Diagnosed, not crashed: the contract held.
+  runPipeline(*Prog, fuzzOptions());
+  CurrentPhase = "parse";
+  DiagnosticEngine Diags2;
+  std::optional<Program> Prog2 = compileDsl(Text, Diags2);
+  if (Prog2)
+    runPipeline(*Prog2, starvedOptions());
+}
+
+//===----------------------------------------------------------------------===//
+// Generator 1: random DSL text
+//===----------------------------------------------------------------------===//
+
+std::string genSubscript(Rng &R, unsigned Depth) {
+  // An affine combination of up to two enclosing indices and a constant.
+  std::ostringstream OS;
+  unsigned Terms = 1 + R.nextBelow(2);
+  for (unsigned T = 0; T != Terms; ++T) {
+    if (T)
+      OS << (R.nextBelow(2) ? " + " : " - ");
+    int64_t C = R.nextInRange(1, 3);
+    if (C != 1)
+      OS << C << " * ";
+    OS << "i" << R.nextBelow(Depth);
+  }
+  if (R.nextBelow(2))
+    OS << (R.nextBelow(2) ? " + " : " - ") << R.nextInRange(0, 4);
+  return OS.str();
+}
+
+std::string genDslProgram(Rng &R) {
+  std::ostringstream OS;
+  OS << "program fuzz;\n";
+  OS << "param N = " << R.nextInRange(3, 64) << ";\n";
+  unsigned NumArrays = 1 + R.nextBelow(3);
+  std::vector<unsigned> Ranks;
+  OS << "array ";
+  for (unsigned A = 0; A != NumArrays; ++A) {
+    unsigned Rank = 1 + R.nextBelow(3);
+    Ranks.push_back(Rank);
+    if (A)
+      OS << ", ";
+    OS << char('A' + A) << '[';
+    for (unsigned D = 0; D != Rank; ++D)
+      OS << (D ? ", " : "") << "N + 1";
+    OS << ']';
+  }
+  OS << ";\n";
+
+  unsigned NumNests = 1 + R.nextBelow(3);
+  for (unsigned N = 0; N != NumNests; ++N) {
+    unsigned Depth = 1 + R.nextBelow(3);
+    for (unsigned L = 0; L != Depth; ++L) {
+      for (unsigned Ind = 0; Ind != L; ++Ind)
+        OS << "  ";
+      OS << (R.nextBelow(2) ? "forall" : "for") << " i" << L << " = "
+         << R.nextInRange(0, 2) << " to N" << " {\n";
+    }
+    auto Ref = [&](unsigned A) {
+      std::ostringstream RS;
+      RS << char('A' + A) << '[';
+      for (unsigned D = 0; D != Ranks[A]; ++D)
+        RS << (D ? ", " : "") << genSubscript(R, Depth);
+      RS << ']';
+      return RS.str();
+    };
+    unsigned Stmts = 1 + R.nextBelow(2);
+    for (unsigned S = 0; S != Stmts; ++S) {
+      for (unsigned Ind = 0; Ind != Depth; ++Ind)
+        OS << "  ";
+      unsigned W = R.nextBelow(NumArrays);
+      OS << Ref(W) << (R.nextBelow(4) == 0 ? " += " : " = ") << "f("
+         << Ref(R.nextBelow(NumArrays)) << ", " << Ref(R.nextBelow(NumArrays))
+         << ") @cost(" << R.nextInRange(1, 40) << ");\n";
+    }
+    for (unsigned L = Depth; L != 0; --L) {
+      for (unsigned Ind = 0; Ind != L - 1; ++Ind)
+        OS << "  ";
+      OS << "}\n";
+    }
+  }
+  return OS.str();
+}
+
+/// Byte-mutates \p Text in place: the parser must survive garbage.
+void mutate(Rng &R, std::string &Text) {
+  unsigned Edits = 1 + R.nextBelow(8);
+  for (unsigned E = 0; E != Edits && !Text.empty(); ++E) {
+    size_t Pos = R.nextBelow(Text.size());
+    switch (R.nextBelow(3)) {
+    case 0:
+      Text[Pos] = static_cast<char>(R.nextInRange(32, 126));
+      break;
+    case 1:
+      Text.erase(Pos, 1);
+      break;
+    default:
+      Text.insert(Pos, 1, static_cast<char>(R.nextInRange(32, 126)));
+      break;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Generator 2: random affine IR with adversarial coefficients
+//===----------------------------------------------------------------------===//
+
+int64_t genCoeff(Rng &R) {
+  switch (R.nextBelow(8)) {
+  case 0:
+    return R.nextInRange(-3, 3) * (int64_t(1) << 40); // Overflow bait.
+  case 1:
+    return R.nextInRange(-1000000, 1000000);
+  default:
+    return R.nextInRange(-3, 3);
+  }
+}
+
+void runIrCase(Rng &R) {
+  CurrentPhase = "build-ir";
+  ProgramBuilder PB("fuzz_ir");
+  SymAffine N = PB.param("N", R.nextInRange(4, 512));
+
+  unsigned NumArrays = 1 + R.nextBelow(3);
+  std::vector<unsigned> Ranks;
+  for (unsigned A = 0; A != NumArrays; ++A) {
+    unsigned Rank = 1 + R.nextBelow(3);
+    Ranks.push_back(Rank);
+    std::vector<SymAffine> Dims;
+    for (unsigned D = 0; D != Rank; ++D)
+      Dims.push_back(N + SymAffine(1));
+    PB.array(std::string(1, char('A' + A)), Dims);
+  }
+
+  unsigned NumNests = 1 + R.nextBelow(3);
+  for (unsigned NI = 0; NI != NumNests; ++NI) {
+    NestBuilder NB = PB.nest();
+    unsigned Depth = 1 + R.nextBelow(3);
+    for (unsigned L = 0; L != Depth; ++L)
+      NB.loop("i" + std::to_string(L), SymAffine(R.nextInRange(0, 2)), N,
+              R.nextBelow(2) ? LoopKind::Parallel : LoopKind::Sequential);
+    unsigned Stmts = 1 + R.nextBelow(2);
+    for (unsigned S = 0; S != Stmts; ++S) {
+      NB.stmt(R.nextInRange(1, 40));
+      auto Access = [&](bool IsWrite) {
+        unsigned A = R.nextBelow(NumArrays);
+        Matrix F(Ranks[A], Depth);
+        SymVector K(Ranks[A]);
+        for (unsigned RowI = 0; RowI != Ranks[A]; ++RowI) {
+          for (unsigned Col = 0; Col != Depth; ++Col)
+            F.at(RowI, Col) = Rational(genCoeff(R));
+          K[RowI] = SymAffine(genCoeff(R));
+        }
+        std::string Name(1, char('A' + A));
+        if (IsWrite)
+          NB.write(Name, F, K);
+        else
+          NB.read(Name, F, K);
+      };
+      Access(/*IsWrite=*/true);
+      unsigned Reads = R.nextBelow(3);
+      for (unsigned Rd = 0; Rd != Reads; ++Rd)
+        Access(/*IsWrite=*/false);
+    }
+  }
+  Program P = PB.build();
+  runPipeline(P, fuzzOptions());
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus replay
+//===----------------------------------------------------------------------===//
+
+int replayCorpus(const std::string &Dir, bool Verbose) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(Dir)) {
+    std::fprintf(stderr, "error: corpus dir '%s' not found\n", Dir.c_str());
+    return 2;
+  }
+  std::vector<fs::path> Files;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir))
+    if (E.path().extension() == ".alp")
+      Files.push_back(E.path());
+  std::sort(Files.begin(), Files.end());
+  for (const fs::path &F : Files) {
+    if (Verbose)
+      std::fprintf(stderr, "corpus: %s\n", F.c_str());
+    CurrentPhase = F.c_str();
+    std::ifstream In(F);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    runDslCase(Buf.str());
+  }
+  std::printf("corpus: %zu file(s) replayed, no crashes\n", Files.size());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t Seed = 12345;
+  uint64_t Iters = 1000;
+  std::string Corpus;
+  bool Verbose = false;
+  for (int I = 1; I != argc; ++I) {
+    const char *A = argv[I];
+    if (!std::strcmp(A, "--seed") && I + 1 < argc)
+      Seed = static_cast<uint64_t>(std::atoll(argv[++I]));
+    else if (!std::strcmp(A, "--iters") && I + 1 < argc)
+      Iters = static_cast<uint64_t>(std::atoll(argv[++I]));
+    else if (!std::strcmp(A, "--corpus") && I + 1 < argc)
+      Corpus = argv[++I];
+    else if (!std::strcmp(A, "--verbose"))
+      Verbose = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--seed S] [--iters N] [--corpus DIR] "
+                   "[--verbose]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::set_terminate([] {
+    std::fprintf(stderr, "alp_fuzz: CRASH at seed %llu (phase: %s)\n",
+                 static_cast<unsigned long long>(CurrentSeed), CurrentPhase);
+    std::abort();
+  });
+
+  if (!Corpus.empty()) {
+    int RC = replayCorpus(Corpus, Verbose);
+    if (RC != 0)
+      return RC;
+  }
+
+  for (uint64_t I = 0; I != Iters; ++I) {
+    CurrentSeed = Seed + I;
+    Rng R(CurrentSeed);
+    if (Verbose)
+      std::fprintf(stderr, "case seed=%llu\n",
+                   static_cast<unsigned long long>(CurrentSeed));
+    switch (CurrentSeed % 3) {
+    case 0: {
+      std::string Text = genDslProgram(R);
+      runDslCase(Text);
+      break;
+    }
+    case 1: {
+      // Same generator, then corrupted: parser robustness.
+      std::string Text = genDslProgram(R);
+      mutate(R, Text);
+      runDslCase(Text);
+      break;
+    }
+    default:
+      runIrCase(R);
+      break;
+    }
+    if ((I + 1) % 500 == 0)
+      std::printf("fuzz: %llu/%llu cases, no crashes\n",
+                  static_cast<unsigned long long>(I + 1),
+                  static_cast<unsigned long long>(Iters));
+  }
+  std::printf("fuzz: completed %llu cases (base seed %llu), no crashes\n",
+              static_cast<unsigned long long>(Iters),
+              static_cast<unsigned long long>(Seed));
+  return 0;
+}

@@ -17,6 +17,14 @@
 //   --simulate           simulate on the NUMA machine (1..32 procs)
 //   --procs <n>          machine size for --simulate (default 32)
 //   --block <n>          pipeline block size (default 4)
+//   --max-fm <n>         cap live Fourier-Motzkin constraints (0 = off)
+//   --max-steps <n>      cap FM elimination steps (0 = off)
+//   --max-iters <n>      cap solver fixpoint iterations (0 = off)
+//   --deadline-ms <n>    wall-clock budget for the pipeline (0 = off)
+//
+// Exit codes: 0 success; 1 cannot open / parse / verify failure; 2 usage;
+// 3 decomposition failed outright; 4 success but degraded (some stage fell
+// back to a conservative answer — report on stderr).
 //
 //===----------------------------------------------------------------------===//
 
@@ -47,7 +55,9 @@ void usage(const char *Prog) {
                "            [--no-projection] [--force-single] "
                "[--never-join] [--multi-level] [--fuse]\n"
                "            [--spmd] [--comm] [--verify] [--print-ir] [--deps] [--simulate] "
-               "[--procs N] [--block B]\n",
+               "[--procs N] [--block B]\n"
+               "            [--max-fm N] [--max-steps N] [--max-iters N] "
+               "[--deadline-ms N]\n",
                Prog);
 }
 
@@ -100,6 +110,17 @@ int main(int argc, char **argv) {
       Procs = static_cast<unsigned>(std::atoi(argv[++I]));
     else if (!std::strcmp(A, "--block") && I + 1 < argc)
       Block = std::atoll(argv[++I]);
+    else if (!std::strcmp(A, "--max-fm") && I + 1 < argc)
+      Opts.Budget.MaxFMConstraints =
+          static_cast<uint64_t>(std::atoll(argv[++I]));
+    else if (!std::strcmp(A, "--max-steps") && I + 1 < argc)
+      Opts.Budget.MaxEliminationSteps =
+          static_cast<uint64_t>(std::atoll(argv[++I]));
+    else if (!std::strcmp(A, "--max-iters") && I + 1 < argc)
+      Opts.Budget.MaxSolverIterations =
+          static_cast<uint64_t>(std::atoll(argv[++I]));
+    else if (!std::strcmp(A, "--deadline-ms") && I + 1 < argc)
+      Opts.DeadlineMs = static_cast<uint64_t>(std::atoll(argv[++I]));
     else if (A[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", A);
       usage(argv[0]);
@@ -133,13 +154,27 @@ int main(int argc, char **argv) {
   M.NumProcs = Procs;
   M.BlockSize = Block;
 
-  ProgramDecomposition PD = decompose(P, M, Opts);
+  auto RunDecompose = [&](ProgramDecomposition &Out) -> bool {
+    Expected<ProgramDecomposition> R = decomposeOrError(P, M, Opts);
+    if (!R.hasValue()) {
+      std::fprintf(stderr, "error: decomposition failed: %s\n",
+                   R.status().str().c_str());
+      return false;
+    }
+    Out = R.takeValue();
+    return true;
+  };
+
+  ProgramDecomposition PD;
+  if (!RunDecompose(PD))
+    return 3;
   if (DoFuse) {
     unsigned N = fuseCompatibleNests(P, &PD);
     std::printf("fused %u nest pair(s)\n", N);
     // Decompose again on the fused program (decompositions per nest id
     // may have been merged).
-    PD = decompose(P, M, Opts);
+    if (!RunDecompose(PD))
+      return 3;
   }
 
   if (DoIr)
@@ -189,6 +224,14 @@ int main(int argc, char **argv) {
                   Pr, R.Cycles, Seq / R.Cycles, R.ReorgCycles,
                   R.SyncCycles, R.RemoteLineFetches);
     }
+  }
+  if (PD.degraded()) {
+    std::fprintf(stderr, "%s", PD.degradationReport().c_str());
+    std::fprintf(stderr,
+                 "note: decomposition is sound but degraded (%zu stage "
+                 "fallback(s))\n",
+                 PD.Degradations.size());
+    return 4;
   }
   return 0;
 }
