@@ -12,11 +12,61 @@
 #include "frontend/Lowering.h"
 #include "support/Diagnostics.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace alp {
 namespace bench {
+
+/// Wall-time statistics over repeated runs of a workload, in milliseconds.
+struct RepStats {
+  double MeanMs = 0;
+  double P50Ms = 0;
+  double P99Ms = 0;
+  unsigned Reps = 0;
+};
+
+/// Runs \p F \p Reps times (after \p Warmup untimed runs) and reports
+/// mean / median / p99 wall time from steady_clock.
+template <typename Fn>
+RepStats timeReps(unsigned Reps, unsigned Warmup, Fn &&F) {
+  for (unsigned I = 0; I != Warmup; ++I)
+    F();
+  std::vector<double> Ms;
+  Ms.reserve(Reps);
+  for (unsigned I = 0; I != Reps; ++I) {
+    auto T0 = std::chrono::steady_clock::now();
+    F();
+    auto T1 = std::chrono::steady_clock::now();
+    Ms.push_back(std::chrono::duration<double, std::milli>(T1 - T0).count());
+  }
+  std::sort(Ms.begin(), Ms.end());
+  RepStats S;
+  S.Reps = Reps;
+  for (double M : Ms)
+    S.MeanMs += M;
+  S.MeanMs /= Reps;
+  auto Quantile = [&](double Q) {
+    size_t I = static_cast<size_t>(Q * (Ms.size() - 1) + 0.5);
+    return Ms[std::min(I, Ms.size() - 1)];
+  };
+  S.P50Ms = Quantile(0.5);
+  S.P99Ms = Quantile(0.99);
+  return S;
+}
+
+/// Renders one RepStats as a JSON object body (no braces).
+inline std::string repStatsJson(const RepStats &S) {
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "\"mean_ms\": %.6g, \"p50_ms\": %.6g, \"p99_ms\": %.6g, "
+                "\"reps\": %u",
+                S.MeanMs, S.P50Ms, S.P99Ms, S.Reps);
+  return Buf;
+}
 
 inline Program compileOrDie(const std::string &Src) {
   DiagnosticEngine Diags;

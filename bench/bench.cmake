@@ -14,8 +14,8 @@ alp_add_bench(fig5_dynamic_example alp_machine alp_frontend)
 alp_add_bench(ablation_constraints alp_core alp_frontend)
 alp_add_bench(ablation_join_order alp_machine alp_frontend)
 alp_add_bench(ablation_optimizations alp_machine alp_frontend)
-alp_add_bench(perf_partition alp_machine alp_frontend benchmark::benchmark)
-alp_add_bench(perf_dependence alp_transform alp_frontend benchmark::benchmark)
+alp_add_bench(perf_partition alp_machine alp_frontend)
+alp_add_bench(perf_dependence alp_transform alp_frontend)
 alp_add_bench(ablation_blocksize alp_machine alp_frontend)
 alp_add_bench(perf_simulator alp_machine alp_frontend benchmark::benchmark)
 alp_add_bench(ablation_fusion alp_machine alp_frontend)

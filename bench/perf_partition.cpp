@@ -1,18 +1,26 @@
 //===- bench/perf_partition.cpp - Partition fixpoint throughput ------------===//
 //
-// Performance benchmark P1 (google-benchmark): scaling of the iterative
-// partition algorithm (Figure 2) and of the full decomposition driver with
-// the number of loop nests / arrays in the interference graph. The paper
-// claims the systematic calculation "avoids expensive searches"; this
-// quantifies the compile-time cost.
+// Performance benchmark P1: scaling of the iterative partition algorithm
+// (Figure 2) with the number of loop nests, and serial-vs-parallel wall
+// time of the full decomposition driver (--jobs). Hand-rolled harness
+// (steady_clock, mean/p50/p99) — no external benchmark library — that
+// emits machine-readable results to BENCH_partition.json.
+//
+//   perf_partition [--smoke] [--out <file>]
+//
+// The driver section cross-checks that Jobs = 1 and Jobs = hardware
+// produce byte-identical decomposition reports; "results_identical" in the
+// JSON is the result of that check, and a mismatch exits nonzero.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 #include "core/Driver.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 
-#include <benchmark/benchmark.h>
+#include <cstring>
+#include <string>
 
 using namespace alp;
 using namespace alp::bench;
@@ -50,58 +58,121 @@ std::string chainProgram(unsigned K, unsigned NumArrays) {
   return Src;
 }
 
-void BM_PartitionFixpoint(benchmark::State &State) {
-  unsigned K = State.range(0);
-  Program P = compileOrDie(chainProgram(K, 4));
-  InterferenceGraph IG(P, P.nestsInOrder());
-  for (auto _ : State) {
-    PartitionResult R = solvePartitions(IG);
-    benchmark::DoNotOptimize(R.totalParallelism());
-  }
-  State.SetComplexityN(K);
-}
+struct DriverRun {
+  RepStats Stats;
+  std::string Report;
+};
 
-void BM_PartitionWithBlocks(benchmark::State &State) {
-  unsigned K = State.range(0);
-  Program P = compileOrDie(chainProgram(K, 4));
-  InterferenceGraph IG(P, P.nestsInOrder());
-  for (auto _ : State) {
-    PartitionResult R = solvePartitionsWithBlocks(IG);
-    benchmark::DoNotOptimize(R.totalParallelism());
-  }
-  State.SetComplexityN(K);
-}
-
-void BM_FullDriver(benchmark::State &State) {
-  unsigned K = State.range(0);
-  std::string Src = chainProgram(K, 4);
+DriverRun runDriver(const std::string &Src, unsigned Jobs, unsigned Reps,
+                    unsigned Warmup) {
   MachineParams M;
-  for (auto _ : State) {
+  DriverOptions Opts;
+  Opts.Jobs = Jobs;
+  DriverRun R;
+  // The local phase rewrites the program, so each repetition decomposes a
+  // fresh compile. The (identical) compile cost is included in both the
+  // serial and the parallel timing, so the reported speedup is a floor.
+  R.Stats = timeReps(Reps, Warmup, [&] {
     Program P = compileOrDie(Src);
-    ProgramDecomposition PD = decompose(P, M);
-    benchmark::DoNotOptimize(PD.VirtualDims);
-  }
-  State.SetComplexityN(K);
-}
-
-void BM_InterferenceGraphBuild(benchmark::State &State) {
-  unsigned K = State.range(0);
-  Program P = compileOrDie(chainProgram(K, 4));
-  std::vector<unsigned> Nests = P.nestsInOrder();
-  for (auto _ : State) {
-    InterferenceGraph IG(P, Nests);
-    benchmark::DoNotOptimize(IG.edges().size());
-  }
-  State.SetComplexityN(K);
+    Expected<ProgramDecomposition> PD = decomposeOrError(P, M, Opts);
+    if (!PD.hasValue())
+      reportFatalError("benchmark decomposition failed: " +
+                       PD.status().str());
+    ProgramDecomposition Result = PD.takeValue();
+    if (R.Report.empty())
+      R.Report = printDecomposition(P, Result);
+  });
+  return R;
 }
 
 } // namespace
 
-BENCHMARK(BM_PartitionFixpoint)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
-    ->Complexity();
-BENCHMARK(BM_PartitionWithBlocks)->Arg(2)->Arg(8)->Arg(32);
-BENCHMARK(BM_FullDriver)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_InterferenceGraphBuild)->Arg(8)->Arg(32);
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  const char *OutPath = "BENCH_partition.json";
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--smoke"))
+      Smoke = true;
+    else if (!std::strcmp(argv[I], "--out") && I + 1 < argc)
+      OutPath = argv[++I];
+    else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out <file>]\n", argv[0]);
+      return 2;
+    }
+  }
+  unsigned Reps = Smoke ? 3 : 15;
+  unsigned Warmup = Smoke ? 0 : 2;
 
-BENCHMARK_MAIN();
+  printHeader("P1: partition fixpoint scaling");
+  std::vector<unsigned> Sizes = {4, 8, 16, 32};
+  struct FixpointRow {
+    unsigned K;
+    RepStats Plain, Blocked;
+  };
+  std::vector<FixpointRow> Fixpoint;
+  for (unsigned K : Sizes) {
+    Program P = compileOrDie(chainProgram(K, 4));
+    InterferenceGraph IG(P, P.nestsInOrder());
+    FixpointRow Row;
+    Row.K = K;
+    static volatile uint64_t Sink; // Keeps the solves observable.
+    Row.Plain = timeReps(Reps, Warmup, [&] {
+      PartitionResult R = solvePartitions(IG);
+      Sink = Sink + R.totalParallelism();
+    });
+    Row.Blocked = timeReps(Reps, Warmup, [&] {
+      PartitionResult R = solvePartitionsWithBlocks(IG);
+      Sink = Sink + R.totalParallelism();
+    });
+    Fixpoint.push_back(Row);
+    std::printf("K=%2u  plain mean %8.3f ms  blocked mean %8.3f ms\n", K,
+                Row.Plain.MeanMs, Row.Blocked.MeanMs);
+  }
+
+  printHeader("P1: full driver, serial vs parallel (--jobs)");
+  unsigned Hw = ThreadPool::hardwareConcurrency();
+  std::string Src = chainProgram(Smoke ? 8 : 24, 6);
+  DriverRun Serial = runDriver(Src, 1, Reps, Warmup);
+  DriverRun Parallel = runDriver(Src, Hw, Reps, Warmup);
+  bool Identical = Serial.Report == Parallel.Report;
+  double Speedup =
+      Parallel.Stats.MeanMs > 0 ? Serial.Stats.MeanMs / Parallel.Stats.MeanMs
+                                : 0;
+  std::printf("jobs=1   mean %8.3f ms  p50 %8.3f ms  p99 %8.3f ms\n",
+              Serial.Stats.MeanMs, Serial.Stats.P50Ms, Serial.Stats.P99Ms);
+  std::printf("jobs=%-2u  mean %8.3f ms  p50 %8.3f ms  p99 %8.3f ms\n", Hw,
+              Parallel.Stats.MeanMs, Parallel.Stats.P50Ms,
+              Parallel.Stats.P99Ms);
+  std::printf("driver speedup: %.2fx  reports identical: %s\n", Speedup,
+              Identical ? "yes" : "NO");
+
+  std::FILE *Out = std::fopen(OutPath, "w");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", OutPath);
+    return 1;
+  }
+  std::fprintf(Out, "{\n  \"benchmark\": \"partition\",\n");
+  std::fprintf(Out, "  \"smoke\": %s,\n", Smoke ? "true" : "false");
+  std::fprintf(Out, "  \"hardware_threads\": %u,\n", Hw);
+  std::fprintf(Out, "  \"fixpoint\": [\n");
+  for (size_t I = 0; I != Fixpoint.size(); ++I)
+    std::fprintf(Out,
+                 "    {\"nests\": %u, \"plain\": {%s}, \"blocked\": {%s}}%s\n",
+                 Fixpoint[I].K, repStatsJson(Fixpoint[I].Plain).c_str(),
+                 repStatsJson(Fixpoint[I].Blocked).c_str(),
+                 I + 1 == Fixpoint.size() ? "" : ",");
+  std::fprintf(Out, "  ],\n");
+  std::fprintf(Out, "  \"driver\": {\n");
+  std::fprintf(Out, "    \"serial\": {%s},\n",
+               repStatsJson(Serial.Stats).c_str());
+  std::fprintf(Out, "    \"parallel\": {%s, \"jobs\": %u},\n",
+               repStatsJson(Parallel.Stats).c_str(), Hw);
+  std::fprintf(Out, "    \"speedup\": %.3f,\n", Speedup);
+  std::fprintf(Out, "    \"results_identical\": %s\n",
+               Identical ? "true" : "false");
+  std::fprintf(Out, "  }\n}\n");
+  std::fclose(Out);
+  std::printf("wrote %s\n", OutPath);
+
+  return Identical ? 0 : 1;
+}

@@ -4,6 +4,8 @@
 
 #include "linalg/FourierMotzkin.h"
 #include "linalg/IntegerOps.h"
+#include "linalg/SystemKey.h"
+#include "support/ThreadPool.h"
 
 #include <set>
 #include <sstream>
@@ -205,15 +207,33 @@ std::optional<VariableBounds> boundsOrUnwind(const ConstraintSystem &CS,
   return E.takeValue();
 }
 
+/// Memoizing wrapper around boundsOrUnwind. A hit replays a projection
+/// whose elimination steps were charged when it was first computed, so the
+/// hit charges the budget nothing; failed projections (budget trip /
+/// overflow) unwind before the store and are never cached.
+std::optional<VariableBounds>
+cachedBounds(const ConstraintSystem &CS, unsigned Var,
+             const CanonicalSystemKey *Key, DependenceCache *Cache,
+             ResourceBudget *Budget) {
+  if (Key && Cache)
+    if (auto Hit = Cache->lookupBounds(*Key, Var))
+      return *Hit;
+  std::optional<VariableBounds> B = boundsOrUnwind(CS, Var, Budget);
+  if (Key && Cache)
+    Cache->storeBounds(*Key, Var, B);
+  return B;
+}
+
 /// Refinement of rational feasibility: projects the system onto every
 /// single variable and rejects when some projection interval contains no
 /// integer (e.g. j in [3/5, 2/3]). Catches the axis-thin phantoms that
 /// survive both the GCD and the lattice tests; returns false also when
 /// the system is rationally infeasible outright.
 bool hasIntegerPointPerAxis(const ConstraintSystem &CS,
-                            ResourceBudget *Budget) {
+                            const CanonicalSystemKey *Key,
+                            DependenceCache *Cache, ResourceBudget *Budget) {
   for (unsigned V = 0; V != CS.numVars(); ++V) {
-    auto B = boundsOrUnwind(CS, V, Budget);
+    auto B = cachedBounds(CS, V, Key, Cache, Budget);
     if (!B)
       return false;
     if (B->Lower && B->Upper &&
@@ -276,8 +296,13 @@ void addBoundConstraints(DepSystem &DS, const LoopNest &Nest, bool IsDst) {
   }
 }
 
-/// Per-equation GCD feasibility: an all-integer equality sum(c_i x_i) = c0
-/// with no symbolic terms has integer solutions only if gcd(c_i) | c0.
+//===----------------------------------------------------------------------===//
+// Independence tiers (cheap, conservative filters before the exact test)
+//===----------------------------------------------------------------------===//
+
+/// Tier 0 — per-equation GCD feasibility: an all-integer equality
+/// sum(c_i x_i) = c0 with no symbolic terms has integer solutions only if
+/// gcd(c_i) | c0.
 bool gcdTestPasses(const AffineAccessMap &A, const AffineAccessMap &B) {
   for (unsigned R = 0; R != A.arrayDim(); ++R) {
     SymAffine Diff = B.constant()[R] - A.constant()[R];
@@ -311,30 +336,154 @@ bool gcdTestPasses(const AffineAccessMap &A, const AffineAccessMap &B) {
   return true;
 }
 
+/// Constant rectangular range [Lo, Hi] of \p L, derivable only when every
+/// bound term is outer-loop-independent and symbol-free. Any triangular or
+/// symbolic term makes the range nullopt and tier 1 skips the pair — a
+/// conservative skip, never a wrong answer.
+std::optional<std::pair<Rational, Rational>> constantLoopRange(const Loop &L) {
+  std::optional<Rational> Lo, Hi;
+  for (const BoundTerm &T : L.Lower) {
+    if (!T.OuterCoeffs.isZero() || !T.Const.isConstant())
+      return std::nullopt;
+    Rational V = T.Const.constant();
+    if (!Lo || *Lo < V) // Effective lower bound = max of lower terms.
+      Lo = V;
+  }
+  for (const BoundTerm &T : L.Upper) {
+    if (!T.OuterCoeffs.isZero() || !T.Const.isConstant())
+      return std::nullopt;
+    Rational V = T.Const.constant();
+    if (!Hi || V < *Hi) // Effective upper bound = min of upper terms.
+      Hi = V;
+  }
+  if (!Lo || !Hi)
+    return std::nullopt;
+  return std::make_pair(*Lo, *Hi);
+}
+
+/// Tier 1 — Banerjee bounds test over rectangular nests: a subscript pair
+/// can only be dependent if the linear form sum_j (a_j i_j - b_j i'_j)
+/// attains the constant difference of the subscripts somewhere on the
+/// bounding box of the iteration space. True = proven independent at every
+/// level; false = no conclusion. Strictly weaker than the exact tier-2
+/// test (the polyhedron contains the same bound constraints), so skipping
+/// or disabling this tier never changes the analysis result.
+bool banerjeeIndependent(const LoopNest &Nest, const AffineAccessMap &A,
+                         const AffineAccessMap &B) {
+  unsigned L = Nest.depth();
+  std::vector<std::pair<Rational, Rational>> Range;
+  Range.reserve(L);
+  for (const Loop &Lp : Nest.Loops) {
+    auto R = constantLoopRange(Lp);
+    if (!R)
+      return false; // Non-rectangular bounds: no conclusion.
+    if (R->second < R->first)
+      return true; // Empty iteration space executes nothing.
+    Range.push_back(*R);
+  }
+  for (unsigned R = 0; R != A.arrayDim(); ++R) {
+    SymAffine Diff = B.constant()[R] - A.constant()[R];
+    if (!Diff.isConstant())
+      continue; // Symbols present: no conclusion for this subscript.
+    const Rational C0 = Diff.constant();
+    // Extremes of sum_j (a_j i_j - b_j i'_j) over the box.
+    Rational Min(0), Max(0);
+    auto Accumulate = [&](const Rational &C, unsigned J) {
+      if (C.isZero())
+        return;
+      const Rational &Lo = Range[J].first;
+      const Rational &Hi = Range[J].second;
+      if (C.isNegative()) {
+        Min += C * Hi;
+        Max += C * Lo;
+      } else {
+        Min += C * Lo;
+        Max += C * Hi;
+      }
+    };
+    for (unsigned J = 0; J != L; ++J) {
+      Accumulate(A.linear().at(R, J), J);
+      Accumulate(-B.linear().at(R, J), J);
+    }
+    if (C0 < Min || Max < C0)
+      return true; // Subscripts can never meet: independent.
+  }
+  return false;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
 // DependenceAnalysis
 //===----------------------------------------------------------------------===//
 
-void DependenceAnalysis::analyzePair(const LoopNest &Nest, unsigned SStmt,
-                                     unsigned SAcc, unsigned TStmt,
-                                     unsigned TAcc,
-                                     std::vector<Dependence> &Out) const {
-  const size_t Entry = Out.size();
+DependenceAnalysis::DependenceAnalysis(const Program &P,
+                                       ResourceBudget *Budget,
+                                       DependenceOptions Opts)
+    : P(P), Budget(Budget), Options(Opts) {
+  if (Options.Memoize) {
+    if (Options.SharedCache) {
+      Cache = Options.SharedCache;
+    } else {
+      OwnCache = std::make_unique<DependenceCache>();
+      Cache = OwnCache.get();
+    }
+  }
+}
+
+DependenceTierStats DependenceAnalysis::tierStats() const {
+  DependenceTierStats S;
+  S.Pairs = NumPairs.load(std::memory_order_relaxed);
+  S.GcdIndependent = NumGcdIndependent.load(std::memory_order_relaxed);
+  S.BanerjeeIndependent =
+      NumBanerjeeIndependent.load(std::memory_order_relaxed);
+  S.ExactTested = NumExactTested.load(std::memory_order_relaxed);
+  if (Cache) {
+    DependenceCacheStats CS = Cache->stats();
+    S.CacheHits = CS.Hits;
+    S.CacheMisses = CS.Misses;
+  }
+  return S;
+}
+
+void DependenceAnalysis::analyzePair(const LoopNest &Nest,
+                                     const PairTask &Task,
+                                     ResourceBudget *PairBudget,
+                                     PairResult &Res) const {
+  const unsigned SStmt = Task.SStmt, SAcc = Task.SAcc;
+  const unsigned TStmt = Task.TStmt, TAcc = Task.TAcc;
+  NumPairs.fetch_add(1, std::memory_order_relaxed);
   try {
 
   const ArrayAccess &A = Nest.Body[SStmt].Accesses[SAcc];
   const ArrayAccess &B = Nest.Body[TStmt].Accesses[TAcc];
   unsigned L = Nest.depth();
 
-  if (Budget)
-    if (Status S = Budget->checkDeadline(); !S)
+  if (PairBudget)
+    if (Status S = PairBudget->checkDeadline(); !S)
       throw AlpException(S);
 
-  if (!gcdTestPasses(A.Map, B.Map))
-    return;
+  if (Options.TieredTests) {
+    // Tier 0: GCD divisibility on the subscript equations.
+    if (!gcdTestPasses(A.Map, B.Map)) {
+      NumGcdIndependent.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // Tier 1: Banerjee bounds. Overflow while forming the extremes means
+    // "no conclusion", not degradation — fall through to the exact tier.
+    bool Independent = false;
+    try {
+      Independent = banerjeeIndependent(Nest, A.Map, B.Map);
+    } catch (const AlpException &) {
+    }
+    if (Independent) {
+      NumBanerjeeIndependent.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  NumExactTested.fetch_add(1, std::memory_order_relaxed);
 
+  // Tier 2: the exact Fourier-Motzkin test on the dependence polyhedron.
   DepSystem DS(L, collectSymbols(Nest, A.Map, B.Map));
 
   // Subscript equalities: F_a i_src + k_a == F_b i_dst + k_b.
@@ -365,8 +514,8 @@ void DependenceAnalysis::analyzePair(const LoopNest &Nest, unsigned SStmt,
   DepKind Kind = A.IsWrite ? (B.IsWrite ? DepKind::Output : DepKind::Flow)
                            : DepKind::Anti;
 
-  auto MakeDependence = [&](unsigned Level,
-                            const ConstraintSystem &CS) -> Dependence {
+  auto MakeDependence = [&](unsigned Level, const ConstraintSystem &CS,
+                            const CanonicalSystemKey *Key) -> Dependence {
     Dependence D;
     D.SrcStmt = SStmt;
     D.DstStmt = TStmt;
@@ -376,7 +525,7 @@ void DependenceAnalysis::analyzePair(const LoopNest &Nest, unsigned SStmt,
     D.Kind = Kind;
     D.Level = Level;
     for (unsigned J = 0; J != L; ++J) {
-      auto Bounds = boundsOrUnwind(CS, DS.distVar(J), Budget);
+      auto Bounds = cachedBounds(CS, DS.distVar(J), Key, Cache, PairBudget);
       DepComponent Comp = DepComponent::dir(DepComponent::Dir::Star);
       if (Bounds) {
         // Distances are integers: tighten the rational projection.
@@ -402,6 +551,21 @@ void DependenceAnalysis::analyzePair(const LoopNest &Nest, unsigned SStmt,
     return D;
   };
 
+  // The canonical key of one per-level system, or null when memoization is
+  // off or canonicalization overflowed (then that system is just not
+  // memoized; the test itself proceeds identically).
+  CanonicalSystemKey KeyStorage;
+  auto KeyOf = [&](const ConstraintSystem &CS) -> const CanonicalSystemKey * {
+    if (!Cache)
+      return nullptr;
+    try {
+      KeyStorage = canonicalSystemKey(CS);
+      return &KeyStorage;
+    } catch (const AlpException &) {
+      return nullptr;
+    }
+  };
+
   // Carried dependences: for each level K require d_0..d_{K-1} == 0 and
   // d_K >= 1.
   for (unsigned K = 0; K != L; ++K) {
@@ -416,9 +580,10 @@ void DependenceAnalysis::analyzePair(const LoopNest &Nest, unsigned SStmt,
     Vector C(DS.numVars());
     C[DS.distVar(K)] = 1;
     CS.addInequality(C, Rational(-1)); // d_K - 1 >= 0.
-    if (!hasIntegerPointPerAxis(CS, Budget))
+    const CanonicalSystemKey *Key = KeyOf(CS);
+    if (!hasIntegerPointPerAxis(CS, Key, Cache, PairBudget))
       continue;
-    Out.push_back(MakeDependence(K, CS));
+    Res.Deps.push_back(MakeDependence(K, CS, Key));
   }
 
   // Loop-independent dependence: all distances zero, source statement
@@ -430,32 +595,34 @@ void DependenceAnalysis::analyzePair(const LoopNest &Nest, unsigned SStmt,
       C[DS.distVar(J)] = 1;
       CS.addEquality(C, Rational(0));
     }
-    if (hasIntegerPointPerAxis(CS, Budget))
-      Out.push_back(MakeDependence(L, CS));
+    const CanonicalSystemKey *Key = KeyOf(CS);
+    if (hasIntegerPointPerAxis(CS, Key, Cache, PairBudget))
+      Res.Deps.push_back(MakeDependence(L, CS, Key));
   }
 
   } catch (const AlpException &E) {
     // Exact test blew the budget or 64-bit arithmetic: discard whatever
     // partial answer was produced for this pair and assume dependence.
-    Out.resize(Entry);
-    appendConservativePair(Nest, SStmt, SAcc, TStmt, TAcc, E.status(), Out);
+    Res.Deps.clear();
+    appendConservativePair(Nest, Task, E.status(), Res);
   }
 }
 
-void DependenceAnalysis::appendConservativePair(
-    const LoopNest &Nest, unsigned SStmt, unsigned SAcc, unsigned TStmt,
-    unsigned TAcc, const Status &Why, std::vector<Dependence> &Out) const {
-  const ArrayAccess &A = Nest.Body[SStmt].Accesses[SAcc];
-  const ArrayAccess &B = Nest.Body[TStmt].Accesses[TAcc];
+void DependenceAnalysis::appendConservativePair(const LoopNest &Nest,
+                                                const PairTask &Task,
+                                                const Status &Why,
+                                                PairResult &Res) const {
+  const ArrayAccess &A = Nest.Body[Task.SStmt].Accesses[Task.SAcc];
+  const ArrayAccess &B = Nest.Body[Task.TStmt].Accesses[Task.TAcc];
   unsigned L = Nest.depth();
   DepKind Kind = A.IsWrite ? (B.IsWrite ? DepKind::Output : DepKind::Flow)
                            : DepKind::Anti;
   auto MakeStar = [&](unsigned Level) {
     Dependence D;
-    D.SrcStmt = SStmt;
-    D.DstStmt = TStmt;
-    D.SrcAccess = SAcc;
-    D.DstAccess = TAcc;
+    D.SrcStmt = Task.SStmt;
+    D.DstStmt = Task.TStmt;
+    D.SrcAccess = Task.SAcc;
+    D.DstAccess = Task.TAcc;
     D.ArrayId = A.ArrayId;
     D.Kind = Kind;
     D.Level = Level;
@@ -466,19 +633,22 @@ void DependenceAnalysis::appendConservativePair(
   // A dependence carried at every level, plus the loop-independent slot
   // when statement order admits one — the maximally pessimistic answer.
   for (unsigned K = 0; K != L; ++K)
-    Out.push_back(MakeStar(K));
-  if (SStmt < TStmt)
-    Out.push_back(MakeStar(L));
-  Degraded = true;
+    Res.Deps.push_back(MakeStar(K));
+  if (Task.SStmt < Task.TStmt)
+    Res.Deps.push_back(MakeStar(L));
+  Res.Degraded = true;
   std::ostringstream OS;
-  OS << "dependence test S" << SStmt << "/a" << SAcc << " -> S" << TStmt
-     << "/a" << TAcc << " assumed dependent (" << Why.str() << ")";
-  Warnings.push_back(OS.str());
+  OS << "dependence test S" << Task.SStmt << "/a" << Task.SAcc << " -> S"
+     << Task.TStmt << "/a" << Task.TAcc << " assumed dependent ("
+     << Why.str() << ")";
+  Res.Warnings.push_back(OS.str());
 }
 
 std::vector<Dependence>
 DependenceAnalysis::analyze(const LoopNest &Nest) const {
-  std::vector<Dependence> Out;
+  // Gather the pairs up front so serial and parallel runs share one
+  // deterministic order.
+  std::vector<PairTask> Pairs;
   for (unsigned S = 0; S != Nest.Body.size(); ++S)
     for (unsigned T = 0; T != Nest.Body.size(); ++T)
       for (unsigned SA = 0; SA != Nest.Body[S].Accesses.size(); ++SA)
@@ -489,8 +659,45 @@ DependenceAnalysis::analyze(const LoopNest &Nest) const {
             continue;
           if (S == T && SA == TA && !A.IsWrite)
             continue;
-          analyzePair(Nest, S, SA, T, TA, Out);
+          Pairs.push_back(PairTask{S, SA, T, TA});
         }
+
+  std::vector<Dependence> Out;
+  auto Merge = [&](PairResult &R) {
+    for (Dependence &D : R.Deps)
+      Out.push_back(std::move(D));
+    for (std::string &W : R.Warnings)
+      Warnings.push_back(std::move(W));
+    Degraded |= R.Degraded;
+  };
+
+  if (!Options.Pool) {
+    // Serial path: pairs share the cumulative budget, preserving the
+    // historical "one budget caps the whole analysis" semantics.
+    for (const PairTask &T : Pairs) {
+      PairResult R;
+      analyzePair(Nest, T, Budget, R);
+      Merge(R);
+    }
+    return Out;
+  }
+
+  // Parallel path: each pair gets its own copy of the budget (shared
+  // absolute deadline, private step counters) so which pair degrades
+  // cannot depend on scheduling, then results merge in pair order —
+  // byte-identical output for every job count.
+  std::vector<PairResult> Results(Pairs.size());
+  Options.Pool->parallelFor(Pairs.size(), [&](size_t I) {
+    std::optional<ResourceBudget> Local;
+    ResourceBudget *PairBudget = nullptr;
+    if (Budget) {
+      Local.emplace(*Budget);
+      PairBudget = &*Local;
+    }
+    analyzePair(Nest, Pairs[I], PairBudget, Results[I]);
+  });
+  for (PairResult &R : Results)
+    Merge(R);
   return Out;
 }
 

@@ -2,12 +2,30 @@
 ///
 /// \file
 /// Data dependence analysis for affine loop nests. For every pair of
-/// accesses to the same array (with at least one write) the analyzer builds
-/// the dependence polyhedron over (source iteration, destination iteration,
-/// symbolic constants), tests it hierarchically per carrying level with
-/// Fourier-Motzkin elimination plus a per-equation GCD (integer) test, and
-/// extracts a dependence vector whose components are exact distances where
-/// the polyhedron pins them and directions otherwise.
+/// accesses to the same array (with at least one write) the analyzer runs a
+/// tiered test ladder in escalating cost order, exiting as soon as a tier
+/// proves independence:
+///
+///   tier 0  per-equation GCD divisibility          (integer arithmetic)
+///   tier 1  Banerjee bounds over rectangular nests (rational range test)
+///   tier 2  exact Fourier-Motzkin on the dependence polyhedron, with an
+///           integer lattice test and per-axis integer refinement
+///
+/// The cheap tiers are strictly conservative filters: anything they prove
+/// independent, the exact tier would also prove independent, so disabling
+/// them (DependenceOptions::TieredTests = false) changes compile time but
+/// never the result. The exact tier builds the polyhedron over (source
+/// iteration, destination iteration, symbolic constants), tests it per
+/// carrying level, and extracts a dependence vector whose components are
+/// exact distances where the polyhedron pins them and directions otherwise.
+///
+/// Tier-2 bounds projections are memoized through a DependenceCache keyed
+/// by canonical constraint-system keys (linalg/SystemKey.h): same-shape
+/// access pairs — the common case in stencil codes — share one projection.
+/// With a ThreadPool attached, access pairs are analyzed concurrently;
+/// results are merged in pair order, so the output is byte-identical to a
+/// serial run (each pair gets its own copy of the resource budget so the
+/// degradation point cannot depend on thread scheduling).
 ///
 /// These vectors drive the Wolf-Lam local phase (fully permutable bands,
 /// forall classification) and the tiling legality checks of Sec. 5.
@@ -17,14 +35,19 @@
 #ifndef ALP_ANALYSIS_DEPENDENCE_H
 #define ALP_ANALYSIS_DEPENDENCE_H
 
+#include "analysis/DependenceCache.h"
 #include "ir/Program.h"
 #include "support/Budget.h"
 
+#include <atomic>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace alp {
+
+class ThreadPool;
 
 /// One component of a dependence vector.
 struct DepComponent {
@@ -73,6 +96,38 @@ struct Dependence {
   std::string str() const;
 };
 
+/// Knobs of one DependenceAnalysis instance. The defaults give the fast
+/// configuration; every combination produces identical dependences.
+struct DependenceOptions {
+  /// Run the cheap independence tiers (GCD, Banerjee) before the exact
+  /// test. Off = every pair goes straight to Fourier-Motzkin — only useful
+  /// for benchmarking and for the tier-equivalence tests.
+  bool TieredTests = true;
+  /// Memoize tier-2 bounds projections under canonical system keys.
+  bool Memoize = true;
+  /// Cache to memoize into; nullptr = the analysis owns a private one.
+  /// Share one cache across analyses to reuse projections across nests.
+  DependenceCache *SharedCache = nullptr;
+  /// Fan access pairs out over this pool; nullptr = serial. Any non-null
+  /// pool (even one thread) switches the budget to per-pair copies so the
+  /// answer is independent of the job count.
+  ThreadPool *Pool = nullptr;
+};
+
+/// Counters of one analysis run: how far pairs got down the tier ladder,
+/// and how the memoization layer performed. Monotone across analyze()
+/// calls on one instance. The tier counters are per instance; the cache
+/// counters come from the cache itself, so with a SharedCache they are
+/// that cache's lifetime totals across every analysis using it.
+struct DependenceTierStats {
+  uint64_t Pairs = 0;             ///< Access pairs tested.
+  uint64_t GcdIndependent = 0;    ///< Proven independent by tier 0.
+  uint64_t BanerjeeIndependent = 0; ///< Proven independent by tier 1.
+  uint64_t ExactTested = 0;       ///< Pairs that reached tier 2.
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+};
+
 /// Dependence analysis over one loop nest. With a ResourceBudget attached,
 /// an access pair whose exact test exhausts the budget (or overflows) is
 /// assumed dependent at every level — the analyzer never aborts and never
@@ -80,16 +135,19 @@ struct Dependence {
 class DependenceAnalysis {
 public:
   explicit DependenceAnalysis(const Program &P,
-                              ResourceBudget *Budget = nullptr)
-      : P(P), Budget(Budget) {}
+                              ResourceBudget *Budget = nullptr,
+                              DependenceOptions Opts = DependenceOptions());
 
   /// True once some pair was answered conservatively.
   bool degraded() const { return Degraded; }
   /// One human-readable note per conservatively answered pair.
   const std::vector<std::string> &warnings() const { return Warnings; }
 
+  /// Tier / cache counters accumulated so far.
+  DependenceTierStats tierStats() const;
+
   /// All dependences of \p Nest (flow, anti, and output), per carrying
-  /// level.
+  /// level, in deterministic pair order regardless of Options.Pool.
   std::vector<Dependence> analyze(const LoopNest &Nest) const;
 
   /// Loop levels of \p Nest that carry no dependence when all enclosing
@@ -104,22 +162,39 @@ public:
   exactDistanceVectors(const std::vector<Dependence> &Deps);
 
 private:
+  /// One access pair to test, and everything its test produced. Results
+  /// are kept per pair so a parallel run can merge them in pair order.
+  struct PairTask {
+    unsigned SStmt = 0, SAcc = 0, TStmt = 0, TAcc = 0;
+  };
+  struct PairResult {
+    std::vector<Dependence> Deps;
+    std::vector<std::string> Warnings;
+    bool Degraded = false;
+  };
+
   const Program &P;
   ResourceBudget *Budget = nullptr;
+  DependenceOptions Options;
+  /// Backing storage when no SharedCache was supplied.
+  mutable std::unique_ptr<DependenceCache> OwnCache;
+  DependenceCache *Cache = nullptr; // Null when memoization is off.
   mutable bool Degraded = false;
   mutable std::vector<std::string> Warnings;
+  /// Tier counters (atomic: pairs are tested concurrently under a pool).
+  mutable std::atomic<uint64_t> NumPairs{0};
+  mutable std::atomic<uint64_t> NumGcdIndependent{0};
+  mutable std::atomic<uint64_t> NumBanerjeeIndependent{0};
+  mutable std::atomic<uint64_t> NumExactTested{0};
 
-  /// Tests one access pair; appends any dependences found.
-  void analyzePair(const LoopNest &Nest, unsigned SStmt, unsigned SAcc,
-                   unsigned TStmt, unsigned TAcc,
-                   std::vector<Dependence> &Out) const;
+  /// Tests one access pair under \p PairBudget (nullable); fills \p Res.
+  void analyzePair(const LoopNest &Nest, const PairTask &Task,
+                   ResourceBudget *PairBudget, PairResult &Res) const;
 
   /// Appends the "dependence assumed" answer for one pair: a conservative
   /// all-star dependence at every level plus the loop-independent slot.
-  void appendConservativePair(const LoopNest &Nest, unsigned SStmt,
-                              unsigned SAcc, unsigned TStmt, unsigned TAcc,
-                              const Status &Why,
-                              std::vector<Dependence> &Out) const;
+  void appendConservativePair(const LoopNest &Nest, const PairTask &Task,
+                              const Status &Why, PairResult &Res) const;
 };
 
 } // namespace alp

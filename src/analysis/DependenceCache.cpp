@@ -1,0 +1,53 @@
+//===- analysis/DependenceCache.cpp - Memoized bounds projections ----------===//
+
+#include "analysis/DependenceCache.h"
+
+using namespace alp;
+
+std::optional<std::optional<VariableBounds>>
+DependenceCache::lookupBounds(const CanonicalSystemKey &Key, unsigned Var) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Index.find(EntryKey{Key, Var});
+  if (It == Index.end()) {
+    ++Stats.Misses;
+    return std::nullopt;
+  }
+  ++Stats.Hits;
+  Lru.splice(Lru.begin(), Lru, It->second); // Mark most recently used.
+  return It->second->Bounds;
+}
+
+void DependenceCache::storeBounds(const CanonicalSystemKey &Key, unsigned Var,
+                                  const std::optional<VariableBounds> &Bounds) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  EntryKey EK{Key, Var};
+  auto It = Index.find(EK);
+  if (It != Index.end()) {
+    // Another worker raced the same computation in; results are
+    // deterministic functions of the key, so keep the existing entry.
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  Lru.push_front(Entry{EK, Bounds});
+  Index.emplace(std::move(EK), Lru.begin());
+  if (Capacity && Lru.size() > Capacity) {
+    Index.erase(Lru.back().Key);
+    Lru.pop_back();
+    ++Stats.Evictions;
+  }
+  Stats.Entries = Lru.size();
+}
+
+DependenceCacheStats DependenceCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  DependenceCacheStats S = Stats;
+  S.Entries = Lru.size();
+  return S;
+}
+
+void DependenceCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Lru.clear();
+  Index.clear();
+  Stats.Entries = 0;
+}

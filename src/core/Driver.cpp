@@ -4,6 +4,7 @@
 
 #include "core/DisplacementSolver.h"
 #include "support/Diagnostics.h"
+#include "support/ThreadPool.h"
 #include "transform/Unimodular.h"
 
 #include <algorithm>
@@ -17,16 +18,26 @@ Expected<ProgramDecomposition>
 alp::decomposeOrError(Program &P, const MachineParams &Machine,
                       const DriverOptions &Opts) {
   ProgramDecomposition PD;
-  // Per-run budget copy: fresh counters, caller's limits.
+  // Per-run budget copy: fresh counters, caller's limits. Arm the
+  // deadline before the pool fans budget copies out (Budget.h contract).
   ResourceBudget Budget = Opts.Budget;
   if (Opts.DeadlineMs)
     Budget.setDeadlineIn(std::chrono::milliseconds(Opts.DeadlineMs));
+  // One pool and one projection cache for the whole run. Jobs == 1 still
+  // goes through the pool's task decomposition (serially), keeping the
+  // budget semantics — and therefore the output — independent of the job
+  // count.
+  ThreadPool Pool(Opts.Jobs ? Opts.Jobs : ThreadPool::hardwareConcurrency());
+  DependenceCache SharedCache;
 
   try {
 
   if (Opts.RunLocalPhase) {
     std::vector<std::string> LPWarnings;
-    runLocalPhase(P, &Budget, &LPWarnings);
+    LocalPhaseOptions LPOpts;
+    LPOpts.Pool = &Pool;
+    LPOpts.SharedCache = &SharedCache;
+    runLocalPhase(P, &Budget, &LPWarnings, LPOpts);
     for (const std::string &W : LPWarnings)
       PD.Degradations.push_back({W.rfind("local phase", 0) == 0
                                      ? Degradation::Stage::LocalPhase
@@ -39,10 +50,10 @@ alp::decomposeOrError(Program &P, const MachineParams &Machine,
       Opts.MultiLevel
           ? runMultiLevelDynamicDecomposition(
                 P, CM, Opts.EnableBlocking, Opts.Policy,
-                /*ExcludeReadOnly=*/Opts.EnableReplication, &Budget)
+                /*ExcludeReadOnly=*/Opts.EnableReplication, &Budget, &Pool)
           : runDynamicDecomposition(
                 P, CM, Opts.EnableBlocking, Opts.Policy,
-                /*ExcludeReadOnly=*/Opts.EnableReplication, &Budget);
+                /*ExcludeReadOnly=*/Opts.EnableReplication, &Budget, &Pool);
 
   PD.ComponentOf = DR.ComponentOf;
 

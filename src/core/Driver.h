@@ -50,6 +50,12 @@ struct DriverOptions {
   /// Wall-clock deadline for the whole pipeline in milliseconds; 0 means
   /// none. Armed on the run's budget copy at entry.
   uint64_t DeadlineMs = 0;
+  /// Worker threads for the analysis phases (dependence pairs, per-nest
+  /// canonicalization, initial partition solves); 0 means one per
+  /// hardware thread. The pipeline always runs the same task
+  /// decomposition — each task on its own budget copy — so the output is
+  /// byte-identical for every value of Jobs.
+  unsigned Jobs = 1;
 };
 
 /// Runs the whole pipeline fail-soft: never aborts on user-reachable

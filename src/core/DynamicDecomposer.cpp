@@ -2,8 +2,11 @@
 
 #include "core/DynamicDecomposer.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 #include <functional>
+#include <optional>
 #include <set>
 
 using namespace alp;
@@ -59,16 +62,20 @@ DynamicResult greedyJoin(const Program &P, const CostModel &CM,
                          JoinPolicy Policy, bool ExcludeReadOnly,
                          const std::set<unsigned> &GlobalWritten,
                          const PartitionOptions &Seeds,
-                         ResourceBudget *Budget) {
+                         ResourceBudget *Budget, ThreadPool *Pool) {
   DynamicResult R;
 
-  auto Solve = [&](const std::vector<unsigned> &Ids) {
+  auto SolveWith = [&](const std::vector<unsigned> &Ids,
+                       ResourceBudget *B) {
     InterferenceGraph IG(P, Ids, /*IncludeReadOnly=*/!ExcludeReadOnly,
                          &GlobalWritten);
     PartitionOptions Opts = Seeds;
-    Opts.Budget = Budget;
+    Opts.Budget = B;
     return UseBlocking ? solvePartitionsWithBlocks(IG, Opts)
                        : solvePartitions(IG, Opts);
+  };
+  auto Solve = [&](const std::vector<unsigned> &Ids) {
+    return SolveWith(Ids, Budget);
   };
 
   // Union-find over nests.
@@ -90,12 +97,25 @@ DynamicResult greedyJoin(const Program &P, const CostModel &CM,
     return Out;
   };
 
-  // Initial per-nest partitions and benefits.
+  // Initial per-nest partitions and benefits. With a pool the solves fan
+  // out, each on a private budget copy; results land in nest order either
+  // way, so the join loop below sees identical inputs for any job count.
+  std::vector<PartitionResult> Initial(Nests.size());
+  parallelForN(Pool, Nests.size(), [&](size_t I) {
+    std::optional<ResourceBudget> Local;
+    ResourceBudget *B = Budget;
+    if (Pool && Budget) {
+      Local.emplace(*Budget);
+      B = &*Local;
+    }
+    Initial[I] = SolveWith({Nests[I]}, B);
+  });
   std::map<unsigned, PartitionResult> Parts;
   std::map<unsigned, double> Benefit;
   std::set<unsigned> Sequential; // Nests with zero parallelism even alone.
-  for (unsigned N : Nests) {
-    Parts[N] = Solve({N});
+  for (unsigned I = 0; I != Nests.size(); ++I) {
+    unsigned N = Nests[I];
+    Parts[N] = std::move(Initial[I]);
     Benefit[N] = CM.totalBenefit(Parts[N]);
     if (Parts[N].totalParallelism() == 0)
       Sequential.insert(N);
@@ -162,10 +182,11 @@ DynamicResult alp::runDynamicDecomposition(const Program &P,
                                            bool UseBlocking,
                                            JoinPolicy Policy,
                                            bool ExcludeReadOnly,
-                                           ResourceBudget *Budget) {
+                                           ResourceBudget *Budget,
+                                           ThreadPool *Pool) {
   return greedyJoin(P, CM, P.nestsInOrder(), buildCommGraph(P, CM),
                     UseBlocking, Policy, ExcludeReadOnly,
-                    globallyWritten(P), PartitionOptions(), Budget);
+                    globallyWritten(P), PartitionOptions(), Budget, Pool);
 }
 
 DynamicResult alp::runMultiLevelDynamicDecomposition(const Program &P,
@@ -173,7 +194,8 @@ DynamicResult alp::runMultiLevelDynamicDecomposition(const Program &P,
                                                      bool UseBlocking,
                                                      JoinPolicy Policy,
                                                      bool ExcludeReadOnly,
-                                                     ResourceBudget *Budget) {
+                                                     ResourceBudget *Budget,
+                                                     ThreadPool *Pool) {
   std::set<unsigned> GlobalWritten = globallyWritten(P);
   std::vector<CommEdge> AllEdges = buildCommGraph(P, CM);
 
@@ -249,7 +271,7 @@ DynamicResult alp::runMultiLevelDynamicDecomposition(const Program &P,
         Local.push_back(E);
     DynamicResult LR =
         greedyJoin(P, CM, Nests, std::move(Local), UseBlocking, Policy,
-                   ExcludeReadOnly, GlobalWritten, Seeds, Budget);
+                   ExcludeReadOnly, GlobalWritten, Seeds, Budget, Pool);
     // Seed computation partitions.
     for (const auto &[Root, Parts] : LR.Partitions)
       for (const auto &[NestId, Kernel] : Parts.CompKernel) {
@@ -283,5 +305,5 @@ DynamicResult alp::runMultiLevelDynamicDecomposition(const Program &P,
   // Final level: the whole program, seeded from below.
   return greedyJoin(P, CM, P.nestsInOrder(), std::move(AllEdges),
                     UseBlocking, Policy, ExcludeReadOnly, GlobalWritten,
-                    Seeds, Budget);
+                    Seeds, Budget, Pool);
 }

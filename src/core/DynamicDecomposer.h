@@ -25,6 +25,8 @@
 
 namespace alp {
 
+class ThreadPool;
+
 /// One edge of the communication graph (aggregated over arrays).
 struct CommEdge {
   unsigned U = 0, V = 0; ///< Nest ids, U < V.
@@ -62,11 +64,15 @@ std::vector<CommEdge> buildCommGraph(const Program &P, const CostModel &CM);
 /// With \p ExcludeReadOnly, arrays never written anywhere in the program
 /// are left out of every partition solve (they will be replicated by the
 /// Sec. 7.2 pass instead of constraining parallelism or joins).
+/// With \p Pool, the initial per-nest partition solves run concurrently
+/// (each on its own budget copy); the greedy join loop itself is
+/// inherently sequential. The result is identical for every job count.
 DynamicResult runDynamicDecomposition(const Program &P, const CostModel &CM,
                                       bool UseBlocking = true,
                                       JoinPolicy Policy = JoinPolicy::Greedy,
                                       bool ExcludeReadOnly = false,
-                                      ResourceBudget *Budget = nullptr);
+                                      ResourceBudget *Budget = nullptr,
+                                      ThreadPool *Pool = nullptr);
 
 /// The faithful Sec. 6.4 multi-level variant: every structure context
 /// (sequential-loop body, branch arm) runs the Single_Level greedy
@@ -78,7 +84,7 @@ DynamicResult runDynamicDecomposition(const Program &P, const CostModel &CM,
 DynamicResult runMultiLevelDynamicDecomposition(
     const Program &P, const CostModel &CM, bool UseBlocking = true,
     JoinPolicy Policy = JoinPolicy::Greedy, bool ExcludeReadOnly = false,
-    ResourceBudget *Budget = nullptr);
+    ResourceBudget *Budget = nullptr, ThreadPool *Pool = nullptr);
 
 } // namespace alp
 

@@ -356,6 +356,7 @@ std::vector<Vector> Matrix::nullspaceBasis() const {
   for (unsigned P : Pivots)
     IsPivot[P] = true;
   std::vector<Vector> Basis;
+  Basis.reserve(NumCols - Pivots.size());
   for (unsigned Free = 0; Free != NumCols; ++Free) {
     if (IsPivot[Free])
       continue;
@@ -372,6 +373,7 @@ std::vector<Vector> Matrix::rowSpaceBasis() const {
   std::vector<unsigned> Pivots;
   Matrix R = rref(&Pivots);
   std::vector<Vector> Basis;
+  Basis.reserve(Pivots.size());
   for (unsigned I = 0; I != Pivots.size(); ++I)
     Basis.push_back(R.row(I));
   return Basis;

@@ -54,6 +54,11 @@ Expected<int64_t> alp::checkedLcm64(int64_t A, int64_t B) {
 
 Rational::Rational(int64_t N, int64_t D) {
   assert(D != 0 && "rational with zero denominator");
+  if (D == 1) { // Integer fast path: already reduced and sign-normalized.
+    Num = N;
+    Den = 1;
+    return;
+  }
   if (D < 0) {
     N = checkedNeg64(N, "rational numerator");
     D = checkedNeg64(D, "rational denominator");
@@ -80,10 +85,26 @@ Rational Rational::operator-() const {
 }
 
 Rational Rational::operator+(const Rational &RHS) const {
+  Rational R;
+  // Integer fast path: no multiplies, no reduction.
+  if (Den == 1 && RHS.Den == 1) {
+    R.Num = narrow(static_cast<__int128>(Num) + RHS.Num);
+    return R;
+  }
   // a/b + c/d = (a*d + c*b) / (b*d), reduced.
   __int128 N = static_cast<__int128>(Num) * RHS.Den +
                static_cast<__int128>(RHS.Num) * Den;
   __int128 D = static_cast<__int128>(Den) * RHS.Den;
+  // Mixed fast path: with one denominator 1 the sum a*d + c over d is
+  // already in lowest terms (gcd(c, d) == 1 carries over) unless it
+  // cancelled to zero — skip the 128-bit gcd loop.
+  if (Den == 1 || RHS.Den == 1) {
+    if (N == 0)
+      return R;
+    R.Num = narrow(N);
+    R.Den = narrow(D);
+    return R;
+  }
   // Reduce in 128 bits before narrowing to avoid spurious overflow.
   __int128 A = N < 0 ? -N : N, B = D;
   while (B != 0) {
@@ -95,7 +116,11 @@ Rational Rational::operator+(const Rational &RHS) const {
     N /= A;
     D /= A;
   }
-  return Rational(narrow(N), narrow(D));
+  // The loop divided out the full gcd (and canonicalized zero to 0/1), so
+  // the pair needs no further reduction.
+  R.Num = narrow(N);
+  R.Den = narrow(D);
+  return R;
 }
 
 Rational Rational::operator-(const Rational &RHS) const {
@@ -103,12 +128,25 @@ Rational Rational::operator-(const Rational &RHS) const {
 }
 
 Rational Rational::operator*(const Rational &RHS) const {
-  // Cross-reduce first to keep intermediates small.
-  int64_t G1 = gcd64(Num, RHS.Den);
-  int64_t G2 = gcd64(RHS.Num, Den);
+  Rational R;
+  // Integer fast path: nothing to cross-reduce.
+  if (Den == 1 && RHS.Den == 1) {
+    R.Num = narrow(static_cast<__int128>(Num) * RHS.Num);
+    return R;
+  }
+  // Cross-reduce first to keep intermediates small; a gcd against a
+  // denominator of 1 is always 1, so skip it.
+  int64_t G1 = RHS.Den == 1 ? 1 : gcd64(Num, RHS.Den);
+  int64_t G2 = Den == 1 ? 1 : gcd64(RHS.Num, Den);
   __int128 N = static_cast<__int128>(Num / G1) * (RHS.Num / G2);
   __int128 D = static_cast<__int128>(Den / G2) * (RHS.Den / G1);
-  return Rational(narrow(N), narrow(D));
+  // Cross-reduction leaves the product in lowest terms; only a zero
+  // numerator still needs its denominator canonicalized to 1.
+  if (N == 0)
+    return R;
+  R.Num = narrow(N);
+  R.Den = narrow(D);
+  return R;
 }
 
 Rational Rational::operator/(const Rational &RHS) const {
@@ -150,6 +188,8 @@ Rational Rational::reciprocal() const {
 }
 
 bool Rational::operator<(const Rational &RHS) const {
+  if (Den == 1 && RHS.Den == 1)
+    return Num < RHS.Num;
   // Compare a/b < c/d as a*d < c*b (denominators are positive).
   __int128 L = static_cast<__int128>(Num) * RHS.Den;
   __int128 R = static_cast<__int128>(RHS.Num) * Den;

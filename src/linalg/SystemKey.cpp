@@ -1,0 +1,74 @@
+//===- linalg/SystemKey.cpp - Canonical constraint-system keys -------------===//
+
+#include "linalg/SystemKey.h"
+
+#include <algorithm>
+
+using namespace alp;
+
+namespace {
+
+/// FNV-1a over a byte range.
+inline void fnv1a(uint64_t &H, const void *Data, size_t Len) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I != Len; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ull;
+  }
+}
+
+/// Appends an integer in a fixed-width binary encoding (fast to hash and
+/// to compare, no textual formatting on the hot path).
+inline void appendI64(std::string &Out, int64_t V) {
+  uint64_t U = static_cast<uint64_t>(V);
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((U >> (8 * I)) & 0xff));
+}
+
+} // namespace
+
+CanonicalSystemKey alp::canonicalSystemKey(const ConstraintSystem &CS) {
+  const unsigned NumVars = CS.numVars();
+  std::vector<std::string> Rows;
+  Rows.reserve(CS.size());
+  for (const LinearConstraint &C : CS.constraints()) {
+    // Scale [coeffs | const] to the canonical integer direction.
+    Vector Full(NumVars + 1);
+    for (unsigned I = 0; I != NumVars; ++I)
+      Full[I] = C.Coeffs[I];
+    Full[NumVars] = C.Const;
+    Vector Dir = Full.normalizedDirection();
+    // normalizedDirection makes the leading entry positive, which may flip
+    // an inequality's direction; restore it (only equalities are
+    // sign-symmetric).
+    if (C.CKind == LinearConstraint::Kind::Inequality) {
+      auto Lead = Full.firstNonZero();
+      if (Lead && Full[*Lead].isNegative())
+        Dir = -Dir;
+    }
+    std::string Row;
+    Row.reserve(1 + 8 * (NumVars + 1));
+    Row.push_back(C.CKind == LinearConstraint::Kind::Equality ? 'E' : 'I');
+    for (unsigned I = 0; I != NumVars + 1; ++I) {
+      // After normalization entries are integers except for the all-zero
+      // row (returned unchanged); encode num and den to stay exact either
+      // way.
+      appendI64(Row, Dir[I].num());
+      if (Dir[I].den() != 1)
+        appendI64(Row, -Dir[I].den()); // Tagged: dens are never negative.
+    }
+    Rows.push_back(std::move(Row));
+  }
+  std::sort(Rows.begin(), Rows.end());
+
+  CanonicalSystemKey Key;
+  Key.Repr.reserve(8 + Rows.size() * (2 + 8 * (NumVars + 1)));
+  appendI64(Key.Repr, NumVars);
+  for (const std::string &Row : Rows) {
+    Key.Repr += Row;
+    Key.Repr.push_back('\n');
+  }
+  Key.Hash = 1469598103934665603ull;
+  fnv1a(Key.Hash, Key.Repr.data(), Key.Repr.size());
+  return Key;
+}

@@ -1,0 +1,62 @@
+//===- linalg/SystemKey.h - Canonical constraint-system keys ----*- C++ -*-===//
+///
+/// \file
+/// Canonicalization and hashing for ConstraintSystem, the substrate of the
+/// dependence-analysis memoization layer. Two systems that differ only in
+/// row order or row scaling describe the same polyhedron; stencil codes
+/// produce thousands of such structurally identical systems (one per
+/// same-shape access pair per carrying level). The canonical key
+///
+///   * scales every constraint to its normalized integer direction
+///     (LCM of denominators / GCD of numerators, canonical sign:
+///     equalities get a positive leading coefficient, inequalities keep
+///     their direction),
+///   * sorts the rows lexicographically,
+///   * serializes kind + coefficients + constant, and
+///   * hashes the serialization with FNV-1a over the Rational entries.
+///
+/// The full serialization is kept alongside the hash so cache lookups
+/// compare exactly — a hash collision can never alias two different
+/// systems to one cache entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_LINALG_SYSTEMKEY_H
+#define ALP_LINALG_SYSTEMKEY_H
+
+#include "linalg/FourierMotzkin.h"
+
+#include <cstdint>
+#include <string>
+
+namespace alp {
+
+/// A canonical, order- and scale-independent key for a ConstraintSystem.
+struct CanonicalSystemKey {
+  uint64_t Hash = 0;
+  /// Exact canonical serialization; equality compares this, not the hash.
+  std::string Repr;
+
+  bool operator==(const CanonicalSystemKey &RHS) const {
+    return Hash == RHS.Hash && Repr == RHS.Repr;
+  }
+  bool operator!=(const CanonicalSystemKey &RHS) const {
+    return !(*this == RHS);
+  }
+};
+
+/// Hasher for unordered containers keyed by CanonicalSystemKey.
+struct CanonicalSystemKeyHash {
+  size_t operator()(const CanonicalSystemKey &K) const {
+    return static_cast<size_t>(K.Hash);
+  }
+};
+
+/// Builds the canonical key of \p CS. Throws AlpException on rational
+/// overflow while normalizing (callers treat that like any other exact-
+/// arithmetic overflow: skip memoization and fall through).
+CanonicalSystemKey canonicalSystemKey(const ConstraintSystem &CS);
+
+} // namespace alp
+
+#endif // ALP_LINALG_SYSTEMKEY_H

@@ -21,6 +21,7 @@ VectorSpace VectorSpace::span(unsigned Ambient,
                               const std::vector<Vector> &Vectors) {
   VectorSpace VS(Ambient);
   std::vector<Vector> NonZero;
+  NonZero.reserve(Vectors.size());
   for (const Vector &V : Vectors) {
     assert(V.size() == Ambient && "vector ambient dimension mismatch");
     if (!V.isZero())
@@ -32,6 +33,7 @@ VectorSpace VectorSpace::span(unsigned Ambient,
 
 VectorSpace VectorSpace::full(unsigned Ambient) {
   VectorSpace VS(Ambient);
+  VS.Basis.reserve(Ambient);
   for (unsigned I = 0; I != Ambient; ++I)
     VS.Basis.push_back(Vector::unit(Ambient, I));
   return VS;
@@ -55,23 +57,37 @@ bool VectorSpace::contains(const Vector &V) const {
     return true;
   if (Basis.empty())
     return false;
-  // V is in the span iff appending it does not raise the rank.
-  std::vector<Vector> Rows = Basis;
-  Rows.push_back(V);
-  return Matrix::fromRows(Rows).rank() == Basis.size();
+  // V is in the span iff appending it does not raise the rank. Build the
+  // stacked matrix directly instead of copying the basis into a temporary
+  // row vector first.
+  Matrix M(Basis.size() + 1, AmbientDim);
+  for (unsigned R = 0; R != Basis.size(); ++R)
+    M.setRow(R, Basis[R]);
+  M.setRow(Basis.size(), V);
+  return M.rank() == Basis.size();
 }
 
 bool VectorSpace::containsSpace(const VectorSpace &Other) const {
   assert(AmbientDim == Other.AmbientDim && "ambient dimension mismatch");
-  for (const Vector &V : Other.Basis)
-    if (!contains(V))
-      return false;
-  return true;
+  if (Other.Basis.empty())
+    return true;
+  if (Other.dim() > dim())
+    return false;
+  // Other is contained iff stacking its basis under ours does not raise
+  // the rank — one elimination instead of one per basis vector.
+  Matrix M(Basis.size() + Other.Basis.size(), AmbientDim);
+  for (unsigned R = 0; R != Basis.size(); ++R)
+    M.setRow(R, Basis[R]);
+  for (unsigned R = 0; R != Other.Basis.size(); ++R)
+    M.setRow(Basis.size() + R, Other.Basis[R]);
+  return M.rank() == Basis.size();
 }
 
 VectorSpace VectorSpace::operator+(const VectorSpace &RHS) const {
   assert(AmbientDim == RHS.AmbientDim && "ambient dimension mismatch");
-  std::vector<Vector> All = Basis;
+  std::vector<Vector> All;
+  All.reserve(Basis.size() + RHS.Basis.size());
+  All.insert(All.end(), Basis.begin(), Basis.end());
   All.insert(All.end(), RHS.Basis.begin(), RHS.Basis.end());
   VectorSpace VS(AmbientDim);
   VS.canonicalize(std::move(All));
@@ -81,7 +97,9 @@ VectorSpace VectorSpace::operator+(const VectorSpace &RHS) const {
 bool VectorSpace::insert(const Vector &V) {
   if (contains(V))
     return false;
-  std::vector<Vector> All = Basis;
+  std::vector<Vector> All;
+  All.reserve(Basis.size() + 1);
+  All.insert(All.end(), Basis.begin(), Basis.end());
   All.push_back(V);
   canonicalize(std::move(All));
   return true;

@@ -15,6 +15,14 @@
 /// the budget itself: one budget instance caps one pipeline run
 /// cumulatively across all its solver invocations.
 ///
+/// Thread-safety: the consumed counters are atomics, so one budget may be
+/// charged from several workers without data races. The parallel analysis
+/// driver nevertheless hands each task its own *copy* (per-worker step
+/// counters) so that which task degrades first cannot depend on thread
+/// scheduling; the wall-clock Deadline is an absolute time point and is
+/// therefore shared by value across those copies. Arm the deadline
+/// (setDeadlineIn) before fanning copies out, never concurrently.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALP_SUPPORT_BUDGET_H
@@ -22,6 +30,7 @@
 
 #include "support/Status.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <optional>
@@ -43,9 +52,32 @@ struct ResourceBudget {
   /// Absolute wall-clock deadline. Unset = none.
   std::optional<std::chrono::steady_clock::time_point> Deadline;
 
-  /// Consumed counters.
-  uint64_t UsedEliminationSteps = 0;
-  uint64_t UsedSolverIterations = 0;
+  /// Consumed counters (atomic: see the thread-safety note above).
+  std::atomic<uint64_t> UsedEliminationSteps{0};
+  std::atomic<uint64_t> UsedSolverIterations{0};
+
+  ResourceBudget() = default;
+  ResourceBudget(const ResourceBudget &O)
+      : MaxFMConstraints(O.MaxFMConstraints),
+        MaxEliminationSteps(O.MaxEliminationSteps),
+        MaxSolverIterations(O.MaxSolverIterations), Deadline(O.Deadline),
+        UsedEliminationSteps(
+            O.UsedEliminationSteps.load(std::memory_order_relaxed)),
+        UsedSolverIterations(
+            O.UsedSolverIterations.load(std::memory_order_relaxed)) {}
+  ResourceBudget &operator=(const ResourceBudget &O) {
+    MaxFMConstraints = O.MaxFMConstraints;
+    MaxEliminationSteps = O.MaxEliminationSteps;
+    MaxSolverIterations = O.MaxSolverIterations;
+    Deadline = O.Deadline;
+    UsedEliminationSteps.store(
+        O.UsedEliminationSteps.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    UsedSolverIterations.store(
+        O.UsedSolverIterations.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
 
   /// A budget sized for interactive use: generous enough that every
   /// realistic affine nest fits, small enough that adversarial systems
@@ -66,8 +98,9 @@ struct ResourceBudget {
   /// Charges \p N elimination steps; BudgetExceeded once the total passes
   /// the limit (or the deadline has passed).
   Status chargeEliminationSteps(uint64_t N) {
-    UsedEliminationSteps += N;
-    if (MaxEliminationSteps && UsedEliminationSteps > MaxEliminationSteps)
+    uint64_t Total =
+        UsedEliminationSteps.fetch_add(N, std::memory_order_relaxed) + N;
+    if (MaxEliminationSteps && Total > MaxEliminationSteps)
       return Status::error(StatusCode::BudgetExceeded,
                            "Fourier-Motzkin elimination step limit (" +
                                std::to_string(MaxEliminationSteps) +
@@ -77,8 +110,9 @@ struct ResourceBudget {
 
   /// Charges one solver worklist iteration.
   Status chargeSolverIteration() {
-    ++UsedSolverIterations;
-    if (MaxSolverIterations && UsedSolverIterations > MaxSolverIterations)
+    uint64_t Total =
+        UsedSolverIterations.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (MaxSolverIterations && Total > MaxSolverIterations)
       return Status::error(StatusCode::BudgetExceeded,
                            "solver iteration limit (" +
                                std::to_string(MaxSolverIterations) +

@@ -4,8 +4,10 @@
 
 #include "linalg/FourierMotzkin.h"
 #include "support/Diagnostics.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 using namespace alp;
@@ -392,36 +394,92 @@ void alp::applyUnimodular(LoopNest &Nest, const IntMatrix &T) {
   Nest.PermutableBands.clear();
 }
 
-void alp::runLocalPhase(Program &P, ResourceBudget *Budget,
-                        std::vector<std::string> *Warnings) {
-  DependenceAnalysis DA(P, Budget);
-  for (unsigned NI = 0; NI != P.Nests.size(); ++NI) {
-    LoopNest &Nest = P.Nests[NI];
-    try {
-      std::vector<Dependence> Deps = DA.analyze(Nest);
-      CanonicalForm CF = computeCanonicalForm(Nest, Deps);
-      // Transform a copy so a mid-rewrite overflow cannot leave the nest
-      // half-transformed.
-      LoopNest Trial = Nest;
-      if (!CF.T.toRational().isIdentity())
-        applyUnimodular(Trial, CF.T);
-      for (unsigned R = 0; R != Trial.depth(); ++R)
-        Trial.Loops[R].Kind =
-            CF.ParallelLoops[R] ? LoopKind::Parallel : LoopKind::Sequential;
-      Trial.PermutableBands = CF.BandSizes;
-      Nest = std::move(Trial);
-    } catch (const AlpException &E) {
-      // Source order, all sequential, one loop per band: legal by
-      // construction and never tiled.
-      for (Loop &L : Nest.Loops)
-        L.Kind = LoopKind::Sequential;
-      Nest.PermutableBands.assign(Nest.depth(), 1);
-      if (Warnings)
-        Warnings->push_back("local phase left nest " + std::to_string(NI) +
-                            " untransformed (" + E.status().str() + ")");
-    }
+namespace {
+
+/// Canonicalizes one nest with \p DA; appends the skip note to
+/// \p LPWarnings on failure. The fail-soft body shared by the serial and
+/// the parallel local phase.
+void canonicalizeNest(Program &P, unsigned NI, const DependenceAnalysis &DA,
+                      std::vector<std::string> &LPWarnings) {
+  LoopNest &Nest = P.Nests[NI];
+  try {
+    std::vector<Dependence> Deps = DA.analyze(Nest);
+    CanonicalForm CF = computeCanonicalForm(Nest, Deps);
+    // Transform a copy so a mid-rewrite overflow cannot leave the nest
+    // half-transformed.
+    LoopNest Trial = Nest;
+    if (!CF.T.toRational().isIdentity())
+      applyUnimodular(Trial, CF.T);
+    for (unsigned R = 0; R != Trial.depth(); ++R)
+      Trial.Loops[R].Kind =
+          CF.ParallelLoops[R] ? LoopKind::Parallel : LoopKind::Sequential;
+    Trial.PermutableBands = CF.BandSizes;
+    Nest = std::move(Trial);
+  } catch (const AlpException &E) {
+    // Source order, all sequential, one loop per band: legal by
+    // construction and never tiled.
+    for (Loop &L : Nest.Loops)
+      L.Kind = LoopKind::Sequential;
+    Nest.PermutableBands.assign(Nest.depth(), 1);
+    LPWarnings.push_back("local phase left nest " + std::to_string(NI) +
+                         " untransformed (" + E.status().str() + ")");
   }
-  if (Warnings)
-    for (const std::string &W : DA.warnings())
-      Warnings->push_back(W);
+}
+
+} // namespace
+
+void alp::runLocalPhase(Program &P, ResourceBudget *Budget,
+                        std::vector<std::string> *Warnings,
+                        const LocalPhaseOptions &Opts) {
+  if (!Opts.Pool) {
+    // Serial path: one analysis, one cumulative budget across all nests
+    // (the historical semantics).
+    DependenceOptions DOpts;
+    DOpts.SharedCache = Opts.SharedCache;
+    DependenceAnalysis DA(P, Budget, DOpts);
+    std::vector<std::string> LPWarnings;
+    for (unsigned NI = 0; NI != P.Nests.size(); ++NI)
+      canonicalizeNest(P, NI, DA, LPWarnings);
+    if (Warnings) {
+      for (std::string &W : LPWarnings)
+        Warnings->push_back(std::move(W));
+      for (const std::string &W : DA.warnings())
+        Warnings->push_back(W);
+    }
+    return;
+  }
+
+  // Parallel path: nests fan out over the pool, each with a private
+  // analysis (sharing the projection cache) and a private budget copy.
+  // Warnings merge in nest order — transform notes first, then dependence
+  // notes, matching the serial layout — so the output is byte-identical
+  // for every job count. Nested pair-level parallelism inside the
+  // analysis degrades to serial automatically (ThreadPool nesting rule).
+  struct NestOutcome {
+    std::vector<std::string> LPWarnings;
+    std::vector<std::string> DAWarnings;
+  };
+  std::vector<NestOutcome> Outcomes(P.Nests.size());
+  Opts.Pool->parallelFor(P.Nests.size(), [&](size_t NI) {
+    DependenceOptions DOpts;
+    DOpts.SharedCache = Opts.SharedCache;
+    DOpts.Pool = Opts.Pool;
+    std::optional<ResourceBudget> Local;
+    ResourceBudget *NestBudget = nullptr;
+    if (Budget) {
+      Local.emplace(*Budget);
+      NestBudget = &*Local;
+    }
+    DependenceAnalysis DA(P, NestBudget, DOpts);
+    canonicalizeNest(P, NI, DA, Outcomes[NI].LPWarnings);
+    Outcomes[NI].DAWarnings = DA.warnings();
+  });
+  if (Warnings) {
+    for (NestOutcome &O : Outcomes)
+      for (std::string &W : O.LPWarnings)
+        Warnings->push_back(std::move(W));
+    for (NestOutcome &O : Outcomes)
+      for (std::string &W : O.DAWarnings)
+        Warnings->push_back(std::move(W));
+  }
 }

@@ -20,6 +20,7 @@
 
 #include "ir/Builder.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
@@ -232,3 +233,95 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<uint64_t, unsigned>{201u, 3u},
                       std::pair<uint64_t, unsigned>{202u, 3u},
                       std::pair<uint64_t, unsigned>{203u, 3u}));
+
+namespace {
+
+std::string depsFingerprint(const std::vector<Dependence> &Deps) {
+  std::string S;
+  for (const Dependence &D : Deps) {
+    S += D.str();
+    S += '\n';
+  }
+  return S;
+}
+
+} // namespace
+
+// The cheap tiers and the memoization layer are pure compile-time
+// optimizations: over the same random corpus the brute-force test uses,
+// every configuration — tiers on/off, cache on/off, serial or pooled —
+// must produce the identical dependence list.
+TEST(DependenceEquivalenceTest, AllConfigurationsMatchUncachedExact) {
+  Rng R(777);
+  ThreadPool Pool(4);
+  for (unsigned Trial = 0; Trial != 30; ++Trial) {
+    RandomNestConfig Cfg;
+    Cfg.Depth = (Trial % 2) ? 3 : 2;
+    if (Cfg.Depth >= 3)
+      Cfg.Extent = 3;
+    Program P = makeRandomProgram(R, Cfg);
+    const LoopNest &Nest = P.nest(0);
+
+    auto Run = [&](DependenceOptions O) {
+      DependenceAnalysis DA(P, nullptr, O);
+      return depsFingerprint(DA.analyze(Nest));
+    };
+
+    DependenceOptions Exact;
+    Exact.TieredTests = false;
+    Exact.Memoize = false;
+    std::string Ref = Run(Exact);
+
+    DependenceOptions TiersOnly;
+    TiersOnly.Memoize = false;
+    EXPECT_EQ(Ref, Run(TiersOnly)) << "trial " << Trial << " tiers-only";
+
+    DependenceOptions MemoOnly;
+    MemoOnly.TieredTests = false;
+    EXPECT_EQ(Ref, Run(MemoOnly)) << "trial " << Trial << " memo-only";
+
+    DependenceOptions Full;
+    EXPECT_EQ(Ref, Run(Full)) << "trial " << Trial << " full";
+
+    DependenceOptions Parallel;
+    Parallel.Pool = &Pool;
+    EXPECT_EQ(Ref, Run(Parallel)) << "trial " << Trial << " parallel";
+
+    // Tier counters partition the pairs: every pair exits at exactly one
+    // tier, and the cache only sees traffic from pairs that reached the
+    // exact tier.
+    DependenceAnalysis DA(P, nullptr, Full);
+    (void)DA.analyze(Nest);
+    DependenceTierStats T = DA.tierStats();
+    EXPECT_EQ(T.Pairs,
+              T.GcdIndependent + T.BanerjeeIndependent + T.ExactTested);
+    if (T.ExactTested == 0)
+      EXPECT_EQ(T.CacheHits + T.CacheMisses, 0u);
+  }
+}
+
+// A shared cache reused across analyses keeps its contents: the second
+// analysis of an identically-shaped program hits where the first missed.
+TEST(DependenceEquivalenceTest, SharedCacheCarriesAcrossAnalyses) {
+  Rng R(4242);
+  RandomNestConfig Cfg;
+  Program P = makeRandomProgram(R, Cfg);
+  DependenceCache Shared;
+  DependenceOptions O;
+  O.SharedCache = &Shared;
+
+  DependenceAnalysis First(P, nullptr, O);
+  std::string Ref = depsFingerprint(First.analyze(P.nest(0)));
+  DependenceTierStats T1 = First.tierStats();
+
+  DependenceAnalysis Second(P, nullptr, O);
+  EXPECT_EQ(Ref, depsFingerprint(Second.analyze(P.nest(0))));
+  // Cache counters on a shared cache are the cache's lifetime totals, so
+  // the second run's view includes the first run's misses — but it must
+  // not add any new ones, only hits.
+  DependenceTierStats T2 = Second.tierStats();
+  if (T1.CacheMisses > 0) {
+    EXPECT_EQ(T2.CacheMisses, T1.CacheMisses);
+    EXPECT_GT(T2.CacheHits, T1.CacheHits);
+  }
+}

@@ -21,6 +21,8 @@
 //   --max-steps <n>      cap FM elimination steps (0 = off)
 //   --max-iters <n>      cap solver fixpoint iterations (0 = off)
 //   --deadline-ms <n>    wall-clock budget for the pipeline (0 = off)
+//   --jobs <n>           analysis worker threads (0 = all hardware
+//                        threads); output is identical for every value
 //
 // Exit codes: 0 success; 1 cannot open / parse / verify failure; 2 usage;
 // 3 decomposition failed outright; 4 success but degraded (some stage fell
@@ -57,7 +59,7 @@ void usage(const char *Prog) {
                "            [--spmd] [--comm] [--verify] [--print-ir] [--deps] [--simulate] "
                "[--procs N] [--block B]\n"
                "            [--max-fm N] [--max-steps N] [--max-iters N] "
-               "[--deadline-ms N]\n",
+               "[--deadline-ms N] [--jobs N]\n",
                Prog);
 }
 
@@ -121,6 +123,8 @@ int main(int argc, char **argv) {
           static_cast<uint64_t>(std::atoll(argv[++I]));
     else if (!std::strcmp(A, "--deadline-ms") && I + 1 < argc)
       Opts.DeadlineMs = static_cast<uint64_t>(std::atoll(argv[++I]));
+    else if (!std::strcmp(A, "--jobs") && I + 1 < argc)
+      Opts.Jobs = static_cast<unsigned>(std::atoi(argv[++I]));
     else if (A[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", A);
       usage(argv[0]);
