@@ -1,0 +1,67 @@
+//===- analysis/Lint.cpp - Lint framework and pass registry ---------------===//
+
+#include "analysis/Lint.h"
+
+using namespace alp;
+
+unsigned LintResult::count(Diagnostic::Kind K) const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.DiagKind == K)
+      ++N;
+  return N;
+}
+
+Diagnostic &LintContext::report(Diagnostic::Kind K, const std::string &PassId,
+                                SourceLoc Loc, const std::string &Message) {
+  Diagnostic D;
+  D.DiagKind = K;
+  D.PassId = PassId;
+  D.Loc = Loc;
+  D.Message = Message;
+  Result.Diags.push_back(std::move(D));
+  return Result.Diags.back();
+}
+
+void LintContext::notChecked(const std::string &PassId,
+                             const std::string &Reason) {
+  Result.Unchecked.push_back({PassId, Reason});
+}
+
+namespace alp {
+// Pass factories (one per family, defined in their own files).
+std::unique_ptr<LintPass> createRaceLintPass();
+std::unique_ptr<LintPass> createModelLintPass();
+std::unique_ptr<LintPass> createDecompLintPass();
+} // namespace alp
+
+std::vector<std::unique_ptr<LintPass>>
+alp::createLintPasses(const LintOptions &Opts) {
+  std::vector<std::unique_ptr<LintPass>> Passes;
+  if (Opts.CheckRaces)
+    Passes.push_back(createRaceLintPass());
+  if (Opts.CheckModel)
+    Passes.push_back(createModelLintPass());
+  if (Opts.CheckDecomposition)
+    Passes.push_back(createDecompLintPass());
+  return Passes;
+}
+
+LintResult alp::runLintPasses(const Program &P, const ProgramDecomposition *PD,
+                              const LintOptions &Opts) {
+  LintResult Result;
+  LintContext Ctx(P, PD, Opts, Result);
+  for (const std::unique_ptr<LintPass> &Pass : createLintPasses(Opts)) {
+    // Decomposition checks need a decomposition to check.
+    if (std::string(Pass->id()) == "decomp" && !PD)
+      continue;
+    // Framework-level fail-soft backstop: a pass that trips checked
+    // arithmetic degrades to "not checked"; it never takes the run down.
+    try {
+      Pass->run(Ctx);
+    } catch (const AlpException &E) {
+      Ctx.notChecked(Pass->id(), E.status().str());
+    }
+  }
+  return Result;
+}

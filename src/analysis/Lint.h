@@ -1,0 +1,149 @@
+//===- analysis/Lint.h - Pass-based static analysis (alp-lint) --*- C++ -*-===//
+///
+/// \file
+/// alp-lint: a diagnostics-producing static-analysis layer over the alp
+/// IR. Three pass families run over a Program (and, when available, its
+/// ProgramDecomposition):
+///
+///   race    Forall race detector. Re-runs DependenceAnalysis against the
+///           nest's loop classification and reports every dependence
+///           carried by a loop marked forall, with the conflicting access
+///           pair, the distance/direction vector, and both source
+///           locations.
+///
+///   model   Affine-model lints: loops that provably never execute
+///           (zero-trip / rationally infeasible bounds, via
+///           Fourier-Motzkin), subscripts provably outside the declared
+///           array bounds, arrays that are declared but never referenced,
+///           and loop indices that shadow an enclosing index or a program
+///           parameter.
+///
+///   decomp  Decomposition translation validator: the Theorem 4.1 matrix
+///           invariants of core/Verify.h plus an SPMD coverage check that
+///           every access classified by CommAnalysis is accounted for and
+///           every reorganization the emitter prints is backed by a
+///           recorded reorganization point (and vice versa) — i.e. no
+///           non-local read is left without a covering message.
+///
+/// Fail-soft contract: every pass takes the shared ResourceBudget. A pass
+/// whose underlying solver runs out of budget records an UncheckedPass
+/// entry ("this property was not checked, and why") and emits nothing —
+/// budget exhaustion can suppress diagnostics but never fabricate one.
+///
+/// Results render as plain text, as a compact JSON object, or as a SARIF
+/// 2.1.0 log (the interchange format CI code-scanning UIs ingest).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_ANALYSIS_LINT_H
+#define ALP_ANALYSIS_LINT_H
+
+#include "core/Decomposition.h"
+#include "ir/Program.h"
+#include "support/Budget.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alp {
+
+/// Which pass families run, and the shared solver budget.
+struct LintOptions {
+  bool CheckRaces = true;
+  bool CheckModel = true;
+  /// Only effective when a decomposition is supplied to runLintPasses.
+  bool CheckDecomposition = true;
+  /// Block size forwarded to CommAnalysis / the SPMD emitter.
+  int64_t BlockSize = 4;
+  /// Shared solver budget; nullptr = unlimited.
+  ResourceBudget *Budget = nullptr;
+};
+
+/// A property some pass could not establish within budget: degraded to
+/// "not checked" rather than guessed (docs/ROBUSTNESS.md fail-soft rule).
+struct UncheckedPass {
+  std::string PassId;
+  std::string Reason;
+};
+
+/// Everything a lint run produced.
+struct LintResult {
+  std::vector<Diagnostic> Diags;
+  std::vector<UncheckedPass> Unchecked;
+
+  unsigned count(Diagnostic::Kind K) const;
+  bool hasErrors() const { return count(Diagnostic::Kind::Error) != 0; }
+  bool hasWarnings() const { return count(Diagnostic::Kind::Warning) != 0; }
+};
+
+/// Shared state handed to each pass: the program under analysis, the
+/// optional decomposition, and the sinks for diagnostics / unchecked
+/// records.
+class LintContext {
+public:
+  LintContext(const Program &P, const ProgramDecomposition *PD,
+              const LintOptions &Opts, LintResult &Result)
+      : P(P), PD(PD), Opts(Opts), Result(Result) {}
+
+  const Program &program() const { return P; }
+  /// Null when linting without a decomposition (alpc --lint mode).
+  const ProgramDecomposition *decomposition() const { return PD; }
+  const LintOptions &options() const { return Opts; }
+  ResourceBudget *budget() const { return Opts.Budget; }
+
+  /// Emits a diagnostic; the returned reference is valid until the next
+  /// report() call, for attaching Notes / a FixIt.
+  Diagnostic &report(Diagnostic::Kind K, const std::string &PassId,
+                     SourceLoc Loc, const std::string &Message);
+
+  /// Records that \p PassId could not check its property (budget
+  /// exhaustion, unbound symbol, ...). Never a diagnostic.
+  void notChecked(const std::string &PassId, const std::string &Reason);
+
+private:
+  const Program &P;
+  const ProgramDecomposition *PD;
+  const LintOptions &Opts;
+  LintResult &Result;
+};
+
+/// One analysis family. Passes are stateless between runs; all output
+/// goes through the context.
+class LintPass {
+public:
+  virtual ~LintPass() = default;
+
+  /// Stable family prefix ("race", "model", "decomp"); individual
+  /// diagnostics refine it ("race.forall-carried").
+  virtual const char *id() const = 0;
+  virtual const char *description() const = 0;
+  virtual void run(LintContext &Ctx) = 0;
+};
+
+/// The pass registry: every pass family enabled by \p Opts, in fixed
+/// execution order (race, model, decomp).
+std::vector<std::unique_ptr<LintPass>> createLintPasses(const LintOptions &Opts);
+
+/// Runs every enabled pass over \p P. \p PD may be null (decomposition
+/// checks are skipped); never throws — solver exhaustion lands in
+/// LintResult::Unchecked.
+LintResult runLintPasses(const Program &P, const ProgramDecomposition *PD,
+                         const LintOptions &Opts = LintOptions());
+
+/// Human-readable rendering: one block per diagnostic (notes and fix-its
+/// indented), unchecked records, and a trailing summary count line.
+std::string renderLintText(const LintResult &R);
+
+/// Compact JSON: {"file", "diagnostics": [...], "unchecked": [...],
+/// "errors": N, "warnings": M}.
+std::string renderLintJson(const LintResult &R, const std::string &FileName);
+
+/// SARIF 2.1.0 log with one run, one rule per distinct pass id, and one
+/// result per diagnostic. \p FileName becomes the artifact URI.
+std::string renderLintSarif(const LintResult &R, const std::string &FileName);
+
+} // namespace alp
+
+#endif // ALP_ANALYSIS_LINT_H

@@ -1,0 +1,152 @@
+//===- analysis/LintDecomp.cpp - Decomposition translation validator ------===//
+//
+// Validates a ProgramDecomposition against the program it decomposes:
+//
+//   * the matrix invariants of core/Verify.h (Theorem 4.1, kernel /
+//     localized-space consistency, dynamic-decomposition component
+//     discipline, coverage of every nest) — reused directly, and
+//   * an SPMD coverage check: every access must be classified by
+//     CommAnalysis (an unclassified access would compile to a non-local
+//     read with no covering message), every recorded reorganization point
+//     must surface as a reorganize() call in the emitted SPMD code, and
+//     every emitted reorganize() must be backed by a recorded point.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+#include "codegen/CommAnalysis.h"
+#include "codegen/SpmdEmitter.h"
+#include "core/Verify.h"
+
+#include <set>
+#include <sstream>
+#include <tuple>
+
+using namespace alp;
+
+namespace {
+
+class DecompLintPass : public LintPass {
+public:
+  const char *id() const override { return "decomp"; }
+  const char *description() const override {
+    return "decomposition translation validation: Theorem 4.1 invariants "
+           "and SPMD communication coverage";
+  }
+
+  void run(LintContext &Ctx) override {
+    const ProgramDecomposition *PD = Ctx.decomposition();
+    if (!PD) {
+      Ctx.notChecked("decomp", "no decomposition available to validate");
+      return;
+    }
+    const Program &P = Ctx.program();
+
+    // Matrix-level invariants (core/Verify.h) pass through verbatim.
+    for (Diagnostic &D : verifyDecompositionDiagnostics(P, *PD)) {
+      Diagnostic &Out = Ctx.report(D.DiagKind, D.PassId, D.Loc, D.Message);
+      Out.Notes = std::move(D.Notes);
+      Out.FixIt = std::move(D.FixIt);
+    }
+
+    // SPMD coverage only makes sense over a structurally valid result:
+    // the emitter fatals outright on a nest with no computation
+    // decomposition, and the coverage diagnostics above already flag it.
+    for (unsigned NestId : P.nestsInOrder())
+      if (!PD->Comp.count(NestId)) {
+        Ctx.notChecked("decomp.spmd-coverage",
+                       "decomposition does not cover every nest; SPMD "
+                       "communication coverage was not checked");
+        return;
+      }
+    try {
+      checkSpmdCoverage(Ctx, P, *PD);
+    } catch (const AlpException &E) {
+      Ctx.notChecked("decomp.spmd-coverage", E.status().str());
+    }
+  }
+
+private:
+  void checkSpmdCoverage(LintContext &Ctx, const Program &P,
+                         const ProgramDecomposition &PD) {
+    CommSummary Comm =
+        analyzeCommunication(P, PD, Ctx.options().BlockSize);
+
+    // (a) Every access of every nest must have a classification.
+    std::set<std::tuple<unsigned, unsigned, unsigned, unsigned>> Classified;
+    for (const CommOp &Op : Comm.Ops)
+      Classified.insert({Op.NestId, Op.StmtIdx, Op.AccessIdx, Op.ArrayId});
+    for (unsigned NestId : P.nestsInOrder()) {
+      const LoopNest &Nest = P.nest(NestId);
+      for (unsigned SI = 0; SI < Nest.Body.size(); ++SI)
+        for (unsigned AI = 0; AI < Nest.Body[SI].Accesses.size(); ++AI) {
+          unsigned ArrayId = Nest.Body[SI].Accesses[AI].ArrayId;
+          if (Classified.count({NestId, SI, AI, ArrayId}))
+            continue;
+          const ArrayAccess &A = Nest.Body[SI].Accesses[AI];
+          std::ostringstream OS;
+          OS << "access '" << P.array(A.ArrayId).Name
+             << A.Map.str(Nest.indexNames()) << "' in nest " << NestId
+             << " has no communication classification; the SPMD code "
+                "would touch it with no covering message";
+          Ctx.report(Diagnostic::Kind::Error, "decomp.spmd-coverage",
+                     A.Loc, OS.str());
+        }
+    }
+
+    // (b)/(c) Reorganization points vs emitted reorganize() calls.
+    std::set<std::string> Emitted = emittedReorganizations(
+        emitSpmd(P, PD, Ctx.options().BlockSize));
+    std::set<std::string> Recorded;
+    for (const ReorganizationPoint &RP : PD.Reorganizations)
+      Recorded.insert(P.array(RP.ArrayId).Name);
+
+    for (const std::string &Name : Recorded)
+      if (!Emitted.count(Name)) {
+        std::ostringstream OS;
+        OS << "recorded reorganization of array '" << Name
+           << "' never appears in the emitted SPMD code: reads after the "
+              "layout change would be non-local with no covering message";
+        Ctx.report(Diagnostic::Kind::Error, "decomp.spmd-coverage",
+                   arrayLoc(P, Name), OS.str());
+      }
+    for (const std::string &Name : Emitted)
+      if (!Recorded.count(Name)) {
+        std::ostringstream OS;
+        OS << "emitted SPMD code reorganizes array '" << Name
+           << "' at a point the decomposition never recorded";
+        Ctx.report(Diagnostic::Kind::Error, "decomp.spmd-coverage",
+                   arrayLoc(P, Name), OS.str());
+      }
+  }
+
+  static SourceLoc arrayLoc(const Program &P, const std::string &Name) {
+    for (const ArraySymbol &A : P.Arrays)
+      if (A.Name == Name)
+        return A.Loc;
+    return SourceLoc();
+  }
+
+  /// Array names of every "reorganize(NAME: ..." line of \p Spmd.
+  static std::set<std::string> emittedReorganizations(const std::string &Spmd) {
+    std::set<std::string> Names;
+    const std::string Marker = "reorganize(";
+    for (size_t Pos = Spmd.find(Marker); Pos != std::string::npos;
+         Pos = Spmd.find(Marker, Pos + Marker.size())) {
+      size_t Start = Pos + Marker.size();
+      size_t Colon = Spmd.find(':', Start);
+      if (Colon == std::string::npos)
+        continue;
+      Names.insert(Spmd.substr(Start, Colon - Start));
+    }
+    return Names;
+  }
+};
+
+} // namespace
+
+namespace alp {
+std::unique_ptr<LintPass> createDecompLintPass() {
+  return std::make_unique<DecompLintPass>();
+}
+} // namespace alp

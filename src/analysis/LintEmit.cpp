@@ -1,0 +1,198 @@
+//===- analysis/LintEmit.cpp - Diagnostic renderers -----------------------===//
+//
+// Renders a LintResult as plain text, as a compact JSON object, or as a
+// SARIF 2.1.0 log (one run, one reportingDescriptor per distinct pass id,
+// one result per diagnostic; notes become relatedLocations). JSON is
+// assembled by hand — the format is small and the project carries no
+// external dependencies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+using namespace alp;
+
+namespace {
+
+/// Escapes \p S for inclusion in a JSON string literal.
+std::string jsonEscape(const std::string &S) {
+  std::ostringstream OS;
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  return OS.str();
+}
+
+std::string quoted(const std::string &S) {
+  return '"' + jsonEscape(S) + '"';
+}
+
+/// SARIF "level" property for a diagnostic kind.
+const char *sarifLevel(Diagnostic::Kind K) {
+  switch (K) {
+  case Diagnostic::Kind::Error:
+    return "error";
+  case Diagnostic::Kind::Warning:
+    return "warning";
+  case Diagnostic::Kind::Note:
+  case Diagnostic::Kind::Remark:
+    return "note";
+  }
+  return "none";
+}
+
+/// A SARIF physicalLocation for \p Loc in \p Uri; omits the region when
+/// the location is unknown (SARIF requires startLine >= 1).
+std::string sarifLocation(const std::string &Uri, SourceLoc Loc) {
+  std::ostringstream OS;
+  OS << "{\"physicalLocation\": {\"artifactLocation\": {\"uri\": "
+     << quoted(Uri) << '}';
+  if (Loc.isValid()) {
+    OS << ", \"region\": {\"startLine\": " << Loc.Line
+       << ", \"startColumn\": " << (Loc.Column ? Loc.Column : 1) << '}';
+  }
+  OS << "}}";
+  return OS.str();
+}
+
+} // namespace
+
+std::string alp::renderLintText(const LintResult &R) {
+  std::ostringstream OS;
+  for (const Diagnostic &D : R.Diags)
+    OS << D.strWithNotes() << '\n';
+  for (const UncheckedPass &U : R.Unchecked)
+    OS << "not checked [" << U.PassId << "]: " << U.Reason << '\n';
+  OS << R.count(Diagnostic::Kind::Error) << " error(s), "
+     << R.count(Diagnostic::Kind::Warning) << " warning(s)";
+  if (!R.Unchecked.empty())
+    OS << ", " << R.Unchecked.size() << " check(s) skipped";
+  OS << '\n';
+  return OS.str();
+}
+
+std::string alp::renderLintJson(const LintResult &R,
+                                const std::string &FileName) {
+  std::ostringstream OS;
+  OS << "{\n  \"file\": " << quoted(FileName) << ",\n  \"diagnostics\": [";
+  for (unsigned I = 0; I < R.Diags.size(); ++I) {
+    const Diagnostic &D = R.Diags[I];
+    OS << (I ? "," : "") << "\n    {\"kind\": "
+       << quoted(diagnosticKindName(D.DiagKind))
+       << ", \"pass\": " << quoted(D.PassId) << ", \"line\": " << D.Loc.Line
+       << ", \"column\": " << D.Loc.Column
+       << ", \"message\": " << quoted(D.Message);
+    if (!D.Notes.empty()) {
+      OS << ", \"notes\": [";
+      for (unsigned J = 0; J < D.Notes.size(); ++J)
+        OS << (J ? ", " : "") << "{\"line\": " << D.Notes[J].Loc.Line
+           << ", \"column\": " << D.Notes[J].Loc.Column
+           << ", \"message\": " << quoted(D.Notes[J].Message) << '}';
+      OS << ']';
+    }
+    if (!D.FixIt.empty())
+      OS << ", \"fixit\": " << quoted(D.FixIt);
+    OS << '}';
+  }
+  OS << "\n  ],\n  \"unchecked\": [";
+  for (unsigned I = 0; I < R.Unchecked.size(); ++I)
+    OS << (I ? "," : "") << "\n    {\"pass\": "
+       << quoted(R.Unchecked[I].PassId)
+       << ", \"reason\": " << quoted(R.Unchecked[I].Reason) << '}';
+  OS << "\n  ],\n  \"errors\": " << R.count(Diagnostic::Kind::Error)
+     << ",\n  \"warnings\": " << R.count(Diagnostic::Kind::Warning)
+     << "\n}\n";
+  return OS.str();
+}
+
+std::string alp::renderLintSarif(const LintResult &R,
+                                 const std::string &FileName) {
+  std::ostringstream OS;
+  OS << "{\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"alp-lint\",\n"
+     << "          \"informationUri\": "
+        "\"https://example.invalid/alp\",\n"
+     << "          \"rules\": [";
+
+  std::set<std::string> Rules;
+  for (const Diagnostic &D : R.Diags)
+    if (!D.PassId.empty())
+      Rules.insert(D.PassId);
+  unsigned I = 0;
+  for (const std::string &Rule : Rules)
+    OS << (I++ ? "," : "") << "\n            {\"id\": " << quoted(Rule)
+       << '}';
+  OS << "\n          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [";
+
+  for (unsigned J = 0; J < R.Diags.size(); ++J) {
+    const Diagnostic &D = R.Diags[J];
+    OS << (J ? "," : "") << "\n        {\"ruleId\": " << quoted(D.PassId)
+       << ", \"level\": " << quoted(sarifLevel(D.DiagKind))
+       << ", \"message\": {\"text\": " << quoted(D.Message)
+       << "}, \"locations\": [" << sarifLocation(FileName, D.Loc) << ']';
+    if (!D.Notes.empty()) {
+      OS << ", \"relatedLocations\": [";
+      for (unsigned K = 0; K < D.Notes.size(); ++K) {
+        if (K)
+          OS << ", ";
+        // relatedLocations carry their message inline.
+        std::ostringstream Rel;
+        Rel << "{\"physicalLocation\": {\"artifactLocation\": {\"uri\": "
+            << quoted(FileName) << '}';
+        if (D.Notes[K].Loc.isValid())
+          Rel << ", \"region\": {\"startLine\": " << D.Notes[K].Loc.Line
+              << ", \"startColumn\": "
+              << (D.Notes[K].Loc.Column ? D.Notes[K].Loc.Column : 1)
+              << '}';
+        Rel << "}, \"message\": {\"text\": " << quoted(D.Notes[K].Message)
+            << "}}";
+        OS << Rel.str();
+      }
+      OS << ']';
+    }
+    OS << '}';
+  }
+  OS << "\n      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return OS.str();
+}

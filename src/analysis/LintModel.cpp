@@ -1,0 +1,332 @@
+//===- analysis/LintModel.cpp - Affine-model lints ------------------------===//
+//
+// Lints on the affine program model itself, independent of any
+// decomposition:
+//
+//   model.zero-trip          a loop whose constant bounds are contradictory
+//                            (lower > upper): the loop never executes.
+//   model.infeasible-bounds  the nest's full bound system is rationally
+//                            infeasible (Fourier-Motzkin): dead nest.
+//   model.oob-subscript      a subscript provably outside the declared
+//                            array extent for every iteration (error), or
+//                            outside it for some iteration (warning).
+//   model.unused-array       an array declared but never referenced.
+//   model.shadowed-index     a loop index that shadows an enclosing
+//                            sequential loop index, a program parameter,
+//                            or an outer index of the same nest.
+//
+// All bound reasoning happens under the shared ResourceBudget; exhaustion
+// records "not checked" rather than a diagnostic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+#include "linalg/FourierMotzkin.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace alp;
+
+namespace {
+
+/// True when every symbol of \p E has a numeric binding.
+bool isBound(const SymAffine &E, const std::map<std::string, Rational> &B) {
+  for (const auto &[Sym, Coeff] : E.symbolCoeffs())
+    if (!B.count(Sym))
+      return false;
+  return true;
+}
+
+class ModelLintPass : public LintPass {
+public:
+  const char *id() const override { return "model"; }
+  const char *description() const override {
+    return "affine-model sanity: dead loops, out-of-bounds subscripts, "
+           "unused arrays, shadowed indices";
+  }
+
+  void run(LintContext &Ctx) override {
+    const Program &P = Ctx.program();
+    for (unsigned NestId : P.nestsInOrder()) {
+      // Rational overflow inside bound reasoning degrades to "not
+      // checked" like any other exhausted resource.
+      try {
+        checkNest(Ctx, P, NestId);
+      } catch (const AlpException &E) {
+        Ctx.notChecked("model", "nest " + std::to_string(NestId) + ": " +
+                                    E.status().str());
+      }
+    }
+    checkUnusedArrays(Ctx, P);
+    checkShadowedIndices(Ctx, P);
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Dead loops and subscript bounds
+  //===--------------------------------------------------------------------===
+
+  /// Builds the nest's bound polyhedron over \p NumVars >= depth()
+  /// variables (variables beyond the depth are left unconstrained).
+  /// Returns false when some bound mentions an unbound symbol.
+  bool buildBoundSystem(const Program &P, const LoopNest &Nest,
+                        unsigned NumVars, ConstraintSystem &CS) const {
+    const auto &B = P.SymbolBindings;
+    for (unsigned K = 0; K < Nest.depth(); ++K) {
+      const Loop &L = Nest.Loops[K];
+      for (const BoundTerm &T : L.Lower) {
+        if (!isBound(T.Const, B))
+          return false;
+        // i_k >= coeffs . i + c  <=>  i_k - coeffs . i - c >= 0.
+        Vector Coeffs = Vector::zero(NumVars);
+        Coeffs[K] = Rational(1);
+        for (unsigned J = 0; J < T.OuterCoeffs.size(); ++J)
+          Coeffs[J] = Coeffs[J] - T.OuterCoeffs[J];
+        CS.addInequality(Coeffs, -T.Const.evaluate(B));
+      }
+      for (const BoundTerm &T : L.Upper) {
+        if (!isBound(T.Const, B))
+          return false;
+        Vector Coeffs = Vector::zero(NumVars);
+        Coeffs[K] = Rational(-1);
+        for (unsigned J = 0; J < T.OuterCoeffs.size(); ++J)
+          Coeffs[J] = Coeffs[J] + T.OuterCoeffs[J];
+        CS.addInequality(Coeffs, T.Const.evaluate(B));
+      }
+    }
+    return true;
+  }
+
+  void checkNest(LintContext &Ctx, const Program &P, unsigned NestId) {
+    const LoopNest &Nest = P.nest(NestId);
+    const auto &B = P.SymbolBindings;
+
+    // Per-loop zero-trip: both effective bounds constant and lower > upper.
+    bool DeadLoop = false;
+    for (const Loop &L : Nest.Loops) {
+      std::optional<Rational> Lo, Hi;
+      bool Constant = !L.Lower.empty() && !L.Upper.empty();
+      for (const BoundTerm &T : L.Lower) {
+        if (!T.OuterCoeffs.isZero() || !isBound(T.Const, B)) {
+          Constant = false;
+          break;
+        }
+        Rational V = T.Const.evaluate(B);
+        if (!Lo || V > *Lo)
+          Lo = V; // Effective lower bound is the max.
+      }
+      if (Constant)
+        for (const BoundTerm &T : L.Upper) {
+          if (!T.OuterCoeffs.isZero() || !isBound(T.Const, B)) {
+            Constant = false;
+            break;
+          }
+          Rational V = T.Const.evaluate(B);
+          if (!Hi || V < *Hi)
+            Hi = V; // Effective upper bound is the min.
+        }
+      if (Constant && Lo && Hi && *Lo > *Hi) {
+        std::ostringstream OS;
+        OS << "loop '" << L.IndexName << "' never executes: lower bound "
+           << Lo->str() << " exceeds upper bound " << Hi->str();
+        Ctx.report(Diagnostic::Kind::Warning, "model.zero-trip", L.Loc,
+                   OS.str());
+        DeadLoop = true;
+      }
+    }
+
+    // Whole-nest feasibility (catches contradictions across loops that the
+    // constant per-loop check cannot see).
+    bool NestFeasible = true;
+    if (Nest.depth() > 0) {
+      ConstraintSystem CS(Nest.depth());
+      if (!buildBoundSystem(P, Nest, Nest.depth(), CS)) {
+        Ctx.notChecked("model.infeasible-bounds",
+                       "nest " + std::to_string(NestId) +
+                           ": a loop bound mentions a symbol with no "
+                           "binding; feasibility not checked");
+        return;
+      }
+      Expected<bool> Feasible = CS.isRationallyFeasible(Ctx.budget());
+      if (!Feasible) {
+        Ctx.notChecked("model.infeasible-bounds",
+                       "nest " + std::to_string(NestId) + ": " +
+                           Feasible.status().str());
+        return;
+      }
+      NestFeasible = *Feasible;
+      if (!NestFeasible && !DeadLoop) {
+        SourceLoc Loc =
+            Nest.Loops.empty() ? SourceLoc() : Nest.Loops.front().Loc;
+        std::ostringstream OS;
+        OS << "nest " << NestId
+           << " never executes: its loop bounds are infeasible";
+        Ctx.report(Diagnostic::Kind::Warning, "model.infeasible-bounds",
+                   Loc, OS.str());
+      }
+    }
+
+    // Subscript ranges only make sense over iterations that happen.
+    if (NestFeasible)
+      checkSubscripts(Ctx, P, Nest);
+  }
+
+  void checkSubscripts(LintContext &Ctx, const Program &P,
+                       const LoopNest &Nest) {
+    const auto &B = P.SymbolBindings;
+    std::vector<std::string> Names = Nest.indexNames();
+    // One extra variable s holds the subscript value under test.
+    const unsigned SVar = Nest.depth();
+
+    for (const Statement &S : Nest.Body)
+      for (const ArrayAccess &A : S.Accesses) {
+        const ArraySymbol &Arr = P.array(A.ArrayId);
+        for (unsigned R = 0; R < A.Map.arrayDim(); ++R) {
+          const SymAffine &KR = A.Map.constant()[R];
+          if (R >= Arr.DimSizes.size())
+            break; // Shape mismatch is Program::verify's province.
+          const SymAffine &Size = Arr.DimSizes[R];
+          if (!isBound(KR, B) || !isBound(Size, B)) {
+            Ctx.notChecked("model.oob-subscript",
+                           "access '" + Arr.Name + A.Map.str(Names) +
+                               "': subscript or extent mentions a symbol "
+                               "with no binding");
+            continue;
+          }
+
+          ConstraintSystem CS(Nest.depth() + 1);
+          if (!buildBoundSystem(P, Nest, Nest.depth() + 1, CS))
+            continue; // Already recorded by checkNest.
+          // s == F_r . i + k_r.
+          Vector Eq = Vector::zero(Nest.depth() + 1);
+          Eq[SVar] = Rational(1);
+          for (unsigned J = 0; J < Nest.depth(); ++J)
+            Eq[J] = -A.Map.linear().at(R, J);
+          CS.addEquality(Eq, -KR.evaluate(B));
+
+          Expected<std::optional<VariableBounds>> Bounds =
+              CS.boundsOf(SVar, Ctx.budget());
+          if (!Bounds) {
+            Ctx.notChecked("model.oob-subscript",
+                           "access '" + Arr.Name + A.Map.str(Names) +
+                               "' dim " + std::to_string(R) + ": " +
+                               Bounds.status().str());
+            continue;
+          }
+          if (!Bounds->has_value())
+            continue; // Infeasible: the access never happens.
+
+          Rational Max = Size.evaluate(B) - Rational(1);
+          const std::optional<Rational> &Lo = (**Bounds).Lower;
+          const std::optional<Rational> &Hi = (**Bounds).Upper;
+          bool AlwaysOut = (Hi && *Hi < Rational(0)) || (Lo && *Lo > Max);
+          bool MayBeOut = (!Lo || *Lo < Rational(0)) || (!Hi || *Hi > Max);
+          if (!AlwaysOut && !MayBeOut)
+            continue;
+
+          std::ostringstream OS;
+          OS << "subscript " << R << " of access '" << Arr.Name
+             << A.Map.str(Names) << "' ranges over ["
+             << (Lo ? Lo->str() : "-inf") << ", "
+             << (Hi ? Hi->str() : "+inf") << "], "
+             << (AlwaysOut ? "entirely outside" : "which can leave")
+             << " the declared extent [0, " << Max.str() << "] of array '"
+             << Arr.Name << "'";
+          Diagnostic &D = Ctx.report(AlwaysOut ? Diagnostic::Kind::Error
+                                               : Diagnostic::Kind::Warning,
+                                     "model.oob-subscript", A.Loc, OS.str());
+          D.Notes.push_back(
+              {Arr.Loc, "array '" + Arr.Name + "' declared here"});
+        }
+      }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Unused arrays
+  //===--------------------------------------------------------------------===
+
+  void checkUnusedArrays(LintContext &Ctx, const Program &P) {
+    std::set<unsigned> Referenced;
+    for (const LoopNest &Nest : P.Nests)
+      for (unsigned A : Nest.referencedArrays())
+        Referenced.insert(A);
+    for (unsigned A = 0; A < P.Arrays.size(); ++A) {
+      if (Referenced.count(A))
+        continue;
+      const ArraySymbol &Arr = P.array(A);
+      Diagnostic &D = Ctx.report(
+          Diagnostic::Kind::Warning, "model.unused-array", Arr.Loc,
+          "array '" + Arr.Name + "' is declared but never referenced");
+      D.FixIt = "remove the declaration of '" + Arr.Name + "'";
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Shadowed loop indices
+  //===--------------------------------------------------------------------===
+
+  void checkShadowedIndices(LintContext &Ctx, const Program &P) {
+    std::vector<std::string> Enclosing;
+    walk(Ctx, P, P.TopLevel, Enclosing);
+  }
+
+  void walk(LintContext &Ctx, const Program &P,
+            const std::vector<ProgramNode> &Nodes,
+            std::vector<std::string> &Enclosing) {
+    for (const ProgramNode &Node : Nodes) {
+      switch (Node.NodeKind) {
+      case ProgramNode::Kind::Nest:
+        checkNestIndices(Ctx, P, Node.NestId, Enclosing);
+        break;
+      case ProgramNode::Kind::SequentialLoop:
+        Enclosing.push_back(Node.IndexName);
+        walk(Ctx, P, Node.Children, Enclosing);
+        Enclosing.pop_back();
+        break;
+      case ProgramNode::Kind::Branch:
+        walk(Ctx, P, Node.Children, Enclosing);
+        walk(Ctx, P, Node.ElseChildren, Enclosing);
+        break;
+      }
+    }
+  }
+
+  void checkNestIndices(LintContext &Ctx, const Program &P, unsigned NestId,
+                        const std::vector<std::string> &Enclosing) {
+    const LoopNest &Nest = P.nest(NestId);
+    for (unsigned K = 0; K < Nest.depth(); ++K) {
+      const std::string &Name = Nest.Loops[K].IndexName;
+      std::string What;
+      if (std::find(Enclosing.begin(), Enclosing.end(), Name) !=
+          Enclosing.end())
+        What = "an enclosing sequential loop index";
+      else if (P.SymbolBindings.count(Name))
+        What = "the program parameter '" + Name + "'";
+      else
+        for (unsigned J = 0; J < K; ++J)
+          if (Nest.Loops[J].IndexName == Name) {
+            What = "the outer loop index at level " + std::to_string(J) +
+                   " of the same nest";
+            break;
+          }
+      if (What.empty())
+        continue;
+      Diagnostic &D = Ctx.report(
+          Diagnostic::Kind::Warning, "model.shadowed-index",
+          Nest.Loops[K].Loc,
+          "loop index '" + Name + "' of nest " + std::to_string(NestId) +
+              " shadows " + What);
+      D.FixIt = "rename the loop index '" + Name + "'";
+    }
+  }
+};
+
+} // namespace
+
+namespace alp {
+std::unique_ptr<LintPass> createModelLintPass() {
+  return std::make_unique<ModelLintPass>();
+}
+} // namespace alp

@@ -1,0 +1,132 @@
+//===- analysis/LintRace.cpp - Forall race detector -----------------------===//
+//
+// Re-runs dependence analysis against each nest's loop classification: a
+// dependence carried by a loop marked forall means two iterations that
+// run concurrently touch the same array element with at least one write —
+// a race. Conservative (budget-degraded) dependences are reported as
+// "not checked" instead, never as races.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dependence.h"
+#include "analysis/Lint.h"
+
+#include <sstream>
+
+using namespace alp;
+
+namespace {
+
+const char *depKindName(DepKind K) {
+  switch (K) {
+  case DepKind::Flow:
+    return "flow";
+  case DepKind::Anti:
+    return "anti";
+  case DepKind::Output:
+    return "output";
+  }
+  return "?";
+}
+
+std::string vectorStr(const std::vector<DepComponent> &Components) {
+  std::ostringstream OS;
+  OS << '(';
+  for (unsigned I = 0; I < Components.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << Components[I].str();
+  }
+  OS << ')';
+  return OS.str();
+}
+
+class RaceLintPass : public LintPass {
+public:
+  const char *id() const override { return "race"; }
+  const char *description() const override {
+    return "dependences carried by forall loops (races under the nest's "
+           "current parallelization)";
+  }
+
+  void run(LintContext &Ctx) override {
+    const Program &P = Ctx.program();
+    DependenceAnalysis DA(P, Ctx.budget());
+    for (unsigned NestId : P.nestsInOrder()) {
+      const LoopNest &Nest = P.nest(NestId);
+      if (Nest.firstParallelLoop() == Nest.depth())
+        continue; // Fully sequential: nothing to race.
+
+      bool Degraded = false;
+      for (const Dependence &D : DA.analyze(Nest)) {
+        if (D.Level >= Nest.depth())
+          continue; // Loop-independent: ordered within one iteration.
+        const Loop &Carrier = Nest.Loops[D.Level];
+        if (!Carrier.isParallel())
+          continue; // Serialized by a sequential loop.
+        if (D.Conservative) {
+          // Assumed, not proven: fail-soft means this becomes "not
+          // checked", not a reported race.
+          Degraded = true;
+          continue;
+        }
+        reportRace(Ctx, P, Nest, NestId, D, Carrier);
+      }
+      if (Degraded) {
+        std::ostringstream OS;
+        OS << "nest " << NestId
+           << ": dependence analysis exhausted its budget; race freedom "
+              "of the forall loops was not verified";
+        Ctx.notChecked("race.forall-carried", OS.str());
+      }
+    }
+  }
+
+private:
+  void reportRace(LintContext &Ctx, const Program &P, const LoopNest &Nest,
+                  unsigned NestId, const Dependence &D, const Loop &Carrier) {
+    const ArrayAccess &Src = Nest.Body[D.SrcStmt].Accesses[D.SrcAccess];
+    const ArrayAccess &Dst = Nest.Body[D.DstStmt].Accesses[D.DstAccess];
+    std::vector<std::string> Names = Nest.indexNames();
+
+    std::ostringstream OS;
+    OS << "forall loop '" << Carrier.IndexName << "' of nest " << NestId
+       << " carries a " << depKindName(D.Kind) << " dependence on array '"
+       << P.array(D.ArrayId).Name << "': iterations that run in parallel "
+       << "conflict with "
+       << (D.isDistanceVector() ? "distance" : "direction") << " vector "
+       << vectorStr(D.Components);
+    Diagnostic &Diag = Ctx.report(Diagnostic::Kind::Error,
+                                  "race.forall-carried",
+                                  Carrier.Loc.isValid() ? Carrier.Loc
+                                                        : Src.Loc,
+                                  OS.str());
+
+    std::ostringstream SrcNote;
+    SrcNote << (Src.IsWrite ? "write" : "read") << " of '"
+            << P.array(D.ArrayId).Name << A(Src, Names)
+            << "' is the dependence source";
+    Diag.Notes.push_back({Src.Loc, SrcNote.str()});
+
+    std::ostringstream DstNote;
+    DstNote << "conflicting " << (Dst.IsWrite ? "write" : "read") << " of '"
+            << P.array(D.ArrayId).Name << A(Dst, Names) << "' is here";
+    Diag.Notes.push_back({Dst.Loc, DstNote.str()});
+
+    Diag.FixIt = "change 'forall " + Carrier.IndexName +
+                 "' to a sequential 'for " + Carrier.IndexName + "'";
+  }
+
+  static std::string A(const ArrayAccess &Acc,
+                       const std::vector<std::string> &Names) {
+    return Acc.Map.str(Names);
+  }
+};
+
+} // namespace
+
+namespace alp {
+std::unique_ptr<LintPass> createRaceLintPass() {
+  return std::make_unique<RaceLintPass>();
+}
+} // namespace alp

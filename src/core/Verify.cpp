@@ -1,17 +1,63 @@
-//===- core/Verify.cpp - Decomposition invariant checking --------------------===//
+//===- core/Verify.cpp - Decomposition invariant checking -----------------===//
 
 #include "core/Verify.h"
 
+#include <set>
 #include <sstream>
 
 using namespace alp;
 
-std::vector<std::string>
-alp::verifyDecomposition(const Program &P, const ProgramDecomposition &PD) {
-  std::vector<std::string> Issues;
-  auto Report = [&](const std::string &S) { Issues.push_back(S); };
+namespace {
+
+/// Accumulates decomposition diagnostics with a fixed pass-id prefix.
+class Reporter {
+public:
+  explicit Reporter(std::vector<Diagnostic> &Out) : Out(Out) {}
+
+  Diagnostic &error(const std::string &PassId, SourceLoc Loc,
+                    const std::string &Message) {
+    Diagnostic D;
+    D.DiagKind = Diagnostic::Kind::Error;
+    D.PassId = PassId;
+    D.Loc = Loc;
+    D.Message = Message;
+    Out.push_back(std::move(D));
+    return Out.back();
+  }
+
+private:
+  std::vector<Diagnostic> &Out;
+};
+
+SourceLoc nestLoc(const LoopNest &Nest) {
+  return Nest.Loops.empty() ? SourceLoc() : Nest.Loops.front().Loc;
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+alp::verifyDecompositionDiagnostics(const Program &P,
+                                    const ProgramDecomposition &PD) {
+  std::vector<Diagnostic> Diags;
+  Reporter R(Diags);
+
+  // Coverage: every nest of the program needs a computation decomposition.
+  // Without this an empty decomposition would verify vacuously.
+  for (unsigned NestId : P.nestsInOrder()) {
+    if (PD.Comp.count(NestId))
+      continue;
+    std::ostringstream OS;
+    OS << "nest " << NestId << " has no computation decomposition";
+    R.error("decomp.coverage", nestLoc(P.nest(NestId)), OS.str());
+  }
 
   for (const auto &[NestId, CD] : PD.Comp) {
+    if (NestId >= P.Nests.size()) {
+      std::ostringstream OS;
+      OS << "decomposition names nonexistent nest " << NestId;
+      R.error("decomp.coverage", SourceLoc(), OS.str());
+      continue;
+    }
     const LoopNest &Nest = P.nest(NestId);
     // ker(C) must be exactly the recorded computation partition.
     if (VectorSpace::kernelOf(CD.C) != CD.Kernel) {
@@ -19,12 +65,12 @@ alp::verifyDecomposition(const Program &P, const ProgramDecomposition &PD) {
       OS << "nest " << NestId << ": ker(C) = "
          << VectorSpace::kernelOf(CD.C).str() << " != recorded partition "
          << CD.Kernel.str();
-      Report(OS.str());
+      R.error("decomp.kernel", nestLoc(Nest), OS.str());
     }
     if (!CD.Localized.containsSpace(CD.Kernel)) {
       std::ostringstream OS;
       OS << "nest " << NestId << ": Lc does not contain ker C";
-      Report(OS.str());
+      R.error("decomp.localized", nestLoc(Nest), OS.str());
     }
 
     for (const Statement &S : Nest.Body)
@@ -34,7 +80,7 @@ alp::verifyDecomposition(const Program &P, const ProgramDecomposition &PD) {
           std::ostringstream OS;
           OS << "nest " << NestId << ": no data decomposition for array "
              << P.array(A.ArrayId).Name;
-          Report(OS.str());
+          R.error("decomp.data-missing", A.Loc, OS.str());
           continue;
         }
         const DataDecomposition &DD = DIt->second;
@@ -42,13 +88,13 @@ alp::verifyDecomposition(const Program &P, const ProgramDecomposition &PD) {
           std::ostringstream OS;
           OS << "array " << P.array(A.ArrayId).Name << " @nest " << NestId
              << ": ker(D) misses the recorded partition";
-          Report(OS.str());
+          R.error("decomp.kernel", A.Loc, OS.str());
         }
         if (!DD.Localized.containsSpace(DD.Kernel)) {
           std::ostringstream OS;
           OS << "array " << P.array(A.ArrayId).Name << " @nest " << NestId
              << ": Ld does not contain ker D";
-          Report(OS.str());
+          R.error("decomp.localized", A.Loc, OS.str());
         }
         // Replicated arrays satisfy Eqn. 7 instead of Eqn. 3.
         if (PD.ReplicatedDims.count(A.ArrayId) &&
@@ -61,7 +107,13 @@ alp::verifyDecomposition(const Program &P, const ProgramDecomposition &PD) {
           OS << "array " << P.array(A.ArrayId).Name << " @nest " << NestId
              << ": D*F = " << (DD.D * A.Map.linear()).str()
              << " != C = " << CD.C.str() << " (Theorem 4.1 violated)";
-          Report(OS.str());
+          Diagnostic &D =
+              R.error("decomp.theorem-4.1", A.Loc, OS.str());
+          DiagNote N;
+          N.Loc = nestLoc(Nest);
+          N.Message = "computation decomposition of the enclosing nest "
+                      "fixed here";
+          D.Notes.push_back(std::move(N));
         }
       }
   }
@@ -80,8 +132,18 @@ alp::verifyDecomposition(const Program &P, const ProgramDecomposition &PD) {
       std::ostringstream OS;
       OS << "array " << P.array(ArrayId).Name
          << " has two decompositions inside component " << CIt->second;
-      Report(OS.str());
+      SourceLoc Loc =
+          ArrayId < P.Arrays.size() ? P.array(ArrayId).Loc : SourceLoc();
+      R.error("decomp.component", Loc, OS.str());
     }
   }
+  return Diags;
+}
+
+std::vector<std::string>
+alp::verifyDecomposition(const Program &P, const ProgramDecomposition &PD) {
+  std::vector<std::string> Issues;
+  for (const Diagnostic &D : verifyDecompositionDiagnostics(P, PD))
+    Issues.push_back(D.Message);
   return Issues;
 }

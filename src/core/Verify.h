@@ -11,9 +11,15 @@
 ///  * Localized spaces contain their kernels (Lc >= ker C, Ld >= ker D).
 ///  * Dynamic data decompositions only differ across components, never
 ///    within one.
+///  * Coverage: every nest of the program has a computation decomposition
+///    and every referenced array has a data decomposition (an empty
+///    result no longer verifies vacuously).
 ///
-/// Used by tests and available to library users as a sanity check on any
-/// hand-constructed decomposition.
+/// Violations are reported as structured Diagnostics (pass ids under
+/// "decomp.*", source locations where the front end recorded them). The
+/// alp-lint decomposition validator (analysis/Lint.h) builds on this and
+/// adds the SPMD communication-coverage check; the string API below is a
+/// thin shim kept for existing callers.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,14 +28,23 @@
 
 #include "core/Decomposition.h"
 #include "ir/Program.h"
+#include "support/Diagnostics.h"
 
 #include <string>
 #include <vector>
 
 namespace alp {
 
-/// Returns a list of violated invariants (empty when the decomposition is
-/// consistent).
+/// Returns one Diagnostic per violated invariant (empty when the
+/// decomposition is consistent). Every diagnostic carries a "decomp.*"
+/// pass id; locations point at the offending access / loop header when
+/// the program came from the DSL front end.
+std::vector<Diagnostic>
+verifyDecompositionDiagnostics(const Program &P,
+                               const ProgramDecomposition &PD);
+
+/// String shim over verifyDecompositionDiagnostics for existing callers:
+/// one rendered message per violated invariant.
 std::vector<std::string>
 verifyDecomposition(const Program &P, const ProgramDecomposition &PD);
 

@@ -227,6 +227,7 @@ unsigned Lowering::lowerNest(const LoopAST &Root) {
     Loop Out;
     Out.IndexName = L.Index;
     Out.Kind = L.IsForall ? LoopKind::Parallel : LoopKind::Sequential;
+    Out.Loc = L.Loc;
     std::vector<AffineForm> Lows, Highs;
     for (const AffineForm &T : L.Lower)
       Lows.push_back(Substitute(T));
@@ -279,10 +280,12 @@ unsigned Lowering::lowerNest(const LoopAST &Root) {
     assert(C.Stmt && "nest chain must end in statements");
     const StmtAST &S = *C.Stmt;
     Statement Out;
+    Out.Loc = S.Loc;
     auto LowerRef = [&](const ArrayRefAST &R, bool IsWrite,
                         bool &Ok) -> ArrayAccess {
       ArrayAccess A;
       A.IsWrite = IsWrite;
+      A.Loc = R.Loc;
       Ok = true;
       // Array name resolution.
       bool Found = false;
@@ -435,6 +438,7 @@ std::optional<Program> Lowering::run() {
     ArraySymbol A;
     A.Name = D.Name;
     A.DimSizes = D.DimSizes;
+    A.Loc = D.Loc;
     P.Arrays.push_back(std::move(A));
   }
   // Pre-passes on a mutable AST copy: distribution.

@@ -13,6 +13,7 @@
 
 #include "linalg/Matrix.h"
 #include "linalg/SymAffine.h"
+#include "support/Diagnostics.h"
 
 #include <string>
 
@@ -69,6 +70,9 @@ struct ArrayAccess {
   unsigned ArrayId = 0;
   AffineAccessMap Map;
   bool IsWrite = false;
+  /// Position of the reference in the DSL source; invalid (0:0) for IR
+  /// built programmatically. Analysis diagnostics anchor here.
+  SourceLoc Loc;
 };
 
 } // namespace alp

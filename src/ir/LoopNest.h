@@ -24,6 +24,8 @@ struct ArraySymbol {
   std::string Name;
   std::vector<SymAffine> DimSizes;
   unsigned ElemBytes = 8;
+  /// Declaration site in the DSL source; invalid for built IR.
+  SourceLoc Loc;
 
   unsigned rank() const { return DimSizes.size(); }
 };
@@ -60,6 +62,8 @@ struct Loop {
   std::vector<BoundTerm> Lower; // Effective bound: max of the terms.
   std::vector<BoundTerm> Upper; // Effective bound: min of the terms.
   LoopKind Kind = LoopKind::Sequential;
+  /// Loop header position in the DSL source; invalid for built IR.
+  SourceLoc Loc;
 
   bool isParallel() const { return Kind == LoopKind::Parallel; }
 };
@@ -71,6 +75,8 @@ struct Statement {
   std::vector<ArrayAccess> Accesses;
   unsigned WorkCycles = 1;
   std::string Text;
+  /// Statement position in the DSL source; invalid for built IR.
+  SourceLoc Loc;
 
   const ArrayAccess *firstWrite() const {
     for (const ArrayAccess &A : Accesses)

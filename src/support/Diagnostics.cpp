@@ -19,22 +19,41 @@ std::string SourceLoc::str() const {
   return OS.str();
 }
 
+const char *alp::diagnosticKindName(Diagnostic::Kind K) {
+  switch (K) {
+  case Diagnostic::Kind::Error:
+    return "error";
+  case Diagnostic::Kind::Warning:
+    return "warning";
+  case Diagnostic::Kind::Note:
+    return "note";
+  case Diagnostic::Kind::Remark:
+    return "remark";
+  }
+  return "?";
+}
+
 std::string Diagnostic::str() const {
   std::ostringstream OS;
   if (Loc.isValid())
     OS << Loc.str() << ": ";
-  switch (DiagKind) {
-  case Kind::Error:
-    OS << "error: ";
-    break;
-  case Kind::Warning:
-    OS << "warning: ";
-    break;
-  case Kind::Note:
-    OS << "note: ";
-    break;
+  OS << diagnosticKindName(DiagKind) << ": " << Message;
+  if (!PassId.empty())
+    OS << " [" << PassId << ']';
+  return OS.str();
+}
+
+std::string Diagnostic::strWithNotes() const {
+  std::ostringstream OS;
+  OS << str();
+  for (const DiagNote &N : Notes) {
+    OS << '\n';
+    if (N.Loc.isValid())
+      OS << N.Loc.str() << ": ";
+    OS << "note: " << N.Message;
   }
-  OS << Message;
+  if (!FixIt.empty())
+    OS << "\nfix-it: " << FixIt;
   return OS.str();
 }
 

@@ -34,29 +34,58 @@ struct SourceLoc {
   std::string str() const;
 };
 
-/// One user-visible diagnostic message.
+/// A secondary location attached to a diagnostic: "the other access is
+/// here", "declared here".
+struct DiagNote {
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// One user-visible diagnostic message. Front-end diagnostics fill only
+/// the kind/location/message triple; analysis (lint) diagnostics also
+/// carry a stable pass id, a chain of secondary-location notes, and an
+/// optional fix-it suggestion, all of which the structured emitters
+/// (text / JSON / SARIF, analysis/Lint.h) render.
 struct Diagnostic {
-  enum class Kind { Error, Warning, Note };
+  enum class Kind { Error, Warning, Note, Remark };
 
   Kind DiagKind = Kind::Error;
   SourceLoc Loc;
   std::string Message;
 
+  /// Stable identifier of the producing analysis, e.g.
+  /// "race.forall-carried". Empty for front-end diagnostics.
+  std::string PassId;
+
+  /// Secondary locations, rendered as note lines after the diagnostic.
+  std::vector<DiagNote> Notes;
+
+  /// Optional replacement suggestion ("remove the declaration of 'A'").
+  std::string FixIt;
+
+  /// Renders the main line only ("3:4: error: ... [pass.id]"); the pass id
+  /// suffix appears only when PassId is set, so front-end output is
+  /// unchanged. Notes and fix-its are rendered by strWithNotes().
   std::string str() const;
+
+  /// Renders the main line plus one line per note and fix-it.
+  std::string strWithNotes() const;
 };
+
+const char *diagnosticKindName(Diagnostic::Kind K);
 
 /// Accumulates diagnostics produced while processing one input program.
 class DiagnosticEngine {
 public:
   void error(SourceLoc Loc, const std::string &Message) {
-    Diags.push_back({Diagnostic::Kind::Error, Loc, Message});
+    push(Diagnostic::Kind::Error, Loc, Message);
     ++NumErrors;
   }
   void warning(SourceLoc Loc, const std::string &Message) {
-    Diags.push_back({Diagnostic::Kind::Warning, Loc, Message});
+    push(Diagnostic::Kind::Warning, Loc, Message);
   }
   void note(SourceLoc Loc, const std::string &Message) {
-    Diags.push_back({Diagnostic::Kind::Note, Loc, Message});
+    push(Diagnostic::Kind::Note, Loc, Message);
   }
 
   bool hasErrors() const { return NumErrors != 0; }
@@ -67,6 +96,14 @@ public:
   std::string str() const;
 
 private:
+  void push(Diagnostic::Kind K, SourceLoc Loc, const std::string &Message) {
+    Diagnostic D;
+    D.DiagKind = K;
+    D.Loc = Loc;
+    D.Message = Message;
+    Diags.push_back(std::move(D));
+  }
+
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;
 };

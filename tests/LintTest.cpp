@@ -1,0 +1,596 @@
+//===- tests/LintTest.cpp - alp-lint pass framework tests ------------------===//
+//
+// Covers the three lint pass families (forall race detector, affine-model
+// lints, decomposition translation validator), their golden diagnostic
+// renderings, the fail-soft budget contract (exhaustion suppresses checks,
+// never fabricates findings), and the structured emitters (a minimal JSON
+// well-formedness parser validates the JSON and SARIF output).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include "core/Driver.h"
+#include "core/Verify.h"
+#include "frontend/Lowering.h"
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+using namespace alp;
+
+namespace {
+
+Program compile(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(Src, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  if (!P)
+    reportFatalError("test program failed to compile:\n" + Diags.str());
+  return std::move(*P);
+}
+
+unsigned countPass(const LintResult &R, const std::string &PassId) {
+  unsigned N = 0;
+  for (const Diagnostic &D : R.Diags)
+    if (D.PassId == PassId)
+      ++N;
+  return N;
+}
+
+bool hasUnchecked(const LintResult &R, const std::string &Prefix) {
+  for (const UncheckedPass &U : R.Unchecked)
+    if (U.PassId.rfind(Prefix, 0) == 0)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// A minimal JSON well-formedness checker for the emitter tests. Accepts
+// exactly the RFC 8259 grammar (no extensions); returns false on any
+// syntax error or trailing garbage.
+//===----------------------------------------------------------------------===//
+
+class JsonChecker {
+public:
+  explicit JsonChecker(const std::string &S) : S(S) {}
+
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+private:
+  const std::string &S;
+  size_t Pos = 0;
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+  bool eat(char C) {
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char *L) {
+    size_t N = std::strlen(L);
+    if (S.compare(Pos, N, L) == 0) {
+      Pos += N;
+      return true;
+    }
+    return false;
+  }
+  bool string() {
+    if (!eat('"'))
+      return false;
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\') {
+        ++Pos;
+        if (Pos >= S.size())
+          return false;
+        char E = S[Pos];
+        if (E == 'u') {
+          for (int I = 0; I != 4; ++I) {
+            ++Pos;
+            if (Pos >= S.size() || !std::isxdigit(S[Pos]))
+              return false;
+          }
+        } else if (!std::strchr("\"\\/bfnrt", E)) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(S[Pos]) < 0x20) {
+        return false; // Unescaped control character.
+      }
+      ++Pos;
+    }
+    return eat('"');
+  }
+  bool number() {
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() && std::isdigit(S[Pos]))
+      ++Pos;
+    if (Pos < S.size() && S[Pos] == '.') {
+      ++Pos;
+      while (Pos < S.size() && std::isdigit(S[Pos]))
+        ++Pos;
+    }
+    return Pos > Start;
+  }
+  bool value() {
+    skipWs();
+    if (Pos >= S.size())
+      return false;
+    char C = S[Pos];
+    if (C == '{')
+      return object();
+    if (C == '[')
+      return array();
+    if (C == '"')
+      return string();
+    if (C == 't')
+      return literal("true");
+    if (C == 'f')
+      return literal("false");
+    if (C == 'n')
+      return literal("null");
+    return number();
+  }
+  bool object() {
+    if (!eat('{'))
+      return false;
+    skipWs();
+    if (eat('}'))
+      return true;
+    do {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (!eat(':'))
+        return false;
+      if (!value())
+        return false;
+      skipWs();
+    } while (eat(','));
+    return eat('}');
+  }
+  bool array() {
+    if (!eat('['))
+      return false;
+    skipWs();
+    if (eat(']'))
+      return true;
+    do {
+      if (!value())
+        return false;
+      skipWs();
+    } while (eat(','));
+    return eat(']');
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Race detector
+//===----------------------------------------------------------------------===//
+
+TEST(LintRaceTest, SeededForallRaceHasLocationsAndDistance) {
+  Program P = compile(R"(program race;
+param N = 63;
+array A[N + 1];
+forall i = 1 to N { A[i] = f(A[i - 1]); }
+)");
+  LintResult R = runLintPasses(P, nullptr);
+  ASSERT_EQ(countPass(R, "race.forall-carried"), 1u);
+  const Diagnostic &D = R.Diags.front();
+  EXPECT_EQ(D.DiagKind, Diagnostic::Kind::Error);
+  // Anchored at the forall header, with the exact carried distance.
+  EXPECT_EQ(D.Loc.Line, 4u);
+  EXPECT_NE(D.Message.find("distance vector (1)"), std::string::npos)
+      << D.Message;
+  EXPECT_NE(D.Message.find("'A'"), std::string::npos);
+  // Both conflicting accesses are attached as notes with real locations.
+  ASSERT_EQ(D.Notes.size(), 2u);
+  EXPECT_EQ(D.Notes[0].Loc.Line, 4u);
+  EXPECT_NE(D.Notes[0].Message.find("write"), std::string::npos);
+  EXPECT_EQ(D.Notes[1].Loc.Line, 4u);
+  EXPECT_GT(D.Notes[1].Loc.Column, D.Notes[0].Loc.Column);
+  EXPECT_FALSE(D.FixIt.empty());
+}
+
+TEST(LintRaceTest, SequentialCarrierIsNotARace) {
+  // The same dependence carried by a sequential loop: no diagnostic.
+  Program P = compile(R"(program ok;
+param N = 63;
+array A[N + 1];
+for i = 1 to N { A[i] = f(A[i - 1]); }
+)");
+  LintResult R = runLintPasses(P, nullptr);
+  EXPECT_EQ(countPass(R, "race.forall-carried"), 0u);
+}
+
+TEST(LintRaceTest, InnerForallDistanceZeroIsClean) {
+  // Outer sequential loop carries; inner foralls are distance 0.
+  Program P = compile(R"(program stencil;
+param N = 63, T = 4;
+array A[N + 2, N + 2], B[N + 2, N + 2];
+for t = 1 to T {
+  forall i = 1 to N { forall j = 1 to N {
+    B[i, j] = f(A[i - 1, j], A[i + 1, j], A[i, j - 1], A[i, j + 1]); } }
+  forall i = 1 to N { forall j = 1 to N { A[i, j] = B[i, j]; } }
+}
+)");
+  LintResult R = runLintPasses(P, nullptr);
+  EXPECT_EQ(R.Diags.size(), 0u) << renderLintText(R);
+}
+
+// Truth table over the kernel gallery programs with their source-level
+// loop markings: only Floyd-Warshall's textual foralls actually race
+// (D[i, j] collides with the shared row/column D[i, k] / D[k, j]).
+struct KernelCase {
+  const char *Name;
+  const char *Src;
+  bool Races;
+};
+
+const KernelCase Kernels[] = {
+    {"matmul", R"(program matmul;
+param N = 127;
+array A[N + 1, N + 1], B[N + 1, N + 1], C[N + 1, N + 1];
+forall i = 0 to N { forall j = 0 to N { for k = 0 to N {
+  C[i, j] += A[i, k] * B[k, j] @cost(2); } } }
+)",
+     false},
+    {"seidel", R"(program seidel;
+param N = 255;
+array A[N + 1, N + 1];
+for i = 1 to N - 1 { for j = 1 to N - 1 {
+  A[i, j] = f(A[i - 1, j], A[i, j - 1], A[i, j]) @cost(10); } }
+)",
+     false},
+    {"transpose", R"(program transpose;
+param N = 255;
+array A[N + 1, N + 1], B[N + 1, N + 1];
+forall i = 0 to N { forall j = 0 to N { B[i, j] = A[i, j] @cost(8); } }
+forall i = 0 to N { forall j = 0 to N { A[j, i] = B[i, j] @cost(8); } }
+)",
+     false},
+    {"trisolve", R"(program trisolve;
+param N = 127;
+array L[N + 1, N + 1], X[N + 1, N + 1], B[N + 1, N + 1];
+forall r = 0 to N {
+  for i = 0 to N {
+    for j = 0 to i - 1 {
+      B[r, i] = B[r, i] - L[i, j] * X[r, j] @cost(4);
+    }
+    X[r, i] = B[r, i] / L[i, i] @cost(4);
+  }
+}
+)",
+     false},
+    {"fw", R"(program fw;
+param N = 63;
+array D[N + 1, N + 1];
+for k = 0 to N { forall i = 0 to N { forall j = 0 to N {
+  D[i, j] = f(D[i, j], D[i, k], D[k, j]); } } }
+)",
+     true},
+};
+
+class LintRaceTruthTableTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LintRaceTruthTableTest, MatchesExpectation) {
+  const KernelCase &K = Kernels[GetParam()];
+  Program P = compile(K.Src);
+  LintResult R = runLintPasses(P, nullptr);
+  if (K.Races)
+    EXPECT_GT(countPass(R, "race.forall-carried"), 0u)
+        << K.Name << " should race:\n"
+        << renderLintText(R);
+  else
+    EXPECT_EQ(countPass(R, "race.forall-carried"), 0u)
+        << K.Name << " should be race-free:\n"
+        << renderLintText(R);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, LintRaceTruthTableTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+TEST(LintRaceTest, StarvedBudgetDegradesToNotChecked) {
+  // Fail-soft: a budget too small to prove anything must suppress the
+  // race check (Unchecked), never report a race it cannot prove.
+  Program P = compile(R"(program race;
+param N = 63;
+array A[N + 1];
+forall i = 1 to N { A[i] = f(A[i - 1]); }
+)");
+  ResourceBudget Starved;
+  Starved.MaxFMConstraints = 2;
+  Starved.MaxEliminationSteps = 1;
+  Starved.MaxSolverIterations = 1;
+  LintOptions Opts;
+  Opts.Budget = &Starved;
+  LintResult R = runLintPasses(P, nullptr, Opts);
+  EXPECT_FALSE(R.hasErrors()) << renderLintText(R);
+  EXPECT_TRUE(hasUnchecked(R, "race")) << renderLintText(R);
+}
+
+//===----------------------------------------------------------------------===//
+// Affine-model lints
+//===----------------------------------------------------------------------===//
+
+TEST(LintModelTest, ZeroTripLoopGolden) {
+  Program P = compile(R"(program dead;
+param N = 63;
+array A[N + 1];
+for i = 5 to 2 { A[i] = f(A[i]); }
+)");
+  LintResult R = runLintPasses(P, nullptr);
+  ASSERT_EQ(countPass(R, "model.zero-trip"), 1u) << renderLintText(R);
+  const Diagnostic &D = R.Diags.front();
+  EXPECT_EQ(D.DiagKind, Diagnostic::Kind::Warning);
+  EXPECT_EQ(D.Loc.Line, 4u);
+  EXPECT_EQ(D.Message, "loop 'i' never executes: lower bound 5 exceeds "
+                       "upper bound 2");
+}
+
+TEST(LintModelTest, AlwaysOutOfBoundsIsAnError) {
+  Program P = compile(R"(program oob;
+param N = 63;
+array A[N + 1], B[N + 1];
+for i = 0 to N { A[i] = f(B[i + 100]); }
+)");
+  LintResult R = runLintPasses(P, nullptr);
+  ASSERT_EQ(countPass(R, "model.oob-subscript"), 1u) << renderLintText(R);
+  const Diagnostic &D = R.Diags.front();
+  EXPECT_EQ(D.DiagKind, Diagnostic::Kind::Error);
+  EXPECT_NE(D.Message.find("[100, 163]"), std::string::npos) << D.Message;
+  EXPECT_NE(D.Message.find("entirely outside"), std::string::npos);
+  // The declaration site rides along as a note.
+  ASSERT_EQ(D.Notes.size(), 1u);
+  EXPECT_EQ(D.Notes[0].Loc.Line, 3u);
+}
+
+TEST(LintModelTest, MayBeOutOfBoundsIsAWarning) {
+  Program P = compile(R"(program oob;
+param N = 63;
+array A[N + 1], B[N + 1];
+for i = 0 to N { A[i] = f(B[i + 2]); }
+)");
+  LintResult R = runLintPasses(P, nullptr);
+  ASSERT_EQ(countPass(R, "model.oob-subscript"), 1u) << renderLintText(R);
+  EXPECT_EQ(R.Diags.front().DiagKind, Diagnostic::Kind::Warning);
+  EXPECT_FALSE(R.hasErrors());
+}
+
+TEST(LintModelTest, InBoundsReflectedAccessIsClean) {
+  // Y[i1, N - i2] stays inside [0, N]: no diagnostic (Figure 1 shape).
+  Program P = compile(R"(program fig1;
+param N = 63;
+array X[N + 1, N + 1], Y[N + 1, N + 1];
+for i1 = 0 to N { for i2 = 0 to N { Y[i1, N - i2] += X[i1, i2]; } }
+)");
+  LintResult R = runLintPasses(P, nullptr);
+  EXPECT_EQ(R.Diags.size(), 0u) << renderLintText(R);
+}
+
+TEST(LintModelTest, UnusedArrayHasFixIt) {
+  Program P = compile(R"(program unused;
+param N = 63;
+array A[N + 1], Scratch[N + 1, N + 1];
+for i = 0 to N { A[i] = f(A[i]); }
+)");
+  LintResult R = runLintPasses(P, nullptr);
+  ASSERT_EQ(countPass(R, "model.unused-array"), 1u) << renderLintText(R);
+  const Diagnostic &D = R.Diags.front();
+  EXPECT_NE(D.Message.find("'Scratch'"), std::string::npos);
+  EXPECT_EQ(D.FixIt, "remove the declaration of 'Scratch'");
+}
+
+TEST(LintModelTest, ShadowedIndexInBuiltIr) {
+  // The DSL front end rejects shadowing at parse time, so the lint's
+  // audience is programmatically built IR.
+  ProgramBuilder PB("shadow");
+  SymAffine N = PB.param("N", 63);
+  PB.array("A", {N + SymAffine(1), N + SymAffine(1)});
+  NestBuilder NB = PB.nest();
+  NB.loop("i", SymAffine(0), N);
+  NB.loop("i", SymAffine(0), N); // Shadows the outer level.
+  NB.stmt().writeIdentity("A").readIdentity("A");
+  Program P = PB.build();
+
+  LintResult R = runLintPasses(P, nullptr);
+  ASSERT_EQ(countPass(R, "model.shadowed-index"), 1u) << renderLintText(R);
+  EXPECT_NE(R.Diags.front().Message.find("outer loop index"),
+            std::string::npos);
+}
+
+TEST(LintModelTest, StarvedBudgetSuppressesModelChecks) {
+  Program P = compile(R"(program oob;
+param N = 63;
+array A[N + 1], B[N + 1];
+for i = 0 to N { A[i] = f(B[i + 100]); }
+)");
+  ResourceBudget Starved;
+  Starved.MaxFMConstraints = 2;
+  Starved.MaxEliminationSteps = 1;
+  LintOptions Opts;
+  Opts.CheckRaces = false;
+  Opts.Budget = &Starved;
+  LintResult R = runLintPasses(P, nullptr, Opts);
+  EXPECT_FALSE(R.hasErrors()) << renderLintText(R);
+  EXPECT_TRUE(hasUnchecked(R, "model")) << renderLintText(R);
+}
+
+//===----------------------------------------------------------------------===//
+// Decomposition translation validator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *Fig1Src = R"(program fig1;
+param N = 63;
+array X[N + 1, N + 1], Y[N + 1, N + 1], Z[N + 2, N + 2];
+for i1 = 0 to N { for i2 = 0 to N { Y[i1, N - i2] += X[i1, i2]; } }
+for i1 = 1 to N { for i2 = 1 to N {
+  Z[i1, i2] = Z[i1, i2 - 1] + Y[i2, i1 - 1]; } }
+)";
+
+LintResult lintDecomp(const Program &P, const ProgramDecomposition &PD) {
+  LintOptions Opts;
+  Opts.CheckRaces = false;
+  Opts.CheckModel = false;
+  return runLintPasses(P, &PD, Opts);
+}
+
+} // namespace
+
+TEST(LintDecompTest, ConsistentPipelineOutputIsClean) {
+  Program P = compile(Fig1Src);
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  LintResult R = lintDecomp(P, PD);
+  EXPECT_EQ(R.Diags.size(), 0u) << renderLintText(R);
+}
+
+TEST(LintDecompTest, CorruptedOrientationTripsTheorem41) {
+  Program P = compile(Fig1Src);
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  PD.Comp.begin()->second.C = PD.Comp.begin()->second.C.scaled(Rational(3));
+  LintResult R = lintDecomp(P, PD);
+  EXPECT_TRUE(R.hasErrors());
+  EXPECT_GT(countPass(R, "decomp.theorem-4.1") +
+                countPass(R, "decomp.kernel"),
+            0u)
+      << renderLintText(R);
+}
+
+TEST(LintDecompTest, EmptyDecompositionNoLongerVerifiesVacuously) {
+  // The historical silent pass: an empty decomposition used to produce
+  // zero issues. Coverage checking makes it loud.
+  Program P = compile(Fig1Src);
+  ProgramDecomposition Empty;
+  LintResult R = lintDecomp(P, Empty);
+  EXPECT_GE(countPass(R, "decomp.coverage"), 2u) << renderLintText(R);
+  // The string shim inherits the fix.
+  EXPECT_FALSE(verifyDecomposition(P, Empty).empty());
+}
+
+TEST(LintDecompTest, MissingDataDecompositionBreaksSpmdCoverage) {
+  Program P = compile(Fig1Src);
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  // Drop one array's layout at one nest: its accesses lose both their
+  // Theorem 4.1 witness and their communication classification.
+  unsigned Y = P.arrayId("Y");
+  ASSERT_EQ(PD.Data.erase({Y, 0}), 1u);
+  LintResult R = lintDecomp(P, PD);
+  EXPECT_GT(countPass(R, "decomp.data-missing"), 0u) << renderLintText(R);
+  EXPECT_GT(countPass(R, "decomp.spmd-coverage"), 0u) << renderLintText(R);
+}
+
+TEST(LintDecompTest, DynamicReorganizationsAreCovered) {
+  // The Figure 5 dynamic-decomposition shape: the decomposer cuts the
+  // program and records reorganization points; the lint cross-checks them
+  // against the reorganize() calls the SPMD emitter produces (both
+  // directions).
+  Program P = compile(R"(program fig5;
+param N = 511;
+array X[N + 1, N + 1], Y[N + 1, N + 1];
+forall i1 = 0 to N { forall i2 = 0 to N {
+  X[i1, i2] = f1(X[i1, i2], Y[i1, i2]) @cost(40);
+  Y[i1, i2] = f2(X[i1, i2], Y[i1, i2]) @cost(40); } }
+forall i1 = 0 to N { for i2 = 1 to N {
+  X[i1, i2] = f3(X[i1, i2 - 1]) @cost(40); } }
+forall i1 = 0 to N { forall i2 = 0 to N {
+  X[i1, i2] = f5(X[i1, i2], Y[i1, i2]) @cost(40);
+  Y[i1, i2] = f6(X[i1, i2], Y[i1, i2]) @cost(40); } }
+)");
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  LintResult R = lintDecomp(P, PD);
+  EXPECT_EQ(countPass(R, "decomp.spmd-coverage"), 0u) << renderLintText(R);
+}
+
+//===----------------------------------------------------------------------===//
+// Emitters
+//===----------------------------------------------------------------------===//
+
+TEST(LintEmitTest, JsonIsWellFormed) {
+  Program P = compile(R"(program race;
+param N = 63;
+array A[N + 1], Unused[N + 1];
+forall i = 1 to N { A[i] = f(A[i - 1]); }
+)");
+  LintResult R = runLintPasses(P, nullptr);
+  ASSERT_TRUE(R.hasErrors());
+  std::string Json = renderLintJson(R, "race.alp");
+  EXPECT_TRUE(JsonChecker(Json).valid()) << Json;
+  EXPECT_NE(Json.find("\"race.forall-carried\""), std::string::npos);
+  EXPECT_NE(Json.find("\"model.unused-array\""), std::string::npos);
+}
+
+TEST(LintEmitTest, SarifIsWellFormedAndCarriesSchemaKeys) {
+  Program P = compile(R"(program race;
+param N = 63;
+array A[N + 1];
+forall i = 1 to N { A[i] = f(A[i - 1]); }
+)");
+  LintResult R = runLintPasses(P, nullptr);
+  std::string Sarif = renderLintSarif(R, "race.alp");
+  EXPECT_TRUE(JsonChecker(Sarif).valid()) << Sarif;
+  // SARIF 2.1.0 structural smoke: version, runs, tool driver, one rule
+  // per pass id, results with physical locations.
+  EXPECT_NE(Sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(Sarif.find("\"runs\""), std::string::npos);
+  EXPECT_NE(Sarif.find("\"name\": \"alp-lint\""), std::string::npos);
+  EXPECT_NE(Sarif.find("{\"id\": \"race.forall-carried\"}"),
+            std::string::npos);
+  EXPECT_NE(Sarif.find("\"startLine\": 4"), std::string::npos);
+  EXPECT_NE(Sarif.find("\"relatedLocations\""), std::string::npos);
+}
+
+TEST(LintEmitTest, SarifOmitsRegionsForUnknownLocations) {
+  // Built IR has no source locations; SARIF must omit the region rather
+  // than emit startLine 0 (the schema requires >= 1).
+  ProgramBuilder PB("built");
+  SymAffine N = PB.param("N", 15);
+  PB.array("A", {N + SymAffine(1)});
+  PB.array("Dead", {N + SymAffine(1)});
+  NestBuilder NB = PB.nest();
+  NB.loop("i", SymAffine(0), N);
+  NB.stmt().writeIdentity("A").readIdentity("A");
+  Program P = PB.build();
+  LintResult R = runLintPasses(P, nullptr);
+  ASSERT_GT(countPass(R, "model.unused-array"), 0u);
+  std::string Sarif = renderLintSarif(R, "built.alp");
+  EXPECT_TRUE(JsonChecker(Sarif).valid()) << Sarif;
+  EXPECT_EQ(Sarif.find("\"startLine\": 0"), std::string::npos) << Sarif;
+}
+
+TEST(LintEmitTest, TextSummaryCountsKinds) {
+  Program P = compile(R"(program mix;
+param N = 63;
+array A[N + 1], B[N + 1], Unused[N + 1];
+forall i = 1 to N { A[i] = f(A[i - 1], B[i + 2]); }
+)");
+  LintResult R = runLintPasses(P, nullptr);
+  std::string Text = renderLintText(R);
+  EXPECT_NE(Text.find("1 error(s), 2 warning(s)"), std::string::npos)
+      << Text;
+}

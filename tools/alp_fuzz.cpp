@@ -22,6 +22,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Lint.h"
 #include "core/Driver.h"
 #include "frontend/Lowering.h"
 #include "ir/Builder.h"
@@ -66,31 +67,77 @@ DriverOptions starvedOptions() {
   return Opts;
 }
 
+/// Runs the alp-lint passes over \p P and checks their output contract:
+/// no crash, every diagnostic location inside the input (\p Text nullable
+/// for built IR), and all three emitters render. Lint is analysis only —
+/// any diagnostics are fine, invalid ones are not.
+void runLintCase(const Program &P, const ProgramDecomposition *PD,
+                 const std::string *Text) {
+  CurrentPhase = "lint";
+  ResourceBudget Budget;
+  Budget.MaxFMConstraints = 2048;
+  Budget.MaxEliminationSteps = 1 << 18;
+  Budget.MaxSolverIterations = 1 << 14;
+  LintOptions LO;
+  LO.Budget = &Budget;
+  LO.CheckDecomposition = PD != nullptr;
+  LintResult R = runLintPasses(P, PD, LO);
+
+  unsigned Lines =
+      Text ? 1 + std::count(Text->begin(), Text->end(), '\n') : 0;
+  auto CheckLoc = [&](SourceLoc Loc) {
+    if (!Text || !Loc.isValid())
+      return;
+    if (Loc.Line > Lines) {
+      std::fprintf(stderr,
+                   "alp_fuzz: lint diagnostic at %s is outside the "
+                   "%u-line input\n",
+                   Loc.str().c_str(), Lines);
+      std::abort();
+    }
+  };
+  for (const Diagnostic &D : R.Diags) {
+    CheckLoc(D.Loc);
+    for (const DiagNote &N : D.Notes)
+      CheckLoc(N.Loc);
+  }
+  CurrentPhase = "lint-render";
+  (void)renderLintText(R);
+  (void)renderLintJson(R, "fuzz.alp");
+  (void)renderLintSarif(R, "fuzz.alp");
+}
+
 /// Runs one parsed program through the pipeline. Any result (value, error
 /// status, degraded value) is a pass; only a crash/abort is a failure.
-void runPipeline(Program &P, const DriverOptions &Opts) {
+/// A successful decomposition additionally goes through the lint
+/// decomposition validator.
+void runPipeline(Program &P, const DriverOptions &Opts,
+                 const std::string *Text = nullptr) {
   CurrentPhase = "decompose";
   MachineParams M;
   Expected<ProgramDecomposition> R = decomposeOrError(P, M, Opts);
-  if (R.hasValue())
+  if (R.hasValue()) {
     (void)printDecomposition(P, *R); // Exercise the printers too.
+    runLintCase(P, &*R, Text);
+  }
 }
 
-/// Compiles DSL text and, if it parses, decomposes it — once with the
-/// regular fuzz budget and once starved (the local phase rewrites the
-/// program, so each run gets a fresh parse).
+/// Compiles DSL text and, if it parses, lints and decomposes it — once
+/// with the regular fuzz budget and once starved (the local phase rewrites
+/// the program, so each run gets a fresh parse).
 void runDslCase(const std::string &Text) {
   CurrentPhase = "parse";
   DiagnosticEngine Diags;
   std::optional<Program> Prog = compileDsl(Text, Diags);
   if (!Prog)
     return; // Diagnosed, not crashed: the contract held.
-  runPipeline(*Prog, fuzzOptions());
+  runLintCase(*Prog, nullptr, &Text);
+  runPipeline(*Prog, fuzzOptions(), &Text);
   CurrentPhase = "parse";
   DiagnosticEngine Diags2;
   std::optional<Program> Prog2 = compileDsl(Text, Diags2);
   if (Prog2)
-    runPipeline(*Prog2, starvedOptions());
+    runPipeline(*Prog2, starvedOptions(), &Text);
 }
 
 //===----------------------------------------------------------------------===//
@@ -250,6 +297,7 @@ void runIrCase(Rng &R) {
     }
   }
   Program P = PB.build();
+  runLintCase(P, nullptr, nullptr);
   runPipeline(P, fuzzOptions());
 }
 

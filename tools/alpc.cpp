@@ -14,6 +14,13 @@
 //   --spmd               print the generated SPMD pseudo-code
 //   --print-ir           print the canonicalized IR
 //   --deps               print the dependences of every nest
+//   --lint               run the alp-lint passes (forall race detector and
+//                        affine-model lints) instead of decomposing
+//   --verify             validate the decomposition (Theorem 4.1 matrix
+//                        invariants + SPMD communication coverage)
+//   --Werror             treat lint/verify warnings as errors
+//   --diagnostics-format=<text|json|sarif>
+//                        how --lint / --verify diagnostics are rendered
 //   --simulate           simulate on the NUMA machine (1..32 procs)
 //   --procs <n>          machine size for --simulate (default 32)
 //   --block <n>          pipeline block size (default 4)
@@ -31,6 +38,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Dependence.h"
+#include "analysis/Lint.h"
 #include "codegen/CommAnalysis.h"
 #include "codegen/SpmdEmitter.h"
 #include "core/Driver.h"
@@ -58,9 +66,26 @@ void usage(const char *Prog) {
                "[--never-join] [--multi-level] [--fuse]\n"
                "            [--spmd] [--comm] [--verify] [--print-ir] [--deps] [--simulate] "
                "[--procs N] [--block B]\n"
+               "            [--lint] [--Werror] "
+               "[--diagnostics-format=<text|json|sarif>]\n"
                "            [--max-fm N] [--max-steps N] [--max-iters N] "
                "[--deadline-ms N] [--jobs N]\n",
                Prog);
+}
+
+enum class DiagFormat { Text, Json, Sarif };
+
+std::string renderLint(const LintResult &R, DiagFormat Format,
+                       const std::string &FileName) {
+  switch (Format) {
+  case DiagFormat::Text:
+    return renderLintText(R);
+  case DiagFormat::Json:
+    return renderLintJson(R, FileName);
+  case DiagFormat::Sarif:
+    return renderLintSarif(R, FileName);
+  }
+  return "";
 }
 
 } // namespace
@@ -76,6 +101,9 @@ int main(int argc, char **argv) {
   bool DoComm = false;
   bool DoFuse = false;
   bool DoVerify = false;
+  bool DoLint = false;
+  bool WError = false;
+  DiagFormat Format = DiagFormat::Text;
   unsigned Procs = 32;
   int64_t Block = 4;
   for (int I = 1; I != argc; ++I) {
@@ -102,6 +130,24 @@ int main(int argc, char **argv) {
       DoComm = true;
     else if (!std::strcmp(A, "--verify"))
       DoVerify = true;
+    else if (!std::strcmp(A, "--lint"))
+      DoLint = true;
+    else if (!std::strcmp(A, "--Werror"))
+      WError = true;
+    else if (!std::strncmp(A, "--diagnostics-format=", 21)) {
+      const char *F = A + 21;
+      if (!std::strcmp(F, "text"))
+        Format = DiagFormat::Text;
+      else if (!std::strcmp(F, "json"))
+        Format = DiagFormat::Json;
+      else if (!std::strcmp(F, "sarif"))
+        Format = DiagFormat::Sarif;
+      else {
+        std::fprintf(stderr, "unknown diagnostics format '%s'\n", F);
+        usage(argv[0]);
+        return 2;
+      }
+    }
     else if (!std::strcmp(A, "--print-ir"))
       DoIr = true;
     else if (!std::strcmp(A, "--deps"))
@@ -154,6 +200,21 @@ int main(int argc, char **argv) {
     return 1;
   Program P = std::move(*Prog);
 
+  // Lint-only mode: run the race + model passes over the compiled program
+  // (no decomposition) and render the diagnostics.
+  if (DoLint) {
+    ResourceBudget Budget = Opts.Budget;
+    if (Opts.DeadlineMs)
+      Budget.setDeadlineIn(std::chrono::milliseconds(Opts.DeadlineMs));
+    LintOptions LO;
+    LO.CheckDecomposition = false;
+    LO.BlockSize = Block;
+    LO.Budget = &Budget;
+    LintResult R = runLintPasses(P, nullptr, LO);
+    std::printf("%s", renderLint(R, Format, FileName).c_str());
+    return R.hasErrors() || (WError && R.hasWarnings()) ? 1 : 0;
+  }
+
   MachineParams M;
   M.NumProcs = Procs;
   M.BlockSize = Block;
@@ -205,12 +266,27 @@ int main(int argc, char **argv) {
   }
 
   if (DoVerify) {
-    std::vector<std::string> Issues = verifyDecomposition(P, PD);
-    if (Issues.empty()) {
+    // The decomposition validator: Theorem 4.1 matrix invariants
+    // (core/Verify.h) plus the SPMD communication-coverage check.
+    ResourceBudget Budget = Opts.Budget;
+    if (Opts.DeadlineMs)
+      Budget.setDeadlineIn(std::chrono::milliseconds(Opts.DeadlineMs));
+    LintOptions LO;
+    LO.CheckRaces = false;
+    LO.CheckModel = false;
+    LO.BlockSize = Block;
+    LO.Budget = &Budget;
+    LintResult R = runLintPasses(P, &PD, LO);
+    bool Bad = R.hasErrors() || (WError && R.hasWarnings());
+    if (Format != DiagFormat::Text) {
+      std::printf("%s", renderLint(R, Format, FileName).c_str());
+      if (Bad)
+        return 1;
+    } else if (!Bad) {
       std::printf("\nverify: all decomposition invariants hold\n");
     } else {
-      for (const std::string &I : Issues)
-        std::fprintf(stderr, "verify: %s\n", I.c_str());
+      for (const Diagnostic &D : R.Diags)
+        std::fprintf(stderr, "verify: %s\n", D.strWithNotes().c_str());
       return 1;
     }
   }
