@@ -53,6 +53,14 @@ std::string randomProgram(Rng &R, unsigned K) {
   return Src;
 }
 
+/// Blocking off to stress the reorganize-vs-serialize trade-off.
+DynamicDecomposerOptions greedyOpts(JoinPolicy Policy) {
+  DynamicDecomposerOptions Opts;
+  Opts.UseBlocking = false;
+  Opts.Policy = Policy;
+  return Opts;
+}
+
 } // namespace
 
 int main() {
@@ -67,11 +75,13 @@ int main() {
     CostModel CM(P, M);
     // Blocking off to stress the reorganize-vs-serialize trade-off.
     double G =
-        runDynamicDecomposition(P, CM, false, JoinPolicy::Greedy).Value;
+        runDynamicDecomposition(P, CM, greedyOpts(JoinPolicy::Greedy)).Value;
     double S =
-        runDynamicDecomposition(P, CM, false, JoinPolicy::ForceSingle).Value;
+        runDynamicDecomposition(P, CM, greedyOpts(JoinPolicy::ForceSingle))
+            .Value;
     double N =
-        runDynamicDecomposition(P, CM, false, JoinPolicy::NeverJoin).Value;
+        runDynamicDecomposition(P, CM, greedyOpts(JoinPolicy::NeverJoin))
+            .Value;
     SumGreedy += G;
     SumSingle += S;
     SumNever += N;

@@ -20,6 +20,7 @@
 #include "analysis/Dependence.h"
 #include "linalg/Rational.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <cstring>
 #include <string>
@@ -203,6 +204,17 @@ int main(int argc, char **argv) {
   Configs.push_back(runConfig(P, "tiered_memoized_parallel", Parallel, Reps,
                               Warmup));
 
+  // Full config with the tracer enabled: quantifies the cost of span
+  // collection against the disabled path (the "tiered_memoized" run,
+  // whose spans compile in but reduce to a pointer test).
+  Tracer Trace;
+  MetricsRegistry Metrics;
+  DependenceOptions Traced;
+  Traced.Trace = &Trace;
+  Configs.push_back(runConfig(P, "tiered_memoized_traced", Traced, Reps,
+                              Warmup));
+  Configs.back().Tiers.publishTo(Metrics);
+
   bool Identical = true;
   for (const ConfigResult &C : Configs)
     Identical = Identical && C.Fingerprint == Configs.front().Fingerprint;
@@ -210,6 +222,8 @@ int main(int argc, char **argv) {
   double BaselineMean = Configs[0].Stats.MeanMs;
   double FullMean = Configs[3].Stats.MeanMs;
   double Speedup = FullMean > 0 ? BaselineMean / FullMean : 0;
+  double TracedMean = Configs[5].Stats.MeanMs;
+  double TracingOverhead = FullMean > 0 ? TracedMean / FullMean : 0;
 
   for (const ConfigResult &C : Configs)
     std::printf("%-28s mean %8.3f ms  p50 %8.3f ms  p99 %8.3f ms\n",
@@ -225,6 +239,7 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(FT.CacheHits),
               static_cast<unsigned long long>(FT.CacheMisses));
   std::printf("speedup tiered+memoized vs baseline: %.2fx\n", Speedup);
+  std::printf("tracing enabled/disabled time ratio: %.3f\n", TracingOverhead);
   std::printf("results identical across configs: %s\n",
               Identical ? "yes" : "NO");
 
@@ -241,6 +256,8 @@ int main(int argc, char **argv) {
     return 1;
   }
   std::fprintf(Out, "{\n  \"benchmark\": \"dependence\",\n");
+  std::fprintf(Out, "  \"alp_stats\": {\"schema_version\": %u},\n",
+               StatsSchemaVersion);
   std::fprintf(Out, "  \"smoke\": %s,\n", Smoke ? "true" : "false");
   std::fprintf(Out, "  \"hardware_threads\": %u,\n",
                ThreadPool::hardwareConcurrency());
@@ -258,6 +275,13 @@ int main(int argc, char **argv) {
                Speedup);
   std::fprintf(Out, "  \"results_identical\": %s,\n",
                Identical ? "true" : "false");
+  std::fprintf(Out, "  \"tracing_overhead_ratio\": %.3f,\n", TracingOverhead);
+  // The traced run's counters, gauges, and span aggregates in the same
+  // versioned schema alpc --stats emits.
+  std::string Stats = renderStatsJson(&Metrics, &Trace);
+  while (!Stats.empty() && Stats.back() == '\n')
+    Stats.pop_back();
+  std::fprintf(Out, "  \"stats\": %s,\n", Stats.c_str());
   std::fprintf(Out,
                "  \"rational_fastpath\": {\"int_den_ns_per_op\": %.3f, "
                "\"frac_den_ns_per_op\": %.3f, \"advantage\": %.3f}\n",

@@ -18,6 +18,7 @@
 #include "core/Driver.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <cstring>
 #include <string>
@@ -61,10 +62,16 @@ std::string chainProgram(unsigned K, unsigned NumArrays) {
 struct DriverRun {
   RepStats Stats;
   std::string Report;
+  std::string CountersJson;
 };
 
+/// Times the driver at \p Jobs workers, then runs once more (untimed)
+/// with observability on — \p Trace may be null, \p Metrics is caller-
+/// owned so main can embed it in the output — and snapshots the counter
+/// payload so the harness can assert jobs-determinism on it.
 DriverRun runDriver(const std::string &Src, unsigned Jobs, unsigned Reps,
-                    unsigned Warmup) {
+                    unsigned Warmup, Tracer *Trace,
+                    MetricsRegistry &Metrics) {
   MachineParams M;
   DriverOptions Opts;
   Opts.Jobs = Jobs;
@@ -82,6 +89,13 @@ DriverRun runDriver(const std::string &Src, unsigned Jobs, unsigned Reps,
     if (R.Report.empty())
       R.Report = printDecomposition(P, Result);
   });
+  // One observed (untimed) run for the counter payload and spans.
+  Opts.Observe = {Trace, &Metrics};
+  Program P = compileOrDie(Src);
+  Expected<ProgramDecomposition> PD = decomposeOrError(P, M, Opts);
+  if (!PD.hasValue())
+    reportFatalError("benchmark decomposition failed: " + PD.status().str());
+  R.CountersJson = Metrics.renderCountersJson();
   return R;
 }
 
@@ -132,9 +146,13 @@ int main(int argc, char **argv) {
   printHeader("P1: full driver, serial vs parallel (--jobs)");
   unsigned Hw = ThreadPool::hardwareConcurrency();
   std::string Src = chainProgram(Smoke ? 8 : 24, 6);
-  DriverRun Serial = runDriver(Src, 1, Reps, Warmup);
-  DriverRun Parallel = runDriver(Src, Hw, Reps, Warmup);
+  Tracer Trace;
+  MetricsRegistry SerialMetrics, ParallelMetrics;
+  DriverRun Serial = runDriver(Src, 1, Reps, Warmup, nullptr, SerialMetrics);
+  DriverRun Parallel =
+      runDriver(Src, Hw, Reps, Warmup, &Trace, ParallelMetrics);
   bool Identical = Serial.Report == Parallel.Report;
+  bool CountersIdentical = Serial.CountersJson == Parallel.CountersJson;
   double Speedup =
       Parallel.Stats.MeanMs > 0 ? Serial.Stats.MeanMs / Parallel.Stats.MeanMs
                                 : 0;
@@ -143,8 +161,10 @@ int main(int argc, char **argv) {
   std::printf("jobs=%-2u  mean %8.3f ms  p50 %8.3f ms  p99 %8.3f ms\n", Hw,
               Parallel.Stats.MeanMs, Parallel.Stats.P50Ms,
               Parallel.Stats.P99Ms);
-  std::printf("driver speedup: %.2fx  reports identical: %s\n", Speedup,
-              Identical ? "yes" : "NO");
+  std::printf("driver speedup: %.2fx  reports identical: %s  "
+              "counters identical: %s\n",
+              Speedup, Identical ? "yes" : "NO",
+              CountersIdentical ? "yes" : "NO");
 
   std::FILE *Out = std::fopen(OutPath, "w");
   if (!Out) {
@@ -152,6 +172,8 @@ int main(int argc, char **argv) {
     return 1;
   }
   std::fprintf(Out, "{\n  \"benchmark\": \"partition\",\n");
+  std::fprintf(Out, "  \"alp_stats\": {\"schema_version\": %u},\n",
+               StatsSchemaVersion);
   std::fprintf(Out, "  \"smoke\": %s,\n", Smoke ? "true" : "false");
   std::fprintf(Out, "  \"hardware_threads\": %u,\n", Hw);
   std::fprintf(Out, "  \"fixpoint\": [\n");
@@ -168,11 +190,23 @@ int main(int argc, char **argv) {
   std::fprintf(Out, "    \"parallel\": {%s, \"jobs\": %u},\n",
                repStatsJson(Parallel.Stats).c_str(), Hw);
   std::fprintf(Out, "    \"speedup\": %.3f,\n", Speedup);
-  std::fprintf(Out, "    \"results_identical\": %s\n",
+  std::fprintf(Out, "    \"results_identical\": %s,\n",
                Identical ? "true" : "false");
-  std::fprintf(Out, "  }\n}\n");
+  std::fprintf(Out, "    \"counters_identical\": %s\n",
+               CountersIdentical ? "true" : "false");
+  std::fprintf(Out, "  },\n");
+  // The parallel observed run's counters and spans in the same versioned
+  // schema alpc --stats emits. (Gauges and timings vary run to run; the
+  // counters section is the jobs-deterministic payload.)
+  {
+    std::string Stats = renderStatsJson(&ParallelMetrics, &Trace);
+    while (!Stats.empty() && Stats.back() == '\n')
+      Stats.pop_back();
+    std::fprintf(Out, "  \"stats\": %s\n", Stats.c_str());
+  }
+  std::fprintf(Out, "}\n");
   std::fclose(Out);
   std::printf("wrote %s\n", OutPath);
 
-  return Identical ? 0 : 1;
+  return Identical && CountersIdentical ? 0 : 1;
 }

@@ -210,14 +210,20 @@ std::optional<VariableBounds> boundsOrUnwind(const ConstraintSystem &CS,
 /// Memoizing wrapper around boundsOrUnwind. A hit replays a projection
 /// whose elimination steps were charged when it was first computed, so the
 /// hit charges the budget nothing; failed projections (budget trip /
-/// overflow) unwind before the store and are never cached.
+/// overflow) unwind before the store and are never cached. Every
+/// memoizable request's identity is appended to \p Refs (when given) so
+/// the merge-order cache ledger can be derived deterministically.
 std::optional<VariableBounds>
 cachedBounds(const ConstraintSystem &CS, unsigned Var,
              const CanonicalSystemKey *Key, DependenceCache *Cache,
-             ResourceBudget *Budget) {
-  if (Key && Cache)
+             ResourceBudget *Budget, std::vector<uint64_t> *Refs) {
+  if (Key && Cache) {
+    if (Refs)
+      // Same combination the cache's own EntryKeyHash uses.
+      Refs->push_back(Key->Hash * 1099511628211ull + Var);
     if (auto Hit = Cache->lookupBounds(*Key, Var))
       return *Hit;
+  }
   std::optional<VariableBounds> B = boundsOrUnwind(CS, Var, Budget);
   if (Key && Cache)
     Cache->storeBounds(*Key, Var, B);
@@ -231,9 +237,10 @@ cachedBounds(const ConstraintSystem &CS, unsigned Var,
 /// the system is rationally infeasible outright.
 bool hasIntegerPointPerAxis(const ConstraintSystem &CS,
                             const CanonicalSystemKey *Key,
-                            DependenceCache *Cache, ResourceBudget *Budget) {
+                            DependenceCache *Cache, ResourceBudget *Budget,
+                            std::vector<uint64_t> *Refs) {
   for (unsigned V = 0; V != CS.numVars(); ++V) {
-    auto B = cachedBounds(CS, V, Key, Cache, Budget);
+    auto B = cachedBounds(CS, V, Key, Cache, Budget, Refs);
     if (!B)
       return false;
     if (B->Lower && B->Upper &&
@@ -443,7 +450,25 @@ DependenceTierStats DependenceAnalysis::tierStats() const {
     S.CacheHits = CS.Hits;
     S.CacheMisses = CS.Misses;
   }
+  S.LogicalCacheHits = NumLogicalCacheHits;
+  S.LogicalCacheMisses = NumLogicalCacheMisses;
+  S.EliminationSteps = NumEliminationSteps.load(std::memory_order_relaxed);
   return S;
+}
+
+void DependenceTierStats::publishTo(MetricsRegistry &MR) const {
+  // Deterministic section: identical for every --jobs value.
+  MR.add("dep.pairs", Pairs);
+  MR.add("dep.tier0_gcd_independent", GcdIndependent);
+  MR.add("dep.tier1_banerjee_independent", BanerjeeIndependent);
+  MR.add("dep.tier2_exact_tested", ExactTested);
+  MR.add("dep.cache.hits", LogicalCacheHits);
+  MR.add("dep.cache.misses", LogicalCacheMisses);
+  // Scheduling-dependent section (budget consumption varies with raw
+  // cache hits; the raw cache traffic itself publishes via
+  // DependenceCacheStats::publishTo).
+  MR.setGauge("dep.fm_elimination_steps",
+              static_cast<double>(EliminationSteps));
 }
 
 void DependenceAnalysis::analyzePair(const LoopNest &Nest,
@@ -453,6 +478,18 @@ void DependenceAnalysis::analyzePair(const LoopNest &Nest,
   const unsigned SStmt = Task.SStmt, SAcc = Task.SAcc;
   const unsigned TStmt = Task.TStmt, TAcc = Task.TAcc;
   NumPairs.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t StepsBefore =
+      PairBudget
+          ? PairBudget->UsedEliminationSteps.load(std::memory_order_relaxed)
+          : 0;
+  // Per-pair consumption is the counter delta on the pair's own budget
+  // (or the shared one on the serial path — still single-threaded there).
+  auto RecordSteps = [&] {
+    if (PairBudget)
+      Res.EliminationSteps =
+          PairBudget->UsedEliminationSteps.load(std::memory_order_relaxed) -
+          StepsBefore;
+  };
   try {
 
   const ArrayAccess &A = Nest.Body[SStmt].Accesses[SAcc];
@@ -482,6 +519,7 @@ void DependenceAnalysis::analyzePair(const LoopNest &Nest,
     }
   }
   NumExactTested.fetch_add(1, std::memory_order_relaxed);
+  TraceSpan ExactSpan(Options.Trace, "dep.exact");
 
   // Tier 2: the exact Fourier-Motzkin test on the dependence polyhedron.
   DepSystem DS(L, collectSymbols(Nest, A.Map, B.Map));
@@ -525,7 +563,9 @@ void DependenceAnalysis::analyzePair(const LoopNest &Nest,
     D.Kind = Kind;
     D.Level = Level;
     for (unsigned J = 0; J != L; ++J) {
-      auto Bounds = cachedBounds(CS, DS.distVar(J), Key, Cache, PairBudget);
+      auto Bounds =
+          cachedBounds(CS, DS.distVar(J), Key, Cache, PairBudget,
+                       &Res.CacheRefs);
       DepComponent Comp = DepComponent::dir(DepComponent::Dir::Star);
       if (Bounds) {
         // Distances are integers: tighten the rational projection.
@@ -581,7 +621,7 @@ void DependenceAnalysis::analyzePair(const LoopNest &Nest,
     C[DS.distVar(K)] = 1;
     CS.addInequality(C, Rational(-1)); // d_K - 1 >= 0.
     const CanonicalSystemKey *Key = KeyOf(CS);
-    if (!hasIntegerPointPerAxis(CS, Key, Cache, PairBudget))
+    if (!hasIntegerPointPerAxis(CS, Key, Cache, PairBudget, &Res.CacheRefs))
       continue;
     Res.Deps.push_back(MakeDependence(K, CS, Key));
   }
@@ -596,7 +636,7 @@ void DependenceAnalysis::analyzePair(const LoopNest &Nest,
       CS.addEquality(C, Rational(0));
     }
     const CanonicalSystemKey *Key = KeyOf(CS);
-    if (hasIntegerPointPerAxis(CS, Key, Cache, PairBudget))
+    if (hasIntegerPointPerAxis(CS, Key, Cache, PairBudget, &Res.CacheRefs))
       Res.Deps.push_back(MakeDependence(L, CS, Key));
   }
 
@@ -606,6 +646,7 @@ void DependenceAnalysis::analyzePair(const LoopNest &Nest,
     Res.Deps.clear();
     appendConservativePair(Nest, Task, E.status(), Res);
   }
+  RecordSteps();
 }
 
 void DependenceAnalysis::appendConservativePair(const LoopNest &Nest,
@@ -669,6 +710,18 @@ DependenceAnalysis::analyze(const LoopNest &Nest) const {
     for (std::string &W : R.Warnings)
       Warnings.push_back(std::move(W));
     Degraded |= R.Degraded;
+    // Replay the pair's projection requests in merge order (always pair
+    // order, always one thread): first sighting of a key is a logical
+    // miss, every later one a logical hit — the job-count-independent
+    // ledger the raw cache counters cannot provide.
+    for (uint64_t Ref : R.CacheRefs) {
+      if (SeenCacheRefs.insert(Ref).second)
+        ++NumLogicalCacheMisses;
+      else
+        ++NumLogicalCacheHits;
+    }
+    NumEliminationSteps.fetch_add(R.EliminationSteps,
+                                  std::memory_order_relaxed);
   };
 
   if (!Options.Pool) {

@@ -38,11 +38,13 @@
 #include "analysis/DependenceCache.h"
 #include "ir/Program.h"
 #include "support/Budget.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace alp {
@@ -112,6 +114,10 @@ struct DependenceOptions {
   /// pool (even one thread) switches the budget to per-pair copies so the
   /// answer is independent of the job count.
   ThreadPool *Pool = nullptr;
+  /// Span tracer for the exact tier (one "dep.exact" span per pair that
+  /// reaches tier 2); nullptr = no tracing. Counters are not collected
+  /// here — snapshot tierStats() and publish it into a MetricsRegistry.
+  Tracer *Trace = nullptr;
 };
 
 /// Counters of one analysis run: how far pairs got down the tier ladder,
@@ -126,6 +132,26 @@ struct DependenceTierStats {
   uint64_t ExactTested = 0;       ///< Pairs that reached tier 2.
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
+  /// The deterministic cache ledger: projections replayed in pair-merge
+  /// order, a lookup counting as a hit iff an earlier pair (in merge
+  /// order) of this instance already produced its key. Unlike the raw
+  /// CacheHits/CacheMisses above — which come from the cache itself and
+  /// can vary with thread scheduling when workers race on one key — these
+  /// are byte-identical for every job count, so they are what publishTo
+  /// reports as counters (the raw values publish as gauges).
+  uint64_t LogicalCacheHits = 0;
+  uint64_t LogicalCacheMisses = 0;
+  /// Fourier-Motzkin elimination steps consumed by the exact tier, summed
+  /// per pair. A cache hit charges nothing, so with a SharedCache this
+  /// total depends on which worker populated the cache first — it
+  /// publishes as a gauge, not a counter.
+  uint64_t EliminationSteps = 0;
+
+  /// Adds this snapshot into \p MR under the "dep.*" names
+  /// (docs/OBSERVABILITY.md): tier and logical-cache totals as counters,
+  /// EliminationSteps as a gauge. Publish each analysis at most once —
+  /// counter adds accumulate.
+  void publishTo(MetricsRegistry &MR) const;
 };
 
 /// Dependence analysis over one loop nest. With a ResourceBudget attached,
@@ -171,6 +197,13 @@ private:
     std::vector<Dependence> Deps;
     std::vector<std::string> Warnings;
     bool Degraded = false;
+    /// Identity (system hash, projected var) of every memoizable bounds
+    /// projection this pair requested, in request order — replayed at
+    /// merge time against a seen-set to derive the deterministic cache
+    /// ledger regardless of which worker actually hit the shared cache.
+    std::vector<uint64_t> CacheRefs;
+    /// Elimination steps this pair's exact test consumed.
+    uint64_t EliminationSteps = 0;
   };
 
   const Program &P;
@@ -186,6 +219,12 @@ private:
   mutable std::atomic<uint64_t> NumGcdIndependent{0};
   mutable std::atomic<uint64_t> NumBanerjeeIndependent{0};
   mutable std::atomic<uint64_t> NumExactTested{0};
+  /// Merge-order cache ledger (written only on the merging thread) and
+  /// the per-pair elimination-step total.
+  mutable std::unordered_set<uint64_t> SeenCacheRefs;
+  mutable uint64_t NumLogicalCacheHits = 0;
+  mutable uint64_t NumLogicalCacheMisses = 0;
+  mutable std::atomic<uint64_t> NumEliminationSteps{0};
 
   /// Tests one access pair under \p PairBudget (nullable); fills \p Res.
   void analyzePair(const LoopNest &Nest, const PairTask &Task,

@@ -4,6 +4,14 @@
 
 using namespace alp;
 
+void DependenceCacheStats::publishTo(MetricsRegistry &MR) const {
+  MR.setGauge("dep.cache.raw_hits", static_cast<double>(Hits));
+  MR.setGauge("dep.cache.raw_misses", static_cast<double>(Misses));
+  MR.setGauge("dep.cache.raw_evictions", static_cast<double>(Evictions));
+  MR.setGauge("dep.cache.raw_entries", static_cast<double>(Entries));
+  MR.setGauge("dep.cache.raw_hit_rate", hitRate());
+}
+
 std::optional<std::optional<VariableBounds>>
 DependenceCache::lookupBounds(const CanonicalSystemKey &Key, unsigned Var) {
   std::lock_guard<std::mutex> Lock(Mutex);

@@ -25,6 +25,7 @@
 #define ALP_ANALYSIS_DEPENDENCECACHE_H
 
 #include "linalg/SystemKey.h"
+#include "support/Metrics.h"
 
 #include <list>
 #include <mutex>
@@ -44,6 +45,12 @@ struct DependenceCacheStats {
     uint64_t Total = Hits + Misses;
     return Total ? static_cast<double>(Hits) / Total : 0.0;
   }
+
+  /// Publishes this snapshot into \p MR as "dep.cache.raw_*" gauges.
+  /// Gauges, not counters: raw traffic varies with thread scheduling
+  /// (concurrent workers can both miss one key), unlike the logical
+  /// ledger DependenceTierStats publishes (docs/OBSERVABILITY.md).
+  void publishTo(MetricsRegistry &MR) const;
 };
 
 /// LRU map from (canonical system, variable) to the variable's projected

@@ -235,6 +235,21 @@ private:
 } // namespace
 
 std::string alp::emitSpmd(const Program &P, const ProgramDecomposition &PD,
-                          int64_t BlockSize) {
-  return Emitter(P, PD, BlockSize).run();
+                          int64_t BlockSize, TraceContext Observe) {
+  TraceSpan Span(Observe.Trace, "codegen.emit_spmd");
+  std::string Code = Emitter(P, PD, BlockSize).run();
+  if (Observe.Metrics) {
+    uint64_t Lines = 0, Barriers = 0, Reorgs = 0;
+    std::istringstream IS(Code);
+    for (std::string Line; std::getline(IS, Line); ++Lines) {
+      if (Line.find("barrier") != std::string::npos)
+        ++Barriers;
+      if (Line.find("reorganize") != std::string::npos)
+        ++Reorgs;
+    }
+    Observe.count("codegen.spmd_lines", Lines);
+    Observe.count("codegen.barriers", Barriers);
+    Observe.count("codegen.reorganize_calls", Reorgs);
+  }
+  return Code;
 }

@@ -18,15 +18,18 @@
 
 #include "core/Decomposition.h"
 #include "ir/Program.h"
+#include "support/Trace.h"
 
 #include <string>
 
 namespace alp {
 
 /// Emits the whole program as SPMD pseudo-code under \p PD using
-/// \p BlockSize for pipelined nests.
+/// \p BlockSize for pipelined nests. With \p Observe, the emission runs
+/// under a "codegen.emit_spmd" span and publishes "codegen.*" counters
+/// (emitted lines, barriers, reorganize calls).
 std::string emitSpmd(const Program &P, const ProgramDecomposition &PD,
-                     int64_t BlockSize = 4);
+                     int64_t BlockSize = 4, TraceContext Observe = {});
 
 } // namespace alp
 

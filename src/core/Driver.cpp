@@ -29,14 +29,18 @@ alp::decomposeOrError(Program &P, const MachineParams &Machine,
   // count.
   ThreadPool Pool(Opts.Jobs ? Opts.Jobs : ThreadPool::hardwareConcurrency());
   DependenceCache SharedCache;
+  const TraceContext &Observe = Opts.Observe;
+  TraceSpan PipelineSpan(Observe.Trace, "driver.decompose");
 
   try {
 
   if (Opts.RunLocalPhase) {
+    TraceSpan Span(Observe.Trace, "driver.local_phase");
     std::vector<std::string> LPWarnings;
     LocalPhaseOptions LPOpts;
     LPOpts.Pool = &Pool;
     LPOpts.SharedCache = &SharedCache;
+    LPOpts.Observe = Observe;
     runLocalPhase(P, &Budget, &LPWarnings, LPOpts);
     for (const std::string &W : LPWarnings)
       PD.Degradations.push_back({W.rfind("local phase", 0) == 0
@@ -46,14 +50,19 @@ alp::decomposeOrError(Program &P, const MachineParams &Machine,
   }
 
   CostModel CM(P, Machine);
-  DynamicResult DR =
-      Opts.MultiLevel
-          ? runMultiLevelDynamicDecomposition(
-                P, CM, Opts.EnableBlocking, Opts.Policy,
-                /*ExcludeReadOnly=*/Opts.EnableReplication, &Budget, &Pool)
-          : runDynamicDecomposition(
-                P, CM, Opts.EnableBlocking, Opts.Policy,
-                /*ExcludeReadOnly=*/Opts.EnableReplication, &Budget, &Pool);
+  DynamicDecomposerOptions DynOpts;
+  DynOpts.UseBlocking = Opts.EnableBlocking;
+  DynOpts.Policy = Opts.Policy;
+  DynOpts.ExcludeReadOnly = Opts.EnableReplication;
+  DynOpts.Budget = &Budget;
+  DynOpts.Pool = &Pool;
+  DynOpts.Observe = Observe;
+  DynamicResult DR = [&] {
+    TraceSpan Span(Observe.Trace, "driver.dynamic_decomposition");
+    return Opts.MultiLevel
+               ? runMultiLevelDynamicDecomposition(P, CM, DynOpts)
+               : runDynamicDecomposition(P, CM, DynOpts);
+  }();
 
   PD.ComponentOf = DR.ComponentOf;
 
@@ -83,9 +92,12 @@ alp::decomposeOrError(Program &P, const MachineParams &Machine,
       if (Nest.writesArray(A))
         GlobalWritten.insert(A);
 
-  OrientationOptions OOpts;
+  OrientationOptions OOpts = Opts.Orientation;
   OOpts.Budget = &Budget;
+  OOpts.Observe = Observe;
   for (unsigned Root : RootOrder) {
+    TraceSpan ComponentSpan(Observe.Trace, "driver.component",
+                            static_cast<int64_t>(Root));
     std::vector<unsigned> Nests = DR.nestsOfComponent(Root);
     PartitionResult Parts = DR.Partitions[Root];
     if (Parts.Degraded)
@@ -98,10 +110,13 @@ alp::decomposeOrError(Program &P, const MachineParams &Machine,
     // the computation partitions (Sec. 7.2).
     InterferenceGraph FullIG(P, Nests, /*IncludeReadOnly=*/true);
     if (Opts.EnableReplication) {
+      TraceSpan Span(Observe.Trace, "driver.replication_resolve",
+                     static_cast<int64_t>(Root));
       InterferenceGraph WriteIG(P, Nests, /*IncludeReadOnly=*/false,
                                 &GlobalWritten);
-      PartitionOptions POpts;
+      PartitionOptions POpts = Opts.Partition;
       POpts.Budget = &Budget;
+      POpts.Observe = Observe;
       PartitionResult WriteParts =
           Opts.EnableBlocking ? solvePartitionsWithBlocks(WriteIG, POpts)
                               : solvePartitions(WriteIG, POpts);
@@ -158,10 +173,14 @@ alp::decomposeOrError(Program &P, const MachineParams &Machine,
                                        ": " + W});
     }
     if (Opts.EnableIdleProjection) {
+      TraceSpan Span(Observe.Trace, "driver.projection",
+                     static_cast<int64_t>(Root));
       try {
         unsigned NPrime = reducedVirtualDims(FullIG, Parts);
-        if (NPrime < Orient.VirtualDims && NPrime > 0)
+        if (NPrime < Orient.VirtualDims && NPrime > 0) {
           projectProcessorSpace(Orient, NPrime);
+          Observe.count("driver.projections_applied");
+        }
       } catch (const AlpException &E) {
         PD.Degradations.push_back({Degradation::Stage::Projection,
                                    "component " + std::to_string(Root) +
@@ -170,6 +189,8 @@ alp::decomposeOrError(Program &P, const MachineParams &Machine,
       }
     }
     DisplacementResult Disp;
+    TraceSpan DispSpan(Observe.Trace, "driver.displacement",
+                       static_cast<int64_t>(Root));
     try {
       Disp = solveDisplacements(FullIG, Orient);
     } catch (const AlpException &E) {
@@ -180,9 +201,12 @@ alp::decomposeOrError(Program &P, const MachineParams &Machine,
                                      ": zero displacements (" +
                                      E.status().str() + ")"});
     }
+    DispSpan.finish();
 
     // Replication degrees (after projection so n is final).
     if (Opts.EnableReplication) {
+      TraceSpan Span(Observe.Trace, "driver.replication_analysis",
+                     static_cast<int64_t>(Root));
       try {
         for (const ReplicationInfo &RI :
              analyzeReplication(FullIG, Parts, Orient)) {
@@ -259,6 +283,28 @@ alp::decomposeOrError(Program &P, const MachineParams &Machine,
     // instead of crashing the host.
     return Status::error(StatusCode::Unsolvable,
                          std::string("internal error: ") + E.what());
+  }
+
+  Observe.count("driver.components",
+                [&] {
+                  std::set<unsigned> Roots;
+                  for (const auto &[Nest, Root] : PD.ComponentOf)
+                    Roots.insert(Root);
+                  return Roots.size();
+                }());
+  Observe.count("driver.degradations", PD.Degradations.size());
+  Observe.count("driver.reorganizations", PD.Reorganizations.size());
+  if (Observe.Metrics) {
+    SharedCache.stats().publishTo(*Observe.Metrics);
+    // The run budget's consumed counters only see serially charged work
+    // (parallel tasks run on private copies), but even so they are wall
+    // and scheduling facts of this run — gauges, not counters.
+    Observe.gauge("budget.used_elimination_steps",
+                  static_cast<double>(Budget.UsedEliminationSteps.load(
+                      std::memory_order_relaxed)));
+    Observe.gauge("budget.used_solver_iterations",
+                  static_cast<double>(Budget.UsedSolverIterations.load(
+                      std::memory_order_relaxed)));
   }
   return PD;
 }

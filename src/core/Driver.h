@@ -25,10 +25,14 @@
 #include "core/Decomposition.h"
 #include "core/DynamicDecomposer.h"
 #include "core/Optimizations.h"
+#include "core/OrientationSolver.h"
 
 namespace alp {
 
-/// Pipeline configuration.
+/// Pipeline configuration. Sub-stage option structs are embedded members:
+/// the driver copies each template per stage invocation and fills the
+/// run-managed slots (Budget, Pool/SharedCache, seeds, preferences,
+/// Observe) itself, so callers configure exactly one struct.
 struct DriverOptions {
   /// Run the Wolf-Lam local phase first (canonicalize loop order/kinds).
   bool RunLocalPhase = true;
@@ -56,6 +60,18 @@ struct DriverOptions {
   /// decomposition — each task on its own budget copy — so the output is
   /// byte-identical for every value of Jobs.
   unsigned Jobs = 1;
+  /// Template for every partition solve of the run (pre-seeded kernels;
+  /// Budget and Observe are overwritten by the driver).
+  PartitionOptions Partition;
+  /// Template for orientation solving (initial PreferredD; the driver
+  /// accumulates cross-component preferences on top, and overwrites
+  /// Budget and Observe).
+  OrientationOptions Orientation;
+  /// Observability sinks (span tracer + metrics registry, either or both
+  /// null) threaded into every stage. Counters published here are
+  /// byte-identical for every value of Jobs; gauges and span timings are
+  /// not (docs/OBSERVABILITY.md).
+  TraceContext Observe;
 };
 
 /// Runs the whole pipeline fail-soft: never aborts on user-reachable

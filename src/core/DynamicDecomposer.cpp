@@ -58,21 +58,24 @@ std::set<unsigned> globallyWritten(const Program &P) {
 /// whenever the re-solved partition of the union improves the graph value.
 DynamicResult greedyJoin(const Program &P, const CostModel &CM,
                          const std::vector<unsigned> &Nests,
-                         std::vector<CommEdge> Edges, bool UseBlocking,
-                         JoinPolicy Policy, bool ExcludeReadOnly,
+                         std::vector<CommEdge> Edges,
+                         const DynamicDecomposerOptions &DOpts,
                          const std::set<unsigned> &GlobalWritten,
-                         const PartitionOptions &Seeds,
-                         ResourceBudget *Budget, ThreadPool *Pool) {
+                         const PartitionOptions &Seeds) {
+  ResourceBudget *Budget = DOpts.Budget;
+  ThreadPool *Pool = DOpts.Pool;
   DynamicResult R;
 
   auto SolveWith = [&](const std::vector<unsigned> &Ids,
                        ResourceBudget *B) {
-    InterferenceGraph IG(P, Ids, /*IncludeReadOnly=*/!ExcludeReadOnly,
+    InterferenceGraph IG(P, Ids,
+                         /*IncludeReadOnly=*/!DOpts.ExcludeReadOnly,
                          &GlobalWritten);
     PartitionOptions Opts = Seeds;
     Opts.Budget = B;
-    return UseBlocking ? solvePartitionsWithBlocks(IG, Opts)
-                       : solvePartitions(IG, Opts);
+    Opts.Observe = DOpts.Observe;
+    return DOpts.UseBlocking ? solvePartitionsWithBlocks(IG, Opts)
+                             : solvePartitions(IG, Opts);
   };
   auto Solve = [&](const std::vector<unsigned> &Ids) {
     return SolveWith(Ids, Budget);
@@ -101,15 +104,18 @@ DynamicResult greedyJoin(const Program &P, const CostModel &CM,
   // out, each on a private budget copy; results land in nest order either
   // way, so the join loop below sees identical inputs for any job count.
   std::vector<PartitionResult> Initial(Nests.size());
-  parallelForN(Pool, Nests.size(), [&](size_t I) {
-    std::optional<ResourceBudget> Local;
-    ResourceBudget *B = Budget;
-    if (Pool && Budget) {
-      Local.emplace(*Budget);
-      B = &*Local;
-    }
-    Initial[I] = SolveWith({Nests[I]}, B);
-  });
+  {
+    TraceSpan InitSpan(DOpts.Observe.Trace, "dynamic.initial_solves");
+    parallelForN(Pool, Nests.size(), [&](size_t I) {
+      std::optional<ResourceBudget> Local;
+      ResourceBudget *B = Budget;
+      if (Pool && Budget) {
+        Local.emplace(*Budget);
+        B = &*Local;
+      }
+      Initial[I] = SolveWith({Nests[I]}, B);
+    });
+  }
   std::map<unsigned, PartitionResult> Parts;
   std::map<unsigned, double> Benefit;
   std::set<unsigned> Sequential; // Nests with zero parallelism even alone.
@@ -126,7 +132,8 @@ DynamicResult greedyJoin(const Program &P, const CostModel &CM,
                      return A.Weight > B.Weight;
                    });
 
-  if (Policy != JoinPolicy::NeverJoin) {
+  if (DOpts.Policy != JoinPolicy::NeverJoin) {
+    TraceSpan JoinSpan(DOpts.Observe.Trace, "dynamic.join_loop");
     for (const CommEdge &E : Edges) {
       unsigned RU = Find(E.U), RV = Find(E.V);
       if (RU == RV)
@@ -134,6 +141,7 @@ DynamicResult greedyJoin(const Program &P, const CostModel &CM,
       // Purely sequential loops are components by themselves.
       if (Sequential.count(E.U) || Sequential.count(E.V))
         continue;
+      DOpts.Observe.count("dynamic.joins_attempted");
       std::vector<unsigned> Joined = Members(RU);
       std::vector<unsigned> MV = Members(RV);
       Joined.insert(Joined.end(), MV.begin(), MV.end());
@@ -146,9 +154,10 @@ DynamicResult greedyJoin(const Program &P, const CostModel &CM,
             (Find(Other.U) == RV && Find(Other.V) == RU))
           Saved += Other.Weight;
       double Delta = JoinedBenefit - Benefit[RU] - Benefit[RV] + Saved;
-      bool Accept = Policy == JoinPolicy::ForceSingle || Delta > 0.0;
+      bool Accept = DOpts.Policy == JoinPolicy::ForceSingle || Delta > 0.0;
       if (!Accept)
         continue;
+      DOpts.Observe.count("dynamic.joins_kept");
       Parent[RU] = RV;
       Parts[RV] = std::move(JP);
       Benefit[RV] = JoinedBenefit;
@@ -177,25 +186,32 @@ DynamicResult greedyJoin(const Program &P, const CostModel &CM,
 
 } // namespace
 
-DynamicResult alp::runDynamicDecomposition(const Program &P,
-                                           const CostModel &CM,
-                                           bool UseBlocking,
-                                           JoinPolicy Policy,
-                                           bool ExcludeReadOnly,
-                                           ResourceBudget *Budget,
-                                           ThreadPool *Pool) {
-  return greedyJoin(P, CM, P.nestsInOrder(), buildCommGraph(P, CM),
-                    UseBlocking, Policy, ExcludeReadOnly,
-                    globallyWritten(P), PartitionOptions(), Budget, Pool);
+namespace {
+
+/// Final-result counters shared by both public drivers.
+DynamicResult published(DynamicResult R, const TraceContext &Observe) {
+  std::set<unsigned> Roots;
+  for (const auto &[Nest, Root] : R.ComponentOf)
+    Roots.insert(Root);
+  Observe.count("dynamic.components", Roots.size());
+  Observe.count("dynamic.cut_edges", R.CutEdges.size());
+  return R;
 }
 
-DynamicResult alp::runMultiLevelDynamicDecomposition(const Program &P,
-                                                     const CostModel &CM,
-                                                     bool UseBlocking,
-                                                     JoinPolicy Policy,
-                                                     bool ExcludeReadOnly,
-                                                     ResourceBudget *Budget,
-                                                     ThreadPool *Pool) {
+} // namespace
+
+DynamicResult
+alp::runDynamicDecomposition(const Program &P, const CostModel &CM,
+                             const DynamicDecomposerOptions &Opts) {
+  return published(greedyJoin(P, CM, P.nestsInOrder(),
+                              buildCommGraph(P, CM), Opts,
+                              globallyWritten(P), PartitionOptions()),
+                   Opts.Observe);
+}
+
+DynamicResult alp::runMultiLevelDynamicDecomposition(
+    const Program &P, const CostModel &CM,
+    const DynamicDecomposerOptions &Opts) {
   std::set<unsigned> GlobalWritten = globallyWritten(P);
   std::vector<CommEdge> AllEdges = buildCommGraph(P, CM);
 
@@ -269,9 +285,8 @@ DynamicResult alp::runMultiLevelDynamicDecomposition(const Program &P,
     for (const CommEdge &E : AllEdges)
       if (InCtx.count(E.U) && InCtx.count(E.V))
         Local.push_back(E);
-    DynamicResult LR =
-        greedyJoin(P, CM, Nests, std::move(Local), UseBlocking, Policy,
-                   ExcludeReadOnly, GlobalWritten, Seeds, Budget, Pool);
+    DynamicResult LR = greedyJoin(P, CM, Nests, std::move(Local), Opts,
+                                  GlobalWritten, Seeds);
     // Seed computation partitions.
     for (const auto &[Root, Parts] : LR.Partitions)
       for (const auto &[NestId, Kernel] : Parts.CompKernel) {
@@ -303,7 +318,7 @@ DynamicResult alp::runMultiLevelDynamicDecomposition(const Program &P,
   }
 
   // Final level: the whole program, seeded from below.
-  return greedyJoin(P, CM, P.nestsInOrder(), std::move(AllEdges),
-                    UseBlocking, Policy, ExcludeReadOnly, GlobalWritten,
-                    Seeds, Budget, Pool);
+  return published(greedyJoin(P, CM, P.nestsInOrder(), std::move(AllEdges),
+                              Opts, GlobalWritten, Seeds),
+                   Opts.Observe);
 }

@@ -59,20 +59,33 @@ enum class JoinPolicy {
 /// Builds the communication graph over the leaf nests of \p P.
 std::vector<CommEdge> buildCommGraph(const Program &P, const CostModel &CM);
 
+/// Knobs of the dynamic decomposition drivers. Replaces the former
+/// positional-parameter tail; embedded in DriverOptions so alpc and
+/// library users configure one nested struct.
+struct DynamicDecomposerOptions {
+  /// solvePartitionsWithBlocks vs solvePartitions per component.
+  bool UseBlocking = true;
+  /// Component joining policy (Sec. 6.3 / the Figure 7 strategies).
+  JoinPolicy Policy = JoinPolicy::Greedy;
+  /// Leave arrays never written anywhere out of every partition solve
+  /// (they will be replicated by the Sec. 7.2 pass instead of
+  /// constraining parallelism or joins).
+  bool ExcludeReadOnly = false;
+  /// Optional budget for every partition solve of the run.
+  ResourceBudget *Budget = nullptr;
+  /// With a pool, the initial per-nest partition solves run concurrently
+  /// (each on its own budget copy); the greedy join loop itself is
+  /// inherently sequential. The result is identical for every job count.
+  ThreadPool *Pool = nullptr;
+  /// Observability sink: "dynamic.*" spans/counters here, "partition.*"
+  /// from the solves underneath.
+  TraceContext Observe;
+};
+
 /// Runs the dynamic decomposition over all leaf nests of \p P.
-/// \p UseBlocking selects solvePartitionsWithBlocks vs solvePartitions.
-/// With \p ExcludeReadOnly, arrays never written anywhere in the program
-/// are left out of every partition solve (they will be replicated by the
-/// Sec. 7.2 pass instead of constraining parallelism or joins).
-/// With \p Pool, the initial per-nest partition solves run concurrently
-/// (each on its own budget copy); the greedy join loop itself is
-/// inherently sequential. The result is identical for every job count.
-DynamicResult runDynamicDecomposition(const Program &P, const CostModel &CM,
-                                      bool UseBlocking = true,
-                                      JoinPolicy Policy = JoinPolicy::Greedy,
-                                      bool ExcludeReadOnly = false,
-                                      ResourceBudget *Budget = nullptr,
-                                      ThreadPool *Pool = nullptr);
+DynamicResult
+runDynamicDecomposition(const Program &P, const CostModel &CM,
+                        const DynamicDecomposerOptions &Opts = {});
 
 /// The faithful Sec. 6.4 multi-level variant: every structure context
 /// (sequential-loop body, branch arm) runs the Single_Level greedy
@@ -81,10 +94,9 @@ DynamicResult runDynamicDecomposition(const Program &P, const CostModel &CM,
 /// split (stops seeding). The outermost level over all nests produces the
 /// result. For programs whose structure tree is flat the two variants
 /// coincide.
-DynamicResult runMultiLevelDynamicDecomposition(
-    const Program &P, const CostModel &CM, bool UseBlocking = true,
-    JoinPolicy Policy = JoinPolicy::Greedy, bool ExcludeReadOnly = false,
-    ResourceBudget *Budget = nullptr, ThreadPool *Pool = nullptr);
+DynamicResult
+runMultiLevelDynamicDecomposition(const Program &P, const CostModel &CM,
+                                  const DynamicDecomposerOptions &Opts = {});
 
 } // namespace alp
 

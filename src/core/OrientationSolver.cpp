@@ -49,11 +49,13 @@ OrientationResult alp::solveOrientations(const InterferenceGraph &IG,
                                          const PartitionResult &Parts,
                                          const OrientationOptions &Opts,
                                          std::optional<unsigned> ForceDims) {
+  TraceSpan Span(Opts.Observe.Trace, "orient.solve");
   OrientationResult R;
   R.VirtualDims = ForceDims ? *ForceDims : Parts.virtualDims(IG);
   unsigned N = R.VirtualDims;
 
   for (const InterferenceGraph::Component &Comp : IG.connectedComponents()) {
+    Opts.Observe.count("orient.components");
     try {
     if (Comp.Arrays.empty()) {
       // Nests touching no arrays: give them a kernel-respecting C anyway.
@@ -151,6 +153,7 @@ OrientationResult alp::solveOrientations(const InterferenceGraph &IG,
                            E.status().str() + ")");
     }
   }
+  Opts.Observe.count("orient.degraded_components", R.Warnings.size());
   R.VirtualDims = N;
   return R;
 }

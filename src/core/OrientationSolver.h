@@ -50,6 +50,9 @@ struct OrientationOptions {
   /// Optional resource budget; propagation charges one solver iteration
   /// per worklist step and degrades per component on exhaustion.
   ResourceBudget *Budget = nullptr;
+  /// Observability sink: one "orient.solve" span per call and the
+  /// "orient.*" counters (components, degradations).
+  TraceContext Observe;
 };
 
 /// Computes orientations for every array and nest of \p IG under the

@@ -166,7 +166,7 @@ PartitionResult trivialPartition(const InterferenceGraph &IG,
 
 PartitionResult solveImplUnchecked(const InterferenceGraph &IG,
                                    const PartitionOptions &Opts,
-                                   bool BlockedInit) {
+                                   bool BlockedInit, uint64_t &Iterations) {
   const Program &P = IG.program();
   PartitionResult R;
 
@@ -191,6 +191,7 @@ PartitionResult solveImplUnchecked(const InterferenceGraph &IG,
   std::set<unsigned> DirtyNests(IG.nests().begin(), IG.nests().end());
   std::set<unsigned> DirtyArrays(IG.arrays().begin(), IG.arrays().end());
   while (!DirtyNests.empty() || !DirtyArrays.empty()) {
+    ++Iterations;
     if (ResourceBudget *B = Opts.Budget) {
       if (Status S = B->chargeSolverIteration(); !S)
         throw AlpException(S);
@@ -232,11 +233,21 @@ PartitionResult solveImplUnchecked(const InterferenceGraph &IG,
 /// degrades to the trivial partition instead of propagating.
 PartitionResult solveImpl(const InterferenceGraph &IG,
                           const PartitionOptions &Opts, bool BlockedInit) {
+  TraceSpan Span(Opts.Observe.Trace, "partition.solve");
+  Opts.Observe.count("partition.solves");
+  // Iteration counts survive a mid-solve budget trip: work done before
+  // degradation is still work done (and still deterministic, since every
+  // solve runs on either a serial budget or its own copy).
+  uint64_t Iterations = 0;
+  PartitionResult R;
   try {
-    return solveImplUnchecked(IG, Opts, BlockedInit);
+    R = solveImplUnchecked(IG, Opts, BlockedInit, Iterations);
   } catch (const AlpException &E) {
-    return trivialPartition(IG, E.status());
+    R = trivialPartition(IG, E.status());
+    Opts.Observe.count("partition.degraded");
   }
+  Opts.Observe.count("partition.fixpoint_iterations", Iterations);
+  return R;
 }
 
 } // namespace
@@ -256,6 +267,7 @@ alp::solvePartitionsWithBlocks(const InterferenceGraph &IG,
 
   // No parallelism: the kernels just found are exactly the localized
   // spaces (Figure 4); re-solve with tileable loops released.
+  Opts.Observe.count("partition.blocked_retries");
   PartitionResult Localized = R;
   PartitionResult B = solveImpl(IG, Opts, /*BlockedInit=*/true);
   if (B.Degraded)

@@ -31,6 +31,7 @@
 #include "core/InterferenceGraph.h"
 #include "linalg/VectorSpace.h"
 #include "support/Budget.h"
+#include "support/Trace.h"
 
 #include <map>
 #include <string>
@@ -74,6 +75,10 @@ struct PartitionOptions {
   /// worklist step. On exhaustion the result degrades to the trivial
   /// partition (PartitionResult::Degraded) instead of aborting.
   ResourceBudget *Budget = nullptr;
+  /// Observability sink: one "partition.solve" span per solve and the
+  /// "partition.*" counters (solves, fixpoint iterations, degradations,
+  /// blocked retries).
+  TraceContext Observe;
 };
 
 /// Runs the Sec. 4 algorithm: static partitions, forall parallelism only.

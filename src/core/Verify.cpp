@@ -139,11 +139,3 @@ alp::verifyDecompositionDiagnostics(const Program &P,
   }
   return Diags;
 }
-
-std::vector<std::string>
-alp::verifyDecomposition(const Program &P, const ProgramDecomposition &PD) {
-  std::vector<std::string> Issues;
-  for (const Diagnostic &D : verifyDecompositionDiagnostics(P, PD))
-    Issues.push_back(D.Message);
-  return Issues;
-}

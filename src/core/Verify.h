@@ -18,8 +18,7 @@
 /// Violations are reported as structured Diagnostics (pass ids under
 /// "decomp.*", source locations where the front end recorded them). The
 /// alp-lint decomposition validator (analysis/Lint.h) builds on this and
-/// adds the SPMD communication-coverage check; the string API below is a
-/// thin shim kept for existing callers.
+/// adds the SPMD communication-coverage check.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,11 +41,6 @@ namespace alp {
 std::vector<Diagnostic>
 verifyDecompositionDiagnostics(const Program &P,
                                const ProgramDecomposition &PD);
-
-/// String shim over verifyDecompositionDiagnostics for existing callers:
-/// one rendered message per violated invariant.
-std::vector<std::string>
-verifyDecomposition(const Program &P, const ProgramDecomposition &PD);
 
 } // namespace alp
 

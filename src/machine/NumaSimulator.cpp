@@ -21,6 +21,17 @@ std::string SimResult::str() const {
   return OS.str();
 }
 
+void SimResult::publishTo(MetricsRegistry &MR) const {
+  MR.setGauge("sim.cycles", Cycles);
+  MR.setGauge("sim.compute_cycles", ComputeCycles);
+  MR.setGauge("sim.memory_cycles", MemoryCycles);
+  MR.setGauge("sim.reorg_cycles", ReorgCycles);
+  MR.setGauge("sim.sync_cycles", SyncCycles);
+  MR.setGauge("sim.cache_accesses", CacheAccesses);
+  MR.setGauge("sim.local_line_fetches", LocalLineFetches);
+  MR.setGauge("sim.remote_line_fetches", RemoteLineFetches);
+}
+
 NumaSimulator::NumaSimulator(const Program &P, const MachineParams &M)
     : P(P), M(M) {}
 
@@ -311,6 +322,7 @@ void NumaSimulator::reorganizeIfNeeded(unsigned NestId, RunState &S) {
     S.Res.ReorgCycles += Cycles;
     S.Res.Cycles += Cycles;
     S.Current[A] = Want->second;
+    Observe.count("sim.reorganizations");
   }
 }
 
@@ -518,6 +530,8 @@ void NumaSimulator::runNodes(const std::vector<ProgramNode> &Nodes,
 }
 
 SimResult NumaSimulator::run(unsigned NumProcs) {
+  TraceSpan Span(Observe.Trace, "sim.run", NumProcs);
+  Observe.count("sim.runs");
   RunState S;
   S.Procs = std::max(1u, std::min(NumProcs, M.NumProcs));
   S.Bindings = P.SymbolBindings;
@@ -525,6 +539,8 @@ SimResult NumaSimulator::run(unsigned NumProcs) {
   for (const auto &[A, Pl] : InitialPlacement)
     S.Current[A] = Pl;
   runNodes(P.TopLevel, S);
+  if (Observe.Metrics)
+    S.Res.publishTo(*Observe.Metrics);
   return S.Res;
 }
 

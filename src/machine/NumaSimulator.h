@@ -25,6 +25,7 @@
 #include "core/CostModel.h"
 #include "core/Decomposition.h"
 #include "ir/Program.h"
+#include "support/Trace.h"
 
 #include <map>
 #include <string>
@@ -83,6 +84,10 @@ struct SimResult {
   double RemoteLineFetches = 0.0;
 
   std::string str() const;
+
+  /// Publishes this result into \p MR as "sim.*" gauges (cycle totals are
+  /// model outputs, not cross-jobs-deterministic counters).
+  void publishTo(MetricsRegistry &MR) const;
 };
 
 /// The simulator. Configure placements and schedules, then run.
@@ -103,6 +108,11 @@ public:
 
   void setSchedule(unsigned NestId, NestSchedule Schedule);
 
+  /// Observability sink: a "sim.run" span per run() (Detail = processor
+  /// count), "sim.runs" / "sim.reorganizations" counters, and the last
+  /// run's SimResult as "sim.*" gauges.
+  void setObserve(TraceContext Observe) { this->Observe = Observe; }
+
   /// Runs the whole program once with \p NumProcs active processors
   /// (capped at the machine's processor count).
   SimResult run(unsigned NumProcs);
@@ -114,6 +124,7 @@ public:
 private:
   const Program &P;
   MachineParams M;
+  TraceContext Observe;
   std::map<std::pair<unsigned, unsigned>, ArrayPlacement> PlacementAt;
   std::map<unsigned, ArrayPlacement> InitialPlacement;
   std::map<unsigned, NestSchedule> Schedules;

@@ -1,0 +1,61 @@
+//===- support/Metrics.cpp - Unified metrics registry ------------------------===//
+
+#include "support/Metrics.h"
+
+#include <cstdio>
+
+using namespace alp;
+
+void MetricsRegistry::add(const std::string &Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Counters[Name] += Delta;
+}
+
+void MetricsRegistry::setGauge(const std::string &Name, double Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Gauges[Name] = Value;
+}
+
+uint64_t MetricsRegistry::counter(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+double MetricsRegistry::gauge(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Gauges.find(Name);
+  return It == Gauges.end() ? 0.0 : It->second;
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}
+
+std::map<std::string, double> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Gauges;
+}
+
+std::string MetricsRegistry::renderCountersJson() const {
+  std::map<std::string, uint64_t> Snap = counters();
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Name, Value] : Snap) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%llu",
+                  static_cast<unsigned long long>(Value));
+    Out += First ? "\n" : ",\n";
+    Out += "    \"" + Name + "\": " + Buf;
+    First = false;
+  }
+  Out += Snap.empty() ? "}" : "\n  }";
+  return Out;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Counters.clear();
+  Gauges.clear();
+}

@@ -1,0 +1,115 @@
+//===- support/Trace.cpp - Hierarchical RAII span tracing --------------------===//
+
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+using namespace alp;
+
+uint32_t Tracer::currentThreadOrdinal() {
+  static std::atomic<uint32_t> Next{0};
+  thread_local uint32_t Ordinal = Next.fetch_add(1, std::memory_order_relaxed);
+  return Ordinal;
+}
+
+void Tracer::record(const Event &E) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back(E);
+}
+
+std::vector<Tracer::Event> Tracer::events() const {
+  std::vector<Event> Snap;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Snap = Events;
+  }
+  std::stable_sort(Snap.begin(), Snap.end(),
+                   [](const Event &A, const Event &B) {
+                     if (A.StartNs != B.StartNs)
+                       return A.StartNs < B.StartNs;
+                     return A.DurNs > B.DurNs;
+                   });
+  return Snap;
+}
+
+void Tracer::writeChromeTrace(std::ostream &OS) const {
+  OS << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool First = true;
+  char Buf[256];
+  for (const Event &E : events()) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s\n  {\"name\": \"%s\", \"cat\": \"alp\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u",
+                  First ? "" : ",", E.Name,
+                  static_cast<double>(E.StartNs) / 1000.0,
+                  static_cast<double>(E.DurNs) / 1000.0, E.Tid);
+    OS << Buf;
+    if (E.Detail >= 0)
+      OS << ", \"args\": {\"detail\": " << E.Detail << "}";
+    OS << "}";
+    First = false;
+  }
+  OS << "\n]}\n";
+}
+
+std::string alp::renderStatsJson(const MetricsRegistry *Metrics,
+                                 const Tracer *Trace) {
+  std::string Out = "{\n";
+  Out += "  \"alp_stats\": {\"schema_version\": " +
+         std::to_string(StatsSchemaVersion) + "},\n";
+
+  // Counters: the deterministic section (byte-identical for every --jobs).
+  static const MetricsRegistry EmptyRegistry;
+  const MetricsRegistry &MR = Metrics ? *Metrics : EmptyRegistry;
+  Out += "  \"counters\": " + MR.renderCountersJson() + ",\n";
+
+  // Gauges: point-in-time values; may vary with scheduling and wall time.
+  Out += "  \"gauges\": {";
+  {
+    bool First = true;
+    for (const auto &[Name, Value] : MR.gauges()) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+      Out += First ? "\n" : ",\n";
+      Out += "    \"" + Name + "\": " + Buf;
+      First = false;
+    }
+    Out += First ? "}" : "\n  }";
+  }
+  Out += ",\n";
+
+  // Span aggregates by name: count and total wall milliseconds.
+  Out += "  \"spans\": [";
+  if (Trace) {
+    struct Agg {
+      uint64_t Count = 0;
+      uint64_t TotalNs = 0;
+    };
+    std::map<std::string, Agg> ByName;
+    for (const Tracer::Event &E : Trace->events()) {
+      Agg &A = ByName[E.Name];
+      ++A.Count;
+      A.TotalNs += E.DurNs;
+    }
+    bool First = true;
+    for (const auto &[Name, A] : ByName) {
+      char Buf[128];
+      std::snprintf(Buf, sizeof(Buf),
+                    "{\"name\": \"%s\", \"count\": %llu, \"total_ms\": %.6f}",
+                    Name.c_str(), static_cast<unsigned long long>(A.Count),
+                    static_cast<double>(A.TotalNs) / 1e6);
+      Out += First ? "\n    " : ",\n    ";
+      Out += Buf;
+      First = false;
+    }
+    if (!First)
+      Out += "\n  ";
+  }
+  Out += "]\n}\n";
+  return Out;
+}

@@ -431,15 +431,24 @@ void canonicalizeNest(Program &P, unsigned NI, const DependenceAnalysis &DA,
 void alp::runLocalPhase(Program &P, ResourceBudget *Budget,
                         std::vector<std::string> *Warnings,
                         const LocalPhaseOptions &Opts) {
+  const TraceContext &Observe = Opts.Observe;
+  Observe.count("local.nests", P.Nests.size());
   if (!Opts.Pool) {
     // Serial path: one analysis, one cumulative budget across all nests
     // (the historical semantics).
     DependenceOptions DOpts;
     DOpts.SharedCache = Opts.SharedCache;
+    DOpts.Trace = Observe.Trace;
     DependenceAnalysis DA(P, Budget, DOpts);
     std::vector<std::string> LPWarnings;
-    for (unsigned NI = 0; NI != P.Nests.size(); ++NI)
+    for (unsigned NI = 0; NI != P.Nests.size(); ++NI) {
+      TraceSpan Span(Observe.Trace, "local.canonicalize",
+                     static_cast<int64_t>(NI));
       canonicalizeNest(P, NI, DA, LPWarnings);
+    }
+    Observe.count("local.nests_untransformed", LPWarnings.size());
+    if (Observe.Metrics)
+      DA.tierStats().publishTo(*Observe.Metrics);
     if (Warnings) {
       for (std::string &W : LPWarnings)
         Warnings->push_back(std::move(W));
@@ -458,12 +467,16 @@ void alp::runLocalPhase(Program &P, ResourceBudget *Budget,
   struct NestOutcome {
     std::vector<std::string> LPWarnings;
     std::vector<std::string> DAWarnings;
+    DependenceTierStats Tiers;
   };
   std::vector<NestOutcome> Outcomes(P.Nests.size());
   Opts.Pool->parallelFor(P.Nests.size(), [&](size_t NI) {
+    TraceSpan Span(Observe.Trace, "local.canonicalize",
+                   static_cast<int64_t>(NI));
     DependenceOptions DOpts;
     DOpts.SharedCache = Opts.SharedCache;
     DOpts.Pool = Opts.Pool;
+    DOpts.Trace = Observe.Trace;
     std::optional<ResourceBudget> Local;
     ResourceBudget *NestBudget = nullptr;
     if (Budget) {
@@ -473,7 +486,30 @@ void alp::runLocalPhase(Program &P, ResourceBudget *Budget,
     DependenceAnalysis DA(P, NestBudget, DOpts);
     canonicalizeNest(P, NI, DA, Outcomes[NI].LPWarnings);
     Outcomes[NI].DAWarnings = DA.warnings();
+    Outcomes[NI].Tiers = DA.tierStats();
   });
+  size_t Untransformed = 0;
+  for (const NestOutcome &O : Outcomes)
+    Untransformed += O.LPWarnings.size();
+  Observe.count("local.nests_untransformed", Untransformed);
+  if (Observe.Metrics) {
+    // Sum the per-nest snapshots into one publish. Addition commutes, so
+    // totals are identical for every job count. (They can differ from the
+    // Pool=nullptr path: there one analysis spans all nests, so its
+    // logical cache ledger also spans nests; here each nest's ledger
+    // starts fresh.)
+    DependenceTierStats Sum;
+    for (const NestOutcome &O : Outcomes) {
+      Sum.Pairs += O.Tiers.Pairs;
+      Sum.GcdIndependent += O.Tiers.GcdIndependent;
+      Sum.BanerjeeIndependent += O.Tiers.BanerjeeIndependent;
+      Sum.ExactTested += O.Tiers.ExactTested;
+      Sum.LogicalCacheHits += O.Tiers.LogicalCacheHits;
+      Sum.LogicalCacheMisses += O.Tiers.LogicalCacheMisses;
+      Sum.EliminationSteps += O.Tiers.EliminationSteps;
+    }
+    Sum.publishTo(*Observe.Metrics);
+  }
   if (Warnings) {
     for (NestOutcome &O : Outcomes)
       for (std::string &W : O.LPWarnings)

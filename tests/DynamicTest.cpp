@@ -88,7 +88,9 @@ TEST(DynamicTest, Figure5Components) {
   CostModel CM(P, M);
   // The paper assumes tiling is not practical for this example (the
   // dependences come from unknown g1/g2 subscripts): blocking off.
-  DynamicResult R = runDynamicDecomposition(P, CM, /*UseBlocking=*/false);
+  DynamicDecomposerOptions Opts;
+  Opts.UseBlocking = false;
+  DynamicResult R = runDynamicDecomposition(P, CM, Opts);
   // Figure 5(b): nests {0, 1, 3} form one component; nest 2 is alone.
   EXPECT_EQ(R.ComponentOf.at(0), R.ComponentOf.at(1));
   EXPECT_EQ(R.ComponentOf.at(0), R.ComponentOf.at(3));
@@ -142,8 +144,10 @@ TEST(DynamicTest, ForceSingleJoinsEverything) {
   Program P = compile(Fig5Src);
   MachineParams M;
   CostModel CM(P, M);
-  DynamicResult R = runDynamicDecomposition(P, CM, /*UseBlocking=*/false,
-                                            JoinPolicy::ForceSingle);
+  DynamicDecomposerOptions Opts;
+  Opts.UseBlocking = false;
+  Opts.Policy = JoinPolicy::ForceSingle;
+  DynamicResult R = runDynamicDecomposition(P, CM, Opts);
   EXPECT_EQ(R.ComponentOf.at(0), R.ComponentOf.at(2));
   EXPECT_TRUE(R.CutEdges.empty());
   // The price: everything is sequential in the single component.
@@ -154,8 +158,10 @@ TEST(DynamicTest, NeverJoinLeavesSingletons) {
   Program P = compile(Fig5Src);
   MachineParams M;
   CostModel CM(P, M);
-  DynamicResult R = runDynamicDecomposition(P, CM, /*UseBlocking=*/false,
-                                            JoinPolicy::NeverJoin);
+  DynamicDecomposerOptions Opts;
+  Opts.UseBlocking = false;
+  Opts.Policy = JoinPolicy::NeverJoin;
+  DynamicResult R = runDynamicDecomposition(P, CM, Opts);
   std::set<unsigned> Comps;
   for (const auto &[Nest, C] : R.ComponentOf)
     Comps.insert(C);
@@ -167,12 +173,14 @@ TEST(DynamicTest, GreedyBeatsExtremePoliciesOnFigure5) {
   Program P = compile(Fig5Src);
   MachineParams M;
   CostModel CM(P, M);
-  double Greedy =
-      runDynamicDecomposition(P, CM, false, JoinPolicy::Greedy).Value;
-  double Single =
-      runDynamicDecomposition(P, CM, false, JoinPolicy::ForceSingle).Value;
-  double Never =
-      runDynamicDecomposition(P, CM, false, JoinPolicy::NeverJoin).Value;
+  DynamicDecomposerOptions Opts;
+  Opts.UseBlocking = false;
+  Opts.Policy = JoinPolicy::Greedy;
+  double Greedy = runDynamicDecomposition(P, CM, Opts).Value;
+  Opts.Policy = JoinPolicy::ForceSingle;
+  double Single = runDynamicDecomposition(P, CM, Opts).Value;
+  Opts.Policy = JoinPolicy::NeverJoin;
+  double Never = runDynamicDecomposition(P, CM, Opts).Value;
   EXPECT_GE(Greedy, Single);
   EXPECT_GE(Greedy, Never);
 }

@@ -37,8 +37,8 @@ Result run(const std::string &Src) {
   Result R{compile(Src), {}};
   MachineParams M;
   R.PD = decompose(R.P, M);
-  for (const std::string &Issue : verifyDecomposition(R.P, R.PD))
-    ADD_FAILURE() << Issue;
+  for (const Diagnostic &D : verifyDecompositionDiagnostics(R.P, R.PD))
+    ADD_FAILURE() << D.str();
   return R;
 }
 

@@ -487,8 +487,8 @@ TEST(LintDecompTest, EmptyDecompositionNoLongerVerifiesVacuously) {
   ProgramDecomposition Empty;
   LintResult R = lintDecomp(P, Empty);
   EXPECT_GE(countPass(R, "decomp.coverage"), 2u) << renderLintText(R);
-  // The string shim inherits the fix.
-  EXPECT_FALSE(verifyDecomposition(P, Empty).empty());
+  // The diagnostics entry point inherits the fix.
+  EXPECT_FALSE(verifyDecompositionDiagnostics(P, Empty).empty());
 }
 
 TEST(LintDecompTest, MissingDataDecompositionBreaksSpmdCoverage) {

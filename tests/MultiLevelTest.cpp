@@ -90,8 +90,8 @@ for t = 1 to T {
   DriverOptions Opts;
   Opts.MultiLevel = true;
   ProgramDecomposition PD = decompose(P, M, Opts);
-  for (const std::string &Issue : verifyDecomposition(P, PD))
-    ADD_FAILURE() << Issue;
+  for (const Diagnostic &D : verifyDecompositionDiagnostics(P, PD))
+    ADD_FAILURE() << D.str();
   // The whole time loop keeps one static layout.
   EXPECT_TRUE(PD.isStatic());
 }
@@ -120,8 +120,9 @@ forall i = 0 to N { forall j = 0 to N {
 )");
   MachineParams M;
   CostModel CM(P, M);
-  DynamicResult R = runMultiLevelDynamicDecomposition(
-      P, CM, /*UseBlocking=*/false);
+  DynamicDecomposerOptions Opts;
+  Opts.UseBlocking = false;
+  DynamicResult R = runMultiLevelDynamicDecomposition(P, CM, Opts);
   // Same components as the paper / the flattened pass: {0, 1, 3} and {2}.
   EXPECT_EQ(R.ComponentOf.at(0), R.ComponentOf.at(1));
   EXPECT_EQ(R.ComponentOf.at(0), R.ComponentOf.at(3));

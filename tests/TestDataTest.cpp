@@ -50,8 +50,8 @@ TEST_P(TestDataTest, CompilesDecomposesAndVerifies) {
 
   MachineParams M;
   ProgramDecomposition PD = decompose(*P, M);
-  for (const std::string &Issue : verifyDecomposition(*P, PD))
-    ADD_FAILURE() << GetParam() << ": " << Issue;
+  for (const Diagnostic &D : verifyDecompositionDiagnostics(*P, PD))
+    ADD_FAILURE() << GetParam() << ": " << D.str();
   // Every shipped sample exposes at least one degree of parallelism.
   unsigned Total = 0;
   for (const auto &[NestId, CD] : PD.Comp) {

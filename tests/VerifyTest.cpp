@@ -97,9 +97,8 @@ TEST_P(VerifySuiteTest, DriverOutputIsConsistent) {
   Program P = compile(Suite[GetParam()]);
   MachineParams M;
   ProgramDecomposition PD = decompose(P, M);
-  std::vector<std::string> Issues = verifyDecomposition(P, PD);
-  for (const std::string &S : Issues)
-    ADD_FAILURE() << S;
+  for (const Diagnostic &D : verifyDecompositionDiagnostics(P, PD))
+    ADD_FAILURE() << D.str();
 }
 
 TEST_P(VerifySuiteTest, DriverOutputConsistentWithoutBlocking) {
@@ -108,8 +107,8 @@ TEST_P(VerifySuiteTest, DriverOutputConsistentWithoutBlocking) {
   DriverOptions Opts;
   Opts.EnableBlocking = false;
   ProgramDecomposition PD = decompose(P, M, Opts);
-  for (const std::string &S : verifyDecomposition(P, PD))
-    ADD_FAILURE() << S;
+  for (const Diagnostic &D : verifyDecompositionDiagnostics(P, PD))
+    ADD_FAILURE() << D.str();
 }
 
 TEST_P(VerifySuiteTest, DriverOutputConsistentWithoutOptimizations) {
@@ -119,8 +118,8 @@ TEST_P(VerifySuiteTest, DriverOutputConsistentWithoutOptimizations) {
   Opts.EnableReplication = false;
   Opts.EnableIdleProjection = false;
   ProgramDecomposition PD = decompose(P, M, Opts);
-  for (const std::string &S : verifyDecomposition(P, PD))
-    ADD_FAILURE() << S;
+  for (const Diagnostic &D : verifyDecompositionDiagnostics(P, PD))
+    ADD_FAILURE() << D.str();
 }
 
 INSTANTIATE_TEST_SUITE_P(Programs, VerifySuiteTest,
@@ -130,11 +129,11 @@ TEST(VerifyTest, DetectsCorruptedOrientation) {
   Program P = compile(Suite[0]);
   MachineParams M;
   ProgramDecomposition PD = decompose(P, M);
-  ASSERT_TRUE(verifyDecomposition(P, PD).empty());
+  ASSERT_TRUE(verifyDecompositionDiagnostics(P, PD).empty());
   // Corrupt one C matrix: Theorem 4.1 must trip.
   PD.Comp.begin()->second.C =
       PD.Comp.begin()->second.C.scaled(Rational(3));
-  EXPECT_FALSE(verifyDecomposition(P, PD).empty());
+  EXPECT_FALSE(verifyDecompositionDiagnostics(P, PD).empty());
 }
 
 TEST(VerifyTest, DetectsKernelMismatch) {
@@ -142,7 +141,7 @@ TEST(VerifyTest, DetectsKernelMismatch) {
   MachineParams M;
   ProgramDecomposition PD = decompose(P, M);
   PD.Comp.begin()->second.Kernel = VectorSpace::full(2);
-  EXPECT_FALSE(verifyDecomposition(P, PD).empty());
+  EXPECT_FALSE(verifyDecompositionDiagnostics(P, PD).empty());
 }
 
 TEST(VerifyTest, DetectsSplitDecompositionInComponent) {
@@ -156,5 +155,5 @@ TEST(VerifyTest, DetectsSplitDecompositionInComponent) {
   DataDecomposition DD = It->second;
   DD.D = DD.D.scaled(Rational(2));
   PD.Data[{Y, 1}] = DD;
-  EXPECT_FALSE(verifyDecomposition(P, PD).empty());
+  EXPECT_FALSE(verifyDecompositionDiagnostics(P, PD).empty());
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Regenerates testdata/observability/fig1_counters.golden.json after an
+# intentional change to what the pipeline publishes (see
+# TraceTest.StatsGoldenCountersForFig1 and docs/OBSERVABILITY.md).
+#
+# Usage: tests/update_observability_golden.sh [path-to-alpc]
+set -eu
+ALPC=${1:-build/tools/alpc}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+"$ALPC" "$ROOT/testdata/fig1.alp" --jobs 2 --stats=- |
+  python3 -c '
+import re, sys
+text = sys.stdin.read()
+m = re.search(r"\"counters\": ({[^}]*})", text)
+assert m, "no counters section in stats output"
+path = sys.argv[1]
+with open(path, "w") as f:
+    f.write(m.group(1) + "\n")
+print("wrote", path)
+' "$ROOT/testdata/observability/fig1_counters.golden.json"

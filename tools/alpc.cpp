@@ -4,32 +4,14 @@
 //
 //   alpc <file.alp> [options]
 //
-//   --no-local-phase     skip Wolf-Lam canonicalization
-//   --no-blocking        disable blocked (pipelined) decompositions
-//   --no-replication     disable read-only replication
-//   --no-projection      disable idle-processor projection
-//   --force-single       join every nest into one component
-//   --never-join         keep every nest in its own component
-//   --fuse               run the loop-fusion post-pass
-//   --spmd               print the generated SPMD pseudo-code
-//   --print-ir           print the canonicalized IR
-//   --deps               print the dependences of every nest
-//   --lint               run the alp-lint passes (forall race detector and
-//                        affine-model lints) instead of decomposing
-//   --verify             validate the decomposition (Theorem 4.1 matrix
-//                        invariants + SPMD communication coverage)
-//   --Werror             treat lint/verify warnings as errors
-//   --diagnostics-format=<text|json|sarif>
-//                        how --lint / --verify diagnostics are rendered
-//   --simulate           simulate on the NUMA machine (1..32 procs)
-//   --procs <n>          machine size for --simulate (default 32)
-//   --block <n>          pipeline block size (default 4)
-//   --max-fm <n>         cap live Fourier-Motzkin constraints (0 = off)
-//   --max-steps <n>      cap FM elimination steps (0 = off)
-//   --max-iters <n>      cap solver fixpoint iterations (0 = off)
-//   --deadline-ms <n>    wall-clock budget for the pipeline (0 = off)
-//   --jobs <n>           analysis worker threads (0 = all hardware
-//                        threads); output is identical for every value
+// Options are declared in a single table (see makeFlagTable below) that
+// drives parsing, --help generation, and unknown-flag errors. Every
+// value-taking flag accepts both "--flag=value" and "--flag value".
+//
+// Observability: --trace=<file> writes a Chrome trace-event JSON of the
+// pipeline's spans (load in chrome://tracing or Perfetto); --stats=<file>
+// writes the versioned stats JSON (counters, gauges, span aggregates);
+// "--stats=-" writes it to stdout.
 //
 // Exit codes: 0 success; 1 cannot open / parse / verify failure; 2 usage;
 // 3 decomposition failed outright; 4 success but degraded (some stage fell
@@ -48,30 +30,21 @@
 #include "ir/Printer.h"
 #include "machine/NumaSimulator.h"
 #include "machine/ScheduleDerivation.h"
+#include "support/Trace.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <sstream>
+#include <string>
+#include <vector>
 
 using namespace alp;
 
 namespace {
-
-void usage(const char *Prog) {
-  std::fprintf(stderr,
-               "usage: %s <file.alp> [--no-local-phase] [--no-blocking] "
-               "[--no-replication]\n"
-               "            [--no-projection] [--force-single] "
-               "[--never-join] [--multi-level] [--fuse]\n"
-               "            [--spmd] [--comm] [--verify] [--print-ir] [--deps] [--simulate] "
-               "[--procs N] [--block B]\n"
-               "            [--lint] [--Werror] "
-               "[--diagnostics-format=<text|json|sarif>]\n"
-               "            [--max-fm N] [--max-steps N] [--max-iters N] "
-               "[--deadline-ms N] [--jobs N]\n",
-               Prog);
-}
 
 enum class DiagFormat { Text, Json, Sarif };
 
@@ -88,13 +61,58 @@ std::string renderLint(const LintResult &R, DiagFormat Format,
   return "";
 }
 
+/// One command-line flag: parsing, help text, and the action it performs.
+/// Arg == nullptr marks a boolean flag ("--flag"); otherwise the flag
+/// takes a value ("--flag=<Arg>" or "--flag <Arg>"). Apply returns false
+/// when the value is malformed (usage error, exit 2).
+struct FlagSpec {
+  const char *Name; ///< Including the leading "--".
+  const char *Arg;  ///< Placeholder for help ("N", "file"), or nullptr.
+  const char *Help;
+  std::function<bool(const std::string &)> Apply;
+};
+
+bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty() || S[0] == '-')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+  if (errno != 0 || End == S.c_str() || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+void printHelp(const char *Prog, const std::vector<FlagSpec> &Table) {
+  std::printf("usage: %s <file.alp> [options]\n\n"
+              "Compiles an affine DSL program, decomposes it for a scalable\n"
+              "parallel machine, and reports the result.\n\n"
+              "Value flags accept both --flag=value and --flag value.\n\n"
+              "options:\n",
+              Prog);
+  size_t Width = 0;
+  auto Rendered = [](const FlagSpec &F) {
+    std::string S = F.Name;
+    if (F.Arg)
+      S += std::string("=<") + F.Arg + ">";
+    return S;
+  };
+  for (const FlagSpec &F : Table)
+    Width = std::max(Width, Rendered(F).size());
+  for (const FlagSpec &F : Table)
+    std::printf("  %-*s  %s\n", static_cast<int>(Width),
+                Rendered(F).c_str(), F.Help);
+}
+
+void usage(const char *Prog) {
+  std::fprintf(stderr, "usage: %s <file.alp> [options]  (see %s --help)\n",
+               Prog, Prog);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  if (argc < 2) {
-    usage(argv[0]);
-    return 2;
-  }
   const char *FileName = nullptr;
   DriverOptions Opts;
   bool DoSpmd = false, DoIr = false, DoDeps = false, DoSim = false;
@@ -106,83 +124,236 @@ int main(int argc, char **argv) {
   DiagFormat Format = DiagFormat::Text;
   unsigned Procs = 32;
   int64_t Block = 4;
+  std::string TracePath, StatsPath;
+
+  auto BoolFlag = [](bool &Target, bool Value) {
+    return [&Target, Value](const std::string &) {
+      Target = Value;
+      return true;
+    };
+  };
+  auto U64Flag = [](uint64_t &Target) {
+    return [&Target](const std::string &V) { return parseU64(V, Target); };
+  };
+
+  const std::vector<FlagSpec> Table = {
+      {"--no-local-phase", nullptr, "skip Wolf-Lam canonicalization",
+       BoolFlag(Opts.RunLocalPhase, false)},
+      {"--no-blocking", nullptr,
+       "disable blocked (pipelined) decompositions",
+       BoolFlag(Opts.EnableBlocking, false)},
+      {"--no-replication", nullptr, "disable read-only replication",
+       BoolFlag(Opts.EnableReplication, false)},
+      {"--no-projection", nullptr, "disable idle-processor projection",
+       BoolFlag(Opts.EnableIdleProjection, false)},
+      {"--force-single", nullptr, "join every nest into one component",
+       [&](const std::string &) {
+         Opts.Policy = JoinPolicy::ForceSingle;
+         return true;
+       }},
+      {"--never-join", nullptr, "keep every nest in its own component",
+       [&](const std::string &) {
+         Opts.Policy = JoinPolicy::NeverJoin;
+         return true;
+       }},
+      {"--multi-level", nullptr,
+       "decompose the loop-nest hierarchy level by level",
+       BoolFlag(Opts.MultiLevel, true)},
+      {"--fuse", nullptr, "run the loop-fusion post-pass",
+       BoolFlag(DoFuse, true)},
+      {"--spmd", nullptr, "print the generated SPMD pseudo-code",
+       BoolFlag(DoSpmd, true)},
+      {"--comm", nullptr, "print the communication analysis",
+       BoolFlag(DoComm, true)},
+      {"--print-ir", nullptr, "print the canonicalized IR",
+       BoolFlag(DoIr, true)},
+      {"--deps", nullptr, "print the dependences of every nest",
+       BoolFlag(DoDeps, true)},
+      {"--lint", nullptr,
+       "run the alp-lint passes (race detector and affine-model lints) "
+       "instead of decomposing",
+       BoolFlag(DoLint, true)},
+      {"--verify", nullptr,
+       "validate the decomposition (Theorem 4.1 invariants + SPMD "
+       "communication coverage)",
+       BoolFlag(DoVerify, true)},
+      {"--Werror", nullptr, "treat lint/verify warnings as errors",
+       BoolFlag(WError, true)},
+      {"--diagnostics-format", "text|json|sarif",
+       "how --lint / --verify diagnostics are rendered",
+       [&](const std::string &V) {
+         if (V == "text")
+           Format = DiagFormat::Text;
+         else if (V == "json")
+           Format = DiagFormat::Json;
+         else if (V == "sarif")
+           Format = DiagFormat::Sarif;
+         else {
+           std::fprintf(stderr, "unknown diagnostics format '%s'\n",
+                        V.c_str());
+           return false;
+         }
+         return true;
+       }},
+      {"--simulate", nullptr, "simulate on the NUMA machine (1..procs)",
+       BoolFlag(DoSim, true)},
+      {"--procs", "N", "machine size for --simulate (default 32)",
+       [&](const std::string &V) {
+         uint64_t U;
+         if (!parseU64(V, U))
+           return false;
+         Procs = static_cast<unsigned>(U);
+         return true;
+       }},
+      {"--block", "N", "pipeline block size (default 4)",
+       [&](const std::string &V) {
+         uint64_t U;
+         if (!parseU64(V, U))
+           return false;
+         Block = static_cast<int64_t>(U);
+         return true;
+       }},
+      {"--max-fm", "N",
+       "cap live Fourier-Motzkin constraints (0 = off)",
+       U64Flag(Opts.Budget.MaxFMConstraints)},
+      {"--max-steps", "N", "cap FM elimination steps (0 = off)",
+       U64Flag(Opts.Budget.MaxEliminationSteps)},
+      {"--max-iters", "N", "cap solver fixpoint iterations (0 = off)",
+       U64Flag(Opts.Budget.MaxSolverIterations)},
+      {"--deadline-ms", "N",
+       "wall-clock budget for the pipeline (0 = off)",
+       U64Flag(Opts.DeadlineMs)},
+      {"--jobs", "N",
+       "analysis worker threads (0 = all hardware threads); output is "
+       "identical for every value",
+       [&](const std::string &V) {
+         uint64_t U;
+         if (!parseU64(V, U))
+           return false;
+         Opts.Jobs = static_cast<unsigned>(U);
+         return true;
+       }},
+      {"--trace", "file",
+       "write a Chrome trace-event JSON of the pipeline's spans",
+       [&](const std::string &V) {
+         TracePath = V;
+         return true;
+       }},
+      {"--stats", "file",
+       "write the versioned stats JSON (counters / gauges / span "
+       "aggregates); '-' writes to stdout",
+       [&](const std::string &V) {
+         StatsPath = V;
+         return true;
+       }},
+  };
+
+  if (argc < 2) {
+    usage(argv[0]);
+    return 2;
+  }
   for (int I = 1; I != argc; ++I) {
-    const char *A = argv[I];
-    if (!std::strcmp(A, "--no-local-phase"))
-      Opts.RunLocalPhase = false;
-    else if (!std::strcmp(A, "--no-blocking"))
-      Opts.EnableBlocking = false;
-    else if (!std::strcmp(A, "--no-replication"))
-      Opts.EnableReplication = false;
-    else if (!std::strcmp(A, "--no-projection"))
-      Opts.EnableIdleProjection = false;
-    else if (!std::strcmp(A, "--force-single"))
-      Opts.Policy = JoinPolicy::ForceSingle;
-    else if (!std::strcmp(A, "--never-join"))
-      Opts.Policy = JoinPolicy::NeverJoin;
-    else if (!std::strcmp(A, "--multi-level"))
-      Opts.MultiLevel = true;
-    else if (!std::strcmp(A, "--fuse"))
-      DoFuse = true;
-    else if (!std::strcmp(A, "--spmd"))
-      DoSpmd = true;
-    else if (!std::strcmp(A, "--comm"))
-      DoComm = true;
-    else if (!std::strcmp(A, "--verify"))
-      DoVerify = true;
-    else if (!std::strcmp(A, "--lint"))
-      DoLint = true;
-    else if (!std::strcmp(A, "--Werror"))
-      WError = true;
-    else if (!std::strncmp(A, "--diagnostics-format=", 21)) {
-      const char *F = A + 21;
-      if (!std::strcmp(F, "text"))
-        Format = DiagFormat::Text;
-      else if (!std::strcmp(F, "json"))
-        Format = DiagFormat::Json;
-      else if (!std::strcmp(F, "sarif"))
-        Format = DiagFormat::Sarif;
-      else {
-        std::fprintf(stderr, "unknown diagnostics format '%s'\n", F);
+    std::string A = argv[I];
+    if (A == "--help" || A == "-h") {
+      printHelp(argv[0], Table);
+      return 0;
+    }
+    if (A.rfind("--", 0) != 0) {
+      if (!A.empty() && A[0] == '-') {
+        std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
         usage(argv[0]);
         return 2;
       }
+      FileName = argv[I];
+      continue;
     }
-    else if (!std::strcmp(A, "--print-ir"))
-      DoIr = true;
-    else if (!std::strcmp(A, "--deps"))
-      DoDeps = true;
-    else if (!std::strcmp(A, "--simulate"))
-      DoSim = true;
-    else if (!std::strcmp(A, "--procs") && I + 1 < argc)
-      Procs = static_cast<unsigned>(std::atoi(argv[++I]));
-    else if (!std::strcmp(A, "--block") && I + 1 < argc)
-      Block = std::atoll(argv[++I]);
-    else if (!std::strcmp(A, "--max-fm") && I + 1 < argc)
-      Opts.Budget.MaxFMConstraints =
-          static_cast<uint64_t>(std::atoll(argv[++I]));
-    else if (!std::strcmp(A, "--max-steps") && I + 1 < argc)
-      Opts.Budget.MaxEliminationSteps =
-          static_cast<uint64_t>(std::atoll(argv[++I]));
-    else if (!std::strcmp(A, "--max-iters") && I + 1 < argc)
-      Opts.Budget.MaxSolverIterations =
-          static_cast<uint64_t>(std::atoll(argv[++I]));
-    else if (!std::strcmp(A, "--deadline-ms") && I + 1 < argc)
-      Opts.DeadlineMs = static_cast<uint64_t>(std::atoll(argv[++I]));
-    else if (!std::strcmp(A, "--jobs") && I + 1 < argc)
-      Opts.Jobs = static_cast<unsigned>(std::atoi(argv[++I]));
-    else if (A[0] == '-') {
-      std::fprintf(stderr, "unknown option '%s'\n", A);
+    std::string Name = A, Value;
+    bool HasValue = false;
+    if (size_t Eq = A.find('='); Eq != std::string::npos) {
+      Name = A.substr(0, Eq);
+      Value = A.substr(Eq + 1);
+      HasValue = true;
+    }
+    const FlagSpec *Spec = nullptr;
+    for (const FlagSpec &F : Table)
+      if (Name == F.Name) {
+        Spec = &F;
+        break;
+      }
+    if (!Spec) {
+      std::fprintf(stderr, "unknown option '%s'\n", Name.c_str());
       usage(argv[0]);
       return 2;
-    } else {
-      FileName = A;
+    }
+    if (!Spec->Arg) {
+      if (HasValue) {
+        std::fprintf(stderr, "option '%s' takes no value\n", Name.c_str());
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (!HasValue) {
+      if (I + 1 == argc) {
+        std::fprintf(stderr, "option '%s' requires a value\n", Name.c_str());
+        usage(argv[0]);
+        return 2;
+      }
+      Value = argv[++I];
+    }
+    if (!Spec->Apply(Value)) {
+      std::fprintf(stderr, "invalid value '%s' for option '%s'\n",
+                   Value.c_str(), Name.c_str());
+      usage(argv[0]);
+      return 2;
     }
   }
   if (!FileName) {
     usage(argv[0]);
     return 2;
   }
+
+  // Observability sinks. Both stay empty-cost when the flags are absent:
+  // Opts.Observe carries null pointers, so every span and counter in the
+  // pipeline reduces to a pointer test.
+  Tracer Trace;
+  MetricsRegistry Metrics;
+  const bool Observing = !TracePath.empty() || !StatsPath.empty();
+  TraceContext Observe;
+  if (Observing) {
+    Observe.Trace = &Trace;
+    Observe.Metrics = &Metrics;
+  }
+  Opts.Observe = Observe;
+
+  // Writes --trace / --stats output; called on every exit path that runs
+  // after the front end. Returns false on I/O failure.
+  auto WriteObservability = [&]() -> bool {
+    if (!Observing)
+      return true;
+    if (!TracePath.empty()) {
+      std::ofstream Out(TracePath);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                     TracePath.c_str());
+        return false;
+      }
+      Trace.writeChromeTrace(Out);
+    }
+    if (!StatsPath.empty()) {
+      std::string Json = renderStatsJson(&Metrics, &Trace);
+      if (StatsPath == "-") {
+        std::printf("%s", Json.c_str());
+      } else {
+        std::ofstream Out(StatsPath);
+        if (!Out) {
+          std::fprintf(stderr, "error: cannot write stats file '%s'\n",
+                       StatsPath.c_str());
+          return false;
+        }
+        Out << Json;
+      }
+    }
+    return true;
+  };
 
   std::ifstream In(FileName);
   if (!In) {
@@ -193,7 +364,11 @@ int main(int argc, char **argv) {
   Buf << In.rdbuf();
 
   DiagnosticEngine Diags;
-  std::optional<Program> Prog = compileDsl(Buf.str(), Diags);
+  std::optional<Program> Prog;
+  {
+    TraceSpan FrontendSpan(Observe.Trace, "frontend.compile");
+    Prog = compileDsl(Buf.str(), Diags);
+  }
   for (const Diagnostic &D : Diags.diagnostics())
     std::fprintf(stderr, "%s:%s\n", FileName, D.str().c_str());
   if (!Prog)
@@ -210,8 +385,14 @@ int main(int argc, char **argv) {
     LO.CheckDecomposition = false;
     LO.BlockSize = Block;
     LO.Budget = &Budget;
-    LintResult R = runLintPasses(P, nullptr, LO);
+    LintResult R;
+    {
+      TraceSpan LintSpan(Observe.Trace, "lint.run");
+      R = runLintPasses(P, nullptr, LO);
+    }
     std::printf("%s", renderLint(R, Format, FileName).c_str());
+    if (!WriteObservability())
+      return 1;
     return R.hasErrors() || (WError && R.hasWarnings()) ? 1 : 0;
   }
 
@@ -231,15 +412,19 @@ int main(int argc, char **argv) {
   };
 
   ProgramDecomposition PD;
-  if (!RunDecompose(PD))
+  if (!RunDecompose(PD)) {
+    WriteObservability();
     return 3;
+  }
   if (DoFuse) {
     unsigned N = fuseCompatibleNests(P, &PD);
     std::printf("fused %u nest pair(s)\n", N);
     // Decompose again on the fused program (decompositions per nest id
     // may have been merged).
-    if (!RunDecompose(PD))
+    if (!RunDecompose(PD)) {
+      WriteObservability();
       return 3;
+    }
   }
 
   if (DoIr)
@@ -258,7 +443,7 @@ int main(int argc, char **argv) {
   std::printf("%s", printDecomposition(P, PD).c_str());
 
   if (DoSpmd)
-    std::printf("\n=== SPMD ===\n%s", emitSpmd(P, PD, Block).c_str());
+    std::printf("\n=== SPMD ===\n%s", emitSpmd(P, PD, Block, Observe).c_str());
 
   if (DoComm) {
     CommSummary CS = analyzeCommunication(P, PD, Block);
@@ -276,23 +461,31 @@ int main(int argc, char **argv) {
     LO.CheckModel = false;
     LO.BlockSize = Block;
     LO.Budget = &Budget;
-    LintResult R = runLintPasses(P, &PD, LO);
+    LintResult R;
+    {
+      TraceSpan VerifySpan(Observe.Trace, "lint.verify");
+      R = runLintPasses(P, &PD, LO);
+    }
     bool Bad = R.hasErrors() || (WError && R.hasWarnings());
     if (Format != DiagFormat::Text) {
       std::printf("%s", renderLint(R, Format, FileName).c_str());
-      if (Bad)
+      if (Bad) {
+        WriteObservability();
         return 1;
+      }
     } else if (!Bad) {
       std::printf("\nverify: all decomposition invariants hold\n");
     } else {
       for (const Diagnostic &D : R.Diags)
         std::fprintf(stderr, "verify: %s\n", D.strWithNotes().c_str());
+      WriteObservability();
       return 1;
     }
   }
 
   if (DoSim) {
     NumaSimulator Sim(P, M);
+    Sim.setObserve(Observe);
     applyDecomposition(Sim, P, PD, Block);
     double Seq = Sim.sequentialCycles();
     std::printf("\n=== simulation (machine: %u procs) ===\n", Procs);
@@ -305,6 +498,8 @@ int main(int argc, char **argv) {
                   R.SyncCycles, R.RemoteLineFetches);
     }
   }
+  if (!WriteObservability())
+    return 1;
   if (PD.degraded()) {
     std::fprintf(stderr, "%s", PD.degradationReport().c_str());
     std::fprintf(stderr,
