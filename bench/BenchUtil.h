@@ -96,6 +96,29 @@ for i1 = 1 to N {
 )";
 }
 
+/// Two-buffer Jacobi relaxation (examples/jacobi.alp, parameterized):
+/// race-free forall sweeps whose only communication is one boundary
+/// layer per neighbor per time step.
+inline std::string jacobiSource(int64_t N, int64_t T) {
+  return R"(
+program jacobi;
+param N = )" + std::to_string(N) + R"(, T = )" + std::to_string(T) + R"(;
+array A[N + 2, N + 2], B[N + 2, N + 2];
+for t = 1 to T {
+  forall i = 1 to N {
+    forall j = 1 to N {
+      B[i, j] = f(A[i - 1, j], A[i + 1, j], A[i, j - 1], A[i, j + 1]) @cost(8);
+    }
+  }
+  forall i = 1 to N {
+    forall j = 1 to N {
+      A[i, j] = B[i, j] @cost(2);
+    }
+  }
+}
+)";
+}
+
 /// The four-point difference operator of Sec. 5 (Figure 3).
 inline std::string stencilSource(int64_t N) {
   return R"(

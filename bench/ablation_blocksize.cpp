@@ -45,8 +45,10 @@ int main() {
   std::vector<double> Speedups;
   std::vector<int64_t> Blocks = {1, 2, 4, 8, 16, 64, 256};
   for (int64_t B : Blocks) {
-    NumaSimulator Sim(P, M);
-    applyDecomposition(Sim, P, PD, B);
+    MachineParams MB = M;
+    MB.BlockSize = B;
+    NumaSimulator Sim(P, MB);
+    applyDecomposition(Sim, P, PD);
     SimResult R = Sim.run(32);
     double S = Seq / R.Cycles;
     Speedups.push_back(S);

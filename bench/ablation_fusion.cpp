@@ -35,7 +35,7 @@ std::string chainProgram(unsigned K, int64_t N) {
 double simulate(Program &P, const MachineParams &M,
                 const ProgramDecomposition &PD) {
   NumaSimulator Sim(P, M);
-  applyDecomposition(Sim, P, PD, M.BlockSize);
+  applyDecomposition(Sim, P, PD);
   return Sim.run(32).Cycles;
 }
 

@@ -19,4 +19,5 @@ alp_add_bench(perf_dependence alp_transform alp_frontend)
 alp_add_bench(ablation_blocksize alp_machine alp_frontend)
 alp_add_bench(perf_simulator alp_machine alp_frontend benchmark::benchmark)
 alp_add_bench(ablation_fusion alp_machine alp_frontend)
-alp_add_bench(ext_multicomputer alp_machine alp_frontend)
+alp_add_bench(ext_multicomputer alp_codegen alp_frontend)
+alp_add_bench(perf_comm alp_codegen alp_frontend)

@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "codegen/CommPlan.h"
 #include "core/Driver.h"
 #include "machine/NumaSimulator.h"
 #include "machine/ScheduleDerivation.h"
@@ -57,7 +58,12 @@ double runCompiler(Program P, const MachineParams &M, unsigned Procs,
   Opts.EnableBlocking = EnableBlocking;
   ProgramDecomposition PD = decompose(P, M, Opts);
   NumaSimulator Sim(P, M);
-  applyDecomposition(Sim, P, PD, M.BlockSize);
+  if (M.MessagePassing)
+    // The multicomputer backend would execute the planned bulk schedule,
+    // so that is what the measurement costs.
+    Sim.setCommSchedule(
+        planCommunication(P, PD, CodegenOptions::forMachine(M)).schedule());
+  applyDecomposition(Sim, P, PD);
   return Sim.run(Procs).Cycles;
 }
 

@@ -95,7 +95,7 @@ double runCompiler(Program P, const MachineParams &M, unsigned Procs,
   Opts.EnableBlocking = EnableBlocking;
   ProgramDecomposition PD = decompose(P, M, Opts);
   NumaSimulator Sim(P, M);
-  applyDecomposition(Sim, P, PD, M.BlockSize);
+  applyDecomposition(Sim, P, PD);
   return Sim.run(Procs).Cycles;
 }
 

@@ -54,7 +54,7 @@ int main() {
     std::printf("--- %s ---\n%s", Label,
                 printDecomposition(P, PD).c_str());
     NumaSimulator Sim(P, M);
-    applyDecomposition(Sim, P, PD, M.BlockSize);
+    applyDecomposition(Sim, P, PD);
     double Seq = Sim.sequentialCycles();
     std::printf("    speedups: ");
     for (unsigned Procs : {8u, 16u, 32u})

@@ -67,7 +67,7 @@ for t = 1 to T {
 
   // Simulate: compiler decomposition vs misaligned pages.
   NumaSimulator Good(P, M);
-  applyDecomposition(Good, P, PD, M.BlockSize);
+  applyDecomposition(Good, P, PD);
   NumaSimulator Naive(P, M);
   for (unsigned A = 0; A != P.Arrays.size(); ++A)
     Naive.setStaticPlacement(A, ArrayPlacement::blockedDim(1));

@@ -65,7 +65,7 @@ forall i = 0 to N {
               PDNo.compOf(0).parallelismDegree());
 
   NumaSimulator Sim(P, M);
-  applyDecomposition(Sim, P, PD, M.BlockSize);
+  applyDecomposition(Sim, P, PD);
   double Seq = Sim.sequentialCycles();
   std::printf("\nsimulated speedups: ");
   for (unsigned Procs : {8u, 16u, 32u})

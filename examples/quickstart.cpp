@@ -7,9 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "codegen/SpmdEmitter.h"
-#include "core/Driver.h"
-#include "frontend/Lowering.h"
+#include "alp.h"
 #include "ir/Printer.h"
 
 #include <cstdio>

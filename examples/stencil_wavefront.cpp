@@ -68,7 +68,7 @@ for i1 = 1 to N - 1 {
 
   // Simulated wavefront execution.
   NumaSimulator Sim(P, M);
-  applyDecomposition(Sim, P, PD, M.BlockSize);
+  applyDecomposition(Sim, P, PD);
   double Seq = Sim.sequentialCycles();
   std::printf("\nsimulated doacross speedup over sequential:\n");
   for (unsigned Procs : {4u, 8u, 16u, 32u})

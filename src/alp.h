@@ -1,0 +1,35 @@
+//===- alp.h - Umbrella header for the alp compiler -------------*- C++ -*-===//
+///
+/// \file
+/// The one header an embedding application needs: the frontend, the
+/// decomposition driver, the unified codegen API (CodegenOptions feeding
+/// the communication analysis, the message planner, and the SPMD
+/// emitter), and the machine layer (simulator + schedule derivation).
+///
+///   Program P = *compileDsl(Source, Diags);           // frontend
+///   ProgramDecomposition PD = decompose(P, M);        // driver
+///   CodegenOptions CG = CodegenOptions::forMachine(M);
+///   std::string Spmd = emitSpmd(P, PD, CG);           // codegen
+///   CommPlan Plan = planCommunication(P, PD, CG);     // planner
+///   NumaSimulator Sim(P, M);                          // machine
+///   Sim.setCommSchedule(Plan.schedule());
+///   applyDecomposition(Sim, P, PD);
+///
+/// Finer-grained headers remain available for targeted includes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_ALP_H
+#define ALP_ALP_H
+
+#include "codegen/CodegenOptions.h"
+#include "codegen/CommAnalysis.h"
+#include "codegen/CommPlan.h"
+#include "codegen/SpmdEmitter.h"
+#include "core/Driver.h"
+#include "frontend/Lowering.h"
+#include "machine/CommSchedule.h"
+#include "machine/NumaSimulator.h"
+#include "machine/ScheduleDerivation.h"
+
+#endif // ALP_ALP_H

@@ -57,6 +57,11 @@ struct LintOptions {
   bool CheckDecomposition = true;
   /// Block size forwarded to CommAnalysis / the SPMD emitter.
   int64_t BlockSize = 4;
+  /// Block size the derived execution schedules were built with, when the
+  /// caller derived them separately (0 = same as BlockSize). The decomp
+  /// pass warns when the two diverge: emitted pipelined code and the
+  /// machine schedule would disagree about block boundaries.
+  int64_t ScheduleBlockSize = 0;
   /// Shared solver budget; nullptr = unlimited.
   ResourceBudget *Budget = nullptr;
 };

@@ -49,6 +49,22 @@ public:
       Out.FixIt = std::move(D.FixIt);
     }
 
+    // Single-source-of-truth check: the block size the schedules were
+    // derived with must match the one codegen will emit with
+    // (MachineParams.BlockSize threads through both; a divergence means
+    // someone bypassed it).
+    const LintOptions &LO = Ctx.options();
+    if (LO.ScheduleBlockSize != 0 &&
+        LO.ScheduleBlockSize != LO.BlockSize) {
+      std::ostringstream OS;
+      OS << "schedule was derived with block size " << LO.ScheduleBlockSize
+         << " but code generation uses block size " << LO.BlockSize
+         << "; pipelined block boundaries will disagree with the machine "
+            "schedule";
+      Ctx.report(Diagnostic::Kind::Warning, "decomp.block-size-divergence",
+                 SourceLoc(), OS.str());
+    }
+
     // SPMD coverage only makes sense over a structurally valid result:
     // the emitter fatals outright on a nest with no computation
     // decomposition, and the coverage diagnostics above already flag it.
@@ -69,8 +85,9 @@ public:
 private:
   void checkSpmdCoverage(LintContext &Ctx, const Program &P,
                          const ProgramDecomposition &PD) {
-    CommSummary Comm =
-        analyzeCommunication(P, PD, Ctx.options().BlockSize);
+    CodegenOptions CG;
+    CG.BlockSize = Ctx.options().BlockSize;
+    CommSummary Comm = analyzeCommunication(P, PD, CG);
 
     // (a) Every access of every nest must have a classification.
     std::set<std::tuple<unsigned, unsigned, unsigned, unsigned>> Classified;
@@ -95,8 +112,8 @@ private:
     }
 
     // (b)/(c) Reorganization points vs emitted reorganize() calls.
-    std::set<std::string> Emitted = emittedReorganizations(
-        emitSpmd(P, PD, Ctx.options().BlockSize));
+    std::set<std::string> Emitted =
+        emittedReorganizations(emitSpmd(P, PD, CG));
     std::set<std::string> Recorded;
     for (const ReorganizationPoint &RP : PD.Reorganizations)
       Recorded.insert(P.array(RP.ArrayId).Name);

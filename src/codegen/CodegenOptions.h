@@ -1,0 +1,66 @@
+//===- codegen/CodegenOptions.h - Shared backend options --------*- C++ -*-===//
+///
+/// \file
+/// One option struct for the whole backend surface — the SPMD emitter,
+/// the communication classifier, and the communication planner — in the
+/// style of DriverOptions: callers configure a CodegenOptions once and
+/// hand it to every pass instead of threading positional knobs.
+///
+/// Block-size discipline: MachineParams is the single source of truth.
+/// Construct options with CodegenOptions::forMachine(M) so the emitter,
+/// the classifier, the planner, and the schedule derivation all agree on
+/// M.BlockSize; alp-lint flags divergent block sizes between a derived
+/// schedule and its emission (decomp.block-size-divergence).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_CODEGEN_CODEGENOPTIONS_H
+#define ALP_CODEGEN_CODEGENOPTIONS_H
+
+#include "core/CostModel.h"
+#include "support/Trace.h"
+
+#include <cstdint>
+
+namespace alp {
+
+/// Options shared by emitSpmd, analyzeCommunication, and
+/// planCommunication.
+struct CodegenOptions {
+  /// Pipeline block size (strip length of blocked doacross loops).
+  int64_t BlockSize = 4;
+
+  /// Planner: merge same-offset nearest-neighbor / pipelined shifts of
+  /// one array in one nest into a single bulk message per boundary.
+  bool AggregateShifts = true;
+  /// Planner: hoist loop-invariant broadcasts of replicated read-only
+  /// arrays out of every nest into one program prologue broadcast.
+  bool HoistBroadcasts = true;
+  /// Planner: drop a redistribution when consecutive nests keep an array
+  /// in the same layout (the transfer would move nothing).
+  bool ElideRedundantTransfers = true;
+  /// Planner: overlap pipelined block-boundary sends with the next
+  /// block's compute (isend; only the pipeline fill pays the latency).
+  bool OverlapPipelined = true;
+
+  /// Emitter: render the planned schedule as explicit message operations
+  /// (bcast / send / recv / isend / redistribute) instead of the
+  /// placement-directive pseudo-code.
+  bool EmitMessages = false;
+
+  /// Observability sink (spans + counters), copied by value like
+  /// DriverOptions::Observe.
+  TraceContext Observe;
+
+  /// The canonical constructor: options consistent with machine \p M
+  /// (today that is the block size; machine presets may grow).
+  static CodegenOptions forMachine(const MachineParams &M) {
+    CodegenOptions Opts;
+    Opts.BlockSize = M.BlockSize;
+    return Opts;
+  }
+};
+
+} // namespace alp
+
+#endif // ALP_CODEGEN_CODEGENOPTIONS_H

@@ -101,8 +101,8 @@ unsigned distributedLoop(const LoopNest &Nest, const Matrix &C) {
 
 CommSummary alp::analyzeCommunication(const Program &P,
                                       const ProgramDecomposition &PD,
-                                      int64_t BlockSize) {
-  (void)BlockSize;
+                                      const CodegenOptions &Opts) {
+  TraceSpan Span(Opts.Observe.Trace, "codegen.comm_analysis");
   CommSummary Summary;
   for (unsigned NestId : P.nestsInOrder()) {
     const LoopNest &Nest = P.nest(NestId);
@@ -128,6 +128,7 @@ CommSummary alp::analyzeCommunication(const Program &P,
         Op.AccessIdx = AI;
         Op.ArrayId = A.ArrayId;
         Op.IsWrite = A.IsWrite;
+        Op.Frequency = std::max(Nest.ExecCount * Nest.Probability, 0.0);
 
         // Replicated read-only data: a broadcast keeps reads local.
         bool Replicated = PD.ReplicatedDims.count(A.ArrayId) &&
@@ -196,6 +197,8 @@ CommSummary alp::analyzeCommunication(const Program &P,
     Op.ArrayId = RP.ArrayId;
     Op.Kind = CommKind::Reorganization;
     Op.ElementsPerExecution = arrayElements(P, RP.ArrayId);
+    Op.Frequency = std::max(RP.Frequency, 0.0);
+    Op.CrossNest = true;
     Summary.Ops.push_back(std::move(Op));
   }
   return Summary;

@@ -31,6 +31,7 @@
 #ifndef ALP_CODEGEN_COMMANALYSIS_H
 #define ALP_CODEGEN_COMMANALYSIS_H
 
+#include "codegen/CodegenOptions.h"
 #include "core/Decomposition.h"
 #include "ir/Program.h"
 
@@ -62,6 +63,12 @@ struct CommOp {
   SymVector Offset;
   /// Estimated elements moved per execution of the nest (0 for Local).
   double ElementsPerExecution = 0.0;
+  /// Executions per program run: the nest's profile count, or the
+  /// recorded frequency for cross-nest reorganizations.
+  double Frequency = 1.0;
+  /// True for reorganizations on communication-graph edges between nests
+  /// (PD.Reorganizations) rather than on a single access.
+  bool CrossNest = false;
 
   std::string str(const Program &P) const;
 };
@@ -81,11 +88,11 @@ struct CommSummary {
   std::string report(const Program &P) const;
 };
 
-/// Classifies every access of every nest under \p PD. \p BlockSize scales
-/// pipelined/nearest-neighbor volume estimates.
+/// Classifies every access of every nest under \p PD. \p Opts supplies
+/// the block size (volume estimates of blocked nests) and observability.
 CommSummary analyzeCommunication(const Program &P,
                                  const ProgramDecomposition &PD,
-                                 int64_t BlockSize = 4);
+                                 const CodegenOptions &Opts = {});
 
 } // namespace alp
 

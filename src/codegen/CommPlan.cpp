@@ -1,0 +1,360 @@
+//===- codegen/CommPlan.cpp - Communication planning -------------------------===//
+
+#include "codegen/CommPlan.h"
+
+#include "machine/ScheduleDerivation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace alp;
+
+const char *alp::plannedMsgKindName(PlannedMsgKind K) {
+  switch (K) {
+  case PlannedMsgKind::Shift:
+    return "shift";
+  case PlannedMsgKind::BlockBoundary:
+    return "block-boundary";
+  case PlannedMsgKind::Broadcast:
+    return "broadcast";
+  case PlannedMsgKind::Redistribute:
+    return "redistribute";
+  }
+  return "?";
+}
+
+std::string PlannedMessage::str(const Program &P) const {
+  std::ostringstream OS;
+  if (NestId == ~0u)
+    OS << "prologue";
+  else
+    OS << "nest " << NestId;
+  OS << " " << P.array(ArrayId).Name << ": " << plannedMsgKindName(Kind);
+  if (Kind == PlannedMsgKind::Shift || Kind == PlannedMsgKind::BlockBoundary)
+    OS << " offset " << Offset.str();
+  OS << ", " << MessagesPerExecution << " msg/exec x ~" << ElementsPerMessage
+     << " elems";
+  if (FoldedOps > 1)
+    OS << " (folds " << FoldedOps << " ops)";
+  if (Hoisted)
+    OS << " [hoisted]";
+  if (Overlapped)
+    OS << " [overlapped]";
+  return OS.str();
+}
+
+const std::vector<PlannedMessage> &CommPlan::opsFor(unsigned NestId) const {
+  static const std::vector<PlannedMessage> Empty;
+  auto It = PerNest.find(NestId);
+  return It == PerNest.end() ? Empty : It->second;
+}
+
+unsigned CommPlan::size() const {
+  unsigned N = static_cast<unsigned>(Prologue.size());
+  for (const auto &[Id, Ops] : PerNest)
+    N += static_cast<unsigned>(Ops.size());
+  return N;
+}
+
+std::string CommPlan::report(const Program &P) const {
+  std::ostringstream OS;
+  OS << "communication plan:\n";
+  for (const PlannedMessage &M : Prologue)
+    OS << "  " << M.str(P) << '\n';
+  for (const auto &[Id, Ops] : PerNest)
+    for (const PlannedMessage &M : Ops)
+      OS << "  " << M.str(P) << '\n';
+  OS << "  totals: " << Stats.Messages << " messages, " << Stats.Elements
+     << " elements (from " << Stats.FineGrainedOps << " fine-grained ops: "
+     << Stats.Aggregated << " aggregated, " << Stats.Hoisted << " hoisted, "
+     << Stats.Eliminated << " eliminated)\n";
+  return OS.str();
+}
+
+void CommPlan::publishTo(TraceContext Observe) const {
+  Observe.count("comm.messages", Stats.Messages);
+  Observe.count("comm.elements", Stats.Elements);
+  Observe.count("comm.aggregated", Stats.Aggregated);
+  Observe.count("comm.hoisted", Stats.Hoisted);
+  Observe.count("comm.eliminated", Stats.Eliminated);
+  Observe.count("comm.fine_grained_ops", Stats.FineGrainedOps);
+}
+
+CommSchedule CommPlan::schedule() const {
+  auto Lower = [](const PlannedMessage &M) {
+    CommScheduleOp Op;
+    switch (M.Kind) {
+    case PlannedMsgKind::Shift:
+      Op.OpKind = CommScheduleOp::Kind::Shift;
+      break;
+    case PlannedMsgKind::BlockBoundary:
+      Op.OpKind = CommScheduleOp::Kind::BlockBoundary;
+      break;
+    case PlannedMsgKind::Broadcast:
+      Op.OpKind = CommScheduleOp::Kind::Broadcast;
+      break;
+    case PlannedMsgKind::Redistribute:
+      Op.OpKind = CommScheduleOp::Kind::Redistribute;
+      break;
+    }
+    Op.ArrayId = M.ArrayId;
+    Op.MessagesPerExecution = M.MessagesPerExecution;
+    Op.ElementsPerMessage = M.ElementsPerMessage;
+    Op.Overlapped = M.Overlapped;
+    Op.CrossNest = M.CrossNest;
+    return Op;
+  };
+  CommSchedule CS;
+  for (const PlannedMessage &M : Prologue)
+    CS.Prologue.push_back(Lower(M));
+  for (const auto &[Id, Ops] : PerNest)
+    for (const PlannedMessage &M : Ops)
+      CS.PerNest[Id].push_back(Lower(M));
+  return CS;
+}
+
+namespace {
+
+double arrayElements(const Program &P, unsigned ArrayId) {
+  double Elems = 1.0;
+  for (const SymAffine &Dim : P.array(ArrayId).DimSizes) {
+    Rational V = Dim.evaluate(P.SymbolBindings);
+    Elems *= std::max<double>(
+        static_cast<double>(V.num()) / static_cast<double>(V.den()), 1.0);
+  }
+  return Elems;
+}
+
+/// The layout signature the emitter uses to decide whether a transfer
+/// moves anything: replication status, or (D, delta) at the nest.
+std::string layoutKey(const Program &P, const ProgramDecomposition &PD,
+                      unsigned ArrayId, unsigned NestId) {
+  if (PD.ReplicatedDims.count(ArrayId) &&
+      PD.ReplicatedDims.at(ArrayId) > 0)
+    return "replicated";
+  auto It = PD.Data.find({ArrayId, NestId});
+  if (It == PD.Data.end())
+    return "unplaced";
+  return It->second.D.str() + " / " + It->second.Delta.str();
+}
+
+uint64_t roundCount(double V) {
+  return V <= 0 ? 0 : static_cast<uint64_t>(std::llround(V));
+}
+
+} // namespace
+
+CommPlan alp::planCommunication(const Program &P,
+                                const ProgramDecomposition &PD,
+                                const CodegenOptions &Opts) {
+  TraceSpan Span(Opts.Observe.Trace, "codegen.plan_comm");
+  CommPlan Plan;
+
+  CodegenOptions AnalysisOpts = Opts;
+  AnalysisOpts.Observe = {}; // One span/counter set per planner call.
+  CommSummary CS = analyzeCommunication(P, PD, AnalysisOpts);
+
+  // Grouping state, keyed deterministically (ids and offset strings).
+  struct ShiftGroup {
+    PlannedMessage Msg;
+    double Frequency = 1.0;
+  };
+  // (NestId, ArrayId, Offset.str()) -> aggregated shift/boundary message.
+  std::map<std::tuple<unsigned, unsigned, std::string>, ShiftGroup> Shifts;
+  // Broadcast ops per array (hoisting) or per (nest, array).
+  std::map<unsigned, unsigned> BroadcastFolds; // ArrayId -> folded ops.
+  std::map<std::pair<unsigned, unsigned>, ShiftGroup> NestBroadcasts;
+  // Access-level (intra-nest) reorganizations per (nest, array).
+  std::map<std::pair<unsigned, unsigned>, ShiftGroup> Redists;
+  unsigned Seq = 0; // Tie-break: first-seen order within a nest.
+  std::map<std::tuple<unsigned, unsigned, std::string>, unsigned> ShiftSeq;
+
+  for (const CommOp &Op : CS.Ops) {
+    if (Op.Kind == CommKind::Local)
+      continue;
+    ++Plan.Stats.FineGrainedOps;
+    switch (Op.Kind) {
+    case CommKind::Local:
+      break;
+    case CommKind::NearestNeighbor:
+    case CommKind::Pipelined: {
+      // Shifts aggregate per offset (one boundary layer per direction);
+      // pipelined boundaries aggregate per array regardless of offset:
+      // each block-boundary message carries the block's whole frontier.
+      std::string OffKey = Op.Kind == CommKind::Pipelined
+                               ? std::string("pipe")
+                               : Op.Offset.str();
+      std::tuple<unsigned, unsigned, std::string> Key{
+          Op.NestId, Op.ArrayId,
+          Opts.AggregateShifts ? OffKey
+                               : OffKey + "#" + std::to_string(Seq)};
+      auto [It, Fresh] = Shifts.try_emplace(Key);
+      ShiftGroup &G = It->second;
+      if (Fresh) {
+        ShiftSeq[Key] = Seq;
+        G.Msg.Kind = Op.Kind == CommKind::Pipelined
+                         ? PlannedMsgKind::BlockBoundary
+                         : PlannedMsgKind::Shift;
+        G.Msg.NestId = Op.NestId;
+        G.Msg.ArrayId = Op.ArrayId;
+        G.Msg.Offset = Op.Offset;
+        G.Msg.FoldedOps = 0;
+        G.Frequency = Op.Frequency;
+      } else {
+        ++Plan.Stats.Aggregated;
+      }
+      ++G.Msg.FoldedOps;
+      // Ops in one group move the same boundary layer: the message
+      // carries the union, estimated as the largest single-op volume.
+      G.Msg.ElementsPerMessage =
+          std::max(G.Msg.ElementsPerMessage, Op.ElementsPerExecution);
+      break;
+    }
+    case CommKind::Broadcast: {
+      if (Opts.HoistBroadcasts) {
+        ++BroadcastFolds[Op.ArrayId];
+        break;
+      }
+      auto [It, Fresh] =
+          NestBroadcasts.try_emplace({Op.NestId, Op.ArrayId});
+      ShiftGroup &G = It->second;
+      if (Fresh) {
+        G.Msg.Kind = PlannedMsgKind::Broadcast;
+        G.Msg.NestId = Op.NestId;
+        G.Msg.ArrayId = Op.ArrayId;
+        G.Msg.FoldedOps = 0;
+        G.Frequency = Op.Frequency;
+      } else {
+        ++Plan.Stats.Aggregated;
+      }
+      ++G.Msg.FoldedOps;
+      G.Msg.ElementsPerMessage =
+          std::max(G.Msg.ElementsPerMessage, Op.ElementsPerExecution);
+      break;
+    }
+    case CommKind::Reorganization: {
+      if (Op.CrossNest)
+        break; // Handled against PD.Reorganizations below.
+      auto [It, Fresh] = Redists.try_emplace({Op.NestId, Op.ArrayId});
+      ShiftGroup &G = It->second;
+      if (Fresh) {
+        G.Msg.Kind = PlannedMsgKind::Redistribute;
+        G.Msg.NestId = Op.NestId;
+        G.Msg.ArrayId = Op.ArrayId;
+        G.Msg.FoldedOps = 0;
+        G.Frequency = Op.Frequency;
+      } else {
+        ++Plan.Stats.Aggregated;
+      }
+      ++G.Msg.FoldedOps;
+      G.Msg.ElementsPerMessage =
+          std::max(G.Msg.ElementsPerMessage, Op.ElementsPerExecution);
+      break;
+    }
+    }
+    ++Seq;
+  }
+
+  double Messages = 0.0, Elements = 0.0;
+  auto Emit = [&](PlannedMessage M, double Frequency) {
+    Messages += M.MessagesPerExecution * Frequency;
+    Elements += M.MessagesPerExecution * M.ElementsPerMessage * Frequency;
+    if (M.NestId == ~0u)
+      Plan.Prologue.push_back(std::move(M));
+    else
+      Plan.PerNest[M.NestId].push_back(std::move(M));
+  };
+
+  // Hoisted broadcasts: one per array for the whole run, in array order.
+  for (const auto &[ArrayId, Folds] : BroadcastFolds) {
+    PlannedMessage M;
+    M.Kind = PlannedMsgKind::Broadcast;
+    M.NestId = ~0u;
+    M.ArrayId = ArrayId;
+    M.MessagesPerExecution = 1.0;
+    M.ElementsPerMessage = arrayElements(P, ArrayId);
+    M.FoldedOps = Folds;
+    M.Hoisted = true;
+    Plan.Stats.Hoisted += Folds;
+    Emit(std::move(M), 1.0);
+  }
+
+  // Shifts and block boundaries, in first-seen (program) order per nest.
+  {
+    std::vector<std::pair<unsigned, const ShiftGroup *>> Ordered;
+    for (const auto &[Key, G] : Shifts)
+      Ordered.push_back({ShiftSeq.at(Key), &G});
+    std::sort(Ordered.begin(), Ordered.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
+    for (const auto &[Pos, GP] : Ordered) {
+      PlannedMessage M = GP->Msg;
+      if (M.Kind == PlannedMsgKind::BlockBoundary) {
+        // One message per block boundary instead of one per access: the
+        // block count comes from the derived schedule's pipelined loop.
+        const LoopNest &Nest = P.nest(M.NestId);
+        NestSchedule S =
+            deriveSchedule(Nest, PD.compOf(M.NestId), Opts.BlockSize);
+        double Trip = std::max(
+            Nest.estimatedTrip(S.PipeLoop, P.SymbolBindings), 1.0);
+        double Blocks = std::max(
+            std::ceil(Trip / std::max<double>(Opts.BlockSize, 1)), 1.0);
+        M.MessagesPerExecution = Blocks;
+        M.ElementsPerMessage = M.ElementsPerMessage / Blocks;
+        M.Overlapped = Opts.OverlapPipelined;
+      }
+      Emit(std::move(M), GP->Frequency);
+    }
+  }
+
+  // Per-nest broadcasts (hoisting disabled), in (nest, array) order.
+  for (const auto &[Key, G] : NestBroadcasts) {
+    PlannedMessage M = G.Msg;
+    M.MessagesPerExecution = 1.0;
+    M.ElementsPerMessage = arrayElements(P, M.ArrayId);
+    Emit(std::move(M), G.Frequency);
+  }
+
+  // Access-level redistributions: the layout disagrees with the nest's
+  // computation, so the accessed section moves every execution.
+  for (const auto &[Key, G] : Redists)
+    Emit(G.Msg, G.Frequency);
+
+  // Cross-nest redistributions, with redundant-transfer elision: walk
+  // the nests in program order tracking each array's layout; a recorded
+  // reorganization whose target layout matches the current one moves
+  // nothing and is dropped.
+  {
+    std::map<unsigned, std::string> CurrentKey;
+    for (unsigned NestId : P.nestsInOrder())
+      for (unsigned A : P.nest(NestId).referencedArrays())
+        CurrentKey.try_emplace(A, layoutKey(P, PD, A, NestId));
+    for (const ReorganizationPoint &RP : PD.Reorganizations) {
+      std::string Key = layoutKey(P, PD, RP.ArrayId, RP.ToNest);
+      auto It = CurrentKey.find(RP.ArrayId);
+      bool Redundant = Opts.ElideRedundantTransfers &&
+                       It != CurrentKey.end() && It->second == Key;
+      CurrentKey[RP.ArrayId] = Key;
+      if (Redundant) {
+        ++Plan.Stats.Eliminated;
+        continue;
+      }
+      PlannedMessage M;
+      M.Kind = PlannedMsgKind::Redistribute;
+      M.NestId = RP.ToNest;
+      M.ArrayId = RP.ArrayId;
+      M.MessagesPerExecution = 1.0;
+      M.ElementsPerMessage = arrayElements(P, RP.ArrayId);
+      M.CrossNest = true;
+      Emit(std::move(M), std::max(RP.Frequency, 0.0));
+    }
+  }
+
+  Plan.Stats.Messages = roundCount(Messages);
+  Plan.Stats.Elements = roundCount(Elements);
+  Plan.publishTo(Opts.Observe);
+  Opts.Observe.count("codegen.plans");
+  return Plan;
+}

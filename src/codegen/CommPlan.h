@@ -1,0 +1,133 @@
+//===- codegen/CommPlan.h - Communication planning --------------*- C++ -*-===//
+///
+/// \file
+/// Lowers the per-access CommSummary classifications into an explicit
+/// per-nest message schedule, the way an Amarasinghe-Lam backend would
+/// organize communication before emitting code (the pass the paper's
+/// Sec. 1 defers to [2]). Four schedule optimizations:
+///
+///   aggregation   Same-offset nearest-neighbor / pipelined shifts of one
+///                 array in one nest share a boundary layer; they merge
+///                 into one bulk message instead of one fine-grained
+///                 message per access (per cache line, on a
+///                 multicomputer).
+///   hoisting      A replicated read-only array's broadcast does not
+///                 depend on any loop index: it hoists out of every nest
+///                 into a one-time program prologue broadcast.
+///   elision       A recorded redistribution whose source and target
+///                 layouts coincide (consecutive nests keep the array in
+///                 the same layout) moves nothing and is dropped.
+///   overlap       Pipelined block-boundary sends are issued as isend and
+///                 overlap the next block's compute; only the pipeline
+///                 fill pays the message latency.
+///
+/// Two backends consume the plan: the SPMD emitter renders it as explicit
+/// bcast / send / recv / isend / redistribute operations
+/// (CodegenOptions::EmitMessages), and the NumaSimulator's
+/// message-passing mode costs the planned schedule instead of
+/// fine-grained per-access messages (CommPlan::schedule() lowers to the
+/// machine-level CommSchedule).
+///
+/// Plan statistics publish as "comm.*" counters through the TraceContext
+/// registry; they are pure functions of (Program, ProgramDecomposition)
+/// and therefore byte-identical across --jobs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_CODEGEN_COMMPLAN_H
+#define ALP_CODEGEN_COMMPLAN_H
+
+#include "codegen/CodegenOptions.h"
+#include "codegen/CommAnalysis.h"
+#include "machine/CommSchedule.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace alp {
+
+/// The kind of message operation the plan schedules.
+enum class PlannedMsgKind { Shift, BlockBoundary, Broadcast, Redistribute };
+
+const char *plannedMsgKindName(PlannedMsgKind K);
+
+/// One planned bulk message (or message train, for block boundaries).
+struct PlannedMessage {
+  PlannedMsgKind Kind = PlannedMsgKind::Shift;
+  /// Owning nest; ~0u for prologue (hoisted) operations.
+  unsigned NestId = ~0u;
+  unsigned ArrayId = 0;
+  /// Shift / BlockBoundary: the processor-space offset mu of the
+  /// exchange.
+  SymVector Offset;
+  /// Bulk messages per participating processor per nest execution
+  /// (prologue operations: per program run).
+  double MessagesPerExecution = 1.0;
+  /// Array elements carried by each message.
+  double ElementsPerMessage = 0.0;
+  /// Fine-grained CommOps folded into this message (>= 1).
+  unsigned FoldedOps = 1;
+  /// True for broadcasts hoisted into the program prologue.
+  bool Hoisted = false;
+  /// True when the send overlaps the next block's compute.
+  bool Overlapped = false;
+  /// Redistribute only: true when planned from a cross-nest
+  /// ReorganizationPoint (as opposed to an access-level layout mismatch).
+  bool CrossNest = false;
+
+  std::string str(const Program &P) const;
+};
+
+/// Deterministic plan statistics, published as "comm.*" counters.
+struct CommPlanStats {
+  /// Planned bulk messages per run, per participating processor.
+  uint64_t Messages = 0;
+  /// Elements moved per run, per participating processor.
+  uint64_t Elements = 0;
+  /// Fine-grained ops absorbed into an already-planned bulk message.
+  uint64_t Aggregated = 0;
+  /// Per-nest broadcast ops replaced by prologue broadcasts.
+  uint64_t Hoisted = 0;
+  /// Redundant redistributions dropped (layouts already agreed).
+  uint64_t Eliminated = 0;
+  /// Non-local classifications before planning (the naive message count
+  /// floor: at least one message per op per execution).
+  uint64_t FineGrainedOps = 0;
+};
+
+/// The planned message schedule for a whole program.
+struct CommPlan {
+  /// One-time operations before the first nest (hoisted broadcasts).
+  std::vector<PlannedMessage> Prologue;
+  /// Per-nest operations, issued before (shifts, redistributions) or
+  /// inside (block boundaries) the nest's loops.
+  std::map<unsigned, std::vector<PlannedMessage>> PerNest;
+  CommPlanStats Stats;
+
+  /// The operations planned for \p NestId (empty list when none).
+  const std::vector<PlannedMessage> &opsFor(unsigned NestId) const;
+
+  /// Total planned operations (prologue + all nests).
+  unsigned size() const;
+
+  std::string report(const Program &P) const;
+
+  /// Publishes Stats as comm.messages / comm.elements / comm.aggregated /
+  /// comm.hoisted / comm.eliminated counters (no-op without a registry).
+  void publishTo(TraceContext Observe) const;
+
+  /// Lowers to the machine-level schedule the NumaSimulator costs.
+  CommSchedule schedule() const;
+};
+
+/// Plans the program's communication under \p PD. Runs the classifier
+/// internally; Opts controls the block size, the four schedule
+/// optimizations, and observability (a "codegen.plan_comm" span plus the
+/// comm.* counters).
+CommPlan planCommunication(const Program &P, const ProgramDecomposition &PD,
+                           const CodegenOptions &Opts = {});
+
+} // namespace alp
+
+#endif // ALP_CODEGEN_COMMPLAN_H

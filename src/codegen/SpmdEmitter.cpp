@@ -2,9 +2,11 @@
 
 #include "codegen/SpmdEmitter.h"
 
+#include "codegen/CommPlan.h"
 #include "ir/Printer.h"
 #include "machine/ScheduleDerivation.h"
 
+#include <optional>
 #include <set>
 #include <sstream>
 
@@ -15,13 +17,15 @@ namespace {
 class Emitter {
 public:
   Emitter(const Program &P, const ProgramDecomposition &PD,
-          int64_t BlockSize)
-      : P(P), PD(PD), BlockSize(BlockSize) {}
+          const CodegenOptions &Opts, const CommPlan *Plan)
+      : P(P), PD(PD), Opts(Opts), Plan(Plan) {}
 
   std::string run() {
     OS << "// SPMD code for '" << P.Name << "' on a " << PD.VirtualDims
        << "-d virtual processor grid (me = my processor id)\n";
     emitPlacements();
+    if (Plan)
+      emitPrologueMessages();
     OS << "spmd " << P.Name << "(me) {\n";
     Indent = 1;
     emitNodes(P.TopLevel);
@@ -32,7 +36,9 @@ public:
 private:
   const Program &P;
   const ProgramDecomposition &PD;
-  int64_t BlockSize;
+  const CodegenOptions &Opts;
+  /// Non-null in message mode: the planned schedule being rendered.
+  const CommPlan *Plan;
   std::ostringstream OS;
   unsigned Indent = 0;
   /// Current layout per array while walking, to place reorganizations.
@@ -70,6 +76,17 @@ private:
         OS << "// place " << P.array(A).Name << ": " << L << "\n";
         CurrentLayout[A] = L;
       }
+  }
+
+  /// Message mode: hoisted one-time broadcasts before the SPMD body.
+  void emitPrologueMessages() {
+    for (const PlannedMessage &M : Plan->Prologue) {
+      OS << "bcast(" << P.array(M.ArrayId).Name << ": owner -> all, ~"
+         << M.ElementsPerMessage << " elems);";
+      if (M.FoldedOps > 1)
+        OS << "  // hoisted out of " << M.FoldedOps << " uses";
+      OS << "\n";
+    }
   }
 
   void emitNodes(const std::vector<ProgramNode> &Nodes) {
@@ -124,11 +141,52 @@ private:
     }
   }
 
+  /// Message mode: the nest's planned operations (shifts as explicit
+  /// boundary-layer send/recv pairs, unhoisted broadcasts, and
+  /// redistributions), issued before the loops. Block-boundary trains
+  /// render inside the pipelined block loop as recv/isend.
+  void emitNestMessages(unsigned NestId) {
+    for (const PlannedMessage &M : Plan->opsFor(NestId)) {
+      const std::string &Name = P.array(M.ArrayId).Name;
+      switch (M.Kind) {
+      case PlannedMsgKind::Shift:
+        indent();
+        OS << "send(" << Name << ": boundary layer " << M.Offset.str()
+           << ", to me + " << M.Offset.str() << ", ~"
+           << M.ElementsPerMessage << " elems);";
+        if (M.FoldedOps > 1)
+          OS << "  // aggregates " << M.FoldedOps << " accesses";
+        OS << "\n";
+        indent();
+        OS << "recv(" << Name << ": halo layer " << M.Offset.str()
+           << ", from me - " << M.Offset.str() << ", ~"
+           << M.ElementsPerMessage << " elems);\n";
+        break;
+      case PlannedMsgKind::Broadcast:
+        indent();
+        OS << "bcast(" << Name << ": owner -> all, ~"
+           << M.ElementsPerMessage << " elems);\n";
+        break;
+      case PlannedMsgKind::Redistribute:
+        indent();
+        OS << "redistribute(" << Name << ": -> "
+           << layoutOf(M.ArrayId, NestId) << ", ~" << M.ElementsPerMessage
+           << " elems);\n";
+        break;
+      case PlannedMsgKind::BlockBoundary:
+        break; // Rendered as recv/isend inside the block loop.
+      }
+    }
+  }
+
   void emitNest(unsigned NestId) {
     const LoopNest &Nest = P.nest(NestId);
-    emitReorganizations(NestId);
+    if (Plan)
+      emitNestMessages(NestId);
+    else
+      emitReorganizations(NestId);
     const CompDecomposition &CD = PD.compOf(NestId);
-    NestSchedule S = deriveSchedule(Nest, CD, BlockSize);
+    NestSchedule S = deriveSchedule(Nest, CD, Opts.BlockSize);
     std::vector<std::string> Names = Nest.indexNames();
 
     indent();
@@ -143,7 +201,7 @@ private:
       break;
     case NestSchedule::Mode::Pipelined:
       OS << "  [pipelined: strips of " << Names[S.DistLoop]
-         << ", blocks of " << Names[S.PipeLoop] << " x " << BlockSize
+         << ", blocks of " << Names[S.PipeLoop] << " x " << Opts.BlockSize
          << "]\n";
       break;
     case NestSchedule::Mode::Wavefront2D:
@@ -175,13 +233,24 @@ private:
     OS << "for " << Names[S.PipeLoop] << "_b = blocks("
        << printBound(Nest.Loops[S.PipeLoop].Lower, true, Names) << ", "
        << printBound(Nest.Loops[S.PipeLoop].Upper, false, Names) << ", "
-       << BlockSize << ") {\n";
+       << Opts.BlockSize << ") {\n";
     ++Indent;
     indent();
-    OS << "wait_for(me - 1, " << Names[S.PipeLoop] << "_b);\n";
+    if (Plan)
+      OS << "recv(me - 1, " << Names[S.PipeLoop] << "_b);\n";
+    else
+      OS << "wait_for(me - 1, " << Names[S.PipeLoop] << "_b);\n";
     emitLoops(Nest, Names, S.DistLoop, S.PipeLoop);
     indent();
-    OS << "signal(me + 1, " << Names[S.PipeLoop] << "_b);\n";
+    if (Plan) {
+      if (Opts.OverlapPipelined)
+        OS << "isend(me + 1, " << Names[S.PipeLoop]
+           << "_b);  // overlapped with next block\n";
+      else
+        OS << "send(me + 1, " << Names[S.PipeLoop] << "_b);\n";
+    } else {
+      OS << "signal(me + 1, " << Names[S.PipeLoop] << "_b);\n";
+    }
     --Indent;
     indent();
     OS << "}\n";
@@ -235,21 +304,33 @@ private:
 } // namespace
 
 std::string alp::emitSpmd(const Program &P, const ProgramDecomposition &PD,
-                          int64_t BlockSize, TraceContext Observe) {
-  TraceSpan Span(Observe.Trace, "codegen.emit_spmd");
-  std::string Code = Emitter(P, PD, BlockSize).run();
-  if (Observe.Metrics) {
-    uint64_t Lines = 0, Barriers = 0, Reorgs = 0;
+                          const CodegenOptions &Opts) {
+  TraceSpan Span(Opts.Observe.Trace, "codegen.emit_spmd");
+  std::optional<CommPlan> Plan;
+  if (Opts.EmitMessages)
+    Plan = planCommunication(P, PD, Opts);
+  std::string Code =
+      Emitter(P, PD, Opts, Plan ? &*Plan : nullptr).run();
+  if (Opts.Observe.Metrics) {
+    uint64_t Lines = 0, Barriers = 0, Reorgs = 0, Msgs = 0;
     std::istringstream IS(Code);
     for (std::string Line; std::getline(IS, Line); ++Lines) {
       if (Line.find("barrier") != std::string::npos)
         ++Barriers;
-      if (Line.find("reorganize") != std::string::npos)
+      if (Line.find("reorganize") != std::string::npos ||
+          Line.find("redistribute") != std::string::npos)
         ++Reorgs;
+      for (const char *Op : {"send(", "recv(", "bcast(", "isend("})
+        if (Line.find(Op) != std::string::npos) {
+          ++Msgs;
+          break;
+        }
     }
-    Observe.count("codegen.spmd_lines", Lines);
-    Observe.count("codegen.barriers", Barriers);
-    Observe.count("codegen.reorganize_calls", Reorgs);
+    Opts.Observe.count("codegen.spmd_lines", Lines);
+    Opts.Observe.count("codegen.barriers", Barriers);
+    Opts.Observe.count("codegen.reorganize_calls", Reorgs);
+    if (Opts.EmitMessages)
+      Opts.Observe.count("codegen.message_ops", Msgs);
   }
   return Code;
 }

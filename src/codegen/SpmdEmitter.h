@@ -8,28 +8,39 @@
 /// directives, and reorganization (redistribution) calls where the
 /// dynamic decomposition changes an array's layout.
 ///
+/// Two emission modes, selected by CodegenOptions::EmitMessages:
+///
+///   placement mode (default)  placement directives + reorganize() calls
+///                             + wait_for/signal pipelining — the
+///                             shared-address-space presentation.
+///   message mode              the planned communication schedule
+///                             (codegen/CommPlan.h) rendered as explicit
+///                             bcast / send / recv / isend /
+///                             redistribute operations — what a
+///                             multicomputer backend would execute.
+///
 /// The emitter is a presentation layer: all decisions come from the
-/// ProgramDecomposition and the derived schedules.
+/// ProgramDecomposition, the derived schedules, and the plan.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALP_CODEGEN_SPMDEMITTER_H
 #define ALP_CODEGEN_SPMDEMITTER_H
 
+#include "codegen/CodegenOptions.h"
 #include "core/Decomposition.h"
 #include "ir/Program.h"
-#include "support/Trace.h"
 
 #include <string>
 
 namespace alp {
 
-/// Emits the whole program as SPMD pseudo-code under \p PD using
-/// \p BlockSize for pipelined nests. With \p Observe, the emission runs
-/// under a "codegen.emit_spmd" span and publishes "codegen.*" counters
-/// (emitted lines, barriers, reorganize calls).
+/// Emits the whole program as SPMD pseudo-code under \p PD. \p Opts
+/// selects the emission mode, the block size of pipelined nests, and
+/// observability (a "codegen.emit_spmd" span plus "codegen.*" counters:
+/// emitted lines, barriers, reorganize/redistribute calls, messages).
 std::string emitSpmd(const Program &P, const ProgramDecomposition &PD,
-                     int64_t BlockSize = 4, TraceContext Observe = {});
+                     const CodegenOptions &Opts = {});
 
 } // namespace alp
 

@@ -1,0 +1,60 @@
+//===- machine/CommSchedule.h - Planned message schedule --------*- C++ -*-===//
+///
+/// \file
+/// The machine-level view of a planned communication schedule: what the
+/// NumaSimulator's message-passing mode costs instead of fine-grained
+/// per-access messages. This is a plain data structure so the machine
+/// layer needs no dependency on codegen; the codegen-side planner
+/// (codegen/CommPlan.h) lowers its richer per-nest plan into one of
+/// these via CommPlan::schedule().
+///
+/// Message counts are normalized per participating processor per nest
+/// execution (prologue ops: per program run); the simulator multiplies
+/// by the active processor count and the nest's execution frequency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_MACHINE_COMMSCHEDULE_H
+#define ALP_MACHINE_COMMSCHEDULE_H
+
+#include <map>
+#include <vector>
+
+namespace alp {
+
+/// One bulk message operation of the planned schedule.
+struct CommScheduleOp {
+  enum class Kind {
+    Shift,         ///< Nearest-neighbor boundary-layer exchange.
+    BlockBoundary, ///< Pipelined per-block boundary send.
+    Broadcast,     ///< One-time broadcast of a replicated array.
+    Redistribute   ///< Whole-section layout change.
+  };
+  Kind OpKind = Kind::Shift;
+  unsigned ArrayId = 0;
+  /// Bulk messages per participating processor per nest execution
+  /// (Broadcast in the prologue: per program run).
+  double MessagesPerExecution = 1.0;
+  /// Array elements carried by each message.
+  double ElementsPerMessage = 0.0;
+  /// True when the send is overlapped with the next block's compute:
+  /// only the pipeline fill pays the software overhead.
+  bool Overlapped = false;
+  /// Redistribute only: true for cross-nest layout changes, which the
+  /// simulator charges through its own reorganization walk rather than
+  /// as a per-nest message (avoids double-costing).
+  bool CrossNest = false;
+};
+
+/// The whole program's planned schedule: one-time prologue operations
+/// (hoisted broadcasts) plus per-nest operation lists.
+struct CommSchedule {
+  std::vector<CommScheduleOp> Prologue;
+  std::map<unsigned, std::vector<CommScheduleOp>> PerNest;
+
+  bool empty() const { return Prologue.empty() && PerNest.empty(); }
+};
+
+} // namespace alp
+
+#endif // ALP_MACHINE_COMMSCHEDULE_H

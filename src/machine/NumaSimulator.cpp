@@ -17,7 +17,8 @@ std::string SimResult::str() const {
      << " memory=" << MemoryCycles << " reorg=" << ReorgCycles
      << " sync=" << SyncCycles << " cache=" << CacheAccesses
      << " localLines=" << LocalLineFetches
-     << " remoteLines=" << RemoteLineFetches;
+     << " remoteLines=" << RemoteLineFetches
+     << " messages=" << MessagesSent;
   return OS.str();
 }
 
@@ -30,6 +31,7 @@ void SimResult::publishTo(MetricsRegistry &MR) const {
   MR.setGauge("sim.cache_accesses", CacheAccesses);
   MR.setGauge("sim.local_line_fetches", LocalLineFetches);
   MR.setGauge("sim.remote_line_fetches", RemoteLineFetches);
+  MR.setGauge("sim.messages", MessagesSent);
 }
 
 NumaSimulator::NumaSimulator(const Program &P, const MachineParams &M)
@@ -54,6 +56,10 @@ void NumaSimulator::setInitialPlacement(unsigned ArrayId,
 
 void NumaSimulator::setSchedule(unsigned NestId, NestSchedule Schedule) {
   Schedules[NestId] = Schedule;
+}
+
+void NumaSimulator::setCommSchedule(CommSchedule Schedule) {
+  CommSched = std::move(Schedule);
 }
 
 unsigned NumaSimulator::clusters() const {
@@ -186,13 +192,26 @@ double NumaSimulator::segmentCost(unsigned Proc, unsigned ArrayId,
   auto LatencyOf = [&](unsigned Home) {
     if (S.AllLocal || Home == UINT32_MAX || Home == MyCluster)
       return M.LocalCycles;
-    return S.BulkRemote ? M.bulkRemoteLineCost() : M.remoteLineCost();
+    // Under a planned schedule the data arrived in a pre-posted bulk
+    // message: the line moves at the hardware rate, and the software
+    // overhead is charged once per planned message in plannedComm().
+    if (S.PlannedComm)
+      return M.RemoteCycles;
+    // Without a plan every remote line is a demand-driven fetch paying
+    // the full per-message software overhead; amortizing it over bulk
+    // transfers is exactly what the planned schedule buys.
+    return M.remoteLineCost();
   };
-  auto CountLine = [&](unsigned Home) {
-    if (S.AllLocal || Home == UINT32_MAX || Home == MyCluster)
-      S.Res.LocalLineFetches += 1;
-    else
-      S.Res.RemoteLineFetches += 1;
+  auto CountLine = [&](unsigned Home, double N) {
+    if (S.AllLocal || Home == UINT32_MAX || Home == MyCluster) {
+      S.Res.LocalLineFetches += N;
+      return;
+    }
+    S.Res.RemoteLineFetches += N;
+    // Unplanned message-passing: every remote line is a message. Planned
+    // messages are counted when the schedule's ops are charged.
+    if (M.MessagePassing && !S.PlannedComm)
+      S.Res.MessagesSent += N;
   };
 
   std::vector<int64_t> EndIdx(Start);
@@ -207,10 +226,7 @@ double NumaSimulator::segmentCost(unsigned Proc, unsigned ArrayId,
     double Lat = LatencyOf(HomeStart);
     Cost = Lines * Lat + (Length - Lines) * M.CacheCycles;
     S.Res.CacheAccesses += Length - Lines;
-    if (S.AllLocal || HomeStart == UINT32_MAX || HomeStart == MyCluster)
-      S.Res.LocalLineFetches += Lines;
-    else
-      S.Res.RemoteLineFetches += Lines;
+    CountLine(HomeStart, static_cast<double>(Lines));
     return Cost;
   }
   // Heterogeneous: walk line by line.
@@ -218,7 +234,7 @@ double NumaSimulator::segmentCost(unsigned Proc, unsigned ArrayId,
   for (int64_t L = 0; L != Lines; ++L) {
     unsigned Home = homeCluster(ArrayId, Placement, Idx, S);
     Cost += LatencyOf(Home);
-    CountLine(Home);
+    CountLine(Home, 1.0);
     for (unsigned D = 0; D != A.rank(); ++D)
       Idx[D] += StridePerIter[D] * ElemsPerLine;
   }
@@ -316,9 +332,22 @@ void NumaSimulator::reorganizeIfNeeded(unsigned NestId, RunState &S) {
           static_cast<double>(V.num()) / static_cast<double>(V.den()), 1.0);
     }
     double Lines = Elems * P.array(A).ElemBytes / M.CacheLineBytes;
+    double PerLine = S.PlannedComm ? M.RemoteCycles : M.bulkRemoteLineCost();
     double Cycles = std::max(
-        Lines * 2.0 * M.bulkRemoteLineCost() / std::max(1u, S.Procs),
+        Lines * 2.0 * PerLine / std::max(1u, S.Procs),
         Lines / std::max(M.RemoteLinesPerCycle, 1e-9));
+    if (M.MessagePassing) {
+      if (S.PlannedComm) {
+        // The planned redistribute: one pre-arranged bulk exchange per
+        // processor; the software overhead is paid once on the critical
+        // path instead of per message.
+        Cycles += M.MessageOverheadCycles;
+        S.Res.MessagesSent += S.Procs;
+      } else {
+        S.Res.MessagesSent +=
+            Lines * 2.0 / std::max(M.BulkLinesPerMessage, 1.0);
+      }
+    }
     S.Res.ReorgCycles += Cycles;
     S.Res.Cycles += Cycles;
     S.Current[A] = Want->second;
@@ -326,9 +355,58 @@ void NumaSimulator::reorganizeIfNeeded(unsigned NestId, RunState &S) {
   }
 }
 
+void NumaSimulator::plannedNestComm(unsigned NestId, RunState &S) const {
+  auto It = CommSched.PerNest.find(NestId);
+  if (It == CommSched.PerNest.end())
+    return;
+  double Cycles = 0.0;
+  for (const CommScheduleOp &Op : It->second) {
+    switch (Op.OpKind) {
+    case CommScheduleOp::Kind::Shift:
+      // One aggregated boundary exchange; every processor sends
+      // concurrently, so the critical path pays the software overhead
+      // once per planned message.
+      Cycles += M.MessageOverheadCycles * Op.MessagesPerExecution;
+      S.Res.MessagesSent += Op.MessagesPerExecution * S.Procs;
+      break;
+    case CommScheduleOp::Kind::BlockBoundary:
+      // The per-block boundary train: overlapped isends hide everything
+      // but the pipeline fill; otherwise each boundary pays the
+      // overhead.
+      Cycles += M.MessageOverheadCycles *
+                (Op.Overlapped ? 1.0 : Op.MessagesPerExecution);
+      S.Res.MessagesSent += Op.MessagesPerExecution * S.Procs;
+      break;
+    case CommScheduleOp::Kind::Broadcast: {
+      double Hops = std::ceil(std::log2(std::max<double>(S.Procs, 2.0)));
+      double Lines = Op.ElementsPerMessage * P.array(Op.ArrayId).ElemBytes /
+                     std::max(1u, M.CacheLineBytes);
+      Cycles += Op.MessagesPerExecution *
+                (Hops * M.MessageOverheadCycles + Lines * M.RemoteCycles);
+      S.Res.MessagesSent +=
+          Op.MessagesPerExecution * std::max<double>(S.Procs - 1.0, 1.0);
+      break;
+    }
+    case CommScheduleOp::Kind::Redistribute:
+      // Cross-nest layout changes are charged by reorganizeIfNeeded's
+      // placement walk; only access-level redistributes add their
+      // per-execution exchange here.
+      if (Op.CrossNest)
+        break;
+      Cycles += M.MessageOverheadCycles * Op.MessagesPerExecution;
+      S.Res.MessagesSent += Op.MessagesPerExecution * S.Procs;
+      break;
+    }
+  }
+  S.Res.Cycles += Cycles;
+  S.Res.MemoryCycles += Cycles;
+}
+
 void NumaSimulator::runNest(unsigned NestId, RunState &S) {
   const LoopNest &Nest = P.nest(NestId);
   reorganizeIfNeeded(NestId, S);
+  if (S.PlannedComm)
+    plannedNestComm(NestId, S);
   double RemoteBefore = S.Res.RemoteLineFetches;
   // Remote traffic of the whole nest is capped by the interconnect: the
   // nest cannot finish faster than the remote lines can move.
@@ -370,7 +448,6 @@ void NumaSimulator::runNest(unsigned NestId, RunState &S) {
     return;
   }
   case NestSchedule::Mode::Wavefront2D: {
-    S.BulkRemote = true;
     // Figure 3(b): a near-square processor grid owns one 2-d block each;
     // block (r, c) waits for (r-1, c) and (r, c-1). Only the blocks on
     // one anti-diagonal run concurrently, so processors idle during the
@@ -410,13 +487,11 @@ void NumaSimulator::runNest(unsigned NestId, RunState &S) {
         Finish[R][C] = Ready + Cost;
         Total = std::max(Total, Finish[R][C]);
       }
-    S.BulkRemote = false;
     S.Res.Cycles += BandwidthBound(Total) + M.BarrierCycles;
     S.Res.SyncCycles += SyncTotal + M.BarrierCycles;
     return;
   }
   case NestSchedule::Mode::Pipelined: {
-    S.BulkRemote = true;
     unsigned DLevel = std::min<unsigned>(Sched.DistLoop, Nest.depth() - 1);
     unsigned BLevel = std::min<unsigned>(Sched.PipeLoop, Nest.depth() - 1);
     auto [DLo, DHi] = loopBounds(Nest, DLevel, {}, S);
@@ -457,7 +532,6 @@ void NumaSimulator::runNest(unsigned NestId, RunState &S) {
       }
       PrevRow = std::move(Row);
     }
-    S.BulkRemote = false;
     S.Res.Cycles += BandwidthBound(Finish) + M.BarrierCycles;
     S.Res.SyncCycles += SyncTotal + M.BarrierCycles;
     return;
@@ -506,6 +580,7 @@ void NumaSimulator::runNodes(const std::vector<ProgramNode> &Nodes,
           Extrapolate(&SimResult::CacheAccesses);
           Extrapolate(&SimResult::LocalLineFetches);
           Extrapolate(&SimResult::RemoteLineFetches);
+          Extrapolate(&SimResult::MessagesSent);
         }
       }
       if (HadBinding)
@@ -534,10 +609,28 @@ SimResult NumaSimulator::run(unsigned NumProcs) {
   Observe.count("sim.runs");
   RunState S;
   S.Procs = std::max(1u, std::min(NumProcs, M.NumProcs));
+  // One processor exchanges nothing: the planned schedule only applies
+  // to actual multi-processor message-passing runs.
+  S.PlannedComm = M.MessagePassing && !CommSched.empty() && S.Procs > 1;
   S.Bindings = P.SymbolBindings;
   S.Current.clear();
   for (const auto &[A, Pl] : InitialPlacement)
     S.Current[A] = Pl;
+  if (S.PlannedComm) {
+    // One-time prologue operations (hoisted broadcasts): a log-depth
+    // forwarding tree, each stage one bulk message.
+    for (const CommScheduleOp &Op : CommSched.Prologue) {
+      double Hops = std::ceil(std::log2(std::max<double>(S.Procs, 2.0)));
+      double Lines = Op.ElementsPerMessage * P.array(Op.ArrayId).ElemBytes /
+                     std::max(1u, M.CacheLineBytes);
+      double C = Op.MessagesPerExecution *
+                 (Hops * M.MessageOverheadCycles + Lines * M.RemoteCycles);
+      S.Res.Cycles += C;
+      S.Res.MemoryCycles += C;
+      S.Res.MessagesSent +=
+          Op.MessagesPerExecution * std::max<double>(S.Procs - 1.0, 1.0);
+    }
+  }
   runNodes(P.TopLevel, S);
   if (Observe.Metrics)
     S.Res.publishTo(*Observe.Metrics);

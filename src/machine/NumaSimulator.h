@@ -25,6 +25,7 @@
 #include "core/CostModel.h"
 #include "core/Decomposition.h"
 #include "ir/Program.h"
+#include "machine/CommSchedule.h"
 #include "support/Trace.h"
 
 #include <map>
@@ -82,6 +83,11 @@ struct SimResult {
   double CacheAccesses = 0.0;
   double LocalLineFetches = 0.0;
   double RemoteLineFetches = 0.0;
+  /// Messages sent in message-passing mode: one per remote line under
+  /// fine-grained access, amortized for bulk transfers, or the planned
+  /// schedule's bulk messages when a CommSchedule is installed. Zero on
+  /// shared-address-space machines.
+  double MessagesSent = 0.0;
 
   std::string str() const;
 
@@ -108,6 +114,17 @@ public:
 
   void setSchedule(unsigned NestId, NestSchedule Schedule);
 
+  /// Installs a planned communication schedule (CommPlan::schedule()).
+  /// In message-passing mode the simulator then costs the planned bulk
+  /// messages — remote lines move at the hardware rate and the software
+  /// overhead is paid per planned message — instead of charging the
+  /// per-message overhead on every fine-grained remote line.
+  void setCommSchedule(CommSchedule Schedule);
+
+  /// The machine this simulator was built for (single source of truth
+  /// for the block size threaded through schedule derivation).
+  const MachineParams &machine() const { return M; }
+
   /// Observability sink: a "sim.run" span per run() (Detail = processor
   /// count), "sim.runs" / "sim.reorganizations" counters, and the last
   /// run's SimResult as "sim.*" gauges.
@@ -128,14 +145,15 @@ private:
   std::map<std::pair<unsigned, unsigned>, ArrayPlacement> PlacementAt;
   std::map<unsigned, ArrayPlacement> InitialPlacement;
   std::map<unsigned, NestSchedule> Schedules;
+  CommSchedule CommSched;
 
   struct RunState {
     unsigned Procs = 1;
     bool AllLocal = false; ///< Sequential-baseline mode.
-    /// True while costing pipelined/wavefront blocks: boundary traffic is
-    /// aggregated into one message per block, so remote lines pay the
-    /// bulk rate rather than the fine-grained per-message overhead.
-    bool BulkRemote = false;
+    /// True when a planned CommSchedule drives message-passing costs:
+    /// remote lines move at the hardware rate (the plan's bulk messages
+    /// carry the software overhead) and per-line message counting is off.
+    bool PlannedComm = false;
     std::map<unsigned, ArrayPlacement> Current;
     std::map<std::string, Rational> Bindings;
     SimResult Res;
@@ -170,6 +188,8 @@ private:
   void runNodes(const std::vector<ProgramNode> &Nodes, RunState &S);
   void runNest(unsigned NestId, RunState &S);
   void reorganizeIfNeeded(unsigned NestId, RunState &S);
+  /// Planned-mode software cost of the nest's scheduled messages.
+  void plannedNestComm(unsigned NestId, RunState &S) const;
 
   /// Integer bounds of loop \p Level of \p Nest given outer values.
   std::pair<int64_t, int64_t> loopBounds(const LoopNest &Nest,

@@ -68,8 +68,8 @@ ArrayPlacement alp::derivePlacement(const DataDecomposition &DD,
 }
 
 void alp::applyDecomposition(NumaSimulator &Sim, const Program &P,
-                             const ProgramDecomposition &PD,
-                             int64_t BlockSize) {
+                             const ProgramDecomposition &PD) {
+  int64_t BlockSize = Sim.machine().BlockSize;
   for (const auto &[NestId, CD] : PD.Comp)
     Sim.setSchedule(NestId, deriveSchedule(P.nest(NestId), CD, BlockSize));
   for (const auto &[Key, DD] : PD.Data) {

@@ -29,9 +29,11 @@ NestSchedule deriveSchedule(const LoopNest &Nest, const CompDecomposition &CD,
 ArrayPlacement derivePlacement(const DataDecomposition &DD, bool Replicated);
 
 /// Configures \p Sim with schedules and per-nest placements for the whole
-/// decomposition.
+/// decomposition. The pipeline block size comes from the simulator's
+/// machine description (Sim.machine().BlockSize), the single source of
+/// truth shared with codegen.
 void applyDecomposition(NumaSimulator &Sim, const Program &P,
-                        const ProgramDecomposition &PD, int64_t BlockSize);
+                        const ProgramDecomposition &PD);
 
 } // namespace alp
 

@@ -1,0 +1,44 @@
+# Runs alpc with the communication planner active (--machine=touchstone
+# --emit=comm-plan --stats=-) under two --jobs values and requires:
+#  * the comm.* counters are present in the stats output, and
+#  * the whole counters section is byte-identical across jobs (span
+#    timings are wall-clock and legitimately differ).
+#
+# Variables: ALPC (binary), INPUT (.alp file), JOBS_A, JOBS_B.
+
+if(NOT DEFINED JOBS_A)
+  set(JOBS_A 1)
+endif()
+if(NOT DEFINED JOBS_B)
+  set(JOBS_B 4)
+endif()
+
+foreach(jobs ${JOBS_A} ${JOBS_B})
+  execute_process(
+    COMMAND ${ALPC} ${INPUT} --machine=touchstone --emit=comm-plan
+            --jobs ${jobs} --stats=-
+    OUTPUT_VARIABLE OUT_${jobs}
+    RESULT_VARIABLE RC_${jobs})
+  if(NOT RC_${jobs} EQUAL 0)
+    message(FATAL_ERROR "alpc failed (exit ${RC_${jobs}}) on ${INPUT}")
+  endif()
+  if(NOT OUT_${jobs} MATCHES "comm\\.messages")
+    message(FATAL_ERROR
+      "comm.messages counter missing from stats on ${INPUT}:\n${OUT_${jobs}}")
+  endif()
+  string(REGEX MATCH "\"counters\": {[^}]*}" COUNTERS_${jobs}
+    "${OUT_${jobs}}")
+  if(COUNTERS_${jobs} STREQUAL "")
+    message(FATAL_ERROR
+      "no counters section in stats JSON on ${INPUT}:\n${OUT_${jobs}}")
+  endif()
+endforeach()
+
+if(NOT COUNTERS_${JOBS_A} STREQUAL COUNTERS_${JOBS_B})
+  message(FATAL_ERROR
+    "comm counters differ between --jobs ${JOBS_A} and --jobs ${JOBS_B} "
+    "on ${INPUT}:\n--- jobs=${JOBS_A} ---\n${COUNTERS_${JOBS_A}}\n"
+    "--- jobs=${JOBS_B} ---\n${COUNTERS_${JOBS_B}}")
+endif()
+message(STATUS
+  "comm.* counters byte-identical for --jobs ${JOBS_A} and ${JOBS_B}")

@@ -1,0 +1,24 @@
+# Runs alpc with --machine=touchstone --emit=spmd on one example and
+# requires byte-identical stdout against the checked-in golden: the
+# message-passing SPMD emission is part of the compiler's contract.
+# Regenerate intentionally changed goldens with
+# tests/update_spmd_golden.sh.
+#
+# Variables: ALPC (binary), INPUT (.alp file), GOLDEN (expected stdout).
+
+execute_process(
+  COMMAND ${ALPC} ${INPUT} --machine=touchstone --emit=spmd
+  OUTPUT_VARIABLE OUT
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "alpc failed (exit ${RC}) on ${INPUT}")
+endif()
+
+file(READ ${GOLDEN} EXPECTED)
+if(NOT OUT STREQUAL EXPECTED)
+  message(FATAL_ERROR
+    "message-passing SPMD emission for ${INPUT} diverged from ${GOLDEN}.\n"
+    "If the change is intentional, run tests/update_spmd_golden.sh.\n"
+    "--- actual ---\n${OUT}\n--- expected ---\n${EXPECTED}")
+endif()
+message(STATUS "SPMD emission matches ${GOLDEN}")

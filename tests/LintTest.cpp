@@ -467,6 +467,32 @@ TEST(LintDecompTest, ConsistentPipelineOutputIsClean) {
   EXPECT_EQ(R.Diags.size(), 0u) << renderLintText(R);
 }
 
+TEST(LintDecompTest, DivergentBlockSizeIsFlagged) {
+  // Single source of truth: schedules derived with one block size while
+  // codegen emits with another is a silent correctness hazard (pipelined
+  // block boundaries disagree), so the lint warns.
+  Program P = compile(Fig1Src);
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  LintOptions Opts;
+  Opts.CheckRaces = false;
+  Opts.CheckModel = false;
+  Opts.BlockSize = M.BlockSize;
+  Opts.ScheduleBlockSize = M.BlockSize + 4; // Bypassed MachineParams.
+  LintResult R = runLintPasses(P, &PD, Opts);
+  EXPECT_EQ(countPass(R, "decomp.block-size-divergence"), 1u)
+      << renderLintText(R);
+  // Consistent sizes (or an unset schedule size) stay silent.
+  Opts.ScheduleBlockSize = M.BlockSize;
+  EXPECT_EQ(countPass(runLintPasses(P, &PD, Opts),
+                      "decomp.block-size-divergence"),
+            0u);
+  Opts.ScheduleBlockSize = 0;
+  EXPECT_EQ(countPass(runLintPasses(P, &PD, Opts),
+                      "decomp.block-size-divergence"),
+            0u);
+}
+
 TEST(LintDecompTest, CorruptedOrientationTripsTheorem41) {
   Program P = compile(Fig1Src);
   MachineParams M;

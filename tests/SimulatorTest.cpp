@@ -304,7 +304,7 @@ TEST(SimulatorTest, EndToEndDecomposedRunBeatsNaive) {
   ProgramDecomposition PD = decompose(P, M);
 
   NumaSimulator Good(P, M);
-  applyDecomposition(Good, P, PD, M.BlockSize);
+  applyDecomposition(Good, P, PD);
   NumaSimulator Bad(P, M);
   Bad.setStaticPlacement(P.arrayId("X"), ArrayPlacement::blockedDim(1));
   NestSchedule S;

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Regenerates testdata/codegen/<example>.spmd.golden after an intentional
+# change to the message-passing SPMD emission (see CompareSpmdGolden.cmake
+# and docs/CODEGEN.md). The golden is the full stdout of
+#
+#   alpc examples/<example>.alp --machine=touchstone --emit=spmd
+#
+# so it pins the decomposition report AND the emitted send/recv schedule.
+#
+# Usage: tests/update_spmd_golden.sh [path-to-alpc]
+set -eu
+ALPC=${1:-build/tools/alpc}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+for input in "$ROOT"/examples/*.alp; do
+  stem=$(basename "$input" .alp)
+  out="$ROOT/testdata/codegen/$stem.spmd.golden"
+  "$ALPC" "$input" --machine=touchstone --emit=spmd > "$out"
+  echo "wrote $out"
+done

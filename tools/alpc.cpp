@@ -19,17 +19,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "alp.h"
+
 #include "analysis/Dependence.h"
 #include "analysis/Lint.h"
-#include "codegen/CommAnalysis.h"
-#include "codegen/SpmdEmitter.h"
-#include "core/Driver.h"
 #include "core/Fusion.h"
 #include "core/Verify.h"
-#include "frontend/Lowering.h"
 #include "ir/Printer.h"
-#include "machine/NumaSimulator.h"
-#include "machine/ScheduleDerivation.h"
 #include "support/Trace.h"
 
 #include <cerrno>
@@ -124,6 +120,8 @@ int main(int argc, char **argv) {
   DiagFormat Format = DiagFormat::Text;
   unsigned Procs = 32;
   int64_t Block = 4;
+  std::string MachineName = "dash";
+  std::string EmitMode;
   std::string TracePath, StatsPath;
 
   auto BoolFlag = [](bool &Target, bool Value) {
@@ -163,6 +161,29 @@ int main(int argc, char **argv) {
        BoolFlag(DoFuse, true)},
       {"--spmd", nullptr, "print the generated SPMD pseudo-code",
        BoolFlag(DoSpmd, true)},
+      {"--emit", "spmd|comm-plan",
+       "codegen backend: 'spmd' prints message-passing SPMD code driven "
+       "by the planned communication schedule; 'comm-plan' prints the "
+       "schedule itself",
+       [&](const std::string &V) {
+         if (V != "spmd" && V != "comm-plan") {
+           std::fprintf(stderr, "unknown emit mode '%s'\n", V.c_str());
+           return false;
+         }
+         EmitMode = V;
+         return true;
+       }},
+      {"--machine", "dash|touchstone",
+       "machine preset: 'dash' (cache-coherent NUMA, default) or "
+       "'touchstone' (message-passing multicomputer)",
+       [&](const std::string &V) {
+         if (V != "dash" && V != "touchstone") {
+           std::fprintf(stderr, "unknown machine '%s'\n", V.c_str());
+           return false;
+         }
+         MachineName = V;
+         return true;
+       }},
       {"--comm", nullptr, "print the communication analysis",
        BoolFlag(DoComm, true)},
       {"--print-ir", nullptr, "print the canonicalized IR",
@@ -399,6 +420,18 @@ int main(int argc, char **argv) {
   MachineParams M;
   M.NumProcs = Procs;
   M.BlockSize = Block;
+  if (MachineName == "touchstone") {
+    // Touchstone-like multicomputer: one processor per node, remote data
+    // moves in messages with a software overhead per message.
+    M.ProcsPerCluster = 1;
+    M.MessagePassing = true;
+  }
+
+  // The shared codegen configuration: every consumer (emitter, comm
+  // analysis, planner, simulator schedules) takes its block size from the
+  // machine description, so schedule and emission cannot diverge.
+  CodegenOptions CG = CodegenOptions::forMachine(M);
+  CG.Observe = Observe;
 
   auto RunDecompose = [&](ProgramDecomposition &Out) -> bool {
     Expected<ProgramDecomposition> R = decomposeOrError(P, M, Opts);
@@ -443,10 +476,19 @@ int main(int argc, char **argv) {
   std::printf("%s", printDecomposition(P, PD).c_str());
 
   if (DoSpmd)
-    std::printf("\n=== SPMD ===\n%s", emitSpmd(P, PD, Block, Observe).c_str());
+    std::printf("\n=== SPMD ===\n%s", emitSpmd(P, PD, CG).c_str());
+
+  if (EmitMode == "spmd") {
+    CodegenOptions MsgCG = CG;
+    MsgCG.EmitMessages = true;
+    std::printf("\n=== SPMD (message passing) ===\n%s",
+                emitSpmd(P, PD, MsgCG).c_str());
+  } else if (EmitMode == "comm-plan") {
+    std::printf("\n%s", planCommunication(P, PD, CG).report(P).c_str());
+  }
 
   if (DoComm) {
-    CommSummary CS = analyzeCommunication(P, PD, Block);
+    CommSummary CS = analyzeCommunication(P, PD, CG);
     std::printf("\n%s", CS.report(P).c_str());
   }
 
@@ -459,7 +501,10 @@ int main(int argc, char **argv) {
     LintOptions LO;
     LO.CheckRaces = false;
     LO.CheckModel = false;
-    LO.BlockSize = Block;
+    LO.BlockSize = CG.BlockSize;
+    // Both sides read MachineParams.BlockSize, so the block-size
+    // divergence lint stays silent here by construction.
+    LO.ScheduleBlockSize = M.BlockSize;
     LO.Budget = &Budget;
     LintResult R;
     {
@@ -486,16 +531,29 @@ int main(int argc, char **argv) {
   if (DoSim) {
     NumaSimulator Sim(P, M);
     Sim.setObserve(Observe);
-    applyDecomposition(Sim, P, PD, Block);
+    if (M.MessagePassing) {
+      // Message-passing machine: cost the planned bulk schedule, the same
+      // one --emit=spmd renders, instead of fine-grained per-line
+      // messages.
+      CodegenOptions PlanCG = CG;
+      if (!EmitMode.empty())
+        PlanCG.Observe = {}; // comm.* counters already published once.
+      Sim.setCommSchedule(planCommunication(P, PD, PlanCG).schedule());
+    }
+    applyDecomposition(Sim, P, PD);
     double Seq = Sim.sequentialCycles();
-    std::printf("\n=== simulation (machine: %u procs) ===\n", Procs);
+    std::printf("\n=== simulation (machine: %s, %u procs) ===\n",
+                MachineName.c_str(), Procs);
     std::printf("sequential: %.3g cycles\n", Seq);
     for (unsigned Pr = 1; Pr <= Procs; Pr *= 2) {
       SimResult R = Sim.run(Pr);
       std::printf("%3u procs: %12.3g cycles  speedup %6.2f  "
-                  "(reorg %.2g, sync %.2g, remote lines %.3g)\n",
+                  "(reorg %.2g, sync %.2g, remote lines %.3g",
                   Pr, R.Cycles, Seq / R.Cycles, R.ReorgCycles,
                   R.SyncCycles, R.RemoteLineFetches);
+      if (M.MessagePassing)
+        std::printf(", msgs %.3g", R.MessagesSent);
+      std::printf(")\n");
     }
   }
   if (!WriteObservability())
