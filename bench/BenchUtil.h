@@ -10,10 +10,12 @@
 #define ALP_BENCH_BENCHUTIL_H
 
 #include "frontend/Lowering.h"
+#include "support/AtomicFile.h"
 #include "support/Diagnostics.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cstdarg>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -57,6 +59,50 @@ RepStats timeReps(unsigned Reps, unsigned Warmup, Fn &&F) {
   S.P99Ms = Quantile(0.99);
   return S;
 }
+
+/// printf-style accumulator for a JSON artifact, published in one atomic
+/// rename (support/AtomicFile.h) so a benchmark killed mid-write never
+/// leaves a truncated result file behind.
+class ArtifactWriter {
+public:
+#if defined(__GNUC__)
+  __attribute__((format(printf, 2, 3)))
+#endif
+  void
+  printf(const char *Fmt, ...) {
+    va_list Args;
+    va_start(Args, Fmt);
+    char Stack[512];
+    int N = std::vsnprintf(Stack, sizeof(Stack), Fmt, Args);
+    va_end(Args);
+    if (N < 0)
+      return;
+    if (static_cast<size_t>(N) < sizeof(Stack)) {
+      Buf.append(Stack, static_cast<size_t>(N));
+      return;
+    }
+    std::vector<char> Heap(static_cast<size_t>(N) + 1);
+    va_start(Args, Fmt);
+    std::vsnprintf(Heap.data(), Heap.size(), Fmt, Args);
+    va_end(Args);
+    Buf.append(Heap.data(), static_cast<size_t>(N));
+  }
+
+  /// Writes the accumulated content to \p Path; false (with a message on
+  /// stderr) on failure.
+  bool publish(const char *Path) const {
+    Status S = writeFileAtomic(Path, Buf);
+    if (!S.isOk()) {
+      std::fprintf(stderr, "error: cannot write '%s': %s\n", Path,
+                   S.str().c_str());
+      return false;
+    }
+    return true;
+  }
+
+private:
+  std::string Buf;
+};
 
 /// Renders one RepStats as a JSON object body (no braces).
 inline std::string repStatsJson(const RepStats &S) {

@@ -144,21 +144,16 @@ int main(int argc, char **argv) {
               "strictly fewer cycles on every kernel\n",
               AllOk ? "ok" : "MISMATCH");
 
-  std::FILE *Out = std::fopen(OutPath, "w");
-  if (!Out) {
-    std::fprintf(stderr, "error: cannot write '%s'\n", OutPath);
-    return 1;
-  }
-  std::fprintf(Out, "{\n  \"benchmark\": \"comm\",\n");
-  std::fprintf(Out, "  \"alp_stats\": {\"schema_version\": %u},\n",
+  ArtifactWriter Out;
+  Out.printf("{\n  \"benchmark\": \"comm\",\n");
+  Out.printf("  \"alp_stats\": {\"schema_version\": %u},\n",
                StatsSchemaVersion);
-  std::fprintf(Out, "  \"smoke\": %s,\n", Smoke ? "true" : "false");
-  std::fprintf(Out, "  \"procs\": %u,\n", Procs);
-  std::fprintf(Out, "  \"kernels\": [\n");
+  Out.printf("  \"smoke\": %s,\n", Smoke ? "true" : "false");
+  Out.printf("  \"procs\": %u,\n", Procs);
+  Out.printf("  \"kernels\": [\n");
   for (size_t I = 0; I != Results.size(); ++I) {
     const KernelResult &R = Results[I];
-    std::fprintf(
-        Out,
+    Out.printf(
         "    {\"kernel\": \"%s\", \"unplanned\": {%s}, \"planned\": {%s},\n"
         "     \"message_ratio\": %.3f, \"cycles_lower\": %s,\n"
         "     \"plan\": {\"messages\": %llu, \"elements\": %llu, "
@@ -175,17 +170,18 @@ int main(int argc, char **argv) {
         static_cast<unsigned long long>(R.Plan.FineGrainedOps),
         I + 1 == Results.size() ? "" : ",");
   }
-  std::fprintf(Out, "  ],\n");
-  std::fprintf(Out, "  \"invariants_hold\": %s,\n", AllOk ? "true" : "false");
+  Out.printf("  ],\n");
+  Out.printf("  \"invariants_hold\": %s,\n", AllOk ? "true" : "false");
   // The comm.* counters and planner spans in the versioned stats schema.
   {
     std::string Stats = renderStatsJson(&Metrics, &Trace);
     while (!Stats.empty() && Stats.back() == '\n')
       Stats.pop_back();
-    std::fprintf(Out, "  \"stats\": %s\n", Stats.c_str());
+    Out.printf("  \"stats\": %s\n", Stats.c_str());
   }
-  std::fprintf(Out, "}\n");
-  std::fclose(Out);
+  Out.printf("}\n");
+  if (!Out.publish(OutPath))
+    return 1;
   std::printf("wrote %s\n", OutPath);
 
   return AllOk ? 0 : 1;

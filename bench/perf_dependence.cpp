@@ -250,45 +250,42 @@ int main(int argc, char **argv) {
   std::printf("fast-path advantage: %.2fx\n",
               RB.IntNsPerOp > 0 ? RB.FracNsPerOp / RB.IntNsPerOp : 0);
 
-  std::FILE *Out = std::fopen(OutPath, "w");
-  if (!Out) {
-    std::fprintf(stderr, "error: cannot write '%s'\n", OutPath);
-    return 1;
-  }
-  std::fprintf(Out, "{\n  \"benchmark\": \"dependence\",\n");
-  std::fprintf(Out, "  \"alp_stats\": {\"schema_version\": %u},\n",
+  ArtifactWriter Out;
+  Out.printf("{\n  \"benchmark\": \"dependence\",\n");
+  Out.printf("  \"alp_stats\": {\"schema_version\": %u},\n",
                StatsSchemaVersion);
-  std::fprintf(Out, "  \"smoke\": %s,\n", Smoke ? "true" : "false");
-  std::fprintf(Out, "  \"hardware_threads\": %u,\n",
+  Out.printf("  \"smoke\": %s,\n", Smoke ? "true" : "false");
+  Out.printf("  \"hardware_threads\": %u,\n",
                ThreadPool::hardwareConcurrency());
-  std::fprintf(Out, "  \"configs\": [\n");
+  Out.printf("  \"configs\": [\n");
   for (size_t I = 0; I != Configs.size(); ++I)
-    std::fprintf(Out, "    {\"name\": \"%s\", %s, %s}%s\n",
+    Out.printf("    {\"name\": \"%s\", %s, %s}%s\n",
                  Configs[I].Name.c_str(),
                  repStatsJson(Configs[I].Stats).c_str(),
                  tierStatsJson(Configs[I].Tiers).c_str(),
                  I + 1 == Configs.size() ? "" : ",");
-  std::fprintf(Out, "  ],\n");
-  std::fprintf(Out, "  \"baseline_mean_ms\": %.6g,\n", BaselineMean);
-  std::fprintf(Out, "  \"tiered_memoized_mean_ms\": %.6g,\n", FullMean);
-  std::fprintf(Out, "  \"speedup_tiered_memoized_vs_baseline\": %.3f,\n",
+  Out.printf("  ],\n");
+  Out.printf("  \"baseline_mean_ms\": %.6g,\n", BaselineMean);
+  Out.printf("  \"tiered_memoized_mean_ms\": %.6g,\n", FullMean);
+  Out.printf("  \"speedup_tiered_memoized_vs_baseline\": %.3f,\n",
                Speedup);
-  std::fprintf(Out, "  \"results_identical\": %s,\n",
+  Out.printf("  \"results_identical\": %s,\n",
                Identical ? "true" : "false");
-  std::fprintf(Out, "  \"tracing_overhead_ratio\": %.3f,\n", TracingOverhead);
+  Out.printf("  \"tracing_overhead_ratio\": %.3f,\n", TracingOverhead);
   // The traced run's counters, gauges, and span aggregates in the same
   // versioned schema alpc --stats emits.
   std::string Stats = renderStatsJson(&Metrics, &Trace);
   while (!Stats.empty() && Stats.back() == '\n')
     Stats.pop_back();
-  std::fprintf(Out, "  \"stats\": %s,\n", Stats.c_str());
-  std::fprintf(Out,
+  Out.printf("  \"stats\": %s,\n", Stats.c_str());
+  Out.printf(
                "  \"rational_fastpath\": {\"int_den_ns_per_op\": %.3f, "
                "\"frac_den_ns_per_op\": %.3f, \"advantage\": %.3f}\n",
                RB.IntNsPerOp, RB.FracNsPerOp,
                RB.IntNsPerOp > 0 ? RB.FracNsPerOp / RB.IntNsPerOp : 0);
-  std::fprintf(Out, "}\n");
-  std::fclose(Out);
+  Out.printf("}\n");
+  if (!Out.publish(OutPath))
+    return 1;
   std::printf("wrote %s\n", OutPath);
 
   return Identical ? 0 : 1;

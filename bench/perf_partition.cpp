@@ -166,35 +166,31 @@ int main(int argc, char **argv) {
               Speedup, Identical ? "yes" : "NO",
               CountersIdentical ? "yes" : "NO");
 
-  std::FILE *Out = std::fopen(OutPath, "w");
-  if (!Out) {
-    std::fprintf(stderr, "error: cannot write '%s'\n", OutPath);
-    return 1;
-  }
-  std::fprintf(Out, "{\n  \"benchmark\": \"partition\",\n");
-  std::fprintf(Out, "  \"alp_stats\": {\"schema_version\": %u},\n",
+  ArtifactWriter Out;
+  Out.printf("{\n  \"benchmark\": \"partition\",\n");
+  Out.printf("  \"alp_stats\": {\"schema_version\": %u},\n",
                StatsSchemaVersion);
-  std::fprintf(Out, "  \"smoke\": %s,\n", Smoke ? "true" : "false");
-  std::fprintf(Out, "  \"hardware_threads\": %u,\n", Hw);
-  std::fprintf(Out, "  \"fixpoint\": [\n");
+  Out.printf("  \"smoke\": %s,\n", Smoke ? "true" : "false");
+  Out.printf("  \"hardware_threads\": %u,\n", Hw);
+  Out.printf("  \"fixpoint\": [\n");
   for (size_t I = 0; I != Fixpoint.size(); ++I)
-    std::fprintf(Out,
+    Out.printf(
                  "    {\"nests\": %u, \"plain\": {%s}, \"blocked\": {%s}}%s\n",
                  Fixpoint[I].K, repStatsJson(Fixpoint[I].Plain).c_str(),
                  repStatsJson(Fixpoint[I].Blocked).c_str(),
                  I + 1 == Fixpoint.size() ? "" : ",");
-  std::fprintf(Out, "  ],\n");
-  std::fprintf(Out, "  \"driver\": {\n");
-  std::fprintf(Out, "    \"serial\": {%s},\n",
+  Out.printf("  ],\n");
+  Out.printf("  \"driver\": {\n");
+  Out.printf("    \"serial\": {%s},\n",
                repStatsJson(Serial.Stats).c_str());
-  std::fprintf(Out, "    \"parallel\": {%s, \"jobs\": %u},\n",
+  Out.printf("    \"parallel\": {%s, \"jobs\": %u},\n",
                repStatsJson(Parallel.Stats).c_str(), Hw);
-  std::fprintf(Out, "    \"speedup\": %.3f,\n", Speedup);
-  std::fprintf(Out, "    \"results_identical\": %s,\n",
+  Out.printf("    \"speedup\": %.3f,\n", Speedup);
+  Out.printf("    \"results_identical\": %s,\n",
                Identical ? "true" : "false");
-  std::fprintf(Out, "    \"counters_identical\": %s\n",
+  Out.printf("    \"counters_identical\": %s\n",
                CountersIdentical ? "true" : "false");
-  std::fprintf(Out, "  },\n");
+  Out.printf("  },\n");
   // The parallel observed run's counters and spans in the same versioned
   // schema alpc --stats emits. (Gauges and timings vary run to run; the
   // counters section is the jobs-deterministic payload.)
@@ -202,10 +198,11 @@ int main(int argc, char **argv) {
     std::string Stats = renderStatsJson(&ParallelMetrics, &Trace);
     while (!Stats.empty() && Stats.back() == '\n')
       Stats.pop_back();
-    std::fprintf(Out, "  \"stats\": %s\n", Stats.c_str());
+    Out.printf("  \"stats\": %s\n", Stats.c_str());
   }
-  std::fprintf(Out, "}\n");
-  std::fclose(Out);
+  Out.printf("}\n");
+  if (!Out.publish(OutPath))
+    return 1;
   std::printf("wrote %s\n", OutPath);
 
   return Identical && CountersIdentical ? 0 : 1;

@@ -5,12 +5,24 @@
 #include "linalg/FourierMotzkin.h"
 #include "linalg/IntegerOps.h"
 #include "linalg/SystemKey.h"
+#include "support/FailPoint.h"
+#include "support/Supervisor.h"
 #include "support/ThreadPool.h"
 
 #include <set>
 #include <sstream>
 
 using namespace alp;
+
+namespace {
+
+/// Injection site at the head of every access-pair dependence test; an
+/// injected Status degrades the pair to assumed dependence exactly like a
+/// blown budget, an injected exception exercises the supervisor's retry
+/// path on the parallel driver.
+FailPoint FpDepPair("analysis.dependence.pair");
+
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // DepComponent / Dependence
@@ -496,6 +508,8 @@ void DependenceAnalysis::analyzePair(const LoopNest &Nest,
   const ArrayAccess &B = Nest.Body[TStmt].Accesses[TAcc];
   unsigned L = Nest.depth();
 
+  if (Status S = FpDepPair.evaluate(PairBudget); !S)
+    throw AlpException(S);
   if (PairBudget)
     if (Status S = PairBudget->checkDeadline(); !S)
       throw AlpException(S);
@@ -735,20 +749,40 @@ DependenceAnalysis::analyze(const LoopNest &Nest) const {
     return Out;
   }
 
-  // Parallel path: each pair gets its own copy of the budget (shared
-  // absolute deadline, private step counters) so which pair degrades
-  // cannot depend on scheduling, then results merge in pair order —
-  // byte-identical output for every job count.
+  // Parallel path, supervised: each pair attempt gets its own copy of the
+  // budget (shared absolute deadline, private step counters) so which
+  // pair degrades cannot depend on scheduling, then results merge in pair
+  // order — byte-identical output for every job count. analyzePair
+  // answers budget exhaustion and AlpException conservatively itself; the
+  // supervisor catches what escapes it (injected OOM, task deadline),
+  // retries on a shrunken budget, and degrades the pair to the same
+  // assumed-dependence answer when every attempt fails.
   std::vector<PairResult> Results(Pairs.size());
-  Options.Pool->parallelFor(Pairs.size(), [&](size_t I) {
-    std::optional<ResourceBudget> Local;
-    ResourceBudget *PairBudget = nullptr;
-    if (Budget) {
-      Local.emplace(*Budget);
-      PairBudget = &*Local;
+  SupervisorOptions SOpts;
+  SOpts.MaxAttempts = Options.TaskAttempts;
+  SOpts.TaskDeadlineMs = Options.TaskDeadlineMs;
+  SOpts.Observe = Options.Observe;
+  Supervisor Sup(Options.Pool, Budget, SOpts);
+  std::vector<SupervisedOutcome> Outcomes =
+      Sup.run(Pairs.size(), [&](size_t I, ResourceBudget *B) {
+        Results[I] = PairResult(); // Fresh slate on retry.
+        // Keep the historical "null budget = unlimited" fast path unless
+        // a per-task deadline needs the supervisor's budget to carry it.
+        ResourceBudget *PairBudget =
+            Budget || Options.TaskDeadlineMs ? B : nullptr;
+        analyzePair(Nest, Pairs[I], PairBudget, Results[I]);
+        return Status::ok();
+      });
+  for (size_t I = 0; I != Pairs.size(); ++I) {
+    SupervisedOutcome &O = Outcomes[I];
+    if (O.degraded()) {
+      Results[I] = PairResult();
+      appendConservativePair(Nest, Pairs[I], O.Result, Results[I]);
+    } else if (O.retried()) {
+      Results[I].Warnings.push_back("dependence " +
+                                    Supervisor::describe(O, I));
     }
-    analyzePair(Nest, Pairs[I], PairBudget, Results[I]);
-  });
+  }
   for (PairResult &R : Results)
     Merge(R);
   return Out;

@@ -118,6 +118,15 @@ struct DependenceOptions {
   /// reaches tier 2); nullptr = no tracing. Counters are not collected
   /// here — snapshot tierStats() and publish it into a MetricsRegistry.
   Tracer *Trace = nullptr;
+  /// Supervision of the parallel path (ignored without a Pool): total
+  /// attempts per pair task and an optional per-attempt wall-clock
+  /// deadline (0 = none). A pair whose every attempt fails with an
+  /// escaped exception — injected OOM, deadline — degrades to the same
+  /// conservative assumed-dependence answer as a blown budget.
+  unsigned TaskAttempts = 2;
+  uint64_t TaskDeadlineMs = 0;
+  /// Metrics sink for the supervisor's driver.* counters; may be empty.
+  TraceContext Observe;
 };
 
 /// Counters of one analysis run: how far pairs got down the tier ladder,

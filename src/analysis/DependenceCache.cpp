@@ -2,7 +2,19 @@
 
 #include "analysis/DependenceCache.h"
 
+#include "support/FailPoint.h"
+
 using namespace alp;
+
+namespace {
+
+/// Forces cache misses: the pair recomputes its projection, which must
+/// yield byte-identical output (results are pure functions of the key).
+FailPoint FpCacheLookup("analysis.cache.lookup");
+/// Drops cache stores: later lookups recompute, output again identical.
+FailPoint FpCacheInsert("analysis.cache.insert");
+
+} // namespace
 
 void DependenceCacheStats::publishTo(MetricsRegistry &MR) const {
   MR.setGauge("dep.cache.raw_hits", static_cast<double>(Hits));
@@ -14,6 +26,10 @@ void DependenceCacheStats::publishTo(MetricsRegistry &MR) const {
 
 std::optional<std::optional<VariableBounds>>
 DependenceCache::lookupBounds(const CanonicalSystemKey &Key, unsigned Var) {
+  // An injected fault (status-error and friends) reads as a miss — the
+  // caller recomputes, degrading throughput but never the answer.
+  if (Status S = FpCacheLookup.evaluate(); !S)
+    return std::nullopt;
   std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Index.find(EntryKey{Key, Var});
   if (It == Index.end()) {
@@ -27,6 +43,10 @@ DependenceCache::lookupBounds(const CanonicalSystemKey &Key, unsigned Var) {
 
 void DependenceCache::storeBounds(const CanonicalSystemKey &Key, unsigned Var,
                                   const std::optional<VariableBounds> &Bounds) {
+  // An injected fault drops the store; the entry is simply recomputed by
+  // whoever needs it next.
+  if (Status S = FpCacheInsert.evaluate(); !S)
+    return;
   std::lock_guard<std::mutex> Lock(Mutex);
   EntryKey EK{Key, Var};
   auto It = Index.find(EK);

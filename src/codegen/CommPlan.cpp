@@ -3,6 +3,7 @@
 #include "codegen/CommPlan.h"
 
 #include "machine/ScheduleDerivation.h"
+#include "support/FailPoint.h"
 
 #include <algorithm>
 #include <cmath>
@@ -147,10 +148,20 @@ uint64_t roundCount(double V) {
 
 } // namespace
 
+namespace {
+
+/// Injection site at the head of communication-plan lowering; a fault
+/// surfaces as AlpException for the tool-level stage guard to convert to
+/// a clean error (there is no sound partial plan to degrade to).
+FailPoint FpCommPlanLower("codegen.commplan.lower");
+
+} // namespace
+
 CommPlan alp::planCommunication(const Program &P,
                                 const ProgramDecomposition &PD,
                                 const CodegenOptions &Opts) {
   TraceSpan Span(Opts.Observe.Trace, "codegen.plan_comm");
+  FpCommPlanLower.evaluateOrThrow();
   CommPlan Plan;
 
   CodegenOptions AnalysisOpts = Opts;

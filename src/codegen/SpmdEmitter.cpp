@@ -5,6 +5,7 @@
 #include "codegen/CommPlan.h"
 #include "ir/Printer.h"
 #include "machine/ScheduleDerivation.h"
+#include "support/FailPoint.h"
 
 #include <optional>
 #include <set>
@@ -303,9 +304,19 @@ private:
 
 } // namespace
 
+namespace {
+
+/// Injection site at the head of SPMD emission; a fault surfaces as
+/// AlpException for the tool-level stage guard (emitted code is all or
+/// nothing — no degraded variant exists).
+FailPoint FpSpmdEmit("codegen.spmd.emit");
+
+} // namespace
+
 std::string alp::emitSpmd(const Program &P, const ProgramDecomposition &PD,
                           const CodegenOptions &Opts) {
   TraceSpan Span(Opts.Observe.Trace, "codegen.emit_spmd");
+  FpSpmdEmit.evaluateOrThrow();
   std::optional<CommPlan> Plan;
   if (Opts.EmitMessages)
     Plan = planCommunication(P, PD, Opts);

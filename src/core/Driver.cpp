@@ -4,6 +4,7 @@
 
 #include "core/DisplacementSolver.h"
 #include "support/Diagnostics.h"
+#include "support/FailPoint.h"
 #include "support/ThreadPool.h"
 #include "transform/Unimodular.h"
 
@@ -13,6 +14,15 @@
 #include <sstream>
 
 using namespace alp;
+
+namespace {
+
+/// Injection site at the head of the whole pipeline: a fault here has no
+/// stage fallback, so it must surface as a clean error Status from
+/// decomposeOrError (never a crash).
+FailPoint FpDriverPipeline("driver.pipeline");
+
+} // namespace
 
 Expected<ProgramDecomposition>
 alp::decomposeOrError(Program &P, const MachineParams &Machine,
@@ -34,6 +44,8 @@ alp::decomposeOrError(Program &P, const MachineParams &Machine,
 
   try {
 
+  FpDriverPipeline.evaluateOrThrow(&Budget);
+
   if (Opts.RunLocalPhase) {
     TraceSpan Span(Observe.Trace, "driver.local_phase");
     std::vector<std::string> LPWarnings;
@@ -41,6 +53,8 @@ alp::decomposeOrError(Program &P, const MachineParams &Machine,
     LPOpts.Pool = &Pool;
     LPOpts.SharedCache = &SharedCache;
     LPOpts.Observe = Observe;
+    LPOpts.TaskAttempts = Opts.TaskAttempts;
+    LPOpts.TaskDeadlineMs = Opts.TaskDeadlineMs;
     runLocalPhase(P, &Budget, &LPWarnings, LPOpts);
     for (const std::string &W : LPWarnings)
       PD.Degradations.push_back({W.rfind("local phase", 0) == 0
@@ -57,6 +71,8 @@ alp::decomposeOrError(Program &P, const MachineParams &Machine,
   DynOpts.Budget = &Budget;
   DynOpts.Pool = &Pool;
   DynOpts.Observe = Observe;
+  DynOpts.TaskAttempts = Opts.TaskAttempts;
+  DynOpts.TaskDeadlineMs = Opts.TaskDeadlineMs;
   DynamicResult DR = [&] {
     TraceSpan Span(Observe.Trace, "driver.dynamic_decomposition");
     return Opts.MultiLevel
@@ -65,6 +81,11 @@ alp::decomposeOrError(Program &P, const MachineParams &Machine,
   }();
 
   PD.ComponentOf = DR.ComponentOf;
+  // Supervision events from the dynamic phase (abandoned joins, retried
+  // initial solves) are degradations of the Partition stage: the answer
+  // is valid but not provably the fault-free one.
+  for (const std::string &W : DR.Warnings)
+    PD.Degradations.push_back({Degradation::Stage::Partition, W});
 
   // Cross-component orientation matching: components processed in
   // decreasing total-work order seed preferences for later ones.

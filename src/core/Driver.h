@@ -60,6 +60,15 @@ struct DriverOptions {
   /// decomposition — each task on its own budget copy — so the output is
   /// byte-identical for every value of Jobs.
   unsigned Jobs = 1;
+  /// Supervised-driver policy (support/Supervisor.h), threaded into every
+  /// parallel fan-out: total attempts per task (first run + retries on a
+  /// shrunken budget) and a per-attempt wall-clock deadline in
+  /// milliseconds (0 = none; like DeadlineMs, an armed task deadline
+  /// trades jobs-determinism for boundedness). A task whose every attempt
+  /// fails degrades to its stage's conservative fallback, recorded in
+  /// ProgramDecomposition::Degradations.
+  unsigned TaskAttempts = 2;
+  uint64_t TaskDeadlineMs = 0;
   /// Template for every partition solve of the run (pre-seeded kernels;
   /// Budget and Observe are overwritten by the driver).
   PartitionOptions Partition;

@@ -2,6 +2,8 @@
 
 #include "core/DynamicDecomposer.h"
 
+#include "support/FailPoint.h"
+#include "support/Supervisor.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -10,6 +12,15 @@
 #include <set>
 
 using namespace alp;
+
+namespace {
+
+/// Injection site at the head of every greedy join attempt; a fault
+/// abandons the join (conservative: the components stay apart, the edge
+/// stays cut) and is recorded in the result's warning ledger.
+FailPoint FpDynamicJoin("core.dynamic.join");
+
+} // namespace
 
 std::vector<unsigned> DynamicResult::nestsOfComponent(unsigned Comp) const {
   std::vector<unsigned> Out;
@@ -101,20 +112,49 @@ DynamicResult greedyJoin(const Program &P, const CostModel &CM,
   };
 
   // Initial per-nest partitions and benefits. With a pool the solves fan
-  // out, each on a private budget copy; results land in nest order either
-  // way, so the join loop below sees identical inputs for any job count.
+  // out supervised, each attempt on a private budget copy; results land
+  // in nest order either way, so the join loop below sees identical
+  // inputs for any job count.
   std::vector<PartitionResult> Initial(Nests.size());
   {
     TraceSpan InitSpan(DOpts.Observe.Trace, "dynamic.initial_solves");
-    parallelForN(Pool, Nests.size(), [&](size_t I) {
-      std::optional<ResourceBudget> Local;
-      ResourceBudget *B = Budget;
-      if (Pool && Budget) {
-        Local.emplace(*Budget);
-        B = &*Local;
+    if (!Pool) {
+      // Serial path: solves share the cumulative budget (historical
+      // semantics; the solver degrades itself on exhaustion).
+      for (size_t I = 0; I != Nests.size(); ++I)
+        Initial[I] = SolveWith({Nests[I]}, Budget);
+    } else {
+      SupervisorOptions SOpts;
+      SOpts.MaxAttempts = DOpts.TaskAttempts;
+      SOpts.TaskDeadlineMs = DOpts.TaskDeadlineMs;
+      SOpts.Observe = DOpts.Observe;
+      Supervisor Sup(Pool, Budget, SOpts);
+      std::vector<SupervisedOutcome> Outcomes =
+          Sup.run(Nests.size(), [&](size_t I, ResourceBudget *B) {
+            Initial[I] = PartitionResult(); // Fresh slate on retry.
+            ResourceBudget *TaskBudget =
+                Budget || DOpts.TaskDeadlineMs ? B : nullptr;
+            Initial[I] = SolveWith({Nests[I]}, TaskBudget);
+            return Status::ok();
+          });
+      for (size_t I = 0; I != Nests.size(); ++I) {
+        const SupervisedOutcome &O = Outcomes[I];
+        if (O.degraded()) {
+          // Every attempt threw past the solver's own fallbacks (e.g. an
+          // injected OOM building the interference graph): substitute
+          // the trivial partition, which the per-component degradation
+          // reporting downstream surfaces like any blown solve.
+          InterferenceGraph IG(P, {Nests[I]},
+                               /*IncludeReadOnly=*/!DOpts.ExcludeReadOnly,
+                               &GlobalWritten);
+          Initial[I] = trivialPartition(IG, O.Result);
+        } else if (O.retried()) {
+          R.Warnings.push_back("initial partition solve of nest " +
+                               std::to_string(Nests[I]) + " " +
+                               Supervisor::describe(O, I));
+        }
       }
-      Initial[I] = SolveWith({Nests[I]}, B);
-    });
+    }
   }
   std::map<unsigned, PartitionResult> Parts;
   std::map<unsigned, double> Benefit;
@@ -141,11 +181,40 @@ DynamicResult greedyJoin(const Program &P, const CostModel &CM,
       // Purely sequential loops are components by themselves.
       if (Sequential.count(E.U) || Sequential.count(E.V))
         continue;
+      // A fault here abandons the join: components stay apart, the edge
+      // stays cut — a valid (merely less joined) decomposition, recorded
+      // in the ledger so it can never pass as the fault-free answer.
+      Status JoinFault = Status::ok();
+      try {
+        JoinFault = FpDynamicJoin.evaluate(Budget);
+      } catch (...) {
+        JoinFault = statusFromCurrentException();
+      }
+      if (!JoinFault) {
+        DOpts.Observe.count("dynamic.joins_abandoned");
+        R.Warnings.push_back("join of nests " + std::to_string(E.U) +
+                             " and " + std::to_string(E.V) +
+                             " abandoned (" + JoinFault.str() + ")");
+        continue;
+      }
       DOpts.Observe.count("dynamic.joins_attempted");
       std::vector<unsigned> Joined = Members(RU);
       std::vector<unsigned> MV = Members(RV);
       Joined.insert(Joined.end(), MV.begin(), MV.end());
-      PartitionResult JP = Solve(Joined);
+      PartitionResult JP;
+      try {
+        JP = Solve(Joined);
+      } catch (...) {
+        // The solver degrades itself on budget/overflow; what escapes is
+        // allocation failure building the joined graph. Same answer as a
+        // fault: abandon the join, keep both components.
+        Status Why = statusFromCurrentException();
+        DOpts.Observe.count("dynamic.joins_abandoned");
+        R.Warnings.push_back("join of nests " + std::to_string(E.U) +
+                             " and " + std::to_string(E.V) +
+                             " abandoned (" + Why.str() + ")");
+        continue;
+      }
       double JoinedBenefit = CM.totalBenefit(JP);
       // Cross-component reorganization cost eliminated by the join.
       double Saved = 0.0;
@@ -275,6 +344,7 @@ DynamicResult alp::runMultiLevelDynamicDecomposition(
   // and stops seeding (the paper's array-node splitting).
   PartitionOptions Seeds;
   std::set<unsigned> SplitArrays;
+  std::vector<std::string> InnerWarnings;
   for (const Context &Ctx : Contexts) {
     std::vector<unsigned> Nests;
     Leaves(*Ctx.Nodes, Nests);
@@ -287,6 +357,9 @@ DynamicResult alp::runMultiLevelDynamicDecomposition(
         Local.push_back(E);
     DynamicResult LR = greedyJoin(P, CM, Nests, std::move(Local), Opts,
                                   GlobalWritten, Seeds);
+    // Inner-level supervision events must survive into the final ledger.
+    for (std::string &W : LR.Warnings)
+      InnerWarnings.push_back(std::move(W));
     // Seed computation partitions.
     for (const auto &[Root, Parts] : LR.Partitions)
       for (const auto &[NestId, Kernel] : Parts.CompKernel) {
@@ -318,7 +391,10 @@ DynamicResult alp::runMultiLevelDynamicDecomposition(
   }
 
   // Final level: the whole program, seeded from below.
-  return published(greedyJoin(P, CM, P.nestsInOrder(), std::move(AllEdges),
-                              Opts, GlobalWritten, Seeds),
-                   Opts.Observe);
+  DynamicResult R = greedyJoin(P, CM, P.nestsInOrder(), std::move(AllEdges),
+                               Opts, GlobalWritten, Seeds);
+  R.Warnings.insert(R.Warnings.begin(),
+                    std::make_move_iterator(InnerWarnings.begin()),
+                    std::make_move_iterator(InnerWarnings.end()));
+  return published(std::move(R), Opts.Observe);
 }

@@ -45,6 +45,11 @@ struct DynamicResult {
   std::vector<CommEdge> CutEdges;
   /// Final value of the communication graph.
   double Value = 0.0;
+  /// Supervised-driver ledger, in deterministic (nest / edge) order: join
+  /// attempts abandoned by a fault and initial solves that needed a
+  /// retry. A non-empty ledger means the result is valid but possibly
+  /// less joined than the fault-free answer.
+  std::vector<std::string> Warnings;
 
   std::vector<unsigned> nestsOfComponent(unsigned Comp) const;
 };
@@ -80,6 +85,12 @@ struct DynamicDecomposerOptions {
   /// Observability sink: "dynamic.*" spans/counters here, "partition.*"
   /// from the solves underneath.
   TraceContext Observe;
+  /// Supervision of the pooled initial solves (support/Supervisor.h):
+  /// total attempts per solve task and an optional per-attempt wall-clock
+  /// deadline (0 = none). A solve whose every attempt fails with an
+  /// escaped exception degrades to the trivial partition of its nest.
+  unsigned TaskAttempts = 2;
+  uint64_t TaskDeadlineMs = 0;
 };
 
 /// Runs the dynamic decomposition over all leaf nests of \p P.

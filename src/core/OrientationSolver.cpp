@@ -3,6 +3,7 @@
 #include "core/OrientationSolver.h"
 
 #include "support/Diagnostics.h"
+#include "support/FailPoint.h"
 
 #include <algorithm>
 #include <deque>
@@ -10,6 +11,10 @@
 using namespace alp;
 
 namespace {
+
+/// Injection site at the head of every per-component orientation solve;
+/// a fault degrades the component to zero matrices, like any overflow.
+FailPoint FpOrientSolve("core.orientation.solve");
 
 /// Pads (or trims) \p M to exactly \p Rows rows, appending zero rows.
 Matrix padRows(const Matrix &M, unsigned Rows) {
@@ -57,6 +62,7 @@ OrientationResult alp::solveOrientations(const InterferenceGraph &IG,
   for (const InterferenceGraph::Component &Comp : IG.connectedComponents()) {
     Opts.Observe.count("orient.components");
     try {
+    FpOrientSolve.evaluateOrThrow(Opts.Budget);
     if (Comp.Arrays.empty()) {
       // Nests touching no arrays: give them a kernel-respecting C anyway.
       for (unsigned J : Comp.Nests) {
@@ -134,11 +140,13 @@ OrientationResult alp::solveOrientations(const InterferenceGraph &IG,
       }
     }
     integerScaleComponent(R, Comp.Nests, Comp.Arrays);
-    } catch (const AlpException &E) {
-      // Propagation overflowed or ran out of budget: map the whole
-      // component to virtual processor 0 with zero matrices. Legal (zero
-      // matrices have full kernels) but sequential; the caller widens the
-      // partition kernels to match.
+    } catch (...) {
+      // Propagation overflowed, ran out of budget, or failed to allocate
+      // (statusFromCurrentException structures whichever it was): map the
+      // whole component to virtual processor 0 with zero matrices. Legal
+      // (zero matrices have full kernels) but sequential; the caller
+      // widens the partition kernels to match.
+      Status Why = statusFromCurrentException();
       const Program &P = IG.program();
       for (unsigned J : Comp.Nests)
         R.C[J] = Matrix::zero(N, P.nest(J).depth());
@@ -149,8 +157,8 @@ OrientationResult alp::solveOrientations(const InterferenceGraph &IG,
                            std::to_string(Comp.Arrays.empty()
                                               ? 0u
                                               : Comp.Arrays.front()) +
-                           " degraded to zero matrices (" +
-                           E.status().str() + ")");
+                           " degraded to zero matrices (" + Why.str() +
+                           ")");
     }
   }
   Opts.Observe.count("orient.degraded_components", R.Warnings.size());

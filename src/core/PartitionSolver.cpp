@@ -3,6 +3,7 @@
 #include "core/PartitionSolver.h"
 
 #include "support/Diagnostics.h"
+#include "support/FailPoint.h"
 
 #include <deque>
 #include <set>
@@ -144,13 +145,12 @@ void multipleArrayConstraint(const InterferenceGraph &IG,
 // The fixpoint (Figure 2)
 //===----------------------------------------------------------------------===//
 
-namespace {
-
 /// The always-legal zero-parallelism answer: full kernels place every
 /// iteration and every array element on one processor, so no communication
-/// constraint can be violated. Used when the exact solve blows its budget.
-PartitionResult trivialPartition(const InterferenceGraph &IG,
-                                 const Status &Why) {
+/// constraint can be violated. Used when the exact solve blows its budget
+/// and by the supervised driver for solve tasks whose every attempt failed.
+PartitionResult alp::trivialPartition(const InterferenceGraph &IG,
+                                      const Status &Why) {
   const Program &P = IG.program();
   PartitionResult R;
   for (unsigned N : IG.nests())
@@ -163,6 +163,8 @@ PartitionResult trivialPartition(const InterferenceGraph &IG,
   R.DegradeReason = Why.str();
   return R;
 }
+
+namespace {
 
 PartitionResult solveImplUnchecked(const InterferenceGraph &IG,
                                    const PartitionOptions &Opts,
@@ -231,6 +233,9 @@ PartitionResult solveImplUnchecked(const InterferenceGraph &IG,
 /// Fail-soft wrapper: a budget trip or arithmetic overflow anywhere in the
 /// solve (including the multiple-array constraint's pseudo-inverses)
 /// degrades to the trivial partition instead of propagating.
+/// Injection site at the head of every partition solve.
+FailPoint FpPartitionSolve("core.partition.solve");
+
 PartitionResult solveImpl(const InterferenceGraph &IG,
                           const PartitionOptions &Opts, bool BlockedInit) {
   TraceSpan Span(Opts.Observe.Trace, "partition.solve");
@@ -241,9 +246,16 @@ PartitionResult solveImpl(const InterferenceGraph &IG,
   uint64_t Iterations = 0;
   PartitionResult R;
   try {
+    FpPartitionSolve.evaluateOrThrow(Opts.Budget);
     R = solveImplUnchecked(IG, Opts, BlockedInit, Iterations);
   } catch (const AlpException &E) {
     R = trivialPartition(IG, E.status());
+    Opts.Observe.count("partition.degraded");
+  } catch (const std::bad_alloc &) {
+    // Allocation failure mid-solve (real or injected) loses the solve,
+    // not the pipeline: the trivial partition is always representable.
+    R = trivialPartition(IG, Status::error(StatusCode::BudgetExceeded,
+                                           "out of memory"));
     Opts.Observe.count("partition.degraded");
   }
   Opts.Observe.count("partition.fixpoint_iterations", Iterations);

@@ -81,6 +81,14 @@ struct PartitionOptions {
   TraceContext Observe;
 };
 
+/// The always-legal zero-parallelism answer: full kernels place every
+/// iteration and every array element on one processor, so no communication
+/// constraint can be violated. The solvers fall back to it when a solve
+/// blows its budget; the supervised driver substitutes it for a solve task
+/// whose every attempt failed. Degraded is set, with \p Why as the reason.
+PartitionResult trivialPartition(const InterferenceGraph &IG,
+                                 const Status &Why);
+
 /// Runs the Sec. 4 algorithm: static partitions, forall parallelism only.
 PartitionResult solvePartitions(const InterferenceGraph &IG,
                                 const PartitionOptions &Opts = {});

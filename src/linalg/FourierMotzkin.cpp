@@ -2,11 +2,21 @@
 
 #include "linalg/FourierMotzkin.h"
 
+#include "support/FailPoint.h"
+
 #include <algorithm>
 #include <set>
 #include <sstream>
 
 using namespace alp;
+
+namespace {
+
+/// Injection site at the top of every Fourier-Motzkin elimination — the
+/// solver step every dependence test and bound computation funnels into.
+FailPoint FpFmEliminate("linalg.fm.eliminate");
+
+} // namespace
 
 Rational LinearConstraint::evaluate(const Vector &X) const {
   return Coeffs.dot(X) + Const;
@@ -106,6 +116,8 @@ void ConstraintSystem::simplify() {
 
 Status ConstraintSystem::eliminateImpl(unsigned Var, ResourceBudget *Budget) {
   assert(Var < NumVars && "variable out of range");
+  if (Status S = FpFmEliminate.evaluate(Budget); !S)
+    return S;
   if (Budget) {
     if (Status S = Budget->chargeEliminationSteps(Constraints.size()); !S)
       return S;
@@ -174,8 +186,11 @@ Status ConstraintSystem::eliminateImpl(unsigned Var, ResourceBudget *Budget) {
 
 void ConstraintSystem::eliminate(unsigned Var) {
   Status S = eliminateImpl(Var, nullptr);
-  (void)S;
-  assert(S.isOk() && "unbudgeted elimination cannot run out of budget");
+  // Unbudgeted elimination cannot run out of budget; the only non-ok
+  // Status here is an injected fault, which propagates like the
+  // arithmetic overflows this signature already throws.
+  if (!S.isOk())
+    throw AlpException(S);
 }
 
 Status ConstraintSystem::eliminate(unsigned Var, ResourceBudget *Budget) {

@@ -2,11 +2,23 @@
 
 #include "linalg/Matrix.h"
 
+#include "support/FailPoint.h"
+
 #include <algorithm>
 #include <ostream>
 #include <sstream>
 
 using namespace alp;
+
+namespace {
+
+/// Injection site for matrix storage allocation (called from the inline
+/// dimension constructor via detail::matrixAllocHook).
+FailPoint FpMatrixAlloc("linalg.matrix.alloc");
+
+} // namespace
+
+void alp::detail::matrixAllocHook() { FpMatrixAlloc.evaluateOrThrow(); }
 
 //===----------------------------------------------------------------------===//
 // Vector

@@ -82,12 +82,20 @@ private:
 
 std::ostream &operator<<(std::ostream &OS, const Vector &V);
 
+namespace detail {
+/// Fault-injection probe for the "linalg.matrix.alloc" site (see
+/// support/FailPoint.h); disarmed cost is one relaxed atomic load.
+void matrixAllocHook();
+} // namespace detail
+
 /// A dense Rows x Cols matrix over Q.
 class Matrix {
 public:
   Matrix() = default;
   Matrix(unsigned Rows, unsigned Cols)
-      : NumRows(Rows), NumCols(Cols), Elems(Rows * Cols) {}
+      : NumRows(Rows), NumCols(Cols), Elems(Rows * Cols) {
+    detail::matrixAllocHook();
+  }
   /// Row-major initializer: Matrix({{1,0},{0,1}}).
   Matrix(std::initializer_list<std::initializer_list<Rational>> Init);
 

@@ -3,6 +3,7 @@
 #include "linalg/Rational.h"
 
 #include "support/CheckedInt.h"
+#include "support/FailPoint.h"
 
 #include <cassert>
 #include <cstdlib>
@@ -10,6 +11,15 @@
 #include <sstream>
 
 using namespace alp;
+
+namespace {
+
+/// Injection site in the arithmetic hot path (every addition and every
+/// reducing construction), so any pipeline that does real math hits it.
+/// Disarmed cost: one relaxed atomic load.
+FailPoint FpRational("linalg.rational");
+
+} // namespace
 
 int64_t alp::gcd64(int64_t A, int64_t B) {
   // Work on unsigned magnitudes so |INT64_MIN| is representable.
@@ -54,6 +64,7 @@ Expected<int64_t> alp::checkedLcm64(int64_t A, int64_t B) {
 
 Rational::Rational(int64_t N, int64_t D) {
   assert(D != 0 && "rational with zero denominator");
+  FpRational.evaluateOrThrow();
   if (D == 1) { // Integer fast path: already reduced and sign-normalized.
     Num = N;
     Den = 1;
@@ -85,6 +96,7 @@ Rational Rational::operator-() const {
 }
 
 Rational Rational::operator+(const Rational &RHS) const {
+  FpRational.evaluateOrThrow();
   Rational R;
   // Integer fast path: no multiplies, no reduction.
   if (Den == 1 && RHS.Den == 1) {

@@ -3,6 +3,7 @@
 #include "machine/NumaSimulator.h"
 
 #include "support/Diagnostics.h"
+#include "support/FailPoint.h"
 
 #include <algorithm>
 #include <functional>
@@ -604,8 +605,17 @@ void NumaSimulator::runNodes(const std::vector<ProgramNode> &Nodes,
   }
 }
 
+namespace {
+
+/// Injection site at the head of every simulation run; a fault surfaces
+/// as AlpException for the tool-level stage guard.
+FailPoint FpSimulateRun("machine.simulate.run");
+
+} // namespace
+
 SimResult NumaSimulator::run(unsigned NumProcs) {
   TraceSpan Span(Observe.Trace, "sim.run", NumProcs);
+  FpSimulateRun.evaluateOrThrow();
   Observe.count("sim.runs");
   RunState S;
   S.Procs = std::max(1u, std::min(NumProcs, M.NumProcs));

@@ -1,0 +1,68 @@
+//===- support/AtomicFile.cpp - Crash-safe artifact writes ----------------===//
+
+#include "support/AtomicFile.h"
+
+#include "support/FailPoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+using namespace alp;
+
+namespace {
+
+/// Fired after the temp file is written but before the rename: the
+/// classic crash window an atomic write must make invisible.
+FailPoint FpIoWrite("io.write");
+
+Status ioError(const std::string &Op, const std::string &Path) {
+  return Status::error(StatusCode::InvalidInput,
+                       Op + " '" + Path + "': " + std::strerror(errno));
+}
+
+} // namespace
+
+Status alp::writeFileAtomic(const std::string &Path,
+                            const std::string &Content) {
+#if defined(_WIN32)
+  const std::string Tmp = Path + ".tmp";
+#else
+  const std::string Tmp = Path + ".tmp." + std::to_string(getpid());
+#endif
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return ioError("cannot open", Tmp);
+  bool Ok = Content.empty() ||
+            std::fwrite(Content.data(), 1, Content.size(), F) == Content.size();
+  Ok = std::fflush(F) == 0 && Ok;
+#if !defined(_WIN32)
+  // Flush to stable storage before the rename publishes the file, so a
+  // crash cannot publish a name pointing at unwritten data.
+  Ok = fsync(fileno(F)) == 0 && Ok;
+#endif
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok) {
+    std::remove(Tmp.c_str());
+    return ioError("cannot write", Tmp);
+  }
+
+  try {
+    FpIoWrite.evaluateOrThrow();
+  } catch (...) {
+    std::remove(Tmp.c_str());
+    return statusFromCurrentException();
+  }
+
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return ioError("cannot rename into", Path);
+  }
+  return Status::ok();
+}

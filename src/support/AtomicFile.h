@@ -1,0 +1,36 @@
+//===- support/AtomicFile.h - Crash-safe artifact writes --------*- C++ -*-===//
+///
+/// \file
+/// Crash-safe file writes for every artifact the toolchain emits (--trace,
+/// --stats, bench JSON, chaos reports): the content is written to a
+/// sibling temp file (`<path>.tmp.<pid>`) which is fsync'd and then
+/// renamed over the destination. rename(2) on POSIX is atomic within a
+/// filesystem, so a reader — or a process killed mid-write — observes
+/// either the complete old artifact or the complete new one, never a
+/// truncated hybrid. tests/kill_mid_write.sh validates exactly that by
+/// killing writers at random points.
+///
+/// The path "-" is NOT handled here; callers that support stdout keep
+/// streaming to it directly (a pipe has no rename).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_SUPPORT_ATOMICFILE_H
+#define ALP_SUPPORT_ATOMICFILE_H
+
+#include "support/Status.h"
+
+#include <string>
+
+namespace alp {
+
+/// Atomically replaces \p Path with \p Content (temp file + fsync +
+/// rename). On error (open, write, or rename failure) returns an
+/// InvalidInput Status naming the path and leaves any previous file at
+/// \p Path untouched; the temp file is cleaned up best-effort. Never
+/// throws — an "io.write" fault injection also comes back as a Status.
+Status writeFileAtomic(const std::string &Path, const std::string &Content);
+
+} // namespace alp
+
+#endif // ALP_SUPPORT_ATOMICFILE_H

@@ -51,6 +51,12 @@ struct ResourceBudget {
   uint64_t MaxSolverIterations = 0;
   /// Absolute wall-clock deadline. Unset = none.
   std::optional<std::chrono::steady_clock::time_point> Deadline;
+  /// Cooperative cancellation token (nullptr = none): the supervised
+  /// parallel driver points task-budget copies at one flag so a task that
+  /// is past its deadline, or a shutting-down supervisor, can stop every
+  /// in-flight solver at its next budget charge. Checked wherever the
+  /// deadline is.
+  const std::atomic<bool> *CancelFlag = nullptr;
 
   /// Consumed counters (atomic: see the thread-safety note above).
   std::atomic<uint64_t> UsedEliminationSteps{0};
@@ -61,6 +67,7 @@ struct ResourceBudget {
       : MaxFMConstraints(O.MaxFMConstraints),
         MaxEliminationSteps(O.MaxEliminationSteps),
         MaxSolverIterations(O.MaxSolverIterations), Deadline(O.Deadline),
+        CancelFlag(O.CancelFlag),
         UsedEliminationSteps(
             O.UsedEliminationSteps.load(std::memory_order_relaxed)),
         UsedSolverIterations(
@@ -70,6 +77,7 @@ struct ResourceBudget {
     MaxEliminationSteps = O.MaxEliminationSteps;
     MaxSolverIterations = O.MaxSolverIterations;
     Deadline = O.Deadline;
+    CancelFlag = O.CancelFlag;
     UsedEliminationSteps.store(
         O.UsedEliminationSteps.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
@@ -130,12 +138,35 @@ struct ResourceBudget {
     return Status::ok();
   }
 
-  /// BudgetExceeded once the wall-clock deadline has passed.
+  /// BudgetExceeded once the wall-clock deadline has passed or the
+  /// cancellation token was raised.
   Status checkDeadline() const {
+    if (CancelFlag && CancelFlag->load(std::memory_order_relaxed))
+      return Status::error(StatusCode::BudgetExceeded, "task cancelled");
     if (Deadline && std::chrono::steady_clock::now() > *Deadline)
       return Status::error(StatusCode::BudgetExceeded,
                            "wall-clock deadline exceeded");
     return Status::ok();
+  }
+
+  /// A copy with fresh consumed counters and every finite limit scaled by
+  /// \p Factor (floored at 1): the supervised driver retries a failed
+  /// task on such a degraded budget so a retry is strictly cheaper than
+  /// the attempt that failed. Unlimited (0) knobs stay unlimited.
+  ResourceBudget degradedCopy(double Factor) const {
+    ResourceBudget B(*this);
+    B.UsedEliminationSteps.store(0, std::memory_order_relaxed);
+    B.UsedSolverIterations.store(0, std::memory_order_relaxed);
+    auto Scale = [Factor](uint64_t Limit) -> uint64_t {
+      if (!Limit)
+        return 0;
+      auto Scaled = static_cast<uint64_t>(static_cast<double>(Limit) * Factor);
+      return Scaled ? Scaled : 1;
+    };
+    B.MaxFMConstraints = Scale(MaxFMConstraints);
+    B.MaxEliminationSteps = Scale(MaxEliminationSteps);
+    B.MaxSolverIterations = Scale(MaxSolverIterations);
+    return B;
   }
 };
 

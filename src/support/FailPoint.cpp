@@ -1,0 +1,272 @@
+//===- support/FailPoint.cpp - Deterministic fault injection ---------------===//
+
+#include "support/FailPoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <thread>
+
+using namespace alp;
+
+std::atomic<uint64_t> FailPoint::AnyArmed{0};
+
+namespace {
+
+/// Registration happens from static initializers across translation
+/// units, so the backing store must be constant-initialized and guarded.
+struct RegistryState {
+  std::mutex Mutex;
+  std::vector<FailPoint *> Points;
+  std::atomic<uint64_t> Triggered{0};
+};
+
+RegistryState &state() {
+  static RegistryState S;
+  return S;
+}
+
+} // namespace
+
+const char *alp::failPointModeName(FailPointMode Mode) {
+  switch (Mode) {
+  case FailPointMode::Off:
+    return nullptr;
+  case FailPointMode::Throw:
+    return "throw";
+  case FailPointMode::Oom:
+    return "oom";
+  case FailPointMode::StatusError:
+    return "status-error";
+  case FailPointMode::BudgetExhaust:
+    return "budget-exhaust";
+  case FailPointMode::Delay:
+    return "delay";
+  }
+  return nullptr;
+}
+
+const std::vector<FailPointMode> &alp::allFailPointModes() {
+  static const std::vector<FailPointMode> Modes = {
+      FailPointMode::Throw, FailPointMode::Oom, FailPointMode::StatusError,
+      FailPointMode::BudgetExhaust, FailPointMode::Delay};
+  return Modes;
+}
+
+//===----------------------------------------------------------------------===//
+// FailPoint
+//===----------------------------------------------------------------------===//
+
+FailPoint::FailPoint(const char *Name) : Name(Name) {
+  FailPointRegistry::instance().registerPoint(this);
+}
+
+void FailPoint::arm(FailPointMode M, int64_t Rem, uint32_t Ms) {
+  bool WasArmed =
+      Mode.load(std::memory_order_relaxed) != static_cast<int>(FailPointMode::Off);
+  Remaining.store(Rem, std::memory_order_relaxed);
+  DelayMs.store(Ms, std::memory_order_relaxed);
+  Mode.store(static_cast<int>(M), std::memory_order_release);
+  if (!WasArmed && M != FailPointMode::Off)
+    AnyArmed.fetch_add(1, std::memory_order_release);
+  else if (WasArmed && M == FailPointMode::Off)
+    AnyArmed.fetch_sub(1, std::memory_order_release);
+}
+
+void FailPoint::disarm() { arm(FailPointMode::Off, -1, 20); }
+
+Status FailPoint::evaluateSlow(ResourceBudget *Budget) {
+  auto M = static_cast<FailPointMode>(Mode.load(std::memory_order_acquire));
+  if (M == FailPointMode::Off)
+    return Status::ok();
+  // Consume one trigger; a bounded count that has run out disarms the
+  // site for every later hit.
+  int64_t Rem = Remaining.load(std::memory_order_relaxed);
+  if (Rem >= 0) {
+    if (Rem == 0)
+      return Status::ok();
+    if (Remaining.fetch_sub(1, std::memory_order_acq_rel) <= 0) {
+      Remaining.store(0, std::memory_order_relaxed);
+      return Status::ok();
+    }
+  }
+  FailPointRegistry::noteTriggered();
+  std::string Where = std::string("failpoint '") + Name + "'";
+  switch (M) {
+  case FailPointMode::Off:
+    return Status::ok();
+  case FailPointMode::Throw:
+    throw AlpException(StatusCode::FaultInjected, Where + " (throw)");
+  case FailPointMode::Oom:
+    throw std::bad_alloc();
+  case FailPointMode::StatusError:
+    return Status::error(StatusCode::FaultInjected, Where);
+  case FailPointMode::BudgetExhaust: {
+    if (Budget) {
+      // Poison the consumed counters past every finite limit so each
+      // later charge on this budget also reports exhaustion.
+      if (Budget->MaxEliminationSteps)
+        Budget->UsedEliminationSteps.store(Budget->MaxEliminationSteps + 1,
+                                           std::memory_order_relaxed);
+      if (Budget->MaxSolverIterations)
+        Budget->UsedSolverIterations.store(Budget->MaxSolverIterations + 1,
+                                           std::memory_order_relaxed);
+    }
+    return Status::error(StatusCode::BudgetExceeded,
+                         Where + " exhausted the budget");
+  }
+  case FailPointMode::Delay:
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(DelayMs.load(std::memory_order_relaxed)));
+    return Status::ok();
+  }
+  return Status::ok();
+}
+
+//===----------------------------------------------------------------------===//
+// FailPointRegistry
+//===----------------------------------------------------------------------===//
+
+FailPointRegistry &FailPointRegistry::instance() {
+  static FailPointRegistry R;
+  return R;
+}
+
+void FailPointRegistry::registerPoint(FailPoint *FP) {
+  RegistryState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Points.push_back(FP);
+}
+
+void FailPointRegistry::noteTriggered() {
+  state().Triggered.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t FailPointRegistry::triggeredCount() const {
+  return state().Triggered.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> FailPointRegistry::names() const {
+  RegistryState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  std::vector<std::string> Names;
+  Names.reserve(S.Points.size());
+  for (const FailPoint *FP : S.Points)
+    Names.push_back(FP->name());
+  std::sort(Names.begin(), Names.end());
+  return Names;
+}
+
+FailPoint *FailPointRegistry::find(const std::string &Name) const {
+  RegistryState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  for (FailPoint *FP : S.Points)
+    if (Name == FP->name())
+      return FP;
+  return nullptr;
+}
+
+void FailPointRegistry::reset() {
+  RegistryState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  for (FailPoint *FP : S.Points)
+    FP->disarm();
+}
+
+Status FailPointRegistry::configure(const std::string &Spec) {
+  // site:mode[:count[:delay_ms]]
+  std::vector<std::string> Fields;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Colon = Spec.find(':', Pos);
+    if (Colon == std::string::npos) {
+      Fields.push_back(Spec.substr(Pos));
+      break;
+    }
+    Fields.push_back(Spec.substr(Pos, Colon - Pos));
+    Pos = Colon + 1;
+  }
+  if (Fields.size() < 2 || Fields.size() > 4 || Fields[0].empty())
+    return Status::error(StatusCode::InvalidInput,
+                         "malformed failpoint spec '" + Spec +
+                             "' (want site:mode[:count[:delay_ms]])");
+
+  FailPoint *FP = find(Fields[0]);
+  if (!FP) {
+    std::string Known;
+    for (const std::string &N : names())
+      Known += (Known.empty() ? "" : ", ") + N;
+    return Status::error(StatusCode::InvalidInput,
+                         "unknown failpoint site '" + Fields[0] +
+                             "' (known sites: " + Known + ")");
+  }
+
+  FailPointMode Mode = FailPointMode::Off;
+  bool Found = false;
+  for (FailPointMode M : allFailPointModes())
+    if (Fields[1] == failPointModeName(M)) {
+      Mode = M;
+      Found = true;
+      break;
+    }
+  if (!Found)
+    return Status::error(StatusCode::InvalidInput,
+                         "unknown failpoint mode '" + Fields[1] +
+                             "' (want throw, oom, status-error, "
+                             "budget-exhaust, or delay)");
+
+  auto ParseU = [](const std::string &F, uint64_t &Out) {
+    if (F.empty() || F.find_first_not_of("0123456789") != std::string::npos)
+      return false;
+    Out = std::strtoull(F.c_str(), nullptr, 10);
+    return true;
+  };
+  int64_t Remaining = -1; // Unlimited.
+  uint32_t DelayMs = 20;
+  if (Fields.size() >= 3) {
+    uint64_t Count = 0;
+    if (!ParseU(Fields[2], Count))
+      return Status::error(StatusCode::InvalidInput,
+                           "malformed failpoint count '" + Fields[2] + "'");
+    Remaining = Count == 0 ? -1 : static_cast<int64_t>(Count);
+  }
+  if (Fields.size() == 4) {
+    uint64_t Ms = 0;
+    if (!ParseU(Fields[3], Ms))
+      return Status::error(StatusCode::InvalidInput,
+                           "malformed failpoint delay '" + Fields[3] + "'");
+    DelayMs = static_cast<uint32_t>(Ms);
+  }
+
+  FP->arm(Mode, Remaining, DelayMs);
+  return Status::ok();
+}
+
+Status FailPointRegistry::configureList(const std::string &Specs) {
+  size_t Pos = 0;
+  while (Pos <= Specs.size()) {
+    size_t Comma = Specs.find(',', Pos);
+    std::string One = Comma == std::string::npos
+                          ? Specs.substr(Pos)
+                          : Specs.substr(Pos, Comma - Pos);
+    if (One.empty())
+      return Status::error(StatusCode::InvalidInput,
+                           "empty failpoint spec in list '" + Specs + "'");
+    Status S = configure(One);
+    if (!S.isOk())
+      return S;
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return Status::ok();
+}
+
+Status FailPointRegistry::configureFromEnv() {
+  const char *Env = std::getenv("ALP_FAILPOINTS");
+  if (!Env || !*Env)
+    return Status::ok();
+  return configureList(Env);
+}

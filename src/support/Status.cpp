@@ -16,8 +16,26 @@ const char *alp::statusCodeName(StatusCode Code) {
     return "unsolvable";
   case StatusCode::InvalidInput:
     return "invalid-input";
+  case StatusCode::FaultInjected:
+    return "fault-injected";
   }
   return "unknown";
+}
+
+Status alp::statusFromCurrentException() {
+  try {
+    throw;
+  } catch (const AlpException &E) {
+    return E.status();
+  } catch (const std::bad_alloc &) {
+    return Status::error(StatusCode::BudgetExceeded, "out of memory");
+  } catch (const std::exception &E) {
+    return Status::error(StatusCode::Unsolvable,
+                         std::string("internal error: ") + E.what());
+  } catch (...) {
+    return Status::error(StatusCode::Unsolvable,
+                         "internal error: unknown exception type");
+  }
 }
 
 std::string Status::str() const {

@@ -46,6 +46,9 @@ enum class StatusCode {
   Unsolvable,
   /// Malformed input reached an API that validates it.
   InvalidInput,
+  /// A support/FailPoint.h injection site fired (chaos testing only;
+  /// never produced by real inputs).
+  FaultInjected,
 };
 
 /// Renders the code as a stable identifier ("rational-overflow", ...).
@@ -133,6 +136,13 @@ private:
   Status S;
   std::string Message;
 };
+
+/// Converts an in-flight exception (from a catch block) into a structured
+/// Status: AlpException keeps its carried Status, std::bad_alloc maps to
+/// BudgetExceeded ("out of memory"), any other std::exception to
+/// Unsolvable with its what(), and a non-standard exception to Unsolvable
+/// with an explicit "unknown exception" context — never silent.
+Status statusFromCurrentException();
 
 } // namespace alp
 

@@ -24,6 +24,8 @@
 #ifndef ALP_SUPPORT_THREADPOOL_H
 #define ALP_SUPPORT_THREADPOOL_H
 
+#include "support/Status.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -59,6 +61,16 @@ public:
   /// one is rethrown after the section completes (deterministic regardless
   /// of scheduling). Nested sections run serially in the caller.
   void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+  /// parallelFor that never throws: every exception Fn(i) leaks is
+  /// captured at index i and converted to a structured Status
+  /// (statusFromCurrentException — AlpException keeps its payload,
+  /// bad_alloc and unknown exceptions get explicit contexts). Returns one
+  /// Status per index, Ok where Fn completed; callers surface failures in
+  /// their merged result instead of unwinding past it. The supervised
+  /// driver (support/Supervisor.h) builds its retry loop on this.
+  std::vector<Status> parallelForStatus(size_t N,
+                                        const std::function<void(size_t)> &Fn);
 
 private:
   struct Section;

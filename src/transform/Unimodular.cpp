@@ -4,6 +4,7 @@
 
 #include "linalg/FourierMotzkin.h"
 #include "support/Diagnostics.h"
+#include "support/Supervisor.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -470,24 +471,48 @@ void alp::runLocalPhase(Program &P, ResourceBudget *Budget,
     DependenceTierStats Tiers;
   };
   std::vector<NestOutcome> Outcomes(P.Nests.size());
-  Opts.Pool->parallelFor(P.Nests.size(), [&](size_t NI) {
-    TraceSpan Span(Observe.Trace, "local.canonicalize",
-                   static_cast<int64_t>(NI));
-    DependenceOptions DOpts;
-    DOpts.SharedCache = Opts.SharedCache;
-    DOpts.Pool = Opts.Pool;
-    DOpts.Trace = Observe.Trace;
-    std::optional<ResourceBudget> Local;
-    ResourceBudget *NestBudget = nullptr;
-    if (Budget) {
-      Local.emplace(*Budget);
-      NestBudget = &*Local;
+  SupervisorOptions SOpts;
+  SOpts.MaxAttempts = Opts.TaskAttempts;
+  SOpts.TaskDeadlineMs = Opts.TaskDeadlineMs;
+  SOpts.Observe = Observe;
+  Supervisor Sup(Opts.Pool, Budget, SOpts);
+  std::vector<SupervisedOutcome> SupOutcomes =
+      Sup.run(P.Nests.size(), [&](size_t NI, ResourceBudget *B) {
+        Outcomes[NI] = NestOutcome(); // Fresh slate on retry.
+        TraceSpan Span(Observe.Trace, "local.canonicalize",
+                       static_cast<int64_t>(NI));
+        DependenceOptions DOpts;
+        DOpts.SharedCache = Opts.SharedCache;
+        DOpts.Pool = Opts.Pool;
+        DOpts.Trace = Observe.Trace;
+        ResourceBudget *NestBudget =
+            Budget || Opts.TaskDeadlineMs ? B : nullptr;
+        DependenceAnalysis DA(P, NestBudget, DOpts);
+        canonicalizeNest(P, NI, DA, Outcomes[NI].LPWarnings);
+        Outcomes[NI].DAWarnings = DA.warnings();
+        Outcomes[NI].Tiers = DA.tierStats();
+        return Status::ok();
+      });
+  for (size_t NI = 0; NI != P.Nests.size(); ++NI) {
+    const SupervisedOutcome &O = SupOutcomes[NI];
+    if (O.degraded()) {
+      // Every attempt threw past canonicalizeNest's own fallback (e.g.
+      // an injected OOM inside the analysis): leave the nest in source
+      // order, all sequential — identical to the in-task fallback.
+      Outcomes[NI] = NestOutcome();
+      LoopNest &Nest = P.Nests[NI];
+      for (Loop &L : Nest.Loops)
+        L.Kind = LoopKind::Sequential;
+      Nest.PermutableBands.assign(Nest.depth(), 1);
+      Outcomes[NI].LPWarnings.push_back(
+          "local phase left nest " + std::to_string(NI) +
+          " untransformed (" + O.Result.str() + ")");
+    } else if (O.retried()) {
+      Outcomes[NI].LPWarnings.push_back("local phase nest " +
+                                        std::to_string(NI) + " " +
+                                        Supervisor::describe(O, NI));
     }
-    DependenceAnalysis DA(P, NestBudget, DOpts);
-    canonicalizeNest(P, NI, DA, Outcomes[NI].LPWarnings);
-    Outcomes[NI].DAWarnings = DA.warnings();
-    Outcomes[NI].Tiers = DA.tierStats();
-  });
+  }
   size_t Untransformed = 0;
   for (const NestOutcome &O : Outcomes)
     Untransformed += O.LPWarnings.size();

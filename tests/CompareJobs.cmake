@@ -2,7 +2,9 @@
 # requires byte-identical stdout and equal exit codes: the parallel
 # analysis driver must not change the compiler's answer.
 #
-# Variables: ALPC (binary), INPUT (.alp file), JOBS_A, JOBS_B.
+# Variables: ALPC (binary), INPUT (.alp file), JOBS_A, JOBS_B, and
+# optionally EXTRA (semicolon list of extra alpc flags, e.g. an unbounded
+# --failpoints spec — injected faults must degrade identically too).
 
 if(NOT DEFINED JOBS_A)
   set(JOBS_A 1)
@@ -10,14 +12,17 @@ endif()
 if(NOT DEFINED JOBS_B)
   set(JOBS_B 8)
 endif()
+if(NOT DEFINED EXTRA)
+  set(EXTRA "")
+endif()
 
 execute_process(
-  COMMAND ${ALPC} ${INPUT} --spmd --deps --jobs ${JOBS_A}
+  COMMAND ${ALPC} ${INPUT} --spmd --deps --jobs ${JOBS_A} ${EXTRA}
   OUTPUT_VARIABLE OUT_A
   ERROR_VARIABLE ERR_A
   RESULT_VARIABLE RC_A)
 execute_process(
-  COMMAND ${ALPC} ${INPUT} --spmd --deps --jobs ${JOBS_B}
+  COMMAND ${ALPC} ${INPUT} --spmd --deps --jobs ${JOBS_B} ${EXTRA}
   OUTPUT_VARIABLE OUT_B
   ERROR_VARIABLE ERR_B
   RESULT_VARIABLE RC_B)

@@ -1,0 +1,235 @@
+//===- tests/SupervisorTest.cpp - Supervised parallel task driver ---------===//
+//
+// The support/Supervisor.h policy: exceptions become structured Statuses
+// (never unwind past run()), failed tasks retry on a strictly smaller
+// budget, outcomes merge in index order with jobs-identical counters,
+// per-task deadlines and the cancel flag stop runaway tasks, and the
+// driver.task failpoint injects into every supervised attempt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Supervisor.h"
+
+#include "support/FailPoint.h"
+#include "support/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace alp;
+
+namespace {
+
+struct RegistryGuard {
+  ~RegistryGuard() { FailPointRegistry::instance().reset(); }
+};
+
+TEST(SupervisorTest, CleanTasksRunOnceEachSerialAndPooled) {
+  for (unsigned Threads : {0u, 1u, 4u}) {
+    std::unique_ptr<ThreadPool> Pool;
+    if (Threads)
+      Pool = std::make_unique<ThreadPool>(Threads);
+    Supervisor Sup(Pool.get(), nullptr);
+    std::vector<std::atomic<int>> Calls(50);
+    auto Outcomes = Sup.run(Calls.size(), [&](size_t I, ResourceBudget *B) {
+      EXPECT_NE(B, nullptr);
+      Calls[I].fetch_add(1);
+      return Status::ok();
+    });
+    ASSERT_EQ(Outcomes.size(), Calls.size());
+    for (size_t I = 0; I != Calls.size(); ++I) {
+      EXPECT_EQ(Calls[I].load(), 1) << "index " << I;
+      EXPECT_TRUE(Outcomes[I].ok());
+      EXPECT_EQ(Outcomes[I].Attempts, 1u);
+      EXPECT_EQ(Supervisor::describe(Outcomes[I], I), "");
+    }
+  }
+}
+
+TEST(SupervisorTest, ThrownExceptionsBecomeStatusesNeverUnwind) {
+  ThreadPool Pool(4);
+  SupervisorOptions Opts;
+  Opts.MaxAttempts = 1;
+  Supervisor Sup(&Pool, nullptr, Opts);
+  auto Outcomes = Sup.run(6, [&](size_t I, ResourceBudget *) -> Status {
+    switch (I) {
+    case 1:
+      throw AlpException(
+          Status::error(StatusCode::RationalOverflow, "overflow"));
+    case 2:
+      throw std::bad_alloc();
+    case 3:
+      throw std::runtime_error("plain");
+    case 4:
+      throw 42; // Not even a std::exception.
+    default:
+      return Status::ok();
+    }
+  });
+  EXPECT_TRUE(Outcomes[0].ok());
+  EXPECT_TRUE(Outcomes[5].ok());
+  EXPECT_EQ(Outcomes[1].Result.code(), StatusCode::RationalOverflow);
+  EXPECT_EQ(Outcomes[2].Result.code(), StatusCode::BudgetExceeded);
+  EXPECT_FALSE(Outcomes[3].ok());
+  EXPECT_NE(Outcomes[3].Result.str().find("plain"), std::string::npos);
+  EXPECT_FALSE(Outcomes[4].ok());
+  for (size_t I : {1u, 2u, 3u, 4u})
+    EXPECT_TRUE(Outcomes[I].degraded());
+}
+
+TEST(SupervisorTest, RetryRunsOnAStrictlySmallerBudget) {
+  ResourceBudget Template;
+  Template.MaxSolverIterations = 100;
+  SupervisorOptions Opts;
+  Opts.MaxAttempts = 3;
+  Opts.RetryBudgetFactor = 0.5;
+  Supervisor Sup(nullptr, &Template, Opts);
+
+  std::vector<uint64_t> SeenLimits;
+  auto Outcomes = Sup.run(1, [&](size_t, ResourceBudget *B) -> Status {
+    SeenLimits.push_back(B->MaxSolverIterations);
+    return Status::error(StatusCode::BudgetExceeded, "always fails");
+  });
+  ASSERT_EQ(SeenLimits.size(), 3u);
+  EXPECT_EQ(SeenLimits[0], 100u);
+  EXPECT_EQ(SeenLimits[1], 50u);
+  EXPECT_EQ(SeenLimits[2], 25u);
+  EXPECT_TRUE(Outcomes[0].degraded());
+  EXPECT_EQ(Outcomes[0].Attempts, 3u);
+  std::string Line = Supervisor::describe(Outcomes[0], 0);
+  EXPECT_NE(Line.find("3 attempt"), std::string::npos);
+}
+
+TEST(SupervisorTest, SecondAttemptSuccessIsRetriedNotDegraded) {
+  SupervisorOptions Opts;
+  Opts.MaxAttempts = 2;
+  Supervisor Sup(nullptr, nullptr, Opts);
+  unsigned Calls = 0;
+  auto Outcomes = Sup.run(1, [&](size_t, ResourceBudget *) -> Status {
+    return ++Calls == 1
+               ? Status::error(StatusCode::Unsolvable, "first try")
+               : Status::ok();
+  });
+  EXPECT_EQ(Calls, 2u);
+  EXPECT_TRUE(Outcomes[0].ok());
+  EXPECT_TRUE(Outcomes[0].retried());
+  EXPECT_FALSE(Outcomes[0].degraded());
+  EXPECT_NE(Supervisor::describe(Outcomes[0], 0).find("recovered"),
+            std::string::npos);
+}
+
+TEST(SupervisorTest, FirstAttemptKeepsTemplateConsumedCounters) {
+  // The historical per-task budget copies preserved consumed counters;
+  // attempt 0 must match that exactly (retries start fresh by design).
+  ResourceBudget Template;
+  Template.MaxEliminationSteps = 1000;
+  Template.UsedEliminationSteps.store(700);
+  Supervisor Sup(nullptr, &Template);
+  Sup.run(1, [&](size_t, ResourceBudget *B) {
+    EXPECT_EQ(B->UsedEliminationSteps.load(), 700u);
+    return Status::ok();
+  });
+}
+
+TEST(SupervisorTest, TaskDeadlineStopsARunawayTask) {
+  SupervisorOptions Opts;
+  Opts.MaxAttempts = 2;
+  Opts.TaskDeadlineMs = 20;
+  Supervisor Sup(nullptr, nullptr, Opts);
+  auto Outcomes = Sup.run(1, [&](size_t, ResourceBudget *B) -> Status {
+    // A cooperative solver loop: charge the budget until it objects.
+    for (int I = 0; I != 100000; ++I) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (Status S = B->checkDeadline(); !S.isOk())
+        return S;
+    }
+    return Status::ok();
+  });
+  EXPECT_TRUE(Outcomes[0].degraded());
+  EXPECT_TRUE(Outcomes[0].DeadlineHit);
+  EXPECT_EQ(Outcomes[0].Result.code(), StatusCode::BudgetExceeded);
+}
+
+TEST(SupervisorTest, CancelFlagReachesEveryTaskBudget) {
+  ThreadPool Pool(2);
+  Supervisor Sup(&Pool, nullptr);
+  Sup.requestCancel();
+  auto Outcomes = Sup.run(8, [&](size_t, ResourceBudget *B) -> Status {
+    return B->checkDeadline();
+  });
+  for (const SupervisedOutcome &O : Outcomes) {
+    EXPECT_TRUE(O.degraded());
+    EXPECT_NE(O.Result.str().find("cancelled"), std::string::npos);
+  }
+}
+
+TEST(SupervisorTest, CountersAreIdenticalAcrossPoolWidths) {
+  auto RunWith = [](unsigned Threads) {
+    std::unique_ptr<ThreadPool> Pool;
+    if (Threads)
+      Pool = std::make_unique<ThreadPool>(Threads);
+    MetricsRegistry Metrics;
+    SupervisorOptions Opts;
+    Opts.MaxAttempts = 2;
+    Opts.Observe.Metrics = &Metrics;
+    Supervisor Sup(Pool.get(), nullptr, Opts);
+    Sup.run(20, [&](size_t I, ResourceBudget *) -> Status {
+      if (I % 5 == 0) // Always fails: degraded after both attempts.
+        return Status::error(StatusCode::Unsolvable, "hard");
+      return Status::ok();
+    });
+    return Metrics.renderCountersJson();
+  };
+  std::string Serial = RunWith(0);
+  EXPECT_EQ(Serial, RunWith(1));
+  EXPECT_EQ(Serial, RunWith(4));
+  EXPECT_NE(Serial.find("driver.tasks_supervised"), std::string::npos);
+  EXPECT_NE(Serial.find("driver.tasks_retried"), std::string::npos);
+  EXPECT_NE(Serial.find("driver.tasks_degraded"), std::string::npos);
+}
+
+TEST(SupervisorTest, DriverTaskFailpointInjectsIntoEveryAttempt) {
+  RegistryGuard G;
+  ASSERT_TRUE(
+      FailPointRegistry::instance().configure("driver.task:throw").isOk());
+  SupervisorOptions Opts;
+  Opts.MaxAttempts = 2;
+  Supervisor Sup(nullptr, nullptr, Opts);
+  unsigned BodyRuns = 0;
+  auto Outcomes = Sup.run(2, [&](size_t, ResourceBudget *) {
+    ++BodyRuns;
+    return Status::ok();
+  });
+  // The injection fires before the task body on every attempt.
+  EXPECT_EQ(BodyRuns, 0u);
+  for (const SupervisedOutcome &O : Outcomes) {
+    EXPECT_TRUE(O.degraded());
+    EXPECT_EQ(O.Result.code(), StatusCode::FaultInjected);
+    EXPECT_EQ(O.Attempts, 2u);
+  }
+}
+
+TEST(SupervisorTest, BoundedFailpointCountRecoversOnRetry) {
+  RegistryGuard G;
+  // One trigger: the first attempt faults, the retry succeeds — the
+  // supervisor's whole reason to exist.
+  ASSERT_TRUE(FailPointRegistry::instance()
+                  .configure("driver.task:throw:1")
+                  .isOk());
+  Supervisor Sup(nullptr, nullptr);
+  auto Outcomes = Sup.run(1, [&](size_t, ResourceBudget *) {
+    return Status::ok();
+  });
+  EXPECT_TRUE(Outcomes[0].ok());
+  EXPECT_TRUE(Outcomes[0].retried());
+  EXPECT_EQ(Outcomes[0].Attempts, 2u);
+}
+
+} // namespace

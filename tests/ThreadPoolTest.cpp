@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <new>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -97,4 +98,51 @@ TEST(ThreadPoolTest, ParallelForNTreatsNullPoolAsSerial) {
 
 TEST(ThreadPoolTest, HardwareConcurrencyHasFloorOfOne) {
   EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForStatusCapturesEveryFailureInPlace) {
+  ThreadPool Pool(4);
+  // No silent catch (...): every kind of exception surfaces at its own
+  // index as a structured Status, and no index's failure hides another's.
+  std::vector<Status> Results =
+      Pool.parallelForStatus(40, [](size_t I) {
+        if (I % 10 == 3)
+          throw AlpException(
+              Status::error(StatusCode::RationalOverflow, "overflow"));
+        if (I % 10 == 7)
+          throw std::bad_alloc();
+        if (I % 10 == 9)
+          throw std::runtime_error("detail");
+      });
+  ASSERT_EQ(Results.size(), 40u);
+  for (size_t I = 0; I != Results.size(); ++I) {
+    switch (I % 10) {
+    case 3:
+      EXPECT_EQ(Results[I].code(), StatusCode::RationalOverflow);
+      break;
+    case 7:
+      EXPECT_EQ(Results[I].code(), StatusCode::BudgetExceeded);
+      EXPECT_NE(Results[I].str().find("out of memory"), std::string::npos);
+      break;
+    case 9:
+      EXPECT_FALSE(Results[I].isOk());
+      EXPECT_NE(Results[I].str().find("detail"), std::string::npos);
+      break;
+    default:
+      EXPECT_TRUE(Results[I].isOk()) << "index " << I;
+      break;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForStatusNeverThrowsAndPoolSurvives) {
+  ThreadPool Pool(2);
+  std::vector<Status> Results;
+  EXPECT_NO_THROW(Results = Pool.parallelForStatus(
+                      8, [](size_t) { throw 17; })); // Non-std payload.
+  for (const Status &S : Results)
+    EXPECT_FALSE(S.isOk());
+  std::vector<int> Counts(32, 0);
+  Pool.parallelFor(Counts.size(), [&](size_t I) { Counts[I] += 1; });
+  EXPECT_EQ(std::accumulate(Counts.begin(), Counts.end(), 0), 32);
 }

@@ -8,6 +8,7 @@
 
 #include "core/Driver.h"
 #include "frontend/Lowering.h"
+#include "support/FailPoint.h"
 #include "support/Trace.h"
 
 #include <gtest/gtest.h>
@@ -250,6 +251,11 @@ TEST(TraceTest, StatsGoldenCountersForFig1) {
   Opts.Jobs = 2;
   Opts.Observe.Metrics = &Metrics;
   decompose(P, M, Opts);
+  // alpc publishes the process-wide fault-injection total alongside the
+  // pipeline counters (and the golden is regenerated through alpc), so
+  // mirror it here; it is 0 when nothing is armed.
+  Metrics.add("failpoint.triggered",
+              FailPointRegistry::instance().triggeredCount());
   std::string Golden = readFile(std::string(ALP_TESTDATA_DIR) +
                                 "/observability/fig1_counters.golden.json");
   EXPECT_EQ(Metrics.renderCountersJson() + "\n", Golden);

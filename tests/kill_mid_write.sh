@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Crash-safety check for atomic artifact writes (support/AtomicFile.h):
+# a reader must never observe a truncated --stats file, no matter when
+# the writer dies.
+#
+#   kill_mid_write.sh <alpc> <input.alp> <workdir>
+#
+# Two attacks:
+#  1. deterministic crash window — the io.write failpoint fires between
+#     the temp-file write and the rename; the previously published
+#     artifact must survive byte-for-byte;
+#  2. SIGKILL sweep — alpc is killed at random points; whatever file is
+#     published afterwards must be complete JSON (starts with '{', ends
+#     with '}'), i.e. entirely the old artifact or entirely the new one.
+set -u
+
+ALPC=$1
+INPUT=$2
+WORK=$3
+STATS=$WORK/kill_mid_write_stats.json
+
+fail() {
+  echo "kill_mid_write: FAIL: $1" >&2
+  exit 1
+}
+
+is_complete_json() {
+  local F=$1
+  [ -s "$F" ] || return 1
+  [ "$(head -c 1 "$F")" = "{" ] || return 1
+  [ "$(tr -d '[:space:]' < "$F" | tail -c 1)" = "}" ] || return 1
+  grep -q '"schema_version"' "$F" || return 1
+  return 0
+}
+
+rm -f "$STATS" "$STATS".tmp.*
+
+# Seed a valid artifact.
+"$ALPC" "$INPUT" --stats="$STATS" > /dev/null 2>&1 \
+  || fail "seeding run failed"
+is_complete_json "$STATS" || fail "seed artifact is not complete JSON"
+GOLD=$(cat "$STATS")
+
+# Attack 1: crash exactly inside the publish window. The write must
+# report failure, and the published artifact must be untouched.
+"$ALPC" "$INPUT" --stats="$STATS" --failpoints=io.write:throw \
+  > /dev/null 2>&1
+RC=$?
+[ "$RC" -ne 0 ] || fail "io.write injection did not fail the write"
+[ "$(cat "$STATS")" = "$GOLD" ] \
+  || fail "crash in the publish window corrupted the artifact"
+
+# Attack 2: SIGKILL at random points through 25 rewrites.
+for I in $(seq 1 25); do
+  "$ALPC" "$INPUT" --stats="$STATS" > /dev/null 2>&1 &
+  PID=$!
+  # 0.001s .. 0.05s: spans parse, pipeline, and the write itself.
+  sleep "0.0$(( (RANDOM % 5) + 1 ))" 2> /dev/null || sleep 0.05
+  kill -9 "$PID" 2> /dev/null
+  wait "$PID" 2> /dev/null
+  is_complete_json "$STATS" \
+    || fail "iteration $I: published artifact is truncated"
+done
+
+# Stray temp files from killed writers are allowed (best-effort cleanup
+# cannot run after SIGKILL) but must never shadow the published name.
+rm -f "$STATS".tmp.*
+echo "kill_mid_write: PASS (crash window + 25 SIGKILL iterations)"

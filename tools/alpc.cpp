@@ -13,9 +13,14 @@
 // writes the versioned stats JSON (counters, gauges, span aggregates);
 // "--stats=-" writes it to stdout.
 //
+// Fault injection: --failpoints=site:mode[:count[:delay_ms]],... (or the
+// ALP_FAILPOINTS environment variable) arms deterministic injection sites
+// throughout the pipeline; see docs/ROBUSTNESS.md for the catalog.
+//
 // Exit codes: 0 success; 1 cannot open / parse / verify failure; 2 usage;
-// 3 decomposition failed outright; 4 success but degraded (some stage fell
-// back to a conservative answer — report on stderr).
+// 3 a pipeline stage failed outright (decomposition, codegen, simulation,
+// or an injected fault with no degraded form); 4 success but degraded
+// (some stage fell back to a conservative answer — report on stderr).
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +31,8 @@
 #include "core/Fusion.h"
 #include "core/Verify.h"
 #include "ir/Printer.h"
+#include "support/AtomicFile.h"
+#include "support/FailPoint.h"
 #include "support/Trace.h"
 
 #include <cerrno>
@@ -41,6 +48,10 @@
 using namespace alp;
 
 namespace {
+
+/// Source ingestion: fired after the input file is opened but before its
+/// contents are consumed.
+FailPoint FpIoRead("io.read");
 
 enum class DiagFormat { Text, Json, Sarif };
 
@@ -109,6 +120,13 @@ void usage(const char *Prog) {
 } // namespace
 
 int main(int argc, char **argv) {
+  // Arm failpoints from the environment first; --failpoints specs layer
+  // on top (both go through the same registry).
+  if (Status S = FailPointRegistry::instance().configureFromEnv();
+      !S.isOk()) {
+    std::fprintf(stderr, "error: ALP_FAILPOINTS: %s\n", S.str().c_str());
+    return 2;
+  }
   const char *FileName = nullptr;
   DriverOptions Opts;
   bool DoSpmd = false, DoIr = false, DoDeps = false, DoSim = false;
@@ -254,6 +272,32 @@ int main(int argc, char **argv) {
          Opts.Jobs = static_cast<unsigned>(U);
          return true;
        }},
+      {"--failpoints", "site:mode[:count[:delay_ms]],...",
+       "arm deterministic fault-injection sites (modes: throw, oom, "
+       "status-error, budget-exhaust, delay; see docs/ROBUSTNESS.md)",
+       [&](const std::string &V) {
+         Status S = FailPointRegistry::instance().configureList(V);
+         if (!S.isOk()) {
+           std::fprintf(stderr, "error: --failpoints: %s\n",
+                        S.str().c_str());
+           return false;
+         }
+         return true;
+       }},
+      {"--task-retries", "N",
+       "extra attempts per parallel task on a shrunken budget before it "
+       "degrades to its stage's conservative fallback (default 1)",
+       [&](const std::string &V) {
+         uint64_t U;
+         if (!parseU64(V, U))
+           return false;
+         Opts.TaskAttempts = static_cast<unsigned>(U) + 1;
+         return true;
+       }},
+      {"--task-deadline-ms", "N",
+       "per-attempt wall-clock deadline for each parallel task (0 = off; "
+       "an armed task deadline trades --jobs determinism for boundedness)",
+       U64Flag(Opts.TaskDeadlineMs)},
       {"--trace", "file",
        "write a Chrome trace-event JSON of the pipeline's spans",
        [&](const std::string &V) {
@@ -346,39 +390,65 @@ int main(int argc, char **argv) {
   Opts.Observe = Observe;
 
   // Writes --trace / --stats output; called on every exit path that runs
-  // after the front end. Returns false on I/O failure.
+  // after the front end. Artifacts land via temp-file + atomic rename
+  // (support/AtomicFile.h), so a reader never observes a truncated file.
+  // Returns false on I/O failure.
   auto WriteObservability = [&]() -> bool {
     if (!Observing)
       return true;
+    // With an unbounded trigger count every task faults, so this total is
+    // jobs-deterministic like the other counters (docs/ROBUSTNESS.md).
+    Metrics.add("failpoint.triggered",
+                FailPointRegistry::instance().triggeredCount());
     if (!TracePath.empty()) {
-      std::ofstream Out(TracePath);
-      if (!Out) {
-        std::fprintf(stderr, "error: cannot write trace file '%s'\n",
-                     TracePath.c_str());
+      std::ostringstream Out;
+      Trace.writeChromeTrace(Out);
+      if (Status S = writeFileAtomic(TracePath, Out.str()); !S.isOk()) {
+        std::fprintf(stderr, "error: cannot write trace file: %s\n",
+                     S.str().c_str());
         return false;
       }
-      Trace.writeChromeTrace(Out);
     }
     if (!StatsPath.empty()) {
       std::string Json = renderStatsJson(&Metrics, &Trace);
       if (StatsPath == "-") {
         std::printf("%s", Json.c_str());
-      } else {
-        std::ofstream Out(StatsPath);
-        if (!Out) {
-          std::fprintf(stderr, "error: cannot write stats file '%s'\n",
-                       StatsPath.c_str());
-          return false;
-        }
-        Out << Json;
+      } else if (Status S = writeFileAtomic(StatsPath, Json); !S.isOk()) {
+        std::fprintf(stderr, "error: cannot write stats file: %s\n",
+                     S.str().c_str());
+        return false;
       }
     }
     return true;
   };
 
+  // Stages past the decomposition driver have no degraded form: an
+  // injected fault or internal error in one of them ends the run with a
+  // clean error line and exit 3, never an uncaught exception.
+  auto RunStage = [&](const char *StageName,
+                      const std::function<void()> &Fn) -> bool {
+    try {
+      Fn();
+      return true;
+    } catch (...) {
+      Status S = statusFromCurrentException();
+      std::fprintf(stderr, "error: %s failed: %s\n", StageName,
+                   S.str().c_str());
+      return false;
+    }
+  };
+
   std::ifstream In(FileName);
   if (!In) {
     std::fprintf(stderr, "error: cannot open '%s'\n", FileName);
+    return 1;
+  }
+  try {
+    FpIoRead.evaluateOrThrow();
+  } catch (...) {
+    Status S = statusFromCurrentException();
+    std::fprintf(stderr, "error: cannot read '%s': %s\n", FileName,
+                 S.str().c_str());
     return 1;
   }
   std::ostringstream Buf;
@@ -407,9 +477,12 @@ int main(int argc, char **argv) {
     LO.BlockSize = Block;
     LO.Budget = &Budget;
     LintResult R;
-    {
-      TraceSpan LintSpan(Observe.Trace, "lint.run");
-      R = runLintPasses(P, nullptr, LO);
+    if (!RunStage("lint", [&] {
+          TraceSpan LintSpan(Observe.Trace, "lint.run");
+          R = runLintPasses(P, nullptr, LO);
+        })) {
+      WriteObservability();
+      return 3;
     }
     std::printf("%s", renderLint(R, Format, FileName).c_str());
     if (!WriteObservability())
@@ -450,7 +523,11 @@ int main(int argc, char **argv) {
     return 3;
   }
   if (DoFuse) {
-    unsigned N = fuseCompatibleNests(P, &PD);
+    unsigned N = 0;
+    if (!RunStage("fusion", [&] { N = fuseCompatibleNests(P, &PD); })) {
+      WriteObservability();
+      return 3;
+    }
     std::printf("fused %u nest pair(s)\n", N);
     // Decompose again on the fused program (decompositions per nest id
     // may have been merged).
@@ -462,34 +539,50 @@ int main(int argc, char **argv) {
 
   if (DoIr)
     std::printf("=== IR ===\n%s\n", printProgram(P).c_str());
-  if (DoDeps) {
-    DependenceAnalysis DA(P);
-    std::printf("=== dependences ===\n");
-    for (unsigned Id : P.nestsInOrder()) {
-      std::printf("nest %u:\n", Id);
-      for (const Dependence &D : DA.analyze(P.nest(Id)))
-        std::printf("  %s\n", D.str().c_str());
-    }
-    std::printf("\n");
+  if (DoDeps && !RunStage("dependence printing", [&] {
+        DependenceAnalysis DA(P);
+        std::printf("=== dependences ===\n");
+        for (unsigned Id : P.nestsInOrder()) {
+          std::printf("nest %u:\n", Id);
+          for (const Dependence &D : DA.analyze(P.nest(Id)))
+            std::printf("  %s\n", D.str().c_str());
+        }
+        std::printf("\n");
+      })) {
+    WriteObservability();
+    return 3;
   }
 
   std::printf("%s", printDecomposition(P, PD).c_str());
 
-  if (DoSpmd)
-    std::printf("\n=== SPMD ===\n%s", emitSpmd(P, PD, CG).c_str());
-
-  if (EmitMode == "spmd") {
-    CodegenOptions MsgCG = CG;
-    MsgCG.EmitMessages = true;
-    std::printf("\n=== SPMD (message passing) ===\n%s",
-                emitSpmd(P, PD, MsgCG).c_str());
-  } else if (EmitMode == "comm-plan") {
-    std::printf("\n%s", planCommunication(P, PD, CG).report(P).c_str());
+  if (DoSpmd && !RunStage("SPMD emission", [&] {
+        std::printf("\n=== SPMD ===\n%s", emitSpmd(P, PD, CG).c_str());
+      })) {
+    WriteObservability();
+    return 3;
   }
 
-  if (DoComm) {
-    CommSummary CS = analyzeCommunication(P, PD, CG);
-    std::printf("\n%s", CS.report(P).c_str());
+  if (!EmitMode.empty() && !RunStage("codegen", [&] {
+        if (EmitMode == "spmd") {
+          CodegenOptions MsgCG = CG;
+          MsgCG.EmitMessages = true;
+          std::printf("\n=== SPMD (message passing) ===\n%s",
+                      emitSpmd(P, PD, MsgCG).c_str());
+        } else if (EmitMode == "comm-plan") {
+          std::printf("\n%s",
+                      planCommunication(P, PD, CG).report(P).c_str());
+        }
+      })) {
+    WriteObservability();
+    return 3;
+  }
+
+  if (DoComm && !RunStage("communication analysis", [&] {
+        CommSummary CS = analyzeCommunication(P, PD, CG);
+        std::printf("\n%s", CS.report(P).c_str());
+      })) {
+    WriteObservability();
+    return 3;
   }
 
   if (DoVerify) {
@@ -507,9 +600,12 @@ int main(int argc, char **argv) {
     LO.ScheduleBlockSize = M.BlockSize;
     LO.Budget = &Budget;
     LintResult R;
-    {
-      TraceSpan VerifySpan(Observe.Trace, "lint.verify");
-      R = runLintPasses(P, &PD, LO);
+    if (!RunStage("verification", [&] {
+          TraceSpan VerifySpan(Observe.Trace, "lint.verify");
+          R = runLintPasses(P, &PD, LO);
+        })) {
+      WriteObservability();
+      return 3;
     }
     bool Bad = R.hasErrors() || (WError && R.hasWarnings());
     if (Format != DiagFormat::Text) {
@@ -528,33 +624,36 @@ int main(int argc, char **argv) {
     }
   }
 
-  if (DoSim) {
-    NumaSimulator Sim(P, M);
-    Sim.setObserve(Observe);
-    if (M.MessagePassing) {
-      // Message-passing machine: cost the planned bulk schedule, the same
-      // one --emit=spmd renders, instead of fine-grained per-line
-      // messages.
-      CodegenOptions PlanCG = CG;
-      if (!EmitMode.empty())
-        PlanCG.Observe = {}; // comm.* counters already published once.
-      Sim.setCommSchedule(planCommunication(P, PD, PlanCG).schedule());
-    }
-    applyDecomposition(Sim, P, PD);
-    double Seq = Sim.sequentialCycles();
-    std::printf("\n=== simulation (machine: %s, %u procs) ===\n",
-                MachineName.c_str(), Procs);
-    std::printf("sequential: %.3g cycles\n", Seq);
-    for (unsigned Pr = 1; Pr <= Procs; Pr *= 2) {
-      SimResult R = Sim.run(Pr);
-      std::printf("%3u procs: %12.3g cycles  speedup %6.2f  "
-                  "(reorg %.2g, sync %.2g, remote lines %.3g",
-                  Pr, R.Cycles, Seq / R.Cycles, R.ReorgCycles,
-                  R.SyncCycles, R.RemoteLineFetches);
-      if (M.MessagePassing)
-        std::printf(", msgs %.3g", R.MessagesSent);
-      std::printf(")\n");
-    }
+  if (DoSim && !RunStage("simulation", [&] {
+        NumaSimulator Sim(P, M);
+        Sim.setObserve(Observe);
+        if (M.MessagePassing) {
+          // Message-passing machine: cost the planned bulk schedule, the
+          // same one --emit=spmd renders, instead of fine-grained
+          // per-line messages.
+          CodegenOptions PlanCG = CG;
+          if (!EmitMode.empty())
+            PlanCG.Observe = {}; // comm.* counters already published once.
+          Sim.setCommSchedule(planCommunication(P, PD, PlanCG).schedule());
+        }
+        applyDecomposition(Sim, P, PD);
+        double Seq = Sim.sequentialCycles();
+        std::printf("\n=== simulation (machine: %s, %u procs) ===\n",
+                    MachineName.c_str(), Procs);
+        std::printf("sequential: %.3g cycles\n", Seq);
+        for (unsigned Pr = 1; Pr <= Procs; Pr *= 2) {
+          SimResult R = Sim.run(Pr);
+          std::printf("%3u procs: %12.3g cycles  speedup %6.2f  "
+                      "(reorg %.2g, sync %.2g, remote lines %.3g",
+                      Pr, R.Cycles, Seq / R.Cycles, R.ReorgCycles,
+                      R.SyncCycles, R.RemoteLineFetches);
+          if (M.MessagePassing)
+            std::printf(", msgs %.3g", R.MessagesSent);
+          std::printf(")\n");
+        }
+      })) {
+    WriteObservability();
+    return 3;
   }
   if (!WriteObservability())
     return 1;
