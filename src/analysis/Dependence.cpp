@@ -5,10 +5,12 @@
 #include "linalg/FourierMotzkin.h"
 #include "linalg/IntegerOps.h"
 #include "linalg/SystemKey.h"
+#include "support/Arena.h"
 #include "support/FailPoint.h"
 #include "support/Supervisor.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 
@@ -490,6 +492,11 @@ void DependenceAnalysis::analyzePair(const LoopNest &Nest,
   const unsigned SStmt = Task.SStmt, SAcc = Task.SAcc;
   const unsigned TStmt = Task.TStmt, TAcc = Task.TAcc;
   NumPairs.fetch_add(1, std::memory_order_relaxed);
+  // The pair's dependence polyhedra and all FM scratch live on the worker's
+  // arena and are rewound wholesale on return; only plain results (Deps,
+  // warnings, cache refs) escape into Res. Blocks stay warm across pairs,
+  // so the steady state never touches malloc.
+  ArenaScope Scope;
   const uint64_t StepsBefore =
       PairBudget
           ? PairBudget->UsedEliminationSteps.load(std::memory_order_relaxed)
@@ -757,6 +764,14 @@ DependenceAnalysis::analyze(const LoopNest &Nest) const {
   // supervisor catches what escapes it (injected OOM, task deadline),
   // retries on a shrunken budget, and degrades the pair to the same
   // assumed-dependence answer when every attempt fails.
+  // Pairs are batched into coarser supervised tasks: one fine-grained task
+  // per pair made scheduling overhead (queueing, budget copies, outcome
+  // bookkeeping) rival the ~100us of real work per pair. The batch size is
+  // a fixed constant — never derived from the job count — so the partition,
+  // and with it every counter and retry decision, is identical for every
+  // --jobs value, and results still merge in pair order.
+  constexpr size_t BatchSize = 8;
+  const size_t NumBatches = (Pairs.size() + BatchSize - 1) / BatchSize;
   std::vector<PairResult> Results(Pairs.size());
   SupervisorOptions SOpts;
   SOpts.MaxAttempts = Options.TaskAttempts;
@@ -764,23 +779,40 @@ DependenceAnalysis::analyze(const LoopNest &Nest) const {
   SOpts.Observe = Options.Observe;
   Supervisor Sup(Options.Pool, Budget, SOpts);
   std::vector<SupervisedOutcome> Outcomes =
-      Sup.run(Pairs.size(), [&](size_t I, ResourceBudget *B) {
-        Results[I] = PairResult(); // Fresh slate on retry.
-        // Keep the historical "null budget = unlimited" fast path unless
-        // a per-task deadline needs the supervisor's budget to carry it.
-        ResourceBudget *PairBudget =
-            Budget || Options.TaskDeadlineMs ? B : nullptr;
-        analyzePair(Nest, Pairs[I], PairBudget, Results[I]);
+      Sup.run(NumBatches, [&](size_t BI, ResourceBudget *B) {
+        const size_t Begin = BI * BatchSize;
+        const size_t End = std::min(Begin + BatchSize, Pairs.size());
+        for (size_t I = Begin; I != End; ++I) {
+          Results[I] = PairResult(); // Fresh slate on retry.
+          // Keep the historical "null budget = unlimited" fast path unless
+          // a per-task deadline needs the supervisor's budget to carry it.
+          if (!Budget && !Options.TaskDeadlineMs) {
+            analyzePair(Nest, Pairs[I], nullptr, Results[I]);
+            continue;
+          }
+          // Each pair still gets a private copy of this attempt's budget
+          // (fresh counters, same limits, shared deadline/cancel) — exactly
+          // what it had as its own supervised task — so which pair degrades
+          // stays independent of both scheduling and batching.
+          ResourceBudget PairBudget = B->degradedCopy(1.0);
+          analyzePair(Nest, Pairs[I], &PairBudget, Results[I]);
+        }
         return Status::ok();
       });
-  for (size_t I = 0; I != Pairs.size(); ++I) {
-    SupervisedOutcome &O = Outcomes[I];
+  for (size_t BI = 0; BI != NumBatches; ++BI) {
+    SupervisedOutcome &O = Outcomes[BI];
+    const size_t Begin = BI * BatchSize;
+    const size_t End = std::min(Begin + BatchSize, Pairs.size());
     if (O.degraded()) {
-      Results[I] = PairResult();
-      appendConservativePair(Nest, Pairs[I], O.Result, Results[I]);
+      // The whole batch degrades to the assumed-dependence answer: sound,
+      // and deterministic because batch membership is fixed.
+      for (size_t I = Begin; I != End; ++I) {
+        Results[I] = PairResult();
+        appendConservativePair(Nest, Pairs[I], O.Result, Results[I]);
+      }
     } else if (O.retried()) {
-      Results[I].Warnings.push_back("dependence " +
-                                    Supervisor::describe(O, I));
+      Results[Begin].Warnings.push_back("dependence " +
+                                        Supervisor::describe(O, BI));
     }
   }
   for (PairResult &R : Results)

@@ -3,34 +3,58 @@
 #include "core/CostModel.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 using namespace alp;
 
+CostModel::CostModel(const Program &P, const MachineParams &M) : P(P), M(M) {
+  Costs.resize(P.Nests.size());
+  for (unsigned Id = 0; Id != P.Nests.size(); ++Id) {
+    const LoopNest &Nest = P.Nests[Id];
+    NestCost &C = Costs[Id];
+    C.Trips.resize(Nest.depth());
+    for (unsigned K = 0; K != Nest.depth(); ++K) {
+      C.Trips[K] = Nest.estimatedTrip(K, P.SymbolBindings);
+      C.Iters *= C.Trips[K];
+    }
+    double PerIter = 0.0;
+    for (const Statement &S : Nest.Body)
+      PerIter += S.WorkCycles;
+    C.Work = Nest.ExecCount * C.Iters * std::max(PerIter, 1.0);
+  }
+}
+
+const CostModel::NestCost *CostModel::costs(const LoopNest &Nest) const {
+  if (Nest.Id < Costs.size() && &P.Nests[Nest.Id] == &Nest)
+    return &Costs[Nest.Id];
+  return nullptr;
+}
+
 double CostModel::nestWork(unsigned NestId) const {
-  const LoopNest &Nest = P.nest(NestId);
-  double PerIter = 0.0;
-  for (const Statement &S : Nest.Body)
-    PerIter += S.WorkCycles;
-  return Nest.ExecCount * Nest.estimatedIterations(P.SymbolBindings) *
-         std::max(PerIter, 1.0);
+  assert(NestId < Costs.size() && "nest id out of range");
+  return Costs[NestId].Work;
 }
 
 double
 CostModel::distributedIterations(const LoopNest &Nest,
                                  const VectorSpace &CompKernel) const {
+  const NestCost *C = costs(Nest);
   double Dist = 1.0;
   unsigned ElementaryLocal = 0;
   for (unsigned K = 0; K != Nest.depth(); ++K) {
     if (CompKernel.contains(Vector::unit(Nest.depth(), K)))
       ++ElementaryLocal;
     else
-      Dist *= std::max(Nest.estimatedTrip(K, P.SymbolBindings), 1.0);
+      Dist *= std::max(C ? C->Trips[K]
+                         : Nest.estimatedTrip(K, P.SymbolBindings),
+                       1.0);
   }
   // Kernels are usually spanned by elementary vectors; if not (skewed
   // partitions), fall back to a uniform split of the volume.
   if (ElementaryLocal < CompKernel.dim()) {
-    double Total = std::max(Nest.estimatedIterations(P.SymbolBindings), 1.0);
+    double Total = std::max(
+        C ? C->Iters : Nest.estimatedIterations(P.SymbolBindings), 1.0);
     double Frac = static_cast<double>(Nest.depth() - CompKernel.dim()) /
                   static_cast<double>(Nest.depth());
     return std::pow(Total, Frac);
@@ -50,8 +74,7 @@ double CostModel::parallelismBenefit(unsigned NestId,
     return 0.0;
 
   double Work = nestWork(NestId);
-  double ItersPerExec =
-      std::max(Nest.estimatedIterations(P.SymbolBindings), 1.0);
+  double ItersPerExec = std::max(Costs[NestId].Iters, 1.0);
   double ExecCount = std::max(Nest.ExecCount, 1e-9);
   double PerIterCycles = Work / (ExecCount * ItersPerExec);
   double DistIters = distributedIterations(Nest, Kernel);

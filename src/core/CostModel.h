@@ -17,6 +17,8 @@
 #include "core/PartitionSolver.h"
 #include "ir/Program.h"
 
+#include <vector>
+
 namespace alp {
 
 /// Machine description used by both the cost model and the simulator.
@@ -61,7 +63,7 @@ struct MachineParams {
 /// Cost/benefit estimator for one program under one machine.
 class CostModel {
 public:
-  CostModel(const Program &P, const MachineParams &M) : P(P), M(M) {}
+  CostModel(const Program &P, const MachineParams &M);
 
   const MachineParams &machine() const { return M; }
 
@@ -90,8 +92,23 @@ public:
   double arrayElements(unsigned ArrayId) const;
 
 private:
+  /// Trip/iteration/work estimates are pure functions of the (immutable)
+  /// program and its symbol bindings, and the decomposer's greedy join
+  /// queries them tens of thousands of times per run; precompute them per
+  /// nest at construction (eager, so the model stays thread-safe to
+  /// share by const reference).
+  struct NestCost {
+    std::vector<double> Trips; ///< estimatedTrip per loop level.
+    double Iters = 1.0;        ///< estimatedIterations.
+    double Work = 0.0;         ///< nestWork.
+  };
+  /// The cached costs of \p Nest, or nullptr when the nest is not the
+  /// program's (tests evaluate standalone nests).
+  const NestCost *costs(const LoopNest &Nest) const;
+
   const Program &P;
   MachineParams M;
+  std::vector<NestCost> Costs; ///< Indexed by nest id.
 };
 
 } // namespace alp

@@ -3,6 +3,7 @@
 #include "core/Driver.h"
 
 #include "core/DisplacementSolver.h"
+#include "support/Arena.h"
 #include "support/Diagnostics.h"
 #include "support/FailPoint.h"
 #include "support/ThreadPool.h"
@@ -28,6 +29,12 @@ Expected<ProgramDecomposition>
 alp::decomposeOrError(Program &P, const MachineParams &Machine,
                       const DriverOptions &Opts) {
   ProgramDecomposition PD;
+  // Snapshot the process-wide allocation accounting so the run can publish
+  // its own deltas: linalg.allocs counts heap spills of linalg containers
+  // (zero in steady state once arena blocks are warm), linalg.arena_bytes
+  // the scratch traffic the arenas absorbed instead.
+  const uint64_t HeapSpillsBefore = containerHeapSpills();
+  const uint64_t ArenaBytesBefore = arenaBytesAllocated();
   // Per-run budget copy: fresh counters, caller's limits. Arm the
   // deadline before the pool fans budget copies out (Budget.h contract).
   ResourceBudget Budget = Opts.Budget;
@@ -326,6 +333,14 @@ alp::decomposeOrError(Program &P, const MachineParams &Machine,
     Observe.gauge("budget.used_solver_iterations",
                   static_cast<double>(Budget.UsedSolverIterations.load(
                       std::memory_order_relaxed)));
+    // Gauges, not counters: cache-hit timing across workers can shift how
+    // much scratch each run allocates, so the values are wall facts of
+    // this run rather than jobs-deterministic payload.
+    Observe.gauge("linalg.allocs", static_cast<double>(containerHeapSpills() -
+                                                       HeapSpillsBefore));
+    Observe.gauge("linalg.arena_bytes",
+                  static_cast<double>(arenaBytesAllocated() -
+                                      ArenaBytesBefore));
   }
   return PD;
 }

@@ -92,11 +92,17 @@ DynamicResult greedyJoin(const Program &P, const CostModel &CM,
     return SolveWith(Ids, Budget);
   };
 
-  // Union-find over nests.
-  std::map<unsigned, unsigned> Parent;
+  // Union-find over nests, on a flat array indexed by nest id (ids are
+  // bounded by the program's nest count). Find is on the inner loop of
+  // every join evaluation, so it stays free of map lookups and type-erased
+  // calls.
+  unsigned MaxNest = 0;
+  for (unsigned N : Nests)
+    MaxNest = std::max(MaxNest, N);
+  std::vector<unsigned> Parent(MaxNest + 1);
   for (unsigned N : Nests)
     Parent[N] = N;
-  std::function<unsigned(unsigned)> Find = [&](unsigned X) {
+  auto Find = [&Parent](unsigned X) {
     while (Parent[X] != X) {
       Parent[X] = Parent[Parent[X]];
       X = Parent[X];

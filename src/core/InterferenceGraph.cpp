@@ -2,8 +2,10 @@
 
 #include "core/InterferenceGraph.h"
 
+#include "support/Arena.h"
+
 #include <algorithm>
-#include <functional>
+#include <cassert>
 #include <map>
 #include <set>
 
@@ -14,25 +16,38 @@ InterferenceGraph::InterferenceGraph(const Program &P,
                                      bool IncludeReadOnly,
                                      const std::set<unsigned> *ForceInclude)
     : Prog(&P), NestIds(NestIds) {
-  // Which arrays are written anywhere in the selected nests?
+  // One body scan per nest: group accesses by array (ascending id, the
+  // edge order the rest of the pipeline sees) and note which arrays the
+  // selected nests write.
+  struct PerArray {
+    std::vector<const ArrayAccess *> Accs;
+    bool Write = false;
+  };
+  std::vector<std::map<unsigned, PerArray>> NestAcc(NestIds.size());
   std::set<unsigned> Written;
-  for (unsigned N : NestIds)
-    for (unsigned A : P.nest(N).referencedArrays())
-      if (P.nest(N).writesArray(A))
+  for (unsigned I = 0; I != NestIds.size(); ++I) {
+    for (const Statement &S : P.nest(NestIds[I]).Body)
+      for (const ArrayAccess &A : S.Accesses) {
+        PerArray &PA = NestAcc[I][A.ArrayId];
+        PA.Accs.push_back(&A);
+        PA.Write |= A.IsWrite;
+      }
+    for (const auto &[A, PA] : NestAcc[I])
+      if (PA.Write)
         Written.insert(A);
+  }
 
   std::set<unsigned> Arrays;
-  for (unsigned N : NestIds) {
-    const LoopNest &Nest = P.nest(N);
-    for (unsigned A : Nest.referencedArrays()) {
+  for (unsigned I = 0; I != NestIds.size(); ++I) {
+    for (const auto &[A, PA] : NestAcc[I]) {
       if (!IncludeReadOnly && !Written.count(A) &&
           !(ForceInclude && ForceInclude->count(A)))
         continue;
       Arrays.insert(A);
       InterferenceEdge E;
       E.ArrayId = A;
-      E.NestId = N;
-      for (const ArrayAccess *Acc : Nest.accessesTo(A)) {
+      E.NestId = NestIds[I];
+      for (const ArrayAccess *Acc : PA.Accs) {
         // Deduplicate identical access maps on the edge.
         bool Seen = false;
         for (const AffineAccessMap &M : E.Accesses)
@@ -50,64 +65,131 @@ InterferenceGraph::InterferenceGraph(const Program &P,
   ArrayIds.assign(Arrays.begin(), Arrays.end());
 }
 
-std::vector<const InterferenceEdge *>
-InterferenceGraph::edgesOfNest(unsigned NestId) const {
-  std::vector<const InterferenceEdge *> Out;
-  for (const InterferenceEdge &E : Edges)
-    if (E.NestId == NestId)
-      Out.push_back(&E);
-  return Out;
+InterferenceGraph::~InterferenceGraph() {
+  delete Idx.load(std::memory_order_acquire);
 }
 
-std::vector<const InterferenceEdge *>
-InterferenceGraph::edgesOfArray(unsigned ArrayId) const {
-  std::vector<const InterferenceEdge *> Out;
-  for (const InterferenceEdge &E : Edges)
-    if (E.ArrayId == ArrayId)
-      Out.push_back(&E);
-  return Out;
+InterferenceGraph::InterferenceGraph(const InterferenceGraph &RHS)
+    : Prog(RHS.Prog), NestIds(RHS.NestIds), ArrayIds(RHS.ArrayIds),
+      Edges(RHS.Edges) {}
+
+InterferenceGraph &InterferenceGraph::operator=(const InterferenceGraph &RHS) {
+  if (this == &RHS)
+    return *this;
+  Prog = RHS.Prog;
+  NestIds = RHS.NestIds;
+  ArrayIds = RHS.ArrayIds;
+  Edges = RHS.Edges;
+  delete Idx.exchange(nullptr, std::memory_order_acq_rel);
+  return *this;
 }
 
-std::vector<InterferenceGraph::Component>
-InterferenceGraph::connectedComponents() const {
-  // Union-find over a combined id space: nests then arrays.
-  std::map<unsigned, unsigned> NestSlot, ArraySlot;
-  unsigned Count = 0;
-  for (unsigned N : NestIds)
-    NestSlot[N] = Count++;
-  for (unsigned A : ArrayIds)
-    ArraySlot[A] = Count++;
-  std::vector<unsigned> Parent(Count);
-  for (unsigned I = 0; I != Count; ++I)
-    Parent[I] = I;
-  std::function<unsigned(unsigned)> Find = [&](unsigned X) {
-    while (Parent[X] != X) {
-      Parent[X] = Parent[Parent[X]];
-      X = Parent[X];
+const InterferenceGraph::Index &InterferenceGraph::index() const {
+  if (const Index *I = Idx.load(std::memory_order_acquire))
+    return *I;
+
+  // Build with the thread-local arena disabled: the index outlives any
+  // caller's ArenaScope and is shared across threads, so the accessed
+  // spaces must own plain heap storage.
+  Arena *Prev = Arena::setCurrent(nullptr);
+  Index *Fresh = nullptr;
+  try {
+    Fresh = new Index;
+
+    unsigned MaxNest = 0, MaxArray = 0;
+    for (unsigned N : NestIds)
+      MaxNest = std::max(MaxNest, N);
+    for (unsigned A : ArrayIds)
+      MaxArray = std::max(MaxArray, A);
+
+    // Adjacency: one pass over the edge list, preserving edge order.
+    Fresh->ByNest.resize(NestIds.empty() ? 0 : MaxNest + 1);
+    Fresh->ByArray.resize(ArrayIds.empty() ? 0 : MaxArray + 1);
+    for (const InterferenceEdge &E : Edges) {
+      Fresh->ByNest[E.NestId].push_back(&E);
+      Fresh->ByArray[E.ArrayId].push_back(&E);
     }
-    return X;
-  };
-  for (const InterferenceEdge &E : Edges)
-    Parent[Find(NestSlot[E.NestId])] = Find(ArraySlot[E.ArrayId]);
 
-  std::map<unsigned, Component> ByRoot;
-  for (unsigned N : NestIds)
-    ByRoot[Find(NestSlot[N])].Nests.push_back(N);
-  for (unsigned A : ArrayIds)
-    ByRoot[Find(ArraySlot[A])].Arrays.push_back(A);
-  std::vector<Component> Out;
-  for (auto &[Root, C] : ByRoot)
-    Out.push_back(std::move(C));
-  return Out;
+    // Connected components: union-find over a combined id space, nests
+    // then arrays.
+    std::map<unsigned, unsigned> NestSlot, ArraySlot;
+    unsigned Count = 0;
+    for (unsigned N : NestIds)
+      NestSlot[N] = Count++;
+    for (unsigned A : ArrayIds)
+      ArraySlot[A] = Count++;
+    std::vector<unsigned> Parent(Count);
+    for (unsigned I = 0; I != Count; ++I)
+      Parent[I] = I;
+    auto Find = [&Parent](unsigned X) {
+      while (Parent[X] != X) {
+        Parent[X] = Parent[Parent[X]];
+        X = Parent[X];
+      }
+      return X;
+    };
+    for (const InterferenceEdge &E : Edges)
+      Parent[Find(NestSlot[E.NestId])] = Find(ArraySlot[E.ArrayId]);
+
+    std::map<unsigned, Component> ByRoot;
+    for (unsigned N : NestIds)
+      ByRoot[Find(NestSlot[N])].Nests.push_back(N);
+    for (unsigned A : ArrayIds)
+      ByRoot[Find(ArraySlot[A])].Arrays.push_back(A);
+    for (auto &[Root, C] : ByRoot)
+      Fresh->Components.push_back(std::move(C));
+
+    // Accessed data spaces S_x = sum_j range(F_xj).
+    Fresh->Accessed.resize(ArrayIds.empty() ? 0 : MaxArray + 1);
+    for (unsigned A : ArrayIds) {
+      VectorSpace S(Prog->array(A).rank());
+      for (const InterferenceEdge *E : Fresh->ByArray[A])
+        for (const AffineAccessMap &M : E->Accesses)
+          S.unionWith(VectorSpace::rangeOf(M.linear()));
+      Fresh->Accessed[A] = std::move(S);
+    }
+  } catch (...) {
+    Arena::setCurrent(Prev);
+    delete Fresh;
+    throw;
+  }
+  Arena::setCurrent(Prev);
+
+  const Index *Expected = nullptr;
+  if (!Idx.compare_exchange_strong(Expected, Fresh,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    delete Fresh;
+    return *Expected;
+  }
+  return *Fresh;
 }
 
-VectorSpace InterferenceGraph::accessedSpace(unsigned ArrayId) const {
-  VectorSpace S(Prog->array(ArrayId).rank());
-  for (const InterferenceEdge &E : Edges) {
-    if (E.ArrayId != ArrayId)
-      continue;
-    for (const AffineAccessMap &M : E.Accesses)
-      S.unionWith(VectorSpace::rangeOf(M.linear()));
-  }
-  return S;
+const std::vector<const InterferenceEdge *> &
+InterferenceGraph::edgesOfNest(unsigned NestId) const {
+  const Index &I = index();
+  if (NestId < I.ByNest.size())
+    return I.ByNest[NestId];
+  static const std::vector<const InterferenceEdge *> Empty;
+  return Empty;
+}
+
+const std::vector<const InterferenceEdge *> &
+InterferenceGraph::edgesOfArray(unsigned ArrayId) const {
+  const Index &I = index();
+  if (ArrayId < I.ByArray.size())
+    return I.ByArray[ArrayId];
+  static const std::vector<const InterferenceEdge *> Empty;
+  return Empty;
+}
+
+const std::vector<InterferenceGraph::Component> &
+InterferenceGraph::connectedComponents() const {
+  return index().Components;
+}
+
+const VectorSpace &InterferenceGraph::accessedSpace(unsigned ArrayId) const {
+  const Index &I = index();
+  assert(ArrayId < I.Accessed.size() && "array not in interference graph");
+  return I.Accessed[ArrayId];
 }

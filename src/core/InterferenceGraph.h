@@ -15,6 +15,7 @@
 #include "ir/Program.h"
 #include "linalg/VectorSpace.h"
 
+#include <atomic>
 #include <map>
 #include <set>
 #include <vector>
@@ -43,31 +44,54 @@ public:
                     bool IncludeReadOnly = true,
                     const std::set<unsigned> *ForceInclude = nullptr);
 
+  ~InterferenceGraph();
+  /// Copies and moves carry the graph but not the derived index (the
+  /// cached adjacency/component/space data points into this object's
+  /// edge storage); the copy rebuilds its own on first use.
+  InterferenceGraph(const InterferenceGraph &RHS);
+  InterferenceGraph &operator=(const InterferenceGraph &RHS);
+
   const Program &program() const { return *Prog; }
   const std::vector<unsigned> &nests() const { return NestIds; }
   const std::vector<unsigned> &arrays() const { return ArrayIds; }
   const std::vector<InterferenceEdge> &edges() const { return Edges; }
 
-  /// Edges incident to a nest / an array.
-  std::vector<const InterferenceEdge *> edgesOfNest(unsigned NestId) const;
-  std::vector<const InterferenceEdge *> edgesOfArray(unsigned ArrayId) const;
+  /// Edges incident to a nest / an array. The graph is immutable after
+  /// construction, so the adjacency lists are computed once and cached;
+  /// the solvers walk them on every worklist step.
+  const std::vector<const InterferenceEdge *> &edgesOfNest(unsigned NestId) const;
+  const std::vector<const InterferenceEdge *> &edgesOfArray(unsigned ArrayId) const;
 
   /// Groups the nests and arrays into connected components; returns one
-  /// (nests, arrays) pair per component.
+  /// (nests, arrays) pair per component. Cached after the first call.
   struct Component {
     std::vector<unsigned> Nests;
     std::vector<unsigned> Arrays;
   };
-  std::vector<Component> connectedComponents() const;
+  const std::vector<Component> &connectedComponents() const;
 
   /// The accessed data space S_x = sum_j range(F_xj) of Sec. 4.3.
-  VectorSpace accessedSpace(unsigned ArrayId) const;
+  /// Cached after the first call per array.
+  const VectorSpace &accessedSpace(unsigned ArrayId) const;
 
 private:
+  /// Everything derivable from the (immutable) edge list, built lazily on
+  /// first use and published with a compare-exchange so concurrent
+  /// readers of one graph stay race-free. Nest and array ids are small
+  /// and dense, so the lookups are flat vectors indexed by id (slots for
+  /// ids outside the graph stay empty).
+  struct Index {
+    std::vector<std::vector<const InterferenceEdge *>> ByNest, ByArray;
+    std::vector<Component> Components;
+    std::vector<VectorSpace> Accessed; ///< Indexed by array id.
+  };
+  const Index &index() const;
+
   const Program *Prog;
   std::vector<unsigned> NestIds;
   std::vector<unsigned> ArrayIds;
   std::vector<InterferenceEdge> Edges;
+  mutable std::atomic<const Index *> Idx{nullptr};
 };
 
 } // namespace alp

@@ -13,7 +13,7 @@ unsigned alp::reducedVirtualDims(const InterferenceGraph &IG,
     auto It = Parts.DataKernel.find(A);
     if (It == Parts.DataKernel.end())
       continue;
-    VectorSpace S = IG.accessedSpace(A);
+    const VectorSpace &S = IG.accessedSpace(A);
     MaxData = std::max(MaxData, S.dim() - It->second.intersect(S).dim());
   }
   unsigned MinComp = MaxData;
@@ -98,7 +98,7 @@ alp::analyzeReplication(const InterferenceGraph &IG,
       for (const AffineAccessMap &M : E->Accesses)
         Kernel.unionWith(It->second.imageUnder(M.linear()));
     }
-    VectorSpace S = IG.accessedSpace(A);
+    const VectorSpace &S = IG.accessedSpace(A);
     unsigned NR = S.dim() - Kernel.intersect(S).dim();
     Info.ReducedD = Kernel.matrixWithThisKernel();
     // Trim to n_r rows (matrixWithThisKernel may give more when the

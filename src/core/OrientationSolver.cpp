@@ -76,7 +76,7 @@ OrientationResult alp::solveOrientations(const InterferenceGraph &IG,
     unsigned Root = Comp.Arrays.front();
     int BestScore = -1;
     for (unsigned A : Comp.Arrays) {
-      VectorSpace S = IG.accessedSpace(A);
+      const VectorSpace &S = IG.accessedSpace(A);
       int Score = static_cast<int>(
           S.dim() - Parts.DataKernel.at(A).intersect(S).dim());
       auto Pref = Opts.PreferredD.find(A);
@@ -134,8 +134,7 @@ OrientationResult alp::solveOrientations(const InterferenceGraph &IG,
       for (const InterferenceEdge *E : IG.edgesOfNest(Id)) {
         if (R.D.count(E->ArrayId))
           continue;
-        R.D[E->ArrayId] =
-            CJ * E->Accesses.front().linear().rightPseudoInverse();
+        R.D[E->ArrayId] = CJ * E->Accesses.front().linearPseudoInverse();
         Work.push_back({true, E->ArrayId});
       }
     }

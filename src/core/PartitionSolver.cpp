@@ -6,7 +6,6 @@
 #include "support/FailPoint.h"
 
 #include <deque>
-#include <set>
 
 using namespace alp;
 
@@ -33,7 +32,7 @@ unsigned PartitionResult::virtualDims(const InterferenceGraph &IG) const {
     auto It = DataKernel.find(A);
     if (It == DataKernel.end())
       continue;
-    VectorSpace S = IG.accessedSpace(A);
+    const VectorSpace &S = IG.accessedSpace(A);
     unsigned Dims = S.dim() - It->second.intersect(S).dim();
     N = std::max(N, Dims);
   }
@@ -109,6 +108,10 @@ void multipleArrayConstraint(const InterferenceGraph &IG,
               Work.push_back({false, E->NestId});
               continue;
             }
+            // Accesses sharing a linear part (e.g. A[i] and A[i-1])
+            // produce identical transfers; skip the elimination entirely.
+            if (It->second == TJ)
+              continue;
             Matrix Diff = It->second - TJ;
             for (const Vector &Col : Diff.columnSpaceBasis())
               Constraint.insert(Col);
@@ -119,13 +122,15 @@ void multipleArrayConstraint(const InterferenceGraph &IG,
       const Matrix &TJ = NestT[Id];
       for (const InterferenceEdge *E : IG.edgesOfNest(Id)) {
         for (const AffineAccessMap &M : E->Accesses) {
-          Matrix TY = TJ * M.linear().rightPseudoInverse();
+          Matrix TY = TJ * M.linearPseudoInverse();
           auto It = ArrayT.find(E->ArrayId);
           if (It == ArrayT.end()) {
             ArrayT[E->ArrayId] = TY;
             Work.push_back({true, E->ArrayId});
             continue;
           }
+          if (It->second == TY)
+            continue;
           Matrix Diff = It->second - TY;
           for (const Vector &Col : Diff.columnSpaceBasis())
             Constraint.insert(Col);
@@ -189,10 +194,47 @@ PartitionResult solveImplUnchecked(const InterferenceGraph &IG,
   multipleArrayConstraint(IG, R.DataKernel);
 
   // Worklist fixpoint on constraint 3 (Eqns. 5 and 6). Partitions only
-  // grow, so this terminates (Lemma 4.2).
-  std::set<unsigned> DirtyNests(IG.nests().begin(), IG.nests().end());
-  std::set<unsigned> DirtyArrays(IG.arrays().begin(), IG.arrays().end());
-  while (!DirtyNests.empty() || !DirtyArrays.empty()) {
+  // grow, so this terminates (Lemma 4.2). The worklists pop the smallest
+  // dirty id first (the iteration order the observability goldens pin);
+  // ids are small and dense, so a flag vector with a rising scan cursor
+  // beats a std::set.
+  unsigned MaxNest = 0, MaxArray = 0;
+  for (unsigned N : IG.nests())
+    MaxNest = std::max(MaxNest, N);
+  for (unsigned A : IG.arrays())
+    MaxArray = std::max(MaxArray, A);
+  // Map nodes are stable, so flat id-indexed pointer tables replace the
+  // per-access map lookups inside the loop.
+  std::vector<VectorSpace *> CompK(MaxNest + 1, nullptr),
+      DataK(MaxArray + 1, nullptr);
+  for (unsigned N : IG.nests())
+    CompK[N] = &R.CompKernel[N];
+  for (unsigned A : IG.arrays())
+    DataK[A] = &R.DataKernel[A];
+  std::vector<unsigned char> DirtyNests(MaxNest + 1, 0),
+      DirtyArrays(MaxArray + 1, 0);
+  size_t NumDirtyNests = IG.nests().size(),
+         NumDirtyArrays = IG.arrays().size();
+  for (unsigned N : IG.nests())
+    DirtyNests[N] = 1;
+  for (unsigned A : IG.arrays())
+    DirtyArrays[A] = 1;
+  unsigned NestCursor = 0, ArrayCursor = 0;
+  auto MarkNest = [&](unsigned N) {
+    if (!DirtyNests[N]) {
+      DirtyNests[N] = 1;
+      ++NumDirtyNests;
+      NestCursor = std::min(NestCursor, N);
+    }
+  };
+  auto MarkArray = [&](unsigned A) {
+    if (!DirtyArrays[A]) {
+      DirtyArrays[A] = 1;
+      ++NumDirtyArrays;
+      ArrayCursor = std::min(ArrayCursor, A);
+    }
+  };
+  while (NumDirtyNests || NumDirtyArrays) {
     ++Iterations;
     if (ResourceBudget *B = Opts.Budget) {
       if (Status S = B->chargeSolverIteration(); !S)
@@ -200,26 +242,38 @@ PartitionResult solveImplUnchecked(const InterferenceGraph &IG,
       if (Status S = B->checkDeadline(); !S)
         throw AlpException(S);
     }
-    if (!DirtyNests.empty()) {
-      unsigned J = *DirtyNests.begin();
-      DirtyNests.erase(DirtyNests.begin());
+    if (NumDirtyNests) {
+      while (!DirtyNests[NestCursor])
+        ++NestCursor;
+      unsigned J = NestCursor;
+      DirtyNests[J] = 0;
+      --NumDirtyNests;
       // Update_Arrays: ker D_x += span{ F t : t in ker C_j }  (Eqn. 5).
       for (const InterferenceEdge *E : IG.edgesOfNest(J))
         for (const AffineAccessMap &M : E->Accesses)
-          if (R.DataKernel[E->ArrayId].unionWith(
-                  R.CompKernel[J].imageUnder(M.linear())))
-            DirtyArrays.insert(E->ArrayId);
+          if (DataK[E->ArrayId]->unionWith(
+                  CompK[J]->imageUnder(M.linear())))
+            MarkArray(E->ArrayId);
       continue;
     }
-    unsigned X = *DirtyArrays.begin();
-    DirtyArrays.erase(DirtyArrays.begin());
+    while (!DirtyArrays[ArrayCursor])
+      ++ArrayCursor;
+    unsigned X = ArrayCursor;
+    DirtyArrays[X] = 0;
+    --NumDirtyArrays;
     // Update_Loops: ker C_j += { t : F t in ker D_x }  (Eqn. 6; this
-    // automatically includes ker F).
+    // automatically includes ker F). The complement of ker D_x is the
+    // same for every access of X, so compute it once: t is in the
+    // preimage iff P (F t) = 0 where the rows of P span the complement.
+    Matrix PM = DataK[X]->matrixWithThisKernel();
     for (const InterferenceEdge *E : IG.edgesOfArray(X))
-      for (const AffineAccessMap &M : E->Accesses)
-        if (R.CompKernel[E->NestId].unionWith(
-                R.DataKernel[X].preimageUnder(M.linear())))
-          DirtyNests.insert(E->NestId);
+      for (const AffineAccessMap &M : E->Accesses) {
+        const Matrix &F = M.linear();
+        VectorSpace Pre = PM.rows() == 0 ? VectorSpace::full(F.cols())
+                                         : VectorSpace::kernelOf(PM * F);
+        if (CompK[E->NestId]->unionWith(Pre))
+          MarkNest(E->NestId);
+      }
   }
 
   // Unblocked solve: localized spaces coincide with the kernels.

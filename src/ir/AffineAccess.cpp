@@ -2,12 +2,39 @@
 
 #include "ir/AffineAccess.h"
 
+#include "support/Arena.h"
+
 #include <sstream>
 
 using namespace alp;
 
 AffineAccessMap AffineAccessMap::identity(unsigned Depth) {
   return AffineAccessMap(Matrix::identity(Depth), SymVector(Depth));
+}
+
+const Matrix &AffineAccessMap::linearPseudoInverse() const {
+  if (const Matrix *M = Pseudo->V.load(std::memory_order_acquire))
+    return *M;
+  // Compute with the thread-local arena disabled: the result is shared
+  // across copies (and threads) and must own plain heap storage, not a
+  // caller's scratch arena block.
+  Arena *Prev = Arena::setCurrent(nullptr);
+  const Matrix *Fresh;
+  try {
+    Fresh = new Matrix(F.rightPseudoInverse());
+  } catch (...) {
+    Arena::setCurrent(Prev);
+    throw;
+  }
+  Arena::setCurrent(Prev);
+  const Matrix *Expected = nullptr;
+  if (!Pseudo->V.compare_exchange_strong(Expected, Fresh,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+    delete Fresh;
+    return *Expected;
+  }
+  return *Fresh;
 }
 
 Vector AffineAccessMap::evaluate(

@@ -15,6 +15,8 @@
 #include "linalg/SymAffine.h"
 #include "support/Diagnostics.h"
 
+#include <atomic>
+#include <memory>
 #include <string>
 
 namespace alp {
@@ -22,8 +24,10 @@ namespace alp {
 /// An affine map f(i) = F i + k from iteration space to array space.
 class AffineAccessMap {
 public:
-  AffineAccessMap() = default;
-  AffineAccessMap(Matrix F, SymVector K) : F(std::move(F)), K(std::move(K)) {
+  AffineAccessMap() : Pseudo(std::make_shared<PseudoCache>()) {}
+  AffineAccessMap(Matrix F, SymVector K)
+      : F(std::move(F)), K(std::move(K)),
+        Pseudo(std::make_shared<PseudoCache>()) {
     assert(this->F.rows() == this->K.size() && "F/k shape mismatch");
   }
 
@@ -32,6 +36,14 @@ public:
 
   const Matrix &linear() const { return F; }
   const SymVector &constant() const { return K; }
+
+  /// F.rightPseudoInverse(), computed lazily once and shared by every
+  /// copy of this map. F is immutable after construction, so the cache
+  /// can never go stale; the dynamic decomposer re-solves partitions over
+  /// copies of the same few access maps many times per run, and this
+  /// keeps the exact elimination behind the pseudo-inverse from being
+  /// redone on each of them. Value-transparent (a pure function of F).
+  const Matrix &linearPseudoInverse() const;
 
   /// Array dimensionality m.
   unsigned arrayDim() const { return F.rows(); }
@@ -61,8 +73,17 @@ public:
   std::string str(const std::vector<std::string> &IndexNames) const;
 
 private:
+  /// Copy-shared lazy cache for linearPseudoInverse(). Lock-free: the
+  /// first thread to finish publishes with compare-exchange, losers of
+  /// the (benign) race delete their duplicate.
+  struct PseudoCache {
+    std::atomic<const Matrix *> V{nullptr};
+    ~PseudoCache() { delete V.load(std::memory_order_acquire); }
+  };
+
   Matrix F;    // m x l, integral entries.
   SymVector K; // m entries, affine in symbolic constants.
+  std::shared_ptr<PseudoCache> Pseudo;
 };
 
 /// One reference to an array inside a statement.

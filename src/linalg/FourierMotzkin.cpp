@@ -2,10 +2,12 @@
 
 #include "linalg/FourierMotzkin.h"
 
+#include "support/Arena.h"
+#include "support/CheckedInt.h"
 #include "support/FailPoint.h"
 
 #include <algorithm>
-#include <set>
+#include <atomic>
 #include <sstream>
 
 using namespace alp;
@@ -16,7 +18,55 @@ namespace {
 /// solver step every dependence test and bound computation funnels into.
 FailPoint FpFmEliminate("linalg.fm.eliminate");
 
+std::atomic<bool> GFmIntegerFastPath{true};
+
+/// Narrows a 128-bit intermediate exactly like Rational's arithmetic does,
+/// so the integer elimination fast path overflows at the same points (and
+/// with the same recoverable status) as the Rational path it mirrors.
+int64_t narrowChecked(__int128 V) {
+  if (V > INT64_MAX || V < INT64_MIN)
+    throwOverflow("rational arithmetic");
+  return static_cast<int64_t>(V);
+}
+
+/// True if every coefficient and constant in the system is an integer.
+bool isIntegralSystem(const ConstraintSystem::Storage &Rows) {
+  for (const LinearConstraint &C : Rows) {
+    if (!C.Const.isInteger())
+      return false;
+    for (const Rational &E : C.Coeffs)
+      if (!E.isInteger())
+        return false;
+  }
+  return true;
+}
+
+/// FNV-1a over a row's exact value, for simplify's dedup (collisions are
+/// resolved by exact comparison, so this only affects speed).
+uint64_t hashRow(const LinearConstraint &C) {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    H = (H ^ V) * 1099511628211ull;
+  };
+  Mix(C.CKind == LinearConstraint::Kind::Equality ? 'E' : 'I');
+  for (const Rational &E : C.Coeffs) {
+    Mix(static_cast<uint64_t>(E.num()));
+    Mix(static_cast<uint64_t>(E.den()));
+  }
+  Mix(static_cast<uint64_t>(C.Const.num()));
+  Mix(static_cast<uint64_t>(C.Const.den()));
+  return H;
+}
+
+bool rowsEqual(const LinearConstraint &A, const LinearConstraint &B) {
+  return A.CKind == B.CKind && A.Const == B.Const && A.Coeffs == B.Coeffs;
+}
+
 } // namespace
+
+bool alp::setFmIntegerFastPath(bool Enabled) {
+  return GFmIntegerFastPath.exchange(Enabled);
+}
 
 Rational LinearConstraint::evaluate(const Vector &X) const {
   return Coeffs.dot(X) + Const;
@@ -72,44 +122,64 @@ void ConstraintSystem::addUpperBound(unsigned Var, const Rational &Hi) {
 }
 
 void ConstraintSystem::simplify() {
-  // Normalize each constraint so its first nonzero coefficient has absolute
-  // value scaled canonically, then deduplicate.
-  std::vector<LinearConstraint> Out;
-  std::set<std::string> Seen;
+  // Normalize each constraint in place to its canonical integer form (scale
+  // by lcm(dens)/gcd(nums); equalities additionally get a positive leading
+  // coefficient, inequalities keep their direction with a positive scale),
+  // then deduplicate by exact value via a hash prefilter.
+  Storage Out;
+  SmallVec<uint64_t, 16> Hashes;
   for (LinearConstraint &C : Constraints) {
     // Drop trivially true rows (0 >= nonneg / 0 == 0); keep trivially false
-    // rows so feasibility checks can see them.
-    if (C.Coeffs.isZero()) {
+    // rows so feasibility checks can see them (they never dedup).
+    auto Lead = C.Coeffs.firstNonZero();
+    if (!Lead) {
       bool Trivial = C.CKind == LinearConstraint::Kind::Equality
                          ? C.Const.isZero()
                          : C.Const >= Rational(0);
       if (Trivial)
         continue;
-      Out.push_back(C);
+      Hashes.push_back(hashRow(C));
+      Out.push_back(std::move(C));
       continue;
     }
-    // Scale to a canonical integer form (preserving inequality direction).
-    Vector Full(NumVars + 1);
-    for (unsigned I = 0; I != NumVars; ++I)
-      Full[I] = C.Coeffs[I];
-    Full[NumVars] = C.Const;
-    Vector Dir = Full.normalizedDirection();
-    // normalizedDirection may flip the sign; that is only legal for
-    // equalities. For inequalities recompute a positive scale.
-    if (C.CKind == LinearConstraint::Kind::Inequality) {
-      auto Lead = Full.firstNonZero();
-      if (Lead && Full[*Lead].isNegative())
-        Dir = -Dir;
+    int64_t Lcm = 1;
+    for (const Rational &E : C.Coeffs)
+      if (!E.isInteger())
+        Lcm = lcm64(Lcm, E.den());
+    if (!C.Const.isInteger())
+      Lcm = lcm64(Lcm, C.Const.den());
+    int64_t Gcd = 0;
+    if (Lcm == 1) {
+      for (const Rational &E : C.Coeffs)
+        Gcd = gcd64(Gcd, E.num());
+      Gcd = gcd64(Gcd, C.Const.num());
+    } else {
+      Rational L(Lcm);
+      for (const Rational &E : C.Coeffs)
+        Gcd = gcd64(Gcd, (E * L).asInteger());
+      Gcd = gcd64(Gcd, (C.Const * L).asInteger());
     }
-    LinearConstraint N;
-    N.CKind = C.CKind;
-    N.Coeffs = Vector(NumVars);
-    for (unsigned I = 0; I != NumVars; ++I)
-      N.Coeffs[I] = Dir[I];
-    N.Const = Dir[NumVars];
-    std::string Key = N.str();
-    if (Seen.insert(Key).second)
-      Out.push_back(N);
+    if (Lcm != 1 || Gcd != 1 ||
+        (C.CKind == LinearConstraint::Kind::Equality &&
+         C.Coeffs[*Lead].isNegative())) {
+      Rational Scale = Rational(Lcm) / Rational(Gcd);
+      if (C.CKind == LinearConstraint::Kind::Equality &&
+          C.Coeffs[*Lead].isNegative())
+        Scale = -Scale;
+      C.Coeffs.scaleBy(Scale);
+      C.Const *= Scale;
+    }
+    uint64_t H = hashRow(C);
+    bool Dup = false;
+    for (uint32_t I = 0; I != Out.size(); ++I)
+      if (Hashes[I] == H && rowsEqual(Out[I], C)) {
+        Dup = true;
+        break;
+      }
+    if (!Dup) {
+      Hashes.push_back(H);
+      Out.push_back(std::move(C));
+    }
   }
   Constraints = std::move(Out);
 }
@@ -129,20 +199,21 @@ Status ConstraintSystem::eliminateImpl(unsigned Var, ResourceBudget *Budget) {
         Eq.Coeffs[Var].isZero())
       continue;
     Rational A = Eq.Coeffs[Var];
-    std::vector<LinearConstraint> Out;
+    Storage Out;
+    Out.reserve(Constraints.size() ? Constraints.size() - 1 : 0);
     for (unsigned J = 0; J != Constraints.size(); ++J) {
       if (J == I)
         continue;
-      LinearConstraint C = Constraints[J];
+      LinearConstraint C = std::move(Constraints[J]);
       Rational B = C.Coeffs[Var];
       if (!B.isZero()) {
         // C <- C - (B/A) * Eq zeroes the Var coefficient; legal for both
         // kinds since Eq is an equality.
-        Rational F = B / A;
-        C.Coeffs = C.Coeffs - Eq.Coeffs.scaled(F);
-        C.Const -= Eq.Const * F;
+        Rational NegF = -(B / A);
+        C.Coeffs.addScaled(Eq.Coeffs, NegF);
+        C.Const += Eq.Const * NegF;
       }
-      Out.push_back(C);
+      Out.push_back(std::move(C));
     }
     Constraints = std::move(Out);
     simplify();
@@ -150,34 +221,61 @@ Status ConstraintSystem::eliminateImpl(unsigned Var, ResourceBudget *Budget) {
   }
 
   // Classic Fourier-Motzkin: pair every lower bound with every upper bound.
-  std::vector<LinearConstraint> Lowers, Uppers, Others;
-  for (const LinearConstraint &C : Constraints) {
-    const Rational &A = C.Coeffs[Var];
+  // When the whole system is integral (the overwhelmingly common case),
+  // combine rows over overflow-checked int64 instead of Rational; the
+  // checked narrowing mirrors the Rational path exactly, so overflow
+  // degrades identically and the results are bit-for-bit the same.
+  const bool AllInt = GFmIntegerFastPath.load(std::memory_order_relaxed) &&
+                      isIntegralSystem(Constraints);
+  SmallVec<uint32_t, 32> LowerIdx, UpperIdx;
+  Storage Others;
+  for (uint32_t I = 0; I != Constraints.size(); ++I) {
+    const Rational &A = Constraints[I].Coeffs[Var];
     if (A.isZero())
-      Others.push_back(C);
+      Others.push_back(std::move(Constraints[I]));
     else if (A > Rational(0))
-      Lowers.push_back(C); // a*x + rest >= 0 with a>0: lower bound on x.
+      LowerIdx.push_back(I); // a*x + rest >= 0 with a>0: lower bound on x.
     else
-      Uppers.push_back(C);
+      UpperIdx.push_back(I);
   }
   if (Budget) {
     uint64_t Pairs =
-        static_cast<uint64_t>(Lowers.size()) * Uppers.size();
+        static_cast<uint64_t>(LowerIdx.size()) * UpperIdx.size();
     if (Status S = Budget->chargeEliminationSteps(Pairs); !S)
       return S;
     if (Status S = Budget->checkConstraintCount(Others.size() + Pairs); !S)
       return S;
   }
-  for (const LinearConstraint &L : Lowers)
-    for (const LinearConstraint &U : Uppers) {
+  for (uint32_t LI : LowerIdx)
+    for (uint32_t UI : UpperIdx) {
+      const LinearConstraint &L = Constraints[LI];
+      const LinearConstraint &U = Constraints[UI];
       // Combine with positive multipliers to cancel Var.
-      Rational AL = L.Coeffs[Var];         // > 0
-      Rational AU = (-U.Coeffs[Var]);      // > 0
+      Rational AL = L.Coeffs[Var];    // > 0
+      Rational AU = (-U.Coeffs[Var]); // > 0
       LinearConstraint C;
       C.CKind = LinearConstraint::Kind::Inequality;
-      C.Coeffs = L.Coeffs.scaled(AU) + U.Coeffs.scaled(AL);
-      C.Const = L.Const * AU + U.Const * AL;
-      Others.push_back(C);
+      if (AllInt) {
+        const int64_t Al = AL.num(), Au = AU.num();
+        C.Coeffs = Vector(NumVars);
+        for (unsigned I = 0; I != NumVars; ++I) {
+          int64_t P1 =
+              narrowChecked(static_cast<__int128>(L.Coeffs[I].num()) * Au);
+          int64_t P2 =
+              narrowChecked(static_cast<__int128>(U.Coeffs[I].num()) * Al);
+          C.Coeffs[I] =
+              Rational(narrowChecked(static_cast<__int128>(P1) + P2));
+        }
+        int64_t Q1 = narrowChecked(static_cast<__int128>(L.Const.num()) * Au);
+        int64_t Q2 = narrowChecked(static_cast<__int128>(U.Const.num()) * Al);
+        C.Const = Rational(narrowChecked(static_cast<__int128>(Q1) + Q2));
+      } else {
+        C.Coeffs = L.Coeffs;
+        C.Coeffs.scaleBy(AU);
+        C.Coeffs.addScaled(U.Coeffs, AL);
+        C.Const = L.Const * AU + U.Const * AL;
+      }
+      Others.push_back(std::move(C));
     }
   Constraints = std::move(Others);
   simplify();
@@ -202,6 +300,8 @@ Status ConstraintSystem::eliminate(unsigned Var, ResourceBudget *Budget) {
 }
 
 bool ConstraintSystem::isRationallyFeasible() const {
+  // The eliminated copy is scratch and the answer a bool: arena territory.
+  ArenaScope Scope;
   ConstraintSystem Copy = *this;
   for (unsigned V = 0; V != NumVars; ++V)
     Copy.eliminate(V);
@@ -219,6 +319,7 @@ bool ConstraintSystem::isRationallyFeasible() const {
 Expected<bool>
 ConstraintSystem::isRationallyFeasible(ResourceBudget *Budget) const {
   try {
+    ArenaScope Scope;
     ConstraintSystem Copy = *this;
     for (unsigned V = 0; V != NumVars; ++V)
       if (Status S = Copy.eliminateImpl(V, Budget); !S)
@@ -239,6 +340,8 @@ ConstraintSystem::isRationallyFeasible(ResourceBudget *Budget) const {
 Status
 ConstraintSystem::boundsOfImpl(unsigned Var, ResourceBudget *Budget,
                                std::optional<VariableBounds> &Result) const {
+  // Projection scratch lives on the arena; only plain bounds escape.
+  ArenaScope Scope;
   ConstraintSystem Copy = *this;
   for (unsigned V = 0; V != NumVars; ++V)
     if (V != Var)

@@ -42,16 +42,23 @@ struct VariableBounds {
   std::optional<Rational> Upper;
 };
 
-/// A conjunction of linear constraints over Q^NumVars.
+/// Toggles the all-integer (Den == 1) elimination fast path; returns the
+/// previous setting. On by default; property tests flip it to compare the
+/// checked-int64 and Rational paths bit for bit. Thread-safe.
+bool setFmIntegerFastPath(bool Enabled);
+
+/// A conjunction of linear constraints over Q^NumVars. Constraint storage
+/// is small-size-optimized like Vector/Matrix: up to 16 rows inline,
+/// spilling to the active Arena (or the heap) beyond that.
 class ConstraintSystem {
 public:
+  using Storage = SmallVec<LinearConstraint, 16, &detail::matrixAllocHook>;
+
   explicit ConstraintSystem(unsigned NumVars) : NumVars(NumVars) {}
 
   unsigned numVars() const { return NumVars; }
   unsigned size() const { return Constraints.size(); }
-  const std::vector<LinearConstraint> &constraints() const {
-    return Constraints;
-  }
+  const Storage &constraints() const { return Constraints; }
 
   /// Adds Coeffs . x + Const >= 0.
   void addInequality(const Vector &Coeffs, const Rational &Const);
@@ -98,7 +105,7 @@ public:
 
 private:
   unsigned NumVars;
-  std::vector<LinearConstraint> Constraints;
+  Storage Constraints;
 
   /// Shared elimination body: may throw AlpException on overflow; returns
   /// BudgetExceeded when \p Budget (nullable) trips.

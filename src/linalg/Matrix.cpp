@@ -12,8 +12,9 @@ using namespace alp;
 
 namespace {
 
-/// Injection site for matrix storage allocation (called from the inline
-/// dimension constructor via detail::matrixAllocHook).
+/// Injection site for linalg container growth beyond inline storage
+/// (called from SmallVec::grow via detail::matrixAllocHook), i.e. on the
+/// arena/heap spill path only.
 FailPoint FpMatrixAlloc("linalg.matrix.alloc");
 
 } // namespace
@@ -66,6 +67,17 @@ Vector Vector::scaled(const Rational &S) const {
   for (unsigned I = 0, E = size(); I != E; ++I)
     R[I] = Elems[I] * S;
   return R;
+}
+
+void Vector::addScaled(const Vector &V, const Rational &S) {
+  assert(size() == V.size() && "vector size mismatch");
+  for (unsigned I = 0, E = size(); I != E; ++I)
+    Elems[I] += V[I] * S;
+}
+
+void Vector::scaleBy(const Rational &S) {
+  for (unsigned I = 0, E = size(); I != E; ++I)
+    Elems[I] *= S;
 }
 
 Rational Vector::dot(const Vector &RHS) const {
@@ -242,17 +254,41 @@ Matrix Matrix::transposed() const {
   return M;
 }
 
-Matrix Matrix::vstack(const Matrix &RHS) const {
-  if (NumRows == 0)
-    return RHS;
+void Matrix::appendRows(const Matrix &RHS) {
   if (RHS.NumRows == 0)
-    return *this;
+    return;
+  if (NumRows == 0) {
+    *this = RHS;
+    return;
+  }
   assert(NumCols == RHS.NumCols && "vstack column mismatch");
-  Matrix M(NumRows + RHS.NumRows, NumCols);
-  std::copy(Elems.begin(), Elems.end(), M.Elems.begin());
-  std::copy(RHS.Elems.begin(), RHS.Elems.end(),
-            M.Elems.begin() + Elems.size());
+  Elems.reserve(Elems.size() + RHS.Elems.size());
+  for (const Rational &E : RHS.Elems)
+    Elems.push_back(E);
+  NumRows += RHS.NumRows;
+}
+
+Matrix Matrix::vstack(const Matrix &RHS) const & {
+  Matrix M = *this;
+  M.appendRows(RHS);
   return M;
+}
+
+Matrix Matrix::vstack(const Matrix &RHS) && {
+  appendRows(RHS);
+  return std::move(*this);
+}
+
+void Matrix::rowAddScaled(unsigned Dst, unsigned Src, const Rational &S) {
+  assert(Dst < NumRows && Src < NumRows && "row index out of range");
+  for (unsigned K = 0; K != NumCols; ++K)
+    at(Dst, K) += S * at(Src, K);
+}
+
+void Matrix::scaleRow(unsigned R, const Rational &S) {
+  assert(R < NumRows && "row index out of range");
+  for (unsigned K = 0; K != NumCols; ++K)
+    at(R, K) *= S;
 }
 
 Matrix Matrix::hstack(const Matrix &RHS) const {
@@ -290,9 +326,7 @@ Matrix Matrix::rref(std::vector<unsigned> *PivotCols) const {
     if (Found != PivotRow)
       for (unsigned K = 0; K != NumCols; ++K)
         std::swap(M.at(Found, K), M.at(PivotRow, K));
-    Rational Inv = M.at(PivotRow, C).reciprocal();
-    for (unsigned K = 0; K != NumCols; ++K)
-      M.at(PivotRow, K) *= Inv;
+    M.scaleRow(PivotRow, M.at(PivotRow, C).reciprocal());
     // Eliminate the column everywhere else.
     for (unsigned R = 0; R != NumRows; ++R) {
       if (R == PivotRow)
@@ -300,8 +334,7 @@ Matrix Matrix::rref(std::vector<unsigned> *PivotCols) const {
       Rational Factor = M.at(R, C);
       if (Factor.isZero())
         continue;
-      for (unsigned K = 0; K != NumCols; ++K)
-        M.at(R, K) -= Factor * M.at(PivotRow, K);
+      M.rowAddScaled(R, PivotRow, -Factor);
     }
     if (PivotCols)
       PivotCols->push_back(C);
@@ -311,6 +344,8 @@ Matrix Matrix::rref(std::vector<unsigned> *PivotCols) const {
 }
 
 unsigned Matrix::rank() const {
+  // The reduced copy is pure scratch: found it on the arena.
+  ArenaScope Scope;
   std::vector<unsigned> Pivots;
   rref(&Pivots);
   return Pivots.size();
@@ -318,6 +353,7 @@ unsigned Matrix::rank() const {
 
 Rational Matrix::determinant() const {
   assert(isSquare() && "determinant of non-square matrix");
+  ArenaScope Scope; // Scratch copy only; the result is a scalar.
   Matrix M = *this;
   Rational Det(1);
   for (unsigned C = 0; C != NumCols; ++C) {

@@ -4,6 +4,11 @@
 /// Dense vectors and matrices over Rational, sized for the decomposition
 /// framework: array and iteration spaces have dimension <= ~8, so the
 /// implementation favours clarity and exactness over asymptotic speed.
+/// Storage is small-size-optimized (support/SmallVec.h): a Vector holds up
+/// to 16 elements and a Matrix up to 64 elements inline, which covers
+/// virtually all real programs; growth beyond that spills to the current
+/// Arena when an ArenaScope is active, else to the heap (counted by
+/// containerHeapSpills and fault-injectable at "linalg.matrix.alloc").
 ///
 /// Conventions match the paper: a data decomposition matrix D is n x m
 /// (processor dims x array dims), a computation decomposition matrix C is
@@ -16,6 +21,7 @@
 #define ALP_LINALG_MATRIX_H
 
 #include "linalg/Rational.h"
+#include "support/SmallVec.h"
 
 #include <cassert>
 #include <initializer_list>
@@ -26,9 +32,22 @@
 
 namespace alp {
 
+namespace detail {
+/// Fault-injection probe for the "linalg.matrix.alloc" site (see
+/// support/FailPoint.h), fired whenever a linalg container grows beyond
+/// its inline storage; disarmed cost is one relaxed atomic load.
+void matrixAllocHook();
+} // namespace detail
+
 /// A dense column vector over Q.
 class Vector {
 public:
+  /// Inline capacity; spaces in the framework have dimension <= ~8, and the
+  /// widest hot-path vector (a dependence system row over [i_src|i_dst|
+  /// syms|d]) stays within 16 for depth-4 nests.
+  static constexpr unsigned InlineElems = 16;
+  using Storage = SmallVec<Rational, InlineElems, &detail::matrixAllocHook>;
+
   Vector() = default;
   explicit Vector(unsigned Size) : Elems(Size) {}
   Vector(std::initializer_list<Rational> Init) : Elems(Init) {}
@@ -56,6 +75,12 @@ public:
   Vector operator-() const;
   Vector scaled(const Rational &S) const;
 
+  /// Fused in-place kernels for the FM/rref hot paths: no temporaries.
+  /// this += V * S, elementwise.
+  void addScaled(const Vector &V, const Rational &S);
+  /// this *= S, elementwise.
+  void scaleBy(const Rational &S);
+
   Rational dot(const Vector &RHS) const;
 
   /// The first nonzero position, or nullopt for the zero vector.
@@ -71,31 +96,26 @@ public:
 
   std::string str() const;
 
-  std::vector<Rational>::const_iterator begin() const {
-    return Elems.begin();
-  }
-  std::vector<Rational>::const_iterator end() const { return Elems.end(); }
+  const Rational *begin() const { return Elems.begin(); }
+  const Rational *end() const { return Elems.end(); }
 
 private:
-  std::vector<Rational> Elems;
+  Storage Elems;
 };
 
 std::ostream &operator<<(std::ostream &OS, const Vector &V);
 
-namespace detail {
-/// Fault-injection probe for the "linalg.matrix.alloc" site (see
-/// support/FailPoint.h); disarmed cost is one relaxed atomic load.
-void matrixAllocHook();
-} // namespace detail
-
 /// A dense Rows x Cols matrix over Q.
 class Matrix {
 public:
+  /// Inline capacity in elements (an 8x8 system, or the augmented matrices
+  /// the example pipelines invert, fit without touching the allocator).
+  static constexpr unsigned InlineElems = 64;
+  using Storage = SmallVec<Rational, InlineElems, &detail::matrixAllocHook>;
+
   Matrix() = default;
   Matrix(unsigned Rows, unsigned Cols)
-      : NumRows(Rows), NumCols(Cols), Elems(Rows * Cols) {
-    detail::matrixAllocHook();
-  }
+      : NumRows(Rows), NumCols(Cols), Elems(Rows * Cols) {}
   /// Row-major initializer: Matrix({{1,0},{0,1}}).
   Matrix(std::initializer_list<std::initializer_list<Rational>> Init);
 
@@ -133,14 +153,26 @@ public:
   Matrix scaled(const Rational &S) const;
   Matrix transposed() const;
 
+  /// Fused in-place row kernels (used by rref/determinant).
+  /// row Dst += row Src * S.
+  void rowAddScaled(unsigned Dst, unsigned Src, const Rational &S);
+  /// row R *= S.
+  void scaleRow(unsigned R, const Rational &S);
+
   bool operator==(const Matrix &RHS) const {
     return NumRows == RHS.NumRows && NumCols == RHS.NumCols &&
            Elems == RHS.Elems;
   }
   bool operator!=(const Matrix &RHS) const { return !(*this == RHS); }
 
+  /// Appends the rows of \p RHS below this matrix in place (column counts
+  /// must match unless this matrix is empty).
+  void appendRows(const Matrix &RHS);
+
   /// Appends the rows of \p RHS below this matrix (column counts must match).
-  Matrix vstack(const Matrix &RHS) const;
+  Matrix vstack(const Matrix &RHS) const &;
+  /// Move-aware vstack: reuses this matrix's storage.
+  Matrix vstack(const Matrix &RHS) &&;
   /// Appends the columns of \p RHS to the right (row counts must match).
   Matrix hstack(const Matrix &RHS) const;
 
@@ -191,7 +223,7 @@ public:
 private:
   unsigned NumRows = 0;
   unsigned NumCols = 0;
-  std::vector<Rational> Elems;
+  Storage Elems;
 };
 
 std::ostream &operator<<(std::ostream &OS, const Matrix &M);

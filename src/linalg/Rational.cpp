@@ -139,6 +139,45 @@ Rational Rational::operator-(const Rational &RHS) const {
   return *this + (-RHS);
 }
 
+Rational &Rational::operator+=(const Rational &RHS) {
+  FpRational.evaluateOrThrow();
+  // Integer fast path: no multiplies, no reduction.
+  if (Den == 1 && RHS.Den == 1) {
+    Num = narrow(static_cast<__int128>(Num) + RHS.Num);
+    return *this;
+  }
+  __int128 N = static_cast<__int128>(Num) * RHS.Den +
+               static_cast<__int128>(RHS.Num) * Den;
+  __int128 D = static_cast<__int128>(Den) * RHS.Den;
+  if (Den == 1 || RHS.Den == 1) {
+    if (N == 0) {
+      Num = 0;
+      Den = 1;
+      return *this;
+    }
+    int64_t NN = narrow(N), ND = narrow(D);
+    Num = NN;
+    Den = ND;
+    return *this;
+  }
+  __int128 A = N < 0 ? -N : N, B = D;
+  while (B != 0) {
+    __int128 T = A % B;
+    A = B;
+    B = T;
+  }
+  if (A > 1) {
+    N /= A;
+    D /= A;
+  }
+  // Narrow both halves before committing so an overflow leaves *this
+  // untouched (budgeted callers keep using the system after catching).
+  int64_t NN = narrow(N), ND = narrow(D);
+  Num = NN;
+  Den = ND;
+  return *this;
+}
+
 Rational Rational::operator*(const Rational &RHS) const {
   Rational R;
   // Integer fast path: nothing to cross-reduce.
@@ -163,6 +202,26 @@ Rational Rational::operator*(const Rational &RHS) const {
 
 Rational Rational::operator/(const Rational &RHS) const {
   return *this * RHS.reciprocal();
+}
+
+Rational &Rational::operator*=(const Rational &RHS) {
+  if (Den == 1 && RHS.Den == 1) {
+    Num = narrow(static_cast<__int128>(Num) * RHS.Num);
+    return *this;
+  }
+  int64_t G1 = RHS.Den == 1 ? 1 : gcd64(Num, RHS.Den);
+  int64_t G2 = Den == 1 ? 1 : gcd64(RHS.Num, Den);
+  __int128 N = static_cast<__int128>(Num / G1) * (RHS.Num / G2);
+  __int128 D = static_cast<__int128>(Den / G2) * (RHS.Den / G1);
+  if (N == 0) {
+    Num = 0;
+    Den = 1;
+    return *this;
+  }
+  int64_t NN = narrow(N), ND = narrow(D);
+  Num = NN;
+  Den = ND;
+  return *this;
 }
 
 namespace {

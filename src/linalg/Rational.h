@@ -55,10 +55,15 @@ public:
   /// Division; \p RHS must be nonzero.
   Rational operator/(const Rational &RHS) const;
 
-  Rational &operator+=(const Rational &RHS) { return *this = *this + RHS; }
-  Rational &operator-=(const Rational &RHS) { return *this = *this - RHS; }
-  Rational &operator*=(const Rational &RHS) { return *this = *this * RHS; }
-  Rational &operator/=(const Rational &RHS) { return *this = *this / RHS; }
+  /// Compound assignment computed in place with the same 128-bit
+  /// intermediates (and the same exact results) as the binary operators —
+  /// no temporary Rational is materialized. Self-aliasing is safe.
+  Rational &operator+=(const Rational &RHS);
+  Rational &operator-=(const Rational &RHS) { return *this += -RHS; }
+  Rational &operator*=(const Rational &RHS);
+  Rational &operator/=(const Rational &RHS) {
+    return *this *= RHS.reciprocal();
+  }
 
   /// Multiplicative inverse; *this must be nonzero.
   Rational reciprocal() const;

@@ -3,35 +3,88 @@
 #include "linalg/SystemKey.h"
 
 #include <algorithm>
+#include <cstring>
+#include <vector>
 
 using namespace alp;
 
 namespace {
 
-/// FNV-1a over a byte range.
+/// FNV-1a-style mix, eight bytes per step (the tail is zero-padded;
+/// a rare padding collision is harmless because key equality compares
+/// the full representation). Keys never leave the process, so the exact
+/// hash value is free to change; only determinism matters.
 inline void fnv1a(uint64_t &H, const void *Data, size_t Len) {
   const unsigned char *P = static_cast<const unsigned char *>(Data);
-  for (size_t I = 0; I != Len; ++I) {
-    H ^= P[I];
+  while (Len >= 8) {
+    uint64_t W;
+    std::memcpy(&W, P, 8);
+    H ^= W;
+    H *= 1099511628211ull;
+    P += 8;
+    Len -= 8;
+  }
+  if (Len) {
+    uint64_t W = 0;
+    std::memcpy(&W, P, Len);
+    H ^= W;
     H *= 1099511628211ull;
   }
 }
 
-/// Appends an integer in a fixed-width binary encoding (fast to hash and
-/// to compare, no textual formatting on the hot path).
-inline void appendI64(std::string &Out, int64_t V) {
-  uint64_t U = static_cast<uint64_t>(V);
-  for (int I = 0; I != 8; ++I)
-    Out.push_back(static_cast<char>((U >> (8 * I)) & 0xff));
-}
+/// Writes an integer at \p Out in host byte order. The key only ever
+/// meets keys built in the same process, so the encoding just has to be
+/// deterministic and injective, not portable.
+inline void put64(char *Out, int64_t V) { std::memcpy(Out, &V, 8); }
 
 } // namespace
 
 CanonicalSystemKey alp::canonicalSystemKey(const ConstraintSystem &CS) {
   const unsigned NumVars = CS.numVars();
-  std::vector<std::string> Rows;
-  Rows.reserve(CS.size());
+  // Fixed-width rows — kind byte plus (num, den) per entry — laid out
+  // back-to-back in one scratch buffer: no per-row string allocation, and
+  // row order can be canonicalized by sorting row indices with memcmp.
+  const size_t RowW = 1 + 16 * (NumVars + 1);
+  const size_t NumRows = CS.size();
+  std::string Scratch(NumRows * RowW, '\0');
+  size_t R = 0;
   for (const LinearConstraint &C : CS.constraints()) {
+    char *Row = &Scratch[R++ * RowW];
+    Row[0] = C.CKind == LinearConstraint::Kind::Equality ? 'E' : 'I';
+    const bool Equality = C.CKind == LinearConstraint::Kind::Equality;
+    // Integer fast path — the overwhelmingly common case for dependence
+    // systems. Scaling to the canonical direction is then just dividing
+    // by the gcd of the entries (and, for the sign-symmetric equalities,
+    // making the leading entry positive): no Vector temporaries, no
+    // rational reduction.
+    auto EntryNum = [&](unsigned I) {
+      return I == NumVars ? C.Const.num() : C.Coeffs[I].num();
+    };
+    bool AllInt = C.Const.isInteger();
+    for (unsigned I = 0; AllInt && I != NumVars; ++I)
+      AllInt = C.Coeffs[I].isInteger();
+    int64_t G = 0;
+    int64_t LeadSign = 0;
+    for (unsigned I = 0; AllInt && I != NumVars + 1; ++I) {
+      int64_t V = EntryNum(I);
+      if (V == INT64_MIN) { // |V| and -V overflow; take the slow path.
+        AllInt = false;
+        break;
+      }
+      if (V != 0 && LeadSign == 0)
+        LeadSign = V > 0 ? 1 : -1;
+      if (V != 0 && G != 1) // gcd(G, 0) == G and gcd(1, V) == 1: skip.
+        G = gcd64(G, V);
+    }
+    if (AllInt) {
+      int64_t Flip = (Equality && LeadSign < 0) ? -1 : 1;
+      for (unsigned I = 0; I != NumVars + 1; ++I) {
+        int64_t V = EntryNum(I);
+        put64(Row + 1 + 16 * I, G > 1 ? Flip * (V / G) : Flip * V);
+        put64(Row + 9 + 16 * I, 1);
+      }
+      continue;
+    }
     // Scale [coeffs | const] to the canonical integer direction.
     Vector Full(NumVars + 1);
     for (unsigned I = 0; I != NumVars; ++I)
@@ -46,28 +99,31 @@ CanonicalSystemKey alp::canonicalSystemKey(const ConstraintSystem &CS) {
       if (Lead && Full[*Lead].isNegative())
         Dir = -Dir;
     }
-    std::string Row;
-    Row.reserve(1 + 8 * (NumVars + 1));
-    Row.push_back(C.CKind == LinearConstraint::Kind::Equality ? 'E' : 'I');
     for (unsigned I = 0; I != NumVars + 1; ++I) {
-      // After normalization entries are integers except for the all-zero
-      // row (returned unchanged); encode num and den to stay exact either
-      // way.
-      appendI64(Row, Dir[I].num());
-      if (Dir[I].den() != 1)
-        appendI64(Row, -Dir[I].den()); // Tagged: dens are never negative.
+      put64(Row + 1 + 16 * I, Dir[I].num());
+      put64(Row + 9 + 16 * I, Dir[I].den());
     }
-    Rows.push_back(std::move(Row));
   }
-  std::sort(Rows.begin(), Rows.end());
+
+  unsigned Idx[64];
+  std::vector<unsigned> IdxHeap;
+  unsigned *Order = Idx;
+  if (NumRows > 64) {
+    IdxHeap.resize(NumRows);
+    Order = IdxHeap.data();
+  }
+  for (unsigned I = 0; I != NumRows; ++I)
+    Order[I] = I;
+  const char *Base = Scratch.data();
+  std::sort(Order, Order + NumRows, [&](unsigned A, unsigned B) {
+    return std::memcmp(Base + A * RowW, Base + B * RowW, RowW) < 0;
+  });
 
   CanonicalSystemKey Key;
-  Key.Repr.reserve(8 + Rows.size() * (2 + 8 * (NumVars + 1)));
-  appendI64(Key.Repr, NumVars);
-  for (const std::string &Row : Rows) {
-    Key.Repr += Row;
-    Key.Repr.push_back('\n');
-  }
+  Key.Repr.resize(8 + NumRows * RowW);
+  put64(&Key.Repr[0], NumVars);
+  for (unsigned I = 0; I != NumRows; ++I)
+    std::memcpy(&Key.Repr[8 + I * RowW], Base + Order[I] * RowW, RowW);
   Key.Hash = 1469598103934665603ull;
   fnv1a(Key.Hash, Key.Repr.data(), Key.Repr.size());
   return Key;

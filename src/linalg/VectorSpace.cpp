@@ -8,13 +8,41 @@
 
 using namespace alp;
 
+namespace {
+
+/// Column of the leading (pivot) entry of an RREF row; size() for a zero
+/// row. Basis rows are RREF, so the pivot entry is 1 and the pivot columns
+/// strictly increase down the basis.
+unsigned pivotOf(const Vector &V) {
+  for (unsigned I = 0; I != V.size(); ++I)
+    if (!V[I].isZero())
+      return I;
+  return V.size();
+}
+
+/// Reduces \p V in place against the RREF rows of \p Basis (one
+/// elimination step per row). Afterwards V is zero iff it was in the
+/// span. This is the forward-substitution shortcut the canonical basis
+/// buys: no stacked matrix, no fresh rref.
+void reduceAgainst(const std::vector<Vector> &Basis, Vector &V) {
+  for (const Vector &B : Basis) {
+    unsigned P = pivotOf(B);
+    if (P < V.size() && !V[P].isZero())
+      V.addScaled(B, -V[P]);
+  }
+}
+
+} // namespace
+
 void VectorSpace::canonicalize(std::vector<Vector> Vectors) {
+  // Incremental RREF maintenance via insert(); by the uniqueness of the
+  // RREF of a row space this produces exactly the basis a from-scratch
+  // elimination of the stacked vectors would.
   Basis.clear();
-  if (Vectors.empty())
-    return;
-  Matrix M = Matrix::fromRows(Vectors);
-  assert(M.cols() == AmbientDim && "vector ambient dimension mismatch");
-  Basis = M.rowSpaceBasis();
+  for (const Vector &V : Vectors) {
+    assert(V.size() == AmbientDim && "vector ambient dimension mismatch");
+    insert(V);
+  }
 }
 
 VectorSpace VectorSpace::span(unsigned Ambient,
@@ -57,14 +85,13 @@ bool VectorSpace::contains(const Vector &V) const {
     return true;
   if (Basis.empty())
     return false;
-  // V is in the span iff appending it does not raise the rank. Build the
-  // stacked matrix directly instead of copying the basis into a temporary
-  // row vector first.
-  Matrix M(Basis.size() + 1, AmbientDim);
-  for (unsigned R = 0; R != Basis.size(); ++R)
-    M.setRow(R, Basis[R]);
-  M.setRow(Basis.size(), V);
-  return M.rank() == Basis.size();
+  if (isFull())
+    return true;
+  // Ambient dims are loop depths, so the residual almost always fits the
+  // Vector's inline storage — no scratch arena needed.
+  Vector R = V;
+  reduceAgainst(Basis, R);
+  return R.isZero();
 }
 
 bool VectorSpace::containsSpace(const VectorSpace &Other) const {
@@ -73,43 +100,51 @@ bool VectorSpace::containsSpace(const VectorSpace &Other) const {
     return true;
   if (Other.dim() > dim())
     return false;
-  // Other is contained iff stacking its basis under ours does not raise
-  // the rank — one elimination instead of one per basis vector.
-  Matrix M(Basis.size() + Other.Basis.size(), AmbientDim);
-  for (unsigned R = 0; R != Basis.size(); ++R)
-    M.setRow(R, Basis[R]);
-  for (unsigned R = 0; R != Other.Basis.size(); ++R)
-    M.setRow(Basis.size() + R, Other.Basis[R]);
-  return M.rank() == Basis.size();
+  for (const Vector &V : Other.Basis)
+    if (!contains(V))
+      return false;
+  return true;
 }
 
 VectorSpace VectorSpace::operator+(const VectorSpace &RHS) const {
   assert(AmbientDim == RHS.AmbientDim && "ambient dimension mismatch");
-  std::vector<Vector> All;
-  All.reserve(Basis.size() + RHS.Basis.size());
-  All.insert(All.end(), Basis.begin(), Basis.end());
-  All.insert(All.end(), RHS.Basis.begin(), RHS.Basis.end());
-  VectorSpace VS(AmbientDim);
-  VS.canonicalize(std::move(All));
+  VectorSpace VS = *this;
+  VS.unionWith(RHS);
   return VS;
 }
 
 bool VectorSpace::insert(const Vector &V) {
-  if (contains(V))
+  assert(V.size() == AmbientDim && "ambient dimension mismatch");
+  if (V.isZero() || isFull())
     return false;
-  std::vector<Vector> All;
-  All.reserve(Basis.size() + 1);
-  All.insert(All.end(), Basis.begin(), Basis.end());
-  All.push_back(V);
-  canonicalize(std::move(All));
+  // Reduce V against the canonical basis; a zero residual means V was
+  // already in the span. Otherwise splice the residual in as a new RREF
+  // row: normalize its pivot to 1, clear that column from the other rows,
+  // and keep the rows sorted by pivot column. The RREF of a row space is
+  // unique, so this is exactly the basis a from-scratch elimination of
+  // basis + V would produce.
+  Vector R = V;
+  reduceAgainst(Basis, R);
+  unsigned P = pivotOf(R);
+  if (P == R.size())
+    return false;
+  R.scaleBy(R[P].reciprocal());
+  for (Vector &B : Basis)
+    if (!B[P].isZero())
+      B.addScaled(R, -B[P]);
+  auto Pos = Basis.begin();
+  while (Pos != Basis.end() && pivotOf(*Pos) < P)
+    ++Pos;
+  Basis.insert(Pos, std::move(R));
   return true;
 }
 
 bool VectorSpace::unionWith(const VectorSpace &Other) {
-  if (containsSpace(Other))
-    return false;
-  *this = *this + Other;
-  return true;
+  assert(AmbientDim == Other.AmbientDim && "ambient dimension mismatch");
+  bool Grew = false;
+  for (const Vector &V : Other.Basis)
+    Grew = insert(V) || Grew;
+  return Grew;
 }
 
 VectorSpace VectorSpace::intersect(const VectorSpace &RHS) const {
@@ -122,11 +157,10 @@ VectorSpace VectorSpace::intersect(const VectorSpace &RHS) const {
 
 VectorSpace VectorSpace::imageUnder(const Matrix &F) const {
   assert(F.cols() == AmbientDim && "map domain mismatch");
-  std::vector<Vector> Images;
-  Images.reserve(Basis.size());
+  VectorSpace VS(F.rows());
   for (const Vector &V : Basis)
-    Images.push_back(F * V);
-  return span(F.rows(), Images);
+    VS.insert(F * V);
+  return VS;
 }
 
 VectorSpace VectorSpace::preimageUnder(const Matrix &F) const {

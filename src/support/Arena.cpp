@@ -1,0 +1,105 @@
+//===- support/Arena.cpp - Monotonic per-task bump allocator --------------===//
+
+#include "support/Arena.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+using namespace alp;
+
+namespace {
+
+thread_local Arena *CurrentArena = nullptr;
+
+std::atomic<uint64_t> GArenaBytes{0};
+std::atomic<uint64_t> GHeapSpills{0};
+
+} // namespace
+
+void alp::detail::noteArenaBytes(size_t N) {
+  GArenaBytes.fetch_add(N, std::memory_order_relaxed);
+}
+
+void alp::detail::noteContainerHeapSpill() {
+  GHeapSpills.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t alp::arenaBytesAllocated() {
+  return GArenaBytes.load(std::memory_order_relaxed);
+}
+
+uint64_t alp::containerHeapSpills() {
+  return GHeapSpills.load(std::memory_order_relaxed);
+}
+
+Arena *Arena::current() { return CurrentArena; }
+
+Arena *Arena::setCurrent(Arena *A) {
+  Arena *Prev = CurrentArena;
+  CurrentArena = A;
+  return Prev;
+}
+
+Arena &Arena::threadLocal() {
+  thread_local Arena A;
+  return A;
+}
+
+Arena::~Arena() {
+  Block *B = Head;
+  while (B) {
+    Block *Next = B->Next;
+    std::free(B);
+    B = Next;
+  }
+}
+
+Arena::Block *Arena::newBlock(size_t MinPayload) {
+  size_t Payload = MinPayload > DefaultBlockBytes ? MinPayload
+                                                  : DefaultBlockBytes;
+  void *Mem = std::malloc(sizeof(Block) + Payload);
+  if (!Mem)
+    throw std::bad_alloc();
+  Block *B = static_cast<Block *>(Mem);
+  B->Next = nullptr;
+  B->Size = Payload;
+  return B;
+}
+
+void *Arena::allocate(size_t Size, size_t Align) {
+  detail::noteArenaBytes(Size);
+  for (;;) {
+    if (Cur) {
+      // Align the absolute address: the payload base is only as aligned
+      // as malloc + the block header make it.
+      char *Payload = reinterpret_cast<char *>(Cur + 1);
+      uintptr_t Base = reinterpret_cast<uintptr_t>(Payload);
+      size_t Offset =
+          ((Base + CurUsed + Align - 1) & ~uintptr_t(Align - 1)) - Base;
+      if (Offset + Size <= Cur->Size) {
+        CurUsed = Offset + Size;
+        return Payload + Offset;
+      }
+      // Advance to the next warm block if one exists and fits; otherwise
+      // grow the chain. (An oversized request may skip a too-small warm
+      // block; it stays linked and is reused after the next rewind.)
+      if (Cur->Next && Size + Align <= Cur->Next->Size) {
+        Cur = Cur->Next;
+        CurUsed = 0;
+        continue;
+      }
+      Block *B = newBlock(Size + Align);
+      B->Next = Cur->Next;
+      Cur->Next = B;
+      Cur = B;
+      CurUsed = 0;
+      continue;
+    }
+    // Empty arena: start at the head of the warm chain, or create it.
+    if (!Head)
+      Head = newBlock(Size + Align);
+    Cur = Head;
+    CurUsed = 0;
+  }
+}

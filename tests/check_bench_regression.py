@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Bench-regression smoke gate.
+
+Compares the uncached exact-solve time of a fresh perf_dependence --smoke
+run against the checked-in baseline in bench/ci_baseline.json and fails
+if it regressed past the recorded threshold.
+
+Raw wall time is useless across CI runners, so the gate compares a
+normalized metric: baseline_mean_ms divided by the rational
+fraction-path ns/op measured inside the same process (the
+rational_fastpath calibration loop of the harness). Both scale with CPU
+speed, so the quotient -- "equivalent fraction ops" -- is roughly
+hardware-independent and moves only when the solve path itself changes.
+
+Usage: check_bench_regression.py BENCH_dependence.json bench/ci_baseline.json
+"""
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench = json.load(open(argv[1]))
+    baseline = json.load(open(argv[2]))["dependence_smoke"]
+
+    mean_ms = bench["baseline_mean_ms"]
+    frac_ns = bench["rational_fastpath"]["frac_den_ns_per_op"]
+    if frac_ns <= 0:
+        print("bad calibration: frac_den_ns_per_op =", frac_ns, file=sys.stderr)
+        return 1
+    measured = mean_ms * 1e6 / frac_ns
+
+    allowed = baseline["uncached_exact_normalized_ops"]
+    threshold = baseline["regression_threshold"]
+    limit = allowed * threshold
+
+    print(f"uncached exact solve: {mean_ms:.3f} ms, "
+          f"calibration {frac_ns:.2f} ns/op")
+    print(f"normalized: {measured:,.0f} equivalent fraction ops "
+          f"(baseline {allowed:,.0f}, limit {limit:,.0f})")
+
+    if measured > limit:
+        print(f"FAIL: uncached exact solve regressed "
+              f"{measured / allowed:.2f}x past the checked-in baseline "
+              f"(threshold {threshold:.2f}x). If this is an intentional "
+              f"trade-off, update bench/ci_baseline.json.", file=sys.stderr)
+        return 1
+    print("bench regression gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
