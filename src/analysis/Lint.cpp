@@ -2,6 +2,9 @@
 
 #include "analysis/Lint.h"
 
+#include <algorithm>
+#include <tuple>
+
 using namespace alp;
 
 unsigned LintResult::count(Diagnostic::Kind K) const {
@@ -33,6 +36,7 @@ namespace alp {
 std::unique_ptr<LintPass> createRaceLintPass();
 std::unique_ptr<LintPass> createModelLintPass();
 std::unique_ptr<LintPass> createDecompLintPass();
+std::unique_ptr<LintPass> createScheduleLintPass();
 } // namespace alp
 
 std::vector<std::unique_ptr<LintPass>>
@@ -44,7 +48,39 @@ alp::createLintPasses(const LintOptions &Opts) {
     Passes.push_back(createModelLintPass());
   if (Opts.CheckDecomposition)
     Passes.push_back(createDecompLintPass());
+  if (Opts.CheckSchedule)
+    Passes.push_back(createScheduleLintPass());
   return Passes;
+}
+
+void alp::normalizeLintDiagnostics(std::vector<Diagnostic> &Diags) {
+  auto NoteKey = [](const Diagnostic &D) {
+    std::string S;
+    for (const DiagNote &N : D.Notes) {
+      S += std::to_string(N.Loc.Line) + ':' + std::to_string(N.Loc.Column);
+      S += ':' + N.Message + '\n';
+    }
+    return S;
+  };
+  auto Key = [&](const Diagnostic &D) {
+    return std::make_tuple(D.Loc.Line, D.Loc.Column, D.PassId, D.Message,
+                           static_cast<int>(D.DiagKind), NoteKey(D),
+                           D.FixIt);
+  };
+  // Stable: diagnostics at one (location, pass, message) keep the order
+  // their pass emitted them in.
+  std::stable_sort(Diags.begin(), Diags.end(),
+                   [&](const Diagnostic &A, const Diagnostic &B) {
+                     return std::make_tuple(A.Loc.Line, A.Loc.Column,
+                                            A.PassId, A.Message) <
+                            std::make_tuple(B.Loc.Line, B.Loc.Column,
+                                            B.PassId, B.Message);
+                   });
+  Diags.erase(std::unique(Diags.begin(), Diags.end(),
+                          [&](const Diagnostic &A, const Diagnostic &B) {
+                            return Key(A) == Key(B);
+                          }),
+              Diags.end());
 }
 
 LintResult alp::runLintPasses(const Program &P, const ProgramDecomposition *PD,
@@ -52,8 +88,9 @@ LintResult alp::runLintPasses(const Program &P, const ProgramDecomposition *PD,
   LintResult Result;
   LintContext Ctx(P, PD, Opts, Result);
   for (const std::unique_ptr<LintPass> &Pass : createLintPasses(Opts)) {
-    // Decomposition checks need a decomposition to check.
-    if (std::string(Pass->id()) == "decomp" && !PD)
+    // Decomposition and schedule checks need a decomposition to check.
+    std::string Id = Pass->id();
+    if ((Id == "decomp" || Id == "schedule") && !PD)
       continue;
     // Framework-level fail-soft backstop: a pass that trips checked
     // arithmetic degrades to "not checked"; it never takes the run down.
@@ -63,5 +100,6 @@ LintResult alp::runLintPasses(const Program &P, const ProgramDecomposition *PD,
       Ctx.notChecked(Pass->id(), E.status().str());
     }
   }
+  normalizeLintDiagnostics(Result.Diags);
   return Result;
 }

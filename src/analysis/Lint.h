@@ -25,6 +25,18 @@
 ///           recorded reorganization point (and vice versa) — i.e. no
 ///           non-local read is left without a covering message.
 ///
+///   schedule  SPMD schedule verifier (docs/ANALYSIS.md "Schedule
+///           verification"): expands the planned CommPlan into
+///           per-processor event traces (analysis/ScheduleModel.h) and
+///           checks the happens-before graph for deadlock, collective
+///           agreement, FIFO send/recv matching, double-buffer lifetime
+///           under overlap, and remote-access coverage translation
+///           validation against CommAnalysis.
+///
+/// Diagnostics are normalized before they are returned: stable-sorted by
+/// (location, pass id, message) and deduplicated, so output is
+/// byte-identical across --jobs orderings and repeated notes from retried
+/// supervised tasks collapse.
 /// Fail-soft contract: every pass takes the shared ResourceBudget. A pass
 /// whose underlying solver runs out of budget records an UncheckedPass
 /// entry ("this property was not checked, and why") and emits nothing —
@@ -38,6 +50,7 @@
 #ifndef ALP_ANALYSIS_LINT_H
 #define ALP_ANALYSIS_LINT_H
 
+#include "codegen/CodegenOptions.h"
 #include "core/Decomposition.h"
 #include "ir/Program.h"
 #include "support/Budget.h"
@@ -55,6 +68,9 @@ struct LintOptions {
   bool CheckModel = true;
   /// Only effective when a decomposition is supplied to runLintPasses.
   bool CheckDecomposition = true;
+  /// Schedule verification over the planned communication (also needs a
+  /// decomposition).
+  bool CheckSchedule = true;
   /// Block size forwarded to CommAnalysis / the SPMD emitter.
   int64_t BlockSize = 4;
   /// Block size the derived execution schedules were built with, when the
@@ -64,6 +80,11 @@ struct LintOptions {
   int64_t ScheduleBlockSize = 0;
   /// Shared solver budget; nullptr = unlimited.
   ResourceBudget *Budget = nullptr;
+  /// Test-only seeded miscompilation forwarded to the schedule verifier's
+  /// planner/model (alpc --miscompile=<mode>); None in production.
+  MiscompileMode Miscompile = MiscompileMode::None;
+  /// Observability sink for the schedule.* counters.
+  TraceContext Observe;
 };
 
 /// A property some pass could not establish within budget: degraded to
@@ -128,14 +149,21 @@ public:
 };
 
 /// The pass registry: every pass family enabled by \p Opts, in fixed
-/// execution order (race, model, decomp).
+/// execution order (race, model, decomp, schedule).
 std::vector<std::unique_ptr<LintPass>> createLintPasses(const LintOptions &Opts);
 
 /// Runs every enabled pass over \p P. \p PD may be null (decomposition
-/// checks are skipped); never throws — solver exhaustion lands in
-/// LintResult::Unchecked.
+/// and schedule checks are skipped); never throws — solver exhaustion
+/// lands in LintResult::Unchecked. Diagnostics come back normalized
+/// (see normalizeLintDiagnostics).
 LintResult runLintPasses(const Program &P, const ProgramDecomposition *PD,
                          const LintOptions &Opts = LintOptions());
+
+/// Deterministic output discipline: stable-sorts \p Diags by (location,
+/// pass id, message) and removes exact duplicates (same kind, location,
+/// pass, message, notes, fix-it). runLintPasses applies this to every
+/// result; exposed for callers that merge results from parallel workers.
+void normalizeLintDiagnostics(std::vector<Diagnostic> &Diags);
 
 /// Human-readable rendering: one block per diagnostic (notes and fix-its
 /// indented), unchecked records, and a trailing summary count line.

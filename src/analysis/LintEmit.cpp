@@ -69,6 +69,40 @@ const char *sarifLevel(Diagnostic::Kind K) {
   return "none";
 }
 
+/// Short, human-readable description for a rule (pass) id. SARIF viewers
+/// surface this next to the rule id, so every id a pass can emit has an
+/// entry here; unknown ids fall back to a generic line so the log stays
+/// schema-valid even if a pass grows a new sub-id.
+const char *ruleShortDescription(const std::string &Rule) {
+  if (Rule == "race.forall-carried")
+    return "A forall loop carries a cross-iteration dependence";
+  if (Rule == "model.zero-trip")
+    return "Loop bounds admit no iterations";
+  if (Rule == "model.infeasible-bounds")
+    return "Loop bounds are contradictory";
+  if (Rule == "model.oob-subscript")
+    return "Array subscript can exceed the declared extent";
+  if (Rule == "model.unused-array")
+    return "Array is declared but never accessed";
+  if (Rule == "model.shadowed-index")
+    return "Inner loop index shadows an enclosing one";
+  if (Rule == "decomp.block-size-divergence")
+    return "Pipelined nests disagree on the block size";
+  if (Rule == "decomp.spmd-coverage")
+    return "SPMD emission diverges from the decomposition";
+  if (Rule == "schedule.deadlock")
+    return "Communication schedule contains a wait cycle";
+  if (Rule == "schedule.coverage-gap")
+    return "A remote read is not covered by any planned transfer";
+  if (Rule == "schedule.unmatched")
+    return "Send/receive counts disagree on a message stream";
+  if (Rule == "schedule.buffer-overlap")
+    return "Overlapped sends outrun the communication buffer";
+  if (Rule == "schedule.barrier-divergence")
+    return "Processors disagree on the collective sequence";
+  return "alp-lint diagnostic";
+}
+
 /// A SARIF physicalLocation for \p Loc in \p Uri; omits the region when
 /// the location is unknown (SARIF requires startLine >= 1).
 std::string sarifLocation(const std::string &Uri, SourceLoc Loc) {
@@ -156,7 +190,8 @@ std::string alp::renderLintSarif(const LintResult &R,
   unsigned I = 0;
   for (const std::string &Rule : Rules)
     OS << (I++ ? "," : "") << "\n            {\"id\": " << quoted(Rule)
-       << '}';
+       << ", \"shortDescription\": {\"text\": "
+       << quoted(ruleShortDescription(Rule)) << "}}";
   OS << "\n          ]\n"
      << "        }\n"
      << "      },\n"

@@ -1,0 +1,350 @@
+//===- analysis/LintSchedule.cpp - SPMD schedule verifier -----------------===//
+//
+// Static verification of the planned communication schedule, before
+// anything is emitted or simulated:
+//
+//   * happens-before graph over the expanded per-processor schedule with
+//     cycle detection                      -> schedule.deadlock
+//   * collective-sequence agreement        -> schedule.barrier-divergence
+//   * FIFO send/recv matching per stream   -> schedule.unmatched
+//   * double-buffer lifetime under overlap -> schedule.buffer-overlap
+//   * remote-access coverage translation validation: every nonlocal
+//     access CommAnalysis classifies must be delivered by a planned
+//     message issued before its first use, with enough volume, so
+//     aggregation / hoisting / elision can never silently drop data
+//                                          -> schedule.coverage-gap
+//
+// Delivery-before-first-use is structural in the emitter's message mode:
+// planned shifts / broadcasts / redistributions are issued ahead of the
+// nest body, prologue broadcasts ahead of everything, and a block
+// boundary's recv precedes its block's compute — so coverage reduces to
+// existence (the right message in the right nest) plus volume.
+//
+// Counters publish as schedule.* through LintOptions::Observe; they are
+// pure functions of (Program, ProgramDecomposition) and therefore
+// byte-identical across --jobs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+#include "analysis/ScheduleModel.h"
+#include "codegen/CommAnalysis.h"
+#include "codegen/CommPlan.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+using namespace alp;
+
+namespace {
+
+/// Relative slack on volume comparisons: planner volumes round-trip
+/// through a divide/multiply per block, so exact equality is too strict.
+constexpr double RelTol = 1e-6;
+
+/// Mirror of the planner's layout signature (CommPlan.cpp layoutKey):
+/// the key the redundant-transfer elision compares. Re-deriving it here
+/// is the point — the verifier re-proves the elision instead of trusting
+/// the planner's own bookkeeping.
+std::string layoutKey(const Program &P, const ProgramDecomposition &PD,
+                      unsigned ArrayId, unsigned NestId) {
+  if (PD.ReplicatedDims.count(ArrayId) && PD.ReplicatedDims.at(ArrayId) > 0)
+    return "replicated";
+  auto It = PD.Data.find({ArrayId, NestId});
+  if (It == PD.Data.end())
+    return "unplaced";
+  return It->second.D.str() + " / " + It->second.Delta.str();
+}
+
+SourceLoc nestLoc(const Program &P, unsigned NestId) {
+  if (NestId == ~0u)
+    return SourceLoc();
+  const LoopNest &Nest = P.nest(NestId);
+  return Nest.Loops.empty() ? SourceLoc() : Nest.Loops.front().Loc;
+}
+
+SourceLoc accessLoc(const Program &P, const CommOp &Op) {
+  const LoopNest &Nest = P.nest(Op.NestId);
+  if (Op.StmtIdx < Nest.Body.size() &&
+      Op.AccessIdx < Nest.Body[Op.StmtIdx].Accesses.size())
+    return Nest.Body[Op.StmtIdx].Accesses[Op.AccessIdx].Loc;
+  return nestLoc(P, Op.NestId);
+}
+
+double delivered(const PlannedMessage &M) {
+  return M.MessagesPerExecution * M.ElementsPerMessage;
+}
+
+bool covers(double Delivered, double Needed) {
+  return Delivered + RelTol >= Needed * (1.0 - RelTol);
+}
+
+class ScheduleLintPass : public LintPass {
+public:
+  const char *id() const override { return "schedule"; }
+  const char *description() const override {
+    return "schedule verification: deadlock, barrier agreement, send/recv "
+           "matching, buffer lifetime, and remote-access coverage over the "
+           "planned communication schedule";
+  }
+
+  void run(LintContext &Ctx) override {
+    const ProgramDecomposition *PD = Ctx.decomposition();
+    if (!PD) {
+      Ctx.notChecked("schedule",
+                     "no decomposition available; the communication "
+                     "schedule was not verified");
+      return;
+    }
+    const Program &P = Ctx.program();
+    for (unsigned NestId : P.nestsInOrder())
+      if (!PD->Comp.count(NestId)) {
+        Ctx.notChecked("schedule",
+                       "decomposition does not cover every nest; the "
+                       "communication schedule was not verified");
+        return;
+      }
+
+    const LintOptions &LO = Ctx.options();
+    CodegenOptions CG;
+    CG.BlockSize = LO.BlockSize;
+    CG.Miscompile = LO.Miscompile;
+    // No Observe: the planner's comm.* counters publish once, from the
+    // pipeline's own planning call, never from re-analysis inside lint.
+
+    CommPlan Plan;
+    CommSummary Comm;
+    try {
+      Plan = planCommunication(P, *PD, CG);
+      Comm = analyzeCommunication(P, *PD, CG);
+    } catch (const AlpException &E) {
+      Ctx.notChecked("schedule", E.status().str());
+      return;
+    }
+
+    ScheduleModel M = buildScheduleModel(P, *PD, Plan, CG);
+
+    // Budget discipline: one solver iteration per modeled event plus one
+    // per classified op. Exhaustion degrades the whole pass to "not
+    // checked" *before* any finding is reported — budget pressure can
+    // suppress diagnostics but never truncate a finding list into a
+    // misleading partial verdict.
+    if (ResourceBudget *B = Ctx.budget()) {
+      for (unsigned I = 0, E = M.events() +
+                               static_cast<unsigned>(Comm.Ops.size());
+           I != E; ++I) {
+        Status S = B->chargeSolverIteration();
+        if (!S.isOk()) {
+          Ctx.notChecked("schedule", S.str());
+          publishCounters(LO, M, /*Findings=*/{});
+          return;
+        }
+      }
+    }
+
+    std::map<std::string, unsigned> FindingCounts;
+    auto Report = [&](const ScheduleFinding &F, const std::string &FixIt) {
+      ++FindingCounts[F.Check];
+      Diagnostic &D =
+          Ctx.report(Diagnostic::Kind::Error, "schedule." + F.Check,
+                     nestLoc(P, F.NestId), F.Message);
+      for (const std::string &Note : F.Notes)
+        D.Notes.push_back({SourceLoc(), Note});
+      D.FixIt = FixIt;
+    };
+
+    // Collective agreement first: the happens-before graph's joint nodes
+    // are only well defined when every processor runs the same collective
+    // sequence, so divergence gates cycle detection.
+    std::vector<ScheduleFinding> Divergence = checkBarrierAgreement(M, P);
+    for (const ScheduleFinding &F : Divergence)
+      Report(F, "every processor must execute the same barrier/collective "
+                "sequence; emit collectives unconditionally, outside "
+                "processor-id guards");
+    if (Divergence.empty())
+      for (const ScheduleFinding &F : checkDeadlock(M, P))
+        Report(F, "");
+    for (const ScheduleFinding &F : checkMatching(M, P))
+      Report(F, "");
+    for (const ScheduleFinding &F : checkBufferLifetime(M, P))
+      Report(F, "issue at most two overlapped isends per stream between "
+                "blocking receives, or fall back to blocking sends "
+                "(disable overlap)");
+
+    checkCoverage(Ctx, P, *PD, Plan, Comm, FindingCounts);
+    publishCounters(LO, M, FindingCounts);
+  }
+
+private:
+  /// Remote-access coverage translation validation: re-derive, from the
+  /// classifier, what every nest needs, and prove the plan delivers it.
+  void checkCoverage(LintContext &Ctx, const Program &P,
+                     const ProgramDecomposition &PD, const CommPlan &Plan,
+                     const CommSummary &Comm,
+                     std::map<std::string, unsigned> &FindingCounts) {
+    auto Gap = [&](SourceLoc Loc, const std::string &Message,
+                   const std::string &FixIt) {
+      ++FindingCounts["coverage-gap"];
+      Diagnostic &D = Ctx.report(Diagnostic::Kind::Error,
+                                 "schedule.coverage-gap", Loc, Message);
+      D.FixIt = FixIt;
+    };
+
+    for (const CommOp &Op : Comm.Ops) {
+      if (Op.Kind == CommKind::Local)
+        continue;
+      // Cross-nest reorganizations are validated against the elision
+      // walk below — absence of a message can be legitimate there.
+      if (Op.Kind == CommKind::Reorganization && Op.CrossNest)
+        continue;
+      const std::string &Name = P.array(Op.ArrayId).Name;
+      const std::vector<PlannedMessage> &Ops = Plan.opsFor(Op.NestId);
+
+      switch (Op.Kind) {
+      case CommKind::NearestNeighbor:
+      case CommKind::Pipelined: {
+        PlannedMsgKind Want = Op.Kind == CommKind::Pipelined
+                                  ? PlannedMsgKind::BlockBoundary
+                                  : PlannedMsgKind::Shift;
+        const PlannedMessage *Best = nullptr;
+        for (const PlannedMessage &M : Ops) {
+          if (M.Kind != Want || M.ArrayId != Op.ArrayId)
+            continue;
+          if (Want == PlannedMsgKind::Shift &&
+              M.Offset.str() != Op.Offset.str())
+            continue;
+          if (!Best || delivered(M) > delivered(*Best))
+            Best = &M;
+        }
+        const char *What = Want == PlannedMsgKind::Shift
+                               ? "boundary shift"
+                               : "block-boundary transfer";
+        if (!Best) {
+          std::ostringstream OS;
+          OS << "nonlocal access to '" << Name << "' in nest " << Op.NestId
+             << " (" << (Op.IsWrite ? "write" : "read") << ", ~"
+             << Op.ElementsPerExecution
+             << " elements/execution) has no planned " << What
+             << " delivering it";
+          Gap(accessLoc(P, Op), OS.str(),
+              "shift aggregation folded this access into a bulk message "
+              "that is missing from the plan; aggregation may merge "
+              "same-offset messages but must keep one per boundary");
+        } else if (!covers(delivered(*Best), Op.ElementsPerExecution)) {
+          std::ostringstream OS;
+          OS << "planned " << What << " for '" << Name << "' in nest "
+             << Op.NestId << " delivers ~" << delivered(*Best)
+             << " elements/execution but the access needs ~"
+             << Op.ElementsPerExecution;
+          Gap(accessLoc(P, Op), OS.str(),
+              "aggregation must size the merged message at the largest "
+              "folded access volume (the union of the boundary layers), "
+              "not a fraction of it");
+        }
+        break;
+      }
+      case CommKind::Broadcast: {
+        const PlannedMessage *Found = nullptr;
+        for (const PlannedMessage &M : Plan.Prologue)
+          if (M.Kind == PlannedMsgKind::Broadcast && M.ArrayId == Op.ArrayId)
+            Found = &M;
+        for (const PlannedMessage &M : Ops)
+          if (M.Kind == PlannedMsgKind::Broadcast && M.ArrayId == Op.ArrayId)
+            Found = &M;
+        if (!Found) {
+          std::ostringstream OS;
+          OS << "replicated array '" << Name << "' is read in nest "
+             << Op.NestId
+             << " but neither a prologue nor a per-nest broadcast is "
+                "planned: non-owning processors read stale copies";
+          Gap(accessLoc(P, Op), OS.str(),
+              "broadcast hoisting removed the per-nest broadcast; a "
+              "hoisted broadcast must appear in the program prologue");
+        }
+        break;
+      }
+      case CommKind::Reorganization: {
+        bool Found = false;
+        for (const PlannedMessage &M : Ops)
+          if (M.Kind == PlannedMsgKind::Redistribute &&
+              M.ArrayId == Op.ArrayId && !M.CrossNest)
+            Found = true;
+        if (!Found) {
+          std::ostringstream OS;
+          OS << "access to '" << Name << "' in nest " << Op.NestId
+             << " needs a layout reorganization (~"
+             << Op.ElementsPerExecution
+             << " elements/execution) but no redistribution is planned";
+          Gap(accessLoc(P, Op), OS.str(), "");
+        }
+        break;
+      }
+      case CommKind::Local:
+        break;
+      }
+    }
+
+    // Cross-nest reorganizations: re-prove every elision. Mirror the
+    // planner's walk — track each array's layout signature through the
+    // nests in program order; a recorded reorganization is elidable only
+    // when the target layout equals the current one.
+    std::map<unsigned, std::string> CurrentKey;
+    for (unsigned NestId : P.nestsInOrder())
+      for (unsigned A : P.nest(NestId).referencedArrays())
+        CurrentKey.try_emplace(A, layoutKey(P, PD, A, NestId));
+    for (const ReorganizationPoint &RP : PD.Reorganizations) {
+      std::string Key = layoutKey(P, PD, RP.ArrayId, RP.ToNest);
+      auto It = CurrentKey.find(RP.ArrayId);
+      bool Elidable = It != CurrentKey.end() && It->second == Key;
+      CurrentKey[RP.ArrayId] = Key;
+      bool Planned = false;
+      for (const PlannedMessage &M : Plan.opsFor(RP.ToNest))
+        if (M.Kind == PlannedMsgKind::Redistribute &&
+            M.ArrayId == RP.ArrayId && M.CrossNest)
+          Planned = true;
+      if (Planned || Elidable)
+        continue;
+      const std::string &Name = P.array(RP.ArrayId).Name;
+      std::ostringstream OS;
+      OS << "recorded cross-nest reorganization of '" << Name
+         << "' into nest " << RP.ToNest
+         << " was dropped from the plan, but the source layout differs "
+            "from the target: reads in nest "
+         << RP.ToNest << " would be non-local with no covering transfer";
+      Gap(nestLoc(P, RP.ToNest), OS.str(),
+          "redundant-transfer elision may only drop a reorganization "
+          "whose source and target layout signatures coincide");
+    }
+  }
+
+  /// Publishes schedule.* counters. Every name is always touched (at
+  /// zero if need be) so the counters section is structurally stable —
+  /// the --jobs determinism tests compare it byte for byte.
+  void publishCounters(const LintOptions &LO, const ScheduleModel &M,
+                       const std::map<std::string, unsigned> &Findings) {
+    auto Count = [&](const char *Name, uint64_t V) {
+      LO.Observe.count(Name, V);
+    };
+    Count("schedule.checked", 1);
+    Count("schedule.events", M.events());
+    Count("schedule.truncated_blocks", M.TruncatedBlocks ? 1 : 0);
+    auto Of = [&](const char *Check) -> uint64_t {
+      auto It = Findings.find(Check);
+      return It == Findings.end() ? 0 : It->second;
+    };
+    Count("schedule.deadlock", Of("deadlock"));
+    Count("schedule.barrier_divergence", Of("barrier-divergence"));
+    Count("schedule.unmatched", Of("unmatched"));
+    Count("schedule.buffer_overlap", Of("buffer-overlap"));
+    Count("schedule.coverage_gap", Of("coverage-gap"));
+  }
+};
+
+} // namespace
+
+namespace alp {
+std::unique_ptr<LintPass> createScheduleLintPass() {
+  return std::make_unique<ScheduleLintPass>();
+}
+} // namespace alp

@@ -1,0 +1,545 @@
+//===- analysis/ScheduleModel.cpp - Static model of an SPMD schedule ------===//
+
+#include "analysis/ScheduleModel.h"
+
+#include "machine/ScheduleDerivation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+using namespace alp;
+
+std::string SchedEvent::str(const Program &P) const {
+  std::ostringstream OS;
+  OS << "proc " << Proc << ": ";
+  switch (EvKind) {
+  case Kind::Send:
+    OS << (Overlapped ? "isend" : "send") << " to proc " << Peer;
+    break;
+  case Kind::Recv:
+    OS << "recv from proc " << Peer;
+    break;
+  case Kind::Collective:
+    OS << "collective";
+    break;
+  }
+  OS << " [" << Tag;
+  if (Block >= 0)
+    OS << ", block " << Block;
+  if (NestId != ~0u)
+    OS << ", nest " << NestId;
+  OS << "]";
+  (void)P;
+  return OS.str();
+}
+
+unsigned ScheduleModel::events() const {
+  unsigned N = 0;
+  for (const std::vector<SchedEvent> &T : Trace)
+    N += static_cast<unsigned>(T.size());
+  return N;
+}
+
+namespace {
+
+/// Reduces a virtual-processor-space shift offset to a signed step on the
+/// model line: the leading nonzero constant entry (the emitter renders
+/// "send(... to me + mu ...)"; the leading entry carries the exchange's
+/// direction, which is what the wait-cycle and matching checks need —
+/// summing entries would cancel diagonal offsets like (1, -1)).
+long offsetStep(const SymVector &Off) {
+  for (unsigned I = 0; I != Off.size(); ++I) {
+    if (!Off[I].isConstant())
+      continue;
+    Rational C = Off[I].constant();
+    if (C.num() == 0)
+      continue;
+    return std::lround(static_cast<double>(C.num()) /
+                       static_cast<double>(C.den()));
+  }
+  return 0;
+}
+
+bool onLine(int Proc, int Procs) { return Proc >= 0 && Proc < Procs; }
+
+} // namespace
+
+ScheduleModel alp::buildScheduleModel(const Program &P,
+                                      const ProgramDecomposition &PD,
+                                      const CommPlan &Plan,
+                                      const CodegenOptions &Opts, int Procs,
+                                      long MaxBlocksPerNest) {
+  ScheduleModel M;
+  M.Procs = Procs;
+  M.Trace.assign(Procs, {});
+  const MiscompileMode Bug = Opts.Miscompile;
+
+  auto Collective = [&](unsigned NestId, const std::string &Tag,
+                        bool OnAllProcs) {
+    for (int Pr = 0; Pr != Procs; ++Pr) {
+      if (!OnAllProcs && Pr != 0)
+        continue;
+      SchedEvent E;
+      E.EvKind = SchedEvent::Kind::Collective;
+      E.Proc = Pr;
+      E.NestId = NestId;
+      E.Tag = Tag;
+      M.Trace[Pr].push_back(std::move(E));
+    }
+  };
+
+  // Prologue: hoisted broadcasts, one collective each, before the body.
+  for (const PlannedMessage &Msg : Plan.Prologue)
+    Collective(~0u, "bcast:" + P.array(Msg.ArrayId).Name, true);
+
+  for (unsigned NestId : P.nestsInOrder()) {
+    if (!PD.Comp.count(NestId))
+      continue; // Caller guarantees coverage; stay robust regardless.
+
+    // Pre-nest planned operations, in plan order. Shifts expand to the
+    // emitter's send-then-recv pair per processor; under ReorderRecv the
+    // nest's recvs are hoisted before its sends (a seeded emitter bug).
+    std::vector<SchedEvent> Sends, Recvs;
+    for (const PlannedMessage &Msg : Plan.opsFor(NestId)) {
+      const std::string &Name = P.array(Msg.ArrayId).Name;
+      switch (Msg.Kind) {
+      case PlannedMsgKind::Shift: {
+        long Step = offsetStep(Msg.Offset);
+        if (Step == 0)
+          break;
+        std::string Tag = "shift:" + Name + ":" + Msg.Offset.str();
+        for (int Pr = 0; Pr != Procs; ++Pr) {
+          if (onLine(Pr + Step, Procs)) {
+            SchedEvent E;
+            E.EvKind = SchedEvent::Kind::Send;
+            E.Proc = Pr;
+            E.Peer = Pr + static_cast<int>(Step);
+            E.NestId = NestId;
+            E.Tag = Tag;
+            Sends.push_back(std::move(E));
+          }
+          if (onLine(Pr - Step, Procs) && Bug != MiscompileMode::DropRecv) {
+            SchedEvent E;
+            E.EvKind = SchedEvent::Kind::Recv;
+            E.Proc = Pr;
+            E.Peer = Pr - static_cast<int>(Step);
+            E.NestId = NestId;
+            E.Tag = Tag;
+            Recvs.push_back(std::move(E));
+          }
+        }
+        break;
+      }
+      case PlannedMsgKind::Broadcast:
+        Collective(NestId, "bcast:" + Name, true);
+        break;
+      case PlannedMsgKind::Redistribute:
+        Collective(NestId, "redistribute:" + Name, true);
+        break;
+      case PlannedMsgKind::BlockBoundary:
+        break; // Expanded inside the block loop below.
+      }
+    }
+    auto Flush = [&](const std::vector<SchedEvent> &Events) {
+      for (const SchedEvent &E : Events)
+        M.Trace[E.Proc].push_back(E);
+    };
+    if (Bug == MiscompileMode::ReorderRecv) {
+      // The send/recv interleaving per shift op is load-bearing: hoisting
+      // the recvs turns opposite-direction shifts into a wait cycle.
+      Flush(Recvs);
+      Flush(Sends);
+    } else {
+      // Plan order: each shift op's send precedes its recv, ops in order.
+      // Re-interleave from the flat vectors (they were appended op by op,
+      // proc-major per op, so a stable walk restores the emitter order).
+      std::vector<SchedEvent> Ordered;
+      Ordered.reserve(Sends.size() + Recvs.size());
+      size_t SI = 0, RI = 0;
+      while (SI < Sends.size() || RI < Recvs.size()) {
+        // Emit the sends of one op, then its recvs: ops are contiguous
+        // runs sharing a Tag.
+        if (SI < Sends.size()) {
+          const std::string &Tag = Sends[SI].Tag;
+          for (; SI < Sends.size() && Sends[SI].Tag == Tag; ++SI)
+            Ordered.push_back(Sends[SI]);
+          for (; RI < Recvs.size() && Recvs[RI].Tag == Tag; ++RI)
+            Ordered.push_back(Recvs[RI]);
+        } else {
+          Ordered.push_back(Recvs[RI++]);
+        }
+      }
+      Flush(Ordered);
+    }
+
+    // The nest body: a barrier for sequential/forall nests; a block loop
+    // of recv / compute / isend plus a trailing barrier when pipelined.
+    const LoopNest &Nest = P.nest(NestId);
+    NestSchedule S = deriveSchedule(Nest, PD.compOf(NestId), Opts.BlockSize);
+    bool Pipelined = S.ExecMode == NestSchedule::Mode::Pipelined ||
+                     S.ExecMode == NestSchedule::Mode::Wavefront2D;
+    if (Pipelined) {
+      long Blocks = 0;
+      bool Overlapped = Opts.OverlapPipelined;
+      for (const PlannedMessage &Msg : Plan.opsFor(NestId))
+        if (Msg.Kind == PlannedMsgKind::BlockBoundary) {
+          Blocks = std::max(Blocks,
+                            std::lround(Msg.MessagesPerExecution));
+          Overlapped = Msg.Overlapped;
+        }
+      if (Blocks == 0) {
+        // No planned boundary traffic, but the emitter still renders the
+        // block-loop synchronization skeleton.
+        double Trip =
+            std::max(Nest.estimatedTrip(S.PipeLoop, P.SymbolBindings), 1.0);
+        Blocks = std::lround(
+            std::max(std::ceil(Trip / std::max<double>(Opts.BlockSize, 1)),
+                     1.0));
+      }
+      if (Blocks > MaxBlocksPerNest) {
+        Blocks = MaxBlocksPerNest;
+        M.TruncatedBlocks = true;
+      }
+      std::string Tag = "pipe:" + std::to_string(NestId);
+      for (int Pr = 0; Pr != Procs; ++Pr) {
+        auto PushRecv = [&](long B) {
+          SchedEvent E;
+          E.EvKind = SchedEvent::Kind::Recv;
+          E.Proc = Pr;
+          E.Peer = Pr - 1;
+          E.NestId = NestId;
+          E.Tag = Tag;
+          E.Block = B;
+          M.Trace[Pr].push_back(std::move(E));
+        };
+        auto PushSend = [&](long B) {
+          SchedEvent E;
+          E.EvKind = SchedEvent::Kind::Send;
+          E.Proc = Pr;
+          E.Peer = Pr + 1;
+          E.NestId = NestId;
+          E.Tag = Tag;
+          E.Block = B;
+          E.Overlapped = Overlapped;
+          M.Trace[Pr].push_back(std::move(E));
+        };
+        if (Bug == MiscompileMode::AliasBuffer) {
+          // Seeded emitter bug: all the block recvs hoisted out of the
+          // loop, removing the per-block completion fences.
+          if (Pr > 0)
+            for (long B = 0; B != Blocks; ++B)
+              PushRecv(B);
+          if (Pr + 1 < Procs)
+            for (long B = 0; B != Blocks; ++B)
+              PushSend(B);
+        } else {
+          for (long B = 0; B != Blocks; ++B) {
+            if (Pr > 0)
+              PushRecv(B);
+            if (Pr + 1 < Procs)
+              PushSend(B);
+          }
+        }
+      }
+    }
+    Collective(NestId, "barrier", Bug != MiscompileMode::ReorderBarrier);
+  }
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Checks
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Per-processor sequence of collective signatures, for agreement.
+std::vector<std::vector<std::string>>
+collectiveSequences(const ScheduleModel &M) {
+  std::vector<std::vector<std::string>> Seq(M.Procs);
+  for (int Pr = 0; Pr != M.Procs; ++Pr)
+    for (const SchedEvent &E : M.Trace[Pr])
+      if (E.EvKind == SchedEvent::Kind::Collective) {
+        std::ostringstream OS;
+        OS << E.Tag << '@';
+        if (E.NestId == ~0u)
+          OS << "prologue";
+        else
+          OS << "nest " << E.NestId;
+        Seq[Pr].push_back(OS.str());
+      }
+  return Seq;
+}
+
+} // namespace
+
+std::vector<ScheduleFinding>
+alp::checkBarrierAgreement(const ScheduleModel &M, const Program &P) {
+  (void)P;
+  std::vector<ScheduleFinding> Out;
+  std::vector<std::vector<std::string>> Seq = collectiveSequences(M);
+  for (int Pr = 1; Pr < M.Procs; ++Pr) {
+    if (Seq[Pr] == Seq[0])
+      continue;
+    ScheduleFinding F;
+    F.Check = "barrier-divergence";
+    // First disagreeing position pins the nest.
+    size_t Pos = 0;
+    while (Pos < Seq[0].size() && Pos < Seq[Pr].size() &&
+           Seq[0][Pos] == Seq[Pr][Pos])
+      ++Pos;
+    std::ostringstream OS;
+    OS << "processors disagree on the barrier/collective sequence: "
+       << "processor 0 executes " << Seq[0].size()
+       << " collective(s) but processor " << Pr << " executes "
+       << Seq[Pr].size();
+    if (Pos < Seq[0].size() || Pos < Seq[Pr].size()) {
+      OS << "; first divergence at collective " << Pos << " (";
+      OS << (Pos < Seq[0].size() ? Seq[0][Pos] : std::string("<none>"));
+      OS << " vs "
+         << (Pos < Seq[Pr].size() ? Seq[Pr][Pos] : std::string("<none>"))
+         << ")";
+    }
+    F.Message = OS.str();
+    if (Pos < Seq[0].size()) {
+      // "barrier@nest 2" -> nest id for the diagnostic anchor.
+      const std::string &Sig = Seq[0][Pos];
+      size_t At = Sig.rfind("nest ");
+      if (At != std::string::npos)
+        F.NestId = static_cast<unsigned>(std::stoul(Sig.substr(At + 5)));
+    }
+    for (int Q = 0; Q != M.Procs; ++Q)
+      F.Notes.push_back("processor " + std::to_string(Q) + " executes " +
+                        std::to_string(Seq[Q].size()) + " collective(s)");
+    Out.push_back(std::move(F));
+    break; // One finding describes the divergence; more would repeat it.
+  }
+  return Out;
+}
+
+std::vector<ScheduleFinding> alp::checkDeadlock(const ScheduleModel &M,
+                                                const Program &P) {
+  std::vector<ScheduleFinding> Out;
+
+  // Node numbering: per-processor events first, then one joint node per
+  // collective round (collective sequences agree — precondition).
+  std::vector<unsigned> Base(M.Procs + 1, 0);
+  for (int Pr = 0; Pr != M.Procs; ++Pr)
+    Base[Pr + 1] = Base[Pr] + static_cast<unsigned>(M.Trace[Pr].size());
+  unsigned EventNodes = Base[M.Procs];
+  unsigned Rounds = 0;
+  for (const SchedEvent &E : M.Trace.empty() ? std::vector<SchedEvent>{}
+                                             : M.Trace[0])
+    Rounds += E.EvKind == SchedEvent::Kind::Collective;
+  unsigned NumNodes = EventNodes + Rounds;
+
+  std::vector<std::vector<unsigned>> Succ(NumNodes);
+  auto NodeOf = [&](int Pr, size_t Idx) {
+    return Base[Pr] + static_cast<unsigned>(Idx);
+  };
+
+  // Program order, and collective arrive -> joint -> depart edges.
+  for (int Pr = 0; Pr != M.Procs; ++Pr) {
+    unsigned Round = 0;
+    for (size_t I = 0; I != M.Trace[Pr].size(); ++I) {
+      if (I + 1 != M.Trace[Pr].size())
+        Succ[NodeOf(Pr, I)].push_back(NodeOf(Pr, I + 1));
+      if (M.Trace[Pr][I].EvKind == SchedEvent::Kind::Collective) {
+        unsigned Joint = EventNodes + Round;
+        Succ[NodeOf(Pr, I)].push_back(Joint);
+        if (I + 1 != M.Trace[Pr].size())
+          Succ[Joint].push_back(NodeOf(Pr, I + 1));
+        ++Round;
+      }
+    }
+  }
+
+  // FIFO match edges: k-th send on a (src, dst, tag) stream happens
+  // before the k-th recv on it (eager send, blocking recv).
+  std::map<std::tuple<int, int, std::string>, std::vector<unsigned>>
+      SendQ, RecvQ;
+  for (int Pr = 0; Pr != M.Procs; ++Pr)
+    for (size_t I = 0; I != M.Trace[Pr].size(); ++I) {
+      const SchedEvent &E = M.Trace[Pr][I];
+      if (E.EvKind == SchedEvent::Kind::Send)
+        SendQ[{E.Proc, E.Peer, E.Tag}].push_back(NodeOf(Pr, I));
+      else if (E.EvKind == SchedEvent::Kind::Recv)
+        RecvQ[{E.Peer, E.Proc, E.Tag}].push_back(NodeOf(Pr, I));
+    }
+  for (const auto &[Key, Sends] : SendQ) {
+    auto It = RecvQ.find(Key);
+    if (It == RecvQ.end())
+      continue;
+    const std::vector<unsigned> &Recvs = It->second;
+    for (size_t K = 0; K != Sends.size() && K != Recvs.size(); ++K)
+      Succ[Sends[K]].push_back(Recvs[K]);
+  }
+
+  // Iterative DFS with a gray set; the first back edge yields the cycle.
+  enum : unsigned char { White, Gray, Black };
+  std::vector<unsigned char> Color(NumNodes, White);
+  std::vector<unsigned> Parent(NumNodes, ~0u);
+  std::vector<unsigned> Cycle;
+  for (unsigned Start = 0; Start != NumNodes && Cycle.empty(); ++Start) {
+    if (Color[Start] != White)
+      continue;
+    std::vector<std::pair<unsigned, size_t>> Stack{{Start, 0}};
+    Color[Start] = Gray;
+    while (!Stack.empty() && Cycle.empty()) {
+      auto &[Node, Edge] = Stack.back();
+      if (Edge == Succ[Node].size()) {
+        Color[Node] = Black;
+        Stack.pop_back();
+        continue;
+      }
+      unsigned Next = Succ[Node][Edge++];
+      if (Color[Next] == Gray) {
+        // Recover the cycle Next -> ... -> Node -> Next.
+        for (unsigned N = Node;; N = Parent[N]) {
+          Cycle.push_back(N);
+          if (N == Next)
+            break;
+        }
+        std::reverse(Cycle.begin(), Cycle.end());
+      } else if (Color[Next] == White) {
+        Color[Next] = Gray;
+        Parent[Next] = Node;
+        Stack.push_back({Next, 0});
+      }
+    }
+  }
+  if (Cycle.empty())
+    return Out;
+
+  auto Describe = [&](unsigned Node) -> std::string {
+    if (Node >= EventNodes)
+      return "collective round " + std::to_string(Node - EventNodes);
+    int Pr = 0;
+    while (Node >= Base[Pr + 1])
+      ++Pr;
+    return M.Trace[Pr][Node - Base[Pr]].str(P);
+  };
+  ScheduleFinding F;
+  F.Check = "deadlock";
+  for (unsigned Node : Cycle)
+    if (Node < EventNodes) {
+      int Pr = 0;
+      while (Node >= Base[Pr + 1])
+        ++Pr;
+      F.NestId = M.Trace[Pr][Node - Base[Pr]].NestId;
+      break;
+    }
+  std::ostringstream OS;
+  OS << "the schedule's happens-before graph has a wait cycle of "
+     << Cycle.size()
+     << " event(s): every processor in it waits on another and none can "
+        "make progress";
+  F.Message = OS.str();
+  for (size_t I = 0; I != Cycle.size(); ++I)
+    F.Notes.push_back("cycle step " + std::to_string(I) + ": " +
+                      Describe(Cycle[I]) + " waits for " +
+                      Describe(Cycle[(I + 1) % Cycle.size()]));
+  Out.push_back(std::move(F));
+  return Out;
+}
+
+std::vector<ScheduleFinding> alp::checkMatching(const ScheduleModel &M,
+                                                const Program &P) {
+  (void)P;
+  std::vector<ScheduleFinding> Out;
+  // Counts per (src, dst, tag) stream; std::map keeps findings ordered.
+  std::map<std::tuple<int, int, std::string>, std::pair<unsigned, unsigned>>
+      Streams;
+  std::map<std::tuple<int, int, std::string>, unsigned> StreamNest;
+  for (int Pr = 0; Pr != M.Procs; ++Pr)
+    for (const SchedEvent &E : M.Trace[Pr]) {
+      if (E.EvKind == SchedEvent::Kind::Send) {
+        std::tuple<int, int, std::string> Key{E.Proc, E.Peer, E.Tag};
+        ++Streams[Key].first;
+        StreamNest.try_emplace(Key, E.NestId);
+      } else if (E.EvKind == SchedEvent::Kind::Recv) {
+        std::tuple<int, int, std::string> Key{E.Peer, E.Proc, E.Tag};
+        ++Streams[Key].second;
+        StreamNest.try_emplace(Key, E.NestId);
+      }
+    }
+  for (const auto &[Key, Counts] : Streams) {
+    auto [Sends, Recvs] = Counts;
+    if (Sends == Recvs)
+      continue;
+    const auto &[Src, Dst, Tag] = Key;
+    ScheduleFinding F;
+    F.Check = "unmatched";
+    F.NestId = StreamNest.at(Key);
+    std::ostringstream OS;
+    if (Sends > Recvs)
+      OS << Sends - Recvs << " message(s) from proc " << Src << " to proc "
+         << Dst << " on stream '" << Tag
+         << "' are sent but never received: the data is lost and the "
+            "send buffer never drains";
+    else
+      OS << Recvs - Sends << " receive(s) on proc " << Dst
+         << " from proc " << Src << " on stream '" << Tag
+         << "' have no matching send and would block forever";
+    F.Message = OS.str();
+    F.Notes.push_back("stream '" + Tag + "': " + std::to_string(Sends) +
+                      " send(s), " + std::to_string(Recvs) + " recv(s)");
+    Out.push_back(std::move(F));
+  }
+  return Out;
+}
+
+std::vector<ScheduleFinding>
+alp::checkBufferLifetime(const ScheduleModel &M, const Program &P) {
+  (void)P;
+  std::vector<ScheduleFinding> Out;
+  // Per processor, per nest: longest run of overlapped isends on one
+  // stream with no intervening blocking receive (the completion fence).
+  for (int Pr = 0; Pr != M.Procs; ++Pr) {
+    // Nests in which this processor receives anything: a processor with
+    // no incoming stream (the pipeline head) has its issue rate bounded
+    // by the pipeline and is exempt.
+    std::map<unsigned, bool> ReceivesIn;
+    for (const SchedEvent &E : M.Trace[Pr])
+      if (E.EvKind == SchedEvent::Kind::Recv)
+        ReceivesIn[E.NestId] = true;
+
+    std::map<std::pair<unsigned, std::string>, unsigned> Run;
+    std::map<std::pair<unsigned, std::string>, bool> Reported;
+    for (const SchedEvent &E : M.Trace[Pr]) {
+      if (E.EvKind == SchedEvent::Kind::Recv) {
+        // Any blocking receive in the nest fences the double buffers.
+        for (auto &[Key, Count] : Run)
+          if (Key.first == E.NestId)
+            Count = 0;
+        continue;
+      }
+      if (E.EvKind != SchedEvent::Kind::Send || !E.Overlapped)
+        continue;
+      if (!ReceivesIn.count(E.NestId))
+        continue;
+      std::pair<unsigned, std::string> Key{E.NestId, E.Tag};
+      unsigned InFlight = ++Run[Key];
+      if (InFlight > 2 && !Reported[Key]) {
+        Reported[Key] = true;
+        ScheduleFinding F;
+        F.Check = "buffer-overlap";
+        F.NestId = E.NestId;
+        std::ostringstream OS;
+        OS << "proc " << Pr << " issues " << InFlight
+           << " overlapped isends in flight on stream '" << E.Tag
+           << "' with no completion fence: the double-buffered protocol "
+              "has only 2 buffers, so the third isend reuses a buffer "
+              "whose previous message may still be in transit";
+        F.Message = OS.str();
+        F.Notes.push_back(
+            "the next block's blocking recv is the completion fence; "
+            "none appears between these isends");
+        Out.push_back(std::move(F));
+      }
+    }
+  }
+  return Out;
+}

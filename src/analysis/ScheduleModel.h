@@ -1,0 +1,143 @@
+//===- analysis/ScheduleModel.h - Static model of an SPMD schedule -*- C++ -*-===//
+///
+/// \file
+/// A small, exact model of the message-passing schedule the SPMD emitter
+/// renders from a CommPlan: per-processor event traces on a model
+/// processor line, a happens-before graph over them, and the four checker
+/// families the schedule verifier (analysis/LintSchedule.cpp) turns into
+/// diagnostics.
+///
+/// The model mirrors codegen/SpmdEmitter.cpp's message mode exactly:
+///
+///   * prologue: one collective bcast per hoisted broadcast;
+///   * per nest, the planned operations in plan order — a Shift renders
+///     as send(me + mu) then recv(me - mu), an unhoisted Broadcast or a
+///     Redistribute as a collective;
+///   * a Sequential or Forall nest ends in barrier();
+///   * a Pipelined/Wavefront nest runs a block loop — recv(me - 1, b),
+///     compute, isend(me + 1, b) — then barrier().
+///
+/// Happens-before semantics are eager-send / blocking-recv (buffered
+/// sends complete immediately; a recv waits for its matching send), the
+/// weakest sound model of the emitter's protocol: anything that
+/// deadlocks under it deadlocks under any stronger (rendezvous) runtime
+/// too, and the emitter's natural send-then-recv shift pattern and the
+/// pipelined wavefront are both cycle-free, so the checker cannot cry
+/// wolf on correct schedules. Collectives (barriers, bcasts,
+/// redistributes) are joint nodes aligned by per-processor collective
+/// index; when processors disagree on the collective sequence the model
+/// reports divergence instead of aligning (and skips cycle detection,
+/// which would be meaningless).
+///
+/// Everything here is pure data in / findings out — no diagnostics, no
+/// budget; LintSchedule.cpp owns both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_ANALYSIS_SCHEDULEMODEL_H
+#define ALP_ANALYSIS_SCHEDULEMODEL_H
+
+#include "codegen/CommPlan.h"
+
+#include <string>
+#include <vector>
+
+namespace alp {
+
+/// One event of one model processor's trace.
+struct SchedEvent {
+  enum class Kind {
+    Send,       ///< Point-to-point send (eager; never blocks).
+    Recv,       ///< Blocking receive: waits for the matching send.
+    Collective, ///< Barrier / bcast / redistribute: all processors join.
+  };
+  Kind EvKind = Kind::Collective;
+  /// Issuing processor, 0-based on the model line.
+  int Proc = 0;
+  /// Send: destination; Recv: source. Unused for collectives.
+  int Peer = 0;
+  /// Owning nest, ~0u for prologue operations.
+  unsigned NestId = ~0u;
+  /// Message-matching stream: array plus offset key for shifts,
+  /// "pipe:<nest>" for block-boundary traffic, collective name for
+  /// collectives. Matching is FIFO per (src, dst, Tag).
+  std::string Tag;
+  /// Pipelined block ordinal, -1 outside a block loop.
+  long Block = -1;
+  /// True for overlapped (isend) block-boundary sends.
+  bool Overlapped = false;
+
+  std::string str(const Program &P) const;
+};
+
+/// The expanded model: per-processor traces plus expansion metadata.
+struct ScheduleModel {
+  /// Model line size. Three processors suffice to exercise every
+  /// protocol role (pipeline head, interior, tail; both shift
+  /// directions), and keep the graph tiny.
+  int Procs = 3;
+  /// Trace[p] is processor p's events in program order.
+  std::vector<std::vector<SchedEvent>> Trace;
+  /// True when a block loop was cut at the modeling cap; the checks are
+  /// still sound on the modeled prefix.
+  bool TruncatedBlocks = false;
+  /// Total events across all traces.
+  unsigned events() const;
+};
+
+/// One finding of a model check. LintSchedule turns these into
+/// diagnostics; Notes become the note chain (cycle path, peer events).
+struct ScheduleFinding {
+  /// Diagnostic suffix: "deadlock", "unmatched", "buffer-overlap",
+  /// "barrier-divergence".
+  std::string Check;
+  /// Nest the finding anchors to, ~0u when program-wide.
+  unsigned NestId = ~0u;
+  std::string Message;
+  std::vector<std::string> Notes;
+};
+
+/// Expands \p Plan into per-processor traces, mirroring the emitter's
+/// message mode. \p Opts supplies the block size and the model-level
+/// Miscompile modes (ReorderRecv, ReorderBarrier, DropRecv, AliasBuffer);
+/// \p MaxBlocksPerNest caps block-loop expansion.
+ScheduleModel buildScheduleModel(const Program &P,
+                                 const ProgramDecomposition &PD,
+                                 const CommPlan &Plan,
+                                 const CodegenOptions &Opts,
+                                 int Procs = 3,
+                                 long MaxBlocksPerNest = 48);
+
+/// Collective-sequence agreement: every processor must execute the same
+/// sequence of collectives (same nest, same tag). Reports the first
+/// divergence ("barrier-divergence"). When this returns a nonempty list
+/// the happens-before graph cannot be built; checkDeadlock must be
+/// skipped.
+std::vector<ScheduleFinding> checkBarrierAgreement(const ScheduleModel &M,
+                                                   const Program &P);
+
+/// Builds the happens-before graph (program order + send-to-recv match
+/// edges + collective joint nodes) and reports the first cycle found
+/// ("deadlock"), deterministically, with the cycle as a note chain.
+/// Requires checkBarrierAgreement to have passed.
+std::vector<ScheduleFinding> checkDeadlock(const ScheduleModel &M,
+                                           const Program &P);
+
+/// FIFO send/recv matching per (src, dst, tag) stream: reports sends
+/// with no receive and receives with no send ("unmatched"), including
+/// count mismatches (double delivery).
+std::vector<ScheduleFinding> checkMatching(const ScheduleModel &M,
+                                           const Program &P);
+
+/// Double-buffer lifetime under overlap: on any one stream a processor
+/// may have at most two overlapped isends in flight between blocking
+/// receives (the next block's recv is the completion fence). Processors
+/// with no incoming stream in the nest (the pipeline head) are exempt —
+/// their issue rate is bounded by the pipeline itself.
+/// Reports "buffer-overlap".
+std::vector<ScheduleFinding> checkBufferLifetime(const ScheduleModel &M,
+                                                 const Program &P);
+
+} // namespace alp
+
+#endif // ALP_ANALYSIS_SCHEDULEMODEL_H

@@ -21,8 +21,65 @@
 #include "support/Trace.h"
 
 #include <cstdint>
+#include <string>
 
 namespace alp {
+
+/// Test-only seeded miscompilations, in the spirit of the failpoint
+/// registry (support/FailPoint.h): each mode corrupts the communication
+/// schedule in one specific way so the schedule verifier
+/// (analysis/LintSchedule.cpp) can prove its checkers actually fire.
+/// Plan-level modes (DropTransfer, ShrinkAggregation) mutate the
+/// CommPlan itself, so the corrupted schedule also reaches the emitter
+/// and the simulator; model-level modes (ReorderRecv, ReorderBarrier,
+/// DropRecv, AliasBuffer) alter only the verifier's expansion of the
+/// plan, simulating emitter bugs without touching emitted code. None is
+/// the production value; nothing changes unless a mode is armed.
+enum class MiscompileMode {
+  None,
+  DropTransfer,      ///< Planner drops the first per-nest message.
+  ShrinkAggregation, ///< Planner halves aggregated message volumes.
+  ReorderRecv,       ///< Model hoists shift recvs before the sends.
+  ReorderBarrier,    ///< Model emits nest barriers on processor 0 only.
+  DropRecv,          ///< Model drops the recv half of every shift.
+  AliasBuffer        ///< Model hoists pipelined recvs out of the block
+                     ///< loop, removing the double-buffer fences.
+};
+
+/// Stable spelling of each mode (the --miscompile=<mode> argument).
+inline const char *miscompileModeName(MiscompileMode M) {
+  switch (M) {
+  case MiscompileMode::None:
+    return "none";
+  case MiscompileMode::DropTransfer:
+    return "drop-transfer";
+  case MiscompileMode::ShrinkAggregation:
+    return "shrink-aggregation";
+  case MiscompileMode::ReorderRecv:
+    return "reorder-recv";
+  case MiscompileMode::ReorderBarrier:
+    return "reorder-barrier";
+  case MiscompileMode::DropRecv:
+    return "drop-recv";
+  case MiscompileMode::AliasBuffer:
+    return "alias-buffer";
+  }
+  return "?";
+}
+
+/// Parses a --miscompile argument; false on an unknown spelling.
+inline bool parseMiscompileMode(const std::string &S, MiscompileMode &Out) {
+  for (MiscompileMode M :
+       {MiscompileMode::None, MiscompileMode::DropTransfer,
+        MiscompileMode::ShrinkAggregation, MiscompileMode::ReorderRecv,
+        MiscompileMode::ReorderBarrier, MiscompileMode::DropRecv,
+        MiscompileMode::AliasBuffer})
+    if (S == miscompileModeName(M)) {
+      Out = M;
+      return true;
+    }
+  return false;
+}
 
 /// Options shared by emitSpmd, analyzeCommunication, and
 /// planCommunication.
@@ -47,6 +104,11 @@ struct CodegenOptions {
   /// (bcast / send / recv / isend / redistribute) instead of the
   /// placement-directive pseudo-code.
   bool EmitMessages = false;
+
+  /// Test-only seeded miscompilation (see MiscompileMode). Plan-level
+  /// modes take effect here in the planner; model-level modes are read
+  /// by the schedule verifier's expansion.
+  MiscompileMode Miscompile = MiscompileMode::None;
 
   /// Observability sink (spans + counters), copied by value like
   /// DriverOptions::Observe.

@@ -363,6 +363,29 @@ CommPlan alp::planCommunication(const Program &P,
     }
   }
 
+  // Test-only seeded plan corruptions (CodegenOptions::Miscompile): the
+  // schedule verifier must catch these, and because they mutate the plan
+  // itself the corrupted schedule also reaches the emitter and the
+  // simulator — authentic translation-validation targets. Stats are
+  // recomputed below, so the corruption is self-consistent.
+  if (Opts.Miscompile == MiscompileMode::DropTransfer) {
+    for (auto &[Id, Ops] : Plan.PerNest)
+      if (!Ops.empty()) {
+        const PlannedMessage &M = Ops.front();
+        Messages -= M.MessagesPerExecution;
+        Elements -= M.MessagesPerExecution * M.ElementsPerMessage;
+        Ops.erase(Ops.begin());
+        break;
+      }
+  } else if (Opts.Miscompile == MiscompileMode::ShrinkAggregation) {
+    for (auto &[Id, Ops] : Plan.PerNest)
+      for (PlannedMessage &M : Ops)
+        if (M.FoldedOps > 1) {
+          Elements -= M.MessagesPerExecution * M.ElementsPerMessage / 2.0;
+          M.ElementsPerMessage /= 2.0;
+        }
+  }
+
   Plan.Stats.Messages = roundCount(Messages);
   Plan.Stats.Elements = roundCount(Elements);
   Plan.publishTo(Opts.Observe);

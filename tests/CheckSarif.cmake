@@ -1,0 +1,38 @@
+# Runs alpc --lint with --diagnostics-format=sarif (optionally with EXTRA
+# flags, e.g. a seeded --miscompile so the log carries results and
+# relatedLocations) and validates the output against the structural SARIF
+# 2.1.0 checks in tests/check_sarif.py. The lint exit code itself is
+# ignored — a firing diagnostic is the interesting case — but the log must
+# always validate.
+#
+# Variables: ALPC (binary), INPUT (.alp file), CHECKER (check_sarif.py),
+# OUT (output file path), and optionally EXTRA (semicolon list of flags).
+
+if(NOT DEFINED EXTRA)
+  set(EXTRA "")
+endif()
+
+execute_process(
+  COMMAND ${ALPC} ${INPUT} --lint ${EXTRA} --diagnostics-format=sarif
+  OUTPUT_FILE ${OUT}
+  RESULT_VARIABLE LINT_RC)
+if(LINT_RC GREATER 1)
+  message(FATAL_ERROR
+    "alpc --lint crashed (exit ${LINT_RC}) on ${INPUT}")
+endif()
+
+find_program(PYTHON3 python3)
+if(NOT PYTHON3)
+  message(FATAL_ERROR "python3 not found; cannot validate SARIF")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON3} ${CHECKER} ${OUT}
+  RESULT_VARIABLE CHECK_RC
+  ERROR_VARIABLE CHECK_ERR)
+if(NOT CHECK_RC EQUAL 0)
+  file(READ ${OUT} SARIF_TEXT)
+  message(FATAL_ERROR
+    "SARIF validation failed on ${INPUT}:\n${CHECK_ERR}\n${SARIF_TEXT}")
+endif()
+message(STATUS "SARIF output for ${INPUT} validates")

@@ -1,6 +1,8 @@
 # Runs alpc with the communication planner active (--machine=touchstone
 # --emit=comm-plan --stats=-) under two --jobs values and requires:
-#  * the comm.* counters are present in the stats output, and
+#  * the comm.* counters are present in the stats output,
+#  * the schedule.* counters from the pre-emission schedule verifier are
+#    present too (emission runs the verifier by default), and
 #  * the whole counters section is byte-identical across jobs (span
 #    timings are wall-clock and legitimately differ).
 #
@@ -25,6 +27,11 @@ foreach(jobs ${JOBS_A} ${JOBS_B})
   if(NOT OUT_${jobs} MATCHES "comm\\.messages")
     message(FATAL_ERROR
       "comm.messages counter missing from stats on ${INPUT}:\n${OUT_${jobs}}")
+  endif()
+  if(NOT OUT_${jobs} MATCHES "schedule\\.checked")
+    message(FATAL_ERROR
+      "schedule.checked counter missing from stats on ${INPUT}:\n"
+      "${OUT_${jobs}}")
   endif()
   string(REGEX MATCH "\"counters\": {[^}]*}" COUNTERS_${jobs}
     "${OUT_${jobs}}")

@@ -4,7 +4,9 @@
 #
 # Variables: ALPC (binary), INPUT (.alp file), JOBS_A, JOBS_B, and
 # optionally EXTRA (semicolon list of extra alpc flags, e.g. an unbounded
-# --failpoints spec — injected faults must degrade identically too).
+# --failpoints spec — injected faults must degrade identically too) and
+# FLAGS (semicolon list replacing the default "--spmd;--deps" mode, e.g.
+# "--lint" to pin the diagnostic stream itself).
 
 if(NOT DEFINED JOBS_A)
   set(JOBS_A 1)
@@ -15,14 +17,17 @@ endif()
 if(NOT DEFINED EXTRA)
   set(EXTRA "")
 endif()
+if(NOT DEFINED FLAGS)
+  set(FLAGS "--spmd;--deps")
+endif()
 
 execute_process(
-  COMMAND ${ALPC} ${INPUT} --spmd --deps --jobs ${JOBS_A} ${EXTRA}
+  COMMAND ${ALPC} ${INPUT} ${FLAGS} --jobs ${JOBS_A} ${EXTRA}
   OUTPUT_VARIABLE OUT_A
   ERROR_VARIABLE ERR_A
   RESULT_VARIABLE RC_A)
 execute_process(
-  COMMAND ${ALPC} ${INPUT} --spmd --deps --jobs ${JOBS_B} ${EXTRA}
+  COMMAND ${ALPC} ${INPUT} ${FLAGS} --jobs ${JOBS_B} ${EXTRA}
   OUTPUT_VARIABLE OUT_B
   ERROR_VARIABLE ERR_B
   RESULT_VARIABLE RC_B)

@@ -1,0 +1,354 @@
+//===- tests/LintScheduleTest.cpp - SPMD schedule verifier tests -----------===//
+//
+// Covers the schedule verifier's two layers: the pure schedule model
+// (analysis/ScheduleModel.h — trace expansion, happens-before cycle
+// detection, collective agreement, send/recv matching, buffer lifetime)
+// and the lint pass that drives it (translation-validation coverage,
+// seeded --miscompile modes firing exactly their checker, the fail-soft
+// budget contract, and the diagnostic normalization that keeps --lint
+// output byte-identical across --jobs).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+#include "analysis/ScheduleModel.h"
+
+#include "codegen/CommPlan.h"
+#include "core/Driver.h"
+#include "frontend/Lowering.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace alp;
+
+#ifndef ALP_TESTDATA_DIR
+#error "ALP_TESTDATA_DIR must be defined by the build"
+#endif
+#ifndef ALP_EXAMPLES_DIR
+#error "ALP_EXAMPLES_DIR must be defined by the build"
+#endif
+
+namespace {
+
+Program compile(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = compileDsl(Src, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  if (!P)
+    reportFatalError("test program failed to compile:\n" + Diags.str());
+  return std::move(*P);
+}
+
+Program compileFile(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << Path;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return compile(Buf.str());
+}
+
+Program example(const std::string &Name) {
+  return compileFile(std::string(ALP_EXAMPLES_DIR) + "/" + Name);
+}
+
+Program testdata(const std::string &Name) {
+  return compileFile(std::string(ALP_TESTDATA_DIR) + "/" + Name);
+}
+
+/// Decomposes \p P (in place, like the driver does) and returns the model
+/// built from its planned communication under \p Mode.
+struct ModelFixture {
+  Program P;
+  ProgramDecomposition PD;
+  CommPlan Plan;
+  ScheduleModel M;
+};
+
+ModelFixture buildFixture(Program Prog, MiscompileMode Mode,
+                          long MaxBlocksPerNest = 48) {
+  ModelFixture F{std::move(Prog), {}, {}, {}};
+  MachineParams M;
+  F.PD = decompose(F.P, M);
+  CodegenOptions CG = CodegenOptions::forMachine(M);
+  CG.Miscompile = Mode;
+  F.Plan = planCommunication(F.P, F.PD, CG);
+  F.M = buildScheduleModel(F.P, F.PD, F.Plan, CG, /*Procs=*/3,
+                           MaxBlocksPerNest);
+  return F;
+}
+
+unsigned countPass(const LintResult &R, const std::string &PassId) {
+  unsigned N = 0;
+  for (const Diagnostic &D : R.Diags)
+    if (D.PassId == PassId)
+      ++N;
+  return N;
+}
+
+bool hasUnchecked(const LintResult &R, const std::string &Prefix) {
+  for (const UncheckedPass &U : R.Unchecked)
+    if (U.PassId.rfind(Prefix, 0) == 0)
+      return true;
+  return false;
+}
+
+/// Runs the schedule pass alone over a freshly decomposed copy of the
+/// named program, the way alpc --lint --lint-passes=schedule does.
+LintResult lintSchedule(Program P, MiscompileMode Mode,
+                        ResourceBudget *Budget = nullptr) {
+  MachineParams M;
+  ProgramDecomposition PD = decompose(P, M);
+  LintOptions LO;
+  LO.CheckRaces = false;
+  LO.CheckModel = false;
+  LO.CheckDecomposition = false;
+  LO.CheckSchedule = true;
+  LO.BlockSize = M.BlockSize;
+  LO.Miscompile = Mode;
+  LO.Budget = Budget;
+  return runLintPasses(P, &PD, LO);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The pure model: traces and the four checker families.
+//===----------------------------------------------------------------------===//
+
+TEST(ScheduleModelTest, CleanJacobiModelIsQuiet) {
+  ModelFixture F = buildFixture(example("jacobi.alp"), MiscompileMode::None);
+  EXPECT_GT(F.M.events(), 0u);
+  ASSERT_EQ(F.M.Trace.size(), 3u);
+  EXPECT_TRUE(checkBarrierAgreement(F.M, F.P).empty());
+  EXPECT_TRUE(checkDeadlock(F.M, F.P).empty());
+  EXPECT_TRUE(checkMatching(F.M, F.P).empty());
+  EXPECT_TRUE(checkBufferLifetime(F.M, F.P).empty());
+}
+
+TEST(ScheduleModelTest, CleanExchangeBidirectionalIsQuiet) {
+  // Two opposing shift streams in one nest: correct send-then-recv
+  // interleaving is cycle-free even though the streams cross.
+  ModelFixture F =
+      buildFixture(testdata("exchange.alp"), MiscompileMode::None);
+  EXPECT_TRUE(checkDeadlock(F.M, F.P).empty());
+  EXPECT_TRUE(checkMatching(F.M, F.P).empty());
+}
+
+TEST(ScheduleModelTest, ReorderRecvCreatesDeadlockCycle) {
+  // Hoisting the recvs of the bidirectional exchange ahead of the sends
+  // makes procs 0 and 2 wait on each other through proc 1: a cycle.
+  ModelFixture F =
+      buildFixture(testdata("exchange.alp"), MiscompileMode::ReorderRecv);
+  std::vector<ScheduleFinding> Cycles = checkDeadlock(F.M, F.P);
+  ASSERT_EQ(Cycles.size(), 1u);
+  EXPECT_EQ(Cycles[0].Check, "deadlock");
+  // The offending cycle rides along as a note chain.
+  EXPECT_GE(Cycles[0].Notes.size(), 2u);
+  EXPECT_NE(Cycles[0].Message.find("wait cycle"), std::string::npos)
+      << Cycles[0].Message;
+}
+
+TEST(ScheduleModelTest, DropRecvLeavesUnmatchedSends) {
+  ModelFixture F =
+      buildFixture(example("jacobi.alp"), MiscompileMode::DropRecv);
+  std::vector<ScheduleFinding> Bad = checkMatching(F.M, F.P);
+  ASSERT_FALSE(Bad.empty());
+  for (const ScheduleFinding &B : Bad) {
+    EXPECT_EQ(B.Check, "unmatched");
+    EXPECT_NE(B.Message.find("never received"), std::string::npos)
+        << B.Message;
+  }
+}
+
+TEST(ScheduleModelTest, ReorderBarrierDiverges) {
+  ModelFixture F =
+      buildFixture(example("jacobi.alp"), MiscompileMode::ReorderBarrier);
+  std::vector<ScheduleFinding> Div = checkBarrierAgreement(F.M, F.P);
+  ASSERT_EQ(Div.size(), 1u);
+  EXPECT_EQ(Div[0].Check, "barrier-divergence");
+  // Per-processor collective counts are attached for the note chain.
+  EXPECT_GE(Div[0].Notes.size(), 3u);
+}
+
+TEST(ScheduleModelTest, AliasBufferOverrunsDoubleBuffer) {
+  // stencil.alp pipelines its doacross nest; hoisting the block recvs out
+  // of the loop removes the completion fences between overlapped isends.
+  ModelFixture F =
+      buildFixture(testdata("stencil.alp"), MiscompileMode::AliasBuffer);
+  std::vector<ScheduleFinding> Overlaps = checkBufferLifetime(F.M, F.P);
+  ASSERT_FALSE(Overlaps.empty());
+  EXPECT_EQ(Overlaps[0].Check, "buffer-overlap");
+  // The same schedule is clean without the corruption.
+  ModelFixture OK =
+      buildFixture(testdata("stencil.alp"), MiscompileMode::None);
+  EXPECT_TRUE(checkBufferLifetime(OK.M, OK.P).empty());
+}
+
+TEST(ScheduleModelTest, BlockLoopTruncationIsRecordedAndStaysSound) {
+  // Capping block expansion marks the model truncated without inventing
+  // findings on the modeled prefix.
+  ModelFixture F = buildFixture(testdata("stencil.alp"),
+                                MiscompileMode::None,
+                                /*MaxBlocksPerNest=*/2);
+  EXPECT_TRUE(F.M.TruncatedBlocks);
+  EXPECT_TRUE(checkDeadlock(F.M, F.P).empty());
+  EXPECT_TRUE(checkMatching(F.M, F.P).empty());
+  EXPECT_TRUE(checkBufferLifetime(F.M, F.P).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// The lint pass: translation validation, miscompile modes, fail-soft.
+//===----------------------------------------------------------------------===//
+
+TEST(LintScheduleTest, CleanProgramsVerify) {
+  for (const char *Name : {"jacobi.alp", "trisolve.alp"}) {
+    LintResult R = lintSchedule(example(Name), MiscompileMode::None);
+    EXPECT_EQ(R.Diags.size(), 0u) << Name << ":\n" << renderLintText(R);
+  }
+  LintResult R = lintSchedule(testdata("exchange.alp"), MiscompileMode::None);
+  EXPECT_EQ(R.Diags.size(), 0u) << renderLintText(R);
+}
+
+TEST(LintScheduleTest, DroppedTransferIsACoverageGap) {
+  LintResult R =
+      lintSchedule(example("jacobi.alp"), MiscompileMode::DropTransfer);
+  ASSERT_GT(countPass(R, "schedule.coverage-gap"), 0u) << renderLintText(R);
+  EXPECT_TRUE(R.hasErrors());
+  // The fix-it names the optimization that must cover the access.
+  bool NamedOptimization = false;
+  for (const Diagnostic &D : R.Diags)
+    if (D.PassId == "schedule.coverage-gap" && !D.FixIt.empty())
+      NamedOptimization = true;
+  EXPECT_TRUE(NamedOptimization) << renderLintText(R);
+}
+
+TEST(LintScheduleTest, ShrunkAggregationIsACoverageGap) {
+  // Volume translation validation: the aggregated message still exists
+  // but delivers half the required elements.
+  LintResult R = lintSchedule(testdata("stencil.alp"),
+                              MiscompileMode::ShrinkAggregation);
+  ASSERT_GT(countPass(R, "schedule.coverage-gap"), 0u) << renderLintText(R);
+}
+
+TEST(LintScheduleTest, ModelMiscompilesFireExactlyTheirChecker) {
+  struct Case {
+    const char *Program;
+    bool FromExamples;
+    MiscompileMode Mode;
+    const char *PassId;
+  };
+  const Case Cases[] = {
+      {"exchange.alp", false, MiscompileMode::ReorderRecv,
+       "schedule.deadlock"},
+      {"jacobi.alp", true, MiscompileMode::ReorderBarrier,
+       "schedule.barrier-divergence"},
+      {"jacobi.alp", true, MiscompileMode::DropRecv, "schedule.unmatched"},
+      {"stencil.alp", false, MiscompileMode::AliasBuffer,
+       "schedule.buffer-overlap"},
+  };
+  for (const Case &C : Cases) {
+    Program P = C.FromExamples ? example(C.Program) : testdata(C.Program);
+    LintResult R = lintSchedule(std::move(P), C.Mode);
+    EXPECT_GT(countPass(R, C.PassId), 0u)
+        << miscompileModeName(C.Mode) << " on " << C.Program << ":\n"
+        << renderLintText(R);
+    // The corruption is specific: no other checker family fires.
+    for (const Diagnostic &D : R.Diags)
+      EXPECT_EQ(D.PassId, C.PassId) << renderLintText(R);
+  }
+}
+
+TEST(LintScheduleTest, StarvedBudgetDegradesToNotChecked) {
+  // Fail-soft: even with a seeded miscompile present, an exhausted budget
+  // must suppress the check, never report half-verified findings.
+  ResourceBudget Starved;
+  Starved.MaxSolverIterations = 1;
+  LintResult R = lintSchedule(example("jacobi.alp"), MiscompileMode::DropRecv,
+                              &Starved);
+  EXPECT_FALSE(R.hasErrors()) << renderLintText(R);
+  EXPECT_TRUE(hasUnchecked(R, "schedule")) << renderLintText(R);
+}
+
+TEST(LintScheduleTest, WithoutDecompositionScheduleIsSkipped) {
+  Program P = example("jacobi.alp");
+  LintOptions LO;
+  LO.CheckRaces = false;
+  LO.CheckModel = false;
+  LintResult R = runLintPasses(P, nullptr, LO);
+  EXPECT_EQ(countPass(R, "schedule.deadlock") +
+                countPass(R, "schedule.coverage-gap"),
+            0u)
+      << renderLintText(R);
+}
+
+TEST(LintScheduleTest, RepeatedRunsAreByteIdentical) {
+  // The determinism the --jobs tests pin end-to-end, at the API level.
+  LintResult A = lintSchedule(testdata("exchange.alp"),
+                              MiscompileMode::ReorderRecv);
+  LintResult B = lintSchedule(testdata("exchange.alp"),
+                              MiscompileMode::ReorderRecv);
+  EXPECT_EQ(renderLintText(A), renderLintText(B));
+}
+
+//===----------------------------------------------------------------------===//
+// Normalization and mode spellings.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Diagnostic makeDiag(unsigned Line, unsigned Col, const std::string &Pass,
+                    const std::string &Msg) {
+  Diagnostic D;
+  D.DiagKind = Diagnostic::Kind::Error;
+  D.Loc.Line = Line;
+  D.Loc.Column = Col;
+  D.PassId = Pass;
+  D.Message = Msg;
+  return D;
+}
+
+} // namespace
+
+TEST(NormalizeDiagnosticsTest, SortsByLocationThenPassThenMessage) {
+  std::vector<Diagnostic> Diags;
+  Diags.push_back(makeDiag(9, 3, "schedule.unmatched", "b"));
+  Diags.push_back(makeDiag(4, 1, "race.forall-carried", "z"));
+  Diags.push_back(makeDiag(9, 3, "schedule.deadlock", "a"));
+  Diags.push_back(makeDiag(9, 1, "schedule.unmatched", "a"));
+  normalizeLintDiagnostics(Diags);
+  ASSERT_EQ(Diags.size(), 4u);
+  EXPECT_EQ(Diags[0].Loc.Line, 4u);
+  EXPECT_EQ(Diags[1].Loc.Column, 1u);
+  EXPECT_EQ(Diags[2].PassId, "schedule.deadlock");
+  EXPECT_EQ(Diags[3].PassId, "schedule.unmatched");
+}
+
+TEST(NormalizeDiagnosticsTest, DedupsExactDuplicatesOnly) {
+  std::vector<Diagnostic> Diags;
+  Diags.push_back(makeDiag(9, 3, "schedule.unmatched", "lost"));
+  Diags.push_back(makeDiag(9, 3, "schedule.unmatched", "lost"));
+  Diagnostic Different = makeDiag(9, 3, "schedule.unmatched", "lost");
+  Different.Notes.push_back({SourceLoc(), "stream detail"});
+  Diags.push_back(Different);
+  normalizeLintDiagnostics(Diags);
+  // The exact pair collapses; the note-carrying variant survives.
+  EXPECT_EQ(Diags.size(), 2u);
+}
+
+TEST(MiscompileModeTest, NamesRoundTrip) {
+  for (MiscompileMode M :
+       {MiscompileMode::None, MiscompileMode::DropTransfer,
+        MiscompileMode::ShrinkAggregation, MiscompileMode::ReorderRecv,
+        MiscompileMode::ReorderBarrier, MiscompileMode::DropRecv,
+        MiscompileMode::AliasBuffer}) {
+    MiscompileMode Parsed = MiscompileMode::None;
+    EXPECT_TRUE(parseMiscompileMode(miscompileModeName(M), Parsed));
+    EXPECT_EQ(Parsed, M);
+  }
+  MiscompileMode Parsed = MiscompileMode::None;
+  EXPECT_FALSE(parseMiscompileMode("bogus", Parsed));
+  EXPECT_FALSE(parseMiscompileMode("", Parsed));
+}

@@ -585,7 +585,11 @@ forall i = 1 to N { A[i] = f(A[i - 1]); }
   EXPECT_NE(Sarif.find("\"version\": \"2.1.0\""), std::string::npos);
   EXPECT_NE(Sarif.find("\"runs\""), std::string::npos);
   EXPECT_NE(Sarif.find("\"name\": \"alp-lint\""), std::string::npos);
-  EXPECT_NE(Sarif.find("{\"id\": \"race.forall-carried\"}"),
+  EXPECT_NE(Sarif.find("\"id\": \"race.forall-carried\""),
+            std::string::npos);
+  // Every rule carries a real shortDescription for SARIF viewers.
+  EXPECT_NE(Sarif.find("\"shortDescription\": {\"text\": \"A forall loop "
+                       "carries a cross-iteration dependence\"}"),
             std::string::npos);
   EXPECT_NE(Sarif.find("\"startLine\": 4"), std::string::npos);
   EXPECT_NE(Sarif.find("\"relatedLocations\""), std::string::npos);

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Structural validator for alp-lint SARIF output (SARIF 2.1.0).
+
+The project carries no external dependencies, so instead of the official
+JSON Schema this checks, with stdlib json only, every structural rule the
+spec imposes that our emitter could plausibly violate:
+
+  * top level: $schema names sarif-2.1.0, version == "2.1.0", runs array;
+  * each run: tool.driver.name, rules[] entries with a non-empty id and a
+    shortDescription.text (and no duplicate ids);
+  * each result: ruleId declared in rules[], level in the spec's value
+    set, message.text, locations[] whose physicalLocation has an
+    artifactLocation.uri; any region has startLine/startColumn >= 1
+    (3.30.5: region properties are positive integers);
+  * relatedLocations follow the same physicalLocation shape and carry an
+    inline message.text (they render note chains).
+
+Usage: check_sarif.py FILE.sarif [FILE.sarif ...]   (or - for stdin)
+Exits 0 iff every file validates; prints one line per problem.
+"""
+
+import json
+import sys
+
+LEVELS = {"none", "note", "warning", "error"}
+
+
+def _fail(problems, path, msg):
+    problems.append(f"{path}: {msg}")
+
+
+def _check_physical_location(problems, path, loc, where):
+    phys = loc.get("physicalLocation")
+    if not isinstance(phys, dict):
+        _fail(problems, path, f"{where}: missing physicalLocation")
+        return
+    art = phys.get("artifactLocation")
+    if not isinstance(art, dict) or not isinstance(art.get("uri"), str):
+        _fail(problems, path, f"{where}: missing artifactLocation.uri")
+    region = phys.get("region")
+    if region is None:
+        return
+    if not isinstance(region, dict):
+        _fail(problems, path, f"{where}: region is not an object")
+        return
+    for key in ("startLine", "startColumn", "endLine", "endColumn"):
+        if key in region:
+            val = region[key]
+            if not isinstance(val, int) or val < 1:
+                _fail(problems, path,
+                      f"{where}: region.{key} = {val!r} (must be int >= 1)")
+
+
+def _check_run(problems, path, idx, run):
+    where = f"runs[{idx}]"
+    driver = run.get("tool", {}).get("driver")
+    if not isinstance(driver, dict):
+        _fail(problems, path, f"{where}: missing tool.driver")
+        return
+    if not isinstance(driver.get("name"), str) or not driver["name"]:
+        _fail(problems, path, f"{where}: tool.driver.name missing or empty")
+
+    rule_ids = set()
+    for rid, rule in enumerate(driver.get("rules", [])):
+        rwhere = f"{where}.rules[{rid}]"
+        if not isinstance(rule, dict):
+            _fail(problems, path, f"{rwhere}: not an object")
+            continue
+        ident = rule.get("id")
+        if not isinstance(ident, str) or not ident:
+            _fail(problems, path, f"{rwhere}: missing id")
+            continue
+        if ident in rule_ids:
+            _fail(problems, path, f"{rwhere}: duplicate rule id '{ident}'")
+        rule_ids.add(ident)
+        short = rule.get("shortDescription")
+        if (not isinstance(short, dict)
+                or not isinstance(short.get("text"), str)
+                or not short["text"]):
+            _fail(problems, path,
+                  f"{rwhere}: rule '{ident}' lacks shortDescription.text")
+
+    results = run.get("results")
+    if not isinstance(results, list):
+        _fail(problems, path, f"{where}: missing results array")
+        return
+    for ridx, result in enumerate(results):
+        rwhere = f"{where}.results[{ridx}]"
+        if not isinstance(result, dict):
+            _fail(problems, path, f"{rwhere}: not an object")
+            continue
+        rule_id = result.get("ruleId")
+        if not isinstance(rule_id, str) or not rule_id:
+            _fail(problems, path, f"{rwhere}: missing ruleId")
+        elif rule_id not in rule_ids:
+            _fail(problems, path,
+                  f"{rwhere}: ruleId '{rule_id}' not declared in rules[]")
+        if result.get("level") not in LEVELS:
+            _fail(problems, path,
+                  f"{rwhere}: level {result.get('level')!r} not in {sorted(LEVELS)}")
+        msg = result.get("message")
+        if not isinstance(msg, dict) or not isinstance(msg.get("text"), str):
+            _fail(problems, path, f"{rwhere}: missing message.text")
+        locs = result.get("locations")
+        if not isinstance(locs, list) or not locs:
+            _fail(problems, path, f"{rwhere}: missing locations")
+        else:
+            for lidx, loc in enumerate(locs):
+                _check_physical_location(problems, path, loc,
+                                         f"{rwhere}.locations[{lidx}]")
+        for lidx, rel in enumerate(result.get("relatedLocations", [])):
+            lw = f"{rwhere}.relatedLocations[{lidx}]"
+            _check_physical_location(problems, path, rel, lw)
+            rmsg = rel.get("message")
+            if (not isinstance(rmsg, dict)
+                    or not isinstance(rmsg.get("text"), str)):
+                _fail(problems, path, f"{lw}: missing message.text")
+
+
+def check(path, text):
+    problems = []
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        return [f"{path}: not valid JSON: {err}"]
+
+    schema = doc.get("$schema", "")
+    if "sarif-2.1.0" not in schema:
+        _fail(problems, path, f"$schema {schema!r} does not name sarif-2.1.0")
+    if doc.get("version") != "2.1.0":
+        _fail(problems, path, f"version {doc.get('version')!r} != '2.1.0'")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        _fail(problems, path, "missing runs array")
+        return problems
+    for idx, run in enumerate(runs):
+        if not isinstance(run, dict):
+            _fail(problems, path, f"runs[{idx}]: not an object")
+            continue
+        _check_run(problems, path, idx, run)
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_sarif.py FILE.sarif [FILE.sarif ...]",
+              file=sys.stderr)
+        return 2
+    problems = []
+    for path in argv[1:]:
+        text = sys.stdin.read() if path == "-" else open(path).read()
+        problems.extend(check(path, text))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"check_sarif: {len(argv) - 1} file(s) OK")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

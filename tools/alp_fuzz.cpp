@@ -70,7 +70,11 @@ DriverOptions starvedOptions() {
 /// Runs the alp-lint passes over \p P and checks their output contract:
 /// no crash, every diagnostic location inside the input (\p Text nullable
 /// for built IR), and all three emitters render. Lint is analysis only —
-/// any diagnostics are fine, invalid ones are not.
+/// any race/model/decomp diagnostics are fine, invalid ones are not. The
+/// schedule verifier is held to a stronger bar: it translation-validates
+/// the compiler's own communication plan, so on an unmiscompiled pipeline
+/// any schedule.* error is a real planner/emitter bug (or a verifier
+/// false positive) — either way an abort worth a corpus entry.
 void runLintCase(const Program &P, const ProgramDecomposition *PD,
                  const std::string *Text) {
   CurrentPhase = "lint";
@@ -82,6 +86,18 @@ void runLintCase(const Program &P, const ProgramDecomposition *PD,
   LO.Budget = &Budget;
   LO.CheckDecomposition = PD != nullptr;
   LintResult R = runLintPasses(P, PD, LO);
+  for (const Diagnostic &D : R.Diags) {
+    if (D.DiagKind == Diagnostic::Kind::Error &&
+        D.PassId.rfind("schedule.", 0) == 0) {
+      std::fprintf(stderr,
+                   "alp_fuzz: schedule verifier flagged the compiler's "
+                   "own plan:\n%s\n",
+                   renderLintText(R).c_str());
+      if (Text)
+        std::fprintf(stderr, "--- input ---\n%s\n", Text->c_str());
+      std::abort();
+    }
+  }
 
   unsigned Lines =
       Text ? 1 + std::count(Text->begin(), Text->end(), '\n') : 0;

@@ -135,6 +135,8 @@ int main(int argc, char **argv) {
   bool DoVerify = false;
   bool DoLint = false;
   bool WError = false;
+  MiscompileMode Miscompile = MiscompileMode::None;
+  std::string LintPassesSpec;
   DiagFormat Format = DiagFormat::Text;
   unsigned Procs = 32;
   int64_t Block = 4;
@@ -209,9 +211,29 @@ int main(int argc, char **argv) {
       {"--deps", nullptr, "print the dependences of every nest",
        BoolFlag(DoDeps, true)},
       {"--lint", nullptr,
-       "run the alp-lint passes (race detector and affine-model lints) "
-       "instead of decomposing",
+       "run the alp-lint passes (race detector, affine-model lints, and "
+       "the SPMD schedule verifier when the program decomposes) and "
+       "render the diagnostics instead of reporting a decomposition",
        BoolFlag(DoLint, true)},
+      {"--lint-passes", "list|help",
+       "restrict --lint / --verify to a comma-separated list of pass "
+       "families; 'help' lists the registered pass ids",
+       [&](const std::string &V) {
+         LintPassesSpec = V;
+         return true;
+       }},
+      {"--miscompile", "mode",
+       "test-only: seed one schedule miscompilation so the schedule "
+       "verifier can prove its checkers fire (drop-transfer, "
+       "shrink-aggregation, reorder-recv, reorder-barrier, drop-recv, "
+       "alias-buffer)",
+       [&](const std::string &V) {
+         if (!parseMiscompileMode(V, Miscompile)) {
+           std::fprintf(stderr, "unknown miscompile mode '%s'\n", V.c_str());
+           return false;
+         }
+         return true;
+       }},
       {"--verify", nullptr,
        "validate the decomposition (Theorem 4.1 invariants + SPMD "
        "communication coverage)",
@@ -371,6 +393,42 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
+  // Pass-family selection (--lint-passes). "help" lists the registry and
+  // exits; otherwise the comma-separated ids gate the Check* options so
+  // the fuzzer / chaos tool can isolate a single checker.
+  bool SelRace = true, SelModel = true, SelDecomp = true, SelSchedule = true;
+  if (!LintPassesSpec.empty()) {
+    if (LintPassesSpec == "help") {
+      std::printf("registered lint pass families:\n");
+      for (const std::unique_ptr<LintPass> &Pass :
+           createLintPasses(LintOptions()))
+        std::printf("  %-10s %s\n", Pass->id(), Pass->description());
+      return 0;
+    }
+    SelRace = SelModel = SelDecomp = SelSchedule = false;
+    std::string Spec = LintPassesSpec;
+    while (!Spec.empty()) {
+      size_t Comma = Spec.find(',');
+      std::string Id = Spec.substr(0, Comma);
+      Spec = Comma == std::string::npos ? "" : Spec.substr(Comma + 1);
+      if (Id == "race")
+        SelRace = true;
+      else if (Id == "model")
+        SelModel = true;
+      else if (Id == "decomp")
+        SelDecomp = true;
+      else if (Id == "schedule")
+        SelSchedule = true;
+      else {
+        std::fprintf(stderr,
+                     "unknown lint pass '%s' (see --lint-passes=help)\n",
+                     Id.c_str());
+        usage(argv[0]);
+        return 2;
+      }
+    }
+  }
+
   if (!FileName) {
     usage(argv[0]);
     return 2;
@@ -466,20 +524,60 @@ int main(int argc, char **argv) {
     return 1;
   Program P = std::move(*Prog);
 
-  // Lint-only mode: run the race + model passes over the compiled program
-  // (no decomposition) and render the diagnostics.
+  // Lint-only mode: run the race + model passes over the compiled
+  // program, then — when the program decomposes — the schedule verifier
+  // over its planned communication. A program that does not decompose
+  // still lints (the decomposition-dependent passes are skipped).
   if (DoLint) {
     ResourceBudget Budget = Opts.Budget;
     if (Opts.DeadlineMs)
       Budget.setDeadlineIn(std::chrono::milliseconds(Opts.DeadlineMs));
     LintOptions LO;
-    LO.CheckDecomposition = false;
+    LO.CheckRaces = SelRace;
+    LO.CheckModel = SelModel;
+    // The decomposition validator stays opt-in under --lint (--verify is
+    // its home); an explicit --lint-passes=decomp enables it here.
+    LO.CheckDecomposition = !LintPassesSpec.empty() && SelDecomp;
+    LO.CheckSchedule = SelSchedule;
     LO.BlockSize = Block;
     LO.Budget = &Budget;
+    LO.Miscompile = Miscompile;
+    LO.Observe = Observe;
+    // The decomposition driver canonicalizes the program in place
+    // (Wolf-Lam local phase), which can legalize exactly the defects the
+    // race/model passes exist to report — so those passes lint the
+    // pristine program, and the decomposition-dependent passes run on a
+    // private copy.
+    MachineParams LintM;
+    LintM.NumProcs = Procs;
+    LintM.BlockSize = Block;
+    Program DecompP = P;
+    ProgramDecomposition LintPD;
+    bool HavePD = false;
+    if (LO.CheckSchedule || LO.CheckDecomposition)
+      if (Expected<ProgramDecomposition> R =
+              decomposeOrError(DecompP, LintM, Opts);
+          R.hasValue()) {
+        LintPD = R.takeValue();
+        HavePD = true;
+      }
     LintResult R;
     if (!RunStage("lint", [&] {
           TraceSpan LintSpan(Observe.Trace, "lint.run");
-          R = runLintPasses(P, nullptr, LO);
+          LintOptions FrontLO = LO;
+          FrontLO.CheckDecomposition = false;
+          FrontLO.CheckSchedule = false;
+          R = runLintPasses(P, nullptr, FrontLO);
+          if (HavePD) {
+            LintOptions PdLO = LO;
+            PdLO.CheckRaces = false;
+            PdLO.CheckModel = false;
+            LintResult R2 = runLintPasses(DecompP, &LintPD, PdLO);
+            R.Diags.insert(R.Diags.end(), R2.Diags.begin(), R2.Diags.end());
+            R.Unchecked.insert(R.Unchecked.end(), R2.Unchecked.begin(),
+                               R2.Unchecked.end());
+            normalizeLintDiagnostics(R.Diags);
+          }
         })) {
       WriteObservability();
       return 3;
@@ -505,6 +603,7 @@ int main(int argc, char **argv) {
   // machine description, so schedule and emission cannot diverge.
   CodegenOptions CG = CodegenOptions::forMachine(M);
   CG.Observe = Observe;
+  CG.Miscompile = Miscompile;
 
   auto RunDecompose = [&](ProgramDecomposition &Out) -> bool {
     Expected<ProgramDecomposition> R = decomposeOrError(P, M, Opts);
@@ -562,6 +661,38 @@ int main(int argc, char **argv) {
     return 3;
   }
 
+  // Schedule verification gates emission: --emit renders nothing when the
+  // planned schedule fails the static verifier (deadlock, coverage gap,
+  // unmatched messages, buffer overlap, barrier divergence).
+  if (!EmitMode.empty() && SelSchedule) {
+    ResourceBudget Budget = Opts.Budget;
+    if (Opts.DeadlineMs)
+      Budget.setDeadlineIn(std::chrono::milliseconds(Opts.DeadlineMs));
+    LintOptions LO;
+    LO.CheckRaces = false;
+    LO.CheckModel = false;
+    LO.CheckDecomposition = false;
+    LO.CheckSchedule = true;
+    LO.BlockSize = CG.BlockSize;
+    LO.Budget = &Budget;
+    LO.Miscompile = Miscompile;
+    LO.Observe = Observe;
+    LintResult R;
+    if (!RunStage("schedule verification", [&] {
+          TraceSpan VerifySpan(Observe.Trace, "lint.schedule");
+          R = runLintPasses(P, &PD, LO);
+        })) {
+      WriteObservability();
+      return 3;
+    }
+    if (R.hasErrors() || (WError && R.hasWarnings())) {
+      for (const Diagnostic &D : R.Diags)
+        std::fprintf(stderr, "schedule: %s\n", D.strWithNotes().c_str());
+      WriteObservability();
+      return 1;
+    }
+  }
+
   if (!EmitMode.empty() && !RunStage("codegen", [&] {
         if (EmitMode == "spmd") {
           CodegenOptions MsgCG = CG;
@@ -594,11 +725,15 @@ int main(int argc, char **argv) {
     LintOptions LO;
     LO.CheckRaces = false;
     LO.CheckModel = false;
+    LO.CheckDecomposition = SelDecomp;
+    LO.CheckSchedule = SelSchedule;
     LO.BlockSize = CG.BlockSize;
     // Both sides read MachineParams.BlockSize, so the block-size
     // divergence lint stays silent here by construction.
     LO.ScheduleBlockSize = M.BlockSize;
     LO.Budget = &Budget;
+    LO.Miscompile = Miscompile;
+    LO.Observe = Observe;
     LintResult R;
     if (!RunStage("verification", [&] {
           TraceSpan VerifySpan(Observe.Trace, "lint.verify");
