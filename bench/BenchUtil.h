@@ -9,6 +9,7 @@
 #ifndef ALP_BENCH_BENCHUTIL_H
 #define ALP_BENCH_BENCHUTIL_H
 
+#include "core/Driver.h"
 #include "frontend/Lowering.h"
 #include "support/AtomicFile.h"
 #include "support/Diagnostics.h"
@@ -120,6 +121,18 @@ inline Program compileOrDie(const std::string &Src) {
   if (!P)
     reportFatalError("benchmark program failed to compile:\n" + Diags.str());
   return std::move(*P);
+}
+
+/// Runs the decomposition pipeline or dies: benchmark inputs are fixed,
+/// so a hard failure from decomposeOrError is a harness bug, never a
+/// measurement.
+inline ProgramDecomposition decomposeOrDie(Program &P,
+                                           const MachineParams &M,
+                                           const DriverOptions &Opts = {}) {
+  Expected<ProgramDecomposition> PD = decomposeOrError(P, M, Opts);
+  if (!PD.hasValue())
+    reportFatalError("benchmark decomposition failed: " + PD.status().str());
+  return PD.takeValue();
 }
 
 /// Figure 1's running example.

@@ -31,7 +31,7 @@ int main() {
 
   // Decompose once (block size does not change the decomposition shape).
   Program P = Source;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeOrDie(P, M);
 
   NumaSimulator SeqSim(P, M);
   for (unsigned A = 0; A != P.Arrays.size(); ++A)

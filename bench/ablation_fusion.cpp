@@ -49,13 +49,13 @@ int main() {
   bool Ok = true;
   for (unsigned K : {2u, 4u, 8u, 16u}) {
     Program P1 = compileOrDie(chainProgram(K, 255));
-    ProgramDecomposition PD1 = decompose(P1, M);
+    ProgramDecomposition PD1 = decomposeOrDie(P1, M);
     double Unfused = simulate(P1, M, PD1);
 
     Program P2 = compileOrDie(chainProgram(K, 255));
-    ProgramDecomposition PD2 = decompose(P2, M);
+    ProgramDecomposition PD2 = decomposeOrDie(P2, M);
     unsigned Fused = fuseCompatibleNests(P2, &PD2);
-    PD2 = decompose(P2, M); // Re-derive for the fused shape.
+    PD2 = decomposeOrDie(P2, M); // Re-derive for the fused shape.
     double FusedCy = simulate(P2, M, PD2);
     std::printf("%8u %10zu %14.0f %14.0f %9.1f%%\n", K,
                 P2.nestsInOrder().size(), Unfused, FusedCy,

@@ -41,7 +41,7 @@ forall i = 0 to N {
   {
     Program P = compileOrDie(ReplSrc);
     DriverOptions Opts;
-    ProgramDecomposition PD = decompose(P, M, Opts);
+    ProgramDecomposition PD = decomposeOrDie(P, M, Opts);
     ParWith = PD.compOf(0).parallelismDegree();
     std::printf("replication ON : parallelism %u, Coef replicated along "
                 "%u dim(s)\n",
@@ -54,7 +54,7 @@ forall i = 0 to N {
     Program P = compileOrDie(ReplSrc);
     DriverOptions Opts;
     Opts.EnableReplication = false;
-    ProgramDecomposition PD = decompose(P, M, Opts);
+    ProgramDecomposition PD = decomposeOrDie(P, M, Opts);
     ParWithout = PD.compOf(0).parallelismDegree();
     std::printf("replication OFF: parallelism %u (the shared read of "
                 "Coef[j] serializes a dimension)\n",
@@ -81,7 +81,7 @@ forall i = 0 to N {
   {
     Program P = compileOrDie(IdleSrc);
     DriverOptions Opts;
-    ProgramDecomposition PD = decompose(P, M, Opts);
+    ProgramDecomposition PD = decomposeOrDie(P, M, Opts);
     DimsWith = PD.VirtualDims;
     unsigned IdleRows = 0;
     for (const auto &[NestId, CD] : PD.Comp) {
@@ -98,7 +98,7 @@ forall i = 0 to N {
     Program P = compileOrDie(IdleSrc);
     DriverOptions Opts;
     Opts.EnableIdleProjection = false;
-    ProgramDecomposition PD = decompose(P, M, Opts);
+    ProgramDecomposition PD = decomposeOrDie(P, M, Opts);
     DimsWithout = PD.VirtualDims;
     unsigned IdleRows = 0;
     for (const auto &[NestId, CD] : PD.Comp) {

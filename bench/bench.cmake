@@ -21,3 +21,4 @@ alp_add_bench(perf_simulator alp_machine alp_frontend benchmark::benchmark)
 alp_add_bench(ablation_fusion alp_machine alp_frontend)
 alp_add_bench(ext_multicomputer alp_codegen alp_frontend)
 alp_add_bench(perf_comm alp_codegen alp_frontend)
+alp_add_bench(perf_service alp_service)

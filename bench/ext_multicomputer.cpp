@@ -56,7 +56,7 @@ double runCompiler(Program P, const MachineParams &M, unsigned Procs,
                    bool EnableBlocking) {
   DriverOptions Opts;
   Opts.EnableBlocking = EnableBlocking;
-  ProgramDecomposition PD = decompose(P, M, Opts);
+  ProgramDecomposition PD = decomposeOrDie(P, M, Opts);
   NumaSimulator Sim(P, M);
   if (M.MessagePassing)
     // The multicomputer backend would execute the planned bulk schedule,

@@ -67,7 +67,7 @@ int main() {
               Disp.Conflicts.size());
 
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeOrDie(P, M);
   printHeader("Generated SPMD code");
   std::printf("%s\n", emitSpmd(P, PD).c_str());
 

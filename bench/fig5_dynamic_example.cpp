@@ -38,7 +38,7 @@ int main() {
   DriverOptions Opts;
   Opts.EnableBlocking = false;
   Program Q = P;
-  ProgramDecomposition PD = decompose(Q, M, Opts);
+  ProgramDecomposition PD = decomposeOrDie(Q, M, Opts);
   for (unsigned NestId : Q.nestsInOrder())
     std::printf("  nest %u -> component %u\n", NestId + 1,
                 PD.ComponentOf.at(NestId));

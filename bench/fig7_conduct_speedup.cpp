@@ -93,7 +93,7 @@ double runCompiler(Program P, const MachineParams &M, unsigned Procs,
                    bool EnableBlocking) {
   DriverOptions Opts;
   Opts.EnableBlocking = EnableBlocking;
-  ProgramDecomposition PD = decompose(P, M, Opts);
+  ProgramDecomposition PD = decomposeOrDie(P, M, Opts);
   NumaSimulator Sim(P, M);
   applyDecomposition(Sim, P, PD);
   return Sim.run(Procs).Cycles;

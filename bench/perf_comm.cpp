@@ -59,7 +59,7 @@ KernelResult runKernel(const std::string &Name, const std::string &Src,
                        unsigned Procs, TraceContext Observe) {
   Program P = compileOrDie(Src);
   MachineParams M = touchstoneMachine();
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeOrDie(P, M);
 
   KernelResult R;
   R.Name = Name;

@@ -1,0 +1,354 @@
+//===- bench/perf_service.cpp - alpd client-storm throughput ---------------===//
+//
+// Performance benchmark P4: throughput and latency of the alpd compilation
+// service under a concurrent client storm, cold cache vs warm cache.
+// Hand-rolled harness (steady_clock, mean/p50/p99) emitting
+// machine-readable results to BENCH_service.json.
+//
+//   perf_service [--smoke] [--out <file>] [--connect <socket>]
+//                [--clients N] [--requests N]
+//
+// Default mode hosts the service in-process (service/Server.h) on a
+// private socket; --connect drives an externally started alpd instead
+// (the CI smoke job does this). Every client opens one connection and
+// streams COMPILE requests:
+//
+//   cold pass: every request is a distinct program       -> all misses
+//   warm pass: the same requests replayed, same order    -> all hits
+//
+// The harness cross-checks that warm responses are byte-identical to the
+// cold responses they repeat ("responses_identical") and that the warm
+// hit rate clears 90%; either failing exits nonzero.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "service/Server.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace alp;
+using namespace alp::bench;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Minimal protocol client
+//===----------------------------------------------------------------------===//
+
+bool sendAll(int Fd, const std::string &S) {
+  const char *Data = S.data();
+  size_t Len = S.size();
+  while (Len) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool recvLine(int Fd, std::string &Line) {
+  Line.clear();
+  char C;
+  for (;;) {
+    ssize_t N = ::recv(Fd, &C, 1, 0);
+    if (N == 0)
+      return false;
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (C == '\n')
+      return true;
+    Line.push_back(C);
+    if (Line.size() > 4096)
+      return false;
+  }
+}
+
+bool recvExact(int Fd, std::string &Out, size_t Len) {
+  Out.resize(Len);
+  size_t Got = 0;
+  while (Got < Len) {
+    ssize_t N = ::recv(Fd, Out.data() + Got, Len - Got, 0);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Got += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+int connectTo(const std::string &Path) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return -1;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+struct Reply {
+  int Exit = 0;
+  bool Hit = false;
+  std::string Out, Err;
+};
+
+/// One COMPILE round trip; false on any protocol breakage.
+bool compileOnce(int Fd, const std::string &Payload, Reply &R) {
+  std::ostringstream Msg;
+  Msg << "COMPILE " << Payload.size() << '\n' << Payload;
+  if (!sendAll(Fd, Msg.str()))
+    return false;
+  std::string Header;
+  if (!recvLine(Fd, Header) || Header.rfind("RESULT ", 0) != 0)
+    return false;
+  std::istringstream HS(Header.substr(7));
+  std::string HitTok;
+  size_t OutLen = 0, ErrLen = 0;
+  if (!(HS >> R.Exit >> HitTok >> OutLen >> ErrLen))
+    return false;
+  R.Hit = HitTok == "hit";
+  return recvExact(Fd, R.Out, OutLen) && recvExact(Fd, R.Err, ErrLen);
+}
+
+//===----------------------------------------------------------------------===//
+// Storm
+//===----------------------------------------------------------------------===//
+
+struct PassResult {
+  RepStats Latency;          ///< Per-request round-trip stats.
+  double WallMs = 0;         ///< Whole pass, all clients.
+  double RequestsPerSec = 0;
+  size_t Requests = 0;
+  size_t Hits = 0;
+  bool Ok = true;                  ///< No protocol/connect failures.
+  std::vector<Reply> Replies;      ///< Indexed by global request id.
+  double hitRate() const {
+    return Requests ? static_cast<double>(Hits) / Requests : 0;
+  }
+};
+
+/// Fans \p Payloads across \p Clients connections (request i goes to
+/// client i % Clients, preserving a stable global id for the byte-identity
+/// cross-check) and collects every round-trip latency.
+PassResult runStorm(const std::string &Socket, unsigned Clients,
+                    const std::vector<std::string> &Payloads) {
+  PassResult P;
+  P.Requests = Payloads.size();
+  P.Replies.resize(Payloads.size());
+  std::vector<std::vector<double>> Lat(Clients);
+  std::atomic<bool> Failed{false};
+  std::atomic<size_t> Hits{0};
+
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C != Clients; ++C)
+    Threads.emplace_back([&, C] {
+      int Fd = connectTo(Socket);
+      if (Fd < 0) {
+        Failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      for (size_t I = C; I < Payloads.size(); I += Clients) {
+        auto R0 = std::chrono::steady_clock::now();
+        Reply R;
+        if (!compileOnce(Fd, Payloads[I], R)) {
+          Failed.store(true, std::memory_order_relaxed);
+          break;
+        }
+        auto R1 = std::chrono::steady_clock::now();
+        Lat[C].push_back(
+            std::chrono::duration<double, std::milli>(R1 - R0).count());
+        if (R.Hit)
+          Hits.fetch_add(1, std::memory_order_relaxed);
+        P.Replies[I] = std::move(R);
+      }
+      sendAll(Fd, "QUIT\n");
+      std::string Bye;
+      recvLine(Fd, Bye);
+      ::close(Fd);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  auto T1 = std::chrono::steady_clock::now();
+
+  P.WallMs = std::chrono::duration<double, std::milli>(T1 - T0).count();
+  P.RequestsPerSec = P.WallMs > 0 ? 1000.0 * P.Requests / P.WallMs : 0;
+  P.Hits = Hits.load();
+  P.Ok = !Failed.load();
+
+  std::vector<double> All;
+  for (const std::vector<double> &L : Lat)
+    All.insert(All.end(), L.begin(), L.end());
+  std::sort(All.begin(), All.end());
+  if (!All.empty()) {
+    P.Latency.Reps = static_cast<unsigned>(All.size());
+    for (double M : All)
+      P.Latency.MeanMs += M;
+    P.Latency.MeanMs /= All.size();
+    auto Quantile = [&](double Q) {
+      size_t I = static_cast<size_t>(Q * (All.size() - 1) + 0.5);
+      return All[std::min(I, All.size() - 1)];
+    };
+    P.Latency.P50Ms = Quantile(0.5);
+    P.Latency.P99Ms = Quantile(0.99);
+  }
+  return P;
+}
+
+std::string passJson(const PassResult &P) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "%s, \"wall_ms\": %.6g, \"requests_per_sec\": %.6g, "
+                "\"requests\": %zu, \"hits\": %zu, \"hit_rate\": %.4f",
+                repStatsJson(P.Latency).c_str(), P.WallMs, P.RequestsPerSec,
+                P.Requests, P.Hits, P.hitRate());
+  return Buf;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  const char *OutPath = "BENCH_service.json";
+  std::string Connect;
+  unsigned Clients = 4;
+  size_t Requests = 0; // 0 = derive from mode below.
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--smoke"))
+      Smoke = true;
+    else if (!std::strcmp(argv[I], "--out") && I + 1 < argc)
+      OutPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--connect") && I + 1 < argc)
+      Connect = argv[++I];
+    else if (!std::strcmp(argv[I], "--clients") && I + 1 < argc)
+      Clients = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--requests") && I + 1 < argc)
+      Requests = static_cast<size_t>(std::atoll(argv[++I]));
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out <file>] [--connect <socket>] "
+                   "[--clients N] [--requests N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!Clients)
+    Clients = 1;
+  if (!Requests)
+    Requests = Smoke ? 16 : 64;
+
+  // Distinct programs -> distinct canonical keys: every cold request is a
+  // genuine compile, every warm request a genuine repeat.
+  std::vector<std::string> Payloads;
+  Payloads.reserve(Requests);
+  for (size_t I = 0; I != Requests; ++I)
+    Payloads.push_back("--spmd --procs=32\n" +
+                       jacobiSource(16 + static_cast<int64_t>(I), 4));
+
+  // Host the service in-process unless pointed at a running daemon.
+  std::unique_ptr<Server> Hosted;
+  std::string Socket = Connect;
+  if (Socket.empty()) {
+    ServerOptions SOpts;
+    SOpts.SocketPath = "perf_service.sock";
+    Hosted = std::make_unique<Server>(SOpts);
+    if (Status S = Hosted->start(); !S.isOk())
+      reportFatalError("cannot start in-process service: " + S.str());
+    Socket = SOpts.SocketPath;
+  }
+
+  printHeader("P4: alpd client storm (cold cache, then warm)");
+  PassResult Cold = runStorm(Socket, Clients, Payloads);
+  PassResult Warm = runStorm(Socket, Clients, Payloads);
+
+  bool ResponsesIdentical = Cold.Ok && Warm.Ok;
+  for (size_t I = 0; ResponsesIdentical && I != Payloads.size(); ++I)
+    ResponsesIdentical = Cold.Replies[I].Exit == Warm.Replies[I].Exit &&
+                         Cold.Replies[I].Out == Warm.Replies[I].Out &&
+                         Cold.Replies[I].Err == Warm.Replies[I].Err;
+
+  for (const PassResult *P : {&Cold, &Warm}) {
+    const char *Name = P == &Cold ? "cold" : "warm";
+    std::printf("%s: %5zu req  %8.1f req/s  mean %8.3f ms  p50 %8.3f ms  "
+                "p99 %8.3f ms  hit rate %5.1f%%\n",
+                Name, P->Requests, P->RequestsPerSec, P->Latency.MeanMs,
+                P->Latency.P50Ms, P->Latency.P99Ms, 100.0 * P->hitRate());
+  }
+  std::printf("clients: %u  responses identical: %s\n", Clients,
+              ResponsesIdentical ? "yes" : "NO");
+
+  // Service counters over the same connection protocol the clients used.
+  std::string ServiceCounters = "{}";
+  if (int Fd = connectTo(Socket); Fd >= 0) {
+    std::string Header;
+    if (sendAll(Fd, "STATS\n") && recvLine(Fd, Header) &&
+        Header.rfind("STATS ", 0) == 0) {
+      uint64_t Len = std::strtoull(Header.c_str() + 6, nullptr, 10);
+      std::string Json;
+      if (recvExact(Fd, Json, Len))
+        ServiceCounters = Json;
+    }
+    sendAll(Fd, "QUIT\n");
+    ::close(Fd);
+  }
+
+  if (Hosted) {
+    Hosted->requestShutdown();
+    Hosted->wait();
+    ::unlink(Socket.c_str());
+  }
+
+  bool WarmHitsOk = Warm.hitRate() > 0.9;
+  bool Ok = Cold.Ok && Warm.Ok && ResponsesIdentical && WarmHitsOk;
+  if (!WarmHitsOk)
+    std::fprintf(stderr, "error: warm hit rate %.1f%% below the 90%% gate\n",
+                 100.0 * Warm.hitRate());
+
+  ArtifactWriter Out;
+  Out.printf("{\n  \"benchmark\": \"service\",\n");
+  Out.printf("  \"alp_stats\": {\"schema_version\": %u},\n",
+             StatsSchemaVersion);
+  Out.printf("  \"smoke\": %s,\n", Smoke ? "true" : "false");
+  Out.printf("  \"clients\": %u,\n", Clients);
+  Out.printf("  \"in_process\": %s,\n", Connect.empty() ? "true" : "false");
+  Out.printf("  \"cold\": {%s},\n", passJson(Cold).c_str());
+  Out.printf("  \"warm\": {%s},\n", passJson(Warm).c_str());
+  Out.printf("  \"responses_identical\": %s,\n",
+             ResponsesIdentical ? "true" : "false");
+  Out.printf("  \"warm_hit_rate_ok\": %s,\n", WarmHitsOk ? "true" : "false");
+  Out.printf("  \"service_counters\": %s\n", ServiceCounters.c_str());
+  Out.printf("}\n");
+  if (!Out.publish(OutPath))
+    return 1;
+  std::printf("wrote %s\n", OutPath);
+
+  return Ok ? 0 : 1;
+}

@@ -16,6 +16,7 @@
 #include "machine/ScheduleDerivation.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace alp;
 
@@ -50,7 +51,13 @@ int main() {
     Program P = *Prog; // Each pipeline variant canonicalizes its own copy.
     DriverOptions Opts;
     Opts.EnableBlocking = EnableBlocking;
-    ProgramDecomposition PD = decompose(P, M, Opts);
+    Expected<ProgramDecomposition> PDOr = decomposeOrError(P, M, Opts);
+    if (!PDOr.hasValue()) {
+      std::fprintf(stderr, "error: decomposition failed: %s\n",
+                   PDOr.status().str().c_str());
+      std::exit(1);
+    }
+    ProgramDecomposition PD = PDOr.takeValue();
     std::printf("--- %s ---\n%s", Label,
                 printDecomposition(P, PD).c_str());
     NumaSimulator Sim(P, M);
@@ -70,7 +77,13 @@ int main() {
 
   Program P = *Prog;
   DriverOptions Opts;
-  ProgramDecomposition PD = decompose(P, M, Opts);
+  Expected<ProgramDecomposition> PDOr = decomposeOrError(P, M, Opts);
+  if (!PDOr.hasValue()) {
+    std::fprintf(stderr, "error: decomposition failed: %s\n",
+                 PDOr.status().str().c_str());
+    return 1;
+  }
+  ProgramDecomposition PD = PDOr.takeValue();
   std::printf("=== SPMD code for the pipelined version ===\n%s",
               emitSpmd(P, PD).c_str());
   (void)Piped;

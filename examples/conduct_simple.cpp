@@ -60,7 +60,13 @@ for t = 1 to T {
   Program P = *Prog;
   MachineParams M;
 
-  ProgramDecomposition PD = decompose(P, M);
+  Expected<ProgramDecomposition> PDOr = decomposeOrError(P, M);
+  if (!PDOr.hasValue()) {
+    std::fprintf(stderr, "error: decomposition failed: %s\n",
+                 PDOr.status().str().c_str());
+    return 1;
+  }
+  ProgramDecomposition PD = PDOr.takeValue();
   std::printf("=== the compiler's decomposition ===\n%s\n",
               printDecomposition(P, PD).c_str());
   std::printf("=== SPMD code ===\n%s\n", emitSpmd(P, PD).c_str());

@@ -74,7 +74,13 @@ forall i1 = 0 to N {
   // disabled, as in the paper's discussion of this example).
   DriverOptions Opts;
   Opts.EnableBlocking = false;
-  ProgramDecomposition PD = decompose(P, M, Opts);
+  Expected<ProgramDecomposition> PDOr = decomposeOrError(P, M, Opts);
+  if (!PDOr.hasValue()) {
+    std::fprintf(stderr, "error: decomposition failed: %s\n",
+                 PDOr.status().str().c_str());
+    return 1;
+  }
+  ProgramDecomposition PD = PDOr.takeValue();
   std::printf("\ncomponents: ");
   for (unsigned NestId : P.nestsInOrder())
     std::printf("nest %u -> %u  ", NestId, PD.ComponentOf.at(NestId));

@@ -42,7 +42,13 @@ forall i = 0 to N {
   Program P = *Prog;
   MachineParams M;
 
-  ProgramDecomposition PD = decompose(P, M);
+  Expected<ProgramDecomposition> PDOr = decomposeOrError(P, M);
+  if (!PDOr.hasValue()) {
+    std::fprintf(stderr, "error: decomposition failed: %s\n",
+                 PDOr.status().str().c_str());
+    return 1;
+  }
+  ProgramDecomposition PD = PDOr.takeValue();
   std::printf("=== decomposition ===\n%s\n",
               printDecomposition(P, PD).c_str());
 
@@ -59,7 +65,13 @@ forall i = 0 to N {
   Program Q = *Prog;
   DriverOptions NoRepl;
   NoRepl.EnableReplication = false;
-  ProgramDecomposition PDNo = decompose(Q, M, NoRepl);
+  Expected<ProgramDecomposition> PDNoOr = decomposeOrError(Q, M, NoRepl);
+  if (!PDNoOr.hasValue()) {
+    std::fprintf(stderr, "error: decomposition failed: %s\n",
+                 PDNoOr.status().str().c_str());
+    return 1;
+  }
+  ProgramDecomposition PDNo = PDNoOr.takeValue();
   std::printf("parallelism with replication: %u degrees; without: %u\n",
               PD.compOf(0).parallelismDegree(),
               PDNo.compOf(0).parallelismDegree());

@@ -46,8 +46,16 @@ for i1 = 1 to N {
   MachineParams Machine;
 
   // 4. Run the decomposition pipeline: local phase, partitions,
-  //    orientations, displacements, Sec. 7 optimizations.
-  ProgramDecomposition PD = decompose(*P, Machine);
+  //    orientations, displacements, Sec. 7 optimizations. The entry
+  //    point is fail-soft: recoverable trouble degrades stages in place
+  //    (see PD.Degradations), and only a hard failure surfaces here.
+  Expected<ProgramDecomposition> PDOr = decomposeOrError(*P, Machine);
+  if (!PDOr.hasValue()) {
+    std::fprintf(stderr, "decomposition failed: %s\n",
+                 PDOr.status().str().c_str());
+    return 1;
+  }
+  ProgramDecomposition PD = PDOr.takeValue();
 
   // 5. Inspect the result.
   std::printf("=== canonicalized program (after the local phase) ===\n%s\n",

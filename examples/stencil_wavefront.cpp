@@ -58,7 +58,13 @@ for i1 = 1 to N - 1 {
 
   // The decomposition: blocked, with doacross parallelism.
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  Expected<ProgramDecomposition> PDOr = decomposeOrError(P, M);
+  if (!PDOr.hasValue()) {
+    std::fprintf(stderr, "error: decomposition failed: %s\n",
+                 PDOr.status().str().c_str());
+    return 1;
+  }
+  ProgramDecomposition PD = PDOr.takeValue();
   std::printf("\n%s", printDecomposition(P, PD).c_str());
 
   // Materialize the Figure 3(d) strip-mining for inspection.

@@ -7,7 +7,8 @@
 /// emitter), and the machine layer (simulator + schedule derivation).
 ///
 ///   Program P = *compileDsl(Source, Diags);           // frontend
-///   ProgramDecomposition PD = decompose(P, M);        // driver
+///   ProgramDecomposition PD =
+///       decomposeOrError(P, M).takeValue();           // driver
 ///   CodegenOptions CG = CodegenOptions::forMachine(M);
 ///   std::string Spmd = emitSpmd(P, PD, CG);           // codegen
 ///   CommPlan Plan = planCommunication(P, PD, CG);     // planner

@@ -345,14 +345,6 @@ alp::decomposeOrError(Program &P, const MachineParams &Machine,
   return PD;
 }
 
-ProgramDecomposition alp::decompose(Program &P, const MachineParams &Machine,
-                                    const DriverOptions &Opts) {
-  Expected<ProgramDecomposition> R = decomposeOrError(P, Machine, Opts);
-  if (!R.hasValue())
-    reportFatalError("decomposition failed: " + R.status().str());
-  return R.takeValue();
-}
-
 std::string alp::printDecomposition(const Program &P,
                                     const ProgramDecomposition &PD) {
   std::ostringstream OS;

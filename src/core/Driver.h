@@ -92,12 +92,6 @@ Expected<ProgramDecomposition>
 decomposeOrError(Program &P, const MachineParams &Machine,
                  const DriverOptions &Opts = {});
 
-/// Runs the whole pipeline. \p P may be rewritten by the local phase.
-/// Thin wrapper over decomposeOrError that reports a fatal error on the
-/// (degradation-proof) hard failures.
-ProgramDecomposition decompose(Program &P, const MachineParams &Machine,
-                               const DriverOptions &Opts = {});
-
 /// Renders a human-readable report of \p PD for \p P.
 std::string printDecomposition(const Program &P,
                                const ProgramDecomposition &PD);

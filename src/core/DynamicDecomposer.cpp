@@ -180,62 +180,186 @@ DynamicResult greedyJoin(const Program &P, const CostModel &CM,
 
   if (DOpts.Policy != JoinPolicy::NeverJoin) {
     TraceSpan JoinSpan(DOpts.Observe.Trace, "dynamic.join_loop");
-    for (const CommEdge &E : Edges) {
-      unsigned RU = Find(E.U), RV = Find(E.V);
-      if (RU == RV)
-        continue;
-      // Purely sequential loops are components by themselves.
-      if (Sequential.count(E.U) || Sequential.count(E.V))
-        continue;
-      // A fault here abandons the join: components stay apart, the edge
-      // stays cut — a valid (merely less joined) decomposition, recorded
-      // in the ledger so it can never pass as the fault-free answer.
-      Status JoinFault = Status::ok();
-      try {
-        JoinFault = FpDynamicJoin.evaluate(Budget);
-      } catch (...) {
-        JoinFault = statusFromCurrentException();
-      }
-      if (!JoinFault) {
-        DOpts.Observe.count("dynamic.joins_abandoned");
-        R.Warnings.push_back("join of nests " + std::to_string(E.U) +
-                             " and " + std::to_string(E.V) +
-                             " abandoned (" + JoinFault.str() + ")");
-        continue;
-      }
-      DOpts.Observe.count("dynamic.joins_attempted");
-      std::vector<unsigned> Joined = Members(RU);
-      std::vector<unsigned> MV = Members(RV);
-      Joined.insert(Joined.end(), MV.begin(), MV.end());
+
+    // Per-root mutation stamps. A root can absorb a component and keep
+    // its id (Parent[RU] = RV leaves RV a root with more members), so
+    // "same root ids" is not enough to prove a speculative trial solve
+    // still describes the current components — the stamp is bumped on
+    // every accept and compared too.
+    std::vector<uint64_t> Stamp(MaxNest + 1, 0);
+
+    // One speculative join evaluation, solved against a snapshot of the
+    // components taken at chunk-build time.
+    struct JoinTrial {
+      bool Solved = false;          ///< A trial solve ran for this edge.
+      unsigned RU = 0, RV = 0;      ///< Snapshot roots.
+      uint64_t StampU = 0, StampV = 0;
+      std::vector<unsigned> Joined; ///< Snapshot member union.
+      std::optional<ResourceBudget> B; ///< Private budget copy.
+      uint64_t Steps0 = 0, Iters0 = 0; ///< Copy's counters at build time.
       PartitionResult JP;
-      try {
-        JP = Solve(Joined);
-      } catch (...) {
-        // The solver degrades itself on budget/overflow; what escapes is
-        // allocation failure building the joined graph. Same answer as a
-        // fault: abandon the join, keep both components.
-        Status Why = statusFromCurrentException();
-        DOpts.Observe.count("dynamic.joins_abandoned");
-        R.Warnings.push_back("join of nests " + std::to_string(E.U) +
-                             " and " + std::to_string(E.V) +
-                             " abandoned (" + Why.str() + ")");
-        continue;
+      Status Outcome = Status::ok();
+    };
+
+    // The join loop is the driver's scaling bottleneck: each iteration
+    // re-solves a joined partition, serially. Chunked speculation
+    // trial-solves the next JoinChunk edges in parallel against the
+    // current component snapshot, then replays the chunk serially with
+    // the exact historical accept logic. A trial invalidated by an
+    // earlier accept in its own chunk is discarded and re-solved inline,
+    // so the decomposition, warnings, failpoint schedule, and counter
+    // totals stay byte-identical to the serial loop — and identical for
+    // every job count, which is the determinism contract the driver
+    // tests pin. The chunk size is a constant, never derived from the
+    // job count, for the same reason. ForceSingle accepts every edge, so
+    // every speculative trial after the first would be stale; it keeps
+    // the serial path.
+    constexpr size_t JoinChunk = 8;
+    const bool Speculate =
+        Pool != nullptr && DOpts.Policy != JoinPolicy::ForceSingle;
+
+    size_t Begin = 0;
+    while (Begin != Edges.size()) {
+      const size_t End =
+          Speculate ? std::min(Edges.size(), Begin + JoinChunk) : Begin + 1;
+      std::vector<JoinTrial> Trials(End - Begin);
+      if (Speculate) {
+        // Build the trial set serially: Find path-halves Parent and the
+        // member scan reads it, so snapshots cannot be taken from worker
+        // threads. Edges already joined or touching sequential nests are
+        // skipped exactly as the serial loop would skip them.
+        std::vector<size_t> Work;
+        for (size_t I = Begin; I != End; ++I) {
+          const CommEdge &E = Edges[I];
+          unsigned RU = Find(E.U), RV = Find(E.V);
+          if (RU == RV || Sequential.count(E.U) || Sequential.count(E.V))
+            continue;
+          JoinTrial &T = Trials[I - Begin];
+          T.RU = RU;
+          T.RV = RV;
+          T.StampU = Stamp[RU];
+          T.StampV = Stamp[RV];
+          T.Joined = Members(RU);
+          std::vector<unsigned> MV = Members(RV);
+          T.Joined.insert(T.Joined.end(), MV.begin(), MV.end());
+          if (Budget) {
+            // Plain copy: consumed counters carry over (the same
+            // semantics the supervised initial solves give attempt 0),
+            // and the deltas are applied back when the trial is used.
+            T.B.emplace(*Budget);
+            T.Steps0 =
+                T.B->UsedEliminationSteps.load(std::memory_order_relaxed);
+            T.Iters0 =
+                T.B->UsedSolverIterations.load(std::memory_order_relaxed);
+          }
+          Work.push_back(I);
+        }
+        if (!Work.empty()) {
+          std::vector<Status> Statuses =
+              Pool->parallelForStatus(Work.size(), [&](size_t W) {
+                JoinTrial &T = Trials[Work[W] - Begin];
+                T.JP = SolveWith(T.Joined, T.B ? &*T.B : nullptr);
+              });
+          for (size_t W = 0; W != Work.size(); ++W) {
+            JoinTrial &T = Trials[Work[W] - Begin];
+            T.Solved = true;
+            T.Outcome = Statuses[W];
+          }
+        }
       }
-      double JoinedBenefit = CM.totalBenefit(JP);
-      // Cross-component reorganization cost eliminated by the join.
-      double Saved = 0.0;
-      for (const CommEdge &Other : Edges)
-        if ((Find(Other.U) == RU && Find(Other.V) == RV) ||
-            (Find(Other.U) == RV && Find(Other.V) == RU))
-          Saved += Other.Weight;
-      double Delta = JoinedBenefit - Benefit[RU] - Benefit[RV] + Saved;
-      bool Accept = DOpts.Policy == JoinPolicy::ForceSingle || Delta > 0.0;
-      if (!Accept)
-        continue;
-      DOpts.Observe.count("dynamic.joins_kept");
-      Parent[RU] = RV;
-      Parts[RV] = std::move(JP);
-      Benefit[RV] = JoinedBenefit;
+
+      // Serial replay: the historical join loop, verbatim, consuming a
+      // trial's answer whenever its snapshot is still current.
+      for (size_t I = Begin; I != End; ++I) {
+        const CommEdge &E = Edges[I];
+        unsigned RU = Find(E.U), RV = Find(E.V);
+        if (RU == RV)
+          continue;
+        // Purely sequential loops are components by themselves.
+        if (Sequential.count(E.U) || Sequential.count(E.V))
+          continue;
+        // A fault here abandons the join: components stay apart, the edge
+        // stays cut — a valid (merely less joined) decomposition, recorded
+        // in the ledger so it can never pass as the fault-free answer.
+        Status JoinFault = Status::ok();
+        try {
+          JoinFault = FpDynamicJoin.evaluate(Budget);
+        } catch (...) {
+          JoinFault = statusFromCurrentException();
+        }
+        if (!JoinFault) {
+          DOpts.Observe.count("dynamic.joins_abandoned");
+          R.Warnings.push_back("join of nests " + std::to_string(E.U) +
+                               " and " + std::to_string(E.V) +
+                               " abandoned (" + JoinFault.str() + ")");
+          continue;
+        }
+        DOpts.Observe.count("dynamic.joins_attempted");
+        JoinTrial &T = Trials[I - Begin];
+        const bool TrialValid = T.Solved && T.RU == RU && T.RV == RV &&
+                                T.StampU == Stamp[RU] &&
+                                T.StampV == Stamp[RV];
+        PartitionResult JP;
+        if (TrialValid) {
+          if (Budget && T.B) {
+            // Re-apply the trial's consumption to the shared budget,
+            // exactly what an inline solve would have charged.
+            Budget->UsedEliminationSteps.fetch_add(
+                T.B->UsedEliminationSteps.load(std::memory_order_relaxed) -
+                    T.Steps0,
+                std::memory_order_relaxed);
+            Budget->UsedSolverIterations.fetch_add(
+                T.B->UsedSolverIterations.load(std::memory_order_relaxed) -
+                    T.Iters0,
+                std::memory_order_relaxed);
+          }
+          if (!T.Outcome) {
+            // The solver degrades itself on budget/overflow; what escapes
+            // is allocation failure building the joined graph. Same
+            // answer as a fault: abandon the join, keep both components.
+            DOpts.Observe.count("dynamic.joins_abandoned");
+            R.Warnings.push_back("join of nests " + std::to_string(E.U) +
+                                 " and " + std::to_string(E.V) +
+                                 " abandoned (" + T.Outcome.str() + ")");
+            continue;
+          }
+          JP = std::move(T.JP);
+        } else {
+          // No trial (serial path) or a stale one (an earlier accept in
+          // this chunk changed an endpoint's component): solve inline on
+          // the shared budget — the historical semantics.
+          std::vector<unsigned> Joined = Members(RU);
+          std::vector<unsigned> MV = Members(RV);
+          Joined.insert(Joined.end(), MV.begin(), MV.end());
+          try {
+            JP = Solve(Joined);
+          } catch (...) {
+            Status Why = statusFromCurrentException();
+            DOpts.Observe.count("dynamic.joins_abandoned");
+            R.Warnings.push_back("join of nests " + std::to_string(E.U) +
+                                 " and " + std::to_string(E.V) +
+                                 " abandoned (" + Why.str() + ")");
+            continue;
+          }
+        }
+        double JoinedBenefit = CM.totalBenefit(JP);
+        // Cross-component reorganization cost eliminated by the join.
+        double Saved = 0.0;
+        for (const CommEdge &Other : Edges)
+          if ((Find(Other.U) == RU && Find(Other.V) == RV) ||
+              (Find(Other.U) == RV && Find(Other.V) == RU))
+            Saved += Other.Weight;
+        double Delta = JoinedBenefit - Benefit[RU] - Benefit[RV] + Saved;
+        bool Accept = DOpts.Policy == JoinPolicy::ForceSingle || Delta > 0.0;
+        if (!Accept)
+          continue;
+        DOpts.Observe.count("dynamic.joins_kept");
+        Parent[RU] = RV;
+        ++Stamp[RV];
+        Parts[RV] = std::move(JP);
+        Benefit[RV] = JoinedBenefit;
+      }
+      Begin = End;
     }
   }
 

@@ -1,0 +1,137 @@
+//===- service/Server.h - The alpd compilation service ----------*- C++ -*-===//
+///
+/// \file
+/// The long-lived compilation daemon behind tools/alpd.cpp: a Unix-domain
+/// stream socket server that answers compile requests with the exact
+/// bytes the alpc CLI would produce, served from the process-wide
+/// DecompositionCache when the canonical request key repeats.
+///
+/// Line protocol (all replies end the header line with '\n'; payloads
+/// are length-prefixed and binary-safe):
+///
+///   PING                     -> PONG
+///   STATS                    -> STATS <len>\n<counters JSON>
+///   COMPILE <len>\n<payload> -> RESULT <exit> <hit|miss> <outlen>
+///                               <errlen>\n<stdout bytes><stderr bytes>
+///   QUIT                     -> BYE (connection closes)
+///   SHUTDOWN                 -> BYE (server drains and exits)
+///   anything else            -> ERR <message> (connection closes)
+///
+/// A COMPILE payload is one flags line (the semantic alpc flags, e.g.
+/// "--spmd --machine=touchstone --procs=64") followed by '\n' and the DSL
+/// source text. Requests whose source parses are keyed canonically
+/// (DecompositionCache.h) and answered from cache on repeats; parse
+/// failures bypass the cache. Connections may issue any number of
+/// commands.
+///
+/// Concurrency: one accept thread feeds a connection queue drained by the
+/// existing support/ThreadPool (each worker owns a connection at a time);
+/// every compile runs under a support/Supervisor for structured capture /
+/// retry and publishes the usual driver.* counters next to the service.*
+/// ones. Shutdown is cooperative and async-signal-safe (atomic flag +
+/// listen-fd close), so SIGTERM cannot hang the daemon mid-storm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_SERVICE_SERVER_H
+#define ALP_SERVICE_SERVER_H
+
+#include "service/DecompositionCache.h"
+#include "support/Metrics.h"
+#include "support/Status.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace alp {
+
+struct CompileRequest;
+
+/// Parses a service request's flags line (the semantic subset of alpc's
+/// table — everything except the CLI-only --trace/--stats/--failpoints/
+/// --help) into \p Req. On failure returns false with the reason in
+/// \p Err. Exposed for the service tests.
+bool parseServiceRequestFlags(const std::string &Line, CompileRequest &Req,
+                              std::string &Err);
+
+/// Daemon configuration.
+struct ServerOptions {
+  /// Filesystem path of the Unix-domain listening socket.
+  std::string SocketPath;
+  /// Worker threads draining connections; 0 = one per hardware thread.
+  unsigned Threads = 0;
+  /// Whole-cache entry bound (DecompositionCache).
+  size_t MaxCacheEntries = 4096;
+  /// When non-empty: load the cache image at start (fail-soft) and save
+  /// it at shutdown, both via atomic file replacement.
+  std::string CachePersistPath;
+  /// Pipeline wall-clock deadline imposed on every request in
+  /// milliseconds (0 = none); never loosens a tighter per-request value.
+  uint64_t RequestDeadlineMs = 0;
+  /// Supervisor attempts per compile (first run + retries).
+  unsigned CompileAttempts = 1;
+  /// Bump the cache generation every N compile requests, aging idle
+  /// entries toward eviction.
+  uint64_t GenerationEvery = 64;
+};
+
+/// The alpd server: start() binds and spawns the accept + worker threads,
+/// wait() blocks until shutdown (SHUTDOWN command or requestShutdown()).
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the socket and starts serving. InvalidInput on socket errors.
+  Status start();
+
+  /// Blocks until the server shuts down, then joins every thread and
+  /// (when configured) persists the cache.
+  void wait();
+
+  /// Initiates shutdown: stops accepting, drains queued connections, lets
+  /// in-flight requests finish. Async-signal-safe (atomic flag + close).
+  void requestShutdown();
+
+  MetricsRegistry &metrics() { return Metrics; }
+  DecompositionCache &cache() { return Cache; }
+  const ServerOptions &options() const { return Opts; }
+
+private:
+  void acceptLoop();
+  void drainConnections();
+  void handleConnection(int Fd);
+  /// Runs one COMPILE payload; fills the reply header fields and bytes.
+  void handleCompile(const std::string &Payload, int &Exit, bool &Hit,
+                     std::string &OutBytes, std::string &ErrBytes);
+
+  ServerOptions Opts;
+  MetricsRegistry Metrics;
+  DecompositionCache Cache;
+  std::unique_ptr<ThreadPool> Pool;
+
+  std::atomic<bool> Stop{false};
+  std::atomic<int> ListenFd{-1};
+  std::atomic<uint64_t> CompileCount{0};
+
+  std::mutex QueueMutex;
+  std::condition_variable QueueCV;
+  std::deque<int> ConnQueue;
+  bool Draining = false; ///< Set once the accept loop exits.
+
+  std::thread AcceptThread;
+  std::thread WorkerThread;
+};
+
+} // namespace alp
+
+#endif // ALP_SERVICE_SERVER_H

@@ -1,0 +1,105 @@
+//===- support/CliFlags.cpp - Table-driven command-line parsing --------------===//
+
+#include "support/CliFlags.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace alp;
+
+bool alp::parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty() || S[0] == '-')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+  if (errno != 0 || End == S.c_str() || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+void alp::printUsage(const CliParser &P) {
+  std::fprintf(stderr, "usage: %s %s  (see %s --help)\n", P.Prog, P.Operands,
+               P.Prog);
+}
+
+void alp::printHelp(const CliParser &P) {
+  std::printf("usage: %s %s\n\n"
+              "%s\n\n"
+              "Value flags accept both --flag=value and --flag value.\n\n"
+              "options:\n",
+              P.Prog, P.Operands, P.Overview);
+  size_t Width = 0;
+  auto Rendered = [](const FlagSpec &F) {
+    std::string S = F.Name;
+    if (F.Arg)
+      S += std::string("=<") + F.Arg + ">";
+    return S;
+  };
+  for (const FlagSpec &F : P.Table)
+    Width = std::max(Width, Rendered(F).size());
+  for (const FlagSpec &F : P.Table)
+    std::printf("  %-*s  %s\n", static_cast<int>(Width), Rendered(F).c_str(),
+                F.Help);
+}
+
+CliAction alp::parseCommandLine(const CliParser &P, int argc, char **argv,
+                                std::vector<std::string> &Positionals) {
+  for (int I = 1; I != argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--help" || A == "-h") {
+      printHelp(P);
+      return CliAction::ExitSuccess;
+    }
+    if (A.rfind("--", 0) != 0) {
+      if (!A.empty() && A[0] == '-') {
+        std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
+        printUsage(P);
+        return CliAction::ExitUsage;
+      }
+      Positionals.push_back(A);
+      continue;
+    }
+    std::string Name = A, Value;
+    bool HasValue = false;
+    if (size_t Eq = A.find('='); Eq != std::string::npos) {
+      Name = A.substr(0, Eq);
+      Value = A.substr(Eq + 1);
+      HasValue = true;
+    }
+    const FlagSpec *Spec = nullptr;
+    for (const FlagSpec &F : P.Table)
+      if (Name == F.Name) {
+        Spec = &F;
+        break;
+      }
+    if (!Spec) {
+      std::fprintf(stderr, "unknown option '%s'\n", Name.c_str());
+      printUsage(P);
+      return CliAction::ExitUsage;
+    }
+    if (!Spec->Arg) {
+      if (HasValue) {
+        std::fprintf(stderr, "option '%s' takes no value\n", Name.c_str());
+        printUsage(P);
+        return CliAction::ExitUsage;
+      }
+    } else if (!HasValue) {
+      if (I + 1 == argc) {
+        std::fprintf(stderr, "option '%s' requires a value\n", Name.c_str());
+        printUsage(P);
+        return CliAction::ExitUsage;
+      }
+      Value = argv[++I];
+    }
+    if (!Spec->Apply(Value)) {
+      std::fprintf(stderr, "invalid value '%s' for option '%s'\n",
+                   Value.c_str(), Name.c_str());
+      printUsage(P);
+      return CliAction::ExitUsage;
+    }
+  }
+  return CliAction::Proceed;
+}

@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "DecomposeForTest.h"
 #include "core/Driver.h"
 #include "frontend/Lowering.h"
 #include "linalg/Matrix.h"
@@ -212,9 +213,9 @@ void expectZeroSteadyStateAllocs(const std::string &Path) {
   MachineParams M;
   DriverOptions Opts;
   Opts.Jobs = 2;
-  decompose(P, M, Opts); // Warm-up: thread-local arenas grow their blocks.
+  decomposeForTest(P, M, Opts); // Warm-up: thread-local arenas grow their blocks.
   const uint64_t SpillsBefore = containerHeapSpills();
-  decompose(P, M, Opts);
+  decomposeForTest(P, M, Opts);
   EXPECT_EQ(containerHeapSpills() - SpillsBefore, 0u)
       << "linalg containers hit the heap in steady state for " << Path;
 }

@@ -2,6 +2,7 @@
 
 #include "codegen/SpmdEmitter.h"
 
+#include "DecomposeForTest.h"
 #include "core/Driver.h"
 #include "frontend/Lowering.h"
 
@@ -34,7 +35,7 @@ forall i = 0 to N {
 }
 )");
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   std::string S = emitSpmd(P, PD);
   EXPECT_NE(S.find("spmd rows(me)"), std::string::npos) << S;
   EXPECT_NE(S.find("for i = mine(me, 0, N)"), std::string::npos) << S;
@@ -62,7 +63,7 @@ for t = 1 to T {
 }
 )");
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   std::string S = emitSpmd(P, PD);
   EXPECT_NE(S.find("wait_for(me - 1"), std::string::npos) << S;
   EXPECT_NE(S.find("signal(me + 1"), std::string::npos) << S;
@@ -91,7 +92,7 @@ forall j = 0 to N {
   MachineParams M;
   DriverOptions Opts;
   Opts.EnableBlocking = false; // Force reorganization instead of pipeline.
-  ProgramDecomposition PD = decompose(P, M, Opts);
+  ProgramDecomposition PD = decomposeForTest(P, M, Opts);
   if (!PD.isStatic()) {
     std::string S = emitSpmd(P, PD);
     EXPECT_NE(S.find("reorganize(X:"), std::string::npos) << S;
@@ -108,7 +109,7 @@ for i = 1 to N {
 }
 )");
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   std::string S = emitSpmd(P, PD);
   EXPECT_NE(S.find("if (me == 0)"), std::string::npos) << S;
   EXPECT_NE(S.find("[sequential]"), std::string::npos) << S;
@@ -126,7 +127,7 @@ forall i = 0 to N {
 }
 )");
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   std::string S = emitSpmd(P, PD);
   EXPECT_NE(S.find("// place A: replicated"), std::string::npos) << S;
 }
@@ -143,7 +144,7 @@ if prob(0.9) {
 }
 )");
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   std::string S = emitSpmd(P, PD);
   EXPECT_NE(S.find("if (expr) {  // taken with p = 0.9"), std::string::npos)
       << S;

@@ -2,6 +2,7 @@
 
 #include "codegen/CommAnalysis.h"
 
+#include "DecomposeForTest.h"
 #include "core/Driver.h"
 #include "frontend/Lowering.h"
 
@@ -32,7 +33,7 @@ for i1 = 1 to N { for i2 = 1 to N {
   Z[i1, i2] = Z[i1, i2 - 1] + Y[i2, i1 - 1]; } }
 )");
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   CommSummary CS = analyzeCommunication(P, PD);
   EXPECT_TRUE(CS.isCommunicationFree());
   // Every access local or at worst a shift: Z[i1, i2-1] shifts within
@@ -55,7 +56,7 @@ forall i = 1 to N {
   MachineParams M;
   DriverOptions Opts;
   Opts.EnableReplication = false; // Keep A distributed, not replicated.
-  ProgramDecomposition PD = decompose(P, M, Opts);
+  ProgramDecomposition PD = decomposeForTest(P, M, Opts);
   CommSummary CS = analyzeCommunication(P, PD);
   EXPECT_EQ(CS.count(CommKind::NearestNeighbor), 1u);
   EXPECT_EQ(CS.count(CommKind::Reorganization), 0u);
@@ -76,7 +77,7 @@ for t = 1 to T {
 }
 )");
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   CommSummary CS = analyzeCommunication(P, PD);
   EXPECT_TRUE(CS.isCommunicationFree());
   EXPECT_EQ(CS.count(CommKind::Pipelined), 2u);
@@ -98,7 +99,7 @@ forall i = 0 to N {
 }
 )");
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   CommSummary CS = analyzeCommunication(P, PD);
   EXPECT_EQ(CS.count(CommKind::Broadcast), 2u); // A and B.
   EXPECT_EQ(CS.count(CommKind::Reorganization), 0u);
@@ -117,7 +118,7 @@ forall j = 0 to N { for i = 1 to N {
   MachineParams M;
   DriverOptions Opts;
   Opts.EnableBlocking = false; // Force the reorganize path.
-  ProgramDecomposition PD = decompose(P, M, Opts);
+  ProgramDecomposition PD = decomposeForTest(P, M, Opts);
   if (!PD.isStatic()) {
     CommSummary CS = analyzeCommunication(P, PD);
     EXPECT_FALSE(CS.isCommunicationFree());
@@ -137,7 +138,7 @@ forall i = 1 to N {
   MachineParams M;
   DriverOptions Opts;
   Opts.EnableReplication = false;
-  ProgramDecomposition PD = decompose(P, M, Opts);
+  ProgramDecomposition PD = decomposeForTest(P, M, Opts);
   std::string R = analyzeCommunication(P, PD).report(P);
   EXPECT_NE(R.find("nearest-neighbor"), std::string::npos) << R;
   EXPECT_NE(R.find("totals:"), std::string::npos) << R;

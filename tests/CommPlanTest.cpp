@@ -11,6 +11,7 @@
 
 #include "codegen/CommPlan.h"
 
+#include "DecomposeForTest.h"
 #include "core/Driver.h"
 #include "frontend/Lowering.h"
 #include "machine/NumaSimulator.h"
@@ -93,7 +94,7 @@ TEST(CommPlanTest, JacobiPlansOneShiftPerBoundaryLayer) {
   // boundary) and the copy-back reads one layer of B. Nothing broadcasts,
   // nothing reorganizes.
   Program P = compileFile("jacobi.alp");
-  ProgramDecomposition PD = decompose(P, touchstone());
+  ProgramDecomposition PD = decomposeForTest(P, touchstone());
   CommPlan Plan = planCommunication(P, PD,
                                     CodegenOptions::forMachine(touchstone()));
 
@@ -114,7 +115,7 @@ TEST(CommPlanTest, TrisolvePlanHoistsTheMatrixBroadcast) {
   // examples/trisolve.alp: L is replicated read-only, so its two reads
   // become ONE prologue broadcast; X and B align with the distribution.
   Program P = compileFile("trisolve.alp");
-  ProgramDecomposition PD = decompose(P, touchstone());
+  ProgramDecomposition PD = decomposeForTest(P, touchstone());
   CommPlan Plan = planCommunication(P, PD,
                                     CodegenOptions::forMachine(touchstone()));
 
@@ -135,7 +136,7 @@ TEST(CommPlanTest, PipelinedStencilAggregatesIntoBlockBoundaries) {
   // block-boundary message stream per array: the frontier of a block
   // moves once per block, not once per access.
   Program P = compile(pipelinedStencil());
-  ProgramDecomposition PD = decompose(P, touchstone());
+  ProgramDecomposition PD = decomposeForTest(P, touchstone());
   CodegenOptions Opts = CodegenOptions::forMachine(touchstone());
   CommPlan Plan = planCommunication(P, PD, Opts);
 
@@ -160,7 +161,7 @@ TEST(CommPlanTest, PipelinedStencilAggregatesIntoBlockBoundaries) {
 
 TEST(CommPlanTest, AggregateShiftsToggle) {
   Program P = compile(pipelinedStencil());
-  ProgramDecomposition PD = decompose(P, touchstone());
+  ProgramDecomposition PD = decomposeForTest(P, touchstone());
   CodegenOptions On = CodegenOptions::forMachine(touchstone());
   CodegenOptions Off = On;
   Off.AggregateShifts = false;
@@ -177,7 +178,7 @@ TEST(CommPlanTest, AggregateShiftsToggle) {
 
 TEST(CommPlanTest, HoistBroadcastsToggle) {
   Program P = compileFile("trisolve.alp");
-  ProgramDecomposition PD = decompose(P, touchstone());
+  ProgramDecomposition PD = decomposeForTest(P, touchstone());
   CodegenOptions On = CodegenOptions::forMachine(touchstone());
   CodegenOptions Off = On;
   Off.HoistBroadcasts = false;
@@ -203,7 +204,7 @@ TEST(CommPlanTest, ElideRedundantTransfersToggle) {
   // layout the array already has: elision drops it; with the rule off it
   // is planned (and the simulator would pay for it).
   Program P = compileFile("jacobi.alp");
-  ProgramDecomposition PD = decompose(P, touchstone());
+  ProgramDecomposition PD = decomposeForTest(P, touchstone());
   ASSERT_TRUE(PD.Reorganizations.empty());
   ReorganizationPoint RP;
   RP.ArrayId = 0;
@@ -233,7 +234,7 @@ TEST(CommPlanTest, ElideRedundantTransfersToggle) {
 
 TEST(CommPlanTest, OverlapPipelinedToggle) {
   Program P = compile(pipelinedStencil());
-  ProgramDecomposition PD = decompose(P, touchstone());
+  ProgramDecomposition PD = decomposeForTest(P, touchstone());
   CodegenOptions On = CodegenOptions::forMachine(touchstone());
   CodegenOptions Off = On;
   Off.OverlapPipelined = false;
@@ -251,7 +252,7 @@ TEST(CommPlanTest, OverlapPipelinedToggle) {
 
 TEST(CommPlanTest, ScheduleLoweringPreservesEveryOp) {
   Program P = compileFile("trisolve.alp");
-  ProgramDecomposition PD = decompose(P, touchstone());
+  ProgramDecomposition PD = decomposeForTest(P, touchstone());
   CommPlan Plan = planCommunication(P, PD,
                                     CodegenOptions::forMachine(touchstone()));
   CommSchedule Sched = Plan.schedule();
@@ -274,7 +275,7 @@ TEST(CommPlanTest, ScheduleLoweringPreservesEveryOp) {
 
 TEST(CommPlanTest, PublishesCommCounters) {
   Program P = compileFile("jacobi.alp");
-  ProgramDecomposition PD = decompose(P, touchstone());
+  ProgramDecomposition PD = decomposeForTest(P, touchstone());
   MetricsRegistry Metrics;
   CodegenOptions Opts = CodegenOptions::forMachine(touchstone());
   Opts.Observe.Metrics = &Metrics;
@@ -292,7 +293,7 @@ TEST(CommPlanTest, PublishesCommCounters) {
 
 TEST(CommPlanTest, ReportIsDeterministic) {
   Program P = compileFile("jacobi.alp");
-  ProgramDecomposition PD = decompose(P, touchstone());
+  ProgramDecomposition PD = decomposeForTest(P, touchstone());
   CodegenOptions Opts = CodegenOptions::forMachine(touchstone());
   EXPECT_EQ(planCommunication(P, PD, Opts).report(P),
             planCommunication(P, PD, Opts).report(P));
@@ -308,7 +309,7 @@ TEST(CommPlanTest, PlannedScheduleBeatsFineGrainedOnTouchstone) {
   // the demand-driven fine-grained baseline on Jacobi.
   Program P = compileFile("jacobi.alp");
   MachineParams M = touchstone();
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
 
   NumaSimulator Fine(P, M);
   applyDecomposition(Fine, P, PD);
@@ -330,7 +331,7 @@ TEST(CommPlanTest, UniprocessorIgnoresTheSchedule) {
   // message overhead when there is no one to talk to.
   Program P = compileFile("jacobi.alp");
   MachineParams M = touchstone();
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   NumaSimulator Sim(P, M);
   Sim.setCommSchedule(
       planCommunication(P, PD, CodegenOptions::forMachine(M)).schedule());
@@ -343,7 +344,7 @@ TEST(CommPlanTest, DashMachineIgnoresTheSchedule) {
   // cycle counts are unchanged whether or not one is installed.
   Program P = compileFile("jacobi.alp");
   MachineParams M; // DASH-like defaults.
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
 
   NumaSimulator Plain(P, M);
   applyDecomposition(Plain, P, PD);

@@ -1,0 +1,188 @@
+//===- tests/CompileSessionTest.cpp - CLI-vs-library equivalence ----------===//
+//
+// The CompileSession contract (core/CompileSession.h): run(Req, Out, Err)
+// writes to its two streams exactly the bytes the alpc CLI writes to
+// stdout/stderr for the same selections, and returns the CLI exit code.
+// These tests hold the library against the real binary over the shipped
+// program corpus, so the extraction can never silently drift from the CLI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CompileSession.h"
+#include "frontend/Lowering.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+using namespace alp;
+
+namespace {
+
+std::string readFileOrEmpty(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+struct CliRun {
+  int ExitCode = -1;
+  std::string Out;
+  std::string Err;
+};
+
+/// Runs the installed alpc binary on \p File with \p Flags, capturing both
+/// streams and the exit code.
+CliRun runCli(const std::string &File, const std::string &Flags) {
+  const std::string ErrPath =
+      std::string(::testing::TempDir()) + "/alpc_session_test.stderr";
+  std::string Cmd = std::string("'") + ALP_ALPC_PATH + "' '" + File + "'";
+  if (!Flags.empty())
+    Cmd += " " + Flags;
+  Cmd += " 2>'" + ErrPath + "'";
+
+  CliRun R;
+  std::FILE *Pipe = popen(Cmd.c_str(), "r");
+  if (!Pipe) {
+    ADD_FAILURE() << "popen failed for: " << Cmd;
+    return R;
+  }
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    R.Out.append(Buf, N);
+  int RC = pclose(Pipe);
+  R.ExitCode = WIFEXITED(RC) ? WEXITSTATUS(RC) : -1;
+  R.Err = readFileOrEmpty(ErrPath);
+  std::remove(ErrPath.c_str());
+  return R;
+}
+
+struct LibRun {
+  CompileResult Result;
+  std::string Out;
+  std::string Err;
+};
+
+/// Runs the library pipeline for \p Req with open_memstream capture — the
+/// exact mechanism the alpd service uses.
+LibRun runLib(const CompileRequest &Req) {
+  LibRun R;
+  char *OutBuf = nullptr, *ErrBuf = nullptr;
+  size_t OutLen = 0, ErrLen = 0;
+  std::FILE *Out = open_memstream(&OutBuf, &OutLen);
+  std::FILE *Err = open_memstream(&ErrBuf, &ErrLen);
+  R.Result = CompileSession::run(Req, Out, Err);
+  std::fclose(Out);
+  std::fclose(Err);
+  R.Out.assign(OutBuf, OutLen);
+  R.Err.assign(ErrBuf, ErrLen);
+  std::free(OutBuf);
+  std::free(ErrBuf);
+  return R;
+}
+
+CompileRequest requestFor(const std::string &Path) {
+  CompileRequest Req;
+  Req.FileName = Path;
+  Req.Source = readFileOrEmpty(Path);
+  return Req;
+}
+
+/// The corpus: every shipped example plus the testdata programs the CLI
+/// smoke tests exercise.
+std::vector<std::string> corpus() {
+  return {
+      std::string(ALP_EXAMPLES_DIR) + "/jacobi.alp",
+      std::string(ALP_EXAMPLES_DIR) + "/trisolve.alp",
+      std::string(ALP_TESTDATA_DIR) + "/fig1.alp",
+      std::string(ALP_TESTDATA_DIR) + "/adi.alp",
+      std::string(ALP_TESTDATA_DIR) + "/matmul.alp",
+      std::string(ALP_TESTDATA_DIR) + "/conduct.alp",
+  };
+}
+
+void expectCliMatchesLibrary(const std::string &Path, const std::string &Flags,
+                             const CompileRequest &Req) {
+  SCOPED_TRACE(Path + " " + Flags);
+  CliRun Cli = runCli(Path, Flags);
+  LibRun Lib = runLib(Req);
+  EXPECT_EQ(Cli.ExitCode, Lib.Result.ExitCode);
+  EXPECT_EQ(Cli.Out, Lib.Out);
+  EXPECT_EQ(Cli.Err, Lib.Err);
+}
+
+TEST(CompileSessionTest, DefaultPipelineMatchesCliOnCorpus) {
+  for (const std::string &Path : corpus())
+    expectCliMatchesLibrary(Path, "", requestFor(Path));
+}
+
+TEST(CompileSessionTest, SpmdAndCommMatchCliOnCorpus) {
+  for (const std::string &Path : corpus()) {
+    CompileRequest Req = requestFor(Path);
+    Req.DoSpmd = true;
+    Req.DoComm = true;
+    expectCliMatchesLibrary(Path, "--spmd --comm", Req);
+  }
+}
+
+TEST(CompileSessionTest, LintMatchesCli) {
+  const std::string Path = std::string(ALP_EXAMPLES_DIR) + "/jacobi.alp";
+  CompileRequest Req = requestFor(Path);
+  Req.DoLint = true;
+  expectCliMatchesLibrary(Path, "--lint", Req);
+}
+
+TEST(CompileSessionTest, RepeatRunsAreByteIdentical) {
+  CompileRequest Req =
+      requestFor(std::string(ALP_EXAMPLES_DIR) + "/jacobi.alp");
+  Req.DoSpmd = true;
+  LibRun A = runLib(Req);
+  LibRun B = runLib(Req);
+  EXPECT_EQ(A.Result.ExitCode, B.Result.ExitCode);
+  EXPECT_EQ(A.Out, B.Out);
+  EXPECT_EQ(A.Err, B.Err);
+}
+
+TEST(CompileSessionTest, ParseFailureIsExitOneWithDiagnostics) {
+  CompileRequest Req;
+  Req.FileName = "<broken>";
+  Req.Source = "program broken; for i = 0 to {";
+  LibRun R = runLib(Req);
+  EXPECT_EQ(R.Result.ExitCode, 1);
+  EXPECT_FALSE(R.Err.empty());
+  EXPECT_FALSE(R.Result.Decomposition.has_value());
+}
+
+TEST(CompileSessionTest, StatsArtifactCarriesSchemaHeader) {
+  CompileRequest Req =
+      requestFor(std::string(ALP_EXAMPLES_DIR) + "/jacobi.alp");
+  Req.WantStats = true;
+  LibRun R = runLib(Req);
+  EXPECT_EQ(R.Result.ExitCode, 0);
+  ASSERT_TRUE(R.Result.Artifacts.HasStats);
+  EXPECT_NE(R.Result.Artifacts.StatsJson.find("\"schema_version\": 1"),
+            std::string::npos);
+}
+
+TEST(CompileSessionTest, StructuredResultCarriesDecomposition) {
+  CompileRequest Req =
+      requestFor(std::string(ALP_TESTDATA_DIR) + "/fig1.alp");
+  Req.DoSpmd = true;
+  LibRun R = runLib(Req);
+  EXPECT_EQ(R.Result.ExitCode, 0);
+  ASSERT_TRUE(R.Result.Decomposition.has_value());
+  EXPECT_FALSE(R.Result.DecompositionReport.empty());
+  EXPECT_FALSE(R.Result.SpmdText.empty());
+  // The stream carries exactly what the structured result carries.
+  EXPECT_NE(R.Out.find(R.Result.DecompositionReport), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,38 @@
+//===- tests/DecomposeForTest.h - Shared driver-test helper -----*- C++ -*-===//
+///
+/// \file
+/// The one way tests run the decomposition pipeline. The library entry
+/// point is decomposeOrError (core/Driver.h) — the old fatal decompose()
+/// wrapper is gone — and tests want its hard failures reported through
+/// GTest rather than aborting the binary, so every test file funnels
+/// through this helper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_TESTS_DECOMPOSEFORTEST_H
+#define ALP_TESTS_DECOMPOSEFORTEST_H
+
+#include "core/Driver.h"
+
+#include <gtest/gtest.h>
+
+namespace alp {
+
+/// Runs the pipeline and returns the decomposition; a hard failure (the
+/// degradation-proof kind decomposeOrError reports as a Status) records a
+/// non-fatal GTest failure and returns an empty decomposition, letting
+/// the calling test fail with the cause on record.
+inline ProgramDecomposition decomposeForTest(Program &P,
+                                             const MachineParams &Machine,
+                                             const DriverOptions &Opts = {}) {
+  Expected<ProgramDecomposition> PD = decomposeOrError(P, Machine, Opts);
+  if (!PD.hasValue()) {
+    ADD_FAILURE() << "decomposition failed: " << PD.status().str();
+    return ProgramDecomposition{};
+  }
+  return PD.takeValue();
+}
+
+} // namespace alp
+
+#endif // ALP_TESTS_DECOMPOSEFORTEST_H

@@ -1,5 +1,6 @@
 //===- tests/DynamicTest.cpp - Dynamic decomposition tests (Sec. 6) --------===//
 
+#include "DecomposeForTest.h"
 #include "core/Driver.h"
 
 #include "frontend/Lowering.h"
@@ -111,7 +112,7 @@ TEST(DynamicTest, Figure5FinalDecompositions) {
   MachineParams M;
   DriverOptions Opts;
   Opts.EnableBlocking = false;
-  ProgramDecomposition PD = decompose(P, M, Opts);
+  ProgramDecomposition PD = decomposeForTest(P, M, Opts);
 
   unsigned X = P.arrayId("X"), Y = P.arrayId("Y");
   // Figure 5(c): in the big component d_X = d_Y = [1 0] a (rows to
@@ -205,7 +206,7 @@ for i1 = 1 to N {
 }
 )");
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   EXPECT_TRUE(PD.isStatic());
   EXPECT_EQ(PD.ComponentOf.at(0), PD.ComponentOf.at(1));
   EXPECT_EQ(PD.VirtualDims, 1u);
@@ -230,7 +231,7 @@ for t = 1 to T {
 }
 )");
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   // The paper's headline result: pipelining beats reorganizing. Both
   // nests join one component with blocked decompositions.
   EXPECT_TRUE(PD.isStatic());
@@ -254,7 +255,7 @@ forall i = 0 to N {
 }
 )");
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   unsigned A = P.arrayId("A");
   EXPECT_EQ(PD.compOf(0).parallelismDegree(), 2u);
   ASSERT_TRUE(PD.ReplicatedDims.count(A));
@@ -281,7 +282,7 @@ forall i = 0 to N {
 )");
   MachineParams M;
   DriverOptions Opts;
-  ProgramDecomposition PD = decompose(P, M, Opts);
+  ProgramDecomposition PD = decomposeForTest(P, M, Opts);
   if (PD.ComponentOf.at(0) == PD.ComponentOf.at(1)) {
     // Joined: projection limits the processor space to 1 dimension.
     EXPECT_EQ(PD.compOf(1).C.rows(), PD.compOf(0).C.rows());
@@ -301,7 +302,7 @@ TEST(DriverTest, PrintDecompositionMentionsEverything) {
   MachineParams M;
   DriverOptions Opts;
   Opts.EnableBlocking = false;
-  ProgramDecomposition PD = decompose(P, M, Opts);
+  ProgramDecomposition PD = decomposeForTest(P, M, Opts);
   std::string S = printDecomposition(P, PD);
   EXPECT_NE(S.find("nest 0"), std::string::npos);
   EXPECT_NE(S.find("array X"), std::string::npos);

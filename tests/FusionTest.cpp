@@ -2,6 +2,7 @@
 
 #include "core/Fusion.h"
 
+#include "DecomposeForTest.h"
 #include "core/Driver.h"
 #include "frontend/Lowering.h"
 
@@ -150,8 +151,8 @@ forall i = 0 to N {
 }
 )");
   MachineParams M;
-  Program Q = P; // decompose() runs the local phase in place.
-  ProgramDecomposition PD = decompose(Q, M, {});
+  Program Q = P; // The pipeline runs the local phase in place.
+  ProgramDecomposition PD = decomposeForTest(Q, M, {});
   bool SameDecomp = PD.compOf(0).C == PD.compOf(1).C;
   unsigned Fused = fuseCompatibleNests(Q, &PD);
   if (SameDecomp)

@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "codegen/CommAnalysis.h"
+#include "DecomposeForTest.h"
 #include "core/Driver.h"
 #include "core/Verify.h"
 #include "frontend/Lowering.h"
@@ -36,7 +37,7 @@ struct Result {
 Result run(const std::string &Src) {
   Result R{compile(Src), {}};
   MachineParams M;
-  R.PD = decompose(R.P, M);
+  R.PD = decomposeForTest(R.P, M);
   for (const Diagnostic &D : verifyDecompositionDiagnostics(R.P, R.PD))
     ADD_FAILURE() << D.str();
   return R;

@@ -14,6 +14,7 @@
 #include "analysis/ScheduleModel.h"
 
 #include "codegen/CommPlan.h"
+#include "DecomposeForTest.h"
 #include "core/Driver.h"
 #include "frontend/Lowering.h"
 
@@ -71,7 +72,7 @@ ModelFixture buildFixture(Program Prog, MiscompileMode Mode,
                           long MaxBlocksPerNest = 48) {
   ModelFixture F{std::move(Prog), {}, {}, {}};
   MachineParams M;
-  F.PD = decompose(F.P, M);
+  F.PD = decomposeForTest(F.P, M);
   CodegenOptions CG = CodegenOptions::forMachine(M);
   CG.Miscompile = Mode;
   F.Plan = planCommunication(F.P, F.PD, CG);
@@ -100,7 +101,7 @@ bool hasUnchecked(const LintResult &R, const std::string &Prefix) {
 LintResult lintSchedule(Program P, MiscompileMode Mode,
                         ResourceBudget *Budget = nullptr) {
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   LintOptions LO;
   LO.CheckRaces = false;
   LO.CheckModel = false;

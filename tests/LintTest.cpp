@@ -10,6 +10,7 @@
 
 #include "analysis/Lint.h"
 
+#include "DecomposeForTest.h"
 #include "core/Driver.h"
 #include "core/Verify.h"
 #include "frontend/Lowering.h"
@@ -462,7 +463,7 @@ LintResult lintDecomp(const Program &P, const ProgramDecomposition &PD) {
 TEST(LintDecompTest, ConsistentPipelineOutputIsClean) {
   Program P = compile(Fig1Src);
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   LintResult R = lintDecomp(P, PD);
   EXPECT_EQ(R.Diags.size(), 0u) << renderLintText(R);
 }
@@ -473,7 +474,7 @@ TEST(LintDecompTest, DivergentBlockSizeIsFlagged) {
   // block boundaries disagree), so the lint warns.
   Program P = compile(Fig1Src);
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   LintOptions Opts;
   Opts.CheckRaces = false;
   Opts.CheckModel = false;
@@ -496,7 +497,7 @@ TEST(LintDecompTest, DivergentBlockSizeIsFlagged) {
 TEST(LintDecompTest, CorruptedOrientationTripsTheorem41) {
   Program P = compile(Fig1Src);
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   PD.Comp.begin()->second.C = PD.Comp.begin()->second.C.scaled(Rational(3));
   LintResult R = lintDecomp(P, PD);
   EXPECT_TRUE(R.hasErrors());
@@ -520,7 +521,7 @@ TEST(LintDecompTest, EmptyDecompositionNoLongerVerifiesVacuously) {
 TEST(LintDecompTest, MissingDataDecompositionBreaksSpmdCoverage) {
   Program P = compile(Fig1Src);
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   // Drop one array's layout at one nest: its accesses lose both their
   // Theorem 4.1 witness and their communication classification.
   unsigned Y = P.arrayId("Y");
@@ -548,7 +549,7 @@ forall i1 = 0 to N { forall i2 = 0 to N {
   Y[i1, i2] = f6(X[i1, i2], Y[i1, i2]) @cost(40); } }
 )");
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   LintResult R = lintDecomp(P, PD);
   EXPECT_EQ(countPass(R, "decomp.spmd-coverage"), 0u) << renderLintText(R);
 }

@@ -1,5 +1,6 @@
 //===- tests/MultiLevelTest.cpp - Sec. 6.4 multi-level driver tests --------===//
 
+#include "DecomposeForTest.h"
 #include "core/Driver.h"
 #include "core/Verify.h"
 
@@ -89,7 +90,7 @@ for t = 1 to T {
   MachineParams M;
   DriverOptions Opts;
   Opts.MultiLevel = true;
-  ProgramDecomposition PD = decompose(P, M, Opts);
+  ProgramDecomposition PD = decomposeForTest(P, M, Opts);
   for (const Diagnostic &D : verifyDecompositionDiagnostics(P, PD))
     ADD_FAILURE() << D.str();
   // The whole time loop keeps one static layout.

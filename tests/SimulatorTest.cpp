@@ -3,6 +3,7 @@
 #include "machine/NumaSimulator.h"
 #include "machine/ScheduleDerivation.h"
 
+#include "DecomposeForTest.h"
 #include "core/Driver.h"
 #include "frontend/Lowering.h"
 
@@ -248,7 +249,7 @@ for t = 1 to T {
 TEST(ScheduleDerivationTest, ForallFromDecomposition) {
   Program P = compile(RowSweepSrc);
   MachineParams M = dashParams();
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   const CompDecomposition &CD = PD.compOf(0);
   NestSchedule S = deriveSchedule(P.nest(0), CD, 4);
   EXPECT_EQ(S.ExecMode, NestSchedule::Mode::Forall);
@@ -274,7 +275,7 @@ for t = 1 to T {
 }
 )");
   MachineParams M = dashParams();
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   ASSERT_TRUE(PD.compOf(0).isBlocked());
   NestSchedule S0 = deriveSchedule(P.nest(0), PD.compOf(0), 4);
   NestSchedule S1 = deriveSchedule(P.nest(1), PD.compOf(1), 4);
@@ -301,7 +302,7 @@ TEST(SimulatorTest, EndToEndDecomposedRunBeatsNaive) {
   // compare against a deliberately bad configuration.
   Program P = compile(RowSweepSrc);
   MachineParams M = dashParams();
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
 
   NumaSimulator Good(P, M);
   applyDecomposition(Good, P, PD);

@@ -6,6 +6,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "DecomposeForTest.h"
 #include "core/Driver.h"
 #include "core/Verify.h"
 #include "frontend/Lowering.h"
@@ -49,7 +50,7 @@ TEST_P(TestDataTest, CompilesDecomposesAndVerifies) {
   ASSERT_TRUE(P.has_value()) << GetParam() << "\n" << Diags.str();
 
   MachineParams M;
-  ProgramDecomposition PD = decompose(*P, M);
+  ProgramDecomposition PD = decomposeForTest(*P, M);
   for (const Diagnostic &D : verifyDecompositionDiagnostics(*P, PD))
     ADD_FAILURE() << GetParam() << ": " << D.str();
   // Every shipped sample exposes at least one degree of parallelism.

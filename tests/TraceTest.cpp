@@ -6,6 +6,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "DecomposeForTest.h"
 #include "core/Driver.h"
 #include "frontend/Lowering.h"
 #include "support/FailPoint.h"
@@ -135,7 +136,7 @@ TEST(TraceTest, WorkerSpansNestUnderPhasesWithJobs) {
   DriverOptions Opts;
   Opts.Jobs = 4;
   Opts.Observe = {&Trace, &Metrics};
-  decompose(P, M, Opts);
+  decomposeForTest(P, M, Opts);
 
   std::vector<Tracer::Event> Evs = Trace.events();
   ASSERT_FALSE(Evs.empty());
@@ -174,7 +175,7 @@ TEST(TraceTest, ChromeTraceIsWellFormed) {
   Tracer Trace;
   DriverOptions Opts;
   Opts.Observe.Trace = &Trace;
-  decompose(P, M, Opts);
+  decomposeForTest(P, M, Opts);
 
   std::ostringstream OS;
   Trace.writeChromeTrace(OS);
@@ -230,7 +231,7 @@ TEST(TraceTest, CountersIdenticalAcrossJobs) {
     DriverOptions Opts;
     Opts.Jobs = JobCounts[Run];
     Opts.Observe.Metrics = &Metrics;
-    decompose(P, M, Opts);
+    decomposeForTest(P, M, Opts);
     Renders[Run] = Metrics.renderCountersJson();
   }
   // The determinism contract: counter payloads are byte-identical for
@@ -250,7 +251,7 @@ TEST(TraceTest, StatsGoldenCountersForFig1) {
   DriverOptions Opts;
   Opts.Jobs = 2;
   Opts.Observe.Metrics = &Metrics;
-  decompose(P, M, Opts);
+  decomposeForTest(P, M, Opts);
   // alpc publishes the process-wide fault-injection total alongside the
   // pipeline counters (and the golden is regenerated through alpc), so
   // mirror it here; it is 0 when nothing is armed.

@@ -8,6 +8,7 @@
 
 #include "core/Verify.h"
 
+#include "DecomposeForTest.h"
 #include "core/Driver.h"
 #include "frontend/Lowering.h"
 
@@ -96,7 +97,7 @@ class VerifySuiteTest : public ::testing::TestWithParam<unsigned> {};
 TEST_P(VerifySuiteTest, DriverOutputIsConsistent) {
   Program P = compile(Suite[GetParam()]);
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   for (const Diagnostic &D : verifyDecompositionDiagnostics(P, PD))
     ADD_FAILURE() << D.str();
 }
@@ -106,7 +107,7 @@ TEST_P(VerifySuiteTest, DriverOutputConsistentWithoutBlocking) {
   MachineParams M;
   DriverOptions Opts;
   Opts.EnableBlocking = false;
-  ProgramDecomposition PD = decompose(P, M, Opts);
+  ProgramDecomposition PD = decomposeForTest(P, M, Opts);
   for (const Diagnostic &D : verifyDecompositionDiagnostics(P, PD))
     ADD_FAILURE() << D.str();
 }
@@ -117,7 +118,7 @@ TEST_P(VerifySuiteTest, DriverOutputConsistentWithoutOptimizations) {
   DriverOptions Opts;
   Opts.EnableReplication = false;
   Opts.EnableIdleProjection = false;
-  ProgramDecomposition PD = decompose(P, M, Opts);
+  ProgramDecomposition PD = decomposeForTest(P, M, Opts);
   for (const Diagnostic &D : verifyDecompositionDiagnostics(P, PD))
     ADD_FAILURE() << D.str();
 }
@@ -128,7 +129,7 @@ INSTANTIATE_TEST_SUITE_P(Programs, VerifySuiteTest,
 TEST(VerifyTest, DetectsCorruptedOrientation) {
   Program P = compile(Suite[0]);
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   ASSERT_TRUE(verifyDecompositionDiagnostics(P, PD).empty());
   // Corrupt one C matrix: Theorem 4.1 must trip.
   PD.Comp.begin()->second.C =
@@ -139,7 +140,7 @@ TEST(VerifyTest, DetectsCorruptedOrientation) {
 TEST(VerifyTest, DetectsKernelMismatch) {
   Program P = compile(Suite[0]);
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   PD.Comp.begin()->second.Kernel = VectorSpace::full(2);
   EXPECT_FALSE(verifyDecompositionDiagnostics(P, PD).empty());
 }
@@ -147,7 +148,7 @@ TEST(VerifyTest, DetectsKernelMismatch) {
 TEST(VerifyTest, DetectsSplitDecompositionInComponent) {
   Program P = compile(Suite[0]);
   MachineParams M;
-  ProgramDecomposition PD = decompose(P, M);
+  ProgramDecomposition PD = decomposeForTest(P, M);
   // Give the same array two different D's inside one component.
   unsigned Y = P.arrayId("Y");
   auto It = PD.Data.find({Y, 0});

@@ -30,6 +30,7 @@
 #include "alp.h"
 
 #include "support/AtomicFile.h"
+#include "support/CliFlags.h"
 #include "support/FailPoint.h"
 
 #include <algorithm>
@@ -242,30 +243,50 @@ int main(int argc, char **argv) {
   uint64_t TimeoutMs = 30000;
   bool Verbose = false;
 
-  for (int I = 1; I != argc; ++I) {
-    const char *A = argv[I];
-    if (!std::strcmp(A, "--corpus") && I + 1 < argc)
-      CorpusDirs.push_back(argv[++I]);
-    else if (!std::strcmp(A, "--site") && I + 1 < argc)
-      SiteFilter = argv[++I];
-    else if (!std::strcmp(A, "--mode") && I + 1 < argc)
-      ModeFilter = argv[++I];
-    else if (!std::strcmp(A, "--timeout-ms") && I + 1 < argc)
-      TimeoutMs = static_cast<uint64_t>(std::atoll(argv[++I]));
-    else if (!std::strcmp(A, "--report") && I + 1 < argc)
-      ReportPath = argv[++I];
-    else if (!std::strcmp(A, "--verbose"))
-      Verbose = true;
-    else if (A[0] != '-')
-      Files.push_back(A);
-    else {
-      std::fprintf(stderr,
-                   "usage: %s [--corpus DIR]... [file.alp]... [--site "
-                   "NAME] [--mode M] [--timeout-ms N] [--report FILE] "
-                   "[--verbose]\n",
-                   argv[0]);
-      return 2;
-    }
+  const std::vector<FlagSpec> Table = {
+      {"--corpus", "DIR",
+       "also sweep every *.alp in DIR (repeatable; sorted order)",
+       [&](const std::string &V) {
+         CorpusDirs.push_back(V);
+         return true;
+       }},
+      {"--site", "NAME", "restrict the sweep to one failpoint site",
+       [&](const std::string &V) {
+         SiteFilter = V;
+         return true;
+       }},
+      {"--mode", "M", "restrict the sweep to one injection mode",
+       [&](const std::string &V) {
+         ModeFilter = V;
+         return true;
+       }},
+      {"--timeout-ms", "N",
+       "per-case watchdog deadline in milliseconds (default 30000)",
+       [&](const std::string &V) { return parseU64(V, TimeoutMs); }},
+      {"--report", "FILE", "write the JSON sweep report to FILE",
+       [&](const std::string &V) {
+         ReportPath = V;
+         return true;
+       }},
+      {"--verbose", nullptr, "print each case x site x mode as it runs",
+       [&](const std::string &) {
+         Verbose = true;
+         return true;
+       }},
+  };
+  const CliParser Cli{argv[0], "[options] [file.alp]...",
+                      "Sweeps every failpoint site x injection mode over a "
+                      "program corpus and\nasserts the robustness contract: "
+                      "never crashes, never hangs, never lies\n"
+                      "(docs/ROBUSTNESS.md).",
+                      Table};
+  switch (parseCommandLine(Cli, argc, argv, Files)) {
+  case CliAction::Proceed:
+    break;
+  case CliAction::ExitSuccess:
+    return 0;
+  case CliAction::ExitUsage:
+    return 2;
   }
 
   // The sweep owns the registry: whatever ALP_FAILPOINTS armed does not

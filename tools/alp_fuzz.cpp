@@ -26,6 +26,7 @@
 #include "core/Driver.h"
 #include "frontend/Lowering.h"
 #include "ir/Builder.h"
+#include "support/CliFlags.h"
 #include "support/Rng.h"
 
 #include <algorithm>
@@ -352,23 +353,42 @@ int main(int argc, char **argv) {
   uint64_t Iters = 1000;
   std::string Corpus;
   bool Verbose = false;
-  for (int I = 1; I != argc; ++I) {
-    const char *A = argv[I];
-    if (!std::strcmp(A, "--seed") && I + 1 < argc)
-      Seed = static_cast<uint64_t>(std::atoll(argv[++I]));
-    else if (!std::strcmp(A, "--iters") && I + 1 < argc)
-      Iters = static_cast<uint64_t>(std::atoll(argv[++I]));
-    else if (!std::strcmp(A, "--corpus") && I + 1 < argc)
-      Corpus = argv[++I];
-    else if (!std::strcmp(A, "--verbose"))
-      Verbose = true;
-    else {
-      std::fprintf(stderr,
-                   "usage: %s [--seed S] [--iters N] [--corpus DIR] "
-                   "[--verbose]\n",
-                   argv[0]);
-      return 2;
-    }
+  const std::vector<FlagSpec> Table = {
+      {"--seed", "S",
+       "base RNG seed; case I uses seed S+I (default 12345)",
+       [&](const std::string &V) { return parseU64(V, Seed); }},
+      {"--iters", "N", "number of generated cases (default 1000)",
+       [&](const std::string &V) { return parseU64(V, Iters); }},
+      {"--corpus", "DIR",
+       "replay every *.alp in DIR before the generated cases",
+       [&](const std::string &V) {
+         Corpus = V;
+         return true;
+       }},
+      {"--verbose", nullptr, "print each case's seed as it runs",
+       [&](const std::string &) {
+         Verbose = true;
+         return true;
+       }},
+  };
+  const CliParser Cli{argv[0], "[options]",
+                      "Throws randomized programs at the fail-soft pipeline "
+                      "and fails on any\ncrash or hang (docs/ROBUSTNESS.md).",
+                      Table};
+  std::vector<std::string> Positionals;
+  switch (parseCommandLine(Cli, argc, argv, Positionals)) {
+  case CliAction::Proceed:
+    break;
+  case CliAction::ExitSuccess:
+    return 0;
+  case CliAction::ExitUsage:
+    return 2;
+  }
+  if (!Positionals.empty()) {
+    std::fprintf(stderr, "error: unexpected operand '%s'\n",
+                 Positionals.front().c_str());
+    printUsage(Cli);
+    return 2;
   }
 
   std::set_terminate([] {

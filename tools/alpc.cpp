@@ -4,9 +4,13 @@
 //
 //   alpc <file.alp> [options]
 //
-// Options are declared in a single table (see makeFlagTable below) that
-// drives parsing, --help generation, and unknown-flag errors. Every
-// value-taking flag accepts both "--flag=value" and "--flag value".
+// Options are declared in a single table (support/CliFlags.h) that drives
+// parsing, --help generation, and unknown-flag errors. Every value-taking
+// flag accepts both "--flag=value" and "--flag value".
+//
+// The pipeline itself lives in core/CompileSession.h; this file is flag
+// parsing, source ingestion, one CompileSession::run call, and the
+// --trace/--stats artifact writes.
 //
 // Observability: --trace=<file> writes a Chrome trace-event JSON of the
 // pipeline's spans (load in chrome://tracing or Perfetto); --stats=<file>
@@ -26,21 +30,14 @@
 
 #include "alp.h"
 
-#include "analysis/Dependence.h"
 #include "analysis/Lint.h"
-#include "core/Fusion.h"
-#include "core/Verify.h"
-#include "ir/Printer.h"
+#include "core/CompileSession.h"
 #include "support/AtomicFile.h"
+#include "support/CliFlags.h"
 #include "support/FailPoint.h"
-#include "support/Trace.h"
 
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
-#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -53,70 +50,6 @@ namespace {
 /// contents are consumed.
 FailPoint FpIoRead("io.read");
 
-enum class DiagFormat { Text, Json, Sarif };
-
-std::string renderLint(const LintResult &R, DiagFormat Format,
-                       const std::string &FileName) {
-  switch (Format) {
-  case DiagFormat::Text:
-    return renderLintText(R);
-  case DiagFormat::Json:
-    return renderLintJson(R, FileName);
-  case DiagFormat::Sarif:
-    return renderLintSarif(R, FileName);
-  }
-  return "";
-}
-
-/// One command-line flag: parsing, help text, and the action it performs.
-/// Arg == nullptr marks a boolean flag ("--flag"); otherwise the flag
-/// takes a value ("--flag=<Arg>" or "--flag <Arg>"). Apply returns false
-/// when the value is malformed (usage error, exit 2).
-struct FlagSpec {
-  const char *Name; ///< Including the leading "--".
-  const char *Arg;  ///< Placeholder for help ("N", "file"), or nullptr.
-  const char *Help;
-  std::function<bool(const std::string &)> Apply;
-};
-
-bool parseU64(const std::string &S, uint64_t &Out) {
-  if (S.empty() || S[0] == '-')
-    return false;
-  errno = 0;
-  char *End = nullptr;
-  unsigned long long V = std::strtoull(S.c_str(), &End, 10);
-  if (errno != 0 || End == S.c_str() || *End != '\0')
-    return false;
-  Out = V;
-  return true;
-}
-
-void printHelp(const char *Prog, const std::vector<FlagSpec> &Table) {
-  std::printf("usage: %s <file.alp> [options]\n\n"
-              "Compiles an affine DSL program, decomposes it for a scalable\n"
-              "parallel machine, and reports the result.\n\n"
-              "Value flags accept both --flag=value and --flag value.\n\n"
-              "options:\n",
-              Prog);
-  size_t Width = 0;
-  auto Rendered = [](const FlagSpec &F) {
-    std::string S = F.Name;
-    if (F.Arg)
-      S += std::string("=<") + F.Arg + ">";
-    return S;
-  };
-  for (const FlagSpec &F : Table)
-    Width = std::max(Width, Rendered(F).size());
-  for (const FlagSpec &F : Table)
-    std::printf("  %-*s  %s\n", static_cast<int>(Width),
-                Rendered(F).c_str(), F.Help);
-}
-
-void usage(const char *Prog) {
-  std::fprintf(stderr, "usage: %s <file.alp> [options]  (see %s --help)\n",
-               Prog, Prog);
-}
-
 } // namespace
 
 int main(int argc, char **argv) {
@@ -127,21 +60,9 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: ALP_FAILPOINTS: %s\n", S.str().c_str());
     return 2;
   }
-  const char *FileName = nullptr;
-  DriverOptions Opts;
-  bool DoSpmd = false, DoIr = false, DoDeps = false, DoSim = false;
-  bool DoComm = false;
-  bool DoFuse = false;
-  bool DoVerify = false;
-  bool DoLint = false;
-  bool WError = false;
-  MiscompileMode Miscompile = MiscompileMode::None;
+  CompileRequest Req;
+  DriverOptions &Opts = Req.Driver;
   std::string LintPassesSpec;
-  DiagFormat Format = DiagFormat::Text;
-  unsigned Procs = 32;
-  int64_t Block = 4;
-  std::string MachineName = "dash";
-  std::string EmitMode;
   std::string TracePath, StatsPath;
 
   auto BoolFlag = [](bool &Target, bool Value) {
@@ -178,9 +99,9 @@ int main(int argc, char **argv) {
        "decompose the loop-nest hierarchy level by level",
        BoolFlag(Opts.MultiLevel, true)},
       {"--fuse", nullptr, "run the loop-fusion post-pass",
-       BoolFlag(DoFuse, true)},
+       BoolFlag(Req.DoFuse, true)},
       {"--spmd", nullptr, "print the generated SPMD pseudo-code",
-       BoolFlag(DoSpmd, true)},
+       BoolFlag(Req.DoSpmd, true)},
       {"--emit", "spmd|comm-plan",
        "codegen backend: 'spmd' prints message-passing SPMD code driven "
        "by the planned communication schedule; 'comm-plan' prints the "
@@ -190,7 +111,7 @@ int main(int argc, char **argv) {
            std::fprintf(stderr, "unknown emit mode '%s'\n", V.c_str());
            return false;
          }
-         EmitMode = V;
+         Req.EmitMode = V;
          return true;
        }},
       {"--machine", "dash|touchstone",
@@ -201,20 +122,20 @@ int main(int argc, char **argv) {
            std::fprintf(stderr, "unknown machine '%s'\n", V.c_str());
            return false;
          }
-         MachineName = V;
+         Req.MachineName = V;
          return true;
        }},
       {"--comm", nullptr, "print the communication analysis",
-       BoolFlag(DoComm, true)},
+       BoolFlag(Req.DoComm, true)},
       {"--print-ir", nullptr, "print the canonicalized IR",
-       BoolFlag(DoIr, true)},
+       BoolFlag(Req.DoIr, true)},
       {"--deps", nullptr, "print the dependences of every nest",
-       BoolFlag(DoDeps, true)},
+       BoolFlag(Req.DoDeps, true)},
       {"--lint", nullptr,
        "run the alp-lint passes (race detector, affine-model lints, and "
        "the SPMD schedule verifier when the program decomposes) and "
        "render the diagnostics instead of reporting a decomposition",
-       BoolFlag(DoLint, true)},
+       BoolFlag(Req.DoLint, true)},
       {"--lint-passes", "list|help",
        "restrict --lint / --verify to a comma-separated list of pass "
        "families; 'help' lists the registered pass ids",
@@ -228,7 +149,7 @@ int main(int argc, char **argv) {
        "shrink-aggregation, reorder-recv, reorder-barrier, drop-recv, "
        "alias-buffer)",
        [&](const std::string &V) {
-         if (!parseMiscompileMode(V, Miscompile)) {
+         if (!parseMiscompileMode(V, Req.Miscompile)) {
            std::fprintf(stderr, "unknown miscompile mode '%s'\n", V.c_str());
            return false;
          }
@@ -237,18 +158,18 @@ int main(int argc, char **argv) {
       {"--verify", nullptr,
        "validate the decomposition (Theorem 4.1 invariants + SPMD "
        "communication coverage)",
-       BoolFlag(DoVerify, true)},
+       BoolFlag(Req.DoVerify, true)},
       {"--Werror", nullptr, "treat lint/verify warnings as errors",
-       BoolFlag(WError, true)},
+       BoolFlag(Req.WError, true)},
       {"--diagnostics-format", "text|json|sarif",
        "how --lint / --verify diagnostics are rendered",
        [&](const std::string &V) {
          if (V == "text")
-           Format = DiagFormat::Text;
+           Req.Format = DiagFormat::Text;
          else if (V == "json")
-           Format = DiagFormat::Json;
+           Req.Format = DiagFormat::Json;
          else if (V == "sarif")
-           Format = DiagFormat::Sarif;
+           Req.Format = DiagFormat::Sarif;
          else {
            std::fprintf(stderr, "unknown diagnostics format '%s'\n",
                         V.c_str());
@@ -257,13 +178,13 @@ int main(int argc, char **argv) {
          return true;
        }},
       {"--simulate", nullptr, "simulate on the NUMA machine (1..procs)",
-       BoolFlag(DoSim, true)},
+       BoolFlag(Req.DoSim, true)},
       {"--procs", "N", "machine size for --simulate (default 32)",
        [&](const std::string &V) {
          uint64_t U;
          if (!parseU64(V, U))
            return false;
-         Procs = static_cast<unsigned>(U);
+         Req.Procs = static_cast<unsigned>(U);
          return true;
        }},
       {"--block", "N", "pipeline block size (default 4)",
@@ -271,7 +192,7 @@ int main(int argc, char **argv) {
          uint64_t U;
          if (!parseU64(V, U))
            return false;
-         Block = static_cast<int64_t>(U);
+         Req.Block = static_cast<int64_t>(U);
          return true;
        }},
       {"--max-fm", "N",
@@ -335,68 +256,27 @@ int main(int argc, char **argv) {
        }},
   };
 
+  const CliParser Cli{argv[0],
+                      "<file.alp> [options]",
+                      "Compiles an affine DSL program, decomposes it for a "
+                      "scalable\nparallel machine, and reports the result.",
+                      Table};
   if (argc < 2) {
-    usage(argv[0]);
+    printUsage(Cli);
     return 2;
   }
-  for (int I = 1; I != argc; ++I) {
-    std::string A = argv[I];
-    if (A == "--help" || A == "-h") {
-      printHelp(argv[0], Table);
-      return 0;
-    }
-    if (A.rfind("--", 0) != 0) {
-      if (!A.empty() && A[0] == '-') {
-        std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
-        usage(argv[0]);
-        return 2;
-      }
-      FileName = argv[I];
-      continue;
-    }
-    std::string Name = A, Value;
-    bool HasValue = false;
-    if (size_t Eq = A.find('='); Eq != std::string::npos) {
-      Name = A.substr(0, Eq);
-      Value = A.substr(Eq + 1);
-      HasValue = true;
-    }
-    const FlagSpec *Spec = nullptr;
-    for (const FlagSpec &F : Table)
-      if (Name == F.Name) {
-        Spec = &F;
-        break;
-      }
-    if (!Spec) {
-      std::fprintf(stderr, "unknown option '%s'\n", Name.c_str());
-      usage(argv[0]);
-      return 2;
-    }
-    if (!Spec->Arg) {
-      if (HasValue) {
-        std::fprintf(stderr, "option '%s' takes no value\n", Name.c_str());
-        usage(argv[0]);
-        return 2;
-      }
-    } else if (!HasValue) {
-      if (I + 1 == argc) {
-        std::fprintf(stderr, "option '%s' requires a value\n", Name.c_str());
-        usage(argv[0]);
-        return 2;
-      }
-      Value = argv[++I];
-    }
-    if (!Spec->Apply(Value)) {
-      std::fprintf(stderr, "invalid value '%s' for option '%s'\n",
-                   Value.c_str(), Name.c_str());
-      usage(argv[0]);
-      return 2;
-    }
+  std::vector<std::string> Positionals;
+  switch (parseCommandLine(Cli, argc, argv, Positionals)) {
+  case CliAction::Proceed:
+    break;
+  case CliAction::ExitSuccess:
+    return 0;
+  case CliAction::ExitUsage:
+    return 2;
   }
   // Pass-family selection (--lint-passes). "help" lists the registry and
   // exits; otherwise the comma-separated ids gate the Check* options so
   // the fuzzer / chaos tool can isolate a single checker.
-  bool SelRace = true, SelModel = true, SelDecomp = true, SelSchedule = true;
   if (!LintPassesSpec.empty()) {
     if (LintPassesSpec == "help") {
       std::printf("registered lint pass families:\n");
@@ -405,96 +285,37 @@ int main(int argc, char **argv) {
         std::printf("  %-10s %s\n", Pass->id(), Pass->description());
       return 0;
     }
-    SelRace = SelModel = SelDecomp = SelSchedule = false;
+    Req.LintPassesExplicit = true;
+    Req.SelRace = Req.SelModel = Req.SelDecomp = Req.SelSchedule = false;
     std::string Spec = LintPassesSpec;
     while (!Spec.empty()) {
       size_t Comma = Spec.find(',');
       std::string Id = Spec.substr(0, Comma);
       Spec = Comma == std::string::npos ? "" : Spec.substr(Comma + 1);
       if (Id == "race")
-        SelRace = true;
+        Req.SelRace = true;
       else if (Id == "model")
-        SelModel = true;
+        Req.SelModel = true;
       else if (Id == "decomp")
-        SelDecomp = true;
+        Req.SelDecomp = true;
       else if (Id == "schedule")
-        SelSchedule = true;
+        Req.SelSchedule = true;
       else {
         std::fprintf(stderr,
                      "unknown lint pass '%s' (see --lint-passes=help)\n",
                      Id.c_str());
-        usage(argv[0]);
+        printUsage(Cli);
         return 2;
       }
     }
   }
 
-  if (!FileName) {
-    usage(argv[0]);
+  if (Positionals.empty()) {
+    printUsage(Cli);
     return 2;
   }
-
-  // Observability sinks. Both stay empty-cost when the flags are absent:
-  // Opts.Observe carries null pointers, so every span and counter in the
-  // pipeline reduces to a pointer test.
-  Tracer Trace;
-  MetricsRegistry Metrics;
-  const bool Observing = !TracePath.empty() || !StatsPath.empty();
-  TraceContext Observe;
-  if (Observing) {
-    Observe.Trace = &Trace;
-    Observe.Metrics = &Metrics;
-  }
-  Opts.Observe = Observe;
-
-  // Writes --trace / --stats output; called on every exit path that runs
-  // after the front end. Artifacts land via temp-file + atomic rename
-  // (support/AtomicFile.h), so a reader never observes a truncated file.
-  // Returns false on I/O failure.
-  auto WriteObservability = [&]() -> bool {
-    if (!Observing)
-      return true;
-    // With an unbounded trigger count every task faults, so this total is
-    // jobs-deterministic like the other counters (docs/ROBUSTNESS.md).
-    Metrics.add("failpoint.triggered",
-                FailPointRegistry::instance().triggeredCount());
-    if (!TracePath.empty()) {
-      std::ostringstream Out;
-      Trace.writeChromeTrace(Out);
-      if (Status S = writeFileAtomic(TracePath, Out.str()); !S.isOk()) {
-        std::fprintf(stderr, "error: cannot write trace file: %s\n",
-                     S.str().c_str());
-        return false;
-      }
-    }
-    if (!StatsPath.empty()) {
-      std::string Json = renderStatsJson(&Metrics, &Trace);
-      if (StatsPath == "-") {
-        std::printf("%s", Json.c_str());
-      } else if (Status S = writeFileAtomic(StatsPath, Json); !S.isOk()) {
-        std::fprintf(stderr, "error: cannot write stats file: %s\n",
-                     S.str().c_str());
-        return false;
-      }
-    }
-    return true;
-  };
-
-  // Stages past the decomposition driver have no degraded form: an
-  // injected fault or internal error in one of them ends the run with a
-  // clean error line and exit 3, never an uncaught exception.
-  auto RunStage = [&](const char *StageName,
-                      const std::function<void()> &Fn) -> bool {
-    try {
-      Fn();
-      return true;
-    } catch (...) {
-      Status S = statusFromCurrentException();
-      std::fprintf(stderr, "error: %s failed: %s\n", StageName,
-                   S.str().c_str());
-      return false;
-    }
-  };
+  Req.FileName = Positionals.back();
+  const char *FileName = Req.FileName.c_str();
 
   std::ifstream In(FileName);
   if (!In) {
@@ -511,294 +332,33 @@ int main(int argc, char **argv) {
   }
   std::ostringstream Buf;
   Buf << In.rdbuf();
+  Req.Source = Buf.str();
 
-  DiagnosticEngine Diags;
-  std::optional<Program> Prog;
-  {
-    TraceSpan FrontendSpan(Observe.Trace, "frontend.compile");
-    Prog = compileDsl(Buf.str(), Diags);
-  }
-  for (const Diagnostic &D : Diags.diagnostics())
-    std::fprintf(stderr, "%s:%s\n", FileName, D.str().c_str());
-  if (!Prog)
-    return 1;
-  Program P = std::move(*Prog);
-
-  // Lint-only mode: run the race + model passes over the compiled
-  // program, then — when the program decomposes — the schedule verifier
-  // over its planned communication. A program that does not decompose
-  // still lints (the decomposition-dependent passes are skipped).
-  if (DoLint) {
-    ResourceBudget Budget = Opts.Budget;
-    if (Opts.DeadlineMs)
-      Budget.setDeadlineIn(std::chrono::milliseconds(Opts.DeadlineMs));
-    LintOptions LO;
-    LO.CheckRaces = SelRace;
-    LO.CheckModel = SelModel;
-    // The decomposition validator stays opt-in under --lint (--verify is
-    // its home); an explicit --lint-passes=decomp enables it here.
-    LO.CheckDecomposition = !LintPassesSpec.empty() && SelDecomp;
-    LO.CheckSchedule = SelSchedule;
-    LO.BlockSize = Block;
-    LO.Budget = &Budget;
-    LO.Miscompile = Miscompile;
-    LO.Observe = Observe;
-    // The decomposition driver canonicalizes the program in place
-    // (Wolf-Lam local phase), which can legalize exactly the defects the
-    // race/model passes exist to report — so those passes lint the
-    // pristine program, and the decomposition-dependent passes run on a
-    // private copy.
-    MachineParams LintM;
-    LintM.NumProcs = Procs;
-    LintM.BlockSize = Block;
-    Program DecompP = P;
-    ProgramDecomposition LintPD;
-    bool HavePD = false;
-    if (LO.CheckSchedule || LO.CheckDecomposition)
-      if (Expected<ProgramDecomposition> R =
-              decomposeOrError(DecompP, LintM, Opts);
-          R.hasValue()) {
-        LintPD = R.takeValue();
-        HavePD = true;
+  Req.WantTrace = !TracePath.empty();
+  Req.WantStats = !StatsPath.empty();
+  // Artifacts land via temp-file + atomic rename (support/AtomicFile.h),
+  // so a reader never observes a truncated file. Returning false maps to
+  // exit 1 on otherwise-successful runs.
+  Req.WriteArtifacts = [&](const CompileArtifacts &A) -> bool {
+    if (A.HasTrace) {
+      if (Status S = writeFileAtomic(TracePath, A.TraceJson); !S.isOk()) {
+        std::fprintf(stderr, "error: cannot write trace file: %s\n",
+                     S.str().c_str());
+        return false;
       }
-    LintResult R;
-    if (!RunStage("lint", [&] {
-          TraceSpan LintSpan(Observe.Trace, "lint.run");
-          LintOptions FrontLO = LO;
-          FrontLO.CheckDecomposition = false;
-          FrontLO.CheckSchedule = false;
-          R = runLintPasses(P, nullptr, FrontLO);
-          if (HavePD) {
-            LintOptions PdLO = LO;
-            PdLO.CheckRaces = false;
-            PdLO.CheckModel = false;
-            LintResult R2 = runLintPasses(DecompP, &LintPD, PdLO);
-            R.Diags.insert(R.Diags.end(), R2.Diags.begin(), R2.Diags.end());
-            R.Unchecked.insert(R.Unchecked.end(), R2.Unchecked.begin(),
-                               R2.Unchecked.end());
-            normalizeLintDiagnostics(R.Diags);
-          }
-        })) {
-      WriteObservability();
-      return 3;
     }
-    std::printf("%s", renderLint(R, Format, FileName).c_str());
-    if (!WriteObservability())
-      return 1;
-    return R.hasErrors() || (WError && R.hasWarnings()) ? 1 : 0;
-  }
-
-  MachineParams M;
-  M.NumProcs = Procs;
-  M.BlockSize = Block;
-  if (MachineName == "touchstone") {
-    // Touchstone-like multicomputer: one processor per node, remote data
-    // moves in messages with a software overhead per message.
-    M.ProcsPerCluster = 1;
-    M.MessagePassing = true;
-  }
-
-  // The shared codegen configuration: every consumer (emitter, comm
-  // analysis, planner, simulator schedules) takes its block size from the
-  // machine description, so schedule and emission cannot diverge.
-  CodegenOptions CG = CodegenOptions::forMachine(M);
-  CG.Observe = Observe;
-  CG.Miscompile = Miscompile;
-
-  auto RunDecompose = [&](ProgramDecomposition &Out) -> bool {
-    Expected<ProgramDecomposition> R = decomposeOrError(P, M, Opts);
-    if (!R.hasValue()) {
-      std::fprintf(stderr, "error: decomposition failed: %s\n",
-                   R.status().str().c_str());
-      return false;
+    if (A.HasStats) {
+      if (StatsPath == "-") {
+        std::printf("%s", A.StatsJson.c_str());
+      } else if (Status S = writeFileAtomic(StatsPath, A.StatsJson);
+                 !S.isOk()) {
+        std::fprintf(stderr, "error: cannot write stats file: %s\n",
+                     S.str().c_str());
+        return false;
+      }
     }
-    Out = R.takeValue();
     return true;
   };
 
-  ProgramDecomposition PD;
-  if (!RunDecompose(PD)) {
-    WriteObservability();
-    return 3;
-  }
-  if (DoFuse) {
-    unsigned N = 0;
-    if (!RunStage("fusion", [&] { N = fuseCompatibleNests(P, &PD); })) {
-      WriteObservability();
-      return 3;
-    }
-    std::printf("fused %u nest pair(s)\n", N);
-    // Decompose again on the fused program (decompositions per nest id
-    // may have been merged).
-    if (!RunDecompose(PD)) {
-      WriteObservability();
-      return 3;
-    }
-  }
-
-  if (DoIr)
-    std::printf("=== IR ===\n%s\n", printProgram(P).c_str());
-  if (DoDeps && !RunStage("dependence printing", [&] {
-        DependenceAnalysis DA(P);
-        std::printf("=== dependences ===\n");
-        for (unsigned Id : P.nestsInOrder()) {
-          std::printf("nest %u:\n", Id);
-          for (const Dependence &D : DA.analyze(P.nest(Id)))
-            std::printf("  %s\n", D.str().c_str());
-        }
-        std::printf("\n");
-      })) {
-    WriteObservability();
-    return 3;
-  }
-
-  std::printf("%s", printDecomposition(P, PD).c_str());
-
-  if (DoSpmd && !RunStage("SPMD emission", [&] {
-        std::printf("\n=== SPMD ===\n%s", emitSpmd(P, PD, CG).c_str());
-      })) {
-    WriteObservability();
-    return 3;
-  }
-
-  // Schedule verification gates emission: --emit renders nothing when the
-  // planned schedule fails the static verifier (deadlock, coverage gap,
-  // unmatched messages, buffer overlap, barrier divergence).
-  if (!EmitMode.empty() && SelSchedule) {
-    ResourceBudget Budget = Opts.Budget;
-    if (Opts.DeadlineMs)
-      Budget.setDeadlineIn(std::chrono::milliseconds(Opts.DeadlineMs));
-    LintOptions LO;
-    LO.CheckRaces = false;
-    LO.CheckModel = false;
-    LO.CheckDecomposition = false;
-    LO.CheckSchedule = true;
-    LO.BlockSize = CG.BlockSize;
-    LO.Budget = &Budget;
-    LO.Miscompile = Miscompile;
-    LO.Observe = Observe;
-    LintResult R;
-    if (!RunStage("schedule verification", [&] {
-          TraceSpan VerifySpan(Observe.Trace, "lint.schedule");
-          R = runLintPasses(P, &PD, LO);
-        })) {
-      WriteObservability();
-      return 3;
-    }
-    if (R.hasErrors() || (WError && R.hasWarnings())) {
-      for (const Diagnostic &D : R.Diags)
-        std::fprintf(stderr, "schedule: %s\n", D.strWithNotes().c_str());
-      WriteObservability();
-      return 1;
-    }
-  }
-
-  if (!EmitMode.empty() && !RunStage("codegen", [&] {
-        if (EmitMode == "spmd") {
-          CodegenOptions MsgCG = CG;
-          MsgCG.EmitMessages = true;
-          std::printf("\n=== SPMD (message passing) ===\n%s",
-                      emitSpmd(P, PD, MsgCG).c_str());
-        } else if (EmitMode == "comm-plan") {
-          std::printf("\n%s",
-                      planCommunication(P, PD, CG).report(P).c_str());
-        }
-      })) {
-    WriteObservability();
-    return 3;
-  }
-
-  if (DoComm && !RunStage("communication analysis", [&] {
-        CommSummary CS = analyzeCommunication(P, PD, CG);
-        std::printf("\n%s", CS.report(P).c_str());
-      })) {
-    WriteObservability();
-    return 3;
-  }
-
-  if (DoVerify) {
-    // The decomposition validator: Theorem 4.1 matrix invariants
-    // (core/Verify.h) plus the SPMD communication-coverage check.
-    ResourceBudget Budget = Opts.Budget;
-    if (Opts.DeadlineMs)
-      Budget.setDeadlineIn(std::chrono::milliseconds(Opts.DeadlineMs));
-    LintOptions LO;
-    LO.CheckRaces = false;
-    LO.CheckModel = false;
-    LO.CheckDecomposition = SelDecomp;
-    LO.CheckSchedule = SelSchedule;
-    LO.BlockSize = CG.BlockSize;
-    // Both sides read MachineParams.BlockSize, so the block-size
-    // divergence lint stays silent here by construction.
-    LO.ScheduleBlockSize = M.BlockSize;
-    LO.Budget = &Budget;
-    LO.Miscompile = Miscompile;
-    LO.Observe = Observe;
-    LintResult R;
-    if (!RunStage("verification", [&] {
-          TraceSpan VerifySpan(Observe.Trace, "lint.verify");
-          R = runLintPasses(P, &PD, LO);
-        })) {
-      WriteObservability();
-      return 3;
-    }
-    bool Bad = R.hasErrors() || (WError && R.hasWarnings());
-    if (Format != DiagFormat::Text) {
-      std::printf("%s", renderLint(R, Format, FileName).c_str());
-      if (Bad) {
-        WriteObservability();
-        return 1;
-      }
-    } else if (!Bad) {
-      std::printf("\nverify: all decomposition invariants hold\n");
-    } else {
-      for (const Diagnostic &D : R.Diags)
-        std::fprintf(stderr, "verify: %s\n", D.strWithNotes().c_str());
-      WriteObservability();
-      return 1;
-    }
-  }
-
-  if (DoSim && !RunStage("simulation", [&] {
-        NumaSimulator Sim(P, M);
-        Sim.setObserve(Observe);
-        if (M.MessagePassing) {
-          // Message-passing machine: cost the planned bulk schedule, the
-          // same one --emit=spmd renders, instead of fine-grained
-          // per-line messages.
-          CodegenOptions PlanCG = CG;
-          if (!EmitMode.empty())
-            PlanCG.Observe = {}; // comm.* counters already published once.
-          Sim.setCommSchedule(planCommunication(P, PD, PlanCG).schedule());
-        }
-        applyDecomposition(Sim, P, PD);
-        double Seq = Sim.sequentialCycles();
-        std::printf("\n=== simulation (machine: %s, %u procs) ===\n",
-                    MachineName.c_str(), Procs);
-        std::printf("sequential: %.3g cycles\n", Seq);
-        for (unsigned Pr = 1; Pr <= Procs; Pr *= 2) {
-          SimResult R = Sim.run(Pr);
-          std::printf("%3u procs: %12.3g cycles  speedup %6.2f  "
-                      "(reorg %.2g, sync %.2g, remote lines %.3g",
-                      Pr, R.Cycles, Seq / R.Cycles, R.ReorgCycles,
-                      R.SyncCycles, R.RemoteLineFetches);
-          if (M.MessagePassing)
-            std::printf(", msgs %.3g", R.MessagesSent);
-          std::printf(")\n");
-        }
-      })) {
-    WriteObservability();
-    return 3;
-  }
-  if (!WriteObservability())
-    return 1;
-  if (PD.degraded()) {
-    std::fprintf(stderr, "%s", PD.degradationReport().c_str());
-    std::fprintf(stderr,
-                 "note: decomposition is sound but degraded (%zu stage "
-                 "fallback(s))\n",
-                 PD.Degradations.size());
-    return 4;
-  }
-  return 0;
+  return CompileSession::run(Req, stdout, stderr).ExitCode;
 }
