@@ -25,6 +25,7 @@
 #include "core/Driver.h"
 #include "machine/NumaSimulator.h"
 #include "machine/ScheduleDerivation.h"
+#include "support/StatsReport.h"
 #include "support/Trace.h"
 
 #include <cstring>
@@ -145,9 +146,8 @@ int main(int argc, char **argv) {
               AllOk ? "ok" : "MISMATCH");
 
   ArtifactWriter Out;
-  Out.printf("{\n  \"benchmark\": \"comm\",\n");
-  Out.printf("  \"alp_stats\": {\"schema_version\": %u},\n",
-               StatsSchemaVersion);
+  Out.printf("%s", StatsReport::headerOpen("bench_comm").c_str());
+  Out.printf("  \"benchmark\": \"comm\",\n");
   Out.printf("  \"smoke\": %s,\n", Smoke ? "true" : "false");
   Out.printf("  \"procs\": %u,\n", Procs);
   Out.printf("  \"kernels\": [\n");

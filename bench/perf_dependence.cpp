@@ -20,6 +20,7 @@
 #include "analysis/Dependence.h"
 #include "linalg/Rational.h"
 #include "support/ThreadPool.h"
+#include "support/StatsReport.h"
 #include "support/Trace.h"
 
 #include <cstring>
@@ -251,9 +252,8 @@ int main(int argc, char **argv) {
               RB.IntNsPerOp > 0 ? RB.FracNsPerOp / RB.IntNsPerOp : 0);
 
   ArtifactWriter Out;
-  Out.printf("{\n  \"benchmark\": \"dependence\",\n");
-  Out.printf("  \"alp_stats\": {\"schema_version\": %u},\n",
-               StatsSchemaVersion);
+  Out.printf("%s", StatsReport::headerOpen("bench_dependence").c_str());
+  Out.printf("  \"benchmark\": \"dependence\",\n");
   Out.printf("  \"smoke\": %s,\n", Smoke ? "true" : "false");
   Out.printf("  \"hardware_threads\": %u,\n",
                ThreadPool::hardwareConcurrency());

@@ -18,6 +18,7 @@
 #include "core/Driver.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
+#include "support/StatsReport.h"
 #include "support/Trace.h"
 
 #include <cstring>
@@ -180,9 +181,8 @@ int main(int argc, char **argv) {
               Identical ? "yes" : "NO", CountersIdentical ? "yes" : "NO");
 
   ArtifactWriter Out;
-  Out.printf("{\n  \"benchmark\": \"partition\",\n");
-  Out.printf("  \"alp_stats\": {\"schema_version\": %u},\n",
-               StatsSchemaVersion);
+  Out.printf("%s", StatsReport::headerOpen("bench_partition").c_str());
+  Out.printf("  \"benchmark\": \"partition\",\n");
   Out.printf("  \"smoke\": %s,\n", Smoke ? "true" : "false");
   Out.printf("  \"hardware_threads\": %u,\n", Hw);
   Out.printf("  \"fixpoint\": [\n");

@@ -24,6 +24,7 @@
 
 #include "BenchUtil.h"
 #include "service/Server.h"
+#include "support/StatsReport.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -120,12 +121,8 @@ struct Reply {
   std::string Out, Err;
 };
 
-/// One COMPILE round trip; false on any protocol breakage.
-bool compileOnce(int Fd, const std::string &Payload, Reply &R) {
-  std::ostringstream Msg;
-  Msg << "COMPILE " << Payload.size() << '\n' << Payload;
-  if (!sendAll(Fd, Msg.str()))
-    return false;
+/// One RESULT reply (header + both payloads); false on breakage.
+bool recvResult(int Fd, Reply &R) {
   std::string Header;
   if (!recvLine(Fd, Header) || Header.rfind("RESULT ", 0) != 0)
     return false;
@@ -136,6 +133,15 @@ bool compileOnce(int Fd, const std::string &Payload, Reply &R) {
     return false;
   R.Hit = HitTok == "hit";
   return recvExact(Fd, R.Out, OutLen) && recvExact(Fd, R.Err, ErrLen);
+}
+
+/// One COMPILE round trip; false on any protocol breakage.
+bool compileOnce(int Fd, const std::string &Payload, Reply &R) {
+  std::ostringstream Msg;
+  Msg << "COMPILE " << Payload.size() << '\n' << Payload;
+  if (!sendAll(Fd, Msg.str()))
+    return false;
+  return recvResult(Fd, R);
 }
 
 //===----------------------------------------------------------------------===//
@@ -223,6 +229,60 @@ PassResult runStorm(const std::string &Socket, unsigned Clients,
   return P;
 }
 
+/// One BATCH verb carrying every payload over a single connection,
+/// answered by the server's shared BatchSession (warm pool + cache).
+struct BatchPass {
+  double WallMs = 0;
+  double RequestsPerSec = 0;
+  size_t Requests = 0;
+  size_t Hits = 0;
+  bool Ok = true;
+  std::vector<Reply> Replies;
+  std::string Report; ///< The BATCHSTATS trailer JSON.
+  double hitRate() const {
+    return Requests ? static_cast<double>(Hits) / Requests : 0;
+  }
+};
+
+BatchPass runBatchStorm(const std::string &Socket,
+                        const std::vector<std::string> &Payloads) {
+  BatchPass B;
+  B.Requests = Payloads.size();
+  B.Replies.resize(Payloads.size());
+  int Fd = connectTo(Socket);
+  if (Fd < 0) {
+    B.Ok = false;
+    return B;
+  }
+  auto T0 = std::chrono::steady_clock::now();
+  std::ostringstream Msg;
+  Msg << "BATCH " << Payloads.size() << '\n';
+  for (const std::string &P : Payloads)
+    Msg << P.size() << '\n' << P;
+  B.Ok = sendAll(Fd, Msg.str());
+  for (size_t I = 0; B.Ok && I != Payloads.size(); ++I) {
+    B.Ok = recvResult(Fd, B.Replies[I]);
+    if (B.Ok && B.Replies[I].Hit)
+      ++B.Hits;
+  }
+  if (B.Ok) {
+    std::string Header;
+    B.Ok = recvLine(Fd, Header) && Header.rfind("BATCHSTATS ", 0) == 0;
+    if (B.Ok) {
+      uint64_t Len = std::strtoull(Header.c_str() + 11, nullptr, 10);
+      B.Ok = recvExact(Fd, B.Report, Len);
+    }
+  }
+  auto T1 = std::chrono::steady_clock::now();
+  B.WallMs = std::chrono::duration<double, std::milli>(T1 - T0).count();
+  B.RequestsPerSec = B.WallMs > 0 ? 1000.0 * B.Requests / B.WallMs : 0;
+  sendAll(Fd, "QUIT\n");
+  std::string Bye;
+  recvLine(Fd, Bye);
+  ::close(Fd);
+  return B;
+}
+
 std::string passJson(const PassResult &P) {
   char Buf[256];
   std::snprintf(Buf, sizeof(Buf),
@@ -285,15 +345,23 @@ int main(int argc, char **argv) {
     Socket = SOpts.SocketPath;
   }
 
-  printHeader("P4: alpd client storm (cold cache, then warm)");
+  printHeader("P4: alpd client storm (cold cache, warm, then BATCH)");
   PassResult Cold = runStorm(Socket, Clients, Payloads);
   PassResult Warm = runStorm(Socket, Clients, Payloads);
+  // The same requests once more as a single BATCH verb: every item should
+  // be served from the now-warm shared cache with identical bytes.
+  BatchPass Batch = runBatchStorm(Socket, Payloads);
 
   bool ResponsesIdentical = Cold.Ok && Warm.Ok;
   for (size_t I = 0; ResponsesIdentical && I != Payloads.size(); ++I)
     ResponsesIdentical = Cold.Replies[I].Exit == Warm.Replies[I].Exit &&
                          Cold.Replies[I].Out == Warm.Replies[I].Out &&
                          Cold.Replies[I].Err == Warm.Replies[I].Err;
+  bool BatchIdentical = Cold.Ok && Batch.Ok;
+  for (size_t I = 0; BatchIdentical && I != Payloads.size(); ++I)
+    BatchIdentical = Cold.Replies[I].Exit == Batch.Replies[I].Exit &&
+                     Cold.Replies[I].Out == Batch.Replies[I].Out &&
+                     Cold.Replies[I].Err == Batch.Replies[I].Err;
 
   for (const PassResult *P : {&Cold, &Warm}) {
     const char *Name = P == &Cold ? "cold" : "warm";
@@ -302,8 +370,11 @@ int main(int argc, char **argv) {
                 Name, P->Requests, P->RequestsPerSec, P->Latency.MeanMs,
                 P->Latency.P50Ms, P->Latency.P99Ms, 100.0 * P->hitRate());
   }
-  std::printf("clients: %u  responses identical: %s\n", Clients,
-              ResponsesIdentical ? "yes" : "NO");
+  std::printf("batch: %4zu req  %8.1f req/s  hit rate %5.1f%%\n",
+              Batch.Requests, Batch.RequestsPerSec, 100.0 * Batch.hitRate());
+  std::printf("clients: %u  responses identical: %s  batch identical: %s\n",
+              Clients, ResponsesIdentical ? "yes" : "NO",
+              BatchIdentical ? "yes" : "NO");
 
   // Service counters over the same connection protocol the clients used.
   std::string ServiceCounters = "{}";
@@ -327,23 +398,33 @@ int main(int argc, char **argv) {
   }
 
   bool WarmHitsOk = Warm.hitRate() > 0.9;
-  bool Ok = Cold.Ok && Warm.Ok && ResponsesIdentical && WarmHitsOk;
+  bool BatchHitsOk = Batch.hitRate() > 0.9;
+  bool Ok = Cold.Ok && Warm.Ok && Batch.Ok && ResponsesIdentical &&
+            BatchIdentical && WarmHitsOk && BatchHitsOk;
   if (!WarmHitsOk)
     std::fprintf(stderr, "error: warm hit rate %.1f%% below the 90%% gate\n",
                  100.0 * Warm.hitRate());
+  if (!BatchHitsOk)
+    std::fprintf(stderr, "error: batch hit rate %.1f%% below the 90%% gate\n",
+                 100.0 * Batch.hitRate());
 
   ArtifactWriter Out;
-  Out.printf("{\n  \"benchmark\": \"service\",\n");
-  Out.printf("  \"alp_stats\": {\"schema_version\": %u},\n",
-             StatsSchemaVersion);
+  Out.printf("%s", StatsReport::headerOpen("bench_service").c_str());
+  Out.printf("  \"benchmark\": \"service\",\n");
   Out.printf("  \"smoke\": %s,\n", Smoke ? "true" : "false");
   Out.printf("  \"clients\": %u,\n", Clients);
   Out.printf("  \"in_process\": %s,\n", Connect.empty() ? "true" : "false");
   Out.printf("  \"cold\": {%s},\n", passJson(Cold).c_str());
   Out.printf("  \"warm\": {%s},\n", passJson(Warm).c_str());
+  Out.printf("  \"batch\": {\"wall_ms\": %.6g, \"requests_per_sec\": %.6g, "
+             "\"requests\": %zu, \"hits\": %zu, \"hit_rate\": %.4f},\n",
+             Batch.WallMs, Batch.RequestsPerSec, Batch.Requests, Batch.Hits,
+             Batch.hitRate());
   Out.printf("  \"responses_identical\": %s,\n",
              ResponsesIdentical ? "true" : "false");
+  Out.printf("  \"batch_identical\": %s,\n", BatchIdentical ? "true" : "false");
   Out.printf("  \"warm_hit_rate_ok\": %s,\n", WarmHitsOk ? "true" : "false");
+  Out.printf("  \"batch_hit_rate_ok\": %s,\n", BatchHitsOk ? "true" : "false");
   Out.printf("  \"service_counters\": %s\n", ServiceCounters.c_str());
   Out.printf("}\n");
   if (!Out.publish(OutPath))

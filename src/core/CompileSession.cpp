@@ -48,11 +48,14 @@ CompileResult CompileSession::run(const CompileRequest &Req, std::FILE *Out,
 
   // Observability sinks. Both stay empty-cost when the flags are absent:
   // Opts.Observe carries null pointers, so every span and counter in the
-  // pipeline reduces to a pointer test.
+  // pipeline reduces to a pointer test. When --trace/--stats are off, a
+  // caller-provided Req.Driver.Observe is left in place — the batch
+  // session aggregates every request's counters into one shared registry
+  // that way.
   Tracer Trace;
   MetricsRegistry Metrics;
   const bool Observing = Req.WantTrace || Req.WantStats;
-  TraceContext Observe;
+  TraceContext Observe = Req.Driver.Observe;
   if (Observing) {
     Observe.Trace = &Trace;
     Observe.Metrics = &Metrics;
@@ -105,13 +108,20 @@ CompileResult CompileSession::run(const CompileRequest &Req, std::FILE *Out,
     return Res;
   };
 
-  DiagnosticEngine Diags;
+  DiagnosticEngine OwnDiags;
+  const DiagnosticEngine *Diags =
+      Req.PreParsedDiags ? Req.PreParsedDiags.get() : &OwnDiags;
   std::optional<Program> Prog;
-  {
+  if (Req.PreParsed) {
+    // The caller parsed this source already (canonical keying); replay
+    // its diagnostics and pipeline a copy — the driver canonicalizes the
+    // program in place, so the caller's copy must stay pristine.
+    Prog = *Req.PreParsed;
+  } else {
     TraceSpan FrontendSpan(Observe.Trace, "frontend.compile");
-    Prog = compileDsl(Req.Source, Diags);
+    Prog = compileDsl(Req.Source, OwnDiags);
   }
-  for (const Diagnostic &D : Diags.diagnostics())
+  for (const Diagnostic &D : Diags->diagnostics())
     std::fprintf(Err, "%s:%s\n", FileName, D.str().c_str());
   if (!Prog)
     return Done(1);

@@ -27,9 +27,11 @@
 #include "analysis/Lint.h"
 #include "codegen/CodegenOptions.h"
 #include "core/Driver.h"
+#include "support/Diagnostics.h"
 
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -54,6 +56,16 @@ struct CompileRequest {
   std::string FileName = "<memory>";
   /// The DSL source text (already read; I/O stays with the caller).
   std::string Source;
+
+  /// Front-end fast path: a program already parsed from Source plus that
+  /// parse's frontend diagnostics. When set, the session skips its own
+  /// compileDsl call, replays these diagnostics, and pipelines a copy of
+  /// the program — byte-identical to re-parsing. Set by callers that
+  /// parsed for canonical keying anyway (BatchSession's pre-key pass, the
+  /// alpd cache-miss path); derived from Source, so neither field is part
+  /// of the canonical request fingerprint.
+  std::shared_ptr<const Program> PreParsed;
+  std::shared_ptr<const DiagnosticEngine> PreParsedDiags;
 
   /// Decomposition pipeline knobs (budget, jobs, policy, observability is
   /// overwritten by the session when WantTrace/WantStats is set).

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <set>
 #include <sstream>
 
@@ -43,8 +44,14 @@ alp::decomposeOrError(Program &P, const MachineParams &Machine,
   // One pool and one projection cache for the whole run. Jobs == 1 still
   // goes through the pool's task decomposition (serially), keeping the
   // budget semantics — and therefore the output — independent of the job
-  // count.
-  ThreadPool Pool(Opts.Jobs ? Opts.Jobs : ThreadPool::hardwareConcurrency());
+  // count. A caller-injected pool (Opts.Pool — the batch session's warm
+  // workers) is used as-is: its threads keep their thread-local arena
+  // blocks across runs, which is what makes a warm batch allocation-free.
+  std::optional<ThreadPool> OwnedPool;
+  if (!Opts.Pool)
+    OwnedPool.emplace(Opts.Jobs ? Opts.Jobs
+                                : ThreadPool::hardwareConcurrency());
+  ThreadPool &Pool = Opts.Pool ? *Opts.Pool : *OwnedPool;
   DependenceCache SharedCache;
   const TraceContext &Observe = Opts.Observe;
   TraceSpan PipelineSpan(Observe.Trace, "driver.decompose");

@@ -81,6 +81,15 @@ struct DriverOptions {
   /// byte-identical for every value of Jobs; gauges and span timings are
   /// not (docs/OBSERVABILITY.md).
   TraceContext Observe;
+  /// Caller-provided worker pool. Null (the default) makes the driver own
+  /// a fresh pool of `Jobs` workers per run; non-null reuses the given
+  /// pool — Jobs is then ignored and the batch session's persistent
+  /// workers keep their warm thread-local arena blocks across requests.
+  /// Nested sections on a busy pool degrade to serial in the caller
+  /// (ThreadPool.h), so a batch fanning requests over the same pool runs
+  /// each request's analysis serially on one warm worker. The output is
+  /// byte-identical either way (the Jobs determinism contract).
+  ThreadPool *Pool = nullptr;
 };
 
 /// Runs the whole pipeline fail-soft: never aborts on user-reachable

@@ -1,0 +1,452 @@
+//===- gen/Generator.cpp - Seeded affine-DSL corpus generator -------------===//
+
+#include "gen/Generator.h"
+
+#include "support/Rng.h"
+
+#include <cstdio>
+
+using namespace alp;
+using namespace alp::gen;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+std::string num(uint64_t V) { return std::to_string(V); }
+
+/// One statement cost annotation, 1..16 units.
+std::string cost(Rng &R) {
+  return " @cost(" + num(static_cast<uint64_t>(R.nextInRange(1, 16))) + ")";
+}
+
+/// A problem size drawn from the paper-scale set: big enough that the
+/// cost model prefers real decompositions, small enough to simulate.
+uint64_t pickN(Rng &R) {
+  static const uint64_t Sizes[] = {63, 127, 255, 511};
+  return Sizes[R.nextBelow(4)];
+}
+
+std::string header(const std::string &Name, const std::string &Comment) {
+  std::string S;
+  if (!Comment.empty())
+    S += "// " + Comment + "\n";
+  S += "program " + Name + ";\n";
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Shape families
+//===----------------------------------------------------------------------===//
+
+/// Triangular nests: a trisolve-style row-parallel forward substitution
+/// (forall rows, sequential columns, triangular inner bound) or an
+/// LU-style rank-update with the pivot loop outermost. Exercises affine
+/// non-rectangular bounds end to end.
+std::string genTriangular(const std::string &Name, Rng &R) {
+  uint64_t N = pickN(R);
+  std::string S = header(Name, "generated: triangular family");
+  S += "param N = " + num(N) + ";\n";
+  S += "array L[N + 1, N + 1], X[N + 1, N + 1], B[N + 1, N + 1];\n";
+  if (R.nextBelow(2) == 0) {
+    // Trisolve with many right-hand sides.
+    S += "forall r = 0 to N {\n";
+    S += "  for i = 0 to N {\n";
+    S += "    for j = 0 to i - 1 {\n";
+    S += "      B[r, i] = B[r, i] - L[i, j] * X[r, j]" + cost(R) + ";\n";
+    S += "    }\n";
+    S += "    X[r, i] = B[r, i] / L[i, i]" + cost(R) + ";\n";
+    S += "  }\n";
+    S += "}\n";
+  } else {
+    // LU-style rank update: pivot loop sequential, trailing submatrix
+    // update parallel in i, triangular in j.
+    S += "for k = 0 to N {\n";
+    S += "  forall i = 0 to N {\n";
+    S += "    for j = 0 to i - 1 {\n";
+    S += "      X[i, j] = f(X[i, j], L[i, k], L[k, j])" + cost(R) + ";\n";
+    S += "    }\n";
+    S += "  }\n";
+    S += "}\n";
+  }
+  if (R.nextBelow(2) == 0) {
+    // Optional consumer sweep over the solve's output.
+    S += "forall i = 0 to N {\n";
+    S += "  forall j = 0 to N {\n";
+    S += "    B[i, j] = f(X[i, j])" + cost(R) + ";\n";
+    S += "  }\n";
+    S += "}\n";
+  }
+  return S;
+}
+
+/// Wavefront recurrences: D[i,j] depends on D[i-1,j] and D[i,j-1], with
+/// an optional sequential time loop and an optional read-only operand.
+/// The doacross shape the blocking machinery (Sec. 5) exists for.
+std::string genWavefront(const std::string &Name, Rng &R) {
+  uint64_t N = pickN(R);
+  bool TimeLoop = R.nextBelow(2) == 0;
+  bool ReadOnly = R.nextBelow(2) == 0;
+  std::string S = header(Name, "generated: wavefront family");
+  S += "param N = " + num(N);
+  if (TimeLoop)
+    S += ", T = " + num(static_cast<uint64_t>(R.nextInRange(2, 10)));
+  S += ";\n";
+  S += "array D[N + 2, N + 2]";
+  if (ReadOnly)
+    S += ", A[N + 2, N + 2]";
+  S += ";\n";
+  std::string Ind = "";
+  if (TimeLoop) {
+    S += "for t = 1 to T {\n";
+    Ind = "  ";
+  }
+  S += Ind + "for i = 1 to N {\n";
+  S += Ind + "  forall j = 1 to N {\n";
+  S += Ind + "    D[i, j] = f(D[i - 1, j], D[i - 1, j - 1]" +
+       std::string(ReadOnly ? ", A[i, j]" : "") + ")" + cost(R) + ";\n";
+  S += Ind + "  }\n";
+  S += Ind + "}\n";
+  if (TimeLoop)
+    S += "}\n";
+  return S;
+}
+
+/// Multi-array cycles: a ring of K arrays where each nest writes the next
+/// array from a transposed (or shifted) read of the previous one, and the
+/// last closes the cycle. The Eqn 4 stress shape: every decomposition
+/// must reconcile conflicting preferred orientations around the ring.
+std::string genCycle(const std::string &Name, Rng &R) {
+  uint64_t N = pickN(R);
+  unsigned K = static_cast<unsigned>(R.nextInRange(2, 5));
+  std::string S = header(Name, "generated: multi-array cycle family");
+  S += "param N = " + num(N) + ";\n";
+  S += "array ";
+  for (unsigned A = 0; A != K; ++A)
+    S += std::string(A ? ", " : "") + "A" + num(A) + "[N + 1, N + 1]";
+  S += ";\n";
+  for (unsigned Link = 0; Link != K; ++Link) {
+    std::string W = "A" + num((Link + 1) % K);
+    std::string Rd = "A" + num(Link);
+    bool Transpose = R.nextBelow(3) != 0; // Mostly transposes; some copies.
+    S += "forall i = 0 to N {\n";
+    S += "  forall j = 0 to N {\n";
+    S += "    " + W + "[i, j] = f(" + Rd +
+         (Transpose ? "[j, i]" : "[i, j]") + ")" + cost(R) + ";\n";
+    S += "  }\n";
+    S += "}\n";
+  }
+  return S;
+}
+
+/// Broadcast shapes: matmul-like contractions whose read-only operands
+/// want replication (Sec. 7.2), optionally chained into a consumer.
+std::string genBroadcast(const std::string &Name, Rng &R) {
+  uint64_t N = pickN(R);
+  bool Consumer = R.nextBelow(2) == 0;
+  std::string S = header(Name, "generated: broadcast family");
+  S += "param N = " + num(N) + ";\n";
+  S += "array C[N + 1, N + 1], A[N + 1, N + 1], B[N + 1, N + 1]";
+  if (Consumer)
+    S += ", D[N + 1, N + 1]";
+  S += ";\n";
+  S += "forall i = 0 to N {\n";
+  S += "  forall j = 0 to N {\n";
+  S += "    for k = 0 to N {\n";
+  S += "      C[i, j] += A[i, k] * B[k, j]" + cost(R) + ";\n";
+  S += "    }\n";
+  S += "  }\n";
+  S += "}\n";
+  if (Consumer) {
+    S += "forall i = 0 to N {\n";
+    S += "  forall j = 0 to N {\n";
+    S += "    D[i, j] = f(C[i, j], A[i, j])" + cost(R) + ";\n";
+    S += "  }\n";
+    S += "}\n";
+  }
+  return S;
+}
+
+/// Imperfect nests: a sequential time loop enclosing two or three nests
+/// of differing depth (two-buffer stencil sweep, copy-back, optional 1-D
+/// edge pass) — the multi-nest fusion / decomposition-consistency shape.
+std::string genImperfect(const std::string &Name, Rng &R) {
+  uint64_t N = pickN(R);
+  uint64_t T = static_cast<uint64_t>(R.nextInRange(2, 10));
+  bool EdgePass = R.nextBelow(2) == 0;
+  std::string S = header(Name, "generated: imperfect nest family");
+  S += "param N = " + num(N) + ", T = " + num(T) + ";\n";
+  S += "array A[N + 2, N + 2], B[N + 2, N + 2]";
+  if (EdgePass)
+    S += ", E[N + 2]";
+  S += ";\n";
+  S += "for t = 1 to T {\n";
+  S += "  forall i = 1 to N {\n";
+  S += "    forall j = 1 to N {\n";
+  S += "      B[i, j] = f(A[i - 1, j], A[i + 1, j], A[i, j - 1], "
+       "A[i, j + 1])" +
+       cost(R) + ";\n";
+  S += "    }\n";
+  S += "  }\n";
+  S += "  forall i = 1 to N {\n";
+  S += "    forall j = 1 to N {\n";
+  S += "      A[i, j] = B[i, j]" + cost(R) + ";\n";
+  S += "    }\n";
+  S += "  }\n";
+  if (EdgePass) {
+    S += "  forall i = 1 to N {\n";
+    S += "    E[i] = f(A[i, 1])" + cost(R) + ";\n";
+    S += "  }\n";
+  }
+  S += "}\n";
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Adversarial templates (promoted from testdata/fuzz)
+//===----------------------------------------------------------------------===//
+
+/// Dense coupled subscripts in a deep nest: every pair of indices appears
+/// in some access, so exact dependence systems blow up under Fourier-
+/// Motzkin elimination. Stresses the FM budget / tier degradation path.
+std::string advFmBlowup(const std::string &Name, uint64_t N, Rng &R) {
+  std::string S =
+      header(Name, "adversarial: dense coupled subscripts — stresses the "
+                   "Fourier-Motzkin budget degradation path");
+  S += "param N = " + num(N) + ";\n";
+  S += "array A[N + 1, N + 1, N + 1], B[N + 1, N + 1, N + 1];\n";
+  S += "for i = 0 to N {\n";
+  S += "  for j = 0 to N {\n";
+  S += "    for k = 0 to N {\n";
+  S += "      for l = 0 to N {\n";
+  S += "        A[i + j, j + k, k + l] = f(A[j + k, k + l, i + j], "
+       "B[i + l, j + k, i + k])" +
+       cost(R) + ";\n";
+  S += "        B[i + k, j + l, i + j] = g(A[k + l, i + j, j + k], "
+       "B[j + l, i + k, k + l])" +
+       cost(R) + ";\n";
+  S += "      }\n";
+  S += "    }\n";
+  S += "  }\n";
+  S += "}\n";
+  return S;
+}
+
+/// Subscript coefficients near 2^40: products formed while normalizing
+/// dependence systems exceed 64 bits. Stresses checked rational
+/// arithmetic (RationalOverflow) and sound stage degradation.
+std::string advBigCoeff(const std::string &Name, uint64_t Base, Rng &R) {
+  std::string C = num(Base);
+  std::string C1 = num(Base + 1);
+  std::string Cm1 = num(Base - 1);
+  std::string S =
+      header(Name, "adversarial: ~2^40 subscript coefficients — stresses "
+                   "RationalOverflow-checked arithmetic degradation");
+  S += "param N = 1023;\n";
+  S += "array A[" + C1 + ", " + C1 + "], B[" + C1 + "];\n";
+  S += "forall i = 0 to N {\n";
+  S += "  for j = 0 to N {\n";
+  S += "    A[" + C + " * i + " + Cm1 + ", " + C + " * j] = f(A[" + C +
+       " * i, " + C + " * j + " + Cm1 + "], B[" + C + " * i + " + C +
+       " * j])" + cost(R) + ";\n";
+  S += "    B[" + C + " * j + " + Cm1 + "] += A[" + C + " * j, " + C +
+       " * i]" + cost(R) + ";\n";
+  S += "  }\n";
+  S += "}\n";
+  return S;
+}
+
+/// Rank-deficient and constant subscripts plus a zero-trip nest.
+/// Stresses pseudo-inverse / kernel tolerance of degenerate access
+/// matrices and zero-iteration bounds handling.
+std::string advDegenerate(const std::string &Name, uint64_t M, Rng &R) {
+  std::string S =
+      header(Name, "adversarial: rank-deficient subscripts and a zero-trip "
+                   "nest — stresses pseudo-inverse/kernel degeneracy "
+                   "handling");
+  S += "param N = 0, M = " + num(M) + ";\n";
+  S += "array A[M + 2, M + 2], B[M + 2];\n";
+  S += "forall i = 0 to M {\n";
+  S += "  for j = 0 to M {\n";
+  S += "    A[i - i, j] = f(A[j, j], B[2 * i - i - i + 1])" + cost(R) + ";\n";
+  S += "    B[j - j + 1] += A[1, 1]" + cost(R) + ";\n";
+  S += "  }\n";
+  S += "}\n";
+  S += "for i = 1 to N {\n";
+  S += "  B[i] = g(B[i - 1])" + cost(R) + ";\n";
+  S += "}\n";
+  return S;
+}
+
+/// Read-only arrays feeding both a contraction and a wavefront: the
+/// replication re-solve must exclude them from its interference graph
+/// even when its budget starves. Stresses the replication-degradation /
+/// orientation interaction (fuzz regression, IR generator seed 74).
+std::string advReadonlyReplication(const std::string &Name, uint64_t N,
+                                   Rng &R) {
+  std::string S =
+      header(Name, "adversarial: read-only operands under a starved "
+                   "replication re-solve — stresses replication "
+                   "degradation feeding orientation");
+  S += "param N = " + num(N) + ";\n";
+  S += "array A[N + 1, N + 1], B[N + 1, N + 1], C[N + 1, N + 1], "
+       "D[N + 1, N + 1];\n";
+  S += "forall i = 0 to N {\n";
+  S += "  forall j = 0 to N {\n";
+  S += "    for k = 0 to N {\n";
+  S += "      C[i, j] += A[i, k] * B[k, j]" + cost(R) + ";\n";
+  S += "    }\n";
+  S += "  }\n";
+  S += "}\n";
+  S += "forall i = 1 to N {\n";
+  S += "  for j = 1 to N {\n";
+  S += "    D[i, j] = f(D[i - 1, j], D[i, j - 1], A[i, j])" + cost(R) +
+       ";\n";
+  S += "  }\n";
+  S += "}\n";
+  return S;
+}
+
+/// Halo reads pulling two arrays in opposite processor-space directions
+/// inside one nest: the planner must interleave shifts in both
+/// directions deadlock-free. Stresses the schedule verifier's wait-cycle
+/// and send/recv matching checks.
+std::string advBidirectionalExchange(const std::string &Name, uint64_t N,
+                                     uint64_t T, Rng &R) {
+  std::string S =
+      header(Name, "adversarial: opposite-direction halo pulls in one nest "
+                   "— stresses schedule-verifier deadlock and matching "
+                   "checks");
+  S += "param N = " + num(N) + ", T = " + num(T) + ";\n";
+  S += "array A[N + 2], E[N + 2], B[N + 2];\n";
+  S += "for t = 1 to T {\n";
+  S += "  forall i = 1 to N {\n";
+  S += "    B[i] = f(A[i - 1], A[i + 1], E[i + 1], E[i - 1])" + cost(R) +
+       ";\n";
+  S += "  }\n";
+  S += "  forall i = 1 to N {\n";
+  S += "    A[i] = f(B[i])" + cost(R) + ";\n";
+  S += "    E[i] = f(B[i])" + cost(R) + ";\n";
+  S += "  }\n";
+  S += "}\n";
+  return S;
+}
+
+/// Randomized adversarial shape: one of the named templates with
+/// template-appropriate parameters drawn from \p R.
+std::string genAdversarial(const std::string &Name, Rng &R) {
+  switch (R.nextBelow(5)) {
+  case 0:
+    return advFmBlowup(Name, static_cast<uint64_t>(R.nextInRange(15, 63)), R);
+  case 1:
+    return advBigCoeff(
+        Name, (1ull << 40) + static_cast<uint64_t>(R.nextInRange(0, 1024)),
+        R);
+  case 2:
+    return advDegenerate(Name, static_cast<uint64_t>(R.nextInRange(7, 63)),
+                         R);
+  case 3:
+    return advReadonlyReplication(Name, pickN(R), R);
+  default:
+    return advBidirectionalExchange(
+        Name, pickN(R), static_cast<uint64_t>(R.nextInRange(2, 10)), R);
+  }
+}
+
+/// splitmix-style mix of corpus seed and program index; every program's
+/// Rng derives from this, making each index independent of all others.
+uint64_t mixSeedIndex(uint64_t Seed, uint64_t Index) {
+  uint64_t Z = Seed ^ (0x9e3779b97f4a7c15ull * (Index + 1));
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public API
+//===----------------------------------------------------------------------===//
+
+const std::vector<std::string> &gen::familyNames() {
+  static const std::vector<std::string> Names = {
+      "triangular", "wavefront", "cycle", "broadcast", "imperfect",
+      "adversarial"};
+  return Names;
+}
+
+const std::vector<std::string> &gen::adversarialTemplateNames() {
+  static const std::vector<std::string> Names = {
+      "fm-blowup", "big-coeff", "degenerate", "readonly-replication",
+      "bidirectional-exchange"};
+  return Names;
+}
+
+GeneratedProgram gen::generateProgram(uint64_t Seed, uint64_t Index,
+                                      const std::string &Family) {
+  const std::vector<std::string> &Families = familyNames();
+  std::string F = Family;
+  if (F.empty())
+    F = Families[Index % Families.size()];
+
+  GeneratedProgram P;
+  P.Family = F;
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "gen_%05llu_",
+                static_cast<unsigned long long>(Index));
+  P.Name = Buf + F;
+  P.FileName = P.Name + ".alp";
+
+  Rng R(mixSeedIndex(Seed, Index));
+  if (F == "triangular")
+    P.Source = genTriangular(P.Name, R);
+  else if (F == "wavefront")
+    P.Source = genWavefront(P.Name, R);
+  else if (F == "cycle")
+    P.Source = genCycle(P.Name, R);
+  else if (F == "broadcast")
+    P.Source = genBroadcast(P.Name, R);
+  else if (F == "imperfect")
+    P.Source = genImperfect(P.Name, R);
+  else if (F == "adversarial")
+    P.Source = genAdversarial(P.Name, R);
+  return P;
+}
+
+std::string gen::renderAdversarialTemplate(const std::string &Name) {
+  // Canonical instantiations: fixed parameters, fixed cost Rng, so the
+  // checked-in testdata/gen files are reproducible bytes.
+  Rng R(0xa11ce);
+  if (Name == "fm-blowup")
+    return advFmBlowup("adv_fm_blowup", 63, R);
+  if (Name == "big-coeff")
+    return advBigCoeff("adv_big_coeff", 1ull << 40, R);
+  if (Name == "degenerate")
+    return advDegenerate("adv_degenerate", 31, R);
+  if (Name == "readonly-replication")
+    return advReadonlyReplication("adv_readonly_replication", 255, R);
+  if (Name == "bidirectional-exchange")
+    return advBidirectionalExchange("adv_bidirectional_exchange", 255, 10, R);
+  return "";
+}
+
+std::string gen::corpusManifestJson(
+    uint64_t Seed, uint64_t Count, const std::string &Family,
+    const std::vector<GeneratedProgram> &Programs) {
+  std::string Out = "{\n";
+  Out += "  \"alp_corpus\": {\"schema_version\": 1},\n";
+  Out += "  \"seed\": " + std::to_string(Seed) + ",\n";
+  Out += "  \"count\": " + std::to_string(Count) + ",\n";
+  Out += "  \"family\": \"" + (Family.empty() ? "all" : Family) + "\",\n";
+  Out += "  \"programs\": [";
+  for (size_t I = 0; I != Programs.size(); ++I) {
+    Out += I ? ",\n    " : "\n    ";
+    Out += "{\"file\": \"" + Programs[I].FileName + "\", \"family\": \"" +
+           Programs[I].Family + "\"}";
+  }
+  Out += Programs.empty() ? "]\n" : "\n  ]\n";
+  Out += "}\n";
+  return Out;
+}

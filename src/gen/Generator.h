@@ -1,0 +1,77 @@
+//===- gen/Generator.h - Seeded affine-DSL corpus generator -----*- C++ -*-===//
+///
+/// \file
+/// The parameterized, seeded corpus generator behind tools/alp_gen: emits
+/// affine-DSL programs spanning the paper's shape space so the compiler's
+/// perf and robustness claims are exercised on hundreds of scenarios, not
+/// a dozen hand-written examples (ROADMAP item 5).
+///
+/// Shape families (docs/CORPUS.md):
+///   - triangular:  LU/Cholesky-style nests with affine triangular bounds
+///   - wavefront:   diagonal recurrences, optionally under a time loop
+///   - cycle:       multi-array chains of transposed copies (Eqn 4 stress)
+///   - broadcast:   matmul-like read-only operand replication
+///   - imperfect:   time loops enclosing several nests of differing depth
+///   - adversarial: named templates promoted from the fuzz corpus, each
+///                  stressing one checker / degradation path
+///
+/// Seeding contract: program #Index of a corpus is a pure function of
+/// (Seed, Index) — each program derives its own Rng, so the corpus is
+/// byte-identical however the indices are ordered or parallelized
+/// (`alp_gen --jobs N` races file writes, never bytes). Same Seed and
+/// Count => byte-identical corpus, forever; changing either reshuffles
+/// everything by design.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALP_GEN_GENERATOR_H
+#define ALP_GEN_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alp {
+namespace gen {
+
+/// One generated program: a DSL identifier, the file name it lands under
+/// in the corpus directory, and the full source text.
+struct GeneratedProgram {
+  std::string Name;     ///< Program identifier ("gen_00042_wavefront").
+  std::string FileName; ///< Corpus-relative file name (Name + ".alp").
+  std::string Family;   ///< Shape family name.
+  std::string Source;   ///< Complete DSL source, trailing newline included.
+};
+
+/// The shape-family names, in round-robin order ("triangular",
+/// "wavefront", "cycle", "broadcast", "imperfect", "adversarial").
+const std::vector<std::string> &familyNames();
+
+/// Generates corpus program \p Index for \p Seed. \p Family selects one
+/// family for the whole corpus; empty round-robins `Index % families`.
+/// Pure function of its arguments (see the seeding contract above);
+/// throws nothing, an unknown family name returns an empty Source.
+GeneratedProgram generateProgram(uint64_t Seed, uint64_t Index,
+                                 const std::string &Family = "");
+
+/// Names of the adversarial templates promoted from the fuzz corpus
+/// ("fm-blowup", "big-coeff", "degenerate", "readonly-replication",
+/// "bidirectional-exchange").
+const std::vector<std::string> &adversarialTemplateNames();
+
+/// The canonical (fixed-parameter) instantiation of one adversarial
+/// template — the exact bytes checked in under testdata/gen/ and pinned
+/// by GeneratorTest. Unknown name returns the empty string. The leading
+/// comment names the checker / degradation path the shape stresses.
+std::string renderAdversarialTemplate(const std::string &Name);
+
+/// The corpus manifest JSON: seed, count, family, and the file list in
+/// index order. Deterministic for a given (Seed, Count, Family).
+std::string corpusManifestJson(uint64_t Seed, uint64_t Count,
+                               const std::string &Family,
+                               const std::vector<GeneratedProgram> &Programs);
+
+} // namespace gen
+} // namespace alp
+
+#endif // ALP_GEN_GENERATOR_H

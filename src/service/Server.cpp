@@ -4,6 +4,7 @@
 
 #include "core/CompileSession.h"
 #include "frontend/Lowering.h"
+#include "service/Batch.h"
 #include "support/CliFlags.h"
 #include "support/Supervisor.h"
 
@@ -278,39 +279,6 @@ bool readExact(int Fd, std::string &Out, size_t Len) {
   return true;
 }
 
-/// Captures a CompileSession run's two streams via open_memstream.
-struct CaptureResult {
-  int ExitCode = 0;
-  std::string Out, Err;
-};
-
-CaptureResult runSessionCaptured(const CompileRequest &Req) {
-  CaptureResult R;
-  char *OutBuf = nullptr, *ErrBuf = nullptr;
-  size_t OutLen = 0, ErrLen = 0;
-  std::FILE *OutF = open_memstream(&OutBuf, &OutLen);
-  std::FILE *ErrF = open_memstream(&ErrBuf, &ErrLen);
-  if (!OutF || !ErrF) {
-    if (OutF)
-      std::fclose(OutF);
-    if (ErrF)
-      std::fclose(ErrF);
-    std::free(OutBuf);
-    std::free(ErrBuf);
-    R.ExitCode = 3;
-    R.Err = "error: service: cannot allocate capture streams\n";
-    return R;
-  }
-  R.ExitCode = CompileSession::run(Req, OutF, ErrF).ExitCode;
-  std::fclose(OutF);
-  std::fclose(ErrF);
-  R.Out.assign(OutBuf, OutLen);
-  R.Err.assign(ErrBuf, ErrLen);
-  std::free(OutBuf);
-  std::free(ErrBuf);
-  return R;
-}
-
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -501,11 +469,108 @@ void Server::handleConnection(int Fd) {
         break;
       continue;
     }
+    if (Line.rfind("BATCH ", 0) == 0) {
+      uint64_t Count = 0;
+      if (!parseU64(Line.substr(6), Count) || Count == 0 || Count > 4096) {
+        Metrics.add("service.protocol_errors");
+        writeAll(Fd, "ERR malformed BATCH count\n");
+        break;
+      }
+      std::vector<std::string> Payloads(Count);
+      bool ReadOk = true;
+      for (uint64_t I = 0; I != Count && ReadOk; ++I) {
+        std::string LenLine;
+        uint64_t Len = 0;
+        ReadOk = readLine(Fd, LenLine) && parseU64(LenLine, Len) &&
+                 Len <= (64u << 20) && readExact(Fd, Payloads[I], Len);
+      }
+      if (!ReadOk) {
+        Metrics.add("service.protocol_errors");
+        writeAll(Fd, "ERR malformed BATCH payload\n");
+        break;
+      }
+      if (!handleBatch(Fd, Payloads))
+        break;
+      continue;
+    }
     Metrics.add("service.protocol_errors");
     writeAll(Fd, "ERR unknown command\n");
     break;
   }
   ::close(Fd);
+}
+
+bool Server::handleBatch(int Fd, const std::vector<std::string> &Payloads) {
+  Metrics.add("service.batches");
+  Metrics.add("service.requests", Payloads.size());
+
+  // Flag-line errors answer per item without compiling, exactly like the
+  // single-COMPILE path; well-formed items go to the batch session.
+  const size_t N = Payloads.size();
+  std::vector<BatchItemResult> Results(N);
+  std::vector<bool> FlagError(N, false);
+  std::vector<CompileRequest> Items;
+  std::vector<size_t> ItemIndex; // Batch position -> payload position.
+  for (size_t I = 0; I != N; ++I) {
+    size_t Eol = Payloads[I].find('\n');
+    std::string FlagsLine =
+        Eol == std::string::npos ? Payloads[I] : Payloads[I].substr(0, Eol);
+    CompileRequest Req;
+    Req.FileName = "<batch:" + std::to_string(I) + ">";
+    Req.Source =
+        Eol == std::string::npos ? std::string() : Payloads[I].substr(Eol + 1);
+    std::string FlagErr;
+    if (!parseServiceRequestFlags(FlagsLine, Req, FlagErr)) {
+      Metrics.add("service.request_flag_errors");
+      FlagError[I] = true;
+      Results[I].ExitCode = 2;
+      Results[I].Error = "error: " + FlagErr + "\n";
+      continue;
+    }
+    Items.push_back(std::move(Req));
+    ItemIndex.push_back(I);
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(BatchMutex);
+    if (!Batch) {
+      BatchOptions BOpts;
+      BOpts.Jobs = Opts.Threads;
+      BOpts.Cache = &Cache;
+      BOpts.MaxAttempts = Opts.CompileAttempts;
+      BOpts.RequestDeadlineMs = Opts.RequestDeadlineMs;
+      Batch = std::make_unique<BatchSession>(BOpts);
+    }
+    // Age the cache at the same per-request cadence as single COMPILEs.
+    for (size_t I = 0; I != Items.size(); ++I) {
+      uint64_t Seq = CompileCount.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (Opts.GenerationEvery && Seq % Opts.GenerationEvery == 0)
+        Cache.bumpGeneration();
+    }
+    std::vector<BatchItemResult> BatchResults = Batch->run(Items);
+    for (size_t K = 0; K != BatchResults.size(); ++K)
+      Results[ItemIndex[K]] = std::move(BatchResults[K]);
+    Metrics.setGauge("service.cache_size", static_cast<double>(Cache.size()));
+  }
+
+  for (size_t I = 0; I != N; ++I) {
+    bool Hit = Results[I].CacheHit || Results[I].DedupHit;
+    std::ostringstream Reply;
+    Reply << "RESULT " << Results[I].ExitCode << ' '
+          << (Hit ? "hit" : "miss") << ' ' << Results[I].Output.size() << ' '
+          << Results[I].Error.size() << '\n';
+    if (!writeAll(Fd, Reply.str()) || !writeAll(Fd, Results[I].Output) ||
+        !writeAll(Fd, Results[I].Error))
+      return false;
+  }
+  std::string Report;
+  {
+    std::lock_guard<std::mutex> Lock(BatchMutex);
+    Report = Batch->reportJson();
+  }
+  std::ostringstream Trailer;
+  Trailer << "BATCHSTATS " << Report.size() << '\n' << Report;
+  return writeAll(Fd, Trailer.str());
 }
 
 void Server::handleCompile(const std::string &Payload, int &Exit, bool &Hit,
@@ -539,15 +604,19 @@ void Server::handleCompile(const std::string &Payload, int &Exit, bool &Hit,
     Req.Driver.DeadlineMs = Opts.RequestDeadlineMs;
 
   // Canonical keying needs the parsed program; a parse failure bypasses
-  // the cache (the session re-parses and renders the diagnostics).
+  // the cache (the session re-parses and renders the diagnostics). On a
+  // miss the parse is handed to the session (CompileRequest::PreParsed)
+  // so the source is never parsed twice.
   bool HaveKey = false;
   RequestKey Key;
   {
-    DiagnosticEngine Diags;
-    std::optional<Program> KeyProg = compileDsl(Req.Source, Diags);
+    auto Diags = std::make_shared<DiagnosticEngine>();
+    std::optional<Program> KeyProg = compileDsl(Req.Source, *Diags);
     if (KeyProg) {
       Key = canonicalRequestKey(Req, *KeyProg);
       HaveKey = true;
+      Req.PreParsed = std::make_shared<const Program>(std::move(*KeyProg));
+      Req.PreParsedDiags = std::move(Diags);
     }
   }
   if (HaveKey) {

@@ -13,6 +13,9 @@
 ///   STATS                    -> STATS <len>\n<counters JSON>
 ///   COMPILE <len>\n<payload> -> RESULT <exit> <hit|miss> <outlen>
 ///                               <errlen>\n<stdout bytes><stderr bytes>
+///   BATCH <n>                -> n RESULT replies (request order), then
+///     then n blocks, each        BATCHSTATS <len>\n<report JSON>
+///     <len>\n<payload>
 ///   QUIT                     -> BYE (connection closes)
 ///   SHUTDOWN                 -> BYE (server drains and exits)
 ///   anything else            -> ERR <message> (connection closes)
@@ -23,6 +26,14 @@
 /// (DecompositionCache.h) and answered from cache on repeats; parse
 /// failures bypass the cache. Connections may issue any number of
 /// commands.
+///
+/// BATCH payloads have the same shape as COMPILE payloads. The batch runs
+/// through the same BatchSession API as `alpc --batch` (service/Batch.h):
+/// items are pre-keyed, deduplicated, served from the shared cache where
+/// possible, and compiled on the server's persistent batch pool with warm
+/// per-worker arena reuse. A dedup or cache serve replies "hit". The
+/// BATCHSTATS trailer is the batch session's accumulated aggregate report
+/// (schema v2, kind "batch") covering every BATCH served so far.
 ///
 /// Concurrency: one accept thread feeds a connection queue drained by the
 /// existing support/ThreadPool (each worker owns a connection at a time);
@@ -48,9 +59,11 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace alp {
 
+class BatchSession;
 struct CompileRequest;
 
 /// Parses a service request's flags line (the semantic subset of alpc's
@@ -113,11 +126,19 @@ private:
   /// Runs one COMPILE payload; fills the reply header fields and bytes.
   void handleCompile(const std::string &Payload, int &Exit, bool &Hit,
                      std::string &OutBytes, std::string &ErrBytes);
+  /// Runs \p Payloads through the shared batch session and writes the
+  /// RESULT replies plus the BATCHSTATS trailer to \p Fd. False on a
+  /// socket write failure (caller closes the connection).
+  bool handleBatch(int Fd, const std::vector<std::string> &Payloads);
 
   ServerOptions Opts;
   MetricsRegistry Metrics;
   DecompositionCache Cache;
   std::unique_ptr<ThreadPool> Pool;
+  /// Lazily created on the first BATCH verb; serialized by BatchMutex so
+  /// its warm worker arenas persist across batches from any connection.
+  std::unique_ptr<BatchSession> Batch;
+  std::mutex BatchMutex;
 
   std::atomic<bool> Stop{false};
   std::atomic<int> ListenFd{-1};

@@ -1,0 +1,138 @@
+//===- support/StatsReport.cpp - Versioned stats document writer ----------===//
+
+#include "support/StatsReport.h"
+
+#include "support/Trace.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace alp;
+
+void StatsReport::field(const std::string &Name, std::string RawJson) {
+  Fields.emplace_back(Name, std::move(RawJson));
+}
+
+void StatsReport::fieldUInt(const std::string &Name, unsigned long long V) {
+  field(Name, std::to_string(V));
+}
+
+void StatsReport::fieldDouble(const std::string &Name, double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  field(Name, Buf);
+}
+
+void StatsReport::fieldBool(const std::string &Name, bool V) {
+  field(Name, V ? "true" : "false");
+}
+
+void StatsReport::fieldString(const std::string &Name, const std::string &V) {
+  field(Name, "\"" + escapeJson(V) + "\"");
+}
+
+std::string StatsReport::escapeJson(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string StatsReport::headerOpen(const std::string &Kind) {
+  return "{\n  \"alp_stats\": {\"schema_version\": " +
+         std::to_string(StatsSchemaVersion) + ", \"kind\": \"" + Kind +
+         "\"},\n";
+}
+
+std::string StatsReport::render() const {
+  std::string Out = headerOpen(Kind);
+
+  for (const auto &[Name, Raw] : Fields)
+    Out += "  \"" + Name + "\": " + Raw + ",\n";
+
+  // Counters: the deterministic section (byte-identical for every --jobs).
+  static const MetricsRegistry EmptyRegistry;
+  const MetricsRegistry &CR = Counters ? *Counters : EmptyRegistry;
+  Out += "  \"counters\": " + CR.renderCountersJson() + ",\n";
+
+  // Gauges: point-in-time values; may vary with scheduling and wall time.
+  Out += "  \"gauges\": {";
+  {
+    const MetricsRegistry &GR = Gauges ? *Gauges : EmptyRegistry;
+    bool First = true;
+    for (const auto &[Name, Value] : GR.gauges()) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+      Out += First ? "\n" : ",\n";
+      Out += "    \"" + Name + "\": " + Buf;
+      First = false;
+    }
+    Out += First ? "}" : "\n  }";
+  }
+  Out += ",\n";
+
+  // Span aggregates by name: count and total wall milliseconds.
+  Out += "  \"spans\": [";
+  if (Spans) {
+    struct Agg {
+      uint64_t Count = 0;
+      uint64_t TotalNs = 0;
+    };
+    std::map<std::string, Agg> ByName;
+    for (const Tracer::Event &E : Spans->events()) {
+      Agg &A = ByName[E.Name];
+      ++A.Count;
+      A.TotalNs += E.DurNs;
+    }
+    bool First = true;
+    for (const auto &[Name, A] : ByName) {
+      char Buf[128];
+      std::snprintf(Buf, sizeof(Buf),
+                    "{\"name\": \"%s\", \"count\": %llu, \"total_ms\": %.6f}",
+                    Name.c_str(), static_cast<unsigned long long>(A.Count),
+                    static_cast<double>(A.TotalNs) / 1e6);
+      Out += First ? "\n    " : ",\n    ";
+      Out += Buf;
+      First = false;
+    }
+    if (!First)
+      Out += "\n  ";
+  }
+  Out += "]\n}\n";
+  return Out;
+}
+
+std::string alp::renderStatsJson(const MetricsRegistry *Metrics,
+                                 const Tracer *Trace) {
+  StatsReport R("compile");
+  R.setCounters(Metrics);
+  R.setGauges(Metrics);
+  R.setSpans(Trace);
+  return R.render();
+}

@@ -5,7 +5,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
-#include <map>
 #include <mutex>
 #include <ostream>
 
@@ -57,59 +56,5 @@ void Tracer::writeChromeTrace(std::ostream &OS) const {
   OS << "\n]}\n";
 }
 
-std::string alp::renderStatsJson(const MetricsRegistry *Metrics,
-                                 const Tracer *Trace) {
-  std::string Out = "{\n";
-  Out += "  \"alp_stats\": {\"schema_version\": " +
-         std::to_string(StatsSchemaVersion) + "},\n";
-
-  // Counters: the deterministic section (byte-identical for every --jobs).
-  static const MetricsRegistry EmptyRegistry;
-  const MetricsRegistry &MR = Metrics ? *Metrics : EmptyRegistry;
-  Out += "  \"counters\": " + MR.renderCountersJson() + ",\n";
-
-  // Gauges: point-in-time values; may vary with scheduling and wall time.
-  Out += "  \"gauges\": {";
-  {
-    bool First = true;
-    for (const auto &[Name, Value] : MR.gauges()) {
-      char Buf[64];
-      std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
-      Out += First ? "\n" : ",\n";
-      Out += "    \"" + Name + "\": " + Buf;
-      First = false;
-    }
-    Out += First ? "}" : "\n  }";
-  }
-  Out += ",\n";
-
-  // Span aggregates by name: count and total wall milliseconds.
-  Out += "  \"spans\": [";
-  if (Trace) {
-    struct Agg {
-      uint64_t Count = 0;
-      uint64_t TotalNs = 0;
-    };
-    std::map<std::string, Agg> ByName;
-    for (const Tracer::Event &E : Trace->events()) {
-      Agg &A = ByName[E.Name];
-      ++A.Count;
-      A.TotalNs += E.DurNs;
-    }
-    bool First = true;
-    for (const auto &[Name, A] : ByName) {
-      char Buf[128];
-      std::snprintf(Buf, sizeof(Buf),
-                    "{\"name\": \"%s\", \"count\": %llu, \"total_ms\": %.6f}",
-                    Name.c_str(), static_cast<unsigned long long>(A.Count),
-                    static_cast<double>(A.TotalNs) / 1e6);
-      Out += First ? "\n    " : ",\n    ";
-      Out += Buf;
-      First = false;
-    }
-    if (!First)
-      Out += "\n  ";
-  }
-  Out += "]\n}\n";
-  return Out;
-}
+// renderStatsJson lives in StatsReport.cpp: it is now a thin wrapper over
+// the schema-v2 StatsReport writer with kind "compile".

@@ -38,12 +38,14 @@
 
 namespace alp {
 
-/// Version of the stats JSON schema emitted by renderStatsJson. Policy
-/// (docs/OBSERVABILITY.md): adding new counters, gauges, or span names is
-/// *not* a version bump — consumers must ignore unknown names; renaming
-/// or removing a field, or changing a field's meaning or units, bumps
-/// this number.
-inline constexpr unsigned StatsSchemaVersion = 1;
+/// Version of the stats JSON schema emitted by StatsReport /
+/// renderStatsJson. Policy (docs/OBSERVABILITY.md): adding new counters,
+/// gauges, or span names is *not* a version bump — consumers must ignore
+/// unknown names; renaming or removing a field, or changing a field's
+/// meaning or units, bumps this number. v2 = v1 plus a "kind"
+/// discriminator in the header and optional producer fields before the
+/// counters section (support/StatsReport.h).
+inline constexpr unsigned StatsSchemaVersion = 2;
 
 /// Collects timed spans. Create one per pipeline run when tracing is
 /// requested; plumb it by pointer (null = tracing disabled).

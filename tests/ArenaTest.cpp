@@ -14,6 +14,7 @@
 #include "core/Driver.h"
 #include "frontend/Lowering.h"
 #include "linalg/Matrix.h"
+#include "service/Batch.h"
 #include "support/Arena.h"
 #include "support/FailPoint.h"
 #include "support/SmallVec.h"
@@ -226,6 +227,46 @@ TEST(ArenaSteadyStateTest, Fig1DecompositionIsAllocationFree) {
 
 TEST(ArenaSteadyStateTest, JacobiDecompositionIsAllocationFree) {
   expectZeroSteadyStateAllocs(std::string(ALP_EXAMPLES_DIR) + "/jacobi.alp");
+}
+
+// The batch extension of the same contract (service/Batch.h): a
+// BatchSession's pool — and with it every worker's thread-local arena —
+// persists across run() calls, so once one batch has warmed the blocks, a
+// 50-request batch of fresh compiles performs zero linalg heap
+// allocations end to end.
+TEST(ArenaTest, BatchSteadyStateAllocationFree) {
+  // 50 distinct programs of one shape (each `param N` differs, so every
+  // canonical key is unique and nothing dedups or cache-hits away — all
+  // 50 compile for real on each run).
+  std::vector<CompileRequest> Items;
+  for (unsigned I = 0; I != 50; ++I) {
+    CompileRequest Req;
+    Req.FileName = "warm_" + std::to_string(I) + ".alp";
+    Req.Source = "program warm_" + std::to_string(I) + ";\n" +
+                 "param N = " + std::to_string(48 + I) + ";\n" +
+                 "array A[N + 2], B[N + 2];\n" +
+                 "forall i = 1 to N {\n" +
+                 "  B[i] = f(A[i - 1], A[i + 1]) @cost(1);\n" +
+                 "}\n" +
+                 "forall i = 1 to N {\n" +
+                 "  A[i] = f(B[i]) @cost(1);\n" +
+                 "}\n";
+    Items.push_back(std::move(Req));
+  }
+  BatchOptions Opts;
+  Opts.Jobs = 1; // One warm worker: every compile reuses its arena.
+  BatchSession Session(Opts);
+  std::vector<BatchItemResult> Warmup = Session.run(Items);
+  for (const BatchItemResult &R : Warmup)
+    ASSERT_EQ(R.ExitCode, 0) << R.Error;
+  const uint64_t SpillsBefore = containerHeapSpills();
+  std::vector<BatchItemResult> Warm = Session.run(Items);
+  EXPECT_EQ(containerHeapSpills() - SpillsBefore, 0u)
+      << "linalg containers hit the heap in a warm batch";
+  for (size_t I = 0; I != Items.size(); ++I) {
+    EXPECT_EQ(Warm[I].ExitCode, 0);
+    EXPECT_EQ(Warm[I].Output, Warmup[I].Output);
+  }
 }
 
 } // namespace

@@ -26,8 +26,8 @@ endif()
 
 file(READ ${S1} STATS1)
 file(READ ${S4} STATS4)
-if(NOT STATS1 MATCHES "\"schema_version\": 1")
-  message(FATAL_ERROR "stats JSON lacks schema_version 1:\n${STATS1}")
+if(NOT STATS1 MATCHES "\"schema_version\": 2")
+  message(FATAL_ERROR "stats JSON lacks schema_version 2:\n${STATS1}")
 endif()
 
 string(REGEX MATCH "\"counters\": {[^}]*}" COUNTERS1 "${STATS1}")

@@ -1,0 +1,97 @@
+# End-to-end batch determinism: alp_gen must emit a byte-identical corpus
+# for any --jobs value, and alpc --batch over that corpus must produce a
+# byte-identical per-item stream and aggregate report for any --jobs value.
+#
+# Variables: ALPGEN, ALPC (binaries), WORKDIR (scratch), and optionally
+# SEED, COUNT, JOBS_A, JOBS_B.
+
+if(NOT DEFINED SEED)
+  set(SEED 7)
+endif()
+if(NOT DEFINED COUNT)
+  set(COUNT 24)
+endif()
+if(NOT DEFINED JOBS_A)
+  set(JOBS_A 1)
+endif()
+if(NOT DEFINED JOBS_B)
+  set(JOBS_B 8)
+endif()
+
+set(DIR_A ${WORKDIR}/batch_corpus_a)
+set(DIR_B ${WORKDIR}/batch_corpus_b)
+file(REMOVE_RECURSE ${DIR_A} ${DIR_B})
+
+# The same (seed, count) at both --jobs values: the corpus bytes must match
+# file for file, manifest included.
+foreach(side A B)
+  execute_process(
+    COMMAND ${ALPGEN} --out ${DIR_${side}} --seed ${SEED} --count ${COUNT}
+            --jobs ${JOBS_${side}}
+    RESULT_VARIABLE RC
+    ERROR_VARIABLE ERR)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "alp_gen --jobs ${JOBS_${side}} failed: ${ERR}")
+  endif()
+endforeach()
+
+file(GLOB FILES_A RELATIVE ${DIR_A} ${DIR_A}/*)
+file(GLOB FILES_B RELATIVE ${DIR_B} ${DIR_B}/*)
+if(NOT FILES_A STREQUAL FILES_B)
+  message(FATAL_ERROR
+    "corpus file lists differ across --jobs:\n${FILES_A}\nvs\n${FILES_B}")
+endif()
+foreach(f ${FILES_A})
+  file(READ ${DIR_A}/${f} BYTES_A)
+  file(READ ${DIR_B}/${f} BYTES_B)
+  if(NOT BYTES_A STREQUAL BYTES_B)
+    message(FATAL_ERROR "corpus file ${f} differs across --jobs")
+  endif()
+endforeach()
+
+# One batch compile per --jobs value over the (identical) corpus: the
+# verdict stream, exit code, and the aggregate report must all match.
+execute_process(
+  COMMAND ${ALPC} --batch ${DIR_A} --spmd --jobs ${JOBS_A}
+          --batch-report=${WORKDIR}/batch_report_a.json
+  OUTPUT_VARIABLE OUT_A
+  ERROR_VARIABLE ERR_A
+  RESULT_VARIABLE RC_A)
+execute_process(
+  COMMAND ${ALPC} --batch ${DIR_B} --spmd --jobs ${JOBS_B}
+          --batch-report=${WORKDIR}/batch_report_b.json
+  OUTPUT_VARIABLE OUT_B
+  ERROR_VARIABLE ERR_B
+  RESULT_VARIABLE RC_B)
+
+if(NOT RC_A EQUAL RC_B)
+  message(FATAL_ERROR
+    "batch exit codes differ: --jobs ${JOBS_A} -> ${RC_A}, "
+    "--jobs ${JOBS_B} -> ${RC_B}")
+endif()
+# The verdict streams name corpus files by absolute path; strip the
+# directory prefixes before comparing.
+string(REPLACE "${DIR_A}" "<corpus>" OUT_A "${OUT_A}")
+string(REPLACE "${DIR_B}" "<corpus>" OUT_B "${OUT_B}")
+if(NOT OUT_A STREQUAL OUT_B)
+  message(FATAL_ERROR
+    "batch stdout differs between --jobs ${JOBS_A} and --jobs ${JOBS_B}:\n"
+    "--- jobs=${JOBS_A} ---\n${OUT_A}\n--- jobs=${JOBS_B} ---\n${OUT_B}")
+endif()
+
+file(READ ${WORKDIR}/batch_report_a.json REPORT_A)
+file(READ ${WORKDIR}/batch_report_b.json REPORT_B)
+string(REPLACE "${DIR_A}" "<corpus>" REPORT_A "${REPORT_A}")
+string(REPLACE "${DIR_B}" "<corpus>" REPORT_B "${REPORT_B}")
+if(NOT REPORT_A STREQUAL REPORT_B)
+  message(FATAL_ERROR
+    "batch reports differ between --jobs ${JOBS_A} and --jobs ${JOBS_B}:\n"
+    "--- jobs=${JOBS_A} ---\n${REPORT_A}\n"
+    "--- jobs=${JOBS_B} ---\n${REPORT_B}")
+endif()
+if(NOT REPORT_A MATCHES "\"schema_version\": 2")
+  message(FATAL_ERROR "batch report is not schema v2:\n${REPORT_A}")
+endif()
+
+message(STATUS
+  "corpus and batch report byte-identical for --jobs ${JOBS_A} and ${JOBS_B}")

@@ -168,7 +168,7 @@ TEST(CompileSessionTest, StatsArtifactCarriesSchemaHeader) {
   LibRun R = runLib(Req);
   EXPECT_EQ(R.Result.ExitCode, 0);
   ASSERT_TRUE(R.Result.Artifacts.HasStats);
-  EXPECT_NE(R.Result.Artifacts.StatsJson.find("\"schema_version\": 1"),
+  EXPECT_NE(R.Result.Artifacts.StatsJson.find("\"schema_version\": 2"),
             std::string::npos);
 }
 

@@ -1,0 +1,135 @@
+//===- tests/GeneratorTest.cpp - Corpus generator seeding contract --------===//
+//
+// The gen/Generator.h contract: program #Index of a corpus is a pure
+// function of (Seed, Index) — byte-identical however the indices are
+// ordered or parallelized; families round-robin by index; every generated
+// program parses; the promoted adversarial templates are pinned
+// byte-for-byte against their checked-in testdata/gen/ twins; and the
+// corpus manifest is deterministic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Generator.h"
+
+#include "frontend/Lowering.h"
+#include "support/Diagnostics.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace alp;
+
+namespace {
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+TEST(GeneratorTest, SameSeedAndIndexIsPure) {
+  for (uint64_t I = 0; I != 12; ++I) {
+    gen::GeneratedProgram A = gen::generateProgram(7, I);
+    gen::GeneratedProgram B = gen::generateProgram(7, I);
+    EXPECT_EQ(A.Name, B.Name);
+    EXPECT_EQ(A.FileName, B.FileName);
+    EXPECT_EQ(A.Family, B.Family);
+    EXPECT_EQ(A.Source, B.Source);
+  }
+}
+
+TEST(GeneratorTest, GenerationOrderNeverChangesBytes) {
+  // Forward order ...
+  std::vector<std::string> Forward;
+  for (uint64_t I = 0; I != 18; ++I)
+    Forward.push_back(gen::generateProgram(42, I).Source);
+  // ... reverse order ...
+  std::vector<std::string> Reverse(18);
+  for (uint64_t I = 18; I-- != 0;)
+    Reverse[I] = gen::generateProgram(42, I).Source;
+  EXPECT_EQ(Forward, Reverse);
+  // ... and racing pool workers (the `alp_gen --jobs N` shape) all
+  // produce the same corpus.
+  std::vector<std::string> Raced(18);
+  ThreadPool Pool(4);
+  Pool.parallelFor(18, [&](size_t I) {
+    Raced[I] = gen::generateProgram(42, I).Source;
+  });
+  EXPECT_EQ(Forward, Raced);
+}
+
+TEST(GeneratorTest, SeedReshufflesTheCorpus) {
+  bool AnyDiffer = false;
+  for (uint64_t I = 0; I != 6 && !AnyDiffer; ++I)
+    AnyDiffer = gen::generateProgram(1, I).Source !=
+                gen::generateProgram(2, I).Source;
+  EXPECT_TRUE(AnyDiffer);
+}
+
+TEST(GeneratorTest, FamiliesRoundRobinByIndex) {
+  const std::vector<std::string> &Families = gen::familyNames();
+  ASSERT_EQ(Families.size(), 6u);
+  for (uint64_t I = 0; I != 12; ++I)
+    EXPECT_EQ(gen::generateProgram(9, I).Family,
+              Families[I % Families.size()]);
+}
+
+TEST(GeneratorTest, ExplicitFamilyPinsEveryIndex) {
+  for (const std::string &Family : gen::familyNames())
+    for (uint64_t I = 0; I != 3; ++I)
+      EXPECT_EQ(gen::generateProgram(5, I, Family).Family, Family);
+  // Unknown family names are soft errors: empty source, never a throw.
+  EXPECT_TRUE(gen::generateProgram(5, 0, "nonsense").Source.empty());
+}
+
+TEST(GeneratorTest, EveryGeneratedProgramParses) {
+  for (uint64_t I = 0; I != 24; ++I) {
+    gen::GeneratedProgram G = gen::generateProgram(1234, I);
+    DiagnosticEngine Diags;
+    EXPECT_TRUE(compileDsl(G.Source, Diags).has_value())
+        << G.Name << " (" << G.Family << ") failed to parse:\n"
+        << Diags.str() << "\n"
+        << G.Source;
+  }
+}
+
+TEST(GeneratorTest, AdversarialTemplatesMatchCheckedInCorpus) {
+  // The canonical instantiations are promoted to testdata/gen/ so the
+  // whole test suite (fuzz replay, lint, batch smoke) exercises them; this
+  // pins the two copies together byte-for-byte.
+  const std::vector<std::string> &Names = gen::adversarialTemplateNames();
+  ASSERT_EQ(Names.size(), 5u);
+  for (const std::string &Name : Names) {
+    std::string File = Name;
+    std::replace(File.begin(), File.end(), '-', '_');
+    std::string Path =
+        std::string(ALP_TESTDATA_DIR) + "/gen/" + File + ".alp";
+    EXPECT_EQ(gen::renderAdversarialTemplate(Name), readFile(Path))
+        << "template " << Name << " drifted from " << Path
+        << "; re-promote with alp_gen";
+  }
+  EXPECT_TRUE(gen::renderAdversarialTemplate("no-such-template").empty());
+}
+
+TEST(GeneratorTest, ManifestIsDeterministic) {
+  std::vector<gen::GeneratedProgram> Programs;
+  for (uint64_t I = 0; I != 6; ++I)
+    Programs.push_back(gen::generateProgram(3, I));
+  std::string A = gen::corpusManifestJson(3, 6, "", Programs);
+  std::string B = gen::corpusManifestJson(3, 6, "", Programs);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A.find("\"seed\": 3"), std::string::npos) << A;
+  EXPECT_NE(A.find("\"count\": 6"), std::string::npos) << A;
+  for (const gen::GeneratedProgram &G : Programs)
+    EXPECT_NE(A.find(G.FileName), std::string::npos) << A;
+}
+
+} // namespace

@@ -209,7 +209,7 @@ TEST(TraceTest, StatsJsonCarriesSchemaVersionAndSections) {
   Tracer T;
   { TraceSpan S(&T, "stage.one"); }
   std::string Json = renderStatsJson(&MR, &T);
-  EXPECT_NE(Json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(Json.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(Json.find("\"counters\": {"), std::string::npos);
   EXPECT_NE(Json.find("\"c.one\": 1"), std::string::npos);
   EXPECT_NE(Json.find("\"gauges\": {"), std::string::npos);
@@ -218,7 +218,7 @@ TEST(TraceTest, StatsJsonCarriesSchemaVersionAndSections) {
   EXPECT_NE(Json.find("\"stage.one\""), std::string::npos);
   // Null sinks render an empty but valid document.
   std::string Empty = renderStatsJson(nullptr, nullptr);
-  EXPECT_NE(Empty.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(Empty.find("\"schema_version\": 2"), std::string::npos);
 }
 
 TEST(TraceTest, CountersIdenticalAcrossJobs) {

@@ -12,6 +12,14 @@
 // parsing, source ingestion, one CompileSession::run call, and the
 // --trace/--stats artifact writes.
 //
+// Batch mode: --batch=<dir> compiles every *.alp file under <dir>
+// (sorted, non-recursive) through the service-layer BatchSession
+// (service/Batch.h) — shared-cache dedup, one persistent worker pool
+// with warm per-worker arena reuse, and a jobs-deterministic aggregate
+// report (--batch-report=<file>, '-' for stdout). The semantic flags
+// above apply to every item. Batch exit code: 1 if any item failed
+// (exit 1/2/3), else 4 if any degraded, else 0.
+//
 // Observability: --trace=<file> writes a Chrome trace-event JSON of the
 // pipeline's spans (load in chrome://tracing or Perfetto); --stats=<file>
 // writes the versioned stats JSON (counters, gauges, span aggregates);
@@ -32,11 +40,15 @@
 
 #include "analysis/Lint.h"
 #include "core/CompileSession.h"
+#include "service/Batch.h"
+#include "service/DecompositionCache.h"
 #include "support/AtomicFile.h"
 #include "support/CliFlags.h"
 #include "support/FailPoint.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -49,6 +61,85 @@ namespace {
 /// Source ingestion: fired after the input file is opened but before its
 /// contents are consumed.
 FailPoint FpIoRead("io.read");
+
+/// --batch driver: reads every *.alp file directly under \p Dir (sorted
+/// by path, so the batch is independent of directory enumeration order),
+/// runs them through one BatchSession with the parsed flags as the
+/// per-item template, prints a one-line verdict per item, and writes the
+/// aggregate report.
+int runBatch(const CompileRequest &Template, const std::string &Dir,
+             const std::string &ReportPath) {
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  std::vector<std::string> Files;
+  fs::directory_iterator It(Dir, EC);
+  if (EC) {
+    std::fprintf(stderr, "error: cannot read batch directory '%s': %s\n",
+                 Dir.c_str(), EC.message().c_str());
+    return 1;
+  }
+  for (const fs::directory_entry &E : It)
+    if (E.is_regular_file() && E.path().extension() == ".alp")
+      Files.push_back(E.path().string());
+  std::sort(Files.begin(), Files.end());
+  if (Files.empty()) {
+    std::fprintf(stderr, "error: no .alp files under '%s'\n", Dir.c_str());
+    return 1;
+  }
+
+  std::vector<CompileRequest> Items;
+  Items.reserve(Files.size());
+  for (const std::string &F : Files) {
+    std::ifstream In(F);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", F.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    CompileRequest Req = Template;
+    Req.FileName = F;
+    Req.Source = Buf.str();
+    Items.push_back(std::move(Req));
+  }
+
+  DecompositionCache Cache;
+  BatchOptions BOpts;
+  BOpts.Jobs = Template.Driver.Jobs;
+  BOpts.Cache = &Cache;
+  BatchSession Session(BOpts);
+  std::vector<BatchItemResult> Results = Session.run(Items);
+
+  bool AnyFail = false, AnyDegraded = false;
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const BatchItemResult &R = Results[I];
+    const char *Served =
+        R.CacheHit ? "cache" : R.DedupHit ? "dedup" : "compile";
+    const char *Verdict = R.ExitCode == 0   ? "ok"
+                          : R.ExitCode == 4 ? "degraded"
+                                            : "failed";
+    std::printf("%s: %s (exit %d, %s)\n", Files[I].c_str(), Verdict,
+                R.ExitCode, Served);
+    if (R.ExitCode == 4)
+      AnyDegraded = true;
+    else if (R.ExitCode != 0) {
+      AnyFail = true;
+      std::fprintf(stderr, "%s", R.Error.c_str());
+    }
+  }
+
+  if (!ReportPath.empty()) {
+    std::string Report = Session.reportJson();
+    if (ReportPath == "-") {
+      std::printf("%s", Report.c_str());
+    } else if (Status S = writeFileAtomic(ReportPath, Report); !S.isOk()) {
+      std::fprintf(stderr, "error: cannot write batch report: %s\n",
+                   S.str().c_str());
+      return 1;
+    }
+  }
+  return AnyFail ? 1 : AnyDegraded ? 4 : 0;
+}
 
 } // namespace
 
@@ -64,6 +155,7 @@ int main(int argc, char **argv) {
   DriverOptions &Opts = Req.Driver;
   std::string LintPassesSpec;
   std::string TracePath, StatsPath;
+  std::string BatchDir, BatchReportPath;
 
   auto BoolFlag = [](bool &Target, bool Value) {
     return [&Target, Value](const std::string &) {
@@ -254,6 +346,21 @@ int main(int argc, char **argv) {
          StatsPath = V;
          return true;
        }},
+      {"--batch", "dir",
+       "compile every *.alp file under <dir> (sorted) as one batch: "
+       "shared-cache dedup, warm per-worker arena reuse, and a "
+       "jobs-deterministic aggregate report",
+       [&](const std::string &V) {
+         BatchDir = V;
+         return true;
+       }},
+      {"--batch-report", "file",
+       "write the batch aggregate stats JSON (schema v2, kind 'batch'); "
+       "'-' writes to stdout",
+       [&](const std::string &V) {
+         BatchReportPath = V;
+         return true;
+       }},
   };
 
   const CliParser Cli{argv[0],
@@ -308,6 +415,20 @@ int main(int argc, char **argv) {
         return 2;
       }
     }
+  }
+
+  if (!BatchDir.empty()) {
+    if (!Positionals.empty()) {
+      std::fprintf(stderr, "error: --batch takes no input file operand\n");
+      return 2;
+    }
+    if (!TracePath.empty() || !StatsPath.empty()) {
+      std::fprintf(stderr,
+                   "error: --trace/--stats do not apply in batch mode; "
+                   "use --batch-report\n");
+      return 2;
+    }
+    return runBatch(Req, BatchDir, BatchReportPath);
   }
 
   if (Positionals.empty()) {
